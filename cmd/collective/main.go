@@ -1,0 +1,85 @@
+// Command collective times Encrypted_Bcast and Encrypted_Alltoall on the
+// simulated cluster (paper Tables II/III/VI/VII and Figs. 7/8/14/15).
+//
+//	collective [-op bcast|alltoall] [-net eth|ib] [-ranks 64] [-nodes 8]
+//	           [-sizes 1,16384,4194304] [-iters 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"encmpi/internal/costmodel"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/osu"
+	"encmpi/internal/report"
+	"encmpi/internal/simnet"
+)
+
+func main() {
+	op := flag.String("op", "alltoall", "collective: bcast or alltoall")
+	net := flag.String("net", "eth", "network: eth or ib")
+	ranks := flag.Int("ranks", 64, "number of ranks")
+	nodes := flag.Int("nodes", 8, "number of nodes")
+	sizesFlag := flag.String("sizes", "1,16384,4194304", "comma-separated message sizes")
+	iters := flag.Int("iters", 20, "iterations per measurement")
+	flag.Parse()
+
+	cfg := simnet.Eth10G()
+	variant := costmodel.GCC485
+	if *net == "ib" {
+		cfg = simnet.IB40G()
+		variant = costmodel.MVAPICH
+	}
+
+	var sizes []int
+	for _, f := range strings.Split(*sizesFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sizes = append(sizes, v)
+	}
+
+	cols := []string{"Library"}
+	for _, s := range sizes {
+		cols = append(cols, fmt.Sprintf("%dB", s))
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("Encrypted_%s mean latency (µs), %d ranks / %d nodes, %s",
+			*op, *ranks, *nodes, cfg.Name), cols...)
+
+	baseLat := map[int]time.Duration{}
+	for _, l := range []string{"none", "boringssl", "libsodium", "cryptopp"} {
+		mk := osu.Baseline()
+		name := "Unencrypted"
+		if l != "none" {
+			p, err := costmodel.Lookup(l, variant, 256)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mk = func(int) encmpi.Engine { return encmpi.NewModelEngine(p) }
+			name = l
+		}
+		row := []string{name}
+		for _, s := range sizes {
+			res, err := osu.Collective(cfg, mk, osu.CollectiveOp(*op), *ranks, *nodes, s, *iters)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if l == "none" {
+				baseLat[s] = res.MeanLat
+				row = append(row, report.Micros(res.MeanLat))
+			} else {
+				ov := res.MeanLat.Seconds()/baseLat[s].Seconds() - 1
+				row = append(row, fmt.Sprintf("%s (+%s)", report.Micros(res.MeanLat), report.Pct(ov)))
+			}
+		}
+		tb.Add(row...)
+	}
+	fmt.Print(tb)
+}

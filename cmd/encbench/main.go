@@ -1,0 +1,126 @@
+// Command encbench is the encryption-decryption benchmark (paper Figs. 2
+// and 9). By default it prints the calibrated library curves used by the
+// simulator; with -real it measures the repository's actual Go AEAD tiers on
+// the host CPU using the paper's methodology (repeated enc+dec of each
+// buffer size until the standard deviation is within 5% of the mean).
+//
+//	encbench [-net eth|ib] [-real] [-key 128|256]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/codecs"
+	"encmpi/internal/costmodel"
+	"encmpi/internal/report"
+	"encmpi/internal/stats"
+)
+
+var benchSizes = []int{16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20, 4 << 20}
+
+func main() {
+	net := flag.String("net", "eth", "network side of the paper: eth (gcc 4.8.5) or ib (MVAPICH toolchain)")
+	real := flag.Bool("real", false, "measure the real Go AEAD backends instead of printing model curves")
+	keyBits := flag.Int("key", 256, "AES key length (128 or 256)")
+	flag.Parse()
+
+	if *real {
+		if err := measureReal(*keyBits); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	variant := costmodel.GCC485
+	if *net == "ib" {
+		variant = costmodel.MVAPICH
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("AES-GCM-%d enc-dec throughput (MB/s), %s toolchain (model curves)", *keyBits, variant),
+		append([]string{"Size"}, costmodel.Libraries()...)...)
+	for _, s := range benchSizes {
+		row := []string{sizeLabel(s)}
+		for _, lib := range costmodel.Libraries() {
+			p, err := costmodel.Lookup(lib, variant, *keyBits)
+			if err != nil {
+				row = append(row, "n/a")
+				continue
+			}
+			row = append(row, report.MBps(p.Curve.ThroughputMBps(s)))
+		}
+		tb.Add(row...)
+	}
+	fmt.Print(tb)
+}
+
+// measureReal times the actual Go codecs, paper-style: the metric is
+// size / (t_enc + t_dec), at least 5 repetitions, stddev within 5% of mean.
+func measureReal(keyBits int) error {
+	key := bytes.Repeat([]byte{0x42}, keyBits/8)
+	tb := report.NewTable(
+		fmt.Sprintf("Measured enc-dec throughput (MB/s) of the Go AEAD tiers, AES-%d, this host", keyBits),
+		append([]string{"Size"}, codecs.GCMNames()...)...)
+
+	for _, size := range benchSizes {
+		row := []string{sizeLabel(size)}
+		pt := make([]byte, size)
+		for _, name := range codecs.GCMNames() {
+			codec, err := codecs.New(name, key)
+			if err != nil {
+				return err
+			}
+			nonce := make([]byte, aead.NonceSize)
+			ct := codec.Seal(nil, nonce, pt)
+			out := make([]byte, 0, size)
+
+			// Pick an inner-loop count that costs ~20ms per measurement.
+			iters := 1
+			start := time.Now()
+			ct = codec.Seal(ct[:0], nonce, pt)
+			if _, err := codec.Open(out[:0], nonce, ct); err != nil {
+				return err
+			}
+			per := time.Since(start)
+			if per > 0 {
+				iters = int(20*time.Millisecond/per) + 1
+			}
+
+			sample, err := stats.AdaptiveRun(stats.EncDefaults(), func() float64 {
+				t0 := time.Now()
+				for i := 0; i < iters; i++ {
+					ct = codec.Seal(ct[:0], nonce, pt)
+					if _, err := codec.Open(out[:0], nonce, ct); err != nil {
+						panic(err)
+					}
+				}
+				elapsed := time.Since(t0).Seconds() / float64(iters)
+				return float64(size) / elapsed / 1e6 // MB/s for one enc+dec
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "warning: %s @%d: %v\n", name, size, err)
+			}
+			row = append(row, report.MBps(sample.Mean))
+		}
+		tb.Add(row...)
+	}
+	tb.Note("metric matches the paper's Fig 2: size/(t_enc+t_dec); 5%% stddev stopping rule")
+	fmt.Print(tb)
+	return nil
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

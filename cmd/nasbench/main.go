@@ -1,0 +1,109 @@
+// Command nasbench runs the NAS parallel benchmark skeletons on the
+// simulated cluster (paper Tables IV and VIII): class C, 64 ranks, 8 nodes
+// by default, with per-kernel compute budgets calibrated against the paper's
+// Ethernet baselines.
+//
+//	nasbench [-net eth|ib] [-class S|A|C] [-ranks 64] [-nodes 8] [-kernels CG,FT,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"encmpi/internal/costmodel"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/nas"
+	"encmpi/internal/report"
+	"encmpi/internal/simnet"
+	"encmpi/internal/stats"
+)
+
+func main() {
+	net := flag.String("net", "eth", "network: eth or ib")
+	class := flag.String("class", "C", "problem class: S, A, or C")
+	ranks := flag.Int("ranks", 64, "number of ranks")
+	nodes := flag.Int("nodes", 8, "number of nodes")
+	kernelsFlag := flag.String("kernels", "", "comma-separated kernels (default: all)")
+	flag.Parse()
+
+	cfg := simnet.Eth10G()
+	variant := costmodel.GCC485
+	if *net == "ib" {
+		cfg = simnet.IB40G()
+		variant = costmodel.MVAPICH
+	}
+
+	kernels := nas.Kernels()
+	if *kernelsFlag != "" {
+		kernels = nil
+		for _, k := range strings.Split(*kernelsFlag, ",") {
+			kernels = append(kernels, strings.ToUpper(strings.TrimSpace(k)))
+		}
+	}
+	classByte := (*class)[0]
+
+	// Calibrate compute budgets on the Ethernet baselines (class C only;
+	// other classes run with a nominal budget).
+	budgets := map[string]time.Duration{}
+	for _, k := range kernels {
+		if classByte == 'C' {
+			per, err := nas.Calibrate(k, 'C', *ranks, *nodes, simnet.Eth10G(), nas.EthBaselineSeconds[k])
+			if err != nil {
+				log.Fatal(err)
+			}
+			budgets[k] = per
+		} else {
+			budgets[k] = 100 * time.Microsecond
+		}
+	}
+
+	cols := append([]string{"Library"}, kernels...)
+	cols = append(cols, "Total", "Overhead")
+	tb := report.NewTable(
+		fmt.Sprintf("NAS class %s runtimes (s), %d ranks / %d nodes, %s", *class, *ranks, *nodes, cfg.Name), cols...)
+
+	var baseTimes []float64
+	for _, l := range []string{"none", "boringssl", "libsodium", "cryptopp"} {
+		var eng func(int) encmpi.Engine
+		name := "Unencrypted"
+		if l == "none" {
+			eng = func(int) encmpi.Engine { return encmpi.NullEngine{} }
+		} else {
+			p, err := costmodel.Lookup(l, variant, 256)
+			if err != nil {
+				log.Fatal(err)
+			}
+			eng = func(int) encmpi.Engine { return encmpi.NewModelEngine(p) }
+			name = l
+		}
+		row := []string{name}
+		var times []float64
+		var sum float64
+		for _, k := range kernels {
+			res, err := nas.Run(k, classByte, *ranks, *nodes, cfg, eng, budgets[k])
+			if err != nil {
+				log.Fatal(err)
+			}
+			times = append(times, res.Elapsed.Seconds())
+			sum += res.Elapsed.Seconds()
+			row = append(row, fmt.Sprintf("%.2f", res.Elapsed.Seconds()))
+		}
+		row = append(row, fmt.Sprintf("%.2f", sum))
+		if l == "none" {
+			baseTimes = times
+			row = append(row, "—")
+		} else {
+			ov, err := stats.OverheadFromTotals(baseTimes, times)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, report.Pct(ov))
+		}
+		tb.Add(row...)
+	}
+	tb.Note("overhead = ratio of totals (Fleming–Wallace), matching the paper's methodology")
+	fmt.Print(tb)
+}

@@ -1,0 +1,74 @@
+// Command osu runs the OSU-style Multiple-Pair bandwidth benchmark on the
+// simulated cluster (paper Figs. 4-6 and 11-13): N senders on one node
+// streaming 64-message windows to N receivers on another.
+//
+//	osu [-net eth|ib] [-size BYTES] [-pairs 1,2,4,8] [-iters N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"encmpi/internal/costmodel"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/osu"
+	"encmpi/internal/report"
+	"encmpi/internal/simnet"
+)
+
+func main() {
+	net := flag.String("net", "eth", "network: eth or ib")
+	size := flag.Int("size", 16<<10, "message size in bytes")
+	pairsFlag := flag.String("pairs", "1,2,4,8", "comma-separated pair counts")
+	iters := flag.Int("iters", 50, "iterations (64-message windows each)")
+	flag.Parse()
+
+	cfg := simnet.Eth10G()
+	variant := costmodel.GCC485
+	if *net == "ib" {
+		cfg = simnet.IB40G()
+		variant = costmodel.MVAPICH
+	}
+
+	var pairs []int
+	for _, f := range strings.Split(*pairsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pairs = append(pairs, v)
+	}
+
+	cols := []string{"Library"}
+	for _, p := range pairs {
+		cols = append(cols, fmt.Sprintf("%d pair(s)", p))
+	}
+	tb := report.NewTable(
+		fmt.Sprintf("Multi-pair aggregate throughput (MB/s), %d-byte messages, %s", *size, cfg.Name), cols...)
+
+	for _, l := range []string{"none", "boringssl", "libsodium", "cryptopp"} {
+		mk := osu.Baseline()
+		name := "Unencrypted"
+		if l != "none" {
+			p, err := costmodel.Lookup(l, variant, 256)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mk = func(int) encmpi.Engine { return encmpi.NewModelEngine(p) }
+			name = l
+		}
+		row := []string{name}
+		for _, p := range pairs {
+			res, err := osu.MultiPair(cfg, mk, *size, p, *iters)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, report.MBps(res.Throughput))
+		}
+		tb.Add(row...)
+	}
+	fmt.Print(tb)
+}

@@ -1,0 +1,79 @@
+// Command pingpong runs the encrypted ping-pong benchmark on the simulated
+// cluster (paper Tables I/V and Figs. 3/10): two ranks on different nodes,
+// blocking send/receive, throughput over plaintext bytes.
+//
+//	pingpong [-net eth|ib] [-small] [-lib all|boringssl|...] [-iters N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"encmpi/internal/costmodel"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/osu"
+	"encmpi/internal/report"
+	"encmpi/internal/simnet"
+)
+
+func main() {
+	net := flag.String("net", "eth", "network: eth or ib")
+	small := flag.Bool("small", false, "small-message table (1B-1KB) instead of the 4KB-2MB sweep")
+	lib := flag.String("lib", "all", "library: all, none, boringssl, openssl, libsodium, cryptopp")
+	iters := flag.Int("iters", 1000, "round trips per size")
+	flag.Parse()
+
+	cfg := simnet.Eth10G()
+	variant := costmodel.GCC485
+	if *net == "ib" {
+		cfg = simnet.IB40G()
+		variant = costmodel.MVAPICH
+	}
+
+	sizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20}
+	if *small {
+		sizes = []int{1, 16, 256, 1 << 10}
+	}
+
+	libs := []string{"none", "boringssl", "libsodium", "cryptopp"}
+	if *lib != "all" {
+		libs = []string{*lib}
+	}
+
+	cols := []string{"Library"}
+	for _, s := range sizes {
+		cols = append(cols, fmt.Sprintf("%dB", s))
+	}
+	tb := report.NewTable(fmt.Sprintf("Ping-pong throughput (MB/s), %s", cfg.Name), cols...)
+
+	for _, l := range libs {
+		mk := osu.Baseline()
+		name := "Unencrypted"
+		if l != "none" {
+			p, err := costmodel.Lookup(l, variant, 256)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mk = func(int) encmpi.Engine { return encmpi.NewModelEngine(p) }
+			name = l
+		}
+		row := []string{name}
+		for _, s := range sizes {
+			n := *iters
+			if s >= 1<<20 {
+				n = *iters / 10
+				if n == 0 {
+					n = 1
+				}
+			}
+			res, err := osu.PingPong(cfg, mk, s, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, report.MBps(res.Throughput))
+		}
+		tb.Add(row...)
+	}
+	fmt.Print(tb)
+}

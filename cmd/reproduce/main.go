@@ -1,0 +1,56 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation section on the simulated cluster, printing each with the
+// paper's numbers alongside. With -md it emits a markdown report suitable
+// for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	reproduce [-quick] [-md] [-exp table1,fig4,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"encmpi/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced iteration counts (deterministic simulator; rankings unchanged)")
+	md := flag.Bool("md", false, "emit markdown tables")
+	expList := flag.String("exp", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	opts := harness.Options{Quick: *quick}
+
+	var exps []harness.Experiment
+	if *expList == "" {
+		exps = harness.Experiments()
+	} else {
+		for _, id := range strings.Split(*expList, ",") {
+			e, err := harness.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		tb, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *md {
+			fmt.Printf("### %s — %s\n\n%s\n", e.ID, e.Title, tb.Markdown())
+		} else {
+			fmt.Printf("== %s (%s, %.1fs)\n%s\n", e.ID, e.Title, time.Since(start).Seconds(), tb)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command simtrace runs a workload on the simulated cluster with the trace
+// collector attached and prints the traffic digest — per-pair volumes, NIC
+// queueing, and optionally the full CSV timeline. It is the observability
+// companion to the benchmark drivers: it shows *where* the bytes of an
+// encrypted run went and how much the +28-byte expansion added.
+//
+//	simtrace [-workload alltoall|bcast|nas-cg] [-net eth|ib] [-ranks 16]
+//	         [-nodes 4] [-size 16384] [-lib none|boringssl|...] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"encmpi/internal/cluster"
+	"encmpi/internal/costmodel"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/job"
+	"encmpi/internal/mpi"
+	"encmpi/internal/nas"
+	"encmpi/internal/simnet"
+	"encmpi/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "alltoall", "alltoall, bcast, or nas-cg")
+	net := flag.String("net", "eth", "network: eth or ib")
+	ranks := flag.Int("ranks", 16, "number of ranks")
+	nodes := flag.Int("nodes", 4, "number of nodes")
+	size := flag.Int("size", 16<<10, "message size")
+	lib := flag.String("lib", "boringssl", "library: none, boringssl, openssl, libsodium, cryptopp")
+	csv := flag.Bool("csv", false, "dump the full transfer timeline as CSV")
+	flag.Parse()
+
+	cfg := simnet.Eth10G()
+	variant := costmodel.GCC485
+	if *net == "ib" {
+		cfg = simnet.IB40G()
+		variant = costmodel.MVAPICH
+	}
+
+	mkEngine := func(int) encmpi.Engine { return encmpi.NullEngine{} }
+	if *lib != "none" {
+		p, err := costmodel.Lookup(*lib, variant, 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mkEngine = func(int) encmpi.Engine { return encmpi.NewModelEngine(p) }
+	}
+
+	col := &trace.Collector{}
+	spec := cluster.PaperTestbed(*ranks, *nodes)
+	res, err := job.RunSimConfigured(spec, cfg,
+		func(f *simnet.Fabric) { f.Trace = col.Record },
+		func(c *mpi.Comm) {
+			e := encmpi.Wrap(c, mkEngine(c.Rank()))
+			switch *workload {
+			case "alltoall":
+				blocks := make([]mpi.Buffer, c.Size())
+				for d := range blocks {
+					blocks[d] = mpi.Synthetic(*size)
+				}
+				if _, err := e.Alltoall(blocks); err != nil {
+					panic(err)
+				}
+			case "bcast":
+				var buf mpi.Buffer
+				if c.Rank() == 0 {
+					buf = mpi.Synthetic(*size)
+				}
+				if _, err := e.Bcast(0, buf); err != nil {
+					panic(err)
+				}
+			case "nas-cg":
+				p, err := nas.ParamsFor("CG", 'A')
+				if err != nil {
+					panic(err)
+				}
+				nas.RunKernel(e, p, 10*time.Microsecond)
+			default:
+				panic(fmt.Sprintf("unknown workload %q", *workload))
+			}
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s on %s, %d ranks / %d nodes, library %s\n",
+		*workload, cfg.Name, *ranks, *nodes, *lib)
+	fmt.Printf("virtual time: %v  (packets %d, wire bytes %d)\n\n",
+		res.Elapsed, res.Packets, res.Bytes)
+	fmt.Print(col.Summary())
+	if *csv {
+		fmt.Print(col.CSV())
+	}
+}

@@ -1,0 +1,142 @@
+// Package encmpi is a Go reproduction of "An Empirical Study of
+// Cryptographic Libraries for MPI Communications" (IEEE CLUSTER 2019): an
+// MPI-style message-passing runtime whose point-to-point and collective
+// communication is protected with AES-GCM, a discrete-event cluster
+// simulator calibrated to the paper's 10 GbE / 40 Gb InfiniBand testbed,
+// three from-scratch AES-GCM implementations spanning the performance range
+// of the C libraries the paper studies, and a benchmark harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// This file is the public facade: it re-exports the types a downstream user
+// needs so the library can be consumed without reaching into internal
+// packages. See README.md for a tour and DESIGN.md for the architecture.
+//
+// Quick start (see examples/quickstart for the complete program):
+//
+//	err := encmpi.RunShm(2, func(c *encmpi.Comm) {
+//	    codec, _ := encmpi.NewCodec("aesstd", key)
+//	    e := encmpi.Encrypt(c, codec, uint32(c.Rank()))
+//	    if c.Rank() == 0 {
+//	        e.Send(1, 0, encmpi.Bytes([]byte("secret")))
+//	    } else {
+//	        buf, _, err := e.Recv(0, 0)
+//	        ...
+//	    }
+//	})
+package encmpi
+
+import (
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/codecs"
+	"encmpi/internal/cluster"
+	"encmpi/internal/costmodel"
+	enc "encmpi/internal/encmpi"
+	"encmpi/internal/job"
+	"encmpi/internal/mpi"
+	"encmpi/internal/simnet"
+)
+
+// Core message-passing types.
+type (
+	// Comm is a per-rank communicator (the plaintext MPI layer).
+	Comm = mpi.Comm
+	// Buffer is a message payload: real bytes or a simulated length.
+	Buffer = mpi.Buffer
+	// Request is a non-blocking plaintext operation handle.
+	Request = mpi.Request
+	// Status describes a completed receive.
+	Status = mpi.Status
+
+	// EncryptedComm wraps a Comm with the paper's Encrypted_* routines.
+	EncryptedComm = enc.Comm
+	// EncryptedRequest is a non-blocking encrypted operation handle whose
+	// decryption runs inside Wait.
+	EncryptedRequest = enc.Request
+
+	// Engine performs or models authenticated encryption.
+	Engine = enc.Engine
+	// Codec is a concrete AEAD implementation.
+	Codec = aead.Codec
+	// NonceSource produces unique 12-byte nonces.
+	NonceSource = aead.NonceSource
+
+	// ClusterSpec describes a simulated machine.
+	ClusterSpec = cluster.Spec
+	// NetConfig describes a simulated interconnect.
+	NetConfig = simnet.Config
+	// SimResult reports a simulated job's timing.
+	SimResult = job.SimResult
+)
+
+// Wildcards and wire-format constants.
+const (
+	AnySource = mpi.AnySource
+	AnyTag    = mpi.AnyTag
+	// Undefined opts a rank out of a Comm.Split (MPI_UNDEFINED).
+	Undefined = mpi.Undefined
+	// Overhead is the per-message wire expansion of AES-GCM:
+	// 12-byte nonce + 16-byte tag.
+	Overhead = aead.Overhead
+)
+
+// Bytes wraps a real byte slice as a message payload.
+func Bytes(b []byte) Buffer { return mpi.Bytes(b) }
+
+// Synthetic creates a length-only payload for simulation workloads.
+func Synthetic(n int) Buffer { return mpi.Synthetic(n) }
+
+// NewCodec builds a registered AEAD implementation ("aesstd", "aessoft",
+// "aesref", "ccmsoft", "ccmref") for a 16/24/32-byte AES key.
+func NewCodec(name string, key []byte) (Codec, error) { return codecs.New(name, key) }
+
+// CodecNames lists the registered AEAD implementations.
+func CodecNames() []string { return codecs.Names() }
+
+// Encrypt wraps a communicator with real AES-GCM encryption under the given
+// codec. noncePrefix must be unique per rank sharing a key (use the rank).
+func Encrypt(c *Comm, codec Codec, noncePrefix uint32) *EncryptedComm {
+	return enc.Wrap(c, enc.NewRealEngine(codec, aead.NewCounterNonce(noncePrefix)))
+}
+
+// EncryptWith wraps a communicator with an explicit engine (e.g. a cost
+// model of one of the paper's libraries, or NullEngine for a baseline).
+func EncryptWith(c *Comm, e Engine) *EncryptedComm { return enc.Wrap(c, e) }
+
+// Unencrypted returns the pass-through baseline engine.
+func Unencrypted() Engine { return enc.NullEngine{} }
+
+// LibraryModel returns a virtual-time engine modeling one of the paper's
+// libraries ("boringssl", "openssl", "libsodium", "cryptopp") under a
+// toolchain variant ("gcc485" or "mvapich") and key length (128 or 256).
+func LibraryModel(library, variant string, keyBits int) (Engine, error) {
+	p, err := costmodel.Lookup(library, costmodel.Variant(variant), keyBits)
+	if err != nil {
+		return nil, err
+	}
+	return enc.NewModelEngine(p), nil
+}
+
+// ExchangeKey runs the X25519 session-key distribution over the plaintext
+// wire (the paper's future-work key distribution). All ranks receive the
+// same keyLen-byte key.
+func ExchangeKey(c *Comm, keyLen int) ([]byte, error) { return enc.ExchangeKey(c, keyLen) }
+
+// RunShm executes an n-rank job over the in-process transport.
+func RunShm(n int, body func(c *Comm)) error { return job.RunShm(n, body) }
+
+// RunTCP executes an n-rank job over real loopback TCP sockets.
+func RunTCP(n int, body func(c *Comm)) error { return job.RunTCP(n, body) }
+
+// RunSim executes a job on the discrete-event cluster simulator.
+func RunSim(spec ClusterSpec, cfg NetConfig, body func(c *Comm)) (SimResult, error) {
+	return job.RunSim(spec, cfg, body)
+}
+
+// PaperTestbed returns the paper's cluster shape (8-core nodes).
+func PaperTestbed(ranks, nodes int) ClusterSpec { return cluster.PaperTestbed(ranks, nodes) }
+
+// Eth10G returns the calibrated 10 Gbps Ethernet fabric preset.
+func Eth10G() NetConfig { return simnet.Eth10G() }
+
+// IB40G returns the calibrated 40 Gbps InfiniBand fabric preset.
+func IB40G() NetConfig { return simnet.IB40G() }

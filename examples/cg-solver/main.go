@@ -1,0 +1,175 @@
+// cg-solver runs a real distributed conjugate-gradient solve over encrypted
+// MPI and verifies the numerics — demonstrating that the encryption layer is
+// transparent to a genuine HPC computation (the workload class the paper's
+// CG benchmark represents), not just to synthetic traffic.
+//
+// The system is a 1D Poisson problem (tridiagonal, symmetric positive
+// definite) row-partitioned across ranks. Every halo exchange travels as
+// AES-GCM ciphertext; dot products use small allreduces. Run with:
+//
+//	go run ./examples/cg-solver [-n 4096] [-ranks 4] [-codec aesstd]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/codecs"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/job"
+	"encmpi/internal/mpi"
+)
+
+func main() {
+	n := flag.Int("n", 4096, "global problem size")
+	ranks := flag.Int("ranks", 4, "number of ranks")
+	codecName := flag.String("codec", "aesstd", "AEAD codec (aesstd, aessoft, aesref)")
+	flag.Parse()
+
+	if *n%*ranks != 0 {
+		log.Fatalf("n=%d must be divisible by ranks=%d", *n, *ranks)
+	}
+	key := []byte("0123456789abcdef0123456789abcdef")
+	local := *n / *ranks
+
+	finalResidual := make([]float64, *ranks)
+	iterations := make([]int, *ranks)
+
+	err := job.RunShm(*ranks, func(c *mpi.Comm) {
+		codec, err := codecs.New(*codecName, key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := encmpi.Wrap(c, encmpi.NewRealEngine(codec, aead.NewCounterNonce(uint32(c.Rank()))))
+		res, iters := solveCG(e, *n, local)
+		finalResidual[c.Rank()] = res
+		iterations[c.Rank()] = iters
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("CG over encrypted MPI (%s): n=%d, ranks=%d\n", *codecName, *n, *ranks)
+	fmt.Printf("converged in %d iterations, final residual %.3e\n", iterations[0], finalResidual[0])
+	if finalResidual[0] > 1e-8 {
+		log.Fatal("FAIL: residual did not converge")
+	}
+	fmt.Println("PASS: solution verified against the analytic answer")
+}
+
+// solveCG solves A·x = b for the 1D Laplacian A = tridiag(-1, 2, -1) with b
+// chosen so the exact solution is known, and returns the final residual norm
+// and iteration count.
+func solveCG(e *encmpi.Comm, n, local int) (float64, int) {
+	rank, p := e.Rank(), e.Size()
+	lo := rank * local
+
+	// Exact solution with a full spectrum (so CG needs many iterations and
+	// therefore many encrypted halo exchanges); b = A·x*.
+	exact := func(gi int) float64 {
+		t := float64(gi+1) / float64(n+1)
+		return math.Sin(math.Pi*t) + 0.5*math.Cos(2.7*float64(gi)) + 0.25*t*t
+	}
+	b := make([]float64, local)
+	for i := 0; i < local; i++ {
+		gi := lo + i
+		left, right := 0.0, 0.0
+		if gi > 0 {
+			left = exact(gi - 1)
+		}
+		if gi < n-1 {
+			right = exact(gi + 1)
+		}
+		b[i] = 2*exact(gi) - left - right
+	}
+
+	// matvec computes y = A·v, exchanging one-element halos with neighbors
+	// through the encrypted layer.
+	matvec := func(v []float64) []float64 {
+		leftGhost, rightGhost := 0.0, 0.0
+		var reqs []*encmpi.Request
+		if rank > 0 {
+			reqs = append(reqs, e.Irecv(rank-1, 0))
+		}
+		if rank < p-1 {
+			reqs = append(reqs, e.Irecv(rank+1, 1))
+		}
+		if rank > 0 {
+			e.Send(rank-1, 1, mpi.Float64Buffer(v[:1]))
+		}
+		if rank < p-1 {
+			e.Send(rank+1, 0, mpi.Float64Buffer(v[local-1:]))
+		}
+		for _, r := range reqs {
+			buf, st, err := e.Wait(r)
+			if err != nil {
+				log.Fatalf("halo decrypt failed: %v", err)
+			}
+			val := mpi.Float64s(buf)[0]
+			if st.Source == rank-1 {
+				leftGhost = val
+			} else {
+				rightGhost = val
+			}
+		}
+		y := make([]float64, local)
+		for i := range y {
+			l, r := leftGhost, rightGhost
+			if i > 0 {
+				l = v[i-1]
+			}
+			if i < local-1 {
+				r = v[i+1]
+			}
+			y[i] = 2*v[i] - l - r
+		}
+		return y
+	}
+
+	// dot computes a global inner product with a tiny allreduce.
+	dot := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			s += a[i] * b[i]
+		}
+		out := e.Allreduce(mpi.Float64Buffer([]float64{s}), mpi.Float64, mpi.OpSum)
+		return mpi.Float64s(out)[0]
+	}
+
+	x := make([]float64, local)
+	r := append([]float64(nil), b...)
+	d := append([]float64(nil), b...)
+	rr := dot(r, r)
+	iters := 0
+	for ; iters < 10*n && math.Sqrt(rr) > 1e-10; iters++ {
+		ad := matvec(d)
+		alpha := rr / dot(d, ad)
+		for i := range x {
+			x[i] += alpha * d[i]
+			r[i] -= alpha * ad[i]
+		}
+		rrNew := dot(r, r)
+		beta := rrNew / rr
+		rr = rrNew
+		for i := range d {
+			d[i] = r[i] + beta*d[i]
+		}
+	}
+
+	// Verify against the analytic solution.
+	var worst float64
+	for i := range x {
+		if diff := math.Abs(x[i] - exact(lo+i)); diff > worst {
+			worst = diff
+		}
+	}
+	out := e.Allreduce(mpi.Float64Buffer([]float64{worst}), mpi.Float64, mpi.OpMax)
+	maxErr := mpi.Float64s(out)[0]
+	if maxErr > 1e-6 {
+		log.Fatalf("rank %d: solution error %.3e exceeds tolerance", rank, maxErr)
+	}
+	return math.Sqrt(rr), iters
+}

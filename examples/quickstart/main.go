@@ -1,0 +1,62 @@
+// Quickstart: two ranks exchange AES-GCM-encrypted MPI messages in-process.
+//
+// This is the smallest complete use of the public pieces: build a world over
+// a transport, wrap each rank's communicator with a crypto engine, and use
+// the Encrypted_* routines from the paper. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/codecs"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/job"
+	"encmpi/internal/mpi"
+)
+
+func main() {
+	// The paper hardcodes the shared symmetric key (§IV); 32 bytes = AES-256.
+	key := []byte("0123456789abcdef0123456789abcdef")
+
+	err := job.RunShm(2, func(c *mpi.Comm) {
+		// Each rank builds its own codec and nonce source; the per-rank
+		// prefix keeps counter nonces from ever colliding under one key.
+		codec, err := codecs.New("aesstd", key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := encmpi.Wrap(c, encmpi.NewRealEngine(codec, aead.NewCounterNonce(uint32(c.Rank()))))
+
+		switch c.Rank() {
+		case 0:
+			msg := []byte("hello over encrypted MPI")
+			e.Send(1, 0, mpi.Bytes(msg))
+			fmt.Printf("rank 0: sent %d plaintext bytes (%d on the wire)\n",
+				len(msg), aead.WireLen(len(msg)))
+		case 1:
+			buf, st, err := e.Recv(0, 0)
+			if err != nil {
+				log.Fatalf("rank 1: authentication failed: %v", err)
+			}
+			fmt.Printf("rank 1: received %q from rank %d (authenticated)\n", buf.Data, st.Source)
+		}
+
+		// Collectives work the same way: Algorithm 1's Encrypted_Alltoall.
+		blocks := make([]mpi.Buffer, e.Size())
+		for d := range blocks {
+			blocks[d] = mpi.Bytes([]byte(fmt.Sprintf("block %d->%d", e.Rank(), d)))
+		}
+		res, err := e.Alltoall(blocks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rank %d: alltoall got %q, %q\n", e.Rank(), res[0].Data, res[1].Data)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

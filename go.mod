@@ -1,0 +1,3 @@
+module encmpi
+
+go 1.22

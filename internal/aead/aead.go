@@ -1,0 +1,110 @@
+// Package aead defines the authenticated-encryption interface used by the
+// encrypted MPI layer, together with the wire format the paper specifies:
+// every plaintext of ℓ bytes travels as nonce(12) ‖ ciphertext(ℓ) ‖ tag(16),
+// i.e. ℓ+28 bytes on the wire (paper §III-A, Fig. 1, Algorithm 1).
+//
+// Three from-scratch AES-GCM implementations satisfy Codec at very different
+// performance tiers (see subpackages aesstd, aessoft, and aesref); they stand
+// in for the performance spread the paper observed across BoringSSL/OpenSSL,
+// Libsodium, and CryptoPP.
+package aead
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+)
+
+// Wire-format constants from the paper (§III-A): AES-GCM uses 12-byte nonces
+// and 16-byte authentication tags, so each ciphertext is 28 bytes longer than
+// its plaintext.
+const (
+	NonceSize = 12
+	TagSize   = 16
+	// Overhead is the total per-message wire expansion.
+	Overhead = NonceSize + TagSize
+)
+
+// Codec is a nonce-based authenticated-encryption scheme (Gen, Enc, Dec in
+// the paper's notation; the key is fixed at construction time, playing Gen's
+// role).
+type Codec interface {
+	// Seal encrypts and authenticates plaintext, appending the result
+	// (ciphertext ‖ 16-byte tag) to dst. The nonce must be NonceSize bytes
+	// and must not repeat for the lifetime of the key.
+	Seal(dst, nonce, plaintext []byte) []byte
+
+	// Open authenticates and decrypts ciphertext (which includes the trailing
+	// tag), appending the plaintext to dst. It returns ErrAuth if the
+	// ciphertext or tag is not genuine.
+	Open(dst, nonce, ciphertext []byte) ([]byte, error)
+
+	// KeyBits reports the AES key length in bits (128, 192, or 256).
+	KeyBits() int
+
+	// Name identifies the implementation (e.g. "aesstd-256").
+	Name() string
+}
+
+// ErrAuth is returned by Open when authentication fails. Callers must treat
+// the output buffer as garbage in that case.
+var ErrAuth = errors.New("aead: message authentication failed")
+
+// ErrNonceSize is returned when a nonce of the wrong length is supplied.
+var ErrNonceSize = errors.New("aead: invalid nonce size")
+
+// KeySizeError reports an invalid AES key length.
+type KeySizeError int
+
+func (k KeySizeError) Error() string {
+	return fmt.Sprintf("aead: invalid AES key size %d (want 16, 24, or 32 bytes)", int(k))
+}
+
+// ValidKeyLen reports whether n is a legal AES key length in bytes.
+func ValidKeyLen(n int) bool {
+	return n == 16 || n == 24 || n == 32
+}
+
+// ConstantTimeEqual compares two tags without leaking timing information.
+func ConstantTimeEqual(a, b []byte) bool {
+	return subtle.ConstantTimeCompare(a, b) == 1
+}
+
+// WireLen returns the on-wire length of an encrypted message whose plaintext
+// is n bytes long.
+func WireLen(n int) int { return n + Overhead }
+
+// PlainLen returns the plaintext length of an n-byte wire message, or an
+// error if n is too short to be a valid encrypted message.
+func PlainLen(n int) (int, error) {
+	if n < Overhead {
+		return 0, fmt.Errorf("aead: wire message of %d bytes is shorter than the %d-byte overhead", n, Overhead)
+	}
+	return n - Overhead, nil
+}
+
+// EncryptMessage encrypts plaintext into the paper's wire format
+// nonce ‖ ciphertext ‖ tag using a nonce drawn from src. dst is reused if it
+// has sufficient capacity.
+func EncryptMessage(c Codec, src NonceSource, dst, plaintext []byte) ([]byte, error) {
+	need := WireLen(len(plaintext))
+	if cap(dst) < need {
+		dst = make([]byte, 0, need)
+	}
+	dst = dst[:NonceSize]
+	if err := src.Next(dst[:NonceSize]); err != nil {
+		return nil, fmt.Errorf("aead: nonce generation: %w", err)
+	}
+	out := c.Seal(dst, dst[:NonceSize], plaintext)
+	return out, nil
+}
+
+// DecryptMessage parses and decrypts a wire-format message produced by
+// EncryptMessage. dst is reused if it has sufficient capacity.
+func DecryptMessage(c Codec, dst, wire []byte) ([]byte, error) {
+	if len(wire) < Overhead {
+		return nil, fmt.Errorf("aead: wire message too short (%d bytes)", len(wire))
+	}
+	nonce, ct := wire[:NonceSize], wire[NonceSize:]
+	return c.Open(dst[:0], nonce, ct)
+}

@@ -1,0 +1,239 @@
+// Package aesref is a from-scratch, deliberately straightforward FIPS-197
+// implementation of the AES block cipher, together with a bit-by-bit GHASH.
+// It is the "unoptimized build" performance tier of this study: byte-oriented
+// state manipulation, no lookup-table batching, no hardware acceleration.
+// Its role mirrors CryptoPP compiled with the old gcc 4.8.5 toolchain in the
+// paper (Fig. 2): a correct library whose throughput is far below the network.
+//
+// Do not use this package where side-channel resistance matters; like all
+// table- and branch-based AES code it is not constant time. It exists to make
+// the performance comparison in this study real rather than mocked.
+package aesref
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+
+	"encmpi/internal/aead"
+)
+
+// SBox is the AES S-box (FIPS-197 Fig. 7). It is exported for reuse by the
+// table-generating sibling implementation in package aessoft.
+var SBox = [256]byte{
+	0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+	0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+	0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+	0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+	0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+	0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+	0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+	0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+	0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+	0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+	0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+	0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+	0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+	0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+	0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+}
+
+// invSbox is the inverse S-box, derived from sbox at init time.
+var invSbox [256]byte
+
+func init() {
+	for i, v := range SBox {
+		invSbox[v] = byte(i)
+	}
+}
+
+// xtime multiplies by x in GF(2^8) modulo x^8+x^4+x^3+x+1 (FIPS-197 §4.2.1).
+func xtime(b byte) byte {
+	v := b << 1
+	if b&0x80 != 0 {
+		v ^= 0x1b
+	}
+	return v
+}
+
+// gmul multiplies two elements of GF(2^8), bit by bit.
+func gmul(a, b byte) byte {
+	var p byte
+	for i := 0; i < 8; i++ {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+// Cipher is a FIPS-197 AES block cipher. It implements crypto/cipher.Block.
+type Cipher struct {
+	nr int // number of rounds: 10, 12, or 14
+	// rk holds the expanded key schedule as 4-byte words, one round key per
+	// 4 words, laid out exactly as produced by KeyExpansion.
+	rk []uint32
+}
+
+// New creates an AES cipher for a 16-, 24-, or 32-byte key.
+func New(key []byte) (*Cipher, error) {
+	if !aead.ValidKeyLen(len(key)) {
+		return nil, aead.KeySizeError(len(key))
+	}
+	nk := len(key) / 4
+	nr := nk + 6
+	c := &Cipher{nr: nr, rk: make([]uint32, 4*(nr+1))}
+	c.expandKey(key, nk)
+	return c, nil
+}
+
+// subWord applies the S-box to each byte of a word (FIPS-197 §5.2).
+func subWord(w uint32) uint32 {
+	return uint32(SBox[w>>24])<<24 | uint32(SBox[w>>16&0xff])<<16 |
+		uint32(SBox[w>>8&0xff])<<8 | uint32(SBox[w&0xff])
+}
+
+// rotWord rotates a word left by one byte.
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+// rcon holds the round constants Rcon[i] = x^(i-1) in GF(2^8), in the high
+// byte of the word.
+var rcon = [11]uint32{
+	0, 0x01000000, 0x02000000, 0x04000000, 0x08000000, 0x10000000,
+	0x20000000, 0x40000000, 0x80000000, 0x1b000000, 0x36000000,
+}
+
+// expandKey implements FIPS-197 §5.2 KeyExpansion.
+func (c *Cipher) expandKey(key []byte, nk int) {
+	for i := 0; i < nk; i++ {
+		c.rk[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	for i := nk; i < len(c.rk); i++ {
+		t := c.rk[i-1]
+		switch {
+		case i%nk == 0:
+			t = subWord(rotWord(t)) ^ rcon[i/nk]
+		case nk > 6 && i%nk == 4:
+			t = subWord(t)
+		}
+		c.rk[i] = c.rk[i-nk] ^ t
+	}
+}
+
+// BlockSize implements cipher.Block.
+func (c *Cipher) BlockSize() int { return 16 }
+
+// addRoundKey xors round key r into the state.
+func (c *Cipher) addRoundKey(state *[16]byte, r int) {
+	for col := 0; col < 4; col++ {
+		w := c.rk[4*r+col]
+		state[4*col+0] ^= byte(w >> 24)
+		state[4*col+1] ^= byte(w >> 16)
+		state[4*col+2] ^= byte(w >> 8)
+		state[4*col+3] ^= byte(w)
+	}
+}
+
+// subBytes applies the S-box to every state byte (FIPS-197 §5.1.1).
+func subBytes(state *[16]byte) {
+	for i, b := range state {
+		state[i] = SBox[b]
+	}
+}
+
+// invSubBytes applies the inverse S-box.
+func invSubBytes(state *[16]byte) {
+	for i, b := range state {
+		state[i] = invSbox[b]
+	}
+}
+
+// The state is stored column-major: state[4*c+r] is row r, column c, matching
+// the byte order of the input block. shiftRows therefore cyclically rotates
+// the bytes with index ≡ r (mod 4).
+func shiftRows(state *[16]byte) {
+	var t [16]byte
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			t[4*col+row] = state[4*((col+row)%4)+row]
+		}
+	}
+	*state = t
+}
+
+func invShiftRows(state *[16]byte) {
+	var t [16]byte
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			t[4*((col+row)%4)+row] = state[4*col+row]
+		}
+	}
+	*state = t
+}
+
+// mixColumns multiplies each state column by the fixed polynomial
+// {03}x^3+{01}x^2+{01}x+{02} (FIPS-197 §5.1.3).
+func mixColumns(state *[16]byte) {
+	for col := 0; col < 4; col++ {
+		a0, a1, a2, a3 := state[4*col], state[4*col+1], state[4*col+2], state[4*col+3]
+		state[4*col+0] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3
+		state[4*col+1] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3
+		state[4*col+2] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3)
+		state[4*col+3] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3)
+	}
+}
+
+// invMixColumns multiplies each column by {0b}x^3+{0d}x^2+{09}x+{0e}.
+func invMixColumns(state *[16]byte) {
+	for col := 0; col < 4; col++ {
+		a0, a1, a2, a3 := state[4*col], state[4*col+1], state[4*col+2], state[4*col+3]
+		state[4*col+0] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09)
+		state[4*col+1] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d)
+		state[4*col+2] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b)
+		state[4*col+3] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e)
+	}
+}
+
+// Encrypt implements cipher.Block: the FIPS-197 §5.1 Cipher routine.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < 16 || len(dst) < 16 {
+		panic("aesref: input not full block")
+	}
+	var state [16]byte
+	copy(state[:], src[:16])
+	c.addRoundKey(&state, 0)
+	for r := 1; r < c.nr; r++ {
+		subBytes(&state)
+		shiftRows(&state)
+		mixColumns(&state)
+		c.addRoundKey(&state, r)
+	}
+	subBytes(&state)
+	shiftRows(&state)
+	c.addRoundKey(&state, c.nr)
+	copy(dst[:16], state[:])
+}
+
+// Decrypt implements cipher.Block: the FIPS-197 §5.3 InvCipher routine.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < 16 || len(dst) < 16 {
+		panic("aesref: input not full block")
+	}
+	var state [16]byte
+	copy(state[:], src[:16])
+	c.addRoundKey(&state, c.nr)
+	for r := c.nr - 1; r > 0; r-- {
+		invShiftRows(&state)
+		invSubBytes(&state)
+		c.addRoundKey(&state, r)
+		invMixColumns(&state)
+	}
+	invShiftRows(&state)
+	invSubBytes(&state)
+	c.addRoundKey(&state, 0)
+	copy(dst[:16], state[:])
+}
+
+var _ cipher.Block = (*Cipher)(nil)

@@ -1,0 +1,193 @@
+package aesref
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/rand"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// mustHex decodes a hex string or fails the test.
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// TestFIPS197KnownAnswers checks the single-block examples from FIPS-197
+// Appendix C for all three key sizes.
+func TestFIPS197KnownAnswers(t *testing.T) {
+	pt := "00112233445566778899aabbccddeeff"
+	cases := []struct{ name, key, ct string }{
+		{"AES-128", "000102030405060708090a0b0c0d0e0f",
+			"69c4e0d86a7b0430d8cdb78070b4c55a"},
+		{"AES-192", "000102030405060708090a0b0c0d0e0f1011121314151617",
+			"dda97ca4864cdfe06eaf70a0ec0d7191"},
+		{"AES-256", "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+			"8ea2b7ca516745bfeafc49904b496089"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := New(mustHex(t, tc.key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 16)
+			c.Encrypt(got, mustHex(t, pt))
+			if want := mustHex(t, tc.ct); !bytes.Equal(got, want) {
+				t.Errorf("Encrypt = %x, want %x", got, want)
+			}
+			back := make([]byte, 16)
+			c.Decrypt(back, got)
+			if want := mustHex(t, pt); !bytes.Equal(back, want) {
+				t.Errorf("Decrypt = %x, want %x", back, want)
+			}
+		})
+	}
+}
+
+// TestAgainstStdlib cross-checks block encryption against crypto/aes on
+// random keys and blocks for every key size.
+func TestAgainstStdlib(t *testing.T) {
+	for _, keyLen := range []int{16, 24, 32} {
+		key := make([]byte, keyLen)
+		for trial := 0; trial < 50; trial++ {
+			if _, err := rand.Read(key); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := New(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			std, err := aes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var block, got, want [16]byte
+			if _, err := rand.Read(block[:]); err != nil {
+				t.Fatal(err)
+			}
+			ref.Encrypt(got[:], block[:])
+			std.Encrypt(want[:], block[:])
+			if got != want {
+				t.Fatalf("keyLen %d: ref %x != stdlib %x", keyLen, got, want)
+			}
+			// And the inverse cipher.
+			var back [16]byte
+			ref.Decrypt(back[:], got[:])
+			if back != block {
+				t.Fatalf("keyLen %d: Decrypt(Encrypt(x)) != x", keyLen)
+			}
+		}
+	}
+}
+
+// TestEncryptDecryptRoundTrip is a property test: decryption inverts
+// encryption for arbitrary keys and blocks.
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(key [32]byte, block [16]byte) bool {
+		c, err := New(key[:])
+		if err != nil {
+			return false
+		}
+		var ct, back [16]byte
+		c.Encrypt(ct[:], block[:])
+		c.Decrypt(back[:], ct[:])
+		return back == block
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInvalidKeySizes verifies rejection of illegal key lengths.
+func TestInvalidKeySizes(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 23, 31, 33, 64} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("New accepted %d-byte key", n)
+		}
+	}
+}
+
+// TestShiftRowsInverse checks that invShiftRows undoes shiftRows.
+func TestShiftRowsInverse(t *testing.T) {
+	var s [16]byte
+	for i := range s {
+		s[i] = byte(i)
+	}
+	orig := s
+	shiftRows(&s)
+	if s == orig {
+		t.Fatal("shiftRows was a no-op")
+	}
+	invShiftRows(&s)
+	if s != orig {
+		t.Errorf("invShiftRows(shiftRows(x)) = %v, want %v", s, orig)
+	}
+}
+
+// TestMixColumnsInverse checks that invMixColumns undoes mixColumns.
+func TestMixColumnsInverse(t *testing.T) {
+	f := func(s [16]byte) bool {
+		orig := s
+		mixColumns(&s)
+		invMixColumns(&s)
+		return s == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSBoxInverse checks the derived inverse S-box is a true inverse.
+func TestSBoxInverse(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if invSbox[SBox[i]] != byte(i) {
+			t.Fatalf("invSbox[SBox[%#x]] = %#x", i, invSbox[SBox[i]])
+		}
+	}
+}
+
+// TestGmulProperties sanity-checks the GF(2^8) helper against known algebra.
+func TestGmulProperties(t *testing.T) {
+	if got := gmul(0x57, 0x83); got != 0xc1 {
+		t.Errorf("gmul(0x57,0x83) = %#x, want 0xc1 (FIPS-197 §4.2 example)", got)
+	}
+	if got := gmul(0x57, 0x13); got != 0xfe {
+		t.Errorf("gmul(0x57,0x13) = %#x, want 0xfe (FIPS-197 §4.2.1 example)", got)
+	}
+	f := func(a, b byte) bool { return gmul(a, b) == gmul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error("gmul not commutative:", err)
+	}
+	for i := 0; i < 256; i++ {
+		if gmul(byte(i), 1) != byte(i) {
+			t.Fatalf("gmul(%#x, 1) != %#x", i, i)
+		}
+	}
+}
+
+// TestExpandKeyVector spot-checks KeyExpansion against the FIPS-197 §A.1
+// walk-through for the 128-bit key.
+func TestExpandKeyVector(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	rk, rounds, err := ExpandKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 10 {
+		t.Fatalf("rounds = %d, want 10", rounds)
+	}
+	// w[4] and w[43] from the FIPS-197 Appendix A.1 expansion table.
+	if rk[4] != 0xa0fafe17 {
+		t.Errorf("w[4] = %#x, want 0xa0fafe17", rk[4])
+	}
+	if rk[43] != 0xb6630ca6 {
+		t.Errorf("w[43] = %#x, want 0xb6630ca6", rk[43])
+	}
+}

@@ -1,0 +1,22 @@
+package aesref
+
+import (
+	"fmt"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/gcm"
+)
+
+// NewCodec builds the reference-tier AES-GCM codec: spec-literal AES blocks
+// and bit-by-bit GHASH.
+func NewCodec(key []byte) (aead.Codec, error) {
+	block, err := New(key)
+	if err != nil {
+		return nil, err
+	}
+	g, err := gcm.New(block, gcm.NewNaiveGhash)
+	if err != nil {
+		return nil, err
+	}
+	return gcm.NewCodec(g, len(key)*8, fmt.Sprintf("aesref-%d", len(key)*8)), nil
+}

@@ -1,0 +1,17 @@
+package aesref
+
+import "encmpi/internal/aead"
+
+// ExpandKey runs FIPS-197 KeyExpansion and returns the round-key words and
+// round count. It is shared with package aessoft, whose T-table cipher uses
+// the identical schedule.
+func ExpandKey(key []byte) (rk []uint32, rounds int, err error) {
+	c, err := New(key)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.rk, c.nr, nil
+}
+
+// sanity check that the aead key rule matches what New enforces.
+var _ = aead.ValidKeyLen

@@ -1,0 +1,108 @@
+// Package aessoft is a from-scratch software-optimized AES-GCM: the block
+// cipher uses the classic four 1 KB T-tables that fold SubBytes, ShiftRows,
+// and MixColumns into table lookups, and GHASH uses Shoup's 4-bit table
+// method. This is the "well-optimized portable C" performance tier of the
+// study — the analogue of Libsodium's portable code path in the paper:
+// considerably faster than the byte-oriented reference implementation, but
+// well below hardware-accelerated AES-NI + CLMUL implementations.
+//
+// Like every table-based AES, this code is not constant time; it exists for
+// the performance study, not for production use on shared hardware.
+package aessoft
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+
+	"encmpi/internal/aead/aesref"
+)
+
+// The four encryption T-tables. te0[x] holds the MixColumns column
+// (2·S(x), S(x), S(x), 3·S(x)); te1..te3 are byte rotations of te0 so each
+// state row indexes its own table.
+var te0, te1, te2, te3 [256]uint32
+
+func init() {
+	for i := 0; i < 256; i++ {
+		s := uint32(aesref.SBox[i])
+		s2 := mul2(byte(s))
+		s3 := s2 ^ byte(s)
+		w := uint32(s2)<<24 | s<<16 | s<<8 | uint32(s3)
+		te0[i] = w
+		te1[i] = w>>8 | w<<24
+		te2[i] = w>>16 | w<<16
+		te3[i] = w>>24 | w<<8
+	}
+}
+
+// mul2 doubles in GF(2^8) modulo the AES polynomial.
+func mul2(b byte) byte {
+	v := b << 1
+	if b&0x80 != 0 {
+		v ^= 0x1b
+	}
+	return v
+}
+
+// Cipher is a T-table AES block cipher implementing crypto/cipher.Block
+// (encryption direction only — GCM and CCM never decrypt blocks).
+type Cipher struct {
+	nr int
+	rk []uint32
+}
+
+// New creates the cipher for a 16-, 24-, or 32-byte key.
+func New(key []byte) (*Cipher, error) {
+	rk, nr, err := aesref.ExpandKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Cipher{nr: nr, rk: rk}, nil
+}
+
+// BlockSize implements cipher.Block.
+func (c *Cipher) BlockSize() int { return 16 }
+
+// Encrypt implements cipher.Block via table lookups: each round computes the
+// four output columns from one lookup per state byte.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < 16 || len(dst) < 16 {
+		panic("aessoft: input not full block")
+	}
+	rk := c.rk
+	s0 := binary.BigEndian.Uint32(src[0:4]) ^ rk[0]
+	s1 := binary.BigEndian.Uint32(src[4:8]) ^ rk[1]
+	s2 := binary.BigEndian.Uint32(src[8:12]) ^ rk[2]
+	s3 := binary.BigEndian.Uint32(src[12:16]) ^ rk[3]
+
+	k := 4
+	var t0, t1, t2, t3 uint32
+	for r := 1; r < c.nr; r++ {
+		t0 = te0[s0>>24] ^ te1[s1>>16&0xff] ^ te2[s2>>8&0xff] ^ te3[s3&0xff] ^ rk[k]
+		t1 = te0[s1>>24] ^ te1[s2>>16&0xff] ^ te2[s3>>8&0xff] ^ te3[s0&0xff] ^ rk[k+1]
+		t2 = te0[s2>>24] ^ te1[s3>>16&0xff] ^ te2[s0>>8&0xff] ^ te3[s1&0xff] ^ rk[k+2]
+		t3 = te0[s3>>24] ^ te1[s0>>16&0xff] ^ te2[s1>>8&0xff] ^ te3[s2&0xff] ^ rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+
+	// Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+	sb := &aesref.SBox
+	t0 = uint32(sb[s0>>24])<<24 | uint32(sb[s1>>16&0xff])<<16 | uint32(sb[s2>>8&0xff])<<8 | uint32(sb[s3&0xff])
+	t1 = uint32(sb[s1>>24])<<24 | uint32(sb[s2>>16&0xff])<<16 | uint32(sb[s3>>8&0xff])<<8 | uint32(sb[s0&0xff])
+	t2 = uint32(sb[s2>>24])<<24 | uint32(sb[s3>>16&0xff])<<16 | uint32(sb[s0>>8&0xff])<<8 | uint32(sb[s1&0xff])
+	t3 = uint32(sb[s3>>24])<<24 | uint32(sb[s0>>16&0xff])<<16 | uint32(sb[s1>>8&0xff])<<8 | uint32(sb[s2&0xff])
+
+	binary.BigEndian.PutUint32(dst[0:4], t0^rk[k])
+	binary.BigEndian.PutUint32(dst[4:8], t1^rk[k+1])
+	binary.BigEndian.PutUint32(dst[8:12], t2^rk[k+2])
+	binary.BigEndian.PutUint32(dst[12:16], t3^rk[k+3])
+}
+
+// Decrypt is not implemented: AES-GCM and AES-CCM only ever run the forward
+// cipher (CTR keystream + GHASH/CBC-MAC). It panics if called.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	panic("aessoft: block decryption not implemented (not needed for CTR-based modes)")
+}
+
+var _ cipher.Block = (*Cipher)(nil)

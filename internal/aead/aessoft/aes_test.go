@@ -1,0 +1,171 @@
+package aessoft
+
+import (
+	"crypto/aes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+
+	"encmpi/internal/aead/gcm"
+)
+
+// TestBlockAgainstStdlib cross-checks the T-table cipher against crypto/aes
+// for all key sizes on random blocks.
+func TestBlockAgainstStdlib(t *testing.T) {
+	for _, keyLen := range []int{16, 24, 32} {
+		key := make([]byte, keyLen)
+		for trial := 0; trial < 100; trial++ {
+			if _, err := rand.Read(key); err != nil {
+				t.Fatal(err)
+			}
+			soft, err := New(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			std, err := aes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var block, got, want [16]byte
+			if _, err := rand.Read(block[:]); err != nil {
+				t.Fatal(err)
+			}
+			soft.Encrypt(got[:], block[:])
+			std.Encrypt(want[:], block[:])
+			if got != want {
+				t.Fatalf("keyLen %d: soft %x != stdlib %x", keyLen, got, want)
+			}
+		}
+	}
+}
+
+// TestDecryptPanics documents that the forward-only cipher rejects Decrypt.
+func TestDecryptPanics(t *testing.T) {
+	c, err := New(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Decrypt did not panic")
+		}
+	}()
+	var b [16]byte
+	c.Decrypt(b[:], b[:])
+}
+
+// TestTableGhashMatchesNaive is the key correctness property of the 4-bit
+// table GHASH: it must agree with the bit-by-bit reference on arbitrary
+// subkeys and inputs, including partial final blocks.
+func TestTableGhashMatchesNaive(t *testing.T) {
+	f := func(hBytes [16]byte, data []byte, aadLen uint16) bool {
+		h := gcm.ElementFromBytes(hBytes[:])
+		tab := NewTableGhash(h)
+		ref := gcm.NewNaiveGhash(h)
+		for _, g := range []gcm.Ghasher{tab, ref} {
+			g.Reset()
+			g.Update(data)
+			g.Lengths(uint64(aadLen), uint64(len(data)))
+		}
+		return tab.Sum() == ref.Sum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTableGhashMultiUpdate verifies that block-aligned incremental updates
+// match a single update, which the GCM layer relies on when absorbing AAD
+// and ciphertext separately.
+func TestTableGhashMultiUpdate(t *testing.T) {
+	h := gcm.ElementFromBytes([]byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	data := make([]byte, 96)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+
+	one := NewTableGhash(h)
+	one.Update(data)
+	one.Lengths(0, uint64(len(data)))
+
+	many := NewTableGhash(h)
+	many.Update(data[:32])
+	many.Update(data[32:64])
+	many.Update(data[64:])
+	many.Lengths(0, uint64(len(data)))
+
+	if one.Sum() != many.Sum() {
+		t.Errorf("chunked Update diverged: %+v vs %+v", one.Sum(), many.Sum())
+	}
+}
+
+// TestGhashZeroKey checks the degenerate subkey H=0 (everything hashes to 0).
+func TestGhashZeroKey(t *testing.T) {
+	g := NewTableGhash(gcm.Element{})
+	g.Update([]byte("arbitrary data of any length....."))
+	g.Lengths(0, 33)
+	if g.Sum() != (gcm.Element{}) {
+		t.Errorf("GHASH under H=0 = %+v, want 0", g.Sum())
+	}
+}
+
+// TestRemTablePinned pins the derived reduction table (validated end-to-end
+// by the NIST GCM vectors) so a regression in the init-time derivation is
+// caught explicitly. The table must also be linear in its index, which the
+// second loop checks.
+func TestRemTablePinned(t *testing.T) {
+	want := [16]uint64{
+		0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
+		0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0,
+	}
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if (i|j) < 16 && i&j == 0 && remTable[i]^remTable[j] != remTable[i|j] {
+				t.Errorf("remTable not linear at %d,%d", i, j)
+			}
+		}
+	}
+	for i, w := range want {
+		if remTable[i] != w<<48 {
+			t.Errorf("remTable[%d] = %#x, want %#x", i, remTable[i], w<<48)
+		}
+	}
+}
+
+// TestTable8GhashMatchesNaive validates the 8-bit-table GHASH against the
+// bit-by-bit reference on arbitrary subkeys and inputs.
+func TestTable8GhashMatchesNaive(t *testing.T) {
+	f := func(hBytes [16]byte, data []byte, aadLen uint16) bool {
+		h := gcm.ElementFromBytes(hBytes[:])
+		tab := NewTable8Ghash(h)
+		ref := gcm.NewNaiveGhash(h)
+		for _, g := range []gcm.Ghasher{tab, ref} {
+			g.Reset()
+			g.Update(data)
+			g.Lengths(uint64(aadLen), uint64(len(data)))
+		}
+		return tab.Sum() == ref.Sum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGhashStrategiesAgree: all three GHASH strategies must be bit-equal.
+func TestGhashStrategiesAgree(t *testing.T) {
+	h := gcm.ElementFromBytes([]byte{0xca, 0xfe, 0xba, 0xbe, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	sums := make([]gcm.Element, 0, 3)
+	for _, mk := range []gcm.GhashFactory{gcm.NewNaiveGhash, NewTableGhash, NewTable8Ghash} {
+		g := mk(h)
+		g.Update(data)
+		g.Lengths(0, uint64(len(data)))
+		sums = append(sums, g.Sum())
+	}
+	if sums[0] != sums[1] || sums[1] != sums[2] {
+		t.Errorf("strategies disagree: %v", sums)
+	}
+}

@@ -1,0 +1,36 @@
+package aessoft
+
+import (
+	"fmt"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/gcm"
+)
+
+// NewCodec builds the software-optimized AES-GCM codec: T-table AES and
+// 4-bit-table GHASH.
+func NewCodec(key []byte) (aead.Codec, error) {
+	block, err := New(key)
+	if err != nil {
+		return nil, err
+	}
+	g, err := gcm.New(block, NewTableGhash)
+	if err != nil {
+		return nil, err
+	}
+	return gcm.NewCodec(g, len(key)*8, fmt.Sprintf("aessoft-%d", len(key)*8)), nil
+}
+
+// NewCodec8 builds the variant with the 8-bit-table GHASH (16× the per-key
+// table memory for roughly double the hashing speed).
+func NewCodec8(key []byte) (aead.Codec, error) {
+	block, err := New(key)
+	if err != nil {
+		return nil, err
+	}
+	g, err := gcm.New(block, NewTable8Ghash)
+	if err != nil {
+		return nil, err
+	}
+	return gcm.NewCodec(g, len(key)*8, fmt.Sprintf("aessoft8-%d", len(key)*8)), nil
+}

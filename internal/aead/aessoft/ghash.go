@@ -1,0 +1,125 @@
+package aessoft
+
+import (
+	"encmpi/internal/aead/gcm"
+)
+
+// remTable[r] is the GF(2^128) reduction contribution of shifting a field
+// element right by four bits when the four bits shifted out are r. It is
+// derived at init time from the one-bit reduction rule (xor 0xE1 ‖ 0^120)
+// so it is correct by construction; the values match OpenSSL's rem_4bit.
+var remTable [16]uint64
+
+func init() {
+	for r := 0; r < 16; r++ {
+		v := gcm.Element{Lo: uint64(r)}
+		for i := 0; i < 4; i++ {
+			carry := v.Lo & 1
+			v.Lo = v.Lo>>1 | v.Hi<<63
+			v.Hi >>= 1
+			if carry != 0 {
+				v.Hi ^= 0xe100000000000000
+			}
+		}
+		remTable[r] = v.Hi
+	}
+}
+
+// TableGhash implements GHASH with Shoup's 4-bit table method: a 16-entry
+// per-key table of nibble·H products, processing two table lookups and two
+// 4-bit shifts per input byte — roughly 16× fewer operations than the
+// bit-by-bit reference.
+type TableGhash struct {
+	htable [16]gcm.Element
+	y      gcm.Element
+}
+
+// NewTableGhash builds the per-key nibble table. It satisfies
+// gcm.GhashFactory.
+func NewTableGhash(h gcm.Element) gcm.Ghasher {
+	g := &TableGhash{}
+	// htable[1<<3] = H; each halving fills the next power-of-two slot, and
+	// XOR combinations fill the rest (multiplication is linear over GF(2)).
+	g.htable[8] = h
+	v := h
+	for i := 4; i > 0; i >>= 1 {
+		carry := v.Lo & 1
+		v.Lo = v.Lo>>1 | v.Hi<<63
+		v.Hi >>= 1
+		if carry != 0 {
+			v.Hi ^= 0xe100000000000000
+		}
+		g.htable[i] = v
+	}
+	for i := 2; i < 16; i <<= 1 {
+		for j := 1; j < i; j++ {
+			g.htable[i+j] = gcm.Element{
+				Hi: g.htable[i].Hi ^ g.htable[j].Hi,
+				Lo: g.htable[i].Lo ^ g.htable[j].Lo,
+			}
+		}
+	}
+	return g
+}
+
+// mulH multiplies y by the hash subkey using the nibble tables.
+func (g *TableGhash) mulH(y gcm.Element) gcm.Element {
+	var xi [16]byte
+	y.Bytes(xi[:])
+
+	nlo := xi[15] & 0x0f
+	nhi := xi[15] >> 4
+	z := g.htable[nlo]
+
+	cnt := 14
+	for {
+		rem := z.Lo & 0x0f
+		z.Lo = z.Lo>>4 | z.Hi<<60
+		z.Hi = z.Hi>>4 ^ remTable[rem]
+		z.Hi ^= g.htable[nhi].Hi
+		z.Lo ^= g.htable[nhi].Lo
+
+		if cnt < 0 {
+			break
+		}
+		nlo = xi[cnt] & 0x0f
+		nhi = xi[cnt] >> 4
+		cnt--
+
+		rem = z.Lo & 0x0f
+		z.Lo = z.Lo>>4 | z.Hi<<60
+		z.Hi = z.Hi>>4 ^ remTable[rem]
+		z.Hi ^= g.htable[nlo].Hi
+		z.Lo ^= g.htable[nlo].Lo
+	}
+	return z
+}
+
+// Reset implements gcm.Ghasher.
+func (g *TableGhash) Reset() { g.y = gcm.Element{} }
+
+// Update implements gcm.Ghasher.
+func (g *TableGhash) Update(data []byte) {
+	var block [16]byte
+	for len(data) > 0 {
+		n := copy(block[:], data)
+		for i := n; i < 16; i++ {
+			block[i] = 0
+		}
+		data = data[n:]
+		x := gcm.ElementFromBytes(block[:])
+		g.y.Hi ^= x.Hi
+		g.y.Lo ^= x.Lo
+		g.y = g.mulH(g.y)
+	}
+}
+
+// Lengths implements gcm.Ghasher.
+func (g *TableGhash) Lengths(aadBytes, ctBytes uint64) {
+	g.y.Hi ^= aadBytes * 8
+	g.y.Lo ^= ctBytes * 8
+	g.y = g.mulH(g.y)
+}
+
+// Sum implements gcm.Ghasher.
+func (g *TableGhash) Sum() gcm.Element { return g.y }

@@ -1,0 +1,106 @@
+package aessoft
+
+import (
+	"encmpi/internal/aead/gcm"
+)
+
+// rem8Table[r] is the reduction contribution of shifting a field element
+// right by eight bits when the byte shifted out is r, derived at init from
+// the one-bit rule like remTable.
+var rem8Table [256]uint64
+
+func init() {
+	for r := 0; r < 256; r++ {
+		v := gcm.Element{Lo: uint64(r)}
+		for i := 0; i < 8; i++ {
+			carry := v.Lo & 1
+			v.Lo = v.Lo>>1 | v.Hi<<63
+			v.Hi >>= 1
+			if carry != 0 {
+				v.Hi ^= 0xe100000000000000
+			}
+		}
+		rem8Table[r] = v.Hi
+	}
+}
+
+// Table8Ghash implements GHASH with Shoup's 8-bit table method: a 256-entry
+// per-key table (4 KB) and one lookup plus one shift per input byte — about
+// twice the speed of the 4-bit variant at 16× the per-key memory. This is
+// the classic space/time trade-off between the portable GHASH
+// implementations in real cryptographic libraries.
+type Table8Ghash struct {
+	htable [256]gcm.Element
+	y      gcm.Element
+}
+
+// NewTable8Ghash builds the per-key byte table. It satisfies
+// gcm.GhashFactory.
+func NewTable8Ghash(h gcm.Element) gcm.Ghasher {
+	g := &Table8Ghash{}
+	g.htable[0x80] = h
+	v := h
+	for i := 0x40; i > 0; i >>= 1 {
+		carry := v.Lo & 1
+		v.Lo = v.Lo>>1 | v.Hi<<63
+		v.Hi >>= 1
+		if carry != 0 {
+			v.Hi ^= 0xe100000000000000
+		}
+		g.htable[i] = v
+	}
+	for i := 2; i < 256; i <<= 1 {
+		for j := 1; j < i; j++ {
+			g.htable[i+j] = gcm.Element{
+				Hi: g.htable[i].Hi ^ g.htable[j].Hi,
+				Lo: g.htable[i].Lo ^ g.htable[j].Lo,
+			}
+		}
+	}
+	return g
+}
+
+// mulH multiplies y by the hash subkey using the byte table.
+func (g *Table8Ghash) mulH(y gcm.Element) gcm.Element {
+	var xi [16]byte
+	y.Bytes(xi[:])
+
+	z := g.htable[xi[15]]
+	for cnt := 14; cnt >= 0; cnt-- {
+		rem := z.Lo & 0xff
+		z.Lo = z.Lo>>8 | z.Hi<<56
+		z.Hi = z.Hi>>8 ^ rem8Table[rem]
+		z.Hi ^= g.htable[xi[cnt]].Hi
+		z.Lo ^= g.htable[xi[cnt]].Lo
+	}
+	return z
+}
+
+// Reset implements gcm.Ghasher.
+func (g *Table8Ghash) Reset() { g.y = gcm.Element{} }
+
+// Update implements gcm.Ghasher.
+func (g *Table8Ghash) Update(data []byte) {
+	var block [16]byte
+	for len(data) > 0 {
+		n := copy(block[:], data)
+		for i := n; i < 16; i++ {
+			block[i] = 0
+		}
+		data = data[n:]
+		x := gcm.ElementFromBytes(block[:])
+		g.y.Hi ^= x.Hi
+		g.y.Lo ^= x.Lo
+		g.y = g.mulH(g.y)
+	}
+}
+
+// Lengths implements gcm.Ghasher.
+func (g *Table8Ghash) Lengths(aadBytes, ctBytes uint64) {
+	g.y.Hi ^= aadBytes * 8
+	g.y.Lo ^= ctBytes * 8
+	g.y = g.mulH(g.y)
+}
+
+// Sum implements gcm.Ghasher.
+func (g *Table8Ghash) Sum() gcm.Element { return g.y }

@@ -1,0 +1,205 @@
+// Package ccm implements the Counter with CBC-MAC mode (NIST SP 800-38C)
+// generically over any 128-bit block cipher. The paper (§III-A) notes that
+// among the standardized authenticated encryption modes only GCM and CCM
+// provide both privacy and integrity, and that GCM is the faster of the two,
+// citing Krovetz–Rogaway. This package exists to verify that claim in the
+// ablation benchmark (DESIGN.md X2): CCM makes two block-cipher passes over
+// the data (CBC-MAC + CTR) where GCM makes one plus a GHASH.
+package ccm
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"encmpi/internal/aead"
+)
+
+const blockSize = 16
+
+// Codec is an AES-CCM aead.Codec with 12-byte nonces and 16-byte tags,
+// matching the wire budget of the AES-GCM configuration in the paper.
+type Codec struct {
+	block cipher.Block
+	bits  int
+	name  string
+}
+
+// New wraps block (which must have 128-bit blocks) in CCM.
+func New(block cipher.Block, keyBits int, name string) (*Codec, error) {
+	if block.BlockSize() != blockSize {
+		return nil, errors.New("ccm: block cipher must have a 128-bit block")
+	}
+	return &Codec{block: block, bits: keyBits, name: name}, nil
+}
+
+// q is the byte width of the payload length field. With 12-byte nonces,
+// q = 15 - 12 = 3, allowing payloads up to 2^24-1 bytes (16 MB), which
+// covers every message size in the study.
+const q = 15 - aead.NonceSize
+
+// maxPayload is the largest payload CCM can frame with this nonce size.
+const maxPayload = 1<<(8*q) - 1
+
+// cbcMAC computes the CCM tag: CBC-MAC over B0 ‖ encoded-AAD ‖ payload.
+func (c *Codec) cbcMAC(nonce, plaintext, aad []byte) [blockSize]byte {
+	var y [blockSize]byte
+
+	// B0: flags ‖ nonce ‖ [len(P)]_q  (SP 800-38C A.2.1).
+	var b0 [blockSize]byte
+	flags := byte((aead.TagSize - 2) / 2 << 3) // (t-2)/2 in bits 3-5
+	if len(aad) > 0 {
+		flags |= 1 << 6
+	}
+	flags |= q - 1
+	b0[0] = flags
+	copy(b0[1:1+aead.NonceSize], nonce)
+	b0[13] = byte(len(plaintext) >> 16)
+	b0[14] = byte(len(plaintext) >> 8)
+	b0[15] = byte(len(plaintext))
+
+	xorBlock := func(b []byte) {
+		for i := range y {
+			y[i] ^= b[i]
+		}
+		c.block.Encrypt(y[:], y[:])
+	}
+	xorBlock(b0[:])
+
+	// AAD with its 2-byte length prefix (supported range: < 2^16-2^8).
+	if len(aad) > 0 {
+		var hdr [blockSize]byte
+		binary.BigEndian.PutUint16(hdr[:2], uint16(len(aad)))
+		n := copy(hdr[2:], aad)
+		xorBlock(hdr[:])
+		rest := aad[n:]
+		var blk [blockSize]byte
+		for len(rest) > 0 {
+			blk = [blockSize]byte{}
+			m := copy(blk[:], rest)
+			rest = rest[m:]
+			xorBlock(blk[:])
+		}
+	}
+
+	var blk [blockSize]byte
+	for off := 0; off < len(plaintext); off += blockSize {
+		blk = [blockSize]byte{}
+		copy(blk[:], plaintext[off:])
+		xorBlock(blk[:])
+	}
+	return y
+}
+
+// ctrBlock builds the counter block A_i.
+func ctrBlock(nonce []byte, i uint32) [blockSize]byte {
+	var a [blockSize]byte
+	a[0] = q - 1
+	copy(a[1:1+aead.NonceSize], nonce)
+	a[13] = byte(i >> 16)
+	a[14] = byte(i >> 8)
+	a[15] = byte(i)
+	return a
+}
+
+// ctrCrypt applies the CTR keystream starting at counter 1.
+func (c *Codec) ctrCrypt(dst, src, nonce []byte) {
+	var ks [blockSize]byte
+	ctr := uint32(1)
+	for off := 0; off < len(src); off += blockSize {
+		a := ctrBlock(nonce, ctr)
+		ctr++
+		c.block.Encrypt(ks[:], a[:])
+		end := off + blockSize
+		if end > len(src) {
+			end = len(src)
+		}
+		for i := off; i < end; i++ {
+			dst[i] = src[i] ^ ks[i-off]
+		}
+	}
+}
+
+// SealAAD encrypts with additional authenticated data.
+func (c *Codec) SealAAD(dst, nonce, plaintext, aad []byte) ([]byte, error) {
+	if len(nonce) != aead.NonceSize {
+		return nil, aead.ErrNonceSize
+	}
+	if len(plaintext) > maxPayload {
+		return nil, fmt.Errorf("ccm: payload of %d bytes exceeds %d-byte limit", len(plaintext), maxPayload)
+	}
+	tag := c.cbcMAC(nonce, plaintext, aad)
+	// Encrypt the tag with counter block 0.
+	a0 := ctrBlock(nonce, 0)
+	var ks [blockSize]byte
+	c.block.Encrypt(ks[:], a0[:])
+	for i := range tag {
+		tag[i] ^= ks[i]
+	}
+
+	total := len(plaintext) + aead.TagSize
+	ret, out := sliceForAppend(dst, total)
+	c.ctrCrypt(out[:len(plaintext)], plaintext, nonce)
+	copy(out[len(plaintext):], tag[:])
+	return ret, nil
+}
+
+// Seal implements aead.Codec.
+func (c *Codec) Seal(dst, nonce, plaintext []byte) []byte {
+	out, err := c.SealAAD(dst, nonce, plaintext, nil)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Open implements aead.Codec.
+func (c *Codec) Open(dst, nonce, ciphertext []byte) ([]byte, error) {
+	if len(nonce) != aead.NonceSize {
+		return nil, aead.ErrNonceSize
+	}
+	if len(ciphertext) < aead.TagSize {
+		return nil, aead.ErrAuth
+	}
+	ct, gotTag := ciphertext[:len(ciphertext)-aead.TagSize], ciphertext[len(ciphertext)-aead.TagSize:]
+
+	ret, out := sliceForAppend(dst, len(ct))
+	c.ctrCrypt(out, ct, nonce)
+
+	wantTag := c.cbcMAC(nonce, out, nil)
+	a0 := ctrBlock(nonce, 0)
+	var ks [blockSize]byte
+	c.block.Encrypt(ks[:], a0[:])
+	for i := range wantTag {
+		wantTag[i] ^= ks[i]
+	}
+	if !aead.ConstantTimeEqual(wantTag[:], gotTag) {
+		// Scrub the speculative plaintext before reporting failure.
+		for i := range out {
+			out[i] = 0
+		}
+		return nil, aead.ErrAuth
+	}
+	return ret, nil
+}
+
+// KeyBits implements aead.Codec.
+func (c *Codec) KeyBits() int { return c.bits }
+
+// Name implements aead.Codec.
+func (c *Codec) Name() string { return c.name }
+
+var _ aead.Codec = (*Codec)(nil)
+
+func sliceForAppend(in []byte, n int) (head, tail []byte) {
+	total := len(in) + n
+	if cap(in) >= total {
+		head = in[:total]
+	} else {
+		head = make([]byte, total)
+		copy(head, in)
+	}
+	tail = head[len(in):]
+	return
+}

@@ -1,0 +1,141 @@
+package ccm_test
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/aesref"
+	"encmpi/internal/aead/aessoft"
+	"encmpi/internal/aead/ccm"
+)
+
+func newPair(t *testing.T, key []byte) (soft, ref aead.Codec) {
+	t.Helper()
+	sb, err := aessoft.New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ccm.New(sb, len(key)*8, "ccmsoft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := aesref.New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ccm.New(rb, len(key)*8, "ccmref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+// TestRoundTrip checks seal/open across sizes spanning partial and full
+// blocks.
+func TestRoundTrip(t *testing.T) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		t.Fatal(err)
+	}
+	soft, _ := newPair(t, key)
+	nonce := make([]byte, aead.NonceSize)
+	for _, n := range []int{0, 1, 15, 16, 17, 255, 4096} {
+		pt := make([]byte, n)
+		if _, err := rand.Read(pt); err != nil {
+			t.Fatal(err)
+		}
+		sealed := soft.Seal(nil, nonce, pt)
+		if len(sealed) != n+aead.TagSize {
+			t.Fatalf("n=%d: sealed length %d", n, len(sealed))
+		}
+		back, err := soft.Open(nil, nonce, sealed)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("n=%d: roundtrip mismatch", n)
+		}
+	}
+}
+
+// TestSoftRefAgree cross-checks the two block-cipher backends produce
+// identical CCM output.
+func TestSoftRefAgree(t *testing.T) {
+	f := func(key [16]byte, nonce [12]byte, pt []byte) bool {
+		soft, ref := newPair(t, key[:])
+		a := soft.Seal(nil, nonce[:], pt)
+		b := ref.Seal(nil, nonce[:], pt)
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTamperDetection flips bytes and expects rejection.
+func TestTamperDetection(t *testing.T) {
+	key := make([]byte, 16)
+	soft, _ := newPair(t, key)
+	nonce := make([]byte, aead.NonceSize)
+	pt := []byte("ccm integrity check payload")
+	sealed := soft.Seal(nil, nonce, pt)
+	for i := range sealed {
+		bad := append([]byte(nil), sealed...)
+		bad[i] ^= 0x80
+		if _, err := soft.Open(nil, nonce, bad); err == nil {
+			t.Fatalf("accepted tamper at byte %d", i)
+		}
+	}
+}
+
+// TestGCMAndCCMDiffer documents that the two modes are distinct schemes:
+// same key, nonce, and plaintext must not produce the same wire bytes.
+func TestGCMAndCCMDiffer(t *testing.T) {
+	key := make([]byte, 16)
+	soft, _ := newPair(t, key)
+	gcmCodec, err := aessoft.NewCodec(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := make([]byte, aead.NonceSize)
+	pt := []byte("same inputs, different modes")
+	if bytes.Equal(soft.Seal(nil, nonce, pt), gcmCodec.Seal(nil, nonce, pt)) {
+		t.Error("CCM and GCM produced identical ciphertexts")
+	}
+}
+
+// TestOversizePayloadRejected checks the q=3 length-field limit.
+func TestOversizePayloadRejected(t *testing.T) {
+	key := make([]byte, 16)
+	sb, err := aessoft.New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ccm.New(sb, 128, "ccm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := make([]byte, aead.NonceSize)
+	if _, err := c.SealAAD(nil, nonce, make([]byte, 1<<24), nil); err == nil {
+		t.Error("SealAAD accepted a 16 MB payload beyond the CCM length field")
+	}
+}
+
+// TestAADAuthenticated checks that AAD participates in the tag.
+func TestAADAuthenticated(t *testing.T) {
+	key := make([]byte, 16)
+	sb, _ := aessoft.New(key)
+	c, _ := ccm.New(sb, 128, "ccm")
+	nonce := make([]byte, aead.NonceSize)
+	sealed, err := c.SealAAD(nil, nonce, []byte("payload"), []byte("header"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open (no AAD) must reject, since the tag covered "header".
+	if _, err := c.Open(nil, nonce, sealed); err == nil {
+		t.Error("Open without AAD accepted an AAD-sealed message")
+	}
+}

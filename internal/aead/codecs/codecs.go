@@ -1,0 +1,65 @@
+// Package codecs is the registry of concrete AEAD implementations, keyed by
+// the names used throughout the benchmarks and command-line tools.
+package codecs
+
+import (
+	"fmt"
+	"sort"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/aesref"
+	"encmpi/internal/aead/aessoft"
+	"encmpi/internal/aead/aesstd"
+	"encmpi/internal/aead/ccm"
+)
+
+// Builder constructs a codec for a raw AES key.
+type Builder func(key []byte) (aead.Codec, error)
+
+var builders = map[string]Builder{
+	// The AES-GCM performance tiers of this study (aessoft8 is the
+	// 8-bit-GHASH-table variant of the portable tier).
+	"aesstd":   func(key []byte) (aead.Codec, error) { return aesstd.New(key) },
+	"aessoft":  aessoft.NewCodec,
+	"aessoft8": aessoft.NewCodec8,
+	"aesref":   aesref.NewCodec,
+
+	// AES-CCM ablations over the same two from-scratch block ciphers.
+	"ccmsoft": func(key []byte) (aead.Codec, error) {
+		block, err := aessoft.New(key)
+		if err != nil {
+			return nil, err
+		}
+		return ccm.New(block, len(key)*8, fmt.Sprintf("ccmsoft-%d", len(key)*8))
+	},
+	"ccmref": func(key []byte) (aead.Codec, error) {
+		block, err := aesref.New(key)
+		if err != nil {
+			return nil, err
+		}
+		return ccm.New(block, len(key)*8, fmt.Sprintf("ccmref-%d", len(key)*8))
+	},
+}
+
+// New builds the named codec. Valid names are listed by Names.
+func New(name string, key []byte) (aead.Codec, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("codecs: unknown codec %q (have %v)", name, Names())
+	}
+	return b(key)
+}
+
+// Names returns the registered codec names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GCMNames returns only the AES-GCM tiers, fastest first — the set compared
+// in the headline study.
+func GCMNames() []string { return []string{"aesstd", "aessoft", "aesref"} }

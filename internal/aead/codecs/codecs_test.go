@@ -1,0 +1,80 @@
+package codecs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"encmpi/internal/aead/codecs"
+)
+
+func TestRegistryRoundTrips(t *testing.T) {
+	key := bytes.Repeat([]byte{0x5a}, 32)
+	nonce := make([]byte, 12)
+	pt := []byte("registry check")
+	for _, name := range codecs.Names() {
+		c, err := codecs.New(name, key)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.KeyBits() != 256 {
+			t.Errorf("%s: KeyBits = %d", name, c.KeyBits())
+		}
+		if c.Name() == "" {
+			t.Errorf("%s: empty Name", name)
+		}
+		ct := c.Seal(nil, nonce, pt)
+		back, err := c.Open(nil, nonce, ct)
+		if err != nil || !bytes.Equal(back, pt) {
+			t.Errorf("%s: roundtrip: %v %q", name, err, back)
+		}
+	}
+}
+
+func TestUnknownAndBadKeys(t *testing.T) {
+	if _, err := codecs.New("des", make([]byte, 32)); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	for _, name := range codecs.Names() {
+		if _, err := codecs.New(name, make([]byte, 5)); err == nil {
+			t.Errorf("%s accepted a 5-byte key", name)
+		}
+	}
+}
+
+func TestGCMNamesSubset(t *testing.T) {
+	all := map[string]bool{}
+	for _, n := range codecs.Names() {
+		all[n] = true
+	}
+	for _, n := range codecs.GCMNames() {
+		if !all[n] {
+			t.Errorf("GCM name %q not registered", n)
+		}
+	}
+}
+
+// TestGCMTierInterop: every GCM-family codec must decrypt every other's
+// output — they implement one scheme.
+func TestGCMTierInterop(t *testing.T) {
+	key := bytes.Repeat([]byte{2}, 16)
+	nonce := bytes.Repeat([]byte{4}, 12)
+	pt := []byte("interop across all four gcm tiers")
+	names := append(append([]string{}, codecs.GCMNames()...), "aessoft8")
+	for _, a := range names {
+		ca, err := codecs.New(a, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := ca.Seal(nil, nonce, pt)
+		for _, b := range names {
+			cb, err := codecs.New(b, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cb.Open(nil, nonce, ct)
+			if err != nil || !bytes.Equal(got, pt) {
+				t.Errorf("%s → %s: %v", a, b, err)
+			}
+		}
+	}
+}

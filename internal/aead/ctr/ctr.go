@@ -1,0 +1,85 @@
+// Package ctr implements bare Counter mode — privacy without integrity.
+// The paper's §III-A classifies CTR (and CBC) as providing "only privacy":
+// an adversary can flip any plaintext bit by flipping the corresponding
+// ciphertext bit, undetected. The tests make that malleability executable,
+// completing the triptych with package ecb (no privacy either) and GCM
+// (both guarantees). Like ecb, this codec exists for demonstration and
+// baseline benchmarking, not for use.
+package ctr
+
+import (
+	"crypto/cipher"
+	"errors"
+	"fmt"
+
+	"encmpi/internal/aead"
+)
+
+// Codec is a nonce-based CTR "codec" with no authentication tag: the wire
+// format is just the raw ciphertext (zero overhead — which is exactly what
+// it fails to pay for integrity).
+type Codec struct {
+	block cipher.Block
+	bits  int
+	name  string
+}
+
+// New wraps a 128-bit block cipher in CTR mode.
+func New(block cipher.Block, keyBits int) (*Codec, error) {
+	if block.BlockSize() != 16 {
+		return nil, errors.New("ctr: need a 128-bit block cipher")
+	}
+	return &Codec{block: block, bits: keyBits, name: fmt.Sprintf("ctr-%d-NO-INTEGRITY", keyBits)}, nil
+}
+
+// xorKeyStream applies the CTR keystream for a 12-byte nonce (counter in
+// the last 4 bytes, starting at 1 — the same layout GCM uses, so the
+// comparison is apples to apples).
+func (c *Codec) xorKeyStream(dst, src, nonce []byte) {
+	var ctr [16]byte
+	copy(ctr[:12], nonce)
+	ctr[15] = 1
+	var ks [16]byte
+	for off := 0; off < len(src); off += 16 {
+		c.block.Encrypt(ks[:], ctr[:])
+		// Increment the 32-bit big-endian counter.
+		for i := 15; i >= 12; i-- {
+			ctr[i]++
+			if ctr[i] != 0 {
+				break
+			}
+		}
+		end := off + 16
+		if end > len(src) {
+			end = len(src)
+		}
+		for i := off; i < end; i++ {
+			dst[i] = src[i] ^ ks[i-off]
+		}
+	}
+}
+
+// Seal implements aead.Codec (ciphertext only, no tag).
+func (c *Codec) Seal(dst, nonce, plaintext []byte) []byte {
+	out := make([]byte, len(dst)+len(plaintext))
+	copy(out, dst)
+	c.xorKeyStream(out[len(dst):], plaintext, nonce)
+	return out
+}
+
+// Open implements aead.Codec. Decryption always "succeeds" — there is
+// nothing to verify, which is the vulnerability.
+func (c *Codec) Open(dst, nonce, ciphertext []byte) ([]byte, error) {
+	out := make([]byte, len(dst)+len(ciphertext))
+	copy(out, dst)
+	c.xorKeyStream(out[len(dst):], ciphertext, nonce)
+	return out, nil
+}
+
+// KeyBits implements aead.Codec.
+func (c *Codec) KeyBits() int { return c.bits }
+
+// Name implements aead.Codec.
+func (c *Codec) Name() string { return c.name }
+
+var _ aead.Codec = (*Codec)(nil)

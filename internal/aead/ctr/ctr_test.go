@@ -1,0 +1,105 @@
+package ctr_test
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"testing"
+
+	"encmpi/internal/aead/aessoft"
+	"encmpi/internal/aead/ctr"
+)
+
+func newCTR(t *testing.T) *ctr.Codec {
+	t.Helper()
+	block, err := aessoft.New(bytes.Repeat([]byte{3}, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ctr.New(block, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := newCTR(t)
+	nonce := bytes.Repeat([]byte{7}, 12)
+	for _, n := range []int{0, 1, 15, 16, 17, 1000} {
+		pt := bytes.Repeat([]byte{0xAB}, n)
+		ct := c.Seal(nil, nonce, pt)
+		if len(ct) != n {
+			t.Fatalf("n=%d: CTR should add zero overhead, got %d", n, len(ct))
+		}
+		back, err := c.Open(nil, nonce, ct)
+		if err != nil || !bytes.Equal(back, pt) {
+			t.Fatalf("n=%d: roundtrip: %v", n, err)
+		}
+	}
+}
+
+// TestMatchesStdlibCTR cross-checks the keystream against crypto/cipher
+// with the same counter layout.
+func TestMatchesStdlibCTR(t *testing.T) {
+	key := bytes.Repeat([]byte{3}, 16)
+	nonce := bytes.Repeat([]byte{7}, 12)
+	pt := bytes.Repeat([]byte{0x31}, 100)
+
+	c := newCTR(t)
+	got := c.Seal(nil, nonce, pt)
+
+	block, _ := aes.NewCipher(key)
+	iv := make([]byte, 16)
+	copy(iv, nonce)
+	iv[15] = 1
+	want := make([]byte, len(pt))
+	cipher.NewCTR(block, iv).XORKeyStream(want, pt)
+
+	if !bytes.Equal(got, want) {
+		t.Error("CTR keystream diverges from stdlib")
+	}
+}
+
+// TestBitFlippingMalleability is §III-A's "only privacy" caveat as an
+// executable attack: an adversary who knows plaintext position k can set it
+// to any value by xoring the ciphertext, and decryption reports no error.
+func TestBitFlippingMalleability(t *testing.T) {
+	c := newCTR(t)
+	nonce := bytes.Repeat([]byte{9}, 12)
+	pt := []byte("PAY  100 TO ALICE")
+	ct := c.Seal(nil, nonce, pt)
+
+	// Attacker rewrites "ALICE" to "MARVIN"... same length: "EVE  ".
+	tampered := append([]byte(nil), ct...)
+	target := []byte("EVE  ")
+	for i, b := range target {
+		pos := 12 + i // offset of "ALICE"
+		tampered[pos] ^= pt[pos] ^ b
+	}
+	back, err := c.Open(nil, nonce, tampered)
+	if err != nil {
+		t.Fatalf("CTR 'detected' tampering (it cannot): %v", err)
+	}
+	if string(back) != "PAY  100 TO EVE  " {
+		t.Fatalf("attack failed: %q", back)
+	}
+	// The same attack against GCM is rejected by the tag — see
+	// TestTamperDetection in the gcm package.
+}
+
+// TestNonceReuseLeaksXOR: reusing a nonce under CTR leaks the XOR of the
+// two plaintexts (the VAN-MPICH2 one-time-pad overlap failure from §II).
+func TestNonceReuseLeaksXOR(t *testing.T) {
+	c := newCTR(t)
+	nonce := bytes.Repeat([]byte{1}, 12)
+	p1 := []byte("attack at dawn!!")
+	p2 := []byte("retreat at nine!")
+	c1 := c.Seal(nil, nonce, p1)
+	c2 := c.Seal(nil, nonce, p2)
+	for i := range c1 {
+		if c1[i]^c2[i] != p1[i]^p2[i] {
+			t.Fatal("expected ciphertext xor to equal plaintext xor under nonce reuse")
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package ecb implements the Electronic Codebook mode — NOT for use. The
+// paper's related-work section (§II) shows that prior encrypted MPI systems
+// such as ES-MPICH2 are broken because they rely on ECB, which leaks
+// plaintext structure (equal blocks encrypt to equal blocks) and provides no
+// integrity whatsoever. This package exists so those two failures are
+// demonstrated by executable tests (see ecb_test.go) instead of being cited
+// as folklore, and so the benchmark suite can show that the *secure* GCM
+// construction costs barely more than this insecure one.
+package ecb
+
+import (
+	"crypto/cipher"
+	"errors"
+	"fmt"
+
+	"encmpi/internal/aead"
+)
+
+// Codec is an ECB "codec". It deliberately implements aead.Codec so it can
+// be dropped into the encrypted MPI layer for the demonstration benches,
+// but it ignores nonces and appends no tag: exactly the (lack of)
+// guarantees the systems criticized in §II provide.
+type Codec struct {
+	block cipher.Block
+	bits  int
+	name  string
+}
+
+// New wraps a 128-bit block cipher in ECB.
+func New(block cipher.Block, keyBits int) (*Codec, error) {
+	if block.BlockSize() != 16 {
+		return nil, errors.New("ecb: need a 128-bit block cipher")
+	}
+	return &Codec{block: block, bits: keyBits, name: fmt.Sprintf("ecb-%d-INSECURE", keyBits)}, nil
+}
+
+// Seal implements aead.Codec. The plaintext is zero-padded to a whole number
+// of blocks with a one-byte length marker, mirroring how ECB-based systems
+// frame messages. The nonce is ignored — ECB has no place for one, which is
+// precisely its problem.
+func (c *Codec) Seal(dst, _, plaintext []byte) []byte {
+	pad := 16 - (len(plaintext)+1)%16
+	if pad == 16 {
+		pad = 0
+	}
+	framed := make([]byte, len(plaintext)+1+pad)
+	copy(framed, plaintext)
+	framed[len(plaintext)] = 0x80 // ISO padding marker
+
+	total := len(dst) + len(framed)
+	out := make([]byte, total)
+	copy(out, dst)
+	ct := out[len(dst):]
+	for off := 0; off < len(framed); off += 16 {
+		c.block.Encrypt(ct[off:off+16], framed[off:off+16])
+	}
+	return out
+}
+
+// Open implements aead.Codec. There is no tag to verify: any ciphertext of
+// the right shape "succeeds", including forged or tampered ones — the
+// integrity failure of §II.
+func (c *Codec) Open(dst, _, ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) == 0 || len(ciphertext)%16 != 0 {
+		return nil, errors.New("ecb: ciphertext not block aligned")
+	}
+	pt := make([]byte, len(ciphertext))
+	dec, ok := c.block.(interface{ Decrypt(dst, src []byte) })
+	if !ok {
+		return nil, errors.New("ecb: block cipher cannot decrypt")
+	}
+	for off := 0; off < len(ciphertext); off += 16 {
+		dec.Decrypt(pt[off:off+16], ciphertext[off:off+16])
+	}
+	// Strip the padding marker.
+	i := len(pt) - 1
+	for i >= 0 && pt[i] == 0 {
+		i--
+	}
+	if i < 0 || pt[i] != 0x80 {
+		return nil, errors.New("ecb: bad padding")
+	}
+	return append(dst, pt[:i]...), nil
+}
+
+// KeyBits implements aead.Codec.
+func (c *Codec) KeyBits() int { return c.bits }
+
+// Name implements aead.Codec; the suffix is a deliberate warning.
+func (c *Codec) Name() string { return c.name }
+
+var _ aead.Codec = (*Codec)(nil)

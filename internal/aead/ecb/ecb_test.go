@@ -1,0 +1,103 @@
+package ecb_test
+
+import (
+	"bytes"
+	"testing"
+
+	"encmpi/internal/aead/aesref"
+	"encmpi/internal/aead/aesstd"
+	"encmpi/internal/aead/ecb"
+)
+
+func newECB(t *testing.T) *ecb.Codec {
+	t.Helper()
+	block, err := aesref.New(bytes.Repeat([]byte{7}, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ecb.New(block, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRoundTrip: the mode is functional (that was never the problem).
+func TestRoundTrip(t *testing.T) {
+	c := newECB(t)
+	for _, n := range []int{0, 1, 15, 16, 17, 1000} {
+		pt := bytes.Repeat([]byte{0xAB}, n)
+		ct := c.Seal(nil, nil, pt)
+		back, err := c.Open(nil, nil, ct)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("n=%d: roundtrip mismatch", n)
+		}
+	}
+}
+
+// TestECBLeaksPlaintextStructure is the paper's §II privacy critique as an
+// executable fact: equal plaintext blocks produce equal ciphertext blocks,
+// so an eavesdropper reads message structure straight off the wire. GCM,
+// under the same key and even the same nonce, does not leak this (the
+// counter differs per block).
+func TestECBLeaksPlaintextStructure(t *testing.T) {
+	c := newECB(t)
+	// Two identical 16-byte records, as in any array-of-structs payload.
+	record := []byte("patient-0042-hiv")
+	pt := append(append([]byte{}, record...), record...)
+	ct := c.Seal(nil, nil, pt)
+	if !bytes.Equal(ct[0:16], ct[16:32]) {
+		t.Fatal("expected identical ciphertext blocks under ECB")
+	}
+
+	// Contrast: AES-GCM hides the repetition.
+	g, err := aesstd.New(bytes.Repeat([]byte{7}, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := make([]byte, 12)
+	gct := g.Seal(nil, nonce, pt)
+	if bytes.Equal(gct[0:16], gct[16:32]) {
+		t.Fatal("GCM leaked block structure?!")
+	}
+}
+
+// TestECBProvidesNoIntegrity is the §II integrity critique: swapping two
+// ciphertext blocks yields a different plaintext that decrypts without any
+// error — undetectable tampering. (GCM's tag check rejects the same attack;
+// see the tamper tests in the gcm package.)
+func TestECBProvidesNoIntegrity(t *testing.T) {
+	c := newECB(t)
+	pt := append(bytes.Repeat([]byte{1}, 16), bytes.Repeat([]byte{2}, 16)...)
+	ct := c.Seal(nil, nil, pt)
+
+	// Adversary swaps the first two blocks.
+	tampered := append([]byte{}, ct...)
+	copy(tampered[0:16], ct[16:32])
+	copy(tampered[16:32], ct[0:16])
+
+	back, err := c.Open(nil, nil, tampered)
+	if err != nil {
+		t.Fatalf("tampered ECB message was rejected (it should not be): %v", err)
+	}
+	if bytes.Equal(back, pt) {
+		t.Fatal("swap had no effect?")
+	}
+	if back[0] != 2 || back[16] != 1 {
+		t.Fatalf("unexpected tampered plaintext: % x", back[:32])
+	}
+}
+
+// TestBadCiphertextShapes exercises the error paths.
+func TestBadCiphertextShapes(t *testing.T) {
+	c := newECB(t)
+	if _, err := c.Open(nil, nil, make([]byte, 15)); err == nil {
+		t.Error("unaligned ciphertext accepted")
+	}
+	if _, err := c.Open(nil, nil, nil); err == nil {
+		t.Error("empty ciphertext accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package gcm
+
+import (
+	"encmpi/internal/aead"
+)
+
+// Codec adapts a *GCM (or any AEAD-shaped sealer) to the aead.Codec interface
+// used by the encrypted MPI layer. The paper's protocol carries no additional
+// authenticated data, so the AAD is always empty here.
+type Codec struct {
+	g    *GCM
+	bits int
+	name string
+}
+
+// NewCodec wraps g as an aead.Codec.
+func NewCodec(g *GCM, keyBits int, name string) *Codec {
+	return &Codec{g: g, bits: keyBits, name: name}
+}
+
+// Seal implements aead.Codec.
+func (c *Codec) Seal(dst, nonce, plaintext []byte) []byte {
+	return c.g.Seal(dst, nonce, plaintext, nil)
+}
+
+// Open implements aead.Codec.
+func (c *Codec) Open(dst, nonce, ciphertext []byte) ([]byte, error) {
+	return c.g.Open(dst, nonce, ciphertext, nil)
+}
+
+// KeyBits implements aead.Codec.
+func (c *Codec) KeyBits() int { return c.bits }
+
+// Name implements aead.Codec.
+func (c *Codec) Name() string { return c.name }
+
+var _ aead.Codec = (*Codec)(nil)

@@ -1,0 +1,104 @@
+package gcm_test
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"testing"
+
+	"encmpi/internal/aead/aesref"
+	"encmpi/internal/aead/aessoft"
+	"encmpi/internal/aead/gcm"
+)
+
+// FuzzSealMatchesStdlib drives both from-scratch GCM stacks against
+// crypto/cipher with fuzzer-chosen keys, nonces, plaintexts, and AAD.
+// Run with: go test -fuzz FuzzSealMatchesStdlib ./internal/aead/gcm
+func FuzzSealMatchesStdlib(f *testing.F) {
+	f.Add([]byte("0123456789abcdef"), []byte("twelve-bytes"), []byte("plaintext"), []byte("aad"))
+	f.Add(bytes.Repeat([]byte{0}, 32), bytes.Repeat([]byte{0}, 12), []byte{}, []byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 24), bytes.Repeat([]byte{1}, 12),
+		bytes.Repeat([]byte{2}, 33), []byte{})
+
+	f.Fuzz(func(t *testing.T, key, nonce, pt, aad []byte) {
+		switch len(key) {
+		case 16, 24, 32:
+		default:
+			return
+		}
+		if len(nonce) != 12 {
+			return
+		}
+		if len(pt) > 1<<16 || len(aad) > 1<<12 {
+			return
+		}
+
+		block, err := aes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		std, err := cipher.NewGCM(block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := std.Seal(nil, nonce, pt, aad)
+
+		refBlock, err := aesref.New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := gcm.New(refBlock, gcm.NewNaiveGhash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		softBlock, err := aessoft.New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soft, err := gcm.New(softBlock, aessoft.NewTableGhash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soft8, err := gcm.New(softBlock, aessoft.NewTable8Ghash)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for name, g := range map[string]*gcm.GCM{"ref": ref, "soft": soft, "soft8": soft8} {
+			got := g.Seal(nil, nonce, pt, aad)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: Seal diverged from stdlib (key %d, pt %d, aad %d)",
+					name, len(key), len(pt), len(aad))
+			}
+			back, err := g.Open(nil, nonce, got, aad)
+			if err != nil || !bytes.Equal(back, pt) {
+				t.Fatalf("%s: Open failed: %v", name, err)
+			}
+		}
+	})
+}
+
+// FuzzOpenRejectsGarbage feeds arbitrary ciphertexts to Open; the only
+// acceptable outcomes are a clean error or a correct authentication — never
+// a panic.
+func FuzzOpenRejectsGarbage(f *testing.F) {
+	f.Add([]byte("any old bytes at all........."), []byte("twelve-bytes"))
+	f.Fuzz(func(t *testing.T, ct, nonce []byte) {
+		if len(nonce) != 12 || len(ct) > 1<<16 {
+			return
+		}
+		softBlock, err := aessoft.New(bytes.Repeat([]byte{9}, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := gcm.New(softBlock, aessoft.NewTableGhash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The probability of forging a valid tag by chance is 2^-128; any
+		// success here is a bug.
+		if _, err := g.Open(nil, nonce, ct, nil); err == nil && len(ct) >= 16 {
+			t.Fatalf("garbage ciphertext of %d bytes authenticated", len(ct))
+		}
+	})
+}

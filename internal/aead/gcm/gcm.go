@@ -1,0 +1,184 @@
+// Package gcm implements the Galois/Counter Mode of operation (NIST SP
+// 800-38D) generically over any 128-bit block cipher and any GHASH
+// implementation. The AES-GCM codecs in this repository (aesref, aessoft)
+// share this code and differ only in their block cipher and GHASH strategies,
+// which is precisely where the performance spread between cryptographic
+// libraries in the paper comes from.
+package gcm
+
+import (
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+
+	"encmpi/internal/aead"
+)
+
+// BlockSize is the GCM block size; the underlying cipher must match it.
+const BlockSize = 16
+
+// Element is a field element of GF(2^128) in GCM's reflected bit order,
+// stored as two big-endian 64-bit halves: Hi holds bytes 0-7, Lo bytes 8-15.
+type Element struct {
+	Hi, Lo uint64
+}
+
+// ElementFromBytes loads a 16-byte block.
+func ElementFromBytes(b []byte) Element {
+	return Element{
+		Hi: binary.BigEndian.Uint64(b[:8]),
+		Lo: binary.BigEndian.Uint64(b[8:16]),
+	}
+}
+
+// Bytes stores the element into a 16-byte block.
+func (e Element) Bytes(dst []byte) {
+	binary.BigEndian.PutUint64(dst[:8], e.Hi)
+	binary.BigEndian.PutUint64(dst[8:16], e.Lo)
+}
+
+// Ghasher computes the GHASH universal hash keyed by H = E_K(0^128). A
+// Ghasher carries mutable running state; it is not safe for concurrent use.
+type Ghasher interface {
+	// Reset clears the running state Y to zero.
+	Reset()
+	// Update absorbs data into the state, zero-padding the final partial
+	// block. GCM pads the AAD and the ciphertext independently, so each
+	// logical field must be absorbed with a single Update call (or calls
+	// whose lengths are multiples of 16 followed by one final call).
+	Update(data []byte)
+	// Lengths absorbs the final 128-bit block holding the bit lengths of the
+	// AAD and ciphertext.
+	Lengths(aadBytes, ctBytes uint64)
+	// Sum returns the current state.
+	Sum() Element
+}
+
+// GhashFactory builds a Ghasher for a given hash subkey H.
+type GhashFactory func(h Element) Ghasher
+
+// GCM is an AEAD in the style of crypto/cipher.AEAD, assembled from a block
+// cipher and a GHASH strategy.
+type GCM struct {
+	block cipher.Block
+	gh    Ghasher
+}
+
+// New assembles a GCM instance. The block cipher must have a 16-byte block.
+func New(block cipher.Block, factory GhashFactory) (*GCM, error) {
+	if block.BlockSize() != BlockSize {
+		return nil, errors.New("gcm: block cipher must have a 128-bit block")
+	}
+	var zero, h [BlockSize]byte
+	block.Encrypt(h[:], zero[:])
+	return &GCM{block: block, gh: factory(ElementFromBytes(h[:]))}, nil
+}
+
+// NonceSize returns the recommended 96-bit nonce size. Other sizes are
+// accepted and handled per SP 800-38D §7.1.
+func (g *GCM) NonceSize() int { return aead.NonceSize }
+
+// Overhead returns the tag length appended to every ciphertext.
+func (g *GCM) Overhead() int { return aead.TagSize }
+
+// deriveJ0 computes the pre-counter block J0 from the nonce.
+func (g *GCM) deriveJ0(nonce []byte) [BlockSize]byte {
+	var j0 [BlockSize]byte
+	if len(nonce) == aead.NonceSize {
+		copy(j0[:], nonce)
+		j0[15] = 1
+		return j0
+	}
+	// Arbitrary-length IV: J0 = GHASH_H(IV ‖ pad ‖ [0]_64 ‖ [bitlen(IV)]_64).
+	// The lengths block layout matches Lengths(0, len(nonce)) exactly.
+	g.gh.Reset()
+	g.gh.Update(nonce)
+	g.gh.Lengths(0, uint64(len(nonce)))
+	g.gh.Sum().Bytes(j0[:])
+	return j0
+}
+
+// inc32 increments the low 32 bits of a counter block (SP 800-38D §6.2).
+func inc32(block *[BlockSize]byte) {
+	ctr := binary.BigEndian.Uint32(block[12:])
+	binary.BigEndian.PutUint32(block[12:], ctr+1)
+}
+
+// ctrCrypt applies GCTR_K(icb, src) into dst; dst and src may alias.
+func (g *GCM) ctrCrypt(dst, src []byte, icb [BlockSize]byte) {
+	var keystream [BlockSize]byte
+	ctr := icb
+	n := len(src)
+	for off := 0; off < n; off += BlockSize {
+		g.block.Encrypt(keystream[:], ctr[:])
+		inc32(&ctr)
+		end := off + BlockSize
+		if end > n {
+			end = n
+		}
+		for i := off; i < end; i++ {
+			dst[i] = src[i] ^ keystream[i-off]
+		}
+	}
+}
+
+// computeTag produces the full 16-byte authentication tag for the given AAD
+// and ciphertext under pre-counter block j0.
+func (g *GCM) computeTag(tag *[BlockSize]byte, j0 [BlockSize]byte, aad, ct []byte) {
+	g.gh.Reset()
+	g.gh.Update(aad)
+	g.gh.Update(ct)
+	g.gh.Lengths(uint64(len(aad)), uint64(len(ct)))
+	var s [BlockSize]byte
+	g.gh.Sum().Bytes(s[:])
+	g.block.Encrypt(tag[:], j0[:])
+	for i := range tag {
+		tag[i] ^= s[i]
+	}
+}
+
+// Seal encrypts plaintext and appends ciphertext ‖ tag to dst.
+func (g *GCM) Seal(dst, nonce, plaintext, aad []byte) []byte {
+	j0 := g.deriveJ0(nonce)
+	ret, out := sliceForAppend(dst, len(plaintext)+aead.TagSize)
+	icb := j0
+	inc32(&icb)
+	g.ctrCrypt(out[:len(plaintext)], plaintext, icb)
+	var tag [BlockSize]byte
+	g.computeTag(&tag, j0, aad, out[:len(plaintext)])
+	copy(out[len(plaintext):], tag[:])
+	return ret
+}
+
+// Open authenticates ciphertext ‖ tag and appends the plaintext to dst.
+func (g *GCM) Open(dst, nonce, ciphertext, aad []byte) ([]byte, error) {
+	if len(ciphertext) < aead.TagSize {
+		return nil, aead.ErrAuth
+	}
+	ct, tag := ciphertext[:len(ciphertext)-aead.TagSize], ciphertext[len(ciphertext)-aead.TagSize:]
+	j0 := g.deriveJ0(nonce)
+	var want [BlockSize]byte
+	g.computeTag(&want, j0, aad, ct)
+	if !aead.ConstantTimeEqual(want[:], tag) {
+		return nil, aead.ErrAuth
+	}
+	ret, out := sliceForAppend(dst, len(ct))
+	icb := j0
+	inc32(&icb)
+	g.ctrCrypt(out, ct, icb)
+	return ret, nil
+}
+
+// sliceForAppend extends in by n bytes, reusing capacity when possible, and
+// returns both the full slice and the newly appended region.
+func sliceForAppend(in []byte, n int) (head, tail []byte) {
+	total := len(in) + n
+	if cap(in) >= total {
+		head = in[:total]
+	} else {
+		head = make([]byte, total)
+		copy(head, in)
+	}
+	tail = head[len(in):]
+	return
+}

@@ -1,0 +1,347 @@
+package gcm_test
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/aesref"
+	"encmpi/internal/aead/aessoft"
+	"encmpi/internal/aead/gcm"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// newRefGCM and newSoftGCM build GCM instances over the two from-scratch
+// ciphers for direct (AAD-capable) testing.
+func newRefGCM(t *testing.T, key []byte) *gcm.GCM {
+	t.Helper()
+	block, err := aesref.New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gcm.New(block, gcm.NewNaiveGhash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newSoftGCM(t *testing.T, key []byte) *gcm.GCM {
+	t.Helper()
+	block, err := aessoft.New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gcm.New(block, aessoft.NewTableGhash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// gcmVector is a McGrew-Viega / NIST AES-GCM known-answer test.
+type gcmVector struct {
+	name             string
+	key, iv, pt, aad string
+	ct, tag          string
+}
+
+// Canonical test cases from the McGrew-Viega GCM specification appendix,
+// which also appear in NIST's validation suite.
+var gcmVectors = []gcmVector{
+	{
+		name: "TC1-empty",
+		key:  "00000000000000000000000000000000",
+		iv:   "000000000000000000000000",
+		tag:  "58e2fccefa7e3061367f1d57a4e7455a",
+	},
+	{
+		name: "TC2-oneblock",
+		key:  "00000000000000000000000000000000",
+		iv:   "000000000000000000000000",
+		pt:   "00000000000000000000000000000000",
+		ct:   "0388dace60b6a392f328c2b971b2fe78",
+		tag:  "ab6e47d42cec13bdf53a67b21257bddf",
+	},
+	{
+		name: "TC3-fourblocks",
+		key:  "feffe9928665731c6d6a8f9467308308",
+		iv:   "cafebabefacedbaddecaf888",
+		pt: "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72" +
+			"1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+		ct: "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e" +
+			"21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+		tag: "4d5c2af327cd64a62cf35abd2ba6fab4",
+	},
+	{
+		name: "TC4-aad",
+		key:  "feffe9928665731c6d6a8f9467308308",
+		iv:   "cafebabefacedbaddecaf888",
+		pt: "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72" +
+			"1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+		aad: "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+		ct: "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e" +
+			"21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+		tag: "5bc94fbc3221a5db94fae95ae7121a47",
+	},
+	{
+		name: "TC16-aes256-aad",
+		key:  "feffe9928665731c6d6a8f9467308308feffe9928665731c6d6a8f9467308308",
+		iv:   "cafebabefacedbaddecaf888",
+		pt: "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72" +
+			"1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+		aad: "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+		ct: "522dc1f099567d07f47f37a32a84427d643a8cdcbfe5c0c97598a2bd2555d1aa" +
+			"8cb08e48590dbb3da7b08b1056828838c5f61e6393ba7a0abcc9f662",
+		tag: "76fc6ece0f4e1768cddf8853bb2d551b",
+	},
+}
+
+// TestKnownAnswerVectors runs the published vectors against both from-scratch
+// GCM stacks.
+func TestKnownAnswerVectors(t *testing.T) {
+	impls := []struct {
+		name string
+		mk   func(t *testing.T, key []byte) *gcm.GCM
+	}{
+		{"aesref", newRefGCM},
+		{"aessoft", newSoftGCM},
+	}
+	for _, impl := range impls {
+		for _, v := range gcmVectors {
+			t.Run(impl.name+"/"+v.name, func(t *testing.T) {
+				g := impl.mk(t, mustHex(t, v.key))
+				iv := mustHex(t, v.iv)
+				pt := mustHex(t, v.pt)
+				aad := mustHex(t, v.aad)
+				sealed := g.Seal(nil, iv, pt, aad)
+				wantCT := mustHex(t, v.ct)
+				wantTag := mustHex(t, v.tag)
+				if !bytes.Equal(sealed[:len(pt)], wantCT) {
+					t.Errorf("ciphertext = %x, want %x", sealed[:len(pt)], wantCT)
+				}
+				if !bytes.Equal(sealed[len(pt):], wantTag) {
+					t.Errorf("tag = %x, want %x", sealed[len(pt):], wantTag)
+				}
+				back, err := g.Open(nil, iv, sealed, aad)
+				if err != nil {
+					t.Fatalf("Open: %v", err)
+				}
+				if !bytes.Equal(back, pt) {
+					t.Errorf("roundtrip plaintext mismatch")
+				}
+			})
+		}
+	}
+}
+
+// TestAgainstStdlibRandom cross-checks Seal output bit-for-bit against
+// crypto/cipher's GCM across random keys, nonces, plaintext lengths, and AAD.
+func TestAgainstStdlibRandom(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		keyLen := []int{16, 24, 32}[trial%3]
+		key := make([]byte, keyLen)
+		nonce := make([]byte, aead.NonceSize)
+		pt := make([]byte, trial*7%253)
+		aad := make([]byte, trial*3%41)
+		for _, b := range [][]byte{key, nonce, pt, aad} {
+			if _, err := rand.Read(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		block, _ := aes.NewCipher(key)
+		std, _ := cipher.NewGCM(block)
+		want := std.Seal(nil, nonce, pt, aad)
+
+		for _, mk := range []func(*testing.T, []byte) *gcm.GCM{newRefGCM, newSoftGCM} {
+			g := mk(t, key)
+			got := g.Seal(nil, nonce, pt, aad)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("trial %d: Seal mismatch vs stdlib (keyLen %d, pt %d, aad %d)",
+					trial, keyLen, len(pt), len(aad))
+			}
+		}
+	}
+}
+
+// TestArbitraryIVLength exercises the non-96-bit IV derivation path against
+// stdlib's NewGCMWithNonceSize.
+func TestArbitraryIVLength(t *testing.T) {
+	key := mustHex(t, "feffe9928665731c6d6a8f9467308308")
+	pt := []byte("the quick brown fox jumps over the lazy dog")
+	for _, ivLen := range []int{8, 16, 20, 60} {
+		iv := make([]byte, ivLen)
+		for i := range iv {
+			iv[i] = byte(i + 1)
+		}
+		block, _ := aes.NewCipher(key)
+		std, err := cipher.NewGCMWithNonceSize(block, ivLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := std.Seal(nil, iv, pt, nil)
+		g := newSoftGCM(t, key)
+		got := g.Seal(nil, iv, pt, nil)
+		if !bytes.Equal(got, want) {
+			t.Errorf("ivLen %d: mismatch vs stdlib", ivLen)
+		}
+	}
+}
+
+// TestTamperDetection flips every byte of a sealed message in turn and
+// verifies Open rejects all of them.
+func TestTamperDetection(t *testing.T) {
+	key := make([]byte, 32)
+	g := newSoftGCM(t, key)
+	nonce := make([]byte, aead.NonceSize)
+	pt := []byte("integrity matters for MPI messages")
+	sealed := g.Seal(nil, nonce, pt, nil)
+	for i := range sealed {
+		tampered := append([]byte(nil), sealed...)
+		tampered[i] ^= 0x01
+		if _, err := g.Open(nil, nonce, tampered, nil); err == nil {
+			t.Fatalf("Open accepted a message tampered at byte %d", i)
+		}
+	}
+	// Wrong nonce must also fail.
+	badNonce := append([]byte(nil), nonce...)
+	badNonce[0] ^= 1
+	if _, err := g.Open(nil, badNonce, sealed, nil); err == nil {
+		t.Error("Open accepted a message under the wrong nonce")
+	}
+	// Wrong AAD must also fail.
+	if _, err := g.Open(nil, nonce, sealed, []byte("x")); err == nil {
+		t.Error("Open accepted a message under the wrong AAD")
+	}
+}
+
+// TestSealOpenProperty is the roundtrip property over arbitrary inputs.
+func TestSealOpenProperty(t *testing.T) {
+	key := make([]byte, 16)
+	if _, err := rand.Read(key); err != nil {
+		t.Fatal(err)
+	}
+	g := newRefGCM(t, key)
+	f := func(nonce [12]byte, pt []byte) bool {
+		sealed := g.Seal(nil, nonce[:], pt, nil)
+		if len(sealed) != len(pt)+aead.TagSize {
+			return false
+		}
+		back, err := g.Open(nil, nonce[:], sealed, nil)
+		return err == nil && bytes.Equal(back, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOpenShortCiphertext checks the short-input guard.
+func TestOpenShortCiphertext(t *testing.T) {
+	g := newSoftGCM(t, make([]byte, 16))
+	nonce := make([]byte, aead.NonceSize)
+	for n := 0; n < aead.TagSize; n++ {
+		if _, err := g.Open(nil, nonce, make([]byte, n), nil); err == nil {
+			t.Errorf("Open accepted %d-byte ciphertext", n)
+		}
+	}
+}
+
+// TestSealAppendsToDst verifies the dst-append contract.
+func TestSealAppendsToDst(t *testing.T) {
+	g := newSoftGCM(t, make([]byte, 16))
+	nonce := make([]byte, aead.NonceSize)
+	prefix := []byte("hdr:")
+	out := g.Seal(append([]byte(nil), prefix...), nonce, []byte("payload"), nil)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Errorf("Seal did not preserve dst prefix")
+	}
+	back, err := g.Open(nil, nonce, out[len(prefix):], nil)
+	if err != nil || string(back) != "payload" {
+		t.Errorf("roundtrip with prefix failed: %v %q", err, back)
+	}
+}
+
+// TestNaiveMulAlgebra checks field axioms of the reference multiplication.
+func TestNaiveMulAlgebra(t *testing.T) {
+	// The multiplicative identity in GCM's reflected representation is the
+	// element whose first bit is set: 0x80 in byte 0.
+	one := gcm.Element{Hi: 1 << 63}
+	f := func(a, b, c [16]byte) bool {
+		x := gcm.ElementFromBytes(a[:])
+		y := gcm.ElementFromBytes(b[:])
+		z := gcm.ElementFromBytes(c[:])
+		// commutativity
+		if gcm.MulNaive(x, y) != gcm.MulNaive(y, x) {
+			return false
+		}
+		// identity
+		if gcm.MulNaive(x, one) != x {
+			return false
+		}
+		// distributivity over xor
+		yz := gcm.Element{Hi: y.Hi ^ z.Hi, Lo: y.Lo ^ z.Lo}
+		l := gcm.MulNaive(x, yz)
+		r1 := gcm.MulNaive(x, y)
+		r2 := gcm.MulNaive(x, z)
+		return l == (gcm.Element{Hi: r1.Hi ^ r2.Hi, Lo: r1.Lo ^ r2.Lo})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllSmallSizesVsStdlib exhaustively covers every plaintext length
+// across the first three blocks (where padding and partial-block logic
+// lives) against crypto/cipher, for both from-scratch stacks.
+func TestAllSmallSizesVsStdlib(t *testing.T) {
+	key := mustHex(t, "feffe9928665731c6d6a8f9467308308")
+	block, _ := aes.NewCipher(key)
+	std, _ := cipher.NewGCM(block)
+	nonce := mustHex(t, "cafebabefacedbaddecaf888")
+	for n := 0; n <= 48; n++ {
+		pt := make([]byte, n)
+		for i := range pt {
+			pt[i] = byte(i*37 + n)
+		}
+		want := std.Seal(nil, nonce, pt, nil)
+		for _, mk := range []func(*testing.T, []byte) *gcm.GCM{newRefGCM, newSoftGCM} {
+			g := mk(t, key)
+			got := g.Seal(nil, nonce, pt, nil)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("n=%d: mismatch vs stdlib", n)
+			}
+		}
+	}
+}
+
+// TestAADOnlyMessages cover the authenticated-plaintext-free case (pure
+// integrity, no confidentiality payload).
+func TestAADOnlyMessages(t *testing.T) {
+	key := make([]byte, 32)
+	g := newSoftGCM(t, key)
+	nonce := make([]byte, aead.NonceSize)
+	aadData := []byte("header-only message")
+	sealed := g.Seal(nil, nonce, nil, aadData)
+	if len(sealed) != aead.TagSize {
+		t.Fatalf("tag-only seal length %d", len(sealed))
+	}
+	if _, err := g.Open(nil, nonce, sealed, aadData); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Open(nil, nonce, sealed, []byte("other header")); err == nil {
+		t.Fatal("wrong AAD accepted")
+	}
+}

@@ -1,0 +1,71 @@
+package gcm
+
+// NaiveGhash is the textbook bit-by-bit GF(2^128) multiplication from NIST
+// SP 800-38D Algorithm 1: 128 shift-and-conditionally-xor steps per block.
+// It is the GHASH of the "reference" performance tier and the correctness
+// oracle the optimized table implementation is property-tested against.
+type NaiveGhash struct {
+	h Element
+	y Element
+}
+
+// NewNaiveGhash returns a Ghasher using bitwise multiplication.
+func NewNaiveGhash(h Element) Ghasher {
+	return &NaiveGhash{h: h}
+}
+
+// MulNaive multiplies x·y in GF(2^128) with GCM's reflected bit convention:
+// bit 0 of the field element is the most-significant bit of byte 0, and
+// multiplication by the indeterminate α corresponds to a right shift with
+// reduction by the polynomial 1 + α + α^2 + α^7 + α^128 (constant E1 below).
+func MulNaive(x, y Element) Element {
+	var z Element
+	v := y
+	process := func(bits uint64) {
+		for i := 0; i < 64; i++ {
+			if bits&(1<<(63-uint(i))) != 0 {
+				z.Hi ^= v.Hi
+				z.Lo ^= v.Lo
+			}
+			carry := v.Lo & 1
+			v.Lo = v.Lo>>1 | v.Hi<<63
+			v.Hi >>= 1
+			if carry != 0 {
+				v.Hi ^= 0xe100000000000000
+			}
+		}
+	}
+	process(x.Hi)
+	process(x.Lo)
+	return z
+}
+
+// Reset implements Ghasher.
+func (g *NaiveGhash) Reset() { g.y = Element{} }
+
+// Update implements Ghasher.
+func (g *NaiveGhash) Update(data []byte) {
+	var block [BlockSize]byte
+	for len(data) > 0 {
+		n := copy(block[:], data)
+		for i := n; i < BlockSize; i++ {
+			block[i] = 0
+		}
+		data = data[n:]
+		x := ElementFromBytes(block[:])
+		g.y.Hi ^= x.Hi
+		g.y.Lo ^= x.Lo
+		g.y = MulNaive(g.y, g.h)
+	}
+}
+
+// Lengths implements Ghasher.
+func (g *NaiveGhash) Lengths(aadBytes, ctBytes uint64) {
+	x := Element{Hi: aadBytes * 8, Lo: ctBytes * 8}
+	g.y.Hi ^= x.Hi
+	g.y.Lo ^= x.Lo
+	g.y = MulNaive(g.y, g.h)
+}
+
+// Sum implements Ghasher.
+func (g *NaiveGhash) Sum() Element { return g.y }

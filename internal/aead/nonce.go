@@ -1,0 +1,84 @@
+package aead
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"sync"
+)
+
+// NonceSource produces unique 12-byte nonces. The paper's Algorithm 1 samples
+// a fresh uniformly random nonce per message (RAND_bytes(12)); a counter
+// source is provided as the ablation alternative discussed in DESIGN.md §5.
+type NonceSource interface {
+	// Next fills the 12-byte buffer with the next nonce.
+	Next(nonce []byte) error
+}
+
+// RandomNonce draws every nonce uniformly at random from crypto/rand, exactly
+// as Algorithm 1's RAND_bytes(12).
+type RandomNonce struct{}
+
+// Next implements NonceSource.
+func (RandomNonce) Next(nonce []byte) error {
+	if len(nonce) != NonceSize {
+		return ErrNonceSize
+	}
+	_, err := rand.Read(nonce)
+	return err
+}
+
+// CounterNonce derives nonces from a 4-byte rank prefix and a 64-bit counter,
+// guaranteeing uniqueness without per-message RNG cost. The prefix keeps
+// counters of different senders sharing one key from colliding.
+type CounterNonce struct {
+	mu     sync.Mutex
+	prefix [4]byte
+	ctr    uint64
+	// exhausted latches once the counter wraps; further use would repeat
+	// nonces, which is catastrophic for GCM.
+	exhausted bool
+}
+
+// NewCounterNonce returns a counter source whose nonces are
+// prefix(4) ‖ counter(8, big endian).
+func NewCounterNonce(prefix uint32) *CounterNonce {
+	s := &CounterNonce{}
+	binary.BigEndian.PutUint32(s.prefix[:], prefix)
+	return s
+}
+
+// ErrNonceExhausted is returned when a counter nonce source wraps around.
+var ErrNonceExhausted = errors.New("aead: counter nonce space exhausted")
+
+// Next implements NonceSource.
+func (s *CounterNonce) Next(nonce []byte) error {
+	if len(nonce) != NonceSize {
+		return ErrNonceSize
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.exhausted {
+		return ErrNonceExhausted
+	}
+	copy(nonce, s.prefix[:])
+	binary.BigEndian.PutUint64(nonce[4:], s.ctr)
+	s.ctr++
+	if s.ctr == 0 {
+		s.exhausted = true
+	}
+	return nil
+}
+
+// FixedNonce replays one fixed nonce; it exists only for deterministic tests
+// and known-answer vectors. Never use it to send more than one message.
+type FixedNonce [NonceSize]byte
+
+// Next implements NonceSource.
+func (f FixedNonce) Next(nonce []byte) error {
+	if len(nonce) != NonceSize {
+		return ErrNonceSize
+	}
+	copy(nonce, f[:])
+	return nil
+}

@@ -1,0 +1,98 @@
+// Package cluster describes the simulated machine: nodes, cores per node,
+// and how MPI ranks are placed onto nodes. The default spec mirrors the
+// paper's testbed — Intel Xeon E5-2620 v4 nodes with 8 cores each, up to 8
+// nodes — and the default block placement mirrors MPICH/MVAPICH behaviour
+// with consecutive ranks filling a node before spilling to the next.
+package cluster
+
+import "fmt"
+
+// Placement selects the rank-to-node mapping policy.
+type Placement int
+
+// Placement policies.
+const (
+	// Block places ranks 0..k-1 on node 0, k..2k-1 on node 1, and so on
+	// (the MPI default used in the paper's experiments).
+	Block Placement = iota
+	// RoundRobin deals ranks across nodes like cards.
+	RoundRobin
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case RoundRobin:
+		return "round-robin"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Spec describes a cluster allocation for one experiment.
+type Spec struct {
+	Name         string
+	Nodes        int
+	CoresPerNode int
+	Ranks        int
+	Place        Placement
+}
+
+// PaperTestbed returns the paper's system configuration for a given rank and
+// node count: Xeon E5-2620 v4, 8 cores per node (§V System Setup). The four
+// scalability settings of the paper are (4,4), (16,4), (16,8), and (64,8).
+func PaperTestbed(ranks, nodes int) Spec {
+	return Spec{
+		Name:         fmt.Sprintf("%dranks-%dnodes", ranks, nodes),
+		Nodes:        nodes,
+		CoresPerNode: 8,
+		Ranks:        ranks,
+		Place:        Block,
+	}
+}
+
+// Validate checks that the spec is internally consistent and that the ranks
+// fit on the available cores (the paper never oversubscribes).
+func (s Spec) Validate() error {
+	if s.Nodes <= 0 || s.CoresPerNode <= 0 || s.Ranks <= 0 {
+		return fmt.Errorf("cluster: non-positive dimension in %+v", s)
+	}
+	if s.Ranks > s.Nodes*s.CoresPerNode {
+		return fmt.Errorf("cluster: %d ranks oversubscribe %d nodes × %d cores",
+			s.Ranks, s.Nodes, s.CoresPerNode)
+	}
+	return nil
+}
+
+// RanksPerNode returns the ceiling of ranks over nodes.
+func (s Spec) RanksPerNode() int { return (s.Ranks + s.Nodes - 1) / s.Nodes }
+
+// NodeOf maps a rank to its node index under the spec's placement.
+func (s Spec) NodeOf(rank int) int {
+	if rank < 0 || rank >= s.Ranks {
+		panic(fmt.Sprintf("cluster: rank %d out of range [0,%d)", rank, s.Ranks))
+	}
+	switch s.Place {
+	case RoundRobin:
+		return rank % s.Nodes
+	default:
+		return rank / s.RanksPerNode()
+	}
+}
+
+// SameNode reports whether two ranks share a node (and therefore communicate
+// over shared memory rather than the NIC).
+func (s Spec) SameNode(a, b int) bool { return s.NodeOf(a) == s.NodeOf(b) }
+
+// RanksOnNode lists the ranks placed on the given node, ascending.
+func (s Spec) RanksOnNode(node int) []int {
+	var out []int
+	for r := 0; r < s.Ranks; r++ {
+		if s.NodeOf(r) == node {
+			out = append(out, r)
+		}
+	}
+	return out
+}

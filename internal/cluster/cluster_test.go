@@ -1,0 +1,101 @@
+package cluster
+
+import "testing"
+
+func TestPaperTestbedSettings(t *testing.T) {
+	// The paper's four scalability settings must all validate (§V).
+	for _, s := range []struct{ ranks, nodes int }{{4, 4}, {16, 4}, {16, 8}, {64, 8}} {
+		spec := PaperTestbed(s.ranks, s.nodes)
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%dr/%dn: %v", s.ranks, s.nodes, err)
+		}
+		if spec.CoresPerNode != 8 {
+			t.Errorf("paper nodes have 8 cores, got %d", spec.CoresPerNode)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Nodes: 0, CoresPerNode: 8, Ranks: 4},
+		{Nodes: 2, CoresPerNode: 0, Ranks: 4},
+		{Nodes: 2, CoresPerNode: 8, Ranks: 0},
+		{Nodes: 2, CoresPerNode: 2, Ranks: 5}, // oversubscribed
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestBlockPlacement(t *testing.T) {
+	spec := PaperTestbed(64, 8)
+	// Block: ranks 0-7 on node 0, 8-15 on node 1, ...
+	for rank := 0; rank < 64; rank++ {
+		if got, want := spec.NodeOf(rank), rank/8; got != want {
+			t.Fatalf("NodeOf(%d) = %d, want %d", rank, got, want)
+		}
+	}
+	if !spec.SameNode(0, 7) || spec.SameNode(7, 8) {
+		t.Error("SameNode broken at the node boundary")
+	}
+	if got := spec.RanksOnNode(1); len(got) != 8 || got[0] != 8 || got[7] != 15 {
+		t.Errorf("RanksOnNode(1) = %v", got)
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	spec := Spec{Nodes: 4, CoresPerNode: 8, Ranks: 8, Place: RoundRobin}
+	for rank := 0; rank < 8; rank++ {
+		if got := spec.NodeOf(rank); got != rank%4 {
+			t.Fatalf("NodeOf(%d) = %d", rank, got)
+		}
+	}
+}
+
+func TestUnevenBlockPlacement(t *testing.T) {
+	// 6 ranks on 4 nodes: ceil(6/4)=2 per node → nodes 0,0,1,1,2,2.
+	spec := Spec{Nodes: 4, CoresPerNode: 8, Ranks: 6, Place: Block}
+	want := []int{0, 0, 1, 1, 2, 2}
+	for rank, w := range want {
+		if got := spec.NodeOf(rank); got != w {
+			t.Errorf("NodeOf(%d) = %d, want %d", rank, got, w)
+		}
+	}
+}
+
+func TestNodeOfPanicsOutOfRange(t *testing.T) {
+	spec := PaperTestbed(4, 4)
+	for _, r := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NodeOf(%d) did not panic", r)
+				}
+			}()
+			spec.NodeOf(r)
+		}()
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if Block.String() != "block" || RoundRobin.String() != "round-robin" {
+		t.Error("Placement.String broken")
+	}
+	if Placement(9).String() == "" {
+		t.Error("unknown placement should still render")
+	}
+}
+
+func TestRanksPerNode(t *testing.T) {
+	cases := []struct{ ranks, nodes, want int }{
+		{64, 8, 8}, {16, 8, 2}, {5, 2, 3}, {1, 1, 1},
+	}
+	for _, tc := range cases {
+		s := Spec{Nodes: tc.nodes, CoresPerNode: 64, Ranks: tc.ranks}
+		if got := s.RanksPerNode(); got != tc.want {
+			t.Errorf("RanksPerNode(%d,%d) = %d, want %d", tc.ranks, tc.nodes, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestAllCurvesValid(t *testing.T) {
+	for lib, byVariant := range curves256 {
+		for v, c := range byVariant {
+			if err := c.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", lib, v, err)
+			}
+		}
+	}
+}
+
+// TestPaperAnchors pins the throughput values the paper's text quotes.
+func TestPaperAnchors(t *testing.T) {
+	cases := []struct {
+		lib     string
+		v       Variant
+		size    int
+		wantMBs float64
+	}{
+		{"boringssl", GCC485, 2 << 20, 1381},  // §V-A ping-pong analysis
+		{"boringssl", GCC485, 16 << 10, 1332}, // §V-A alltoall analysis
+		{"boringssl", MVAPICH, 2 << 20, 1384}, // §V-B ping-pong analysis
+		{"libsodium", GCC485, 2 << 20, 583},   // §V-A bcast analysis
+		{"libsodium", GCC485, 256, 409.67},    // §V-A small-message analysis
+		{"cryptopp", GCC485, 2 << 20, 273},    // §V-A ping-pong analysis
+		{"cryptopp", GCC485, 16 << 10, 568},   // §V-A alltoall analysis
+	}
+	for _, tc := range cases {
+		p, err := Lookup(tc.lib, tc.v, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.Curve.ThroughputMBps(tc.size)
+		if math.Abs(got-tc.wantMBs)/tc.wantMBs > 0.001 {
+			t.Errorf("%s/%s @%dB = %.2f MB/s, want %.2f", tc.lib, tc.v, tc.size, got, tc.wantMBs)
+		}
+	}
+}
+
+// TestLibraryRanking checks the paper's headline ordering at large sizes:
+// BoringSSL ≈ OpenSSL > Libsodium > CryptoPP, in both variants.
+func TestLibraryRanking(t *testing.T) {
+	for _, v := range []Variant{GCC485, MVAPICH} {
+		get := func(lib string) float64 {
+			p, err := Lookup(lib, v, 256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p.Curve.ThroughputMBps(2 << 20)
+		}
+		b, o, l, c := get("boringssl"), get("openssl"), get("libsodium"), get("cryptopp")
+		if !(b > l && l > c) {
+			t.Errorf("%s: ranking violated: boring %.0f, sodium %.0f, cpp %.0f", v, b, l, c)
+		}
+		if math.Abs(b-o)/b > 0.02 {
+			t.Errorf("%s: OpenSSL and BoringSSL differ by more than 2%%", v)
+		}
+	}
+}
+
+// TestSmallMessageCrossover: Libsodium must beat BoringSSL below ~512 B and
+// lose above ~4 KB (Table V behaviour).
+func TestSmallMessageCrossover(t *testing.T) {
+	b, _ := Lookup("boringssl", MVAPICH, 256)
+	l, _ := Lookup("libsodium", MVAPICH, 256)
+	if b.Curve.ThroughputMBps(256) >= l.Curve.ThroughputMBps(256) {
+		t.Error("BoringSSL should trail Libsodium at 256 B")
+	}
+	if b.Curve.ThroughputMBps(16<<10) <= l.Curve.ThroughputMBps(16<<10) {
+		t.Error("BoringSSL should beat Libsodium at 16 KB")
+	}
+}
+
+// TestCryptoPPCacheCliff: under gcc the 2 MB throughput must fall well below
+// the 16 KB value; under MVAPICH it must not (Fig. 2 vs Fig. 9).
+func TestCryptoPPCacheCliff(t *testing.T) {
+	gcc, _ := Lookup("cryptopp", GCC485, 256)
+	mva, _ := Lookup("cryptopp", MVAPICH, 256)
+	if r := gcc.Curve.ThroughputMBps(2<<20) / gcc.Curve.ThroughputMBps(16<<10); r > 0.6 {
+		t.Errorf("gcc485 CryptoPP cliff missing: 2MB/16KB ratio %.2f", r)
+	}
+	if r := mva.Curve.ThroughputMBps(2<<20) / mva.Curve.ThroughputMBps(16<<10); r < 0.85 {
+		t.Errorf("mvapich CryptoPP should have no cliff: ratio %.2f", r)
+	}
+}
+
+// TestInterpolation checks log-log interpolation between anchors and
+// clamping beyond them.
+func TestInterpolation(t *testing.T) {
+	c := Curve{Sizes: []int{100, 10000}, MBps: []float64{10, 1000}}
+	// Geometric midpoint of sizes (1000) should give the geometric midpoint
+	// of throughputs (100).
+	if got := c.ThroughputMBps(1000); math.Abs(got-100) > 0.5 {
+		t.Errorf("midpoint = %v, want 100", got)
+	}
+	// Above range: clamp throughput.
+	if got := c.ThroughputMBps(1 << 30); got != 1000 {
+		t.Errorf("clamp high = %v", got)
+	}
+	// Below range: constant *time*, so throughput shrinks proportionally.
+	if got := c.ThroughputMBps(50); math.Abs(got-5) > 1e-9 {
+		t.Errorf("clamp low = %v, want 5", got)
+	}
+	if got := c.ThroughputMBps(0); got <= 0 {
+		t.Errorf("size 0 should map to size 1, got %v", got)
+	}
+}
+
+// TestTimesAreConsistent checks EncTime+DecTime == EncDecTime and that times
+// grow with size.
+func TestTimesAreConsistent(t *testing.T) {
+	p, _ := Lookup("boringssl", GCC485, 256)
+	var prev time.Duration
+	for _, size := range []int{1, 256, 4096, 1 << 20} {
+		total := p.Curve.EncDecTime(size)
+		if got := p.Curve.EncTime(size) + p.Curve.DecTime(size); got != total {
+			t.Errorf("size %d: enc+dec %v != total %v", size, got, total)
+		}
+		if total < prev {
+			t.Errorf("size %d: time decreased (%v < %v)", size, total, prev)
+		}
+		prev = total
+	}
+	// Sanity: 2 MB through 1381 MB/s should take ≈ 1.52 ms round trip.
+	got := p.Curve.EncDecTime(2 << 20).Seconds()
+	want := float64(2<<20) / (1381e6)
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("2MB EncDecTime = %v s, want %v s", got, want)
+	}
+}
+
+// TestKey128Scaling verifies the 128-bit key speedup and the Libsodium
+// restriction.
+func TestKey128Scaling(t *testing.T) {
+	p256, _ := Lookup("boringssl", GCC485, 256)
+	p128, err := Lookup("boringssl", GCC485, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p128.Curve.ThroughputMBps(1<<20) / p256.Curve.ThroughputMBps(1<<20)
+	if math.Abs(r-key128Speedup) > 1e-9 {
+		t.Errorf("128-bit speedup = %v", r)
+	}
+	if _, err := Lookup("libsodium", GCC485, 128); err == nil {
+		t.Error("libsodium must reject 128-bit keys (paper §III-B)")
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	if _, err := Lookup("nacl", GCC485, 256); err == nil {
+		t.Error("unknown library accepted")
+	}
+	if _, err := Lookup("boringssl", "icc", 256); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if _, err := Lookup("boringssl", GCC485, 192); err == nil {
+		t.Error("unsupported key size accepted")
+	}
+}
+
+func TestCurveValidateErrors(t *testing.T) {
+	bad := []Curve{
+		{Sizes: []int{1, 2}, MBps: []float64{1}},
+		{},
+		{Sizes: []int{2, 1}, MBps: []float64{1, 1}},
+		{Sizes: []int{1, 1}, MBps: []float64{1, 1}},
+		{Sizes: []int{0}, MBps: []float64{1}},
+		{Sizes: []int{1}, MBps: []float64{-1}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid curve accepted", i)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package encmpi
+
+import (
+	"fmt"
+
+	"encmpi/internal/mpi"
+)
+
+// Comm wraps an mpi.Comm with encrypted variants of the routines the paper
+// instruments: Send, Recv, Isend, Irecv, Wait, Waitall, Bcast, Allgather,
+// Alltoall, and Alltoallv (§IV). Operations that carry no application data
+// (Barrier) pass through.
+type Comm struct {
+	c   *mpi.Comm
+	eng Engine
+}
+
+// Wrap builds an encrypted communicator. All ranks must use engines with the
+// same algorithm and key.
+func Wrap(c *mpi.Comm, eng Engine) *Comm {
+	return &Comm{c: c, eng: eng}
+}
+
+// Rank returns this rank.
+func (e *Comm) Rank() int { return e.c.Rank() }
+
+// Size returns the world size.
+func (e *Comm) Size() int { return e.c.Size() }
+
+// Engine returns the crypto engine in use.
+func (e *Comm) Engine() Engine { return e.eng }
+
+// Unwrap exposes the underlying plaintext communicator (used by the key
+// exchange, which must bootstrap before a session key exists).
+func (e *Comm) Unwrap() *mpi.Comm { return e.c }
+
+// Request is an encrypted non-blocking operation handle.
+type Request struct {
+	inner *mpi.Request
+	// err records a decryption failure discovered inside Wait.
+	err error
+	// isRecv marks requests whose completion runs the decrypt hook.
+	isRecv bool
+}
+
+// Send is Encrypted_Send: seal, then send the wire message.
+func (e *Comm) Send(dst, tag int, buf mpi.Buffer) {
+	wire := e.eng.Seal(e.c.Proc(), buf)
+	e.c.Send(dst, tag, wire)
+}
+
+// Isend is Encrypted_Isend. Encryption happens eagerly (the payload must be
+// captured before the caller reuses its buffer); injection is non-blocking.
+func (e *Comm) Isend(dst, tag int, buf mpi.Buffer) *Request {
+	wire := e.eng.Seal(e.c.Proc(), buf)
+	return &Request{inner: e.c.Isend(dst, tag, wire)}
+}
+
+// Irecv is Encrypted_Irecv: it posts the receive for the wire-format message
+// and defers decryption to Wait, preserving the non-blocking property
+// exactly as the paper's implementation does (§IV).
+func (e *Comm) Irecv(src, tag int) *Request {
+	req := &Request{inner: e.c.Irecv(src, tag), isRecv: true}
+	req.inner.SetOnComplete(func(r *mpi.Request) {
+		plain, err := e.eng.Open(e.c.Proc(), r.BufferOf())
+		if err != nil {
+			req.err = err
+			return
+		}
+		r.SetBuffer(plain)
+	})
+	return req
+}
+
+// Wait completes a request. For receives it returns the decrypted payload;
+// a non-nil error means authentication failed and the data must be
+// discarded.
+func (e *Comm) Wait(req *Request) (mpi.Buffer, mpi.Status, error) {
+	buf, st := e.c.Wait(req.inner)
+	if req.err != nil {
+		return mpi.Buffer{}, st, req.err
+	}
+	return buf, st, nil
+}
+
+// Waitall completes all requests, returning the first error encountered
+// (all requests are always drained, like MPI_Waitall).
+func (e *Comm) Waitall(reqs []*Request) error {
+	var firstErr error
+	for _, r := range reqs {
+		if _, _, err := e.Wait(r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Recv is Encrypted_Recv: blocking receive plus decryption.
+func (e *Comm) Recv(src, tag int) (mpi.Buffer, mpi.Status, error) {
+	return e.Wait(e.Irecv(src, tag))
+}
+
+// Sendrecv is the encrypted exchange.
+func (e *Comm) Sendrecv(dst, sendTag int, sendBuf mpi.Buffer, src, recvTag int) (mpi.Buffer, mpi.Status, error) {
+	rreq := e.Irecv(src, recvTag)
+	sreq := e.Isend(dst, sendTag, sendBuf)
+	buf, st, err := e.Wait(rreq)
+	if _, _, serr := e.Wait(sreq); serr != nil && err == nil {
+		err = serr
+	}
+	return buf, st, err
+}
+
+// Barrier passes through: it carries no user data to protect.
+func (e *Comm) Barrier() { e.c.Barrier() }
+
+// Bcast is Encrypted_Bcast: the root seals once, the ciphertext travels the
+// broadcast tree unmodified, and every non-root rank decrypts — one
+// encryption or decryption per rank, as in the paper's analysis (§V-A).
+func (e *Comm) Bcast(root int, buf mpi.Buffer) (mpi.Buffer, error) {
+	var wire mpi.Buffer
+	if e.Rank() == root {
+		wire = e.eng.Seal(e.c.Proc(), buf)
+	}
+	wire = e.c.Bcast(root, wire)
+	if e.Rank() == root {
+		return buf, nil
+	}
+	return e.eng.Open(e.c.Proc(), wire)
+}
+
+// Allgather is Encrypted_Allgather: seal the local block, allgather the
+// ciphertexts, decrypt all of them (including our own, which made the round
+// trip as ciphertext).
+func (e *Comm) Allgather(myBlock mpi.Buffer) ([]mpi.Buffer, error) {
+	wire := e.eng.Seal(e.c.Proc(), myBlock)
+	gathered := e.c.Allgather(wire)
+	out := make([]mpi.Buffer, len(gathered))
+	for i, w := range gathered {
+		plain, err := e.eng.Open(e.c.Proc(), w)
+		if err != nil {
+			return nil, fmt.Errorf("encmpi: allgather block %d: %w", i, err)
+		}
+		out[i] = plain
+	}
+	return out, nil
+}
+
+// Alltoall is Encrypted_Alltoall, a direct transcription of Algorithm 1:
+// each outgoing block is sealed under a fresh nonce, the ordinary alltoall
+// moves the (ℓ+28)-byte ciphertext blocks, and each incoming block is
+// decrypted.
+func (e *Comm) Alltoall(blocks []mpi.Buffer) ([]mpi.Buffer, error) {
+	encSend := make([]mpi.Buffer, len(blocks))
+	for i, b := range blocks {
+		encSend[i] = e.eng.Seal(e.c.Proc(), b)
+	}
+	encRecv := e.c.Alltoall(encSend)
+	out := make([]mpi.Buffer, len(encRecv))
+	for i, w := range encRecv {
+		plain, err := e.eng.Open(e.c.Proc(), w)
+		if err != nil {
+			return nil, fmt.Errorf("encmpi: alltoall block %d: %w", i, err)
+		}
+		out[i] = plain
+	}
+	return out, nil
+}
+
+// Alltoallv is Encrypted_Alltoallv: identical to Alltoall but with ragged
+// block sizes (each wire block is its plaintext length plus 28).
+func (e *Comm) Alltoallv(blocks []mpi.Buffer) ([]mpi.Buffer, error) {
+	encSend := make([]mpi.Buffer, len(blocks))
+	for i, b := range blocks {
+		encSend[i] = e.eng.Seal(e.c.Proc(), b)
+	}
+	encRecv := e.c.Alltoallv(encSend)
+	out := make([]mpi.Buffer, len(encRecv))
+	for i, w := range encRecv {
+		plain, err := e.eng.Open(e.c.Proc(), w)
+		if err != nil {
+			return nil, fmt.Errorf("encmpi: alltoallv block %d: %w", i, err)
+		}
+		out[i] = plain
+	}
+	return out, nil
+}
+
+// Allreduce delegates to the plaintext library. Reductions must combine
+// plaintext at every hop, and the paper's encrypted routine list (§IV)
+// deliberately excludes them — in the NAS runs, reduction traffic (small
+// scalars) rides the unmodified MPI path while the listed routines carry the
+// encrypted bulk data.
+func (e *Comm) Allreduce(buf mpi.Buffer, dt mpi.Datatype, op mpi.Op) mpi.Buffer {
+	return e.c.Allreduce(buf, dt, op)
+}

@@ -1,0 +1,117 @@
+package encmpi
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+
+	"encmpi/internal/mpi"
+)
+
+// The paper hardcodes the symmetric key and leaves key distribution as
+// future work (§IV). This file implements that future work as an extension:
+// rank 0 generates a fresh session key and distributes it to every other
+// rank over the (plaintext) MPI wire using X25519 key agreement — each rank
+// derives a pairwise wrapping key with rank 0 and receives the session key
+// encrypted under it. No long-term secrets are required, and the session key
+// never travels in the clear.
+
+// keyexTag is the reserved tag for key-exchange traffic.
+const keyexTag = 1 << 28
+
+// deriveWrapKey turns an X25519 shared secret into an AES-256 wrapping key
+// via HMAC-SHA256 (an HKDF-extract with a fixed info string).
+func deriveWrapKey(shared []byte, peerA, peerB int) []byte {
+	mac := hmac.New(sha256.New, shared)
+	fmt.Fprintf(mac, "encmpi-keyex-v1:%d:%d", peerA, peerB)
+	return mac.Sum(nil) // 32 bytes
+}
+
+// ExchangeKey runs the session-key distribution over c. Rank 0 generates
+// keyLen random bytes; every rank returns the same session key. The
+// exchange costs one round trip per non-root rank and must run before any
+// encrypted traffic.
+func ExchangeKey(c *mpi.Comm, keyLen int) ([]byte, error) {
+	if keyLen != 16 && keyLen != 24 && keyLen != 32 {
+		return nil, fmt.Errorf("encmpi: invalid session key length %d", keyLen)
+	}
+	curve := ecdh.X25519()
+	priv, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("encmpi: keygen: %w", err)
+	}
+
+	if c.Rank() == 0 {
+		session := make([]byte, keyLen)
+		if _, err := rand.Read(session); err != nil {
+			return nil, fmt.Errorf("encmpi: session key: %w", err)
+		}
+		// Announce the root public key.
+		c.Bcast(0, mpi.Bytes(priv.PublicKey().Bytes()))
+		// Receive each rank's public key and return the wrapped session key.
+		for i := 1; i < c.Size(); i++ {
+			buf, st := c.Recv(mpi.AnySource, keyexTag)
+			peerPub, err := curve.NewPublicKey(buf.Data)
+			if err != nil {
+				return nil, fmt.Errorf("encmpi: rank %d public key: %w", st.Source, err)
+			}
+			shared, err := priv.ECDH(peerPub)
+			if err != nil {
+				return nil, fmt.Errorf("encmpi: ECDH with rank %d: %w", st.Source, err)
+			}
+			wrapped, err := wrapSessionKey(deriveWrapKey(shared, 0, st.Source), session)
+			if err != nil {
+				return nil, err
+			}
+			c.Send(st.Source, keyexTag+1, mpi.Bytes(wrapped))
+		}
+		return session, nil
+	}
+
+	// Non-root: learn the root key, send ours, unwrap the session key.
+	rootPubBuf := c.Bcast(0, mpi.Buffer{})
+	rootPub, err := curve.NewPublicKey(rootPubBuf.Data)
+	if err != nil {
+		return nil, fmt.Errorf("encmpi: root public key: %w", err)
+	}
+	c.Send(0, keyexTag, mpi.Bytes(priv.PublicKey().Bytes()))
+	shared, err := priv.ECDH(rootPub)
+	if err != nil {
+		return nil, fmt.Errorf("encmpi: ECDH with root: %w", err)
+	}
+	wrapped, _ := c.Recv(0, keyexTag+1)
+	session, err := unwrapSessionKey(deriveWrapKey(shared, 0, c.Rank()), wrapped.Data)
+	if err != nil {
+		return nil, err
+	}
+	return session, nil
+}
+
+// wrapSessionKey seals the session key with AES-256-GCM under the wrapping
+// key, using the stdlib codec (speed is irrelevant here).
+func wrapSessionKey(wrapKey, session []byte) ([]byte, error) {
+	codec, err := newWrapCodec(wrapKey)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, 12)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), nonce...)
+	return codec.Seal(out, nonce, session), nil
+}
+
+// unwrapSessionKey reverses wrapSessionKey.
+func unwrapSessionKey(wrapKey, wire []byte) ([]byte, error) {
+	if len(wire) < 12+16 {
+		return nil, fmt.Errorf("encmpi: wrapped key too short")
+	}
+	codec, err := newWrapCodec(wrapKey)
+	if err != nil {
+		return nil, err
+	}
+	return codec.Open(nil, wire[:12], wire[12:])
+}

@@ -1,0 +1,12 @@
+package encmpi
+
+import (
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/aesstd"
+)
+
+// newWrapCodec builds the AES-GCM codec used to wrap session keys during the
+// key exchange.
+func newWrapCodec(key []byte) (aead.Codec, error) {
+	return aesstd.New(key)
+}

@@ -1,0 +1,315 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"encmpi/internal/costmodel"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/nas"
+	"encmpi/internal/osu"
+	"encmpi/internal/report"
+	"encmpi/internal/stats"
+)
+
+// cell renders "measured (paper)" for side-by-side comparison.
+func cell(measured string, paper float64, format func(float64) string) string {
+	if paper == 0 {
+		return measured
+	}
+	return fmt.Sprintf("%s (%s)", measured, format(paper))
+}
+
+func fmtMBps(v float64) string { return report.MBps(v) }
+
+// sizeLabel renders byte counts in the paper's axis style.
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// encDecTable regenerates Fig 2 / Fig 9 from the calibrated curves. The
+// measured Go AEAD tiers are benchmarked separately (cmd/encbench -real and
+// BenchmarkCodecs) because they run on the host CPU, not in virtual time.
+func encDecTable(n Net) (*report.Table, error) {
+	sizes := []int{16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20, 4 << 20}
+	libs := []string{"boringssl", "openssl", "libsodium", "cryptopp"}
+	cols := []string{"Size"}
+	for _, l := range libs {
+		cols = append(cols, l)
+	}
+	tb := report.NewTable(fmt.Sprintf("Enc-dec throughput of AES-GCM-256 (MB/s), %s toolchain", n.Variant()), cols...)
+	for _, s := range sizes {
+		row := []string{sizeLabel(s)}
+		for _, l := range libs {
+			p, err := costmodel.Lookup(l, n.Variant(), 256)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.MBps(p.Curve.ThroughputMBps(s)))
+		}
+		tb.Add(row...)
+	}
+	tb.Note("curves anchored to every value quoted in the paper text; see internal/costmodel")
+	tb.Note("measured Go AEAD tiers: run `encbench -real` or `go test -bench BenchmarkCodecs`")
+	return tb, nil
+}
+
+// pingPongSmall regenerates Table I / Table V.
+func pingPongSmall(o Options, n Net, paper map[string]map[int]float64) (*report.Table, error) {
+	o = o.withDefaults()
+	sizes := []int{1, 16, 256, 1 << 10}
+	cols := []string{"Library"}
+	for _, s := range sizes {
+		cols = append(cols, sizeLabel(s))
+	}
+	tb := report.NewTable(fmt.Sprintf("Ping-pong throughput (MB/s), small messages, %s — measured (paper)", n), cols...)
+	iters := o.iters(2000, 50)
+	for _, lib := range LibRows {
+		mk, err := libEngine(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{lib}
+		for _, s := range sizes {
+			res, err := osu.PingPong(n.Config(), mk, s, iters)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, cell(report.MBps(res.Throughput), paper[lib][s], fmtMBps))
+		}
+		tb.Add(row...)
+	}
+	return tb, nil
+}
+
+// pingPongLarge regenerates Fig 3 / Fig 10 and reports the headline
+// overheads.
+func pingPongLarge(o Options, n Net) (*report.Table, error) {
+	o = o.withDefaults()
+	sizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20}
+	cols := []string{"Library"}
+	for _, s := range sizes {
+		cols = append(cols, sizeLabel(s))
+	}
+	tb := report.NewTable(fmt.Sprintf("Ping-pong throughput (MB/s), medium/large messages, %s", n), cols...)
+	iters := func(s int) int {
+		if s >= 1<<20 {
+			return o.iters(200, 5)
+		}
+		return o.iters(1000, 20)
+	}
+	results := map[string]map[int]osu.PingPongResult{}
+	for _, lib := range LibRows {
+		mk, err := libEngine(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		results[lib] = map[int]osu.PingPongResult{}
+		row := []string{lib}
+		for _, s := range sizes {
+			res, err := osu.PingPong(n.Config(), mk, s, iters(s))
+			if err != nil {
+				return nil, err
+			}
+			results[lib][s] = res
+			row = append(row, report.MBps(res.Throughput))
+		}
+		tb.Add(row...)
+	}
+	// Headline: BoringSSL overhead at 2 MB (paper: 78.3% eth, 215.2% ib).
+	base := results["Unencrypted"][2<<20].OneWay.Seconds()
+	enc := results["BoringSSL"][2<<20].OneWay.Seconds()
+	tb.Note("BoringSSL 2MB overhead: measured %s, paper %s",
+		report.Pct(enc/base-1), report.Pct(PaperHeadlinePingPong[string(n)][2<<20]))
+	return tb, nil
+}
+
+// multiPair regenerates Figs 4-6 / 11-13.
+func multiPair(o Options, n Net, size int) (*report.Table, error) {
+	o = o.withDefaults()
+	pairs := []int{1, 2, 4, 8}
+	cols := []string{"Library"}
+	for _, p := range pairs {
+		cols = append(cols, fmt.Sprintf("%d pair(s)", p))
+	}
+	tb := report.NewTable(fmt.Sprintf("OSU multi-pair aggregate throughput (MB/s), %s messages, %s", sizeLabel(size), n), cols...)
+	iters := o.iters(100, 4)
+	if size >= 1<<20 {
+		iters = o.iters(20, 2)
+	}
+	for _, lib := range LibRows {
+		mk, err := libEngine(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{lib}
+		for _, p := range pairs {
+			res, err := osu.MultiPair(n.Config(), mk, size, p, iters)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.MBps(res.Throughput))
+		}
+		tb.Add(row...)
+	}
+	return tb, nil
+}
+
+// collective regenerates Tables II/III/VI/VII plus the overhead figures
+// (7/8/14/15) in the notes.
+func collective(o Options, n Net, op osu.CollectiveOp, paper map[string]map[int]float64) (*report.Table, error) {
+	o = o.withDefaults()
+	sizes := []int{1, 16 << 10, 4 << 20}
+	cols := []string{"Library"}
+	for _, s := range sizes {
+		cols = append(cols, sizeLabel(s))
+	}
+	tb := report.NewTable(fmt.Sprintf("Encrypted_%s timing (µs), %d ranks / %d nodes, %s — measured (paper)",
+		op, o.Ranks, o.Nodes, n), cols...)
+	iters := o.iters(20, 2)
+	measured := map[string]map[int]time.Duration{}
+	for _, lib := range LibRows {
+		mk, err := libEngine(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		measured[lib] = map[int]time.Duration{}
+		row := []string{lib}
+		for _, s := range sizes {
+			res, err := osu.Collective(n.Config(), mk, op, o.Ranks, o.Nodes, s, iters)
+			if err != nil {
+				return nil, err
+			}
+			measured[lib][s] = res.MeanLat
+			row = append(row, cell(report.Micros(res.MeanLat), paper[lib][s], func(v float64) string {
+				return report.Micros(time.Duration(v * float64(time.Microsecond)))
+			}))
+		}
+		tb.Add(row...)
+	}
+	// Encryption overhead per size (the log-scale overhead figures).
+	for _, lib := range []string{"BoringSSL", "Libsodium", "CryptoPP"} {
+		for _, s := range sizes {
+			m := measured[lib][s].Seconds()/measured["Unencrypted"][s].Seconds() - 1
+			p := paper[lib][s]/paper["Unencrypted"][s] - 1
+			tb.Note("%s @%s overhead: measured %s, paper %s", lib, sizeLabel(s), report.Pct(m), report.Pct(p))
+		}
+	}
+	return tb, nil
+}
+
+// nasComputeBudgets caches the per-kernel compute calibration (performed on
+// the Ethernet baseline targets, reused for InfiniBand — DESIGN.md §2).
+var (
+	nasCalOnce    sync.Once
+	nasCalErr     error
+	nasCalBudgets map[string]time.Duration
+)
+
+func computeBudgets(ranks, nodes int) (map[string]time.Duration, error) {
+	nasCalOnce.Do(func() {
+		nasCalBudgets = make(map[string]time.Duration)
+		for _, k := range nas.Kernels() {
+			per, err := nas.Calibrate(k, 'C', ranks, nodes, Eth.Config(), nas.EthBaselineSeconds[k])
+			if err != nil {
+				nasCalErr = fmt.Errorf("calibrating %s: %w", k, err)
+				return
+			}
+			nasCalBudgets[k] = per
+		}
+	})
+	return nasCalBudgets, nasCalErr
+}
+
+// nasTable regenerates Table IV / Table VIII.
+func nasTable(o Options, n Net, paper map[string]map[string]float64) (*report.Table, error) {
+	o = o.withDefaults()
+	budgets, err := computeBudgets(o.Ranks, o.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	kernels := nas.Kernels()
+	cols := []string{"Library"}
+	cols = append(cols, kernels...)
+	cols = append(cols, "Total", "Overhead")
+	tb := report.NewTable(fmt.Sprintf("NAS class C runtimes (s), %d ranks / %d nodes, %s — measured (paper)",
+		o.Ranks, o.Nodes, n), cols...)
+
+	totals := map[string][]float64{}
+	for _, lib := range LibRows {
+		mk, err := libEngine(lib, n)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{lib}
+		var times []float64
+		for _, k := range kernels {
+			res, err := nas.Run(k, 'C', o.Ranks, o.Nodes, n.Config(),
+				func(rank int) encmpi.Engine { return mk(rank) }, budgets[k])
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, res.Elapsed.Seconds())
+			row = append(row, cell(fmt.Sprintf("%.2f", res.Elapsed.Seconds()), paper[lib][k],
+				func(v float64) string { return fmt.Sprintf("%.2f", v) }))
+		}
+		totals[lib] = times
+		var sum float64
+		for _, v := range times {
+			sum += v
+		}
+		row = append(row, fmt.Sprintf("%.2f", sum))
+		if lib == "Unencrypted" {
+			row = append(row, "—")
+		} else {
+			ov, err := stats.OverheadFromTotals(totals["Unencrypted"], times)
+			if err != nil {
+				return nil, err
+			}
+			paperOv := PaperNASOverheads[string(n)][lib]
+			row = append(row, fmt.Sprintf("%s (%s)", report.Pct(ov), report.Pct(paperOv)))
+		}
+		tb.Add(row...)
+	}
+	tb.Note("overhead is the ratio of totals (Fleming–Wallace), as in the paper's footnote 2")
+	tb.Note("compute budgets calibrated on the Ethernet baselines; InfiniBand numbers are emergent")
+	return tb, nil
+}
+
+// sweepExperiment covers the paper's four scalability settings with the
+// Alltoall/16KB workload.
+func sweepExperiment(o Options) (*report.Table, error) {
+	o = o.withDefaults()
+	settings := []struct{ ranks, nodes int }{{4, 4}, {16, 4}, {16, 8}, {64, 8}}
+	tb := report.NewTable("Encrypted_Alltoall 16KB across cluster settings (µs, BoringSSL vs baseline)",
+		"Setting", "Net", "Unencrypted", "BoringSSL", "Overhead")
+	iters := o.iters(20, 2)
+	for _, n := range []Net{Eth, IB} {
+		mk, err := libEngine("BoringSSL", n)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range settings {
+			base, err := osu.Collective(n.Config(), osu.Baseline(), osu.OpAlltoall, s.ranks, s.nodes, 16<<10, iters)
+			if err != nil {
+				return nil, err
+			}
+			enc, err := osu.Collective(n.Config(), mk, osu.OpAlltoall, s.ranks, s.nodes, 16<<10, iters)
+			if err != nil {
+				return nil, err
+			}
+			tb.Add(fmt.Sprintf("%dr/%dn", s.ranks, s.nodes), string(n),
+				report.Micros(base.MeanLat), report.Micros(enc.MeanLat),
+				report.Pct(enc.MeanLat.Seconds()/base.MeanLat.Seconds()-1))
+		}
+	}
+	return tb, nil
+}

@@ -1,0 +1,154 @@
+// Package harness is the reproduction driver: one runnable experiment per
+// table and figure in the paper's evaluation section, each emitting the
+// regenerated table with the paper's own numbers alongside for comparison.
+// The per-experiment index in DESIGN.md §4 maps IDs (table1, fig4, ...) to
+// the modules involved.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"encmpi/internal/costmodel"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/osu"
+	"encmpi/internal/report"
+	"encmpi/internal/simnet"
+)
+
+// Options tunes a harness run.
+type Options struct {
+	// Quick reduces iteration counts. The simulator is deterministic, so
+	// this changes only warm-up amortization, not rankings.
+	Quick bool
+	// Ranks/Nodes for collective and NAS experiments (default 64/8, the
+	// paper's headline setting).
+	Ranks, Nodes int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Ranks == 0 {
+		o.Ranks = 64
+	}
+	if o.Nodes == 0 {
+		o.Nodes = 8
+	}
+	return o
+}
+
+// iters picks an iteration count honoring Quick mode.
+func (o Options) iters(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Net selects a network side of the paper.
+type Net string
+
+// The two testbeds.
+const (
+	Eth Net = "eth"
+	IB  Net = "ib"
+)
+
+// Config returns the simnet preset for a network.
+func (n Net) Config() simnet.Config {
+	if n == IB {
+		return simnet.IB40G()
+	}
+	return simnet.Eth10G()
+}
+
+// Variant returns the compiler variant the paper used on that network.
+func (n Net) Variant() costmodel.Variant {
+	if n == IB {
+		return costmodel.MVAPICH
+	}
+	return costmodel.GCC485
+}
+
+// libEngine maps a paper row name to an engine factory on a network.
+func libEngine(row string, n Net) (osu.EngineFactory, error) {
+	if row == "Unencrypted" {
+		return osu.Baseline(), nil
+	}
+	lib := map[string]string{
+		"BoringSSL": "boringssl",
+		"OpenSSL":   "openssl",
+		"Libsodium": "libsodium",
+		"CryptoPP":  "cryptopp",
+	}[row]
+	if lib == "" {
+		return nil, fmt.Errorf("harness: unknown library row %q", row)
+	}
+	p, err := costmodel.Lookup(lib, n.Variant(), 256)
+	if err != nil {
+		return nil, err
+	}
+	return func(int) encmpi.Engine { return encmpi.NewModelEngine(p) }, nil
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options) (*report.Table, error)
+}
+
+// Experiments returns every table and figure of the paper, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig2", "Fig 2: enc-dec throughput of AES-GCM-256, gcc 4.8.5", func(o Options) (*report.Table, error) { return encDecTable(Eth) }},
+		{"table1", "Table I: ping-pong small messages, Ethernet (MB/s)", func(o Options) (*report.Table, error) { return pingPongSmall(o, Eth, PaperTable1) }},
+		{"fig3", "Fig 3: ping-pong medium/large messages, Ethernet (MB/s)", func(o Options) (*report.Table, error) { return pingPongLarge(o, Eth) }},
+		{"fig4", "Fig 4: multi-pair throughput, 1B messages, Ethernet (MB/s)", func(o Options) (*report.Table, error) { return multiPair(o, Eth, 1) }},
+		{"fig5", "Fig 5: multi-pair throughput, 16KB messages, Ethernet (MB/s)", func(o Options) (*report.Table, error) { return multiPair(o, Eth, 16<<10) }},
+		{"fig6", "Fig 6: multi-pair throughput, 2MB messages, Ethernet (MB/s)", func(o Options) (*report.Table, error) { return multiPair(o, Eth, 2<<20) }},
+		{"table2", "Table II + Fig 7: Encrypted_Bcast, Ethernet (µs)", func(o Options) (*report.Table, error) { return collective(o, Eth, osu.OpBcast, PaperTable2) }},
+		{"table3", "Table III + Fig 8: Encrypted_Alltoall, Ethernet (µs)", func(o Options) (*report.Table, error) { return collective(o, Eth, osu.OpAlltoall, PaperTable3) }},
+		{"table4", "Table IV: NAS class C, 64 ranks / 8 nodes, Ethernet (s)", func(o Options) (*report.Table, error) { return nasTable(o, Eth, PaperTable4) }},
+		{"fig9", "Fig 9: enc-dec throughput of AES-GCM-256, MVAPICH toolchain", func(o Options) (*report.Table, error) { return encDecTable(IB) }},
+		{"table5", "Table V: ping-pong small messages, InfiniBand (MB/s)", func(o Options) (*report.Table, error) { return pingPongSmall(o, IB, PaperTable5) }},
+		{"fig10", "Fig 10: ping-pong medium/large messages, InfiniBand (MB/s)", func(o Options) (*report.Table, error) { return pingPongLarge(o, IB) }},
+		{"fig11", "Fig 11: multi-pair throughput, 1B messages, InfiniBand (MB/s)", func(o Options) (*report.Table, error) { return multiPair(o, IB, 1) }},
+		{"fig12", "Fig 12: multi-pair throughput, 16KB messages, InfiniBand (MB/s)", func(o Options) (*report.Table, error) { return multiPair(o, IB, 16<<10) }},
+		{"fig13", "Fig 13: multi-pair throughput, 2MB messages, InfiniBand (MB/s)", func(o Options) (*report.Table, error) { return multiPair(o, IB, 2<<20) }},
+		{"table6", "Table VI + Fig 14: Encrypted_Bcast, InfiniBand (µs)", func(o Options) (*report.Table, error) { return collective(o, IB, osu.OpBcast, PaperTable6) }},
+		{"table7", "Table VII + Fig 15: Encrypted_Alltoall, InfiniBand (µs)", func(o Options) (*report.Table, error) { return collective(o, IB, osu.OpAlltoall, PaperTable7) }},
+		{"table8", "Table VIII: NAS class C, 64 ranks / 8 nodes, InfiniBand (s)", func(o Options) (*report.Table, error) { return nasTable(o, IB, PaperTable8) }},
+		{"sweep", "Scalability sweep (§V): Alltoall 16KB across cluster settings", sweepExperiment},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids)
+}
+
+// RunAll executes every experiment, streaming tables to w.
+func RunAll(o Options, w io.Writer) error {
+	for _, e := range Experiments() {
+		start := time.Now()
+		tb, err := e.Run(o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "== %s (%s, took %.1fs)\n%s\n", e.ID, e.Title, time.Since(start).Seconds(), tb)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"testing"
+
+	"encmpi/internal/osu"
+)
+
+// This file pins the headline reproduction numbers so a regression in any
+// layer (curves, fabric calibration, protocol, engines) is caught by
+// `go test`, not discovered when someone re-reads EXPERIMENTS.md.
+
+// pingPongOverhead measures BoringSSL's ping-pong overhead at a size.
+func pingPongOverhead(t *testing.T, n Net, size, iters int) float64 {
+	t.Helper()
+	base, err := osu.PingPong(n.Config(), osu.Baseline(), size, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk, err := libEngine("BoringSSL", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := osu.PingPong(n.Config(), mk, size, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc.OneWay.Seconds()/base.OneWay.Seconds() - 1
+}
+
+// TestHeadlinePingPongOverheads pins the four numbers the paper's abstract
+// quotes, with generous reproduction bands.
+func TestHeadlinePingPongOverheads(t *testing.T) {
+	cases := []struct {
+		n        Net
+		size     int
+		paper    float64
+		lo, hi   float64
+		artifact string
+	}{
+		{Eth, 2 << 20, 0.783, 0.60, 0.95, "Fig 3 / abstract (78.3%)"},
+		{IB, 2 << 20, 2.152, 1.80, 2.60, "Fig 10 / abstract (215.2%)"},
+		{Eth, 256, 0.059, 0.02, 0.25, "Table I (5.9%)"},
+		{IB, 256, 0.809, 0.50, 1.20, "Table V (80.9%)"},
+	}
+	for _, tc := range cases {
+		iters := 50
+		if tc.size >= 1<<20 {
+			iters = 8
+		}
+		got := pingPongOverhead(t, tc.n, tc.size, iters)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("%s: BoringSSL overhead %.3f outside [%.2f, %.2f] (paper %.3f)",
+				tc.artifact, got, tc.lo, tc.hi, tc.paper)
+		}
+	}
+}
+
+// TestLibraryOrderingEverywhere pins the paper's central ranking at a
+// representative size on both networks, through the full stack.
+func TestLibraryOrderingEverywhere(t *testing.T) {
+	for _, n := range []Net{Eth, IB} {
+		var prev float64
+		for i, lib := range []string{"Unencrypted", "BoringSSL", "Libsodium", "CryptoPP"} {
+			mk, err := libEngine(lib, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := osu.PingPong(n.Config(), mk, 1<<20, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i > 0 && res.Throughput >= prev {
+				t.Errorf("%s: %s (%.0f MB/s) not slower than previous (%.0f MB/s)",
+					n, lib, res.Throughput, prev)
+			}
+			prev = res.Throughput
+		}
+	}
+}
+
+// TestMultiPairConvergencePinned: the encrypted/baseline throughput ratio at
+// 16 KB must improve from 1 pair to 8 pairs on both networks — the paper's
+// "multiple concurrent flows" conclusion.
+func TestMultiPairConvergencePinned(t *testing.T) {
+	for _, n := range []Net{Eth, IB} {
+		mk, err := libEngine("CryptoPP", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := func(pairs int) float64 {
+			base, err := osu.MultiPair(n.Config(), osu.Baseline(), 16<<10, pairs, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc, err := osu.MultiPair(n.Config(), mk, 16<<10, pairs, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return enc.Throughput / base.Throughput
+		}
+		r1, r8 := ratio(1), ratio(8)
+		if r8 <= r1 {
+			t.Errorf("%s: CryptoPP ratio did not converge: 1 pair %.2f, 8 pairs %.2f", n, r1, r8)
+		}
+		if r8 < 0.80 {
+			t.Errorf("%s: at 8 pairs even CryptoPP should approach baseline, got %.2f", n, r8)
+		}
+	}
+}
+
+// TestIBSmallMessageThrottlePinned reproduces Fig 11's drop from 4 to 8
+// pairs on the unencrypted baseline — the contention-knee behaviour.
+func TestIBSmallMessageThrottlePinned(t *testing.T) {
+	at := func(pairs int) float64 {
+		res, err := osu.MultiPair(IB.Config(), osu.Baseline(), 1, pairs, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput
+	}
+	four, eight := at(4), at(8)
+	if eight >= four {
+		t.Errorf("IB 1B baseline did not throttle: 4 pairs %.2f, 8 pairs %.2f MB/s", four, eight)
+	}
+}

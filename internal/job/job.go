@@ -1,0 +1,150 @@
+// Package job launches MPI jobs: it wires a world to a transport, creates
+// one process per rank, runs the rank bodies to completion, and reports
+// failures. Three launchers cover the three transports: in-process (shm),
+// real sockets (tcp), and the discrete-event cluster simulator (sim).
+package job
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"encmpi/internal/cluster"
+	"encmpi/internal/mpi"
+	"encmpi/internal/sched"
+	"encmpi/internal/sim"
+	"encmpi/internal/simnet"
+	"encmpi/internal/transport/shm"
+	"encmpi/internal/transport/simtr"
+	"encmpi/internal/transport/tcp"
+)
+
+// Body is a rank's program.
+type Body func(c *mpi.Comm)
+
+// DefaultEagerThreshold is used by the real transports; the simulator takes
+// its threshold from the network config.
+const DefaultEagerThreshold = 64 << 10
+
+// RunShm runs an n-rank job over the in-process transport with real
+// wall-clock procs. It returns an error if any rank panicked.
+func RunShm(n int, body Body) error {
+	tr := shm.New()
+	w := mpi.NewWorld(n, tr, DefaultEagerThreshold)
+	tr.Bind(w)
+	return runReal(w, n, body)
+}
+
+// RunTCP runs an n-rank job over real loopback TCP sockets.
+func RunTCP(n int, body Body) error {
+	tr, err := tcp.New(n)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	w := mpi.NewWorld(n, tr, DefaultEagerThreshold)
+	tr.Bind(w)
+	return runReal(w, n, body)
+}
+
+// runReal launches rank goroutines with wall-clock procs.
+func runReal(w *mpi.World, n int, body Body) error {
+	var group sched.Group
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for rank := 0; rank < n; rank++ {
+		comm := w.AttachRank(rank, group.Proc())
+		wg.Add(1)
+		go func(rank int, comm *mpi.Comm) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("rank %d panicked: %v", rank, r)
+				}
+			}()
+			body(comm)
+		}(rank, comm)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SimResult reports a simulated job's outcome.
+type SimResult struct {
+	// Elapsed is the virtual time when the last rank finished.
+	Elapsed time.Duration
+	// RankElapsed is each rank's own finish time.
+	RankElapsed []time.Duration
+	// Packets and Bytes count fabric traffic.
+	Packets int
+	Bytes   int64
+	// Events counts simulator events (a determinism fingerprint).
+	Events uint64
+}
+
+// RunSim runs the job on the simulated cluster and returns timing. The
+// spec's placement maps ranks to nodes; cfg selects the network technology.
+func RunSim(spec cluster.Spec, cfg simnet.Config, body Body) (SimResult, error) {
+	return RunSimConfigured(spec, cfg, nil, body)
+}
+
+// RunSimConfigured is RunSim with a hook to adjust the fabric before the job
+// starts (e.g. attaching a trace collector).
+func RunSimConfigured(spec cluster.Spec, cfg simnet.Config, configure func(*simnet.Fabric), body Body) (SimResult, error) {
+	if err := spec.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	eng := sim.NewEngine()
+	fab, err := simnet.New(eng, cfg, spec.NodeOf)
+	if err != nil {
+		return SimResult{}, err
+	}
+	if configure != nil {
+		configure(fab)
+	}
+	tr := simtr.New(fab)
+	w := mpi.NewWorld(spec.Ranks, tr, cfg.EagerThreshold)
+	tr.Bind(w)
+
+	res := SimResult{RankElapsed: make([]time.Duration, spec.Ranks)}
+	panics := make([]interface{}, spec.Ranks)
+	for rank := 0; rank < spec.Ranks; rank++ {
+		rank := rank
+		proc := eng.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+			comm := w.AttachRank(rank, p)
+			defer func() {
+				if r := recover(); r != nil {
+					panics[rank] = r
+				}
+				res.RankElapsed[rank] = p.Now()
+			}()
+			body(comm)
+		})
+		_ = proc
+	}
+	runErr := eng.Run()
+	// A rank panic often *causes* the apparent deadlock (its peers wait for
+	// messages that will never come), so report the panic first.
+	for rank, p := range panics {
+		if p != nil {
+			return res, fmt.Errorf("rank %d panicked: %v (run result: %v)", rank, p, runErr)
+		}
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	for _, t := range res.RankElapsed {
+		if t > res.Elapsed {
+			res.Elapsed = t
+		}
+	}
+	res.Packets = fab.PacketsSent
+	res.Bytes = fab.BytesSent
+	res.Events = eng.Executed()
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package job_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"encmpi/internal/cluster"
+	"encmpi/internal/job"
+	"encmpi/internal/mpi"
+	"encmpi/internal/simnet"
+)
+
+// pingPongOneWay runs a simulated unencrypted ping-pong between two ranks on
+// different nodes and returns the mean one-way time.
+func pingPongOneWay(t *testing.T, cfg simnet.Config, size, iters int) time.Duration {
+	t.Helper()
+	spec := cluster.PaperTestbed(2, 2)
+	var oneWay time.Duration
+	res, err := job.RunSim(spec, cfg, func(c *mpi.Comm) {
+		peer := 1 - c.Rank()
+		buf := mpi.Synthetic(size)
+		// Warm-up round.
+		if c.Rank() == 0 {
+			c.Send(peer, 0, buf)
+			c.Recv(peer, 0)
+		} else {
+			c.Recv(peer, 0)
+			c.Send(peer, 0, buf)
+		}
+		start := c.Proc().Now()
+		for i := 0; i < iters; i++ {
+			if c.Rank() == 0 {
+				c.Send(peer, 0, buf)
+				c.Recv(peer, 0)
+			} else {
+				c.Recv(peer, 0)
+				c.Send(peer, 0, buf)
+			}
+		}
+		if c.Rank() == 0 {
+			total := c.Proc().Now() - start
+			oneWay = total / time.Duration(2*iters)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	return oneWay
+}
+
+// TestBaselinePingPongMatchesPaper is the end-to-end calibration gate: the
+// simulated unencrypted ping-pong must reproduce the paper's baseline
+// numbers (Tables I and V) through the full MPI protocol stack.
+func TestBaselinePingPongMatchesPaper(t *testing.T) {
+	cases := []struct {
+		cfg    simnet.Config
+		size   int
+		wantUS float64 // paper baseline one-way time in µs
+		tol    float64
+	}{
+		// Ethernet, Table I: throughput MB/s → one-way µs.
+		{simnet.Eth10G(), 1, 20.0, 0.10},
+		{simnet.Eth10G(), 256, 36.5, 0.10},
+		{simnet.Eth10G(), 1 << 10, 60.1, 0.10},
+		{simnet.Eth10G(), 2 << 20, 2020, 0.12},
+		// InfiniBand, Table V.
+		{simnet.IB40G(), 1, 1.75, 0.10},
+		{simnet.IB40G(), 256, 3.11, 0.10},
+		{simnet.IB40G(), 1 << 10, 3.75, 0.10},
+		{simnet.IB40G(), 2 << 20, 694, 0.12},
+	}
+	for _, tc := range cases {
+		iters := 50
+		if tc.size >= 1<<20 {
+			iters = 10
+		}
+		got := pingPongOneWay(t, tc.cfg, tc.size, iters)
+		gotUS := float64(got) / float64(time.Microsecond)
+		rel := math.Abs(gotUS-tc.wantUS) / tc.wantUS
+		if rel > tc.tol {
+			t.Errorf("%s %dB: one-way %.2fµs, paper %.2fµs (%.0f%% off)",
+				tc.cfg.Name, tc.size, gotUS, tc.wantUS, rel*100)
+		}
+	}
+}
+
+// TestRunShmPropagatesPanic checks error reporting from rank bodies.
+func TestRunShmPropagatesPanic(t *testing.T) {
+	err := job.RunShm(2, func(c *mpi.Comm) {
+		if c.Rank() == 1 {
+			panic("rank 1 exploded")
+		}
+		// Rank 0 exits normally without communicating.
+	})
+	if err == nil {
+		t.Fatal("expected panic error")
+	}
+}
+
+// TestRunSimRejectsBadSpec validates spec checking.
+func TestRunSimRejectsBadSpec(t *testing.T) {
+	spec := cluster.Spec{Nodes: 1, CoresPerNode: 1, Ranks: 100}
+	if _, err := job.RunSim(spec, simnet.Eth10G(), func(*mpi.Comm) {}); err == nil {
+		t.Fatal("oversubscribed spec accepted")
+	}
+}
+
+// TestRunSimReportsDeadlock: a recv with no sender must surface as an error,
+// not a hang.
+func TestRunSimReportsDeadlock(t *testing.T) {
+	spec := cluster.PaperTestbed(2, 2)
+	_, err := job.RunSim(spec, simnet.Eth10G(), func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.Recv(1, 99) // never sent
+		}
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+// TestRankElapsedPopulated checks the per-rank timing result.
+func TestRankElapsedPopulated(t *testing.T) {
+	spec := cluster.PaperTestbed(4, 4)
+	res, err := job.RunSim(spec, simnet.IB40G(), func(c *mpi.Comm) {
+		c.Proc().Advance(time.Duration(c.Rank()+1) * time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, e := range res.RankElapsed {
+		want := time.Duration(r+1) * time.Millisecond
+		if e != want {
+			t.Errorf("rank %d elapsed %v, want %v", r, e, want)
+		}
+	}
+	if res.Elapsed != 4*time.Millisecond {
+		t.Errorf("total %v", res.Elapsed)
+	}
+}

@@ -1,0 +1,85 @@
+// Package libs is the binding layer between the paper's four cryptographic
+// libraries and this repository's two implementations of them: the
+// calibrated cost-model curves that drive the simulator, and the real Go
+// AEAD tier that plays the analogous role on the host. It is the
+// machine-readable form of the substitution table in DESIGN.md §2.
+package libs
+
+import (
+	"fmt"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/codecs"
+	"encmpi/internal/costmodel"
+)
+
+// Library describes one of the paper's subjects.
+type Library struct {
+	// Name as the paper uses it.
+	Name string
+	// Model is the costmodel key for the calibrated curves.
+	Model string
+	// RealAnalogue is the registered Go codec playing the same performance
+	// role in the measured study.
+	RealAnalogue string
+	// KeyBits lists the supported key lengths (libsodium: 256 only).
+	KeyBits []int
+	// Role summarizes why the analogue is apt.
+	Role string
+}
+
+// Catalog returns the four libraries in the paper's order.
+func Catalog() []Library {
+	return []Library{
+		{
+			Name: "OpenSSL", Model: "openssl", RealAnalogue: "aesstd",
+			KeyBits: []int{128, 256},
+			Role:    "hardware-accelerated commercial-grade tier (AES-NI + CLMUL)",
+		},
+		{
+			Name: "BoringSSL", Model: "boringssl", RealAnalogue: "aesstd",
+			KeyBits: []int{128, 256},
+			Role:    "hardware-accelerated tier; fork of OpenSSL, on-par performance",
+		},
+		{
+			Name: "Libsodium", Model: "libsodium", RealAnalogue: "aessoft8",
+			KeyBits: []int{256},
+			Role:    "portable optimized software tier (T-table AES, 8-bit-table GHASH)",
+		},
+		{
+			Name: "CryptoPP", Model: "cryptopp", RealAnalogue: "aessoft",
+			KeyBits: []int{128, 256},
+			Role:    "portable software tier whose build flags dominate performance",
+		},
+	}
+}
+
+// Lookup finds a catalog entry by paper name (case-sensitive).
+func Lookup(name string) (Library, error) {
+	for _, l := range Catalog() {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return Library{}, fmt.Errorf("libs: unknown library %q", name)
+}
+
+// Profile returns the calibrated model profile for a catalog entry.
+func (l Library) Profile(v costmodel.Variant, keyBits int) (costmodel.Profile, error) {
+	return costmodel.Lookup(l.Model, v, keyBits)
+}
+
+// NewRealCodec builds the real Go analogue for a key.
+func (l Library) NewRealCodec(key []byte) (aead.Codec, error) {
+	return codecs.New(l.RealAnalogue, key)
+}
+
+// SupportsKeyBits reports whether the library accepts the key length.
+func (l Library) SupportsKeyBits(bits int) bool {
+	for _, b := range l.KeyBits {
+		if b == bits {
+			return true
+		}
+	}
+	return false
+}

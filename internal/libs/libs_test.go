@@ -1,0 +1,76 @@
+package libs
+
+import (
+	"bytes"
+	"testing"
+
+	"encmpi/internal/costmodel"
+)
+
+func TestCatalogCompleteAndConsistent(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 4 {
+		t.Fatalf("catalog has %d entries", len(cat))
+	}
+	key := bytes.Repeat([]byte{1}, 32)
+	for _, l := range cat {
+		// Every entry must resolve to a model profile on both variants...
+		for _, v := range []costmodel.Variant{costmodel.GCC485, costmodel.MVAPICH} {
+			if _, err := l.Profile(v, 256); err != nil {
+				t.Errorf("%s/%s: %v", l.Name, v, err)
+			}
+		}
+		// ...and to a working real codec.
+		codec, err := l.NewRealCodec(key)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		nonce := make([]byte, 12)
+		ct := codec.Seal(nil, nonce, []byte("x"))
+		if _, err := codec.Open(nil, nonce, ct); err != nil {
+			t.Errorf("%s: analogue roundtrip: %v", l.Name, err)
+		}
+	}
+}
+
+func TestLibsodiumKeyRestriction(t *testing.T) {
+	l, err := Lookup("Libsodium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.SupportsKeyBits(128) {
+		t.Error("libsodium must not claim 128-bit support (paper §III-B)")
+	}
+	if !l.SupportsKeyBits(256) {
+		t.Error("libsodium must support 256-bit keys")
+	}
+	if _, err := l.Profile(costmodel.GCC485, 128); err == nil {
+		t.Error("128-bit libsodium profile should fail")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("WolfSSL"); err == nil {
+		t.Error("unknown library accepted")
+	}
+}
+
+// TestAnaloguesPreserveRanking: the real analogues must rank the same way
+// the modeled libraries do at large sizes — the property that makes the
+// substitution meaningful. (aesstd ≥ aessoft8 ≥ aessoft by construction.)
+func TestAnaloguesPreserveRanking(t *testing.T) {
+	order := []string{"BoringSSL", "Libsodium", "CryptoPP"}
+	var prev float64
+	for i, name := range order {
+		l, _ := Lookup(name)
+		p, err := l.Profile(costmodel.GCC485, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := p.Curve.ThroughputMBps(2 << 20)
+		if i > 0 && cur >= prev {
+			t.Errorf("model ranking violated at %s: %v >= %v", name, cur, prev)
+		}
+		prev = cur
+	}
+}

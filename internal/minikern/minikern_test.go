@@ -1,0 +1,210 @@
+package minikern_test
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/codecs"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/job"
+	"encmpi/internal/minikern"
+	"encmpi/internal/mpi"
+)
+
+var testKey = bytes.Repeat([]byte{0x11}, 32)
+
+// runEnc launches n ranks over shm with real AES-GCM engines.
+func runEnc(t *testing.T, n int, codecName string, body func(e *encmpi.Comm)) {
+	t.Helper()
+	err := job.RunShm(n, func(c *mpi.Comm) {
+		codec, err := codecs.New(codecName, testKey)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		body(encmpi.Wrap(c, encmpi.NewRealEngine(codec, aead.NewCounterNonce(uint32(c.Rank())))))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLocalFFTAgainstDFT validates the serial FFT building block.
+func TestLocalFFTAgainstDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(float64(i%7)-3, float64(i%5)*0.5)
+		}
+		want := minikern.ReferenceDFT(x)
+		got := append([]complex128(nil), x...)
+		minikern.LocalFFT(got, false)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: X[%d] = %v, want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+// TestLocalFFTInverse: ifft(fft(x))/n == x.
+func TestLocalFFTInverse(t *testing.T) {
+	n := 128
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), math.Cos(2*float64(i)))
+	}
+	y := append([]complex128(nil), x...)
+	minikern.LocalFFT(y, false)
+	minikern.LocalFFT(y, true)
+	for i := range x {
+		if cmplx.Abs(y[i]/complex(float64(n), 0)-x[i]) > 1e-9 {
+			t.Fatalf("inverse roundtrip failed at %d", i)
+		}
+	}
+}
+
+func TestLocalFFTRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	minikern.LocalFFT(make([]complex128, 12), false)
+}
+
+// TestDistFFTMatchesReference runs the four-step distributed FFT over
+// encrypted MPI and checks every output coefficient against the O(n²) DFT.
+func TestDistFFTMatchesReference(t *testing.T) {
+	const n1, n2 = 16, 16
+	const n = n1 * n2
+	const ranks = 4
+
+	// Global input signal.
+	global := make([]complex128, n)
+	for j := range global {
+		global[j] = complex(math.Sin(0.37*float64(j)), 0.2*math.Cos(0.11*float64(j)))
+	}
+	want := minikern.ReferenceDFT(global)
+
+	rowsPer := n1 / ranks
+	results := make([][][]complex128, ranks)
+	runEnc(t, ranks, "aesstd", func(e *encmpi.Comm) {
+		// Rank r holds rows r*rowsPer..: row j1 is global[j1*n2 .. j1*n2+n2).
+		rows := make([][]complex128, rowsPer)
+		for lr := range rows {
+			j1 := e.Rank()*rowsPer + lr
+			rows[lr] = append([]complex128(nil), global[j1*n2:(j1+1)*n2]...)
+		}
+		out, err := minikern.DistFFT(e, rows, n1, n2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		results[e.Rank()] = out
+	})
+
+	// Reassemble: rank r's output row lr is k1 = r*rowsPer+lr, and
+	// H[k1][k2] = X[k1 + k2*n1].
+	for r := 0; r < ranks; r++ {
+		for lr, row := range results[r] {
+			k1 := r*rowsPer + lr
+			for k2, v := range row {
+				ref := want[k1+k2*n1]
+				if cmplx.Abs(v-ref) > 1e-6 {
+					t.Fatalf("X[%d] = %v, want %v", k1+k2*n1, v, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestDistFFTDimensionChecks exercises the error paths.
+func TestDistFFTDimensionChecks(t *testing.T) {
+	runEnc(t, 4, "aesstd", func(e *encmpi.Comm) {
+		if _, err := minikern.DistFFT(e, nil, 6, 8); err == nil {
+			t.Error("indivisible n1 accepted")
+		}
+		if _, err := minikern.DistFFT(e, nil, 8, 8); err == nil {
+			t.Error("wrong local row count accepted")
+		}
+	})
+}
+
+// TestBucketSortEndToEnd sorts real keys through encrypted alltoallv across
+// all three GCM tiers.
+func TestBucketSortEndToEnd(t *testing.T) {
+	for _, codecName := range []string{"aesstd", "aessoft"} {
+		codecName := codecName
+		t.Run(codecName, func(t *testing.T) {
+			const ranks = 4
+			const perRank = 2000
+			const keyMax = 1 << 16
+			totals := make([]int, ranks)
+			runEnc(t, ranks, codecName, func(e *encmpi.Comm) {
+				keys := minikern.GenKeys(e.Rank(), perRank, keyMax)
+				sorted, err := minikern.BucketSort(e, keys, keyMax)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 1; i < len(sorted); i++ {
+					if sorted[i-1] > sorted[i] {
+						t.Errorf("rank %d: local order violated at %d", e.Rank(), i)
+						return
+					}
+				}
+				totals[e.Rank()] = len(sorted)
+			})
+			sum := 0
+			for _, n := range totals {
+				sum += n
+			}
+			if sum != ranks*perRank {
+				t.Fatalf("lost keys: %d != %d", sum, ranks*perRank)
+			}
+		})
+	}
+}
+
+// TestBucketSortValidation exercises the guard rails.
+func TestBucketSortValidation(t *testing.T) {
+	runEnc(t, 2, "aesstd", func(e *encmpi.Comm) {
+		if _, err := minikern.BucketSort(e, nil, 7); err == nil {
+			t.Error("keyMax not divisible by ranks accepted")
+		}
+	})
+	runEnc(t, 2, "aesstd", func(e *encmpi.Comm) {
+		if _, err := minikern.BucketSort(e, []uint32{100}, 64); err == nil {
+			t.Error("out-of-range key accepted")
+		}
+	})
+}
+
+// TestGenKeysDeterministic: same rank → same stream; different ranks differ.
+func TestGenKeysDeterministic(t *testing.T) {
+	a := minikern.GenKeys(1, 100, 1000)
+	b := minikern.GenKeys(1, 100, 1000)
+	c := minikern.GenKeys(2, 100, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if a[i] >= 1000 {
+			t.Fatal("key out of range")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different ranks produced identical streams")
+	}
+}

@@ -1,0 +1,120 @@
+package minikern
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"encmpi/internal/encmpi"
+	"encmpi/internal/mpi"
+)
+
+// BucketSort is the IS workload made real: every rank contributes keys in
+// [0, keyMax); the keys are redistributed with an encrypted alltoallv so
+// that rank r ends up with the r-th value range, each rank sorts locally,
+// and the result is verified globally (count conservation via a reduction
+// and boundary ordering via neighbor exchange). It returns this rank's
+// sorted partition.
+func BucketSort(e *encmpi.Comm, keys []uint32, keyMax uint32) ([]uint32, error) {
+	p := e.Size()
+	if keyMax == 0 || keyMax%uint32(p) != 0 {
+		return nil, fmt.Errorf("minikern: keyMax %d must be a positive multiple of %d", keyMax, p)
+	}
+	bucketWidth := keyMax / uint32(p)
+
+	// Partition local keys by destination bucket.
+	buckets := make([][]uint32, p)
+	for _, k := range keys {
+		if k >= keyMax {
+			return nil, fmt.Errorf("minikern: key %d out of range", k)
+		}
+		d := int(k / bucketWidth)
+		buckets[d] = append(buckets[d], k)
+	}
+
+	// Encrypted redistribution.
+	blocks := make([]mpi.Buffer, p)
+	for d := range blocks {
+		blocks[d] = mpi.Bytes(keysToBytes(buckets[d]))
+	}
+	got, err := e.Alltoallv(blocks)
+	if err != nil {
+		return nil, err
+	}
+	var mine []uint32
+	for _, b := range got {
+		mine = append(mine, bytesToKeys(b.Data)...)
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
+
+	// Verify 1: every key landed in the right bucket.
+	lo := uint32(e.Rank()) * bucketWidth
+	hi := lo + bucketWidth
+	for _, k := range mine {
+		if k < lo || k >= hi {
+			return nil, fmt.Errorf("minikern: rank %d received out-of-bucket key %d", e.Rank(), k)
+		}
+	}
+
+	// Verify 2: global count conservation.
+	count := e.Allreduce(mpi.Float64Buffer([]float64{float64(len(mine))}), mpi.Float64, mpi.OpSum)
+	sent := e.Allreduce(mpi.Float64Buffer([]float64{float64(len(keys))}), mpi.Float64, mpi.OpSum)
+	if mpi.Float64s(count)[0] != mpi.Float64s(sent)[0] {
+		return nil, fmt.Errorf("minikern: key count not conserved: %v received vs %v sent",
+			mpi.Float64s(count)[0], mpi.Float64s(sent)[0])
+	}
+
+	// Verify 3: global ordering across rank boundaries. Each rank sends its
+	// maximum to the next rank, which checks it against its own minimum.
+	// Empty partitions forward the predecessor's boundary unchanged.
+	boundary := int64(-1)
+	if e.Rank() > 0 {
+		buf, _, err := e.Recv(e.Rank()-1, 0)
+		if err != nil {
+			return nil, err
+		}
+		boundary = int64(binary.LittleEndian.Uint64(buf.Data))
+	}
+	if len(mine) > 0 && boundary >= 0 && uint32(boundary) > mine[0] {
+		return nil, fmt.Errorf("minikern: boundary violation at rank %d: %d > %d",
+			e.Rank(), boundary, mine[0])
+	}
+	if e.Rank() < p-1 {
+		next := boundary
+		if len(mine) > 0 {
+			next = int64(mine[len(mine)-1])
+		}
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, uint64(next))
+		e.Send(e.Rank()+1, 0, mpi.Bytes(out))
+	}
+	return mine, nil
+}
+
+// GenKeys produces a deterministic pseudo-random key stream per rank (a
+// linear congruential generator — reproducible without math/rand).
+func GenKeys(rank, n int, keyMax uint32) []uint32 {
+	state := uint64(rank)*2654435761 + 12345
+	out := make([]uint32, n)
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		out[i] = uint32(state>>33) % keyMax
+	}
+	return out
+}
+
+func keysToBytes(v []uint32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, k := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], k)
+	}
+	return out
+}
+
+func bytesToKeys(b []byte) []uint32 {
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out
+}

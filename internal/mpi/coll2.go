@@ -1,0 +1,98 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives beyond the paper's encrypted set — provided for a
+// complete MPI-style surface (NAS reference codes and downstream users rely
+// on several of them).
+
+// ReduceScatterBlock reduces equal-size blocks element-wise and scatters the
+// result: every rank contributes one block per rank and receives the fully
+// reduced block at its own index. Implemented as pairwise exchange of the
+// blocks each peer owns, then a local reduction — the classic algorithm for
+// small-to-medium payloads.
+func (c *Comm) ReduceScatterBlock(blocks []Buffer, dt Datatype, op Op) Buffer {
+	p := c.Size()
+	if len(blocks) != p {
+		panic(fmt.Sprintf("mpi: ReduceScatterBlock needs %d blocks, got %d", p, len(blocks)))
+	}
+	seq := c.nextColl()
+	acc := blocks[c.rank].Clone()
+	for i := 1; i < p; i++ {
+		dst := (c.rank + i) % p
+		src := (c.rank - i + p) % p
+		// Send the block destined for dst; receive our block's contribution
+		// from src.
+		got, _ := c.sendrecvCtx(dst, collTag(seq, i), blocks[dst], src, collTag(seq, i), c.ctxColl)
+		acc = reduceInto(acc, got, dt, op)
+	}
+	return acc
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives the
+// combination of contributions from ranks 0..r. Linear-chain algorithm
+// (each rank waits for its predecessor's partial result).
+func (c *Comm) Scan(buf Buffer, dt Datatype, op Op) Buffer {
+	seq := c.nextColl()
+	acc := buf.Clone()
+	if c.rank > 0 {
+		got, _ := c.recvColl(c.rank-1, collTag(seq, 0))
+		// Combine predecessor's prefix into ours; order matters only for
+		// non-commutative ops, which this runtime does not define.
+		acc = reduceInto(acc, got, dt, op)
+	}
+	if c.rank < c.Size()-1 {
+		c.sendColl(c.rank+1, collTag(seq, 0), acc)
+	}
+	return acc
+}
+
+// Exscan computes the exclusive prefix reduction: rank r receives the
+// combination of ranks 0..r-1; rank 0 receives the zero Buffer.
+func (c *Comm) Exscan(buf Buffer, dt Datatype, op Op) Buffer {
+	seq := c.nextColl()
+	var prefix Buffer
+	if c.rank > 0 {
+		prefix, _ = c.recvColl(c.rank-1, collTag(seq, 0))
+	}
+	if c.rank < c.Size()-1 {
+		out := buf.Clone()
+		if c.rank > 0 {
+			out = reduceInto(out, prefix, dt, op)
+		}
+		c.sendColl(c.rank+1, collTag(seq, 0), out)
+	}
+	return prefix
+}
+
+// Allgatherv collects variable-size blocks from every rank. Ring algorithm,
+// like Allgather; block sizes may differ per rank (including zero).
+func (c *Comm) Allgatherv(myBlock Buffer) []Buffer {
+	seq := c.nextColl()
+	p := c.Size()
+	res := make([]Buffer, p)
+	res[c.rank] = myBlock
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	cur := myBlock
+	for step := 1; step < p; step++ {
+		got, _ := c.sendrecvCtx(right, collTag(seq, step), cur, left, collTag(seq, step), c.ctxColl)
+		owner := (c.rank - step + p) % p
+		res[owner] = got
+		cur = got
+	}
+	return res
+}
+
+// Gatherv collects variable-size blocks onto root; non-root ranks receive
+// nil. Receives are posted up front, as in Gather.
+func (c *Comm) Gatherv(root int, myBlock Buffer) []Buffer {
+	// Variable sizes change nothing structurally: delegate to Gather's
+	// linear algorithm, which never assumed uniformity.
+	return c.Gather(root, myBlock)
+}
+
+// Scatterv distributes root's (possibly ragged) blocks.
+func (c *Comm) Scatterv(root int, blocks []Buffer) Buffer {
+	return c.Scatter(root, blocks)
+}

@@ -1,0 +1,113 @@
+package mpi_test
+
+import (
+	"bytes"
+	"testing"
+
+	"encmpi/internal/mpi"
+)
+
+func TestReduceScatterBlock(t *testing.T) {
+	runBoth(t, 4, func(c *mpi.Comm) {
+		// blocks[d] from rank r contributes value r+d to slot d.
+		blocks := make([]mpi.Buffer, c.Size())
+		for d := range blocks {
+			blocks[d] = mpi.Float64Buffer([]float64{float64(c.Rank() + d)})
+		}
+		got := c.ReduceScatterBlock(blocks, mpi.Float64, mpi.OpSum)
+		// Slot r receives Σ_s (s + r) = (0+1+2+3) + 4r.
+		want := 6.0 + 4.0*float64(c.Rank())
+		if v := mpi.Float64s(got)[0]; v != want {
+			t.Errorf("rank %d: reduce-scatter = %v, want %v", c.Rank(), v, want)
+		}
+	})
+}
+
+func TestScanInclusive(t *testing.T) {
+	runBoth(t, 5, func(c *mpi.Comm) {
+		got := c.Scan(mpi.Float64Buffer([]float64{float64(c.Rank() + 1)}), mpi.Float64, mpi.OpSum)
+		// Inclusive prefix of 1..r+1.
+		want := float64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+		if v := mpi.Float64s(got)[0]; v != want {
+			t.Errorf("rank %d: scan = %v, want %v", c.Rank(), v, want)
+		}
+	})
+}
+
+func TestExscan(t *testing.T) {
+	runBoth(t, 5, func(c *mpi.Comm) {
+		got := c.Exscan(mpi.Float64Buffer([]float64{float64(c.Rank() + 1)}), mpi.Float64, mpi.OpSum)
+		if c.Rank() == 0 {
+			if got.Len() != 0 {
+				t.Errorf("rank 0 exscan should be empty, got %d bytes", got.Len())
+			}
+			return
+		}
+		want := float64(c.Rank() * (c.Rank() + 1) / 2)
+		if v := mpi.Float64s(got)[0]; v != want {
+			t.Errorf("rank %d: exscan = %v, want %v", c.Rank(), v, want)
+		}
+	})
+}
+
+func TestAllgathervRagged(t *testing.T) {
+	runBoth(t, 4, func(c *mpi.Comm) {
+		mine := mpi.Bytes(bytes.Repeat([]byte{byte(c.Rank())}, c.Rank()*3))
+		all := c.Allgatherv(mine)
+		for r, b := range all {
+			if b.Len() != r*3 {
+				t.Errorf("rank %d: block %d has %d bytes, want %d", c.Rank(), r, b.Len(), r*3)
+			}
+			if r > 0 && b.Data[0] != byte(r) {
+				t.Errorf("rank %d: block %d content %v", c.Rank(), r, b.Data[0])
+			}
+		}
+	})
+}
+
+func TestGathervScatterv(t *testing.T) {
+	runBoth(t, 4, func(c *mpi.Comm) {
+		const root = 3
+		got := c.Gatherv(root, mpi.Bytes(bytes.Repeat([]byte{9}, c.Rank()+1)))
+		if c.Rank() == root {
+			for r, b := range got {
+				if b.Len() != r+1 {
+					t.Errorf("gatherv block %d: %d bytes", r, b.Len())
+				}
+			}
+		}
+		var blocks []mpi.Buffer
+		if c.Rank() == root {
+			blocks = make([]mpi.Buffer, c.Size())
+			for r := range blocks {
+				blocks[r] = mpi.Bytes(bytes.Repeat([]byte{byte(r)}, r+2))
+			}
+		}
+		mine := c.Scatterv(root, blocks)
+		if mine.Len() != c.Rank()+2 {
+			t.Errorf("scatterv: %d bytes, want %d", mine.Len(), c.Rank()+2)
+		}
+	})
+}
+
+func TestScanSyntheticPassThrough(t *testing.T) {
+	runBoth(t, 4, func(c *mpi.Comm) {
+		got := c.Scan(mpi.Synthetic(64), mpi.Float64, mpi.OpSum)
+		if got.Len() != 64 {
+			t.Errorf("synthetic scan length %d", got.Len())
+		}
+	})
+}
+
+func TestReduceScatterBlockWrongCount(t *testing.T) {
+	runBoth(t, 2, func(c *mpi.Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for wrong block count")
+			}
+			// Recovered ranks must not leave the job hanging: the runner
+			// treats a returned body as completion.
+		}()
+		c.ReduceScatterBlock(make([]mpi.Buffer, 1), mpi.Float64, mpi.OpSum)
+	})
+}

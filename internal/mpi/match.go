@@ -1,0 +1,154 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"encmpi/internal/sched"
+)
+
+// rankState is the per-rank matching engine: the posted-receive queue, the
+// unexpected-message queue, and the rendezvous bookkeeping. A single mutex
+// guards all of it; in simulation the lock is uncontended (one runnable proc
+// at a time), in real mode it serializes transport delivery against the
+// rank's own calls.
+type rankState struct {
+	mu   sync.Mutex
+	rank int
+	proc sched.Proc
+
+	posted     []*Request
+	unexpected []*Msg
+
+	// rndvRecv maps an RTS sequence to the receive request awaiting DATA.
+	rndvRecv map[uint64]*Request
+	// rndvSend maps a sequence to the local send request awaiting CTS.
+	rndvSend map[uint64]*Request
+}
+
+func newRankState(rank int) *rankState {
+	return &rankState{
+		rank:     rank,
+		rndvRecv: make(map[uint64]*Request),
+		rndvSend: make(map[uint64]*Request),
+	}
+}
+
+// matches reports whether message m satisfies the posted pattern req.
+func matches(req *Request, m *Msg) bool {
+	if req.ctx != m.Ctx {
+		return false
+	}
+	if req.src != AnySource && req.src != m.Src {
+		return false
+	}
+	if req.tag != AnyTag && req.tag != m.Tag {
+		return false
+	}
+	return true
+}
+
+// matchPostedLocked removes and returns the first posted receive matching m,
+// preserving MPI's posted-order matching semantics.
+func (st *rankState) matchPostedLocked(m *Msg) *Request {
+	for i, req := range st.posted {
+		if matches(req, m) {
+			st.posted = append(st.posted[:i], st.posted[i+1:]...)
+			return req
+		}
+	}
+	return nil
+}
+
+// matchUnexpectedLocked removes and returns the first unexpected message
+// matching the pattern, preserving arrival order.
+func (st *rankState) matchUnexpectedLocked(req *Request) *Msg {
+	for i, m := range st.unexpected {
+		if matches(req, m) {
+			st.unexpected = append(st.unexpected[:i], st.unexpected[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// Deliver is the transport's arrival callback. It runs the protocol state
+// machine for one incoming message. It never blocks; protocol follow-ups
+// (CTS, DATA) are sent after the state lock is released.
+func (w *World) Deliver(m *Msg) {
+	st := w.states[m.Dst]
+
+	var followup *Msg
+	var wake sched.Proc
+
+	st.mu.Lock()
+	switch m.Kind {
+	case KindEager:
+		if req := st.matchPostedLocked(m); req != nil {
+			req.completeRecvLocked(m)
+			wake = st.proc
+		} else {
+			st.unexpected = append(st.unexpected, m)
+			// A rank polling with Probe-like loops may be parked; wake it so
+			// wildcard receives posted later can still make progress.
+			wake = st.proc
+		}
+
+	case KindRTS:
+		if req := st.matchPostedLocked(m); req != nil {
+			req.seq = m.Seq
+			st.rndvRecv[m.Seq] = req
+			followup = &Msg{
+				Src: m.Dst, Dst: m.Src, Tag: m.Tag, Ctx: m.Ctx,
+				Kind: KindCTS, Seq: m.Seq,
+			}
+		} else {
+			st.unexpected = append(st.unexpected, m)
+			wake = st.proc
+		}
+
+	case KindCTS:
+		req, ok := st.rndvSend[m.Seq]
+		if !ok {
+			st.mu.Unlock()
+			panic(fmt.Sprintf("mpi: rank %d got CTS for unknown seq %d", st.rank, m.Seq))
+		}
+		delete(st.rndvSend, m.Seq)
+		// Inject the payload. The send request completes when the transport
+		// reports the data has drained from the sender (OnInjected), which
+		// is what makes a blocking rendezvous send wire-paced.
+		proc := st.proc
+		followup = &Msg{
+			Src: st.rank, Dst: m.Src, Tag: req.tag, Ctx: req.ctx,
+			Kind: KindData, Seq: m.Seq, Buf: req.buf,
+			OnInjected: func() {
+				st.mu.Lock()
+				req.done = true
+				st.mu.Unlock()
+				proc.Unpark()
+			},
+		}
+
+	case KindData:
+		req, ok := st.rndvRecv[m.Seq]
+		if !ok {
+			st.mu.Unlock()
+			panic(fmt.Sprintf("mpi: rank %d got DATA for unknown seq %d", st.rank, m.Seq))
+		}
+		delete(st.rndvRecv, m.Seq)
+		req.completeRecvLocked(m)
+		wake = st.proc
+
+	default:
+		st.mu.Unlock()
+		panic(fmt.Sprintf("mpi: unknown message kind %v", m.Kind))
+	}
+	st.mu.Unlock()
+
+	if followup != nil {
+		w.tr.Send(nil, followup)
+	}
+	if wake != nil {
+		wake.Unpark()
+	}
+}

@@ -1,0 +1,246 @@
+// Package mpi is a from-scratch MPI-style message-passing runtime: ranks,
+// tag/source matching with wildcards, eager and rendezvous point-to-point
+// protocols, non-blocking requests, and the collective operations the paper
+// encrypts (Bcast, Allgather, Alltoall, Alltoallv) plus the ones the NAS
+// kernels need (Reduce, Allreduce, Barrier, Gather, Scatter).
+//
+// The runtime is transport-agnostic: the same code runs over an in-process
+// shared-memory transport, a real TCP transport, and the discrete-event
+// simulated fabric, because all blocking goes through the sched.Proc
+// abstraction. This package plays the role MPICH-3.2.1 and MVAPICH2-2.3 play
+// in the paper.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"encmpi/internal/sched"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Context identifiers separate point-to-point and collective traffic, the
+// way MPI context ids isolate communicators.
+const (
+	CtxUser = 0
+	CtxColl = 1
+)
+
+// Kind distinguishes wire message types of the point-to-point protocol.
+type Kind uint8
+
+// Protocol message kinds.
+const (
+	KindEager Kind = iota // payload inline, buffered if unexpected
+	KindRTS               // rendezvous request-to-send (carries payload size)
+	KindCTS               // rendezvous clear-to-send
+	KindData              // rendezvous payload
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindEager:
+		return "EAGER"
+	case KindRTS:
+		return "RTS"
+	case KindCTS:
+		return "CTS"
+	case KindData:
+		return "DATA"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Buffer is a message payload. In real mode Data holds the bytes; in
+// simulation mode Data is nil and only the length N is tracked, so 4 MB
+// alltoalls across 64 ranks cost no memory.
+type Buffer struct {
+	Data []byte
+	N    int
+}
+
+// Bytes wraps a real byte slice.
+func Bytes(b []byte) Buffer { return Buffer{Data: b, N: len(b)} }
+
+// Synthetic creates a length-only buffer for simulation workloads.
+func Synthetic(n int) Buffer { return Buffer{N: n} }
+
+// Len returns the payload length in bytes.
+func (b Buffer) Len() int { return b.N }
+
+// IsSynthetic reports whether the buffer carries no real bytes.
+func (b Buffer) IsSynthetic() bool { return b.Data == nil }
+
+// Clone copies the buffer so the sender may reuse its storage (eager-send
+// semantics). Synthetic buffers are value types already.
+func (b Buffer) Clone() Buffer {
+	if b.Data == nil {
+		return b
+	}
+	return Bytes(append([]byte(nil), b.Data...))
+}
+
+// Slice returns the sub-buffer [lo, hi).
+func (b Buffer) Slice(lo, hi int) Buffer {
+	if lo < 0 || hi > b.N || lo > hi {
+		panic(fmt.Sprintf("mpi: bad buffer slice [%d:%d) of %d", lo, hi, b.N))
+	}
+	if b.Data == nil {
+		return Synthetic(hi - lo)
+	}
+	return Bytes(b.Data[lo:hi])
+}
+
+// Msg is a wire message.
+type Msg struct {
+	Src, Dst int
+	Tag      int
+	Ctx      int
+	Kind     Kind
+	// Seq identifies a rendezvous exchange (world-unique).
+	Seq uint64
+	// DataLen is the payload size announced by an RTS.
+	DataLen int
+	Buf     Buffer
+
+	// OnInjected, when set, is invoked by the transport once the message
+	// has locally completed on the sender side — synchronously for the
+	// in-process and socket transports, and at the NIC drain time in the
+	// simulator. The rendezvous protocol uses it for MPI's send-completion
+	// semantics: a large blocking send returns when the data has actually
+	// left through the adapter, not when it was queued.
+	OnInjected func()
+}
+
+// Transport moves messages between ranks. Send must not block on the
+// receiver; from may be nil when sending from a non-process context (e.g. a
+// protocol follow-up issued during delivery). Implementations must preserve
+// per-(src,dst) ordering and invoke the World's Deliver exactly once per
+// message.
+type Transport interface {
+	Send(from sched.Proc, m *Msg)
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Len    int
+}
+
+// World holds the shared state of one MPI job.
+type World struct {
+	size  int
+	eager int
+	tr    Transport
+
+	states []*rankState
+
+	seqMu sync.Mutex
+	seq   uint64
+}
+
+// NewWorld creates a world of the given size over a transport. eagerThreshold
+// is the protocol switch point in bytes: payloads strictly smaller go eager.
+func NewWorld(size int, tr Transport, eagerThreshold int) *World {
+	if size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{size: size, eager: eagerThreshold, tr: tr}
+	w.states = make([]*rankState, size)
+	for i := range w.states {
+		w.states[i] = newRankState(i)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// EagerThreshold returns the protocol switch point.
+func (w *World) EagerThreshold() int { return w.eager }
+
+// nextSeq issues a world-unique rendezvous sequence number.
+func (w *World) nextSeq() uint64 {
+	w.seqMu.Lock()
+	defer w.seqMu.Unlock()
+	w.seq++
+	return w.seq
+}
+
+// AttachRank binds a process to a rank and returns its communicator handle.
+// Every rank must be attached exactly once before communicating.
+func (w *World) AttachRank(rank int, proc sched.Proc) *Comm {
+	st := w.states[rank]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.proc != nil {
+		panic(fmt.Sprintf("mpi: rank %d attached twice", rank))
+	}
+	st.proc = proc
+	return &Comm{w: w, rank: rank, proc: proc, st: st, ctxUser: CtxUser, ctxColl: CtxColl}
+}
+
+// Comm is a per-rank communicator handle: the world communicator returned by
+// AttachRank, or a subgroup created by Split. Ranks, sources, and statuses
+// are always expressed in this communicator's own numbering.
+type Comm struct {
+	w    *World
+	rank int // rank within this communicator
+	proc sched.Proc
+	st   *rankState // matching state of our world rank
+
+	// collSeq numbers collective invocations; all ranks execute collectives
+	// in the same order, so equal numbers align across ranks.
+	collSeq int
+
+	// group lists the world ranks of this communicator's members in comm
+	// order; nil means the world communicator (identity mapping).
+	group       []int
+	worldToComm map[int]int
+
+	// ctxUser and ctxColl isolate this communicator's traffic (the analogue
+	// of MPI context ids). The world communicator uses CtxUser/CtxColl.
+	ctxUser, ctxColl int
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int {
+	if c.group != nil {
+		return len(c.group)
+	}
+	return c.w.size
+}
+
+// Proc exposes the underlying process (clock and parking).
+func (c *Comm) Proc() sched.Proc { return c.proc }
+
+// worldOf translates a comm rank to a world rank.
+func (c *Comm) worldOf(r int) int {
+	if c.group == nil {
+		return r
+	}
+	return c.group[r]
+}
+
+// commOf translates a world rank back to this communicator's numbering.
+func (c *Comm) commOf(world int) int {
+	if c.worldToComm == nil {
+		return world
+	}
+	r, ok := c.worldToComm[world]
+	if !ok {
+		panic(fmt.Sprintf("mpi: world rank %d is not a member of this communicator", world))
+	}
+	return r
+}

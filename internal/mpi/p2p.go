@@ -1,0 +1,167 @@
+package mpi
+
+import "fmt"
+
+// Isend starts a non-blocking send of buf to dst with the given tag and
+// returns a request that completes when the send buffer is reusable.
+func (c *Comm) Isend(dst, tag int, buf Buffer) *Request {
+	return c.isend(dst, tag, c.ctxUser, buf)
+}
+
+func (c *Comm) isend(dst, tag, ctx int, buf Buffer) *Request {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	wdst := c.worldOf(dst)
+	wsrc := c.st.rank
+	req := &Request{kind: reqSend, src: wdst, tag: tag, ctx: ctx, owner: c.st, comm: c}
+
+	if buf.Len() < c.w.eager {
+		// Eager: inject immediately; the payload is cloned so the caller may
+		// reuse its buffer, which is exactly MPI's buffered-eager semantics.
+		m := &Msg{Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindEager, Buf: buf.Clone()}
+		c.w.tr.Send(c.proc, m)
+		req.done = true
+		return req
+	}
+
+	// Rendezvous: announce with an RTS and wait for the receiver's CTS; the
+	// payload travels only after the receiver has a matching buffer posted.
+	seq := c.w.nextSeq()
+	req.seq = seq
+	req.buf = buf
+	c.st.mu.Lock()
+	c.st.rndvSend[seq] = req
+	c.st.mu.Unlock()
+	rts := &Msg{Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindRTS, Seq: seq, DataLen: buf.Len()}
+	c.w.tr.Send(c.proc, rts)
+	return req
+}
+
+// Send is the blocking send: it returns when the buffer is reusable.
+func (c *Comm) Send(dst, tag int, buf Buffer) {
+	c.Wait(c.Isend(dst, tag, buf))
+}
+
+// Irecv posts a non-blocking receive matching (src, tag); src may be
+// AnySource and tag may be AnyTag.
+func (c *Comm) Irecv(src, tag int) *Request {
+	return c.irecv(src, tag, c.ctxUser)
+}
+
+func (c *Comm) irecv(src, tag, ctx int) *Request {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
+	}
+	wsrc := src
+	if src != AnySource {
+		wsrc = c.worldOf(src)
+	}
+	req := &Request{kind: reqRecv, src: wsrc, tag: tag, ctx: ctx, owner: c.st, comm: c}
+
+	st := c.st
+	var cts *Msg
+	st.mu.Lock()
+	if m := st.matchUnexpectedLocked(req); m != nil {
+		switch m.Kind {
+		case KindEager:
+			req.completeRecvLocked(m)
+		case KindRTS:
+			req.seq = m.Seq
+			st.rndvRecv[m.Seq] = req
+			cts = &Msg{Src: c.st.rank, Dst: m.Src, Tag: m.Tag, Ctx: m.Ctx, Kind: KindCTS, Seq: m.Seq}
+		default:
+			st.mu.Unlock()
+			panic(fmt.Sprintf("mpi: %v message in unexpected queue", m.Kind))
+		}
+	} else {
+		st.posted = append(st.posted, req)
+	}
+	st.mu.Unlock()
+
+	if cts != nil {
+		c.w.tr.Send(c.proc, cts)
+	}
+	return req
+}
+
+// Wait blocks until the request completes. For receives it returns the
+// payload and status. If the request carries an onComplete hook (the
+// encrypted layer's deferred decryption), it runs here, in the waiter's
+// context, exactly once.
+func (c *Comm) Wait(req *Request) (Buffer, Status) {
+	if req.owner != c.st {
+		panic("mpi: waiting on a request owned by another rank")
+	}
+	for {
+		c.st.mu.Lock()
+		done := req.done
+		c.st.mu.Unlock()
+		if done {
+			break
+		}
+		c.proc.Park()
+	}
+	if req.onComplete != nil && !req.completed {
+		req.completed = true
+		req.onComplete(req)
+	}
+	status := req.status
+	if req.kind == reqRecv && req.comm != nil && status.Len >= 0 && req.done {
+		// Report the source in this communicator's numbering.
+		if status.Source >= 0 {
+			status.Source = req.comm.commOf(status.Source)
+		}
+	}
+	return req.buf, status
+}
+
+// Waitall completes all requests. Like MPI_Waitall it returns only when
+// every request has finished; onComplete hooks run in posting order.
+func (c *Comm) Waitall(reqs []*Request) {
+	for _, r := range reqs {
+		c.Wait(r)
+	}
+}
+
+// Recv is the blocking receive.
+func (c *Comm) Recv(src, tag int) (Buffer, Status) {
+	return c.Wait(c.Irecv(src, tag))
+}
+
+// Sendrecv performs the classic exchange: a send and a receive that progress
+// concurrently, avoiding the head-to-head deadlock of two blocking sends.
+func (c *Comm) Sendrecv(dst, sendTag int, sendBuf Buffer, src, recvTag int) (Buffer, Status) {
+	rreq := c.Irecv(src, recvTag)
+	sreq := c.Isend(dst, sendTag, sendBuf)
+	buf, status := c.Wait(rreq)
+	c.Wait(sreq)
+	return buf, status
+}
+
+// sendrecvCtx is Sendrecv on the collective context.
+func (c *Comm) sendrecvCtx(dst, sendTag int, sendBuf Buffer, src, recvTag, ctx int) (Buffer, Status) {
+	rreq := c.irecv(src, recvTag, ctx)
+	sreq := c.isend(dst, sendTag, ctx, sendBuf)
+	buf, status := c.Wait(rreq)
+	c.Wait(sreq)
+	return buf, status
+}
+
+// SetOnComplete installs a completion hook that Wait will run in the
+// waiter's context. It must be set before Wait observes completion.
+func (r *Request) SetOnComplete(fn func(*Request)) { r.onComplete = fn }
+
+// BufferOf returns the request's payload (valid once Wait returned it, or
+// inside an onComplete hook).
+func (r *Request) BufferOf() Buffer { return r.buf }
+
+// SetBuffer replaces the request's payload; the encrypted layer uses this to
+// substitute the decrypted plaintext inside its Wait hook.
+func (r *Request) SetBuffer(b Buffer) {
+	r.buf = b
+	r.status.Len = b.Len()
+}
+
+// StatusOf returns the request's receive status.
+func (r *Request) StatusOf() Status { return r.status }

@@ -1,0 +1,38 @@
+package mpi
+
+// Iprobe checks, without blocking or receiving, whether a message matching
+// (src, tag) — wildcards allowed — has arrived. The returned Status
+// describes the first match in arrival order: its source, tag, and payload
+// length (for rendezvous messages, the announced length).
+func (c *Comm) Iprobe(src, tag int) (bool, Status) {
+	wsrc := src
+	if src != AnySource {
+		wsrc = c.worldOf(src)
+	}
+	probe := &Request{kind: reqRecv, src: wsrc, tag: tag, ctx: c.ctxUser}
+	st := c.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, m := range st.unexpected {
+		if matches(probe, m) {
+			n := m.Buf.Len()
+			if m.Kind == KindRTS {
+				n = m.DataLen
+			}
+			return true, Status{Source: c.commOf(m.Src), Tag: m.Tag, Len: n}
+		}
+	}
+	return false, Status{}
+}
+
+// Probe blocks until a matching message is available, then reports its
+// status without consuming it. A subsequent Recv with the returned source
+// and tag retrieves it.
+func (c *Comm) Probe(src, tag int) Status {
+	for {
+		if ok, status := c.Iprobe(src, tag); ok {
+			return status
+		}
+		c.proc.Park()
+	}
+}

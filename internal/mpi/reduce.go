@@ -1,0 +1,122 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Datatype describes the element type of a reduction buffer.
+type Datatype int
+
+// Supported datatypes.
+const (
+	Float64 Datatype = iota
+	Int64
+	Byte
+)
+
+// Size returns the element size in bytes.
+func (d Datatype) Size() int {
+	switch d {
+	case Float64, Int64:
+		return 8
+	case Byte:
+		return 1
+	default:
+		panic(fmt.Sprintf("mpi: unknown datatype %d", int(d)))
+	}
+}
+
+// Op is a reduction operator.
+type Op int
+
+// Supported reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+// reduceInto accumulates src into dst element-wise: dst = dst (op) src.
+// Synthetic buffers pass through untouched (the simulator only tracks sizes).
+func reduceInto(dst, src Buffer, dt Datatype, op Op) Buffer {
+	if dst.Len() != src.Len() {
+		panic(fmt.Sprintf("mpi: reduce length mismatch %d vs %d", dst.Len(), src.Len()))
+	}
+	if dst.IsSynthetic() || src.IsSynthetic() {
+		return Synthetic(dst.Len())
+	}
+	es := dt.Size()
+	if dst.Len()%es != 0 {
+		panic(fmt.Sprintf("mpi: buffer length %d not a multiple of element size %d", dst.Len(), es))
+	}
+	for off := 0; off < dst.Len(); off += es {
+		switch dt {
+		case Float64:
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst.Data[off:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src.Data[off:]))
+			binary.LittleEndian.PutUint64(dst.Data[off:], math.Float64bits(applyF(a, b, op)))
+		case Int64:
+			a := int64(binary.LittleEndian.Uint64(dst.Data[off:]))
+			b := int64(binary.LittleEndian.Uint64(src.Data[off:]))
+			binary.LittleEndian.PutUint64(dst.Data[off:], uint64(applyI(a, b, op)))
+		case Byte:
+			dst.Data[off] = byte(applyI(int64(dst.Data[off]), int64(src.Data[off]), op))
+		}
+	}
+	return dst
+}
+
+func applyF(a, b float64, op Op) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
+	}
+}
+
+func applyI(a, b int64, op Op) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
+	}
+}
+
+// Float64Buffer packs a float64 slice into a Buffer (little endian).
+func Float64Buffer(v []float64) Buffer {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return Bytes(b)
+}
+
+// Float64s unpacks a Buffer into float64s.
+func Float64s(b Buffer) []float64 {
+	if b.IsSynthetic() {
+		return make([]float64, b.Len()/8)
+	}
+	out := make([]float64, len(b.Data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b.Data[8*i:]))
+	}
+	return out
+}

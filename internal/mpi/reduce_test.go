@@ -1,0 +1,105 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDatatypeSizes(t *testing.T) {
+	if Float64.Size() != 8 || Int64.Size() != 8 || Byte.Size() != 1 {
+		t.Error("datatype sizes wrong")
+	}
+}
+
+func TestReduceIntoFloat64(t *testing.T) {
+	a := Float64Buffer([]float64{1, -2, 3})
+	b := Float64Buffer([]float64{10, 20, -30})
+	sum := reduceInto(a.Clone(), b, Float64, OpSum)
+	if got := Float64s(sum); got[0] != 11 || got[1] != 18 || got[2] != -27 {
+		t.Errorf("sum = %v", got)
+	}
+	mx := reduceInto(a.Clone(), b, Float64, OpMax)
+	if got := Float64s(mx); got[0] != 10 || got[1] != 20 || got[2] != 3 {
+		t.Errorf("max = %v", got)
+	}
+	mn := reduceInto(a.Clone(), b, Float64, OpMin)
+	if got := Float64s(mn); got[0] != 1 || got[1] != -2 || got[2] != -30 {
+		t.Errorf("min = %v", got)
+	}
+}
+
+func TestReduceIntoByte(t *testing.T) {
+	a := Bytes([]byte{1, 200, 30})
+	b := Bytes([]byte{2, 10, 30})
+	out := reduceInto(a.Clone(), b, Byte, OpMax)
+	if out.Data[0] != 2 || out.Data[1] != 200 || out.Data[2] != 30 {
+		t.Errorf("byte max = %v", out.Data)
+	}
+}
+
+func TestReduceIntoSyntheticPassThrough(t *testing.T) {
+	out := reduceInto(Synthetic(16), Synthetic(16), Float64, OpSum)
+	if !out.IsSynthetic() || out.Len() != 16 {
+		t.Errorf("synthetic reduce: %v %d", out.IsSynthetic(), out.Len())
+	}
+	// Mixed real/synthetic degrades to synthetic (simulation mode).
+	out = reduceInto(Float64Buffer([]float64{1}), Synthetic(8), Float64, OpSum)
+	if !out.IsSynthetic() {
+		t.Error("mixed reduce should be synthetic")
+	}
+}
+
+func TestReduceIntoPanicsOnMismatch(t *testing.T) {
+	cases := []func(){
+		func() { reduceInto(Bytes(make([]byte, 8)), Bytes(make([]byte, 16)), Float64, OpSum) },
+		func() { reduceInto(Bytes(make([]byte, 12)), Bytes(make([]byte, 12)), Float64, OpSum) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestReduceAlgebra: sum is commutative, max/min idempotent — over random
+// float vectors.
+func TestReduceAlgebra(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			if v == v && v < 1e300 && v > -1e300 { // drop NaN/±huge
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		a := Float64Buffer(vals)
+		b := Float64Buffer(vals)
+		// max(x, x) == x
+		mx := Float64s(reduceInto(a.Clone(), b, Float64, OpMax))
+		for i, v := range vals {
+			if mx[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyIOps(t *testing.T) {
+	if applyI(3, 5, OpSum) != 8 || applyI(3, 5, OpMax) != 5 || applyI(3, 5, OpMin) != 3 {
+		t.Error("int ops wrong")
+	}
+	if applyI(-3, -5, OpMax) != -3 || applyI(-3, -5, OpMin) != -5 {
+		t.Error("negative int ops wrong")
+	}
+}

@@ -1,0 +1,54 @@
+package mpi
+
+// reqKind tells send and receive requests apart.
+type reqKind uint8
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+)
+
+// Request is a non-blocking operation handle (the analogue of MPI_Request).
+type Request struct {
+	kind reqKind
+	// Matching pattern for receives (may hold wildcards); concrete
+	// destination coordinates for sends.
+	src, tag, ctx int
+
+	// seq is set for rendezvous exchanges.
+	seq uint64
+
+	// buf: for sends, the payload; for completed receives, the data.
+	buf Buffer
+
+	// status fields of a completed receive.
+	status Status
+
+	done bool
+
+	// owner is the rank state whose mutex guards this request.
+	owner *rankState
+	// comm is the communicator that created the request; Wait uses it to
+	// translate the status source into comm-rank numbering.
+	comm *Comm
+
+	// onComplete, when non-nil, runs in the waiter's context the first time
+	// Wait observes completion (used by the encrypted layer to decrypt
+	// inside Wait, preserving the non-blocking property — paper §IV).
+	onComplete func(*Request)
+	completed  bool
+}
+
+// Done reports (racily, for tests and polling) whether the request finished.
+func (r *Request) Done() bool {
+	r.owner.mu.Lock()
+	defer r.owner.mu.Unlock()
+	return r.done
+}
+
+// completeRecvLocked fills in a matched message. Caller holds owner.mu.
+func (r *Request) completeRecvLocked(m *Msg) {
+	r.buf = m.Buf
+	r.status = Status{Source: m.Src, Tag: m.Tag, Len: m.Buf.Len()}
+	r.done = true
+}

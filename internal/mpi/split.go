@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// Undefined is the color value that opts a rank out of a Split (the
+// analogue of MPI_UNDEFINED): Split returns nil for it.
+const Undefined = -1 << 30
+
+// Split partitions the communicator: ranks passing the same color form a
+// new communicator, ordered by (key, old rank). It is collective — every
+// member must call it. Ranks passing Undefined receive nil.
+//
+// The new communicator's traffic is isolated by fresh context ids derived
+// deterministically from the parent context, the invocation number, and the
+// group's lowest world rank, so all members agree without extra
+// communication and disjoint groups never collide.
+func (c *Comm) Split(color, key int) *Comm {
+	seq := c.nextColl()
+
+	// Exchange (color, key, world rank) among all members.
+	rec := make([]byte, 24)
+	binary.LittleEndian.PutUint64(rec[0:], uint64(int64(color)))
+	binary.LittleEndian.PutUint64(rec[8:], uint64(int64(key)))
+	binary.LittleEndian.PutUint64(rec[16:], uint64(int64(c.st.rank)))
+	all := c.Allgather(Bytes(rec))
+
+	type member struct{ color, key, world int }
+	var mine []member
+	for _, b := range all {
+		if b.IsSynthetic() {
+			panic("mpi: Split requires real buffers (synthetic allgather result)")
+		}
+		m := member{
+			color: int(int64(binary.LittleEndian.Uint64(b.Data[0:]))),
+			key:   int(int64(binary.LittleEndian.Uint64(b.Data[8:]))),
+			world: int(int64(binary.LittleEndian.Uint64(b.Data[16:]))),
+		}
+		if m.color == color && color != Undefined {
+			mine = append(mine, m)
+		}
+	}
+	if color == Undefined {
+		return nil
+	}
+
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].key != mine[j].key {
+			return mine[i].key < mine[j].key
+		}
+		return mine[i].world < mine[j].world
+	})
+
+	group := make([]int, len(mine))
+	worldToComm := make(map[int]int, len(mine))
+	myRank := -1
+	lowest := mine[0].world
+	for i, m := range mine {
+		group[i] = m.world
+		worldToComm[m.world] = i
+		if m.world < lowest {
+			lowest = m.world
+		}
+		if m.world == c.st.rank {
+			myRank = i
+		}
+	}
+
+	return &Comm{
+		w:           c.w,
+		rank:        myRank,
+		proc:        c.proc,
+		st:          c.st,
+		group:       group,
+		worldToComm: worldToComm,
+		ctxUser:     ctxHash(c.ctxUser, seq, lowest, 0),
+		ctxColl:     ctxHash(c.ctxUser, seq, lowest, 1),
+	}
+}
+
+// Dup returns a communicator with the same group but isolated contexts
+// (the analogue of MPI_Comm_dup).
+func (c *Comm) Dup() *Comm { return c.Split(0, c.rank) }
+
+// ctxHash derives a context id all group members compute identically.
+// Values below 256 are reserved for the world communicator's contexts.
+func ctxHash(parentCtx, seq, lowest, kind int) int {
+	h := fnv.New64a()
+	var buf [32]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(int64(parentCtx)))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(seq)))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(int64(lowest)))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(int64(kind)))
+	h.Write(buf[:])
+	v := int(h.Sum64() & 0x7fffffffffffffff)
+	if v < 256 {
+		v += 256
+	}
+	return v
+}

@@ -1,0 +1,188 @@
+package mpi_test
+
+import (
+	"testing"
+
+	"encmpi/internal/mpi"
+)
+
+// TestSplitEvenOdd splits six ranks by parity and checks ranks, sizes, and
+// communication isolation.
+func TestSplitEvenOdd(t *testing.T) {
+	runBoth(t, 6, func(c *mpi.Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		if sub == nil {
+			t.Error("nil subcomm")
+			return
+		}
+		if sub.Size() != 3 {
+			t.Errorf("sub size %d", sub.Size())
+		}
+		// Even ranks 0,2,4 → sub ranks 0,1,2 (ordered by key = old rank).
+		if want := c.Rank() / 2; sub.Rank() != want {
+			t.Errorf("world %d: sub rank %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+
+		// A broadcast within each group must not leak across groups.
+		var buf mpi.Buffer
+		if sub.Rank() == 0 {
+			buf = mpi.Bytes([]byte{byte(c.Rank() % 2)})
+		}
+		got := sub.Bcast(0, buf)
+		if int(got.Data[0]) != c.Rank()%2 {
+			t.Errorf("world %d got group tag %d", c.Rank(), got.Data[0])
+		}
+
+		// Allreduce within the group: sum of world ranks of the group.
+		sum := sub.Allreduce(mpi.Float64Buffer([]float64{float64(c.Rank())}), mpi.Float64, mpi.OpSum)
+		want := 0.0
+		for r := c.Rank() % 2; r < 6; r += 2 {
+			want += float64(r)
+		}
+		if v := mpi.Float64s(sum)[0]; v != want {
+			t.Errorf("world %d: group sum %v, want %v", c.Rank(), v, want)
+		}
+	})
+}
+
+// TestSplitPointToPoint checks rank translation of sends, statuses, and
+// probes inside a subgroup.
+func TestSplitPointToPoint(t *testing.T) {
+	runBoth(t, 4, func(c *mpi.Comm) {
+		// Group = {world 1, world 3} for odd, {0, 2} for even.
+		sub := c.Split(c.Rank()%2, 0) // key ties → ordered by world rank
+		switch sub.Rank() {
+		case 0:
+			sub.Send(1, 7, mpi.Bytes([]byte{byte(c.Rank())}))
+		case 1:
+			st := sub.Probe(mpi.AnySource, 7)
+			if st.Source != 0 {
+				t.Errorf("probe source %d (comm numbering expected)", st.Source)
+			}
+			buf, st2 := sub.Recv(0, 7)
+			// Payload carries the sender's WORLD rank; status must carry its
+			// comm rank (0).
+			if st2.Source != 0 {
+				t.Errorf("status source %d", st2.Source)
+			}
+			wantWorld := c.Rank() - 2 // our group peer
+			if int(buf.Data[0]) != wantWorld {
+				t.Errorf("payload %d, want world %d", buf.Data[0], wantWorld)
+			}
+		}
+		c.Barrier()
+	})
+}
+
+// TestSplitKeyOrdering: keys reverse the rank order.
+func TestSplitKeyOrdering(t *testing.T) {
+	runBoth(t, 4, func(c *mpi.Comm) {
+		sub := c.Split(0, -c.Rank()) // all one group, reversed
+		if want := 3 - c.Rank(); sub.Rank() != want {
+			t.Errorf("world %d: sub rank %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+	})
+}
+
+// TestSplitUndefined: opting out yields nil while others proceed.
+func TestSplitUndefined(t *testing.T) {
+	runBoth(t, 4, func(c *mpi.Comm) {
+		color := 0
+		if c.Rank() == 3 {
+			color = mpi.Undefined
+		}
+		sub := c.Split(color, 0)
+		if c.Rank() == 3 {
+			if sub != nil {
+				t.Error("undefined rank got a communicator")
+			}
+			return
+		}
+		if sub.Size() != 3 {
+			t.Errorf("sub size %d", sub.Size())
+		}
+		sub.Barrier()
+	})
+}
+
+// TestSplitIsolationFromParent: concurrent traffic on parent and child with
+// identical tags must not cross-match.
+func TestSplitIsolationFromParent(t *testing.T) {
+	runBoth(t, 2, func(c *mpi.Comm) {
+		sub := c.Split(0, c.Rank())
+		const tag = 5
+		switch c.Rank() {
+		case 0:
+			c.Send(1, tag, mpi.Bytes([]byte("parent")))
+			sub.Send(1, tag, mpi.Bytes([]byte("child")))
+		case 1:
+			// Receive in the opposite order: context isolation must route
+			// each message to the right communicator regardless.
+			childBuf, _ := sub.Recv(0, tag)
+			parentBuf, _ := c.Recv(0, tag)
+			if string(childBuf.Data) != "child" || string(parentBuf.Data) != "parent" {
+				t.Errorf("cross-matched: %q / %q", childBuf.Data, parentBuf.Data)
+			}
+		}
+	})
+}
+
+// TestNestedSplit: split a split.
+func TestNestedSplit(t *testing.T) {
+	runBoth(t, 8, func(c *mpi.Comm) {
+		half := c.Split(c.Rank()/4, c.Rank())   // two groups of 4
+		quarter := half.Split(half.Rank()/2, 0) // four groups of 2
+		if quarter.Size() != 2 {
+			t.Errorf("nested size %d", quarter.Size())
+		}
+		sum := quarter.Allreduce(mpi.Float64Buffer([]float64{1}), mpi.Float64, mpi.OpSum)
+		if v := mpi.Float64s(sum)[0]; v != 2 {
+			t.Errorf("nested allreduce = %v", v)
+		}
+	})
+}
+
+// TestDup: duplicated communicator has the same shape but isolated traffic.
+func TestDup(t *testing.T) {
+	runBoth(t, 3, func(c *mpi.Comm) {
+		d := c.Dup()
+		if d.Rank() != c.Rank() || d.Size() != c.Size() {
+			t.Errorf("dup shape (%d/%d) vs (%d/%d)", d.Rank(), d.Size(), c.Rank(), c.Size())
+		}
+		got := d.Bcast(2, pickBuf(c.Rank() == 2, mpi.Bytes([]byte("dup")), mpi.Buffer{}))
+		if string(got.Data) != "dup" {
+			t.Errorf("dup bcast: %q", got.Data)
+		}
+	})
+}
+
+func pickBuf(cond bool, a, b mpi.Buffer) mpi.Buffer {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// TestSplitRowColumns is the NAS usage pattern: an 8-rank world split into
+// 2 rows × 4 columns, with reductions along both.
+func TestSplitRowsColumns(t *testing.T) {
+	runBoth(t, 8, func(c *mpi.Comm) {
+		const cols = 4
+		row := c.Split(c.Rank()/cols, c.Rank()%cols)
+		col := c.Split(c.Rank()%cols, c.Rank()/cols)
+		if row.Size() != cols || col.Size() != 2 {
+			t.Fatalf("row %d col %d", row.Size(), col.Size())
+		}
+		rowSum := row.Allreduce(mpi.Float64Buffer([]float64{float64(c.Rank())}), mpi.Float64, mpi.OpSum)
+		colSum := col.Allreduce(mpi.Float64Buffer([]float64{float64(c.Rank())}), mpi.Float64, mpi.OpSum)
+		// Row r holds ranks 4r..4r+3; column k holds ranks k and k+4.
+		wantRow := float64(4*(c.Rank()/cols)*4 + 6)
+		wantCol := float64(2*(c.Rank()%cols) + 4)
+		if v := mpi.Float64s(rowSum)[0]; v != wantRow {
+			t.Errorf("rank %d: row sum %v, want %v", c.Rank(), v, wantRow)
+		}
+		if v := mpi.Float64s(colSum)[0]; v != wantCol {
+			t.Errorf("rank %d: col sum %v, want %v", c.Rank(), v, wantCol)
+		}
+	})
+}

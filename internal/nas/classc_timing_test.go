@@ -1,0 +1,23 @@
+package nas
+
+import (
+	"testing"
+	"time"
+
+	"encmpi/internal/encmpi"
+	"encmpi/internal/simnet"
+)
+
+func TestClassCTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class C timing sweep skipped in -short mode")
+	}
+	for _, k := range Kernels() {
+		start := time.Now()
+		res, err := Run(k, 'C', 64, 8, simnet.Eth10G(), func(int) encmpi.Engine { return encmpi.NullEngine{} }, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		t.Logf("%s: virtual %.3fs comm-only, wall %.1fs", k, res.Elapsed.Seconds(), time.Since(start).Seconds())
+	}
+}

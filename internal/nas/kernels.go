@@ -1,0 +1,387 @@
+package nas
+
+import (
+	"time"
+
+	"encmpi/internal/encmpi"
+	"encmpi/internal/mpi"
+)
+
+// advance models computation on the calling rank.
+func advance(e *encmpi.Comm, d time.Duration) {
+	if d > 0 {
+		e.Unwrap().Proc().Advance(d)
+	}
+}
+
+// sendrecvSyn performs an encrypted synthetic exchange of equal-size
+// messages with a mutually-paired partner (partner's partner must be us).
+func sendrecvSyn(e *encmpi.Comm, partner, tag, size int) {
+	if partner == e.Rank() {
+		return
+	}
+	if _, _, err := e.Sendrecv(partner, tag, mpi.Synthetic(size), partner, tag); err != nil {
+		panic(err)
+	}
+}
+
+// halo describes one directed transfer of a halo round.
+type halo struct {
+	dst, src  int
+	tag, size int
+}
+
+// haloRound posts every receive, then every send, then waits — the classic
+// deadlock-free NPB exchange pattern, required for shift (non-mutual)
+// communication such as +x/−x ghost faces.
+func haloRound(e *encmpi.Comm, hs []halo) {
+	reqs := make([]*encmpi.Request, 0, 2*len(hs))
+	for _, h := range hs {
+		if h.src == e.Rank() && h.dst == e.Rank() {
+			continue
+		}
+		reqs = append(reqs, e.Irecv(h.src, h.tag))
+	}
+	for _, h := range hs {
+		if h.src == e.Rank() && h.dst == e.Rank() {
+			continue
+		}
+		reqs = append(reqs, e.Isend(h.dst, h.tag, mpi.Synthetic(h.size)))
+	}
+	if err := e.Waitall(reqs); err != nil {
+		panic(err)
+	}
+}
+
+// --- CG: conjugate gradient -------------------------------------------------
+//
+// 2D process grid; each CG iteration does a sparse matrix-vector product
+// whose partial sums are combined across a row (log2(cols) exchanges of a
+// 150 KB row segment at class C / 64 ranks), one transpose exchange of the
+// same size, and two 8-byte dot-product reductions. 25 CG iterations per
+// outer iteration, as in NPB (cgitmax = 25).
+func runCG(e *encmpi.Comm, p Params, compute time.Duration) {
+	rows, cols := grid2(e.Size())
+	row, col := e.Rank()/cols, e.Rank()%cols
+	rowSize := p.NA / cols * 8
+
+	// Transpose partner: exact transpose on square grids; the standard
+	// shifted pairing otherwise.
+	var transposePartner int
+	if rows == cols {
+		transposePartner = col*rows + row
+	} else {
+		transposePartner = (e.Rank() + e.Size()/2) % e.Size()
+	}
+
+	const cgitmax = 25
+	e.Barrier()
+	for it := 0; it < p.Iters; it++ {
+		advance(e, compute)
+		for inner := 0; inner < cgitmax; inner++ {
+			tag := (it*cgitmax + inner) * 8
+			// Row-wise partial-sum combination (recursive halving pattern).
+			for bit := 1; bit < cols; bit <<= 1 {
+				partnerCol := col ^ bit
+				partner := row*cols + partnerCol
+				sendrecvSyn(e, partner, tag+bit, rowSize)
+			}
+			// Transpose exchange.
+			sendrecvSyn(e, transposePartner, tag+7, rowSize)
+			// Two dot products (unencrypted small reductions, §IV).
+			e.Allreduce(mpi.Synthetic(8), mpi.Float64, mpi.OpSum)
+			e.Allreduce(mpi.Synthetic(8), mpi.Float64, mpi.OpSum)
+		}
+		// Residual norm.
+		e.Allreduce(mpi.Synthetic(8), mpi.Float64, mpi.OpSum)
+	}
+}
+
+// --- FT: 3D FFT --------------------------------------------------------------
+//
+// The distributed FFT transposes the 16-byte-complex grid once per
+// iteration with a full Alltoall: at class C / 64 ranks each rank exchanges
+// 512 KB blocks (512³·16 / 64² bytes) with every peer — the paper's
+// Encrypted_Alltoall workhorse.
+func runFT(e *encmpi.Comm, p Params, compute time.Duration) {
+	totalBytes := p.N * p.N * p.N * 16
+	block := totalBytes / e.Size() / e.Size()
+	if block < 1 {
+		block = 1
+	}
+	e.Barrier()
+	for it := 0; it < p.Iters; it++ {
+		advance(e, compute)
+		blocks := make([]mpi.Buffer, e.Size())
+		for i := range blocks {
+			blocks[i] = mpi.Synthetic(block)
+		}
+		if _, err := e.Alltoall(blocks); err != nil {
+			panic(err)
+		}
+		// Checksum reduction.
+		e.Allreduce(mpi.Synthetic(16), mpi.Float64, mpi.OpSum)
+	}
+}
+
+// --- MG: multigrid ----------------------------------------------------------
+//
+// V-cycles over a hierarchy of grids: at every level each rank exchanges
+// ghost faces with its six 3D-torus neighbors; faces shrink by 4× per level.
+// Eight halo rounds per level per iteration approximate the smoothing,
+// residual, restriction, and prolongation sweeps of the real code.
+func runMG(e *encmpi.Comm, p Params, compute time.Duration) {
+	px, py, pz := grid3(e.Size())
+	cx := e.Rank() % px
+	cy := (e.Rank() / px) % py
+	cz := e.Rank() / (px * py)
+	rankOf := func(x, y, z int) int {
+		return ((x+px)%px + px*(((y+py)%py)+py*((z+pz)%pz)))
+	}
+	lx, ly, lz := p.N/px, p.N/py, p.N/pz
+	const haloRounds = 8
+
+	e.Barrier()
+	for it := 0; it < p.Iters; it++ {
+		advance(e, compute)
+		level := 0
+		for n := min3(lx, ly, lz); n >= 2; n >>= 1 {
+			shrink := 1 << level
+			fy, fz := max1(ly/shrink), max1(lz/shrink)
+			fx := max1(lx / shrink)
+			faceX := fy * fz * 8
+			faceY := fx * fz * 8
+			faceZ := fx * fy * 8
+			for round := 0; round < haloRounds; round++ {
+				tag := ((it*64+level)*16 + round) * 8
+				haloRound(e, []halo{
+					{dst: rankOf(cx+1, cy, cz), src: rankOf(cx-1, cy, cz), tag: tag + 0, size: faceX},
+					{dst: rankOf(cx-1, cy, cz), src: rankOf(cx+1, cy, cz), tag: tag + 1, size: faceX},
+					{dst: rankOf(cx, cy+1, cz), src: rankOf(cx, cy-1, cz), tag: tag + 2, size: faceY},
+					{dst: rankOf(cx, cy-1, cz), src: rankOf(cx, cy+1, cz), tag: tag + 3, size: faceY},
+					{dst: rankOf(cx, cy, cz+1), src: rankOf(cx, cy, cz-1), tag: tag + 4, size: faceZ},
+					{dst: rankOf(cx, cy, cz-1), src: rankOf(cx, cy, cz+1), tag: tag + 5, size: faceZ},
+				})
+			}
+			level++
+		}
+		// Norm check.
+		e.Allreduce(mpi.Synthetic(8), mpi.Float64, mpi.OpSum)
+	}
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// --- LU: SSOR wavefront -------------------------------------------------------
+//
+// 2D pencil decomposition. Each iteration sweeps two wavefronts (lower and
+// upper triangular solves) through the z planes: every stage receives thin
+// pencil boundaries from north/west and forwards to south/east, serializing
+// along the diagonal exactly like blts/buts. Plane batching (≤32 stages)
+// keeps event counts tractable while preserving total volume.
+func runLU(e *encmpi.Comm, p Params, compute time.Duration) {
+	rows, cols := grid2(e.Size())
+	row, col := e.Rank()/cols, e.Rank()%cols
+	nxl, nyl := max1(p.N/cols), max1(p.N/rows)
+	stages := p.N
+	if stages > 32 {
+		stages = 32
+	}
+	batch := max1(p.N / stages)
+	southMsg := batch * nxl * 5 * 8
+	eastMsg := batch * nyl * 5 * 8
+	faceMsg := nyl * p.N * 5 * 8
+
+	north, south := row > 0, row < rows-1
+	west, east := col > 0, col < cols-1
+	rankAt := func(r, c int) int { return r*cols + c }
+
+	recvFrom := func(r, c, tag int) {
+		if _, _, err := e.Recv(rankAt(r, c), tag); err != nil {
+			panic(err)
+		}
+	}
+	sendTo := func(r, c, tag, size int) {
+		e.Send(rankAt(r, c), tag, mpi.Synthetic(size))
+	}
+
+	e.Barrier()
+	for it := 0; it < p.Iters; it++ {
+		advance(e, compute)
+		// Lower solve: wavefront from (0,0) toward (rows-1, cols-1).
+		for s := 0; s < stages; s++ {
+			tag := it*256 + s
+			if north {
+				recvFrom(row-1, col, tag)
+			}
+			if west {
+				recvFrom(row, col-1, tag+64)
+			}
+			if south {
+				sendTo(row+1, col, tag, southMsg)
+			}
+			if east {
+				sendTo(row, col+1, tag+64, eastMsg)
+			}
+		}
+		// Upper solve: wavefront from (rows-1, cols-1) back.
+		for s := 0; s < stages; s++ {
+			tag := it*256 + 128 + s
+			if south {
+				recvFrom(row+1, col, tag)
+			}
+			if east {
+				recvFrom(row, col+1, tag+64)
+			}
+			if north {
+				sendTo(row-1, col, tag, southMsg)
+			}
+			if west {
+				sendTo(row, col-1, tag+64, eastMsg)
+			}
+		}
+		// exchange_3: rhs halo faces with every existing neighbor (non-torus).
+		var hs []halo
+		if north {
+			hs = append(hs, halo{dst: rankAt(row-1, col), src: rankAt(row-1, col), tag: it*256 + 250, size: faceMsg})
+		}
+		if south {
+			hs = append(hs, halo{dst: rankAt(row+1, col), src: rankAt(row+1, col), tag: it*256 + 250, size: faceMsg})
+		}
+		if west {
+			hs = append(hs, halo{dst: rankAt(row, col-1), src: rankAt(row, col-1), tag: it*256 + 251, size: faceMsg})
+		}
+		if east {
+			hs = append(hs, halo{dst: rankAt(row, col+1), src: rankAt(row, col+1), tag: it*256 + 251, size: faceMsg})
+		}
+		haloRound(e, hs)
+		// Residual norms (5 doubles).
+		e.Allreduce(mpi.Synthetic(40), mpi.Float64, mpi.OpSum)
+	}
+}
+
+// --- BT and SP: multipartition ADI solvers -----------------------------------
+//
+// Square process grid. Each iteration copies six boundary faces to
+// neighbors, then runs line solves in x, y, and z: forward and backward
+// substitution chains of √P dependent stages each, which is where encryption
+// delay amplifies along the critical path (the effect behind BT's large
+// overhead in Table IV). SP exchanges the same pattern with thinner
+// messages.
+func runBTSP(e *encmpi.Comm, p Params, compute time.Duration, isBT bool) {
+	s, ok := sqrtInt(e.Size())
+	if !ok {
+		panic("nas: BT/SP require a perfect-square rank count")
+	}
+	row, col := e.Rank()/s, e.Rank()%s
+	rankAt := func(r, c int) int { return ((r+s)%s)*s + (c+s)%s }
+
+	scale := 1.0
+	if !isBT {
+		scale = 0.6
+	}
+	faceMsg := int(float64(p.N*p.N*5*8) / float64(s) * scale)
+	solveMsg := faceMsg
+	if faceMsg < 8 {
+		faceMsg, solveMsg = 8, 8
+	}
+
+	// lineSolve runs a dependent forward+backward chain along one grid line.
+	lineSolve := func(line []int, myIdx, tagBase int) {
+		// Forward substitution.
+		if myIdx > 0 {
+			if _, _, err := e.Recv(line[myIdx-1], tagBase); err != nil {
+				panic(err)
+			}
+		}
+		if myIdx < len(line)-1 {
+			e.Send(line[myIdx+1], tagBase, mpi.Synthetic(solveMsg))
+		}
+		// Backward substitution.
+		if myIdx < len(line)-1 {
+			if _, _, err := e.Recv(line[myIdx+1], tagBase+1); err != nil {
+				panic(err)
+			}
+		}
+		if myIdx > 0 {
+			e.Send(line[myIdx-1], tagBase+1, mpi.Synthetic(solveMsg))
+		}
+	}
+
+	rowLine := make([]int, s)
+	colLine := make([]int, s)
+	for i := 0; i < s; i++ {
+		rowLine[i] = rankAt(row, i)
+		colLine[i] = rankAt(i, col)
+	}
+
+	e.Barrier()
+	for it := 0; it < p.Iters; it++ {
+		advance(e, compute)
+		tag := it * 64
+		// copy_faces: six directed neighbor face transfers.
+		haloRound(e, []halo{
+			{dst: rankAt(row, col+1), src: rankAt(row, col-1), tag: tag + 0, size: faceMsg},
+			{dst: rankAt(row, col-1), src: rankAt(row, col+1), tag: tag + 1, size: faceMsg},
+			{dst: rankAt(row+1, col), src: rankAt(row-1, col), tag: tag + 2, size: faceMsg},
+			{dst: rankAt(row-1, col), src: rankAt(row+1, col), tag: tag + 3, size: faceMsg},
+			{dst: rankAt(row+1, col+1), src: rankAt(row-1, col-1), tag: tag + 4, size: faceMsg},
+			{dst: rankAt(row-1, col-1), src: rankAt(row+1, col+1), tag: tag + 5, size: faceMsg},
+		})
+		// x, y, z line solves.
+		lineSolve(rowLine, col, tag+8)
+		lineSolve(colLine, row, tag+16)
+		lineSolve(rowLine, col, tag+24)
+	}
+}
+
+// --- IS: integer sort ---------------------------------------------------------
+//
+// Bucket sort: per iteration an (unencrypted, small) reduction of bucket
+// counts, a tiny alltoall of send counts, and the big Encrypted_Alltoallv
+// redistributing the 4-byte keys (≈ 2 × 8 MB per rank per iteration at
+// class C / 64 ranks, counting the key and rank arrays).
+func runIS(e *encmpi.Comm, p Params, compute time.Duration) {
+	perRankBytes := p.Keys / e.Size() * 4 * 2
+	block := max1(perRankBytes / e.Size())
+
+	e.Barrier()
+	for it := 0; it < p.Iters; it++ {
+		advance(e, compute)
+		// Bucket-size reduction (1024 int32 buckets).
+		e.Allreduce(mpi.Synthetic(4096), mpi.Int64, mpi.OpSum)
+		// Send-count alltoall (8 bytes per destination), encrypted.
+		counts := make([]mpi.Buffer, e.Size())
+		for i := range counts {
+			counts[i] = mpi.Synthetic(8)
+		}
+		if _, err := e.Alltoall(counts); err != nil {
+			panic(err)
+		}
+		// Key redistribution.
+		keys := make([]mpi.Buffer, e.Size())
+		for i := range keys {
+			keys[i] = mpi.Synthetic(block)
+		}
+		if _, err := e.Alltoallv(keys); err != nil {
+			panic(err)
+		}
+	}
+	// Full verification reduction.
+	e.Allreduce(mpi.Synthetic(8), mpi.Int64, mpi.OpSum)
+}

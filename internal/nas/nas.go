@@ -1,0 +1,242 @@
+// Package nas implements communication skeletons of the seven NAS parallel
+// benchmarks the paper runs (BT, CG, FT, IS, LU, MG, SP; §V Benchmarks).
+// Each skeleton reproduces the kernel's communication structure — partners,
+// message sizes, message counts, and dependency chains (wavefronts and line
+// solves serialize exactly as in the real codes) — with per-iteration
+// computation modeled as virtual time.
+//
+// Message geometry is derived from the published problem dimensions of each
+// class (e.g. CG class C: na=150000 on an 8x8 process grid → 150 KB transpose
+// rows; FT class C: a 512³ complex grid → 512 KB alltoall blocks at 64
+// ranks). Per-iteration compute time is calibrated once per kernel so that
+// the *unencrypted* Ethernet run matches the paper's Table IV baseline; all
+// encrypted results and the InfiniBand behaviour are then emergent. See
+// DESIGN.md §2 for the substitution argument and EXPERIMENTS.md for measured
+// deviations.
+package nas
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"encmpi/internal/cluster"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/job"
+	"encmpi/internal/mpi"
+	"encmpi/internal/simnet"
+)
+
+// Kernels lists the benchmark names in the paper's table order.
+func Kernels() []string { return []string{"CG", "FT", "MG", "LU", "BT", "SP", "IS"} }
+
+// Params holds a kernel instance's geometry.
+type Params struct {
+	Kernel string
+	Class  byte
+	Iters  int
+
+	// NA is CG's matrix dimension.
+	NA int
+	// N is the cubic grid edge for FT/MG/LU/BT/SP.
+	N int
+	// Keys is IS's total key count.
+	Keys int
+}
+
+// ParamsFor returns the published problem sizes. Classes S (tiny, for
+// tests), A, B, and C (the paper's evaluation class) are supported.
+func ParamsFor(kernel string, class byte) (Params, error) {
+	p := Params{Kernel: kernel, Class: class}
+	pick := func(s, a, b, c int) (int, error) {
+		switch class {
+		case 'S':
+			return s, nil
+		case 'A':
+			return a, nil
+		case 'B':
+			return b, nil
+		case 'C':
+			return c, nil
+		default:
+			return 0, fmt.Errorf("nas: unsupported class %q", string(class))
+		}
+	}
+	var err error
+	switch kernel {
+	case "CG":
+		p.NA, err = pick(1400, 14000, 75000, 150000)
+		if err == nil {
+			p.Iters, err = pick(15, 15, 75, 75)
+		}
+	case "FT":
+		// Class B's 512x256x256 grid is represented by its
+		// volume-equivalent cube (edge 320).
+		p.N, err = pick(64, 256, 320, 512)
+		if err == nil {
+			p.Iters, err = pick(6, 6, 20, 20)
+		}
+	case "MG":
+		p.N, err = pick(32, 256, 256, 512)
+		if err == nil {
+			p.Iters, err = pick(4, 4, 20, 20)
+		}
+	case "LU":
+		p.N, err = pick(12, 64, 102, 162)
+		if err == nil {
+			p.Iters, err = pick(50, 250, 250, 250)
+		}
+	case "BT":
+		p.N, err = pick(12, 64, 102, 162)
+		if err == nil {
+			p.Iters, err = pick(60, 200, 200, 200)
+		}
+	case "SP":
+		p.N, err = pick(12, 64, 102, 162)
+		if err == nil {
+			p.Iters, err = pick(100, 400, 400, 400)
+		}
+	case "IS":
+		p.Keys, err = pick(1<<16, 1<<23, 1<<25, 1<<27)
+		if err == nil {
+			p.Iters, err = pick(10, 10, 10, 10)
+		}
+	default:
+		return p, fmt.Errorf("nas: unknown kernel %q (have %v)", kernel, Kernels())
+	}
+	return p, err
+}
+
+// grid2 factors p into (rows, cols) with cols ≥ rows, both powers of two.
+func grid2(p int) (rows, cols int) {
+	if p&(p-1) != 0 {
+		panic(fmt.Sprintf("nas: rank count %d is not a power of two", p))
+	}
+	logp := 0
+	for v := p; v > 1; v >>= 1 {
+		logp++
+	}
+	rows = 1 << (logp / 2)
+	cols = p / rows
+	if cols < rows {
+		rows, cols = cols, rows
+	}
+	return rows, cols
+}
+
+// grid3 factors p into a near-cubic (px, py, pz).
+func grid3(p int) (px, py, pz int) {
+	px, py, pz = 1, 1, 1
+	for v, d := p, 0; v > 1; v, d = v>>1, d+1 {
+		switch d % 3 {
+		case 0:
+			px <<= 1
+		case 1:
+			py <<= 1
+		case 2:
+			pz <<= 1
+		}
+	}
+	return px, py, pz
+}
+
+// sqrtInt returns the integer square root if p is a perfect square.
+func sqrtInt(p int) (int, bool) {
+	s := int(math.Round(math.Sqrt(float64(p))))
+	return s, s*s == p
+}
+
+// RunKernel executes one full benchmark on an encrypted communicator,
+// advancing computePerIter of modeled computation per iteration.
+func RunKernel(e *encmpi.Comm, p Params, computePerIter time.Duration) {
+	switch p.Kernel {
+	case "CG":
+		runCG(e, p, computePerIter)
+	case "FT":
+		runFT(e, p, computePerIter)
+	case "MG":
+		runMG(e, p, computePerIter)
+	case "LU":
+		runLU(e, p, computePerIter)
+	case "BT":
+		runBTSP(e, p, computePerIter, true)
+	case "SP":
+		runBTSP(e, p, computePerIter, false)
+	case "IS":
+		runIS(e, p, computePerIter)
+	default:
+		panic(fmt.Sprintf("nas: unknown kernel %q", p.Kernel))
+	}
+}
+
+// Result reports one simulated benchmark run.
+type Result struct {
+	Kernel  string
+	Class   byte
+	Ranks   int
+	Nodes   int
+	Engine  string
+	Elapsed time.Duration
+}
+
+// Run launches the kernel on the simulated cluster with one engine per rank.
+func Run(kernel string, class byte, ranks, nodes int, cfg simnet.Config,
+	mkEngine func(rank int) encmpi.Engine, computePerIter time.Duration) (Result, error) {
+
+	p, err := ParamsFor(kernel, class)
+	if err != nil {
+		return Result{}, err
+	}
+	spec := cluster.PaperTestbed(ranks, nodes)
+	var engineName string
+	res, err := job.RunSim(spec, cfg, func(c *mpi.Comm) {
+		eng := mkEngine(c.Rank())
+		if c.Rank() == 0 {
+			engineName = eng.Name()
+		}
+		RunKernel(encmpi.Wrap(c, eng), p, computePerIter)
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("nas: %s class %c: %w", kernel, class, err)
+	}
+	return Result{
+		Kernel: kernel, Class: class, Ranks: ranks, Nodes: nodes,
+		Engine: engineName, Elapsed: res.Elapsed,
+	}, nil
+}
+
+// EthBaselineSeconds is the paper's Table IV unencrypted column: NAS class C,
+// 64 ranks, 8 nodes on 10 GbE. These are the calibration targets for the
+// per-kernel compute budgets.
+var EthBaselineSeconds = map[string]float64{
+	"CG": 7.01, "FT": 12.04, "MG": 2.55, "LU": 18.04, "BT": 22.83, "SP": 21.99, "IS": 4.06,
+}
+
+// IBBaselineSeconds is Table VIII's unencrypted column (InfiniBand), used
+// only for reporting paper-vs-measured deltas — the IB baseline is emergent
+// in this reproduction.
+var IBBaselineSeconds = map[string]float64{
+	"CG": 6.55, "FT": 10.00, "MG": 3.59, "LU": 18.36, "BT": 24.56, "SP": 24.20, "IS": 3.04,
+}
+
+// Calibrate derives the per-iteration compute budget for a kernel: it runs
+// the zero-compute unencrypted skeleton on cfg and returns the residual
+// (targetSeconds − commTime)/iters, clamped at zero. The paper's Ethernet
+// baselines are the canonical targets.
+func Calibrate(kernel string, class byte, ranks, nodes int, cfg simnet.Config, targetSeconds float64) (time.Duration, error) {
+	p, err := ParamsFor(kernel, class)
+	if err != nil {
+		return 0, err
+	}
+	baseline := func(int) encmpi.Engine { return encmpi.NullEngine{} }
+	res, err := Run(kernel, class, ranks, nodes, cfg, baseline, 0)
+	if err != nil {
+		return 0, err
+	}
+	residual := targetSeconds - res.Elapsed.Seconds()
+	if residual < 0 {
+		residual = 0
+	}
+	perIter := time.Duration(residual / float64(p.Iters) * float64(time.Second))
+	return perIter, nil
+}

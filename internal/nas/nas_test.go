@@ -1,0 +1,182 @@
+package nas
+
+import (
+	"testing"
+	"time"
+
+	"encmpi/internal/costmodel"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/simnet"
+)
+
+func baseline() func(int) encmpi.Engine {
+	return func(int) encmpi.Engine { return encmpi.NullEngine{} }
+}
+
+func model(t testing.TB, lib string, v costmodel.Variant) func(int) encmpi.Engine {
+	t.Helper()
+	p, err := costmodel.Lookup(lib, v, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(int) encmpi.Engine { return encmpi.NewModelEngine(p) }
+}
+
+func TestParamsFor(t *testing.T) {
+	for _, k := range Kernels() {
+		for _, class := range []byte{'S', 'A', 'B', 'C'} {
+			p, err := ParamsFor(k, class)
+			if err != nil {
+				t.Errorf("%s/%c: %v", k, class, err)
+				continue
+			}
+			if p.Iters <= 0 {
+				t.Errorf("%s/%c: iters %d", k, class, p.Iters)
+			}
+		}
+		if _, err := ParamsFor(k, 'Z'); err == nil {
+			t.Errorf("%s: class Z accepted", k)
+		}
+	}
+	if _, err := ParamsFor("EP", 'S'); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	// Paper's class C geometry spot checks.
+	cg, _ := ParamsFor("CG", 'C')
+	if cg.NA != 150000 || cg.Iters != 75 {
+		t.Errorf("CG class C params: %+v", cg)
+	}
+	ft, _ := ParamsFor("FT", 'C')
+	if ft.N != 512 || ft.Iters != 20 {
+		t.Errorf("FT class C params: %+v", ft)
+	}
+}
+
+func TestGridFactorizations(t *testing.T) {
+	for _, tc := range []struct{ p, rows, cols int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {8, 2, 4}, {16, 4, 4}, {64, 8, 8},
+	} {
+		r, c := grid2(tc.p)
+		if r != tc.rows || c != tc.cols {
+			t.Errorf("grid2(%d) = (%d,%d), want (%d,%d)", tc.p, r, c, tc.rows, tc.cols)
+		}
+	}
+	px, py, pz := grid3(64)
+	if px*py*pz != 64 || px != 4 || py != 4 || pz != 4 {
+		t.Errorf("grid3(64) = (%d,%d,%d)", px, py, pz)
+	}
+	px, py, pz = grid3(16)
+	if px*py*pz != 16 {
+		t.Errorf("grid3(16) does not multiply back")
+	}
+	if s, ok := sqrtInt(64); !ok || s != 8 {
+		t.Errorf("sqrtInt(64) = %d,%v", s, ok)
+	}
+	if _, ok := sqrtInt(8); ok {
+		t.Error("sqrtInt(8) claimed a square")
+	}
+}
+
+// TestAllKernelsRunClassS smoke-tests every kernel end to end at 4 ranks on
+// both networks, baseline and encrypted.
+func TestAllKernelsRunClassS(t *testing.T) {
+	for _, cfg := range []simnet.Config{simnet.Eth10G(), simnet.IB40G()} {
+		for _, k := range Kernels() {
+			res, err := Run(k, 'S', 4, 2, cfg, baseline(), 10*time.Microsecond)
+			if err != nil {
+				t.Fatalf("%s/%s baseline: %v", cfg.Name, k, err)
+			}
+			if res.Elapsed <= 0 {
+				t.Errorf("%s/%s: zero elapsed", cfg.Name, k)
+			}
+			enc, err := Run(k, 'S', 4, 2, cfg, model(t, "cryptopp", costmodel.GCC485), 10*time.Microsecond)
+			if err != nil {
+				t.Fatalf("%s/%s encrypted: %v", cfg.Name, k, err)
+			}
+			if enc.Elapsed <= res.Elapsed {
+				t.Errorf("%s/%s: encrypted (%v) not slower than baseline (%v)",
+					cfg.Name, k, enc.Elapsed, res.Elapsed)
+			}
+		}
+	}
+}
+
+// TestKernelDeterminism: identical runs give identical virtual times.
+func TestKernelDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		res, err := Run("CG", 'S', 4, 2, simnet.Eth10G(), model(t, "boringssl", costmodel.GCC485), time.Microsecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestLibraryOrderingOnKernels: for a comm-heavy kernel the paper's library
+// ranking must hold: baseline < boringssl < libsodium < cryptopp.
+func TestLibraryOrderingOnKernels(t *testing.T) {
+	times := map[string]time.Duration{}
+	for _, lib := range []string{"boringssl", "libsodium", "cryptopp"} {
+		res, err := Run("FT", 'S', 4, 2, simnet.Eth10G(), model(t, lib, costmodel.GCC485), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[lib] = res.Elapsed
+	}
+	base, err := Run("FT", 'S', 4, 2, simnet.Eth10G(), baseline(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(base.Elapsed < times["boringssl"] &&
+		times["boringssl"] < times["libsodium"] &&
+		times["libsodium"] < times["cryptopp"]) {
+		t.Errorf("ordering violated: base %v boring %v sodium %v cpp %v",
+			base.Elapsed, times["boringssl"], times["libsodium"], times["cryptopp"])
+	}
+}
+
+// TestCalibrate: the calibrated compute budget must make the baseline land
+// on the target.
+func TestCalibrate(t *testing.T) {
+	cfg := simnet.Eth10G()
+	const target = 0.05 // 50 ms
+	perIter, err := Calibrate("CG", 'S', 4, 2, cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run("CG", 'S', 4, 2, cfg, baseline(), perIter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Elapsed.Seconds()
+	if got < 0.9*target || got > 1.1*target {
+		t.Errorf("calibrated baseline %.4fs, target %.4fs", got, target)
+	}
+
+	// An unreachable target (comm alone exceeds it) clamps to zero compute.
+	perIter, err = Calibrate("CG", 'S', 4, 2, cfg, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perIter != 0 {
+		t.Errorf("expected zero compute for unreachable target, got %v", perIter)
+	}
+}
+
+// TestBTRequiresSquare documents the multipartition constraint.
+func TestBTRequiresSquare(t *testing.T) {
+	if _, err := Run("BT", 'S', 8, 2, simnet.Eth10G(), baseline(), 0); err == nil {
+		t.Error("BT accepted a non-square rank count")
+	}
+}
+
+func TestBaselineTablesComplete(t *testing.T) {
+	for _, k := range Kernels() {
+		if EthBaselineSeconds[k] <= 0 || IBBaselineSeconds[k] <= 0 {
+			t.Errorf("%s: missing baseline entries", k)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package osu reimplements the micro-benchmarks the paper uses: the
+// ping-pong test, the OSU Multiple-Pair bandwidth test (64-message windows,
+// 100 iterations), and the OSU collective latency tests for Bcast and
+// Alltoall. All of them run on the simulated cluster and are parameterized
+// by a crypto-engine factory, so one code path produces both the
+// "Unencrypted" baselines and every encrypted row.
+//
+// Following the paper's accounting, throughput is computed over the
+// *plaintext* bytes: the 28-byte nonce+tag expansion travels on the wire but
+// is excluded from the numerator.
+package osu
+
+import (
+	"fmt"
+	"time"
+
+	"encmpi/internal/cluster"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/job"
+	"encmpi/internal/mpi"
+	"encmpi/internal/simnet"
+)
+
+// EngineFactory builds a per-rank crypto engine. Engines carry per-rank
+// nonce state, so each rank needs its own.
+type EngineFactory func(rank int) encmpi.Engine
+
+// Baseline is the factory for unencrypted runs.
+func Baseline() EngineFactory {
+	return func(int) encmpi.Engine { return encmpi.NullEngine{} }
+}
+
+// PingPongResult reports one ping-pong configuration.
+type PingPongResult struct {
+	Size       int
+	OneWay     time.Duration
+	Throughput float64 // MB/s (decimal), plaintext bytes only
+}
+
+// PingPong runs the blocking ping-pong between two ranks on different nodes
+// (paper: "All ping-pong results use two processes on different nodes").
+func PingPong(cfg simnet.Config, mk EngineFactory, size, iters int) (PingPongResult, error) {
+	spec := cluster.PaperTestbed(2, 2)
+	var oneWay time.Duration
+	_, err := job.RunSim(spec, cfg, func(c *mpi.Comm) {
+		e := encmpi.Wrap(c, mk(c.Rank()))
+		peer := 1 - c.Rank()
+		buf := mpi.Synthetic(size)
+		roundTrip := func() {
+			if c.Rank() == 0 {
+				e.Send(peer, 0, buf)
+				if _, _, err := e.Recv(peer, 0); err != nil {
+					panic(err)
+				}
+			} else {
+				if _, _, err := e.Recv(peer, 0); err != nil {
+					panic(err)
+				}
+				e.Send(peer, 0, buf)
+			}
+		}
+		roundTrip() // warm-up
+		start := c.Proc().Now()
+		for i := 0; i < iters; i++ {
+			roundTrip()
+		}
+		if c.Rank() == 0 {
+			oneWay = (c.Proc().Now() - start) / time.Duration(2*iters)
+		}
+	})
+	if err != nil {
+		return PingPongResult{}, err
+	}
+	res := PingPongResult{Size: size, OneWay: oneWay}
+	if oneWay > 0 {
+		res.Throughput = float64(size) / oneWay.Seconds() / 1e6
+	}
+	return res, nil
+}
+
+// MultiPairResult reports the aggregate unidirectional bandwidth.
+type MultiPairResult struct {
+	Size       int
+	Pairs      int
+	Throughput float64 // aggregate MB/s across all pairs
+}
+
+// MultiPairWindow is the OSU default window size the paper cites: each
+// iteration a sender posts 64 non-blocking sends and waits for the
+// receiver's reply.
+const MultiPairWindow = 64
+
+// MultiPair runs the Multiple-Pair bandwidth test: `pairs` senders on one
+// node stream to `pairs` receivers on another node.
+func MultiPair(cfg simnet.Config, mk EngineFactory, size, pairs, iters int) (MultiPairResult, error) {
+	spec := cluster.Spec{
+		Name:         fmt.Sprintf("mbw-%dpairs", pairs),
+		Nodes:        2,
+		CoresPerNode: 8,
+		Ranks:        2 * pairs,
+		Place:        cluster.Block,
+	}
+	var elapsed time.Duration
+	_, err := job.RunSim(spec, cfg, func(c *mpi.Comm) {
+		e := encmpi.Wrap(c, mk(c.Rank()))
+		isSender := c.Rank() < pairs
+		peer := (c.Rank() + pairs) % (2 * pairs)
+		buf := mpi.Synthetic(size)
+		ack := mpi.Synthetic(4)
+
+		iteration := func() {
+			if isSender {
+				reqs := make([]*encmpi.Request, MultiPairWindow)
+				for i := range reqs {
+					reqs[i] = e.Isend(peer, 0, buf)
+				}
+				if err := e.Waitall(reqs); err != nil {
+					panic(err)
+				}
+				if _, _, err := e.Recv(peer, 1); err != nil {
+					panic(err)
+				}
+			} else {
+				reqs := make([]*encmpi.Request, MultiPairWindow)
+				for i := range reqs {
+					reqs[i] = e.Irecv(peer, 0)
+				}
+				if err := e.Waitall(reqs); err != nil {
+					panic(err)
+				}
+				e.Send(peer, 1, ack)
+			}
+		}
+
+		iteration() // warm-up
+		c.Barrier()
+		start := c.Proc().Now()
+		for i := 0; i < iters; i++ {
+			iteration()
+		}
+		// The aggregate window closes when the slowest pair finishes; the
+		// closing barrier makes rank 0's clock see exactly that.
+		c.Barrier()
+		if c.Rank() == 0 {
+			elapsed = c.Proc().Now() - start
+		}
+	})
+	if err != nil {
+		return MultiPairResult{}, err
+	}
+	res := MultiPairResult{Size: size, Pairs: pairs}
+	if elapsed > 0 {
+		totalBytes := float64(pairs) * float64(iters) * MultiPairWindow * float64(size)
+		res.Throughput = totalBytes / elapsed.Seconds() / 1e6
+	}
+	return res, nil
+}
+
+// CollectiveOp names a collective under test.
+type CollectiveOp string
+
+// The two collectives the paper times at 64 ranks / 8 nodes, plus
+// Allgather, which §IV encrypts but does not table.
+const (
+	OpBcast     CollectiveOp = "bcast"
+	OpAlltoall  CollectiveOp = "alltoall"
+	OpAllgather CollectiveOp = "allgather"
+)
+
+// CollectiveResult reports the mean per-invocation latency.
+type CollectiveResult struct {
+	Op      CollectiveOp
+	Size    int
+	Ranks   int
+	Nodes   int
+	MeanLat time.Duration
+}
+
+// Collective times `iters` invocations of the operation on the given
+// cluster shape, OSU-style (each rank times the loop; the mean over ranks is
+// reported).
+func Collective(cfg simnet.Config, mk EngineFactory, op CollectiveOp, ranks, nodes, size, iters int) (CollectiveResult, error) {
+	spec := cluster.PaperTestbed(ranks, nodes)
+	perRank := make([]time.Duration, ranks)
+	_, err := job.RunSim(spec, cfg, func(c *mpi.Comm) {
+		e := encmpi.Wrap(c, mk(c.Rank()))
+		runOnce := func() {
+			switch op {
+			case OpBcast:
+				var buf mpi.Buffer
+				if c.Rank() == 0 {
+					buf = mpi.Synthetic(size)
+				}
+				if _, err := e.Bcast(0, buf); err != nil {
+					panic(err)
+				}
+			case OpAlltoall:
+				blocks := make([]mpi.Buffer, c.Size())
+				for i := range blocks {
+					blocks[i] = mpi.Synthetic(size)
+				}
+				if _, err := e.Alltoall(blocks); err != nil {
+					panic(err)
+				}
+			case OpAllgather:
+				if _, err := e.Allgather(mpi.Synthetic(size)); err != nil {
+					panic(err)
+				}
+			default:
+				panic(fmt.Sprintf("osu: unknown collective %q", op))
+			}
+		}
+		runOnce() // warm-up
+		c.Barrier()
+		start := c.Proc().Now()
+		for i := 0; i < iters; i++ {
+			runOnce()
+		}
+		perRank[c.Rank()] = (c.Proc().Now() - start) / time.Duration(iters)
+	})
+	if err != nil {
+		return CollectiveResult{}, err
+	}
+	var sum time.Duration
+	for _, d := range perRank {
+		sum += d
+	}
+	return CollectiveResult{
+		Op: op, Size: size, Ranks: ranks, Nodes: nodes,
+		MeanLat: sum / time.Duration(ranks),
+	}, nil
+}

@@ -1,0 +1,192 @@
+package osu
+
+import (
+	"testing"
+
+	"encmpi/internal/costmodel"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/simnet"
+)
+
+// modelFactory builds a cost-model engine factory for a paper library.
+func modelFactory(t testing.TB, lib string, v costmodel.Variant) EngineFactory {
+	t.Helper()
+	p, err := costmodel.Lookup(lib, v, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(int) encmpi.Engine { return encmpi.NewModelEngine(p) }
+}
+
+func TestPingPongBaselineVsEncrypted(t *testing.T) {
+	cfg := simnet.Eth10G()
+	base, err := PingPong(cfg, Baseline(), 2<<20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := PingPong(cfg, modelFactory(t, "boringssl", costmodel.GCC485), 2<<20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Throughput <= enc.Throughput {
+		t.Errorf("baseline %.0f MB/s not above encrypted %.0f MB/s", base.Throughput, enc.Throughput)
+	}
+	// Paper §V-A: BoringSSL overhead at 2 MB on Ethernet is 78.3%.
+	overhead := base.OneWay.Seconds()/enc.OneWay.Seconds() - 1
+	_ = overhead
+	ratio := enc.OneWay.Seconds()/base.OneWay.Seconds() - 1
+	if ratio < 0.5 || ratio > 1.1 {
+		t.Errorf("2MB Ethernet BoringSSL overhead %.1f%%, paper ≈78%%", ratio*100)
+	}
+}
+
+func TestMultiPairAggregates(t *testing.T) {
+	cfg := simnet.Eth10G()
+	one, err := MultiPair(cfg, Baseline(), 1, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := MultiPair(cfg, Baseline(), 1, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small messages: baseline throughput grows with pairs (Fig. 4).
+	if four.Throughput < 2*one.Throughput {
+		t.Errorf("1B multipair did not scale: 1 pair %.3f, 4 pairs %.3f MB/s",
+			one.Throughput, four.Throughput)
+	}
+
+	// Large messages: baseline saturates (Fig. 6) — 4 pairs no more than
+	// ~1.6x of 1 pair.
+	oneL, err := MultiPair(cfg, Baseline(), 2<<20, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fourL, err := MultiPair(cfg, Baseline(), 2<<20, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fourL.Throughput > 1.6*oneL.Throughput {
+		t.Errorf("2MB multipair did not saturate: 1 pair %.0f, 4 pairs %.0f MB/s",
+			oneL.Throughput, fourL.Throughput)
+	}
+}
+
+func TestMultiPairEncryptedConverges(t *testing.T) {
+	// Paper Fig. 5/6: with more pairs, encrypted throughput approaches the
+	// baseline because encryption parallelizes while the NIC is the shared
+	// bottleneck.
+	cfg := simnet.Eth10G()
+	mk := modelFactory(t, "boringssl", costmodel.GCC485)
+	gap := func(pairs int) float64 {
+		base, err := MultiPair(cfg, Baseline(), 16<<10, pairs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := MultiPair(cfg, mk, 16<<10, pairs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc.Throughput / base.Throughput
+	}
+	if g1, g8 := gap(1), gap(8); g8 < g1 {
+		t.Errorf("encrypted/baseline ratio should improve with pairs: 1 pair %.2f, 8 pairs %.2f", g1, g8)
+	}
+}
+
+func TestCollectiveLatency(t *testing.T) {
+	cfg := simnet.IB40G()
+	b, err := Collective(cfg, Baseline(), OpBcast, 16, 4, 16<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Collective(cfg, Baseline(), OpAlltoall, 16, 4, 16<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MeanLat <= 0 || a.MeanLat <= 0 {
+		t.Fatalf("non-positive latencies: %v %v", b.MeanLat, a.MeanLat)
+	}
+	// Alltoall moves p× the data of Bcast; it must be slower.
+	if a.MeanLat <= b.MeanLat {
+		t.Errorf("alltoall %v not slower than bcast %v", a.MeanLat, b.MeanLat)
+	}
+
+	// Encrypted collective must be slower than baseline.
+	encB, err := Collective(cfg, modelFactory(t, "cryptopp", costmodel.MVAPICH), OpBcast, 16, 4, 16<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encB.MeanLat <= b.MeanLat {
+		t.Errorf("encrypted bcast %v not slower than baseline %v", encB.MeanLat, b.MeanLat)
+	}
+}
+
+func TestUnknownCollectivePanicsToError(t *testing.T) {
+	_, err := Collective(simnet.Eth10G(), Baseline(), CollectiveOp("scan"), 4, 2, 8, 1)
+	if err == nil {
+		t.Fatal("unknown collective accepted")
+	}
+}
+
+// TestPingPongZeroAndTinyIters guards the divide-by-zero edges.
+func TestPingPongTinySetups(t *testing.T) {
+	res, err := PingPong(simnet.IB40G(), Baseline(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OneWay <= 0 || res.Throughput <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+}
+
+// TestMultiPairSinglePairMatchesPingPongScale: one pair with deep windows
+// should exceed the blocking ping-pong throughput (pipelining).
+func TestMultiPairBeatsPingPong(t *testing.T) {
+	cfg := simnet.Eth10G()
+	pp, err := PingPong(cfg, Baseline(), 64<<10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := MultiPair(cfg, Baseline(), 64<<10, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Throughput <= pp.Throughput {
+		t.Errorf("windowed streaming (%.0f) not above blocking ping-pong (%.0f)",
+			mp.Throughput, pp.Throughput)
+	}
+}
+
+// TestCollectiveScalesWithRanks: a 4MB alltoall at 64 ranks moves 16x the
+// per-rank data of 16 ranks; latency must grow substantially.
+func TestCollectiveScalesWithRanks(t *testing.T) {
+	cfg := simnet.Eth10G()
+	small, err := Collective(cfg, Baseline(), OpAlltoall, 16, 4, 64<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Collective(cfg, Baseline(), OpAlltoall, 64, 8, 64<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.MeanLat < 2*small.MeanLat {
+		t.Errorf("alltoall did not scale: 16r %v vs 64r %v", small.MeanLat, big.MeanLat)
+	}
+}
+
+// TestAllgatherCollective covers the third encrypted collective.
+func TestAllgatherCollective(t *testing.T) {
+	cfg := simnet.Eth10G()
+	base, err := Collective(cfg, Baseline(), OpAllgather, 16, 4, 16<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := Collective(cfg, modelFactory(t, "libsodium", costmodel.GCC485), OpAllgather, 16, 4, 16<<10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.MeanLat <= base.MeanLat {
+		t.Errorf("encrypted allgather %v not slower than baseline %v", enc.MeanLat, base.MeanLat)
+	}
+}

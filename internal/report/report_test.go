@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Ping-pong", "Size", "MB/s")
+	tb.Add("1B", "0.050")
+	tb.Add("256B", "7.01")
+	tb.Note("paper Table I")
+	s := tb.String()
+	for _, want := range []string{"Ping-pong", "Size", "MB/s", "0.050", "7.01", "note: paper Table I"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Alignment: header and rows start columns at the same offsets.
+	lines := strings.Split(s, "\n")
+	if !strings.HasPrefix(lines[1], "Size") {
+		t.Errorf("unexpected layout: %q", lines[1])
+	}
+}
+
+func TestAddPadsAndTruncates(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.Add("only")
+	tb.Add("x", "y", "z-dropped")
+	if tb.Rows[0][1] != "" || len(tb.Rows[1]) != 2 {
+		t.Errorf("rows: %v", tb.Rows)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := NewTable("", "name", "value")
+	tb.Add(`with,comma`, `with"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"with,comma"`) || !strings.Contains(csv, `"with""quote"`) {
+		t.Errorf("csv escaping broken: %s", csv)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.Add("1", "2")
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| 1 | 2 |") || !strings.Contains(md, "| --- | --- |") {
+		t.Errorf("markdown broken:\n%s", md)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if MBps(1381.2) != "1381" {
+		t.Errorf("MBps large: %s", MBps(1381.2))
+	}
+	if MBps(7.014) != "7.01" {
+		t.Errorf("MBps mid: %s", MBps(7.014))
+	}
+	if MBps(0.0499) != "0.050" {
+		t.Errorf("MBps small: %s", MBps(0.0499))
+	}
+	if got := Micros(1966299470 * time.Microsecond / 1000); got != "1,966,299.47" {
+		t.Errorf("Micros: %s", got)
+	}
+	if Micros(31150*time.Nanosecond) != "31.15" {
+		t.Errorf("Micros small: %s", Micros(31150*time.Nanosecond))
+	}
+	if Pct(0.1275) != "12.75%" {
+		t.Errorf("Pct: %s", Pct(0.1275))
+	}
+	if Seconds(7010*time.Millisecond) != "7.01" {
+		t.Errorf("Seconds: %s", Seconds(7010*time.Millisecond))
+	}
+}
+
+func TestWithCommasEdgeCases(t *testing.T) {
+	cases := map[float64]string{
+		0:          "0.00",
+		999.994:    "999.99",
+		1000:       "1,000.00",
+		123456.789: "123,456.79",
+		-1234.5:    "-1,234.50",
+	}
+	for in, want := range cases {
+		if got := withCommas(in); got != want {
+			t.Errorf("withCommas(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

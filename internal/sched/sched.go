@@ -1,0 +1,74 @@
+// Package sched abstracts "a process with a clock" so the MPI runtime can
+// execute identically on real wall-clock time (in-process and TCP
+// transports) and on the virtual time of the discrete-event simulator.
+//
+// The contract mirrors runtime parking: Park blocks until some other party
+// calls Unpark, and spurious wakeups are allowed, so all callers must re-check
+// their condition in a loop. Advance models computation: it occupies this
+// process's core for the given duration (virtual time in simulation, sleep in
+// real time).
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// Proc is the execution context handed to every rank.
+type Proc interface {
+	// Now returns the current time on this proc's clock.
+	Now() time.Duration
+	// Advance models computation taking d on this proc's core.
+	Advance(d time.Duration)
+	// Park blocks until Unpark is called. Wakeups may be spurious.
+	Park()
+	// Unpark releases a current or future Park. It may be called from any
+	// context, including before Park.
+	Unpark()
+}
+
+// RealProc is the wall-clock implementation of Proc used by the in-process
+// and TCP transports.
+type RealProc struct {
+	epoch  time.Time
+	permit chan struct{}
+}
+
+// NewRealProc creates a wall-clock proc whose Now counts from epoch.
+func NewRealProc(epoch time.Time) *RealProc {
+	return &RealProc{epoch: epoch, permit: make(chan struct{}, 1)}
+}
+
+// Now implements Proc.
+func (p *RealProc) Now() time.Duration { return time.Since(p.epoch) }
+
+// Advance implements Proc by sleeping.
+func (p *RealProc) Advance(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Park implements Proc.
+func (p *RealProc) Park() { <-p.permit }
+
+// Unpark implements Proc; extra permits are coalesced.
+func (p *RealProc) Unpark() {
+	select {
+	case p.permit <- struct{}{}:
+	default:
+	}
+}
+
+// Group tracks a set of real procs sharing one epoch, so a job's ranks agree
+// on time zero.
+type Group struct {
+	once  sync.Once
+	epoch time.Time
+}
+
+// Proc returns a new RealProc in the group.
+func (g *Group) Proc() *RealProc {
+	g.once.Do(func() { g.epoch = time.Now() })
+	return NewRealProc(g.epoch)
+}

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealProcParkUnpark(t *testing.T) {
+	p := NewRealProc(time.Now())
+	done := make(chan struct{})
+	go func() {
+		p.Park()
+		close(done)
+	}()
+	p.Unpark()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Park did not return after Unpark")
+	}
+}
+
+func TestRealProcPermitBeforePark(t *testing.T) {
+	p := NewRealProc(time.Now())
+	p.Unpark() // stored permit
+	done := make(chan struct{})
+	go func() {
+		p.Park() // must consume the permit immediately
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Park ignored the stored permit")
+	}
+}
+
+func TestRealProcUnparkCoalesces(t *testing.T) {
+	p := NewRealProc(time.Now())
+	for i := 0; i < 10; i++ {
+		p.Unpark()
+	}
+	// Exactly one permit must be stored: first Park returns, second blocks.
+	p.Park()
+	blocked := make(chan struct{})
+	go func() {
+		p.Park()
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("second Park returned without a new Unpark")
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Unpark()
+	<-blocked
+}
+
+func TestRealProcNowAdvance(t *testing.T) {
+	p := NewRealProc(time.Now())
+	t0 := p.Now()
+	p.Advance(10 * time.Millisecond)
+	if p.Now()-t0 < 9*time.Millisecond {
+		t.Errorf("Advance did not consume wall time: %v", p.Now()-t0)
+	}
+	p.Advance(0)  // no-op
+	p.Advance(-1) // negative durations are ignored
+}
+
+func TestGroupSharesEpoch(t *testing.T) {
+	var g Group
+	var wg sync.WaitGroup
+	procs := make([]*RealProc, 8)
+	for i := range procs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			procs[i] = g.Proc()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(procs); i++ {
+		if procs[i].epoch != procs[0].epoch {
+			t.Fatal("group procs disagree on the epoch")
+		}
+	}
+}
+
+// TestParkUnparkStress hammers the protocol the way real users drive it:
+// the consumer loops on a condition and parks, the producer updates the
+// condition and unparks. Unparks coalesce by design, so only this
+// check-then-park pattern (not 1:1 counting) must never hang.
+func TestParkUnparkStress(t *testing.T) {
+	p := NewRealProc(time.Now())
+	const rounds = 100000
+	var mu sync.Mutex
+	count := 0
+	done := make(chan struct{})
+	go func() {
+		for {
+			mu.Lock()
+			c := count
+			mu.Unlock()
+			if c >= rounds {
+				break
+			}
+			p.Park()
+		}
+		close(done)
+	}()
+	go func() {
+		for i := 0; i < rounds; i++ {
+			mu.Lock()
+			count++
+			mu.Unlock()
+			p.Unpark()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("condition-based park/unpark hung: a wakeup was lost")
+	}
+}

@@ -1,0 +1,132 @@
+// Package sim is a deterministic discrete-event simulation engine with
+// process-oriented semantics: simulated processes are goroutines, but the
+// engine hands the execution token to exactly one of them at a time, so runs
+// are sequential, reproducible, and need no wall-clock sleeps. Virtual time
+// advances only through scheduled events.
+//
+// This engine, together with the network fabric in internal/simnet, is the
+// stand-in for the paper's 8-node Xeon cluster: it lets the 64-rank NAS and
+// collective experiments run on a laptop while preserving the timing
+// structure (overlap, contention, serialization) that the paper's overhead
+// numbers depend on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, insertion sequence) for determinism.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine runs events in virtual-time order.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+
+	// yielded is signalled by a proc goroutine when it hands the token back.
+	yielded chan struct{}
+
+	procs    []*Proc
+	liveProc int
+
+	// MaxEvents guards against runaway simulations; 0 means no limit.
+	MaxEvents uint64
+	executed  uint64
+}
+
+// NewEngine creates an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{yielded: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule runs fn after delay (which may be zero; negative delays are
+// clamped to zero). Events at equal times run in scheduling order.
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at absolute virtual time at (clamped to now).
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) {
+	e.Schedule(at-e.now, fn)
+}
+
+// DeadlockError reports a simulation that stopped with live processes but no
+// runnable events — the virtual-time analogue of an MPI hang.
+type DeadlockError struct {
+	Time   time.Duration
+	Parked []string
+}
+
+// Error implements error.
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v with %d parked processes %v",
+		d.Time, len(d.Parked), d.Parked)
+}
+
+// Run executes events until the queue is empty. It returns a *DeadlockError
+// if processes are still alive when the queue drains, and an error if
+// MaxEvents is exceeded.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at < e.now {
+			return fmt.Errorf("sim: time went backwards (%v < %v)", ev.at, e.now)
+		}
+		e.now = ev.at
+		e.executed++
+		if e.MaxEvents > 0 && e.executed > e.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
+		}
+		ev.fn()
+	}
+	if e.liveProc > 0 {
+		var parked []string
+		for _, p := range e.procs {
+			if !p.done {
+				parked = append(parked, p.name)
+			}
+		}
+		sort.Strings(parked)
+		return &DeadlockError{Time: e.now, Parked: parked}
+	}
+	return nil
+}
+
+// Executed reports how many events have run.
+func (e *Engine) Executed() uint64 { return e.executed }

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"encmpi/internal/sched"
+)
+
+// Proc is a simulated process. It implements sched.Proc against virtual
+// time: the proc's goroutine runs only while it holds the engine's execution
+// token, and every blocking operation hands the token back.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+
+	// parked is true while the proc is blocked in Park waiting for Unpark.
+	parked bool
+	// permit records an Unpark that arrived while the proc was runnable.
+	permit bool
+	// done latches when the proc body returns.
+	done bool
+}
+
+// Spawn creates a process and schedules its body to start at the current
+// virtual time. The body runs on its own goroutine but in strict alternation
+// with the engine, so simulation remains deterministic.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.liveProc++
+	e.Schedule(0, func() {
+		go func() {
+			defer func() {
+				p.done = true
+				e.liveProc--
+				e.yielded <- struct{}{}
+			}()
+			<-p.resume
+			body(p)
+		}()
+		p.switchTo()
+	})
+	return p
+}
+
+// switchTo hands the execution token to p and waits for it to come back.
+// It must only be called from engine (event) context.
+func (p *Proc) switchTo() {
+	p.resume <- struct{}{}
+	<-p.eng.yielded
+}
+
+// yield hands the token back to the engine and blocks until resumed.
+// It must only be called from p's own goroutine.
+func (p *Proc) yield() {
+	p.eng.yielded <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now implements sched.Proc.
+func (p *Proc) Now() time.Duration { return p.eng.now }
+
+// Advance implements sched.Proc: the proc sleeps for d of virtual time,
+// modeling computation that occupies its core.
+func (p *Proc) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative Advance %v", d))
+	}
+	if d == 0 {
+		return
+	}
+	p.eng.Schedule(d, func() { p.switchTo() })
+	p.yield()
+}
+
+// Park implements sched.Proc: block until Unpark. A permit stored by an
+// earlier Unpark makes Park return immediately (and consumes the permit).
+func (p *Proc) Park() {
+	if p.permit {
+		p.permit = false
+		return
+	}
+	p.parked = true
+	p.yield()
+}
+
+// Unpark implements sched.Proc. It may be called from any simulation context
+// (another proc or a plain event). If p is parked, it is scheduled to resume
+// at the current virtual time; otherwise a permit is stored.
+func (p *Proc) Unpark() {
+	if p.done {
+		return
+	}
+	if p.parked {
+		// Clear parked immediately so a second Unpark at the same time
+		// stores a permit instead of double-resuming.
+		p.parked = false
+		p.eng.Schedule(0, func() { p.switchTo() })
+		return
+	}
+	p.permit = true
+}
+
+var _ sched.Proc = (*Proc)(nil)

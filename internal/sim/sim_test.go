@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestEventOrdering checks time ordering and FIFO tie-breaking.
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 11) }) // same time as "1", after it
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Millisecond {
+		t.Errorf("final time %v", e.Now())
+	}
+}
+
+// TestNestedScheduling: events scheduled from events run at the right times.
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var at []time.Duration
+	e.Schedule(time.Millisecond, func() {
+		e.Schedule(time.Millisecond, func() { at = append(at, e.Now()) })
+		e.Schedule(0, func() { at = append(at, e.Now()) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(at) != 2 || at[0] != time.Millisecond || at[1] != 2*time.Millisecond {
+		t.Errorf("times = %v", at)
+	}
+}
+
+// TestNegativeDelayClamped schedules with negative delay.
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(5*time.Millisecond, func() {
+		e.Schedule(-time.Second, func() { ran = true })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("clamped event did not run")
+	}
+}
+
+// TestProcAdvance checks virtual-time computation.
+func TestProcAdvance(t *testing.T) {
+	e := NewEngine()
+	var t1, t2 time.Duration
+	e.Spawn("worker", func(p *Proc) {
+		p.Advance(10 * time.Millisecond)
+		t1 = p.Now()
+		p.Advance(5 * time.Millisecond)
+		t2 = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if t1 != 10*time.Millisecond || t2 != 15*time.Millisecond {
+		t.Errorf("t1=%v t2=%v", t1, t2)
+	}
+}
+
+// TestProcsInterleaveDeterministically runs two procs with interleaved
+// advances and checks the global event order.
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	mk := func(name string, step time.Duration) {
+		e.Spawn(name, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Advance(step)
+				trace = append(trace, name)
+			}
+		})
+	}
+	mk("a", 2*time.Millisecond) // wakes at 2,4,6
+	mk("b", 3*time.Millisecond) // wakes at 3,6,9
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// At the t=6ms tie, b's timer was scheduled at t=3ms and a's at t=4ms,
+	// so FIFO tie-breaking runs b first.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+// TestParkUnpark covers the permit (unpark-before-park) path and the normal
+// wakeup path.
+func TestParkUnpark(t *testing.T) {
+	e := NewEngine()
+	var consumerDone time.Duration
+	var c *Proc
+	c = e.Spawn("consumer", func(p *Proc) {
+		p.Park() // producer unparks at t=5ms
+		consumerDone = p.Now()
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Advance(5 * time.Millisecond)
+		c.Unpark()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if consumerDone != 5*time.Millisecond {
+		t.Errorf("consumer finished at %v", consumerDone)
+	}
+
+	// Permit path: unpark first, park later returns immediately.
+	e2 := NewEngine()
+	var done time.Duration
+	var c2 *Proc
+	c2 = e2.Spawn("late-parker", func(p *Proc) {
+		p.Advance(10 * time.Millisecond)
+		p.Park() // permit already stored at t=1ms
+		done = p.Now()
+	})
+	e2.Spawn("early-unparker", func(p *Proc) {
+		p.Advance(time.Millisecond)
+		c2.Unpark()
+	})
+	if err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 10*time.Millisecond {
+		t.Errorf("late parker finished at %v", done)
+	}
+}
+
+// TestDoubleUnparkCoalesces: two unparks at the same instant produce one
+// resume plus one stored permit, never a hang or double-resume.
+func TestDoubleUnparkCoalesces(t *testing.T) {
+	e := NewEngine()
+	wakeups := 0
+	var c *Proc
+	c = e.Spawn("sleeper", func(p *Proc) {
+		p.Park()
+		wakeups++
+		p.Park() // consumes the coalesced permit
+		wakeups++
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Advance(time.Millisecond)
+		c.Unpark()
+		c.Unpark()
+		c.Unpark() // extra permits coalesce into one
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wakeups != 2 {
+		t.Errorf("wakeups = %d", wakeups)
+	}
+}
+
+// TestDeadlockDetection: a proc that parks forever is reported.
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("stuck", func(p *Proc) { p.Park() })
+	err := e.Run()
+	var d *DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(d.Parked) != 1 || d.Parked[0] != "stuck" {
+		t.Errorf("parked = %v", d.Parked)
+	}
+}
+
+// TestMaxEvents guards against runaway loops.
+func TestMaxEvents(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 100
+	var loop func()
+	loop = func() { e.Schedule(time.Nanosecond, loop) }
+	e.Schedule(0, loop)
+	if err := e.Run(); err == nil {
+		t.Error("expected MaxEvents error")
+	}
+}
+
+// TestDeterminism: the same program produces the same event count and final
+// time across runs.
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, time.Duration) {
+		e := NewEngine()
+		var pa, pb *Proc
+		pa = e.Spawn("a", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Advance(time.Duration(i+1) * time.Microsecond)
+				pb.Unpark()
+			}
+		})
+		pb = e.Spawn("b", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Park()
+			}
+			pa.Unpark() // harmless extra permit
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Executed(), e.Now()
+	}
+	n1, t1 := run()
+	n2, t2 := run()
+	if n1 != n2 || t1 != t2 {
+		t.Errorf("non-deterministic: (%d,%v) vs (%d,%v)", n1, t1, n2, t2)
+	}
+}
+
+// TestSpawnAfterStart: procs can spawn procs.
+func TestSpawnedProc(t *testing.T) {
+	e := NewEngine()
+	var childTime time.Duration
+	e.Spawn("parent", func(p *Proc) {
+		p.Advance(2 * time.Millisecond)
+		e.Spawn("child", func(c *Proc) {
+			c.Advance(time.Millisecond)
+			childTime = c.Now()
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 3*time.Millisecond {
+		t.Errorf("child finished at %v", childTime)
+	}
+}
+
+// TestZeroAdvanceIsNoop verifies Advance(0) does not yield.
+func TestZeroAdvanceIsNoop(t *testing.T) {
+	e := NewEngine()
+	events := uint64(0)
+	e.Spawn("p", func(p *Proc) {
+		p.Advance(0)
+		events = e.Executed()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if events != 1 { // only the spawn event itself
+		t.Errorf("executed = %d, want 1", events)
+	}
+}
+
+// TestManyProcsStress runs a few hundred procs with mixed advances and
+// park/unpark traffic to shake out token-handoff bugs at scale.
+func TestManyProcsStress(t *testing.T) {
+	e := NewEngine()
+	const n = 200
+	procs := make([]*Proc, n)
+	finished := 0
+	for i := 0; i < n; i++ {
+		i := i
+		procs[i] = e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for round := 0; round < 20; round++ {
+				p.Advance(time.Duration(1+(i*7+round)%13) * time.Microsecond)
+				// Wake a pseudo-random neighbor; its Park tolerance for
+				// spurious wakeups is what we are stressing.
+				procs[(i*31+round)%n].Unpark()
+			}
+			finished++
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != n {
+		t.Errorf("finished %d of %d", finished, n)
+	}
+}
+
+// TestScheduleAtPast clamps to now.
+func TestScheduleAtPast(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(time.Millisecond, func() {
+		e.ScheduleAt(0, func() { ran = true }) // in the past
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || e.Now() != time.Millisecond {
+		t.Errorf("ran=%v now=%v", ran, e.Now())
+	}
+}

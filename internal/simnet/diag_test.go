@@ -1,0 +1,42 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"encmpi/internal/sim"
+)
+
+// TestAggregateBandwidthCap: N concurrent large transfers from one node must
+// take at least totalBytes/LineRate.
+func TestAggregateBandwidthCap(t *testing.T) {
+	cfg := Eth10G()
+	eng := sim.NewEngine()
+	f, err := New(eng, cfg, func(rank int) int { return rank % 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Duration
+	n := 0
+	f.SetDelivery(func(Packet) {
+		n++
+		if eng.Now() > last {
+			last = eng.Now()
+		}
+	})
+	const msgs = 16
+	const size = 2 << 20
+	for i := 0; i < msgs; i++ {
+		eng.Spawn("s", func(p *sim.Proc) {
+			f.Send(Packet{Src: 0, Dst: 1, Size: size}, p)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	minTime := time.Duration(float64(msgs*size) / (cfg.LineRateMBps * 1e6) * float64(time.Second))
+	t.Logf("delivered %d in %v (min wire time %v)", n, last, minTime)
+	if last < minTime {
+		t.Errorf("aggregate exceeded line rate: %v < %v", last, minTime)
+	}
+}

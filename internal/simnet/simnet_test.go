@@ -1,0 +1,280 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"encmpi/internal/sim"
+)
+
+// twoNode maps even ranks to node 0, odd ranks to node 1.
+func twoNode(rank int) int { return rank % 2 }
+
+func newFabric(t *testing.T, cfg Config) (*sim.Engine, *Fabric) {
+	t.Helper()
+	eng := sim.NewEngine()
+	f, err := New(eng, cfg, twoNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, f
+}
+
+func TestPresetsValid(t *testing.T) {
+	for _, cfg := range []Config{Eth10G(), IB40G()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+// TestEagerOneWayMatchesAnchors verifies the derived CPU curve makes the
+// closed-form idle one-way time reproduce the paper's baseline anchors in
+// the eager region.
+func TestEagerOneWayMatchesAnchors(t *testing.T) {
+	for _, cfg := range []Config{Eth10G(), IB40G()} {
+		_, f := newFabric(t, cfg)
+		for i, s := range cfg.AnchorSizes {
+			if s >= cfg.EagerThreshold {
+				continue
+			}
+			got := f.IdealOneWay(s)
+			want := cfg.AnchorOneWay[i]
+			rel := math.Abs(float64(got-want)) / float64(want)
+			if rel > 0.02 {
+				t.Errorf("%s @%dB: one-way %v, want %v (%.1f%% off)", cfg.Name, s, got, want, rel*100)
+			}
+		}
+	}
+}
+
+// TestSingleDelivery sends one inter-node packet and checks arrival timing.
+func TestSingleDelivery(t *testing.T) {
+	cfg := Eth10G()
+	eng, f := newFabric(t, cfg)
+	var arrived time.Duration
+	var gotPkt Packet
+	f.SetDelivery(func(p Packet) {
+		arrived = eng.Now()
+		gotPkt = p
+	})
+	eng.Spawn("sender", func(p *sim.Proc) {
+		f.Send(Packet{Src: 0, Dst: 1, Size: 1024, Payload: "hello"}, p)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotPkt.Payload != "hello" || gotPkt.Dst != 1 {
+		t.Fatalf("packet corrupted: %+v", gotPkt)
+	}
+	want := f.IdealOneWay(1024)
+	rel := math.Abs(float64(arrived-want)) / float64(want)
+	if rel > 0.02 {
+		t.Errorf("arrival %v, want ≈%v", arrived, want)
+	}
+	if f.PacketsSent != 1 || f.BytesSent != 1024 {
+		t.Errorf("stats: %d pkts %d bytes", f.PacketsSent, f.BytesSent)
+	}
+}
+
+// TestIntraNodeFasterThanInterNode checks the shared-memory path.
+func TestIntraNodeFasterThanInterNode(t *testing.T) {
+	cfg := Eth10G()
+	measure := func(src, dst int) time.Duration {
+		eng, f := newFabric(t, cfg)
+		var arrived time.Duration
+		f.SetDelivery(func(Packet) { arrived = eng.Now() })
+		eng.Spawn("s", func(p *sim.Proc) {
+			f.Send(Packet{Src: src, Dst: dst, Size: 4096}, p)
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return arrived
+	}
+	intra := measure(0, 2) // both node 0
+	inter := measure(0, 1)
+	if intra >= inter {
+		t.Errorf("intra-node %v not faster than inter-node %v", intra, inter)
+	}
+	if intra > 5*time.Microsecond {
+		t.Errorf("intra-node delivery suspiciously slow: %v", intra)
+	}
+}
+
+// TestNICSerialization: two large messages from the same node must serialize
+// on the tx NIC; messages from different nodes to different nodes must not.
+func TestNICSerialization(t *testing.T) {
+	cfg := Eth10G()
+	fourNode := func(rank int) int { return rank } // rank i on node i
+	run := func(second Packet) time.Duration {
+		eng := sim.NewEngine()
+		f, err := New(eng, cfg, fourNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last time.Duration
+		n := 0
+		f.SetDelivery(func(Packet) {
+			n++
+			if eng.Now() > last {
+				last = eng.Now()
+			}
+		})
+		eng.Spawn("s0", func(p *sim.Proc) {
+			f.Send(Packet{Src: 0, Dst: 1, Size: 1 << 20}, p)
+		})
+		eng.Spawn("s1", func(p *sim.Proc) {
+			f.Send(second, p)
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if n != 2 {
+			t.Fatalf("delivered %d packets", n)
+		}
+		return last
+	}
+	// Same source node (ranks 0→1 and 0→2 share node 0's tx NIC): but our
+	// fourNode mapping puts each rank on its own node, so emulate shared tx
+	// by sending both from rank 0's node: second packet src must be 0.
+	shared := run(Packet{Src: 0, Dst: 2, Size: 1 << 20})
+	disjoint := run(Packet{Src: 2, Dst: 3, Size: 1 << 20})
+	if shared <= disjoint+time.Microsecond {
+		t.Errorf("expected tx serialization: shared %v vs disjoint %v", shared, disjoint)
+	}
+	// The serialization penalty should be about one extra wire time.
+	wire := cfg.wireTime(1 << 20)
+	extra := shared - disjoint
+	if math.Abs(float64(extra-wire)) > 0.25*float64(wire) {
+		t.Errorf("serialization penalty %v, want ≈%v", extra, wire)
+	}
+}
+
+// TestRxIncastSerializes: two senders to one receiver serialize on its rx NIC.
+func TestRxIncastSerializes(t *testing.T) {
+	cfg := Eth10G()
+	fourNode := func(rank int) int { return rank }
+	eng := sim.NewEngine()
+	f, err := New(eng, cfg, fourNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []time.Duration
+	f.SetDelivery(func(Packet) { arrivals = append(arrivals, eng.Now()) })
+	for _, src := range []int{1, 2} {
+		src := src
+		eng.Spawn("s", func(p *sim.Proc) {
+			f.Send(Packet{Src: src, Dst: 0, Size: 1 << 20}, p)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatal("lost packets")
+	}
+	gap := arrivals[1] - arrivals[0]
+	wire := cfg.wireTime(1 << 20)
+	if float64(gap) < 0.7*float64(wire) {
+		t.Errorf("rx arrivals only %v apart, want ≈%v (incast serialization)", gap, wire)
+	}
+}
+
+// TestContentionKnee: with the IB preset, the effective gap inflates once
+// more than four distinct sources hit one NIC inside the window.
+func TestContentionKnee(t *testing.T) {
+	cfg := IB40G()
+	manyNode := func(rank int) int { return rank }
+	eng := sim.NewEngine()
+	f, err := New(eng, cfg, manyNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetDelivery(func(Packet) {})
+	nicRx := f.nicFor(0)
+	now := time.Duration(0)
+	// Two sources: below the knee, base gap.
+	nicRx.recentSrc[1] = now
+	nicRx.recentSrc[2] = now
+	if g := f.effGap(nicRx, now); g != cfg.GapPerMsg {
+		t.Errorf("gap below knee = %v, want %v", g, cfg.GapPerMsg)
+	}
+	// Eight sources: (8/4)^2 = 4x inflation.
+	for s := 3; s <= 24; s++ {
+		nicRx.recentSrc[s] = now
+	}
+	if g := f.effGap(nicRx, now); g != 4*cfg.GapPerMsg {
+		t.Errorf("gap above knee = %v, want %v", g, 4*cfg.GapPerMsg)
+	}
+	// Stale sources age out of the window.
+	later := now + 2*cfg.ContentionWindow
+	if g := f.effGap(nicRx, later); g != cfg.GapPerMsg {
+		t.Errorf("gap after window = %v, want %v", g, cfg.GapPerMsg)
+	}
+}
+
+// TestCPUCurveMonotoneSizes: derived CPU cost should never be negative and
+// interpolation should be continuous at anchors.
+func TestCPUCurveBehaviour(t *testing.T) {
+	for _, cfg := range []Config{Eth10G(), IB40G()} {
+		_, f := newFabric(t, cfg)
+		for _, s := range cfg.AnchorSizes {
+			if f.CPUTotal(s) <= 0 {
+				t.Errorf("%s: CPUTotal(%d) = %v", cfg.Name, s, f.CPUTotal(s))
+			}
+		}
+		// Interpolated points lie between neighbors.
+		for i := 1; i < len(cfg.AnchorSizes); i++ {
+			lo, hi := cfg.AnchorSizes[i-1], cfg.AnchorSizes[i]
+			mid := (lo + hi) / 2
+			cm := f.CPUTotal(mid)
+			cl, ch := f.CPUTotal(lo), f.CPUTotal(hi)
+			min, max := cl, ch
+			if min > max {
+				min, max = max, min
+			}
+			if cm < min-time.Nanosecond || cm > max+time.Nanosecond {
+				t.Errorf("%s: CPUTotal(%d)=%v outside [%v,%v]", cfg.Name, mid, cm, min, max)
+			}
+		}
+	}
+}
+
+// TestValidateRejectsBadConfigs exercises Validate error paths.
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	good := Eth10G()
+	bad1 := good
+	bad1.AnchorSizes = bad1.AnchorSizes[:3]
+	bad2 := good
+	bad2.LineRateMBps = 0
+	bad3 := good
+	bad3.CtlMsgSize = bad3.EagerThreshold
+	bad4 := good
+	bad4.AnchorSizes = []int{10, 10}
+	bad4.AnchorOneWay = []time.Duration{1, 1}
+	for i, cfg := range []Config{bad1, bad2, bad3, bad4} {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i+1)
+		}
+	}
+}
+
+// TestSendWithoutDeliveryPanics documents the setup requirement.
+func TestSendWithoutDeliveryPanics(t *testing.T) {
+	eng, f := newFabric(t, Eth10G())
+	panicked := false
+	eng.Spawn("s", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		f.Send(Packet{Src: 0, Dst: 1, Size: 1}, p)
+	})
+	_ = eng.Run()
+	if !panicked {
+		t.Error("expected panic")
+	}
+}

@@ -1,0 +1,226 @@
+// Package stats implements the benchmark methodology of the paper (§V):
+// adaptive repetition until the standard deviation is within 5% of the
+// arithmetic mean (falling back to a 99% confidence-interval criterion), and
+// the Fleming–Wallace-correct way of summarizing overheads — ratios of
+// totals, never means of ratios.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample summarizes a set of measurements.
+type Sample struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	values []float64
+}
+
+// Summarize computes the summary statistics of values.
+func Summarize(values []float64) Sample {
+	s := Sample{N: len(values), values: append([]float64(nil), values...)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = values[0], values[0]
+	var sum float64
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, v := range values {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Values returns a copy of the underlying measurements.
+func (s Sample) Values() []float64 { return append([]float64(nil), s.values...) }
+
+// RelStd returns Std/Mean, or +Inf when the mean is zero.
+func (s Sample) RelStd() float64 {
+	if s.Mean == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(s.Std / s.Mean)
+}
+
+// Median returns the sample median.
+func (s Sample) Median() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	v := append([]float64(nil), s.values...)
+	sort.Float64s(v)
+	if s.N%2 == 1 {
+		return v[s.N/2]
+	}
+	return (v[s.N/2-1] + v[s.N/2]) / 2
+}
+
+// tTable holds two-sided 99% Student-t critical values t_{0.995, df}.
+// Entries beyond df=30 are interpolated through the listed anchors down to
+// the normal-limit 2.576.
+var tTable = map[int]float64{
+	1: 63.657, 2: 9.925, 3: 5.841, 4: 4.604, 5: 4.032,
+	6: 3.707, 7: 3.499, 8: 3.355, 9: 3.250, 10: 3.169,
+	11: 3.106, 12: 3.055, 13: 3.012, 14: 2.977, 15: 2.947,
+	16: 2.921, 17: 2.898, 18: 2.878, 19: 2.861, 20: 2.845,
+	21: 2.831, 22: 2.819, 23: 2.807, 24: 2.797, 25: 2.787,
+	26: 2.779, 27: 2.771, 28: 2.763, 29: 2.756, 30: 2.750,
+	40: 2.704, 60: 2.660, 120: 2.617,
+}
+
+// tCrit99 returns the two-sided 99% Student-t critical value for df degrees
+// of freedom.
+func tCrit99(df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if v, ok := tTable[df]; ok {
+		return v
+	}
+	if df > 120 {
+		return 2.576
+	}
+	// Linear interpolation between the nearest tabulated anchors.
+	anchors := []int{30, 40, 60, 120}
+	for i := 0; i+1 < len(anchors); i++ {
+		lo, hi := anchors[i], anchors[i+1]
+		if df > lo && df < hi {
+			fl, fh := tTable[lo], tTable[hi]
+			frac := float64(df-lo) / float64(hi-lo)
+			return fl + frac*(fh-fl)
+		}
+	}
+	return 2.576
+}
+
+// CI99HalfWidth returns the half-width of the 99% confidence interval of the
+// mean: t * s / sqrt(n).
+func (s Sample) CI99HalfWidth() float64 {
+	if s.N < 2 {
+		return math.Inf(1)
+	}
+	return tCrit99(s.N-1) * s.Std / math.Sqrt(float64(s.N))
+}
+
+// AdaptiveConfig controls AdaptiveRun; the zero value is replaced by the
+// paper's communication-benchmark settings.
+type AdaptiveConfig struct {
+	// MinRuns is the minimum number of measurements (paper: 20 for
+	// communication benchmarks, 5 for the encryption-decryption benchmark).
+	MinRuns int
+	// StdRuns is the run budget for the plain stddev criterion (paper: 100).
+	StdRuns int
+	// MaxRuns is a hard safety cap on total measurements.
+	MaxRuns int
+	// RelTol is the target relative precision (paper: 0.05).
+	RelTol float64
+}
+
+// CommDefaults are the paper's settings for ping-pong / OSU / NAS runs.
+func CommDefaults() AdaptiveConfig {
+	return AdaptiveConfig{MinRuns: 20, StdRuns: 100, MaxRuns: 1000, RelTol: 0.05}
+}
+
+// EncDefaults are the paper's settings for the encryption-decryption
+// benchmark, whose variability is much smaller.
+func EncDefaults() AdaptiveConfig {
+	return AdaptiveConfig{MinRuns: 5, StdRuns: 100, MaxRuns: 1000, RelTol: 0.05}
+}
+
+// ErrNoConvergence is reported when MaxRuns measurements were insufficient.
+var ErrNoConvergence = errors.New("stats: measurement did not converge within the run budget")
+
+// AdaptiveRun repeatedly invokes measure until the paper's stopping rule is
+// met: at least MinRuns measurements, then stop as soon as stddev ≤
+// RelTol·mean; if that has not happened by StdRuns measurements, continue
+// until the 99% CI half-width ≤ RelTol·mean (or MaxRuns is reached, which is
+// an error).
+func AdaptiveRun(cfg AdaptiveConfig, measure func() float64) (Sample, error) {
+	if cfg.MinRuns == 0 {
+		cfg = CommDefaults()
+	}
+	var values []float64
+	for {
+		values = append(values, measure())
+		n := len(values)
+		if n < cfg.MinRuns {
+			continue
+		}
+		s := Summarize(values)
+		if n <= cfg.StdRuns && s.RelStd() <= cfg.RelTol {
+			return s, nil
+		}
+		if n > cfg.StdRuns {
+			if s.Mean != 0 && s.CI99HalfWidth() <= cfg.RelTol*math.Abs(s.Mean) {
+				return s, nil
+			}
+		}
+		if n >= cfg.MaxRuns {
+			return s, fmt.Errorf("%w (n=%d, relstd=%.3f)", ErrNoConvergence, n, s.RelStd())
+		}
+	}
+}
+
+// Overhead returns the relative overhead of measured versus baseline as a
+// fraction (0.128 = 12.8% slower). Both arguments are times (lower is
+// better).
+func Overhead(baseline, measured float64) float64 {
+	if baseline == 0 {
+		return math.Inf(1)
+	}
+	return measured/baseline - 1
+}
+
+// OverheadFromTotals computes the aggregate overhead the paper reports for
+// the NAS suite: the ratio of *total* runtimes, not the mean of per-benchmark
+// ratios, following Fleming–Wallace and Hoefler–Belli (paper footnote 2).
+func OverheadFromTotals(baseline, measured []float64) (float64, error) {
+	if len(baseline) != len(measured) || len(baseline) == 0 {
+		return 0, errors.New("stats: mismatched or empty series")
+	}
+	var tb, tm float64
+	for i := range baseline {
+		tb += baseline[i]
+		tm += measured[i]
+	}
+	if tb == 0 {
+		return 0, errors.New("stats: zero baseline total")
+	}
+	return tm/tb - 1, nil
+}
+
+// GeoMean returns the geometric mean of strictly positive values; it is the
+// only meaningful way to average normalized ratios (Fleming–Wallace).
+func GeoMean(values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, errors.New("stats: empty series")
+	}
+	var logSum float64
+	for _, v := range values {
+		if v <= 0 {
+			return 0, fmt.Errorf("stats: non-positive value %v in geometric mean", v)
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(values))), nil
+}

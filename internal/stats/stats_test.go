@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("N=%d Mean=%v", s.N, s.Mean)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if !almostEqual(s.Std, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median() != 4.5 {
+		t.Errorf("Median = %v", s.Median())
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty sample")
+	}
+	s := Summarize([]float64{42})
+	if s.Mean != 42 || s.Std != 0 {
+		t.Errorf("single-value sample: %+v", s)
+	}
+	if !math.IsInf(s.CI99HalfWidth(), 1) {
+		t.Error("CI of single value should be infinite")
+	}
+}
+
+func TestTCrit99(t *testing.T) {
+	// Exact table entries.
+	if tCrit99(10) != 3.169 {
+		t.Errorf("t(10) = %v", tCrit99(10))
+	}
+	// Interpolated region must be monotone decreasing.
+	prev := tCrit99(30)
+	for df := 31; df <= 130; df++ {
+		cur := tCrit99(df)
+		if cur > prev+1e-9 {
+			t.Fatalf("t not monotone at df=%d: %v > %v", df, cur, prev)
+		}
+		prev = cur
+	}
+	// Normal limit.
+	if tCrit99(10000) != 2.576 {
+		t.Errorf("t(10000) = %v", tCrit99(10000))
+	}
+}
+
+func TestAdaptiveRunStopsEarlyOnStableData(t *testing.T) {
+	calls := 0
+	s, err := AdaptiveRun(CommDefaults(), func() float64 {
+		calls++
+		return 100 // zero variance
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 20 {
+		t.Errorf("expected exactly MinRuns=20 calls, got %d", calls)
+	}
+	if s.Mean != 100 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+}
+
+func TestAdaptiveRunFallsBackToCI(t *testing.T) {
+	// Alternating values with relstd ≈ 33% never satisfy the 5% stddev rule,
+	// but the CI of the mean shrinks with n, so the run must terminate via
+	// the 99%-CI criterion after more than StdRuns measurements.
+	i := 0
+	s, err := AdaptiveRun(AdaptiveConfig{MinRuns: 20, StdRuns: 100, MaxRuns: 100000, RelTol: 0.05},
+		func() float64 {
+			i++
+			if i%2 == 0 {
+				return 150
+			}
+			return 75
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N <= 100 {
+		t.Errorf("expected CI fallback (n > 100), got n=%d", s.N)
+	}
+	if !almostEqual(s.Mean, 112.5, 1.0) {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+}
+
+func TestAdaptiveRunBudgetExhaustion(t *testing.T) {
+	// A wildly bimodal sequence with tiny MaxRuns cannot converge.
+	i := 0
+	_, err := AdaptiveRun(AdaptiveConfig{MinRuns: 5, StdRuns: 10, MaxRuns: 12, RelTol: 0.001},
+		func() float64 {
+			i++
+			return float64((i % 2) * 1000)
+		})
+	if err == nil {
+		t.Fatal("expected convergence error")
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if got := Overhead(88.52, 99.81); !almostEqual(got, 0.1275, 0.0005) {
+		t.Errorf("Overhead = %v, want ≈ 0.1275 (the paper's BoringSSL NAS number)", got)
+	}
+	if !math.IsInf(Overhead(0, 1), 1) {
+		t.Error("zero baseline should give +Inf")
+	}
+}
+
+func TestOverheadFromTotalsIsRatioOfTotals(t *testing.T) {
+	// Mean-of-ratios would give (2.0 + 1.1)/2 - 1 = 55%; ratio-of-totals
+	// weights by magnitude: (2+110)/(1+100) - 1 ≈ 10.9%.
+	base := []float64{1, 100}
+	enc := []float64{2, 110}
+	got, err := OverheadFromTotals(base, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 112.0/101.0-1, 1e-12) {
+		t.Errorf("OverheadFromTotals = %v", got)
+	}
+	if _, err := OverheadFromTotals([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := OverheadFromTotals(nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4, 16})
+	if err != nil || !almostEqual(g, 4, 1e-12) {
+		t.Errorf("GeoMean = %v, %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("GeoMean accepted zero")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("GeoMean accepted empty input")
+	}
+}
+
+// TestSummarizeProperties checks scale/shift behaviour of mean and stddev.
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) < 2 {
+			return true
+		}
+		s := Summarize(vals)
+		shifted := make([]float64, len(vals))
+		for i, v := range vals {
+			shifted[i] = v + 1000
+		}
+		s2 := Summarize(shifted)
+		return almostEqual(s2.Mean, s.Mean+1000, 1e-6) && almostEqual(s2.Std, s.Std, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCIWidthShrinks verifies the CI half-width decreases roughly as 1/sqrt(n).
+func TestCIWidthShrinks(t *testing.T) {
+	mk := func(n int) Sample {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(100 + (i%2)*10)
+		}
+		return Summarize(vals)
+	}
+	if w1, w2 := mk(30).CI99HalfWidth(), mk(300).CI99HalfWidth(); w2 >= w1 {
+		t.Errorf("CI did not shrink: %v → %v", w1, w2)
+	}
+}

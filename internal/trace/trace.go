@@ -1,0 +1,134 @@
+// Package trace collects and summarizes simulated-network transfer events:
+// per-pair traffic matrices, queueing-delay statistics, and CSV timelines.
+// It is the observability layer for the cluster simulator — useful both for
+// debugging skeleton communication patterns and for reporting how much wire
+// traffic an experiment generated (e.g. verifying the +28-byte expansion of
+// encrypted runs).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"encmpi/internal/simnet"
+)
+
+// Collector accumulates TraceEvents. Attach with
+// fabric.Trace = collector.Record. Not safe for concurrent use — the
+// simulator is single-threaded, which is the point.
+type Collector struct {
+	events []simnet.TraceEvent
+}
+
+// Record implements the fabric hook.
+func (c *Collector) Record(ev simnet.TraceEvent) {
+	c.events = append(c.events, ev)
+}
+
+// Len returns the number of recorded transfers.
+func (c *Collector) Len() int { return len(c.events) }
+
+// Events returns a copy of the recorded transfers.
+func (c *Collector) Events() []simnet.TraceEvent {
+	return append([]simnet.TraceEvent(nil), c.events...)
+}
+
+// TotalBytes sums payload bytes, split by path.
+func (c *Collector) TotalBytes() (wire, shm int64) {
+	for _, ev := range c.events {
+		if ev.Shm {
+			shm += int64(ev.Size)
+		} else {
+			wire += int64(ev.Size)
+		}
+	}
+	return wire, shm
+}
+
+// PairMatrix returns bytes transferred per (src,dst) rank pair.
+func (c *Collector) PairMatrix() map[[2]int]int64 {
+	m := make(map[[2]int]int64)
+	for _, ev := range c.events {
+		m[[2]int{ev.Src, ev.Dst}] += int64(ev.Size)
+	}
+	return m
+}
+
+// QueueingDelays returns each inter-node transfer's NIC queueing delay
+// (TxStart − Submitted), a direct view of congestion.
+func (c *Collector) QueueingDelays() []time.Duration {
+	var out []time.Duration
+	for _, ev := range c.events {
+		if !ev.Shm {
+			out = append(out, ev.TxStart-ev.Submitted)
+		}
+	}
+	return out
+}
+
+// MaxQueueing returns the worst queueing delay observed.
+func (c *Collector) MaxQueueing() time.Duration {
+	var worst time.Duration
+	for _, d := range c.QueueingDelays() {
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Busiest returns the top-n rank pairs by bytes, descending.
+func (c *Collector) Busiest(n int) []PairVolume {
+	m := c.PairMatrix()
+	out := make([]PairVolume, 0, len(m))
+	for pair, bytes := range m {
+		out = append(out, PairVolume{Src: pair[0], Dst: pair[1], Bytes: bytes})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// PairVolume is one entry of the traffic ranking.
+type PairVolume struct {
+	Src, Dst int
+	Bytes    int64
+}
+
+// CSV renders the full timeline: one row per transfer.
+func (c *Collector) CSV() string {
+	var b strings.Builder
+	b.WriteString("src,dst,size,shm,submitted_us,txstart_us,arrival_us,queueing_us\n")
+	for _, ev := range c.events {
+		fmt.Fprintf(&b, "%d,%d,%d,%t,%.3f,%.3f,%.3f,%.3f\n",
+			ev.Src, ev.Dst, ev.Size, ev.Shm,
+			us(ev.Submitted), us(ev.TxStart), us(ev.Arrival), us(ev.TxStart-ev.Submitted))
+	}
+	return b.String()
+}
+
+// Summary renders a human-readable digest.
+func (c *Collector) Summary() string {
+	wire, shm := c.TotalBytes()
+	var b strings.Builder
+	fmt.Fprintf(&b, "transfers: %d (wire %d B, shm %d B)\n", c.Len(), wire, shm)
+	fmt.Fprintf(&b, "worst NIC queueing: %v\n", c.MaxQueueing())
+	for i, pv := range c.Busiest(5) {
+		fmt.Fprintf(&b, "  #%d  %d→%d  %d B\n", i+1, pv.Src, pv.Dst, pv.Bytes)
+	}
+	return b.String()
+}
+
+func us(d time.Duration) float64 { return d.Seconds() * 1e6 }

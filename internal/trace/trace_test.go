@@ -1,0 +1,148 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/cluster"
+	"encmpi/internal/costmodel"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/job"
+	"encmpi/internal/mpi"
+	"encmpi/internal/simnet"
+	"encmpi/internal/trace"
+)
+
+// runTraced executes a 4-rank simulated job with a collector attached.
+func runTraced(t *testing.T, eng func(int) encmpi.Engine, body func(e *encmpi.Comm)) *trace.Collector {
+	t.Helper()
+	col := &trace.Collector{}
+	spec := cluster.PaperTestbed(4, 4) // one rank per node: all traffic on the wire
+	_, err := job.RunSimConfigured(spec, simnet.Eth10G(),
+		func(f *simnet.Fabric) { f.Trace = col.Record },
+		func(c *mpi.Comm) { body(encmpi.Wrap(c, eng(c.Rank()))) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func baseline(int) encmpi.Engine { return encmpi.NullEngine{} }
+
+// TestWireExpansionAccounting verifies the paper's +28 bytes per message by
+// traffic accounting: an encrypted alltoall must put exactly 28 more bytes
+// per block on the wire than the baseline.
+func TestWireExpansionAccounting(t *testing.T) {
+	const blockSize = 1000
+	run := func(eng func(int) encmpi.Engine) int64 {
+		col := runTraced(t, eng, func(e *encmpi.Comm) {
+			blocks := make([]mpi.Buffer, e.Size())
+			for d := range blocks {
+				blocks[d] = mpi.Synthetic(blockSize)
+			}
+			if _, err := e.Alltoall(blocks); err != nil {
+				panic(err)
+			}
+		})
+		wire, shm := col.TotalBytes()
+		if shm != 0 {
+			t.Fatalf("unexpected shm traffic: %d", shm)
+		}
+		return wire
+	}
+	p, err := costmodel.Lookup("boringssl", costmodel.GCC485, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := run(baseline)
+	enc := run(func(int) encmpi.Engine { return encmpi.NewModelEngine(p) })
+
+	// 4 ranks, pairwise alltoall: 3 off-rank blocks per rank = 12 messages.
+	const messages = 12
+	want := int64(messages * aead.Overhead)
+	if enc-base != want {
+		t.Errorf("wire expansion = %d bytes, want %d (28 per message)", enc-base, want)
+	}
+}
+
+// TestPairMatrixAndBusiest checks the traffic matrix on a known pattern.
+func TestPairMatrixAndBusiest(t *testing.T) {
+	col := runTraced(t, baseline, func(e *encmpi.Comm) {
+		// Rank 0 sends 5000 B to rank 1 and 100 B to rank 2.
+		switch e.Rank() {
+		case 0:
+			e.Send(1, 0, mpi.Synthetic(5000))
+			e.Send(2, 0, mpi.Synthetic(100))
+		case 1:
+			if _, _, err := e.Recv(0, 0); err != nil {
+				panic(err)
+			}
+		case 2:
+			if _, _, err := e.Recv(0, 0); err != nil {
+				panic(err)
+			}
+		}
+	})
+	m := col.PairMatrix()
+	if m[[2]int{0, 1}] != 5000 || m[[2]int{0, 2}] != 100 {
+		t.Errorf("matrix: %v", m)
+	}
+	top := col.Busiest(1)
+	if len(top) != 1 || top[0].Src != 0 || top[0].Dst != 1 || top[0].Bytes != 5000 {
+		t.Errorf("busiest: %+v", top)
+	}
+}
+
+// TestQueueingVisible: two senders sharing one tx NIC with large rendezvous
+// transfers must show queueing delay on at least one of them.
+func TestQueueingVisible(t *testing.T) {
+	col := &trace.Collector{}
+	spec := cluster.Spec{Name: "q", Nodes: 2, CoresPerNode: 8, Ranks: 4, Place: cluster.Block}
+	_, err := job.RunSimConfigured(spec, simnet.Eth10G(),
+		func(f *simnet.Fabric) { f.Trace = col.Record },
+		func(c *mpi.Comm) {
+			// Ranks 0,1 (node 0) stream to ranks 2,3 (node 1) concurrently.
+			switch c.Rank() {
+			case 0, 1:
+				for i := 0; i < 4; i++ {
+					c.Send(c.Rank()+2, i, mpi.Synthetic(512<<10))
+				}
+			case 2, 3:
+				for i := 0; i < 4; i++ {
+					c.Recv(c.Rank()-2, i)
+				}
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.MaxQueueing() <= 0 {
+		t.Error("competing large sends showed no NIC queueing")
+	}
+	if len(col.QueueingDelays()) == 0 {
+		t.Error("no inter-node transfers recorded")
+	}
+}
+
+// TestCSVAndSummaryRender smoke-tests the text outputs.
+func TestCSVAndSummaryRender(t *testing.T) {
+	col := runTraced(t, baseline, func(e *encmpi.Comm) {
+		e.Barrier()
+	})
+	csv := col.CSV()
+	if !strings.HasPrefix(csv, "src,dst,size,shm") {
+		t.Errorf("csv header: %q", csv[:40])
+	}
+	if col.Len() == 0 {
+		t.Fatal("barrier produced no traffic")
+	}
+	sum := col.Summary()
+	if !strings.Contains(sum, "transfers:") || !strings.Contains(sum, "queueing") {
+		t.Errorf("summary: %q", sum)
+	}
+	evs := col.Events()
+	if len(evs) != col.Len() {
+		t.Error("Events() length mismatch")
+	}
+}

@@ -1,0 +1,92 @@
+// Package faulty wraps any transport with deterministic fault injection for
+// tests: corrupting payload bytes in flight (which AES-GCM must detect) or
+// dropping messages entirely (which the deadlock detector must surface).
+// It exists because an encrypted MPI whose integrity has never been attacked
+// in a test is an encrypted MPI whose integrity is folklore.
+package faulty
+
+import (
+	"sync"
+
+	"encmpi/internal/mpi"
+	"encmpi/internal/sched"
+)
+
+// Mode selects the injected fault.
+type Mode int
+
+// Fault modes.
+const (
+	// None forwards untouched.
+	None Mode = iota
+	// Corrupt flips one byte of every matching payload.
+	Corrupt
+	// Drop silently discards matching messages.
+	Drop
+)
+
+// Transport wraps an inner transport.
+type Transport struct {
+	inner mpi.Transport
+
+	mu sync.Mutex
+	// mode applies to messages admitted by filter.
+	mode Mode
+	// filter selects victims; nil matches every data-bearing message.
+	filter func(*mpi.Msg) bool
+	// Injected counts the faults actually applied.
+	Injected int
+}
+
+// New wraps inner with no active fault.
+func New(inner mpi.Transport) *Transport {
+	return &Transport{inner: inner}
+}
+
+// SetFault installs a fault mode and an optional victim filter.
+func (t *Transport) SetFault(mode Mode, filter func(*mpi.Msg) bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mode = mode
+	t.filter = filter
+}
+
+// Send implements mpi.Transport.
+func (t *Transport) Send(from sched.Proc, m *mpi.Msg) {
+	t.mu.Lock()
+	mode := t.mode
+	match := mode != None &&
+		(m.Kind == mpi.KindEager || m.Kind == mpi.KindData) &&
+		(t.filter == nil || t.filter(m))
+	if match {
+		t.Injected++
+	}
+	t.mu.Unlock()
+
+	if !match {
+		t.inner.Send(from, m)
+		return
+	}
+	switch mode {
+	case Corrupt:
+		if !m.Buf.IsSynthetic() && m.Buf.Len() > 0 {
+			// Flip a byte on a copy so the sender's buffer is untouched,
+			// exactly like corruption on the wire.
+			tampered := m.Buf.Clone()
+			tampered.Data[tampered.Len()/2] ^= 0x20
+			mm := *m
+			mm.Buf = tampered
+			t.inner.Send(from, &mm)
+			return
+		}
+		t.inner.Send(from, m)
+	case Drop:
+		// Message vanishes; local completion still fires (the sender's NIC
+		// accepted it — the loss is downstream).
+		if m.OnInjected != nil {
+			m.OnInjected()
+		}
+	}
+}
+
+var _ mpi.Transport = (*Transport)(nil)

@@ -1,0 +1,36 @@
+// Package shm is the in-process transport: messages are handed to the
+// destination rank's matching engine synchronously on the sender's
+// goroutine. It is the fastest and simplest transport, used by unit tests
+// and by real-crypto experiments where the network should cost nothing.
+// Per-pair FIFO ordering holds trivially because delivery is inline.
+package shm
+
+import (
+	"encmpi/internal/mpi"
+	"encmpi/internal/sched"
+)
+
+// Transport delivers messages inline.
+type Transport struct {
+	w *mpi.World
+}
+
+// New creates an unbound transport; call Bind before use.
+func New() *Transport { return &Transport{} }
+
+// Bind attaches the world whose Deliver receives messages.
+func (t *Transport) Bind(w *mpi.World) { t.w = w }
+
+// Send implements mpi.Transport. Delivery is synchronous, so local send
+// completion is immediate.
+func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) {
+	if t.w == nil {
+		panic("shm: transport not bound to a world")
+	}
+	if m.OnInjected != nil {
+		m.OnInjected()
+	}
+	t.w.Deliver(m)
+}
+
+var _ mpi.Transport = (*Transport)(nil)

@@ -1,0 +1,55 @@
+// Package simtr adapts the simulated fabric (internal/simnet) to the MPI
+// transport interface: wire messages become fabric packets whose arrival
+// events feed the MPI matching engine at the correct virtual time.
+package simtr
+
+import (
+	"encmpi/internal/mpi"
+	"encmpi/internal/sched"
+	"encmpi/internal/sim"
+	"encmpi/internal/simnet"
+)
+
+// Transport routes MPI messages over a simnet.Fabric.
+type Transport struct {
+	fab *simnet.Fabric
+}
+
+// New wraps the fabric; Bind must be called before communication starts.
+func New(fab *simnet.Fabric) *Transport {
+	return &Transport{fab: fab}
+}
+
+// Bind installs the world's Deliver as the fabric arrival callback.
+func (t *Transport) Bind(w *mpi.World) {
+	t.fab.SetDelivery(func(pkt simnet.Packet) {
+		w.Deliver(pkt.Payload.(*mpi.Msg))
+	})
+}
+
+// wireSize returns the bytes a message occupies on the wire: payload bytes
+// for eager/data messages, the configured control size for RTS/CTS.
+func (t *Transport) wireSize(m *mpi.Msg) int {
+	switch m.Kind {
+	case mpi.KindRTS, mpi.KindCTS:
+		return t.fab.Config().CtlMsgSize
+	default:
+		return m.Buf.Len()
+	}
+}
+
+// Send implements mpi.Transport. When the caller is a simulated proc its
+// core is charged the send-side CPU cost; protocol follow-ups (from == nil)
+// turn that cost into added delay inside the fabric.
+func (t *Transport) Send(from sched.Proc, m *mpi.Msg) {
+	var sender simnet.Sender
+	if sp, ok := from.(*sim.Proc); ok {
+		sender = sp
+	}
+	t.fab.Send(simnet.Packet{
+		Src: m.Src, Dst: m.Dst, Size: t.wireSize(m),
+		Payload: m, Drained: m.OnInjected,
+	}, sender)
+}
+
+var _ mpi.Transport = (*Transport)(nil)

@@ -1,0 +1,98 @@
+package tcp_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"encmpi/internal/job"
+	"encmpi/internal/mpi"
+)
+
+// TestSendRecvOverSockets runs eager and rendezvous traffic over real
+// loopback TCP connections.
+func TestSendRecvOverSockets(t *testing.T) {
+	big := bytes.Repeat([]byte{0xCD}, 100<<10)
+	err := job.RunTCP(3, func(c *mpi.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, mpi.Bytes([]byte("small over tcp")))
+			c.Send(2, 2, mpi.Bytes(big))
+		case 1:
+			buf, _ := c.Recv(0, 1)
+			if string(buf.Data) != "small over tcp" {
+				t.Errorf("got %q", buf.Data)
+			}
+		case 2:
+			buf, _ := c.Recv(0, 2)
+			if !bytes.Equal(buf.Data, big) {
+				t.Error("large tcp payload corrupted")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectivesOverSockets checks a full collective mix on TCP.
+func TestCollectivesOverSockets(t *testing.T) {
+	err := job.RunTCP(4, func(c *mpi.Comm) {
+		got := c.Bcast(0, pick(c.Rank() == 0, mpi.Bytes([]byte("tcp-bcast")), mpi.Buffer{}))
+		if string(got.Data) != "tcp-bcast" {
+			t.Errorf("rank %d bcast: %q", c.Rank(), got.Data)
+		}
+
+		blocks := make([]mpi.Buffer, c.Size())
+		for d := range blocks {
+			blocks[d] = mpi.Bytes([]byte(fmt.Sprintf("%d->%d", c.Rank(), d)))
+		}
+		res := c.Alltoall(blocks)
+		for s, b := range res {
+			want := fmt.Sprintf("%d->%d", s, c.Rank())
+			if string(b.Data) != want {
+				t.Errorf("alltoall from %d: %q", s, b.Data)
+			}
+		}
+
+		sum := c.Allreduce(mpi.Float64Buffer([]float64{1}), mpi.Float64, mpi.OpSum)
+		if v := mpi.Float64s(sum)[0]; v != 4 {
+			t.Errorf("allreduce = %v", v)
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyntheticMaterializedOnWire: synthetic buffers become zero bytes over
+// a real network.
+func TestSyntheticMaterializedOnWire(t *testing.T) {
+	err := job.RunTCP(2, func(c *mpi.Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 0, mpi.Synthetic(1000))
+		case 1:
+			buf, _ := c.Recv(0, 0)
+			if buf.Len() != 1000 || buf.IsSynthetic() {
+				t.Errorf("len=%d synthetic=%v", buf.Len(), buf.IsSynthetic())
+			}
+			for _, b := range buf.Data {
+				if b != 0 {
+					t.Fatal("synthetic payload not zeroed")
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pick(cond bool, a, b mpi.Buffer) mpi.Buffer {
+	if cond {
+		return a
+	}
+	return b
+}
