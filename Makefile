@@ -1,0 +1,15 @@
+.PHONY: build test bench check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Extended tier-1 gate: vet + race-detector tests + fuzz smokes of every
+# wire-decoder target. FUZZTIME=30s make check lengthens the fuzz budget.
+check:
+	./scripts/check.sh

@@ -443,7 +443,9 @@ func BenchmarkAblationPipelined(b *testing.B) {
 			case 0:
 				start := c.Proc().Now()
 				if pipelined {
-					e.SendPipelined(1, 0, Synthetic(size), 256<<10)
+					if err := e.SendPipelined(1, 0, Synthetic(size), 256<<10); err != nil {
+						panic(err)
+					}
 				} else {
 					e.Send(1, 0, Synthetic(size))
 				}

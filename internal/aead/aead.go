@@ -50,6 +50,14 @@ type Codec interface {
 // the output buffer as garbage in that case.
 var ErrAuth = errors.New("aead: message authentication failed")
 
+// ErrMalformed is the root of the malformed-wire error family: every decode
+// path that rejects a structurally invalid wire message (too short, an
+// impossible length, an inconsistent chunking) returns an error wrapping it.
+// It is distinct from ErrAuth, which means the message parsed but its tag is
+// not genuine. Decoders must return one of the two — never panic — on
+// hostile bytes.
+var ErrMalformed = errors.New("aead: malformed wire message")
+
 // ErrNonceSize is returned when a nonce of the wrong length is supplied.
 var ErrNonceSize = errors.New("aead: invalid nonce size")
 
@@ -78,7 +86,7 @@ func WireLen(n int) int { return n + Overhead }
 // error if n is too short to be a valid encrypted message.
 func PlainLen(n int) (int, error) {
 	if n < Overhead {
-		return 0, fmt.Errorf("aead: wire message of %d bytes is shorter than the %d-byte overhead", n, Overhead)
+		return 0, fmt.Errorf("%w: %d bytes is shorter than the %d-byte overhead", ErrMalformed, n, Overhead)
 	}
 	return n - Overhead, nil
 }
@@ -103,7 +111,7 @@ func EncryptMessage(c Codec, src NonceSource, dst, plaintext []byte) ([]byte, er
 // EncryptMessage. dst is reused if it has sufficient capacity.
 func DecryptMessage(c Codec, dst, wire []byte) ([]byte, error) {
 	if len(wire) < Overhead {
-		return nil, fmt.Errorf("aead: wire message too short (%d bytes)", len(wire))
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte overhead", ErrMalformed, len(wire), Overhead)
 	}
 	nonce, ct := wire[:NonceSize], wire[NonceSize:]
 	return c.Open(dst[:0], nonce, ct)

@@ -1,0 +1,60 @@
+package aead_test
+
+// Fuzzes the single-message framing decoder with attacker-controlled wires.
+// DecryptMessage sits directly on the trust boundary: every received MPI
+// message passes through it, so it must hold the contract — plaintext or
+// error, never a panic — for any input whatsoever.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/codecs"
+)
+
+func fuzzCodec(tb testing.TB) aead.Codec {
+	tb.Helper()
+	codec, err := codecs.New("aesstd", bytes.Repeat([]byte{0x42}, 32))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return codec
+}
+
+// FuzzDecryptMessage throws arbitrary wires at the nonce‖ct‖tag decoder.
+func FuzzDecryptMessage(f *testing.F) {
+	codec := fuzzCodec(f)
+	nonce := aead.NewCounterNonce(1)
+	for _, n := range []int{0, 1, 64, 1000} {
+		wire, err := aead.EncryptMessage(codec, nonce, nil, bytes.Repeat([]byte{0x33}, n))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+		f.Add(wire[:len(wire)-1])                       // clipped tag
+		f.Add(append(wire[:len(wire):len(wire)], 0x00)) // extended
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, aead.Overhead-1))
+	f.Add(bytes.Repeat([]byte{0xFF}, aead.Overhead))
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		codec := fuzzCodec(t)
+		plain, err := aead.DecryptMessage(codec, nil, wire)
+		if len(wire) < aead.Overhead {
+			if !errors.Is(err, aead.ErrMalformed) {
+				t.Fatalf("%d-byte wire produced %v, want ErrMalformed", len(wire), err)
+			}
+			return
+		}
+		if err != nil {
+			return // auth failure: the expected fate of a random wire
+		}
+		if len(plain) != len(wire)-aead.Overhead {
+			t.Fatalf("accepted wire of %d bytes yielded %d plaintext bytes, want %d",
+				len(wire), len(plain), len(wire)-aead.Overhead)
+		}
+	})
+}

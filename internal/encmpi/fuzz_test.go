@@ -1,0 +1,123 @@
+package encmpi
+
+// White-box fuzz targets for the decode paths a hostile peer controls. The
+// invariant under test is the error-handling contract from DESIGN.md: any
+// byte string, of any length, must come back as (plaintext, nil) or
+// (zero, error) — never a panic, never an out-of-range index.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/codecs"
+	"encmpi/internal/mpi"
+)
+
+// fuzzParallelEngine builds the engine every parallel fuzz input is decoded
+// with: small chunks so even short fuzz inputs span several chunks.
+func fuzzParallelEngine(tb testing.TB) *ParallelEngine {
+	tb.Helper()
+	codec, err := codecs.New("aesstd", bytes.Repeat([]byte{0x42}, 32))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e := NewParallelEngine(codec, aead.NewCounterNonce(3), 2)
+	e.Chunk = 1 << 10
+	return e
+}
+
+// FuzzParallelOpen throws arbitrary bytes at the chunked-wire decoder.
+func FuzzParallelOpen(f *testing.F) {
+	e := fuzzParallelEngine(f)
+	for _, n := range []int{0, 1, 1023, 1024, 1025, 3000} {
+		wire := e.Seal(nil, mpi.Bytes(bytes.Repeat([]byte{0xA7}, n))).Data
+		f.Add(wire)
+		if len(wire) > 0 {
+			f.Add(wire[:len(wire)-1])          // truncated
+			f.Add(append(wire[:len(wire):len(wire)], 0x00)) // extended
+		}
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, aead.Overhead))
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		e := fuzzParallelEngine(t)
+		out, err := e.Open(nil, mpi.Bytes(wire))
+		if err != nil {
+			return
+		}
+		// A successful open must be length-consistent with the wire.
+		n, perr := e.plainLen(len(wire))
+		if perr != nil {
+			t.Fatalf("Open succeeded but plainLen(%d) failed: %v", len(wire), perr)
+		}
+		if out.Len() != n {
+			t.Fatalf("Open returned %d bytes for a %d-byte wire, want %d", out.Len(), len(wire), n)
+		}
+	})
+}
+
+// FuzzPlainLen checks the WireLen inversion over the whole int range: every
+// accepted wire length must round-trip exactly, everything else must error.
+func FuzzPlainLen(f *testing.F) {
+	e := fuzzParallelEngine(f)
+	for _, n := range []int{0, 1, 1023, 1024, 1025, 3000} {
+		f.Add(e.WireLen(n))
+		f.Add(e.WireLen(n) + 1)
+		f.Add(e.WireLen(n) - 1)
+	}
+	f.Add(-1)
+	f.Add(0)
+	f.Add(int(^uint(0) >> 1)) // MaxInt
+
+	f.Fuzz(func(t *testing.T, wireLen int) {
+		e := fuzzParallelEngine(t)
+		n, err := e.plainLen(wireLen)
+		if err != nil {
+			if !errors.Is(err, ErrMalformedWire) {
+				t.Fatalf("plainLen(%d) error is not ErrMalformedWire: %v", wireLen, err)
+			}
+			return
+		}
+		if n < 0 {
+			t.Fatalf("plainLen(%d) = %d, negative", wireLen, n)
+		}
+		if got := e.WireLen(n); got != wireLen {
+			t.Fatalf("WireLen(plainLen(%d)) = %d, not the identity", wireLen, got)
+		}
+	})
+}
+
+// FuzzPipelineHeader checks the pipelined length header decoder: reject
+// anything that is not exactly 8 bytes or announces an absurd length, and
+// round-trip everything accepted.
+func FuzzPipelineHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeLen(0))
+	f.Add(encodeLen(1))
+	f.Add(encodeLen(maxPipelineTotal))
+	f.Add(bytes.Repeat([]byte{0xFF}, pipelineHeaderLen))
+	f.Add(bytes.Repeat([]byte{0xFF}, pipelineHeaderLen-1))
+	f.Add(bytes.Repeat([]byte{0xFF}, pipelineHeaderLen+1))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		total, err := decodeLen(b)
+		if err != nil {
+			if !errors.Is(err, ErrMalformedWire) {
+				t.Fatalf("decodeLen error is not ErrMalformedWire: %v", err)
+			}
+			return
+		}
+		if len(b) != pipelineHeaderLen {
+			t.Fatalf("decodeLen accepted a %d-byte header", len(b))
+		}
+		if total < 0 || total > maxPipelineTotal {
+			t.Fatalf("decodeLen accepted out-of-range total %d", total)
+		}
+		if !bytes.Equal(encodeLen(total), b) {
+			t.Fatalf("encodeLen(%d) does not round-trip %x", total, b)
+		}
+	})
+}

@@ -46,12 +46,22 @@ func (e *ParallelEngine) Name() string {
 // expansion is per chunk.
 func (e *ParallelEngine) Overhead() int { return aead.Overhead }
 
+// chunkSize returns the configured chunk size, defending against a zero or
+// negative Chunk (which would otherwise divide by zero in chunksOf).
+func (e *ParallelEngine) chunkSize() int {
+	if e.Chunk <= 0 {
+		return DefaultParallelChunk
+	}
+	return e.Chunk
+}
+
 // chunksOf returns the chunk count for a plaintext length.
 func (e *ParallelEngine) chunksOf(n int) int {
 	if n == 0 {
 		return 1
 	}
-	return (n + e.Chunk - 1) / e.Chunk
+	chunk := e.chunkSize()
+	return (n + chunk - 1) / chunk
 }
 
 // WireLen returns the on-wire size for an n-byte plaintext.
@@ -64,6 +74,7 @@ func (e *ParallelEngine) Seal(_ sched.Proc, plain mpi.Buffer) mpi.Buffer {
 		data = make([]byte, plain.Len())
 	}
 	n := len(data)
+	chunk := e.chunkSize()
 	chunks := e.chunksOf(n)
 	out := make([]byte, e.WireLen(n))
 
@@ -85,8 +96,8 @@ func (e *ParallelEngine) Seal(_ sched.Proc, plain mpi.Buffer) mpi.Buffer {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			lo := i * e.Chunk
-			hi := lo + e.Chunk
+			lo := i * chunk
+			hi := lo + chunk
 			if hi > n {
 				hi = n
 			}
@@ -111,7 +122,25 @@ func (e *ParallelEngine) Open(_ sched.Proc, wire mpi.Buffer) (mpi.Buffer, error)
 	if err != nil {
 		return mpi.Buffer{}, err
 	}
+	chunk := e.chunkSize()
 	chunks := e.chunksOf(n)
+
+	// Validate every chunk's wire span against len(w) before spawning any
+	// worker: a wire whose total length passes the plainLen arithmetic but
+	// is internally inconsistent must surface as an error on the caller's
+	// goroutine, never as an out-of-bounds panic inside a worker.
+	for i := 0; i < chunks; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wlo := lo + i*aead.Overhead
+		whi := hi + (i+1)*aead.Overhead
+		if wlo < 0 || whi > len(w) || whi-wlo < aead.Overhead {
+			return mpi.Buffer{}, malformedf("parallel wire chunk %d spans [%d:%d) of a %d-byte wire", i, wlo, whi, len(w))
+		}
+	}
 	out := make([]byte, n)
 
 	var wg sync.WaitGroup
@@ -124,15 +153,15 @@ func (e *ParallelEngine) Open(_ sched.Proc, wire mpi.Buffer) (mpi.Buffer, error)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			lo := i * e.Chunk
-			hi := lo + e.Chunk
+			lo := i * chunk
+			hi := lo + chunk
 			if hi > n {
 				hi = n
 			}
 			wlo := lo + i*aead.Overhead
 			whi := hi + (i+1)*aead.Overhead
-			chunk := w[wlo:whi]
-			nonce, ct := chunk[:aead.NonceSize], chunk[aead.NonceSize:]
+			span := w[wlo:whi]
+			nonce, ct := span[:aead.NonceSize], span[aead.NonceSize:]
 			plain, err := e.codec.Open(out[lo:lo:lo+(hi-lo)], nonce, ct)
 			if err != nil {
 				errs[i] = err
@@ -150,20 +179,25 @@ func (e *ParallelEngine) Open(_ sched.Proc, wire mpi.Buffer) (mpi.Buffer, error)
 	return mpi.Bytes(out), nil
 }
 
-// plainLen inverts WireLen.
+// plainLen inverts WireLen. Any wire length that no plaintext length maps
+// to — including negative or sub-overhead lengths — is malformed.
 func (e *ParallelEngine) plainLen(wireLen int) (int, error) {
-	per := e.Chunk + aead.Overhead
+	if wireLen < aead.Overhead {
+		return 0, malformedf("parallel wire of %d bytes is shorter than one %d-byte chunk overhead", wireLen, aead.Overhead)
+	}
+	chunk := e.chunkSize()
+	per := chunk + aead.Overhead
 	full := wireLen / per
 	rem := wireLen - full*per
-	n := full * e.Chunk
+	n := full * chunk
 	if rem != 0 {
 		if rem < aead.Overhead {
-			return 0, fmt.Errorf("encmpi: wire length %d inconsistent with chunking", wireLen)
+			return 0, malformedf("parallel wire length %d inconsistent with %d-byte chunking", wireLen, chunk)
 		}
 		n += rem - aead.Overhead
 	}
-	if e.WireLen(n) != wireLen {
-		return 0, fmt.Errorf("encmpi: wire length %d inconsistent with chunking", wireLen)
+	if n < 0 || e.WireLen(n) != wireLen {
+		return 0, malformedf("parallel wire length %d inconsistent with %d-byte chunking", wireLen, chunk)
 	}
 	return n, nil
 }

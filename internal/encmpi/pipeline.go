@@ -1,8 +1,6 @@
 package encmpi
 
 import (
-	"fmt"
-
 	"encmpi/internal/mpi"
 )
 
@@ -26,8 +24,10 @@ const pipelineTagStride = 1 << 20
 // chunks. The wire cost is one 28-byte expansion per chunk; the benefit is
 // that crypto and wire time overlap. Chunks use tags
 // tag+pipelineTagStride·k, so the plain tag space below pipelineTagStride
-// remains available to the caller.
-func (e *Comm) SendPipelined(dst, tag int, buf mpi.Buffer, chunk int) {
+// remains available to the caller. A non-nil error means a chunk send
+// failed to complete cleanly; like every error in this layer, it is
+// returned, never panicked.
+func (e *Comm) SendPipelined(dst, tag int, buf mpi.Buffer, chunk int) error {
 	if chunk <= 0 {
 		chunk = DefaultChunk
 	}
@@ -48,9 +48,7 @@ func (e *Comm) SendPipelined(dst, tag int, buf mpi.Buffer, chunk int) {
 		// then lets the wire proceed while the next chunk is sealed.
 		pending = append(pending, e.Isend(dst, tag+pipelineTagStride*(k+1), buf.Slice(off, end)))
 	}
-	if err := e.Waitall(pending); err != nil {
-		panic(fmt.Sprintf("encmpi: pipelined send: %v", err))
-	}
+	return e.Waitall(pending)
 }
 
 // RecvPipelined receives a message sent with SendPipelined. It posts the
@@ -64,7 +62,13 @@ func (e *Comm) RecvPipelined(src, tag int, chunk int) (mpi.Buffer, error) {
 	if err != nil {
 		return mpi.Buffer{}, err
 	}
-	total := decodeLen(hdr.Data)
+	if hdr.IsSynthetic() {
+		return mpi.Buffer{}, malformedf("pipelined length header carries no bytes")
+	}
+	total, err := decodeLen(hdr.Data)
+	if err != nil {
+		return mpi.Buffer{}, err
+	}
 
 	chunks := (total + chunk - 1) / chunk
 	// Post all chunk receives up front, then drain in order: decryption of
@@ -89,7 +93,7 @@ func (e *Comm) RecvPipelined(src, tag int, chunk int) (mpi.Buffer, error) {
 		}
 	}
 	if got != total {
-		return mpi.Buffer{}, fmt.Errorf("encmpi: pipelined recv got %d of %d bytes", got, total)
+		return mpi.Buffer{}, malformedf("pipelined recv got %d of %d announced bytes", got, total)
 	}
 	if synthetic {
 		return mpi.Synthetic(total), nil
@@ -97,18 +101,35 @@ func (e *Comm) RecvPipelined(src, tag int, chunk int) (mpi.Buffer, error) {
 	return mpi.Bytes(out), nil
 }
 
+// pipelineHeaderLen is the fixed size of the little-endian length header.
+const pipelineHeaderLen = 8
+
+// maxPipelineTotal caps the length a header may announce (1 TiB). Without a
+// cap, eight hostile header bytes could demand a petabyte-sized receive
+// loop; with it, an absurd length is rejected as malformed before any
+// allocation happens.
+const maxPipelineTotal = 1 << 40
+
 func encodeLen(n int) []byte {
-	out := make([]byte, 8)
-	for i := 0; i < 8; i++ {
-		out[i] = byte(n >> (8 * i))
+	out := make([]byte, pipelineHeaderLen)
+	for i := 0; i < pipelineHeaderLen; i++ {
+		out[i] = byte(uint64(n) >> (8 * i))
 	}
 	return out
 }
 
-func decodeLen(b []byte) int {
-	n := 0
-	for i := 0; i < 8; i++ {
-		n |= int(b[i]) << (8 * i)
+// decodeLen validates and decodes a pipeline length header. Short, long,
+// negative, and absurdly large headers are malformed — never indexed blindly.
+func decodeLen(b []byte) (int, error) {
+	if len(b) != pipelineHeaderLen {
+		return 0, malformedf("pipelined length header is %d bytes, want %d", len(b), pipelineHeaderLen)
 	}
-	return n
+	var u uint64
+	for i := 0; i < pipelineHeaderLen; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	if u > maxPipelineTotal {
+		return 0, malformedf("pipelined length %d exceeds the %d-byte cap", u, uint64(maxPipelineTotal))
+	}
+	return int(u), nil
 }

@@ -26,7 +26,9 @@ func TestPipelinedRoundTripReal(t *testing.T) {
 			const chunk = 4096
 			switch e.Rank() {
 			case 0:
-				e.SendPipelined(1, 5, mpi.Bytes(payload), chunk)
+				if err := e.SendPipelined(1, 5, mpi.Bytes(payload), chunk); err != nil {
+					t.Errorf("n=%d: send: %v", n, err)
+				}
 			case 1:
 				got, err := e.RecvPipelined(0, 5, chunk)
 				if err != nil {
@@ -49,7 +51,9 @@ func TestPipelinedSynthetic(t *testing.T) {
 		const n = 1 << 20
 		switch c.Rank() {
 		case 0:
-			e.SendPipelined(1, 0, mpi.Synthetic(n), 0) // default chunk
+			if err := e.SendPipelined(1, 0, mpi.Synthetic(n), 0); err != nil { // default chunk
+				t.Error(err)
+			}
 		case 1:
 			got, err := e.RecvPipelined(0, 0, 0)
 			if err != nil {
@@ -85,7 +89,9 @@ func TestPipelinedOverlapBeatsMonolithic(t *testing.T) {
 			case 0:
 				start := c.Proc().Now()
 				if pipelined {
-					e.SendPipelined(1, 0, mpi.Synthetic(size), 256<<10)
+					if err := e.SendPipelined(1, 0, mpi.Synthetic(size), 256<<10); err != nil {
+						panic(err)
+					}
 					if _, _, err := e.Recv(1, 9); err != nil {
 						panic(err)
 					}

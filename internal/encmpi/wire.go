@@ -1,0 +1,26 @@
+package encmpi
+
+import (
+	"fmt"
+
+	"encmpi/internal/aead"
+)
+
+// ErrMalformedWire is the sentinel of the malformed-wire error family for
+// the encrypted MPI layer. It aliases aead.ErrMalformed so that one
+// errors.Is check covers every decode boundary in the stack — the AEAD
+// framing, the model engine's length arithmetic, the parallel engine's
+// chunking, and the pipeline length header.
+//
+// The layer's error-handling contract (see DESIGN.md):
+//
+//   - authentication failure ⇒ aead.ErrAuth (or a wrapper) and the payload
+//     is discarded;
+//   - structurally invalid wire bytes ⇒ an ErrMalformedWire-family error;
+//   - hostile bytes never panic a rank.
+var ErrMalformedWire = aead.ErrMalformed
+
+// malformedf builds an ErrMalformedWire-family error with context.
+func malformedf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrMalformedWire}, args...)...)
+}

@@ -184,9 +184,19 @@ func concatBlocks(tmp []Buffer, idx []int, blockLen int) Buffer {
 }
 
 // splitBlocks unpacks a concatenated buffer back into the chosen slots.
+// A tampered transport can deliver fewer or more bytes than the schedule
+// expects; the bounds are clamped so the damage surfaces as a decode error
+// in the layer above, never as an out-of-range panic here.
 func splitBlocks(got Buffer, tmp []Buffer, idx []int, blockLen int) {
 	for n, i := range idx {
-		tmp[i] = got.Slice(n*blockLen, (n+1)*blockLen)
+		lo, hi := n*blockLen, (n+1)*blockLen
+		if lo > got.Len() {
+			lo = got.Len()
+		}
+		if hi > got.Len() {
+			hi = got.Len()
+		}
+		tmp[i] = got.Slice(lo, hi)
 	}
 }
 

@@ -1,7 +1,6 @@
 package mpi
 
 import (
-	"fmt"
 	"sync"
 
 	"encmpi/internal/sched"
@@ -75,7 +74,17 @@ func (st *rankState) matchUnexpectedLocked(req *Request) *Msg {
 // Deliver is the transport's arrival callback. It runs the protocol state
 // machine for one incoming message. It never blocks; protocol follow-ups
 // (CTS, DATA) are sent after the state lock is released.
+//
+// Deliver is a trust boundary: over a real transport its input is whatever
+// arrived on the wire, so a message that does not fit the protocol state —
+// out-of-range ranks, a CTS or DATA for an unknown exchange (duplicated,
+// replayed, or forged), an unknown kind — is discarded and counted as
+// stray, never panicked on.
 func (w *World) Deliver(m *Msg) {
+	if m.Dst < 0 || m.Dst >= len(w.states) || m.Src < 0 || m.Src >= len(w.states) {
+		w.stray.Add(1)
+		return
+	}
 	st := w.states[m.Dst]
 
 	var followup *Msg
@@ -111,7 +120,8 @@ func (w *World) Deliver(m *Msg) {
 		req, ok := st.rndvSend[m.Seq]
 		if !ok {
 			st.mu.Unlock()
-			panic(fmt.Sprintf("mpi: rank %d got CTS for unknown seq %d", st.rank, m.Seq))
+			w.stray.Add(1)
+			return
 		}
 		delete(st.rndvSend, m.Seq)
 		// Inject the payload. The send request completes when the transport
@@ -133,7 +143,8 @@ func (w *World) Deliver(m *Msg) {
 		req, ok := st.rndvRecv[m.Seq]
 		if !ok {
 			st.mu.Unlock()
-			panic(fmt.Sprintf("mpi: rank %d got DATA for unknown seq %d", st.rank, m.Seq))
+			w.stray.Add(1)
+			return
 		}
 		delete(st.rndvRecv, m.Seq)
 		req.completeRecvLocked(m)
@@ -141,7 +152,8 @@ func (w *World) Deliver(m *Msg) {
 
 	default:
 		st.mu.Unlock()
-		panic(fmt.Sprintf("mpi: unknown message kind %v", m.Kind))
+		w.stray.Add(1)
+		return
 	}
 	st.mu.Unlock()
 

@@ -14,6 +14,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"encmpi/internal/sched"
 )
@@ -145,7 +146,16 @@ type World struct {
 
 	seqMu sync.Mutex
 	seq   uint64
+
+	// stray counts wire messages Deliver discarded because they fit no
+	// protocol state (duplicated, replayed, or forged traffic). See Deliver.
+	stray atomic.Uint64
 }
+
+// StrayMessages reports how many delivered messages were discarded as
+// protocol strays. Fault-injection tests use it to confirm that hostile
+// duplicates were dropped rather than crashing the matching engine.
+func (w *World) StrayMessages() uint64 { return w.stray.Load() }
 
 // NewWorld creates a world of the given size over a transport. eagerThreshold
 // is the protocol switch point in bytes: payloads strictly smaller go eager.

@@ -1,11 +1,14 @@
 // Package faulty wraps any transport with deterministic fault injection for
-// tests: corrupting payload bytes in flight (which AES-GCM must detect) or
-// dropping messages entirely (which the deadlock detector must surface).
-// It exists because an encrypted MPI whose integrity has never been attacked
-// in a test is an encrypted MPI whose integrity is folklore.
+// tests. It models a full wire adversary: corrupting, truncating, or
+// extending payload bytes in flight (which AES-GCM must detect), dropping
+// messages entirely, replaying an earlier ciphertext in place of a later
+// one, reordering deliveries, and duplicating them. It exists because an
+// encrypted MPI whose integrity has never been attacked in a test is an
+// encrypted MPI whose integrity is folklore.
 package faulty
 
 import (
+	"fmt"
 	"sync"
 
 	"encmpi/internal/mpi"
@@ -23,7 +26,48 @@ const (
 	Corrupt
 	// Drop silently discards matching messages.
 	Drop
+	// Truncate cuts TruncateBytes off the end of matching payloads.
+	Truncate
+	// Extend appends ExtendBytes of garbage to matching payloads.
+	Extend
+	// Replay records the first matching payload and substitutes it for
+	// every later matching payload — the "replace a ciphertext with a prior
+	// one" adversary the paper scopes out and ReplayGuard closes.
+	Replay
+	// Reorder holds a matching message back and delivers it after whatever
+	// the sender injects next, violating per-pair FIFO ordering.
+	Reorder
+	// DuplicateDelivery delivers every matching message twice.
+	DuplicateDelivery
 )
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case Corrupt:
+		return "corrupt"
+	case Drop:
+		return "drop"
+	case Truncate:
+		return "truncate"
+	case Extend:
+		return "extend"
+	case Replay:
+		return "replay"
+	case Reorder:
+		return "reorder"
+	case DuplicateDelivery:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// AllModes lists every active fault mode, in a stable order, for sweep
+// tests that must cover the whole adversary.
+var AllModes = []Mode{Corrupt, Drop, Truncate, Extend, Replay, Reorder, DuplicateDelivery}
 
 // Transport wraps an inner transport.
 type Transport struct {
@@ -34,59 +78,230 @@ type Transport struct {
 	mode Mode
 	// filter selects victims; nil matches every data-bearing message.
 	filter func(*mpi.Msg) bool
-	// Injected counts the faults actually applied.
+	// maxInject, when positive, stops injecting after that many faults.
+	maxInject int
+	// Injected counts the faults actually applied (all modes). Read it only
+	// after traffic has quiesced, or use InjectedBy for a locked read.
 	Injected int
+	// byMode counts applied faults per mode.
+	byMode map[Mode]int
+
+	// TruncateBytes is how many trailing bytes Truncate removes (default 1).
+	TruncateBytes int
+	// ExtendBytes is how many garbage bytes Extend appends (default 1).
+	ExtendBytes int
+
+	// captured is Replay's recorded first matching message.
+	captured *mpi.Msg
+	// held is Reorder's delayed message, released by the next send.
+	held *mpi.Msg
 }
 
 // New wraps inner with no active fault.
 func New(inner mpi.Transport) *Transport {
-	return &Transport{inner: inner}
+	return &Transport{
+		inner:         inner,
+		byMode:        make(map[Mode]int),
+		TruncateBytes: 1,
+		ExtendBytes:   1,
+	}
 }
 
-// SetFault installs a fault mode and an optional victim filter.
+// SetFault installs a fault mode and an optional victim filter, with no
+// limit on how many faults are injected.
 func (t *Transport) SetFault(mode Mode, filter func(*mpi.Msg) bool) {
+	t.SetFaultN(mode, 0, filter)
+}
+
+// SetFaultN is SetFault with an injection budget: after n faults the
+// transport forwards faithfully again. n ≤ 0 means unlimited.
+func (t *Transport) SetFaultN(mode Mode, n int, filter func(*mpi.Msg) bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.mode = mode
 	t.filter = filter
+	t.maxInject = n
 }
 
-// Send implements mpi.Transport.
-func (t *Transport) Send(from sched.Proc, m *mpi.Msg) {
+// InjectedBy reports how many faults of the given mode were applied.
+func (t *Transport) InjectedBy(mode Mode) int {
 	t.mu.Lock()
-	mode := t.mode
-	match := mode != None &&
-		(m.Kind == mpi.KindEager || m.Kind == mpi.KindData) &&
-		(t.filter == nil || t.filter(m))
-	if match {
-		t.Injected++
-	}
-	t.mu.Unlock()
+	defer t.mu.Unlock()
+	return t.byMode[mode]
+}
 
-	if !match {
-		t.inner.Send(from, m)
-		return
+// InjectedTotal reports the total fault count under the lock.
+func (t *Transport) InjectedTotal() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.Injected
+}
+
+// Flush releases a message held by Reorder, if any. Tests whose final
+// message would otherwise stay held call it after the last send.
+func (t *Transport) Flush() {
+	t.mu.Lock()
+	held := t.held
+	t.held = nil
+	t.mu.Unlock()
+	if held != nil {
+		t.inner.Send(nil, held)
 	}
-	switch mode {
-	case Corrupt:
-		if !m.Buf.IsSynthetic() && m.Buf.Len() > 0 {
-			// Flip a byte on a copy so the sender's buffer is untouched,
-			// exactly like corruption on the wire.
-			tampered := m.Buf.Clone()
-			tampered.Data[tampered.Len()/2] ^= 0x20
-			mm := *m
-			mm.Buf = tampered
-			t.inner.Send(from, &mm)
-			return
-		}
-		t.inner.Send(from, m)
-	case Drop:
-		// Message vanishes; local completion still fires (the sender's NIC
-		// accepted it — the loss is downstream).
-		if m.OnInjected != nil {
-			m.OnInjected()
+}
+
+// Send implements mpi.Transport. All decisions happen under the lock; the
+// actual inner sends happen outside it, because delivery can reenter this
+// transport with protocol follow-ups (CTS, DATA).
+func (t *Transport) Send(from sched.Proc, m *mpi.Msg) {
+	forward, ackLocal := t.plan(m)
+	if ackLocal && m.OnInjected != nil {
+		m.OnInjected()
+	}
+	for _, msg := range forward {
+		t.inner.Send(from, msg)
+	}
+}
+
+// plan decides, under the lock, what to forward for message m. It returns
+// the messages to send (in order) and whether the sender's local completion
+// must be signalled here because the original message is not forwarded with
+// its OnInjected intact (Drop, Reorder).
+func (t *Transport) plan(m *mpi.Msg) (forward []*mpi.Msg, ackLocal bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	mode := t.mode
+	eligible := mode != None &&
+		(m.Kind == mpi.KindEager || m.Kind == mpi.KindData) &&
+		(t.filter == nil || t.filter(m)) &&
+		(t.maxInject <= 0 || t.Injected < t.maxInject)
+
+	count := func() {
+		t.Injected++
+		t.byMode[mode]++
+	}
+
+	if eligible {
+		switch mode {
+		case Corrupt:
+			if mm, ok := corrupted(m); ok {
+				count()
+				m = mm
+			}
+		case Truncate:
+			if mm, ok := truncated(m, t.TruncateBytes); ok {
+				count()
+				m = mm
+			}
+		case Extend:
+			count()
+			m = extended(m, t.ExtendBytes)
+		case Drop:
+			// Message vanishes; local completion still fires (the sender's
+			// NIC accepted it — the loss is downstream).
+			count()
+			m = nil
+			ackLocal = true
+		case Replay:
+			if t.captured == nil {
+				// First matching message: record it and deliver it
+				// untouched. Recording is not yet an injection.
+				t.captured = detached(m)
+			} else {
+				count()
+				mm := *m
+				mm.Buf = t.captured.Buf.Clone()
+				m = &mm
+			}
+		case Reorder:
+			if t.held == nil {
+				// Hold this message; whatever is sent next overtakes it.
+				// The sender's completion fires now (the bytes left the
+				// NIC; the delay is downstream), so a blocking rendezvous
+				// send cannot deadlock against its own held payload.
+				count()
+				t.held = detached(m)
+				return nil, true
+			}
 		}
 	}
+
+	if m != nil {
+		forward = append(forward, m)
+		if eligible && mode == DuplicateDelivery {
+			count()
+			forward = append(forward, detached(m))
+		}
+	}
+	// Any onward traffic releases a held reorder victim behind it.
+	if t.held != nil && len(forward) > 0 {
+		forward = append(forward, t.held)
+		t.held = nil
+	}
+	return forward, ackLocal
+}
+
+// detached clones a message for out-of-band delivery: the payload is copied
+// so later mutations don't alias, and OnInjected is stripped so the
+// sender's completion doesn't fire twice (or late).
+func detached(m *mpi.Msg) *mpi.Msg {
+	mm := *m
+	mm.Buf = m.Buf.Clone()
+	mm.OnInjected = nil
+	return &mm
+}
+
+// corrupted flips one byte of a copy of m's payload, exactly like
+// corruption on the wire; the sender's buffer is untouched. Synthetic and
+// empty payloads cannot be corrupted.
+func corrupted(m *mpi.Msg) (*mpi.Msg, bool) {
+	if m.Buf.IsSynthetic() || m.Buf.Len() == 0 {
+		return nil, false
+	}
+	tampered := m.Buf.Clone()
+	tampered.Data[tampered.Len()/2] ^= 0x20
+	mm := *m
+	mm.Buf = tampered
+	return &mm, true
+}
+
+// truncated removes k trailing bytes from a copy of m's payload. Synthetic
+// payloads shrink by length only. Empty payloads cannot be truncated.
+func truncated(m *mpi.Msg, k int) (*mpi.Msg, bool) {
+	n := m.Buf.Len()
+	if n == 0 || k <= 0 {
+		return nil, false
+	}
+	if k > n {
+		k = n
+	}
+	mm := *m
+	if m.Buf.IsSynthetic() {
+		mm.Buf = mpi.Synthetic(n - k)
+	} else {
+		tampered := m.Buf.Clone()
+		mm.Buf = mpi.Bytes(tampered.Data[:n-k])
+	}
+	return &mm, true
+}
+
+// extended appends k bytes of 0x5A garbage to a copy of m's payload.
+func extended(m *mpi.Msg, k int) *mpi.Msg {
+	if k <= 0 {
+		k = 1
+	}
+	mm := *m
+	if m.Buf.IsSynthetic() {
+		mm.Buf = mpi.Synthetic(m.Buf.Len() + k)
+		return &mm
+	}
+	grown := make([]byte, m.Buf.Len()+k)
+	copy(grown, m.Buf.Data)
+	for i := m.Buf.Len(); i < len(grown); i++ {
+		grown[i] = 0x5A
+	}
+	mm.Buf = mpi.Bytes(grown)
+	return &mm
 }
 
 var _ mpi.Transport = (*Transport)(nil)

@@ -30,6 +30,12 @@ import (
 //	buflen  int64
 const headerLen = 4 + 4 + 8 + 4 + 1 + 3 + 8 + 8 + 8
 
+// maxFramePayload bounds the payload length a frame header may announce
+// (1 GiB). A hostile or corrupted stream must not be able to drive a
+// multi-exabyte allocation (and the panic that follows) with eight cheap
+// header bytes; past this bound the connection is abandoned as poisoned.
+const maxFramePayload = 1 << 30
+
 // Transport is a full mesh of loopback connections among n in-process ranks.
 type Transport struct {
 	n int
@@ -127,6 +133,9 @@ func (t *Transport) readLoop(conn net.Conn) {
 			DataLen: int(int64(binary.BigEndian.Uint64(hdr[32:]))),
 		}
 		buflen := int(int64(binary.BigEndian.Uint64(hdr[40:])))
+		if buflen < 0 || buflen > maxFramePayload {
+			return // poisoned stream: no sane frame can follow
+		}
 		if buflen > 0 {
 			data := make([]byte, buflen)
 			if _, err := io.ReadFull(conn, data); err != nil {

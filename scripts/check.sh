@@ -1,0 +1,34 @@
+#!/bin/sh
+# Extended tier-1 gate: static checks, the full test suite under the race
+# detector, and a short fuzz smoke of every wire-decoder target. CI and
+# pre-commit both run this; `make check` is the entry point.
+#
+# FUZZTIME overrides the per-target fuzz budget (default 10s).
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+fuzz() {
+	pkg="$1"
+	target="$2"
+	echo "== fuzz $target ($pkg, $FUZZTIME)"
+	go test "$pkg" -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME"
+}
+
+fuzz ./internal/aead FuzzDecryptMessage
+fuzz ./internal/aead/gcm FuzzOpenRejectsGarbage
+fuzz ./internal/encmpi FuzzParallelOpen
+fuzz ./internal/encmpi FuzzPlainLen
+fuzz ./internal/encmpi FuzzPipelineHeader
+
+echo "== all checks passed"
