@@ -1,0 +1,110 @@
+package encmpi
+
+import (
+	"time"
+
+	"encmpi/internal/osu"
+	"encmpi/internal/report"
+	"encmpi/internal/stats"
+)
+
+// OSU micro-benchmark results.
+type (
+	// PingPongResult reports one ping-pong configuration.
+	PingPongResult = osu.PingPongResult
+	// MultiPairResult reports the aggregate Multiple-Pair bandwidth.
+	MultiPairResult = osu.MultiPairResult
+	// CollectiveResult reports a collective's mean per-invocation latency.
+	CollectiveResult = osu.CollectiveResult
+	// CollectiveOp names a collective under test.
+	CollectiveOp = osu.CollectiveOp
+)
+
+// The collectives the benchmarks time.
+const (
+	OpBcast     CollectiveOp = osu.OpBcast
+	OpAlltoall  CollectiveOp = osu.OpAlltoall
+	OpAllgather CollectiveOp = osu.OpAllgather
+)
+
+// MultiPairWindow is the OSU window size the paper cites (64 non-blocking
+// sends per iteration).
+const MultiPairWindow = osu.MultiPairWindow
+
+// PingPong runs the blocking ping-pong between two ranks on different
+// simulated nodes. WithMetrics threads a registry through the run; other
+// options are ignored.
+func PingPong(cfg NetConfig, mk EngineFactory, size, iters int, opts ...Option) (PingPongResult, error) {
+	return osu.PingPongObserved(cfg, mk, size, iters, buildConfig(opts).metrics)
+}
+
+// MultiPair runs the OSU Multiple-Pair bandwidth test: `pairs` senders on
+// one node stream to `pairs` receivers on another. Options as for PingPong.
+func MultiPair(cfg NetConfig, mk EngineFactory, size, pairs, iters int, opts ...Option) (MultiPairResult, error) {
+	return osu.MultiPairObserved(cfg, mk, size, pairs, iters, buildConfig(opts).metrics)
+}
+
+// Collective times `iters` invocations of a collective on the given cluster
+// shape. Options as for PingPong.
+func Collective(cfg NetConfig, mk EngineFactory, op CollectiveOp, ranks, nodes, size, iters int, opts ...Option) (CollectiveResult, error) {
+	return osu.CollectiveObserved(cfg, mk, op, ranks, nodes, size, iters, buildConfig(opts).metrics)
+}
+
+// Benchmark methodology (paper §V): adaptive repetition and
+// ratio-of-totals overhead summaries.
+type (
+	// AdaptiveConfig bounds an adaptive measurement run.
+	AdaptiveConfig = stats.AdaptiveConfig
+	// Sample summarizes a converged measurement.
+	Sample = stats.Sample
+)
+
+// ErrNoConvergence reports that an adaptive run exhausted its budget.
+var ErrNoConvergence = stats.ErrNoConvergence
+
+// CommDefaults returns the paper's adaptive criteria for communication
+// benchmarks.
+func CommDefaults() AdaptiveConfig { return stats.CommDefaults() }
+
+// EncDefaults returns the paper's adaptive criteria for encryption
+// micro-benchmarks.
+func EncDefaults() AdaptiveConfig { return stats.EncDefaults() }
+
+// AdaptiveRun repeats measure() until the paper's convergence criterion
+// holds.
+func AdaptiveRun(cfg AdaptiveConfig, measure func() float64) (Sample, error) {
+	return stats.AdaptiveRun(cfg, measure)
+}
+
+// Summarize computes a Sample from already-collected values.
+func Summarize(values []float64) Sample { return stats.Summarize(values) }
+
+// OverheadFromTotals computes overhead as a ratio of totals (the
+// Fleming–Wallace-correct aggregation).
+func OverheadFromTotals(baseline, measured []float64) (float64, error) {
+	return stats.OverheadFromTotals(baseline, measured)
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(values []float64) (float64, error) { return stats.GeoMean(values) }
+
+// Report rendering.
+type (
+	// Table is an aligned ASCII/CSV results table.
+	Table = report.Table
+)
+
+// NewTable creates a results table with the given title and columns.
+func NewTable(title string, columns ...string) *Table { return report.NewTable(title, columns...) }
+
+// MBps formats a throughput value for a table cell.
+func MBps(v float64) string { return report.MBps(v) }
+
+// Micros formats a duration in microseconds for a table cell.
+func Micros(d time.Duration) string { return report.Micros(d) }
+
+// Seconds formats a duration in seconds for a table cell.
+func Seconds(d time.Duration) string { return report.Seconds(d) }
+
+// Pct formats a ratio as a percentage for a table cell.
+func Pct(v float64) string { return report.Pct(v) }

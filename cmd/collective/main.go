@@ -13,11 +13,7 @@ import (
 	"strings"
 	"time"
 
-	"encmpi/internal/costmodel"
-	"encmpi/internal/encmpi"
-	"encmpi/internal/osu"
-	"encmpi/internal/report"
-	"encmpi/internal/simnet"
+	"encmpi"
 )
 
 func main() {
@@ -29,11 +25,11 @@ func main() {
 	iters := flag.Int("iters", 20, "iterations per measurement")
 	flag.Parse()
 
-	cfg := simnet.Eth10G()
-	variant := costmodel.GCC485
+	cfg := encmpi.Eth10G()
+	variant := "gcc485"
 	if *net == "ib" {
-		cfg = simnet.IB40G()
-		variant = costmodel.MVAPICH
+		cfg = encmpi.IB40G()
+		variant = "mvapich"
 	}
 
 	var sizes []int
@@ -49,34 +45,34 @@ func main() {
 	for _, s := range sizes {
 		cols = append(cols, fmt.Sprintf("%dB", s))
 	}
-	tb := report.NewTable(
+	tb := encmpi.NewTable(
 		fmt.Sprintf("Encrypted_%s mean latency (µs), %d ranks / %d nodes, %s",
 			*op, *ranks, *nodes, cfg.Name), cols...)
 
 	baseLat := map[int]time.Duration{}
 	for _, l := range []string{"none", "boringssl", "libsodium", "cryptopp"} {
-		mk := osu.Baseline()
+		mk := encmpi.Baseline()
 		name := "Unencrypted"
 		if l != "none" {
-			p, err := costmodel.Lookup(l, variant, 256)
+			eng, err := encmpi.LibraryModel(l, variant, 256)
 			if err != nil {
 				log.Fatal(err)
 			}
-			mk = func(int) encmpi.Engine { return encmpi.NewModelEngine(p) }
+			mk = func(int) encmpi.Engine { return eng }
 			name = l
 		}
 		row := []string{name}
 		for _, s := range sizes {
-			res, err := osu.Collective(cfg, mk, osu.CollectiveOp(*op), *ranks, *nodes, s, *iters)
+			res, err := encmpi.Collective(cfg, mk, encmpi.CollectiveOp(*op), *ranks, *nodes, s, *iters)
 			if err != nil {
 				log.Fatal(err)
 			}
 			if l == "none" {
 				baseLat[s] = res.MeanLat
-				row = append(row, report.Micros(res.MeanLat))
+				row = append(row, encmpi.Micros(res.MeanLat))
 			} else {
 				ov := res.MeanLat.Seconds()/baseLat[s].Seconds() - 1
-				row = append(row, fmt.Sprintf("%s (+%s)", report.Micros(res.MeanLat), report.Pct(ov)))
+				row = append(row, fmt.Sprintf("%s (+%s)", encmpi.Micros(res.MeanLat), encmpi.Pct(ov)))
 			}
 		}
 		tb.Add(row...)

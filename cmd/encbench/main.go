@@ -5,6 +5,7 @@
 // buffer size until the standard deviation is within 5% of the mean).
 //
 //	encbench [-net eth|ib] [-real] [-key 128|256]
+//	         [-stats] [-statsfmt text|json|prom]
 package main
 
 import (
@@ -15,11 +16,7 @@ import (
 	"os"
 	"time"
 
-	"encmpi/internal/aead"
-	"encmpi/internal/aead/codecs"
-	"encmpi/internal/costmodel"
-	"encmpi/internal/report"
-	"encmpi/internal/stats"
+	"encmpi"
 )
 
 var benchSizes = []int{16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20, 4 << 20}
@@ -28,31 +25,36 @@ func main() {
 	net := flag.String("net", "eth", "network side of the paper: eth (gcc 4.8.5) or ib (MVAPICH toolchain)")
 	real := flag.Bool("real", false, "measure the real Go AEAD backends instead of printing model curves")
 	keyBits := flag.Int("key", 256, "AES key length (128 or 256)")
+	stats := flag.Bool("stats", false, "with -real: print crypto accounting (counts, bytes, latency) after the sweep")
+	statsFmt := flag.String("statsfmt", "text", "metrics format: text, json, or prom")
 	flag.Parse()
 
 	if *real {
-		if err := measureReal(*keyBits); err != nil {
+		if err := measureReal(*keyBits, *stats, *statsFmt); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-
-	variant := costmodel.GCC485
-	if *net == "ib" {
-		variant = costmodel.MVAPICH
+	if *stats {
+		fmt.Fprintln(os.Stderr, "note: -stats accounts real seal/open work; combine it with -real")
 	}
-	tb := report.NewTable(
+
+	variant := encmpi.GCC485
+	if *net == "ib" {
+		variant = encmpi.MVAPICH
+	}
+	tb := encmpi.NewTable(
 		fmt.Sprintf("AES-GCM-%d enc-dec throughput (MB/s), %s toolchain (model curves)", *keyBits, variant),
-		append([]string{"Size"}, costmodel.Libraries()...)...)
+		append([]string{"Size"}, encmpi.Libraries()...)...)
 	for _, s := range benchSizes {
 		row := []string{sizeLabel(s)}
-		for _, lib := range costmodel.Libraries() {
-			p, err := costmodel.Lookup(lib, variant, *keyBits)
+		for _, lib := range encmpi.Libraries() {
+			p, err := encmpi.LookupLibrary(lib, variant, *keyBits)
 			if err != nil {
 				row = append(row, "n/a")
 				continue
 			}
-			row = append(row, report.MBps(p.Curve.ThroughputMBps(s)))
+			row = append(row, encmpi.MBps(p.Curve.ThroughputMBps(s)))
 		}
 		tb.Add(row...)
 	}
@@ -61,21 +63,30 @@ func main() {
 
 // measureReal times the actual Go codecs, paper-style: the metric is
 // size / (t_enc + t_dec), at least 5 repetitions, stddev within 5% of mean.
-func measureReal(keyBits int) error {
+func measureReal(keyBits int, stats bool, statsFmt string) error {
 	key := bytes.Repeat([]byte{0x42}, keyBits/8)
-	tb := report.NewTable(
+	tb := encmpi.NewTable(
 		fmt.Sprintf("Measured enc-dec throughput (MB/s) of the Go AEAD tiers, AES-%d, this host", keyBits),
-		append([]string{"Size"}, codecs.GCMNames()...)...)
+		append([]string{"Size"}, encmpi.GCMCodecNames()...)...)
+
+	// With -stats every timed seal/open is also charged to a one-rank
+	// registry, giving counts, byte totals, and latency histograms.
+	var rk *encmpi.RankMetrics
+	var reg *encmpi.Registry
+	if stats {
+		reg = encmpi.NewRegistry(1)
+		rk = reg.Rank(0)
+	}
 
 	for _, size := range benchSizes {
 		row := []string{sizeLabel(size)}
 		pt := make([]byte, size)
-		for _, name := range codecs.GCMNames() {
-			codec, err := codecs.New(name, key)
+		for _, name := range encmpi.GCMCodecNames() {
+			codec, err := encmpi.NewCodec(name, key)
 			if err != nil {
 				return err
 			}
-			nonce := make([]byte, aead.NonceSize)
+			nonce := make([]byte, encmpi.NonceSize)
 			ct := codec.Seal(nil, nonce, pt)
 			out := make([]byte, 0, size)
 
@@ -91,7 +102,7 @@ func measureReal(keyBits int) error {
 				iters = int(20*time.Millisecond/per) + 1
 			}
 
-			sample, err := stats.AdaptiveRun(stats.EncDefaults(), func() float64 {
+			sample, err := encmpi.AdaptiveRun(encmpi.EncDefaults(), func() float64 {
 				t0 := time.Now()
 				for i := 0; i < iters; i++ {
 					ct = codec.Seal(ct[:0], nonce, pt)
@@ -100,17 +111,40 @@ func measureReal(keyBits int) error {
 					}
 				}
 				elapsed := time.Since(t0).Seconds() / float64(iters)
+				if rk != nil {
+					// One enc+dec pair per iteration; split the measured
+					// time evenly between the two directions.
+					half := int64(time.Duration(elapsed*float64(time.Second)) / 2)
+					rk.Seal(size, len(ct), half)
+					rk.Open(len(ct), size, half)
+				}
 				return float64(size) / elapsed / 1e6 // MB/s for one enc+dec
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "warning: %s @%d: %v\n", name, size, err)
 			}
-			row = append(row, report.MBps(sample.Mean))
+			row = append(row, encmpi.MBps(sample.Mean))
 		}
 		tb.Add(row...)
 	}
 	tb.Note("metric matches the paper's Fig 2: size/(t_enc+t_dec); 5%% stddev stopping rule")
-	fmt.Print(tb)
+	// With a machine metrics format, stdout carries only the snapshot so it
+	// can be piped straight into a parser; the table moves to stderr.
+	machine := reg != nil && statsFmt != "text" && statsFmt != ""
+	human := os.Stdout
+	if machine {
+		human = os.Stderr
+	}
+	fmt.Fprint(human, tb)
+
+	if reg != nil {
+		if !machine {
+			fmt.Println()
+		}
+		if err := encmpi.WriteSnapshot(os.Stdout, reg.Snapshot(), statsFmt); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

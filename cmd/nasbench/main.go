@@ -13,12 +13,7 @@ import (
 	"strings"
 	"time"
 
-	"encmpi/internal/costmodel"
-	"encmpi/internal/encmpi"
-	"encmpi/internal/nas"
-	"encmpi/internal/report"
-	"encmpi/internal/simnet"
-	"encmpi/internal/stats"
+	"encmpi"
 )
 
 func main() {
@@ -29,14 +24,14 @@ func main() {
 	kernelsFlag := flag.String("kernels", "", "comma-separated kernels (default: all)")
 	flag.Parse()
 
-	cfg := simnet.Eth10G()
-	variant := costmodel.GCC485
+	cfg := encmpi.Eth10G()
+	variant := "gcc485"
 	if *net == "ib" {
-		cfg = simnet.IB40G()
-		variant = costmodel.MVAPICH
+		cfg = encmpi.IB40G()
+		variant = "mvapich"
 	}
 
-	kernels := nas.Kernels()
+	kernels := encmpi.NASKernels()
 	if *kernelsFlag != "" {
 		kernels = nil
 		for _, k := range strings.Split(*kernelsFlag, ",") {
@@ -50,7 +45,7 @@ func main() {
 	budgets := map[string]time.Duration{}
 	for _, k := range kernels {
 		if classByte == 'C' {
-			per, err := nas.Calibrate(k, 'C', *ranks, *nodes, simnet.Eth10G(), nas.EthBaselineSeconds[k])
+			per, err := encmpi.NASCalibrate(k, 'C', *ranks, *nodes, encmpi.Eth10G(), encmpi.NASEthBaselineSeconds()[k])
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -62,28 +57,26 @@ func main() {
 
 	cols := append([]string{"Library"}, kernels...)
 	cols = append(cols, "Total", "Overhead")
-	tb := report.NewTable(
+	tb := encmpi.NewTable(
 		fmt.Sprintf("NAS class %s runtimes (s), %d ranks / %d nodes, %s", *class, *ranks, *nodes, cfg.Name), cols...)
 
 	var baseTimes []float64
 	for _, l := range []string{"none", "boringssl", "libsodium", "cryptopp"} {
-		var eng func(int) encmpi.Engine
+		mk := encmpi.Baseline()
 		name := "Unencrypted"
-		if l == "none" {
-			eng = func(int) encmpi.Engine { return encmpi.NullEngine{} }
-		} else {
-			p, err := costmodel.Lookup(l, variant, 256)
+		if l != "none" {
+			eng, err := encmpi.LibraryModel(l, variant, 256)
 			if err != nil {
 				log.Fatal(err)
 			}
-			eng = func(int) encmpi.Engine { return encmpi.NewModelEngine(p) }
+			mk = func(int) encmpi.Engine { return eng }
 			name = l
 		}
 		row := []string{name}
 		var times []float64
 		var sum float64
 		for _, k := range kernels {
-			res, err := nas.Run(k, classByte, *ranks, *nodes, cfg, eng, budgets[k])
+			res, err := encmpi.RunNAS(k, classByte, *ranks, *nodes, cfg, mk, budgets[k])
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -96,11 +89,11 @@ func main() {
 			baseTimes = times
 			row = append(row, "—")
 		} else {
-			ov, err := stats.OverheadFromTotals(baseTimes, times)
+			ov, err := encmpi.OverheadFromTotals(baseTimes, times)
 			if err != nil {
 				log.Fatal(err)
 			}
-			row = append(row, report.Pct(ov))
+			row = append(row, encmpi.Pct(ov))
 		}
 		tb.Add(row...)
 	}

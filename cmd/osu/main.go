@@ -3,20 +3,18 @@
 // streaming 64-message windows to N receivers on another.
 //
 //	osu [-net eth|ib] [-size BYTES] [-pairs 1,2,4,8] [-iters N]
+//	    [-stats] [-statsfmt text|json|prom]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 
-	"encmpi/internal/costmodel"
-	"encmpi/internal/encmpi"
-	"encmpi/internal/osu"
-	"encmpi/internal/report"
-	"encmpi/internal/simnet"
+	"encmpi"
 )
 
 func main() {
@@ -24,13 +22,15 @@ func main() {
 	size := flag.Int("size", 16<<10, "message size in bytes")
 	pairsFlag := flag.String("pairs", "1,2,4,8", "comma-separated pair counts")
 	iters := flag.Int("iters", 50, "iterations (64-message windows each)")
+	stats := flag.Bool("stats", false, "print per-rank runtime metrics after the sweep")
+	statsFmt := flag.String("statsfmt", "text", "metrics format: text, json, or prom")
 	flag.Parse()
 
-	cfg := simnet.Eth10G()
-	variant := costmodel.GCC485
+	cfg := encmpi.Eth10G()
+	variant := "gcc485"
 	if *net == "ib" {
-		cfg = simnet.IB40G()
-		variant = costmodel.MVAPICH
+		cfg = encmpi.IB40G()
+		variant = "mvapich"
 	}
 
 	var pairs []int
@@ -46,29 +46,52 @@ func main() {
 	for _, p := range pairs {
 		cols = append(cols, fmt.Sprintf("%d pair(s)", p))
 	}
-	tb := report.NewTable(
+	tb := encmpi.NewTable(
 		fmt.Sprintf("Multi-pair aggregate throughput (MB/s), %d-byte messages, %s", *size, cfg.Name), cols...)
 
+	var reg *encmpi.Registry
+	var opts []encmpi.Option
+	if *stats {
+		reg = encmpi.NewRegistry(16)
+		opts = append(opts, encmpi.WithMetrics(reg))
+	}
+
 	for _, l := range []string{"none", "boringssl", "libsodium", "cryptopp"} {
-		mk := osu.Baseline()
+		mk := encmpi.Baseline()
 		name := "Unencrypted"
 		if l != "none" {
-			p, err := costmodel.Lookup(l, variant, 256)
+			eng, err := encmpi.LibraryModel(l, variant, 256)
 			if err != nil {
 				log.Fatal(err)
 			}
-			mk = func(int) encmpi.Engine { return encmpi.NewModelEngine(p) }
+			mk = func(int) encmpi.Engine { return eng }
 			name = l
 		}
 		row := []string{name}
 		for _, p := range pairs {
-			res, err := osu.MultiPair(cfg, mk, *size, p, *iters)
+			res, err := encmpi.MultiPair(cfg, mk, *size, p, *iters, opts...)
 			if err != nil {
 				log.Fatal(err)
 			}
-			row = append(row, report.MBps(res.Throughput))
+			row = append(row, encmpi.MBps(res.Throughput))
 		}
 		tb.Add(row...)
 	}
-	fmt.Print(tb)
+	// With a machine metrics format, stdout carries only the snapshot so it
+	// can be piped straight into a parser; the table moves to stderr.
+	machine := *stats && *statsFmt != "text" && *statsFmt != ""
+	human := os.Stdout
+	if machine {
+		human = os.Stderr
+	}
+	fmt.Fprint(human, tb)
+
+	if reg != nil {
+		if !machine {
+			fmt.Println()
+		}
+		if err := encmpi.WriteSnapshot(os.Stdout, reg.Snapshot(), *statsFmt); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

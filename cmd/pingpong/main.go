@@ -3,18 +3,16 @@
 // blocking send/receive, throughput over plaintext bytes.
 //
 //	pingpong [-net eth|ib] [-small] [-lib all|boringssl|...] [-iters N]
+//	         [-stats] [-statsfmt text|json|prom]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
-	"encmpi/internal/costmodel"
-	"encmpi/internal/encmpi"
-	"encmpi/internal/osu"
-	"encmpi/internal/report"
-	"encmpi/internal/simnet"
+	"encmpi"
 )
 
 func main() {
@@ -22,13 +20,15 @@ func main() {
 	small := flag.Bool("small", false, "small-message table (1B-1KB) instead of the 4KB-2MB sweep")
 	lib := flag.String("lib", "all", "library: all, none, boringssl, openssl, libsodium, cryptopp")
 	iters := flag.Int("iters", 1000, "round trips per size")
+	stats := flag.Bool("stats", false, "print per-rank runtime metrics after the sweep")
+	statsFmt := flag.String("statsfmt", "text", "metrics format: text, json, or prom")
 	flag.Parse()
 
-	cfg := simnet.Eth10G()
-	variant := costmodel.GCC485
+	cfg := encmpi.Eth10G()
+	variant := "gcc485"
 	if *net == "ib" {
-		cfg = simnet.IB40G()
-		variant = costmodel.MVAPICH
+		cfg = encmpi.IB40G()
+		variant = "mvapich"
 	}
 
 	sizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 2 << 20}
@@ -45,17 +45,31 @@ func main() {
 	for _, s := range sizes {
 		cols = append(cols, fmt.Sprintf("%dB", s))
 	}
-	tb := report.NewTable(fmt.Sprintf("Ping-pong throughput (MB/s), %s", cfg.Name), cols...)
+	tb := encmpi.NewTable(fmt.Sprintf("Ping-pong throughput (MB/s), %s", cfg.Name), cols...)
+
+	var reg *encmpi.Registry
+	var opts []encmpi.Option
+	if *stats {
+		reg = encmpi.NewRegistry(2)
+		opts = append(opts, encmpi.WithMetrics(reg))
+	}
+	// With a machine metrics format, stdout carries only the snapshot so it
+	// can be piped straight into a parser; human output moves to stderr.
+	machine := *stats && *statsFmt != "text" && *statsFmt != ""
+	human := os.Stdout
+	if machine {
+		human = os.Stderr
+	}
 
 	for _, l := range libs {
-		mk := osu.Baseline()
+		mk := encmpi.Baseline()
 		name := "Unencrypted"
 		if l != "none" {
-			p, err := costmodel.Lookup(l, variant, 256)
+			eng, err := encmpi.LibraryModel(l, variant, 256)
 			if err != nil {
 				log.Fatal(err)
 			}
-			mk = func(int) encmpi.Engine { return encmpi.NewModelEngine(p) }
+			mk = func(int) encmpi.Engine { return eng }
 			name = l
 		}
 		row := []string{name}
@@ -67,13 +81,32 @@ func main() {
 					n = 1
 				}
 			}
-			res, err := osu.PingPong(cfg, mk, s, n)
+			res, err := encmpi.PingPong(cfg, mk, s, n, opts...)
 			if err != nil {
 				log.Fatal(err)
 			}
-			row = append(row, report.MBps(res.Throughput))
+			row = append(row, encmpi.MBps(res.Throughput))
 		}
 		tb.Add(row...)
 	}
-	fmt.Print(tb)
+	fmt.Fprint(human, tb)
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		if !machine {
+			fmt.Println()
+		}
+		if err := encmpi.WriteSnapshot(os.Stdout, snap, *statsFmt); err != nil {
+			log.Fatal(err)
+		}
+		// The exact AES-GCM accounting invariant (wire = plain + msgs*28)
+		// only holds when every sealed message carries the 28-byte
+		// nonce+tag expansion, i.e. for a single encrypted library.
+		if *lib != "all" && *lib != "none" {
+			if err := snap.CheckByteAccounting(encmpi.Overhead); err != nil {
+				log.Fatalf("byte accounting: %v", err)
+			}
+			fmt.Fprintf(human, "byte accounting OK: wire bytes == plaintext bytes + %d per message\n", encmpi.Overhead)
+		}
+	}
 }

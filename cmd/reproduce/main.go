@@ -15,7 +15,7 @@ import (
 	"strings"
 	"time"
 
-	"encmpi/internal/harness"
+	"encmpi"
 )
 
 func main() {
@@ -24,14 +24,14 @@ func main() {
 	expList := flag.String("exp", "", "comma-separated experiment ids (default: all)")
 	flag.Parse()
 
-	opts := harness.Options{Quick: *quick}
+	opts := encmpi.ReproOptions{Quick: *quick}
 
-	var exps []harness.Experiment
+	var exps []encmpi.Experiment
 	if *expList == "" {
-		exps = harness.Experiments()
+		exps = encmpi.Experiments()
 	} else {
 		for _, id := range strings.Split(*expList, ",") {
-			e, err := harness.Lookup(strings.TrimSpace(id))
+			e, err := encmpi.LookupExperiment(strings.TrimSpace(id))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

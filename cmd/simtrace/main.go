@@ -6,22 +6,17 @@
 //
 //	simtrace [-workload alltoall|bcast|nas-cg] [-net eth|ib] [-ranks 16]
 //	         [-nodes 4] [-size 16384] [-lib none|boringssl|...] [-csv]
+//	         [-stats] [-statsfmt text|json|prom]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
-	"encmpi/internal/cluster"
-	"encmpi/internal/costmodel"
-	"encmpi/internal/encmpi"
-	"encmpi/internal/job"
-	"encmpi/internal/mpi"
-	"encmpi/internal/nas"
-	"encmpi/internal/simnet"
-	"encmpi/internal/trace"
+	"encmpi"
 )
 
 func main() {
@@ -32,67 +27,89 @@ func main() {
 	size := flag.Int("size", 16<<10, "message size")
 	lib := flag.String("lib", "boringssl", "library: none, boringssl, openssl, libsodium, cryptopp")
 	csv := flag.Bool("csv", false, "dump the full transfer timeline as CSV")
+	stats := flag.Bool("stats", false, "print per-rank runtime metrics after the run")
+	statsFmt := flag.String("statsfmt", "text", "metrics format: text, json, or prom")
 	flag.Parse()
 
-	cfg := simnet.Eth10G()
-	variant := costmodel.GCC485
+	cfg := encmpi.Eth10G()
+	variant := "gcc485"
 	if *net == "ib" {
-		cfg = simnet.IB40G()
-		variant = costmodel.MVAPICH
+		cfg = encmpi.IB40G()
+		variant = "mvapich"
 	}
 
-	mkEngine := func(int) encmpi.Engine { return encmpi.NullEngine{} }
+	mkEngine := encmpi.Baseline()
 	if *lib != "none" {
-		p, err := costmodel.Lookup(*lib, variant, 256)
+		eng, err := encmpi.LibraryModel(*lib, variant, 256)
 		if err != nil {
 			log.Fatal(err)
 		}
-		mkEngine = func(int) encmpi.Engine { return encmpi.NewModelEngine(p) }
+		mkEngine = func(int) encmpi.Engine { return eng }
 	}
 
-	col := &trace.Collector{}
-	spec := cluster.PaperTestbed(*ranks, *nodes)
-	res, err := job.RunSimConfigured(spec, cfg,
-		func(f *simnet.Fabric) { f.Trace = col.Record },
-		func(c *mpi.Comm) {
-			e := encmpi.Wrap(c, mkEngine(c.Rank()))
-			switch *workload {
-			case "alltoall":
-				blocks := make([]mpi.Buffer, c.Size())
-				for d := range blocks {
-					blocks[d] = mpi.Synthetic(*size)
-				}
-				if _, err := e.Alltoall(blocks); err != nil {
-					panic(err)
-				}
-			case "bcast":
-				var buf mpi.Buffer
-				if c.Rank() == 0 {
-					buf = mpi.Synthetic(*size)
-				}
-				if _, err := e.Bcast(0, buf); err != nil {
-					panic(err)
-				}
-			case "nas-cg":
-				p, err := nas.ParamsFor("CG", 'A')
-				if err != nil {
-					panic(err)
-				}
-				nas.RunKernel(e, p, 10*time.Microsecond)
-			default:
-				panic(fmt.Sprintf("unknown workload %q", *workload))
+	col := &encmpi.TraceCollector{}
+	opts := []encmpi.Option{encmpi.WithTrace(col)}
+	var reg *encmpi.Registry
+	if *stats {
+		reg = encmpi.NewRegistry(*ranks)
+		opts = append(opts, encmpi.WithMetrics(reg))
+	}
+
+	spec := encmpi.PaperTestbed(*ranks, *nodes)
+	res, err := encmpi.RunSim(spec, cfg, func(c *encmpi.Comm) {
+		e := encmpi.EncryptWith(c, mkEngine(c.Rank()))
+		switch *workload {
+		case "alltoall":
+			blocks := make([]encmpi.Buffer, c.Size())
+			for d := range blocks {
+				blocks[d] = encmpi.Synthetic(*size)
 			}
-		})
+			if _, err := e.Alltoall(blocks); err != nil {
+				panic(err)
+			}
+		case "bcast":
+			var buf encmpi.Buffer
+			if c.Rank() == 0 {
+				buf = encmpi.Synthetic(*size)
+			}
+			if _, err := e.Bcast(0, buf); err != nil {
+				panic(err)
+			}
+		case "nas-cg":
+			p, err := encmpi.NASParamsFor("CG", 'A')
+			if err != nil {
+				panic(err)
+			}
+			encmpi.RunNASKernel(e, p, 10*time.Microsecond)
+		default:
+			panic(fmt.Sprintf("unknown workload %q", *workload))
+		}
+	}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("workload %s on %s, %d ranks / %d nodes, library %s\n",
+	// With a machine metrics format, stdout carries only the snapshot so it
+	// can be piped straight into a parser; the trace summary moves to stderr.
+	machine := reg != nil && *statsFmt != "text" && *statsFmt != ""
+	human := os.Stdout
+	if machine {
+		human = os.Stderr
+	}
+	fmt.Fprintf(human, "workload %s on %s, %d ranks / %d nodes, library %s\n",
 		*workload, cfg.Name, *ranks, *nodes, *lib)
-	fmt.Printf("virtual time: %v  (packets %d, wire bytes %d)\n\n",
+	fmt.Fprintf(human, "virtual time: %v  (packets %d, wire bytes %d)\n\n",
 		res.Elapsed, res.Packets, res.Bytes)
-	fmt.Print(col.Summary())
+	fmt.Fprint(human, col.Summary())
 	if *csv {
-		fmt.Print(col.CSV())
+		fmt.Fprint(human, col.CSV())
+	}
+	if reg != nil {
+		if !machine {
+			fmt.Println()
+		}
+		if err := encmpi.WriteSnapshot(os.Stdout, reg.Snapshot(), *statsFmt); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -66,6 +66,21 @@ type (
 	NetConfig = simnet.Config
 	// SimResult reports a simulated job's timing.
 	SimResult = job.SimResult
+
+	// Datatype describes the element type of a reduction buffer.
+	Datatype = mpi.Datatype
+	// ReduceOp is a reduction operator.
+	ReduceOp = mpi.Op
+)
+
+// Reduction datatypes and operators.
+const (
+	Float64 Datatype = mpi.Float64
+	Int64   Datatype = mpi.Int64
+
+	OpSum ReduceOp = mpi.OpSum
+	OpMax ReduceOp = mpi.OpMax
+	OpMin ReduceOp = mpi.OpMin
 )
 
 // Wildcards and wire-format constants.
@@ -77,6 +92,8 @@ const (
 	// Overhead is the per-message wire expansion of AES-GCM:
 	// 12-byte nonce + 16-byte tag.
 	Overhead = aead.Overhead
+	// NonceSize is the AES-GCM nonce length in bytes.
+	NonceSize = aead.NonceSize
 )
 
 // Bytes wraps a real byte slice as a message payload.
@@ -85,6 +102,16 @@ func Bytes(b []byte) Buffer { return mpi.Bytes(b) }
 // Synthetic creates a length-only payload for simulation workloads.
 func Synthetic(n int) Buffer { return mpi.Synthetic(n) }
 
+// Float64Buffer wraps a float64 slice as a reduction payload.
+func Float64Buffer(v []float64) Buffer { return mpi.Float64Buffer(v) }
+
+// Float64s reinterprets a reduction payload as float64 elements.
+func Float64s(b Buffer) []float64 { return mpi.Float64s(b) }
+
+// WireLen returns the on-wire length of an encrypted message whose
+// plaintext is n bytes long.
+func WireLen(n int) int { return aead.WireLen(n) }
+
 // NewCodec builds a registered AEAD implementation ("aesstd", "aessoft",
 // "aesref", "ccmsoft", "ccmref") for a 16/24/32-byte AES key.
 func NewCodec(name string, key []byte) (Codec, error) { return codecs.New(name, key) }
@@ -92,15 +119,29 @@ func NewCodec(name string, key []byte) (Codec, error) { return codecs.New(name, 
 // CodecNames lists the registered AEAD implementations.
 func CodecNames() []string { return codecs.Names() }
 
+// GCMCodecNames lists just the AES-GCM implementations (the subset the
+// paper's byte-accounting invariant — wire = plain + 28 per message —
+// holds for).
+func GCMCodecNames() []string { return codecs.GCMNames() }
+
 // Encrypt wraps a communicator with real AES-GCM encryption under the given
 // codec. noncePrefix must be unique per rank sharing a key (use the rank).
-func Encrypt(c *Comm, codec Codec, noncePrefix uint32) *EncryptedComm {
-	return enc.Wrap(c, enc.NewRealEngine(codec, aead.NewCounterNonce(noncePrefix)))
+// Options may attach observability: WithMetrics(g) charges this rank's
+// seal/open work to g's corresponding per-rank slot.
+func Encrypt(c *Comm, codec Codec, noncePrefix uint32, opts ...Option) *EncryptedComm {
+	return EncryptWith(c, enc.NewRealEngine(codec, aead.NewCounterNonce(noncePrefix)), opts...)
 }
 
 // EncryptWith wraps a communicator with an explicit engine (e.g. a cost
 // model of one of the paper's libraries, or NullEngine for a baseline).
-func EncryptWith(c *Comm, e Engine) *EncryptedComm { return enc.Wrap(c, e) }
+// Options are as for Encrypt.
+func EncryptWith(c *Comm, e Engine, opts ...Option) *EncryptedComm {
+	cfg := buildConfig(opts)
+	if cfg.metrics != nil {
+		return enc.Wrap(c, e, enc.ObserveWith(cfg.metrics.Rank(c.Rank())))
+	}
+	return enc.Wrap(c, e)
+}
 
 // Unencrypted returns the pass-through baseline engine.
 func Unencrypted() Engine { return enc.NullEngine{} }
@@ -121,15 +162,22 @@ func LibraryModel(library, variant string, keyBits int) (Engine, error) {
 // same keyLen-byte key.
 func ExchangeKey(c *Comm, keyLen int) ([]byte, error) { return enc.ExchangeKey(c, keyLen) }
 
-// RunShm executes an n-rank job over the in-process transport.
-func RunShm(n int, body func(c *Comm)) error { return job.RunShm(n, body) }
+// RunShm executes an n-rank job over the in-process transport. Options may
+// attach metrics (WithMetrics) or wire faults (WithFaults).
+func RunShm(n int, body func(c *Comm), opts ...Option) error {
+	return job.RunShmOpts(n, buildConfig(opts).jobOptions(), body)
+}
 
-// RunTCP executes an n-rank job over real loopback TCP sockets.
-func RunTCP(n int, body func(c *Comm)) error { return job.RunTCP(n, body) }
+// RunTCP executes an n-rank job over real loopback TCP sockets. Options are
+// as for RunShm.
+func RunTCP(n int, body func(c *Comm), opts ...Option) error {
+	return job.RunTCPOpts(n, buildConfig(opts).jobOptions(), body)
+}
 
-// RunSim executes a job on the discrete-event cluster simulator.
-func RunSim(spec ClusterSpec, cfg NetConfig, body func(c *Comm)) (SimResult, error) {
-	return job.RunSim(spec, cfg, body)
+// RunSim executes a job on the discrete-event cluster simulator. Options may
+// additionally attach a fabric trace collector (WithTrace).
+func RunSim(spec ClusterSpec, cfg NetConfig, body func(c *Comm), opts ...Option) (SimResult, error) {
+	return job.RunSimOpts(spec, cfg, buildConfig(opts).jobOptions(), body)
 }
 
 // PaperTestbed returns the paper's cluster shape (8-core nodes).

@@ -16,11 +16,7 @@ import (
 	"log"
 	"math"
 
-	"encmpi/internal/aead"
-	"encmpi/internal/aead/codecs"
-	"encmpi/internal/encmpi"
-	"encmpi/internal/job"
-	"encmpi/internal/mpi"
+	"encmpi"
 )
 
 func main() {
@@ -38,12 +34,12 @@ func main() {
 	finalResidual := make([]float64, *ranks)
 	iterations := make([]int, *ranks)
 
-	err := job.RunShm(*ranks, func(c *mpi.Comm) {
-		codec, err := codecs.New(*codecName, key)
+	err := encmpi.RunShm(*ranks, func(c *encmpi.Comm) {
+		codec, err := encmpi.NewCodec(*codecName, key)
 		if err != nil {
 			log.Fatal(err)
 		}
-		e := encmpi.Wrap(c, encmpi.NewRealEngine(codec, aead.NewCounterNonce(uint32(c.Rank()))))
+		e := encmpi.Encrypt(c, codec, uint32(c.Rank()))
 		res, iters := solveCG(e, *n, local)
 		finalResidual[c.Rank()] = res
 		iterations[c.Rank()] = iters
@@ -63,7 +59,7 @@ func main() {
 // solveCG solves A·x = b for the 1D Laplacian A = tridiag(-1, 2, -1) with b
 // chosen so the exact solution is known, and returns the final residual norm
 // and iteration count.
-func solveCG(e *encmpi.Comm, n, local int) (float64, int) {
+func solveCG(e *encmpi.EncryptedComm, n, local int) (float64, int) {
 	rank, p := e.Rank(), e.Size()
 	lo := rank * local
 
@@ -90,7 +86,7 @@ func solveCG(e *encmpi.Comm, n, local int) (float64, int) {
 	// through the encrypted layer.
 	matvec := func(v []float64) []float64 {
 		leftGhost, rightGhost := 0.0, 0.0
-		var reqs []*encmpi.Request
+		var reqs []*encmpi.EncryptedRequest
 		if rank > 0 {
 			reqs = append(reqs, e.Irecv(rank-1, 0))
 		}
@@ -98,17 +94,17 @@ func solveCG(e *encmpi.Comm, n, local int) (float64, int) {
 			reqs = append(reqs, e.Irecv(rank+1, 1))
 		}
 		if rank > 0 {
-			e.Send(rank-1, 1, mpi.Float64Buffer(v[:1]))
+			e.Send(rank-1, 1, encmpi.Float64Buffer(v[:1]))
 		}
 		if rank < p-1 {
-			e.Send(rank+1, 0, mpi.Float64Buffer(v[local-1:]))
+			e.Send(rank+1, 0, encmpi.Float64Buffer(v[local-1:]))
 		}
 		for _, r := range reqs {
 			buf, st, err := e.Wait(r)
 			if err != nil {
 				log.Fatalf("halo decrypt failed: %v", err)
 			}
-			val := mpi.Float64s(buf)[0]
+			val := encmpi.Float64s(buf)[0]
 			if st.Source == rank-1 {
 				leftGhost = val
 			} else {
@@ -135,8 +131,8 @@ func solveCG(e *encmpi.Comm, n, local int) (float64, int) {
 		for i := range a {
 			s += a[i] * b[i]
 		}
-		out := e.Allreduce(mpi.Float64Buffer([]float64{s}), mpi.Float64, mpi.OpSum)
-		return mpi.Float64s(out)[0]
+		out := e.Allreduce(encmpi.Float64Buffer([]float64{s}), encmpi.Float64, encmpi.OpSum)
+		return encmpi.Float64s(out)[0]
 	}
 
 	x := make([]float64, local)
@@ -166,8 +162,8 @@ func solveCG(e *encmpi.Comm, n, local int) (float64, int) {
 			worst = diff
 		}
 	}
-	out := e.Allreduce(mpi.Float64Buffer([]float64{worst}), mpi.Float64, mpi.OpMax)
-	maxErr := mpi.Float64s(out)[0]
+	out := e.Allreduce(encmpi.Float64Buffer([]float64{worst}), encmpi.Float64, encmpi.OpMax)
+	maxErr := encmpi.Float64s(out)[0]
 	if maxErr > 1e-6 {
 		log.Fatalf("rank %d: solution error %.3e exceeds tolerance", rank, maxErr)
 	}

@@ -15,27 +15,18 @@ import (
 	"log"
 	"time"
 
-	"encmpi/internal/costmodel"
-	"encmpi/internal/encmpi"
-	"encmpi/internal/osu"
-	"encmpi/internal/report"
-	"encmpi/internal/simnet"
+	"encmpi"
 )
 
 func main() {
-	profile, err := costmodel.Lookup("boringssl", costmodel.MVAPICH, 256)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	const size = 2 << 20
-	tb := report.NewTable(
+	tb := encmpi.NewTable(
 		"2MB ping-pong throughput (MB/s) vs network speed — the §V-C discussion, quantified",
 		"Line rate", "Unencrypted", "1 thread", "2 threads", "4 threads", "8 threads")
 
 	for _, gbps := range []float64{10, 25, 40, 56, 100} {
-		base40 := simnet.IB40G()
-		cfg := simnet.IB40G()
+		base40 := encmpi.IB40G()
+		cfg := encmpi.IB40G()
 		cfg.AnchorOneWay = append([]time.Duration(nil), base40.AnchorOneWay...)
 		scale := gbps / 40.0
 		cfg.LineRateMBps *= scale
@@ -48,24 +39,25 @@ func main() {
 		}
 
 		row := []string{fmt.Sprintf("%.0f Gbps", gbps)}
-		base, err := osu.PingPong(cfg, osu.Baseline(), size, 10)
+		base, err := encmpi.PingPong(cfg, encmpi.Baseline(), size, 10)
 		if err != nil {
 			log.Fatal(err)
 		}
-		row = append(row, report.MBps(base.Throughput))
+		row = append(row, encmpi.MBps(base.Throughput))
 
 		for _, threads := range []int{1, 2, 4, 8} {
-			threads := threads
-			mk := func(int) encmpi.Engine {
-				e := encmpi.NewModelEngine(profile)
-				e.Threads = threads
-				return e
-			}
-			res, err := osu.PingPong(cfg, mk, size, 10)
+			mk, err := encmpi.EngineFactoryFor(encmpi.EngineSpec{
+				Kind: "model", Library: "boringssl", Variant: "mvapich",
+				KeyBits: 256, Threads: threads,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			row = append(row, report.MBps(res.Throughput))
+			res, err := encmpi.PingPong(cfg, mk, size, 10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, encmpi.MBps(res.Throughput))
 		}
 		tb.Add(row...)
 	}

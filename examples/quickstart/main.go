@@ -1,8 +1,9 @@
 // Quickstart: two ranks exchange AES-GCM-encrypted MPI messages in-process.
 //
-// This is the smallest complete use of the public pieces: build a world over
-// a transport, wrap each rank's communicator with a crypto engine, and use
-// the Encrypted_* routines from the paper. Run with:
+// This is the smallest complete use of the public facade: launch a job,
+// encrypt each rank's communicator, use the Encrypted_* routines from the
+// paper — and, with WithMetrics, account for every byte and every crypto
+// call the run made. Run with:
 //
 //	go run ./examples/quickstart
 package main
@@ -10,33 +11,34 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
-	"encmpi/internal/aead"
-	"encmpi/internal/aead/codecs"
-	"encmpi/internal/encmpi"
-	"encmpi/internal/job"
-	"encmpi/internal/mpi"
+	"encmpi"
 )
 
 func main() {
 	// The paper hardcodes the shared symmetric key (§IV); 32 bytes = AES-256.
 	key := []byte("0123456789abcdef0123456789abcdef")
 
-	err := job.RunShm(2, func(c *mpi.Comm) {
-		// Each rank builds its own codec and nonce source; the per-rank
-		// prefix keeps counter nonces from ever colliding under one key.
-		codec, err := codecs.New("aesstd", key)
+	// One registry observes the whole job: transport traffic, MPI ops, and
+	// (for encrypted communicators) seal/open work, per rank.
+	reg := encmpi.NewRegistry(2)
+
+	err := encmpi.RunShm(2, func(c *encmpi.Comm) {
+		// Each rank builds its own codec; the per-rank nonce prefix keeps
+		// counter nonces from ever colliding under one key.
+		codec, err := encmpi.NewCodec("aesstd", key)
 		if err != nil {
 			log.Fatal(err)
 		}
-		e := encmpi.Wrap(c, encmpi.NewRealEngine(codec, aead.NewCounterNonce(uint32(c.Rank()))))
+		e := encmpi.Encrypt(c, codec, uint32(c.Rank()))
 
 		switch c.Rank() {
 		case 0:
 			msg := []byte("hello over encrypted MPI")
-			e.Send(1, 0, mpi.Bytes(msg))
+			e.Send(1, 0, encmpi.Bytes(msg))
 			fmt.Printf("rank 0: sent %d plaintext bytes (%d on the wire)\n",
-				len(msg), aead.WireLen(len(msg)))
+				len(msg), encmpi.WireLen(len(msg)))
 		case 1:
 			buf, st, err := e.Recv(0, 0)
 			if err != nil {
@@ -46,17 +48,30 @@ func main() {
 		}
 
 		// Collectives work the same way: Algorithm 1's Encrypted_Alltoall.
-		blocks := make([]mpi.Buffer, e.Size())
+		blocks := make([]encmpi.Buffer, e.Size())
 		for d := range blocks {
-			blocks[d] = mpi.Bytes([]byte(fmt.Sprintf("block %d->%d", e.Rank(), d)))
+			blocks[d] = encmpi.Bytes([]byte(fmt.Sprintf("block %d->%d", e.Rank(), d)))
 		}
 		res, err := e.Alltoall(blocks)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("rank %d: alltoall got %q, %q\n", e.Rank(), res[0].Data, res[1].Data)
-	})
+	}, encmpi.WithMetrics(reg))
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The snapshot shows, per rank and in total, how many messages were
+	// exchanged, the plaintext vs. wire byte counts (wire = plain + 28 per
+	// sealed message), and the time spent inside AES-GCM.
+	fmt.Println()
+	snap := reg.Snapshot()
+	if err := encmpi.WriteSnapshot(os.Stdout, snap, "text"); err != nil {
+		log.Fatal(err)
+	}
+	if err := snap.CheckByteAccounting(encmpi.Overhead); err != nil {
+		log.Fatalf("byte accounting: %v", err)
+	}
+	fmt.Printf("byte accounting OK: wire == plain + %d per message\n", encmpi.Overhead)
 }

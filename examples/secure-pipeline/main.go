@@ -13,11 +13,7 @@ import (
 	"log"
 	"sort"
 
-	"encmpi/internal/aead"
-	"encmpi/internal/aead/codecs"
-	"encmpi/internal/encmpi"
-	"encmpi/internal/job"
-	"encmpi/internal/mpi"
+	"encmpi"
 )
 
 func main() {
@@ -25,17 +21,17 @@ func main() {
 	records := flag.Int("records", 1000, "records per rank")
 	flag.Parse()
 
-	err := job.RunTCP(*ranks, func(c *mpi.Comm) {
+	err := encmpi.RunTCP(*ranks, func(c *encmpi.Comm) {
 		// Phase 1: agree on a fresh session key over the wire.
 		key, err := encmpi.ExchangeKey(c, 32)
 		if err != nil {
 			log.Fatalf("rank %d: key exchange: %v", c.Rank(), err)
 		}
-		codec, err := codecs.New("aesstd", key)
+		codec, err := encmpi.NewCodec("aesstd", key)
 		if err != nil {
 			log.Fatal(err)
 		}
-		e := encmpi.Wrap(c, encmpi.NewRealEngine(codec, aead.NewCounterNonce(uint32(c.Rank()))))
+		e := encmpi.Encrypt(c, codec, uint32(c.Rank()))
 
 		// Phase 2: bucket shuffle. Each rank generates records and routes
 		// each to the rank that owns its bucket, encrypted in flight.
@@ -45,9 +41,9 @@ func main() {
 			v := byte((c.Rank()*31 + i*17) % 251)
 			buckets[int(v)%p] = append(buckets[int(v)%p], v)
 		}
-		blocks := make([]mpi.Buffer, p)
+		blocks := make([]encmpi.Buffer, p)
 		for d := range blocks {
-			blocks[d] = mpi.Bytes(buckets[d])
+			blocks[d] = encmpi.Bytes(buckets[d])
 		}
 		got, err := e.Alltoallv(blocks)
 		if err != nil {
@@ -67,10 +63,10 @@ func main() {
 		}
 		sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
 
-		total := e.Allreduce(mpi.Float64Buffer([]float64{float64(len(mine))}), mpi.Float64, mpi.OpSum)
+		total := e.Allreduce(encmpi.Float64Buffer([]float64{float64(len(mine))}), encmpi.Float64, encmpi.OpSum)
 		if c.Rank() == 0 {
 			want := float64(*records * p)
-			gotTotal := mpi.Float64s(total)[0]
+			gotTotal := encmpi.Float64s(total)[0]
 			if gotTotal != want {
 				log.Fatalf("lost records: %v != %v", gotTotal, want)
 			}
@@ -81,7 +77,7 @@ func main() {
 		// Phase 4: demonstrate integrity — a forged ciphertext must be
 		// rejected, not silently decoded.
 		if c.Rank() == 0 {
-			e.Unwrap().Send(1, 42, mpi.Bytes(make([]byte, 64))) // not a valid ciphertext
+			e.Unwrap().Send(1, 42, encmpi.Bytes(make([]byte, 64))) // not a valid ciphertext
 		}
 		if c.Rank() == 1 {
 			if _, _, err := e.Recv(0, 42); err == nil {

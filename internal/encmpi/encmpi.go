@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"encmpi/internal/mpi"
+	"encmpi/internal/obs"
 )
 
 // Comm wraps an mpi.Comm with encrypted variants of the routines the paper
@@ -13,12 +14,62 @@ import (
 type Comm struct {
 	c   *mpi.Comm
 	eng Engine
+	// metrics receives crypto accounting; nil (inert) when unobserved.
+	metrics *obs.Rank
+}
+
+// WrapOption configures Wrap.
+type WrapOption func(*Comm)
+
+// ObserveWith overrides the metrics scope crypto costs are charged to. The
+// default is the underlying communicator's own rank scope, so explicitly
+// passing one is only needed for standalone (no-world) accounting.
+func ObserveWith(rk *obs.Rank) WrapOption {
+	return func(e *Comm) { e.metrics = rk }
 }
 
 // Wrap builds an encrypted communicator. All ranks must use engines with the
-// same algorithm and key.
-func Wrap(c *mpi.Comm, eng Engine) *Comm {
-	return &Comm{c: c, eng: eng}
+// same algorithm and key. When the underlying world carries a metrics
+// registry, every Seal/Open on this communicator is accounted to this rank
+// automatically.
+func Wrap(c *mpi.Comm, eng Engine, opts ...WrapOption) *Comm {
+	e := &Comm{c: c, eng: eng, metrics: c.Metrics()}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// seal runs the engine's Seal with timing and byte accounting. The clock is
+// the proc clock, so under the model engine the recorded nanoseconds are the
+// virtual cipher cost and under real engines they are wall time.
+func (e *Comm) seal(buf mpi.Buffer) mpi.Buffer {
+	proc := e.c.Proc()
+	if e.metrics == nil {
+		return e.eng.Seal(proc, buf)
+	}
+	start := int64(proc.Now())
+	wire := e.eng.Seal(proc, buf)
+	e.metrics.Seal(buf.Len(), wire.Len(), int64(proc.Now())-start)
+	return wire
+}
+
+// open runs the engine's Open with timing and byte accounting; failed opens
+// are recorded as auth failures (the cipher still ran before rejecting).
+func (e *Comm) open(wire mpi.Buffer) (mpi.Buffer, error) {
+	proc := e.c.Proc()
+	if e.metrics == nil {
+		return e.eng.Open(proc, wire)
+	}
+	start := int64(proc.Now())
+	plain, err := e.eng.Open(proc, wire)
+	ns := int64(proc.Now()) - start
+	if err != nil {
+		e.metrics.AuthFailure(ns)
+		return plain, err
+	}
+	e.metrics.Open(wire.Len(), plain.Len(), ns)
+	return plain, nil
 }
 
 // Rank returns this rank.
@@ -45,14 +96,14 @@ type Request struct {
 
 // Send is Encrypted_Send: seal, then send the wire message.
 func (e *Comm) Send(dst, tag int, buf mpi.Buffer) {
-	wire := e.eng.Seal(e.c.Proc(), buf)
+	wire := e.seal(buf)
 	e.c.Send(dst, tag, wire)
 }
 
 // Isend is Encrypted_Isend. Encryption happens eagerly (the payload must be
 // captured before the caller reuses its buffer); injection is non-blocking.
 func (e *Comm) Isend(dst, tag int, buf mpi.Buffer) *Request {
-	wire := e.eng.Seal(e.c.Proc(), buf)
+	wire := e.seal(buf)
 	return &Request{inner: e.c.Isend(dst, tag, wire)}
 }
 
@@ -62,7 +113,7 @@ func (e *Comm) Isend(dst, tag int, buf mpi.Buffer) *Request {
 func (e *Comm) Irecv(src, tag int) *Request {
 	req := &Request{inner: e.c.Irecv(src, tag), isRecv: true}
 	req.inner.SetOnComplete(func(r *mpi.Request) {
-		plain, err := e.eng.Open(e.c.Proc(), r.BufferOf())
+		plain, err := e.open(r.BufferOf())
 		if err != nil {
 			req.err = err
 			return
@@ -120,24 +171,24 @@ func (e *Comm) Barrier() { e.c.Barrier() }
 func (e *Comm) Bcast(root int, buf mpi.Buffer) (mpi.Buffer, error) {
 	var wire mpi.Buffer
 	if e.Rank() == root {
-		wire = e.eng.Seal(e.c.Proc(), buf)
+		wire = e.seal(buf)
 	}
 	wire = e.c.Bcast(root, wire)
 	if e.Rank() == root {
 		return buf, nil
 	}
-	return e.eng.Open(e.c.Proc(), wire)
+	return e.open(wire)
 }
 
 // Allgather is Encrypted_Allgather: seal the local block, allgather the
 // ciphertexts, decrypt all of them (including our own, which made the round
 // trip as ciphertext).
 func (e *Comm) Allgather(myBlock mpi.Buffer) ([]mpi.Buffer, error) {
-	wire := e.eng.Seal(e.c.Proc(), myBlock)
+	wire := e.seal(myBlock)
 	gathered := e.c.Allgather(wire)
 	out := make([]mpi.Buffer, len(gathered))
 	for i, w := range gathered {
-		plain, err := e.eng.Open(e.c.Proc(), w)
+		plain, err := e.open(w)
 		if err != nil {
 			return nil, fmt.Errorf("encmpi: allgather block %d: %w", i, err)
 		}
@@ -153,12 +204,12 @@ func (e *Comm) Allgather(myBlock mpi.Buffer) ([]mpi.Buffer, error) {
 func (e *Comm) Alltoall(blocks []mpi.Buffer) ([]mpi.Buffer, error) {
 	encSend := make([]mpi.Buffer, len(blocks))
 	for i, b := range blocks {
-		encSend[i] = e.eng.Seal(e.c.Proc(), b)
+		encSend[i] = e.seal(b)
 	}
 	encRecv := e.c.Alltoall(encSend)
 	out := make([]mpi.Buffer, len(encRecv))
 	for i, w := range encRecv {
-		plain, err := e.eng.Open(e.c.Proc(), w)
+		plain, err := e.open(w)
 		if err != nil {
 			return nil, fmt.Errorf("encmpi: alltoall block %d: %w", i, err)
 		}
@@ -172,12 +223,12 @@ func (e *Comm) Alltoall(blocks []mpi.Buffer) ([]mpi.Buffer, error) {
 func (e *Comm) Alltoallv(blocks []mpi.Buffer) ([]mpi.Buffer, error) {
 	encSend := make([]mpi.Buffer, len(blocks))
 	for i, b := range blocks {
-		encSend[i] = e.eng.Seal(e.c.Proc(), b)
+		encSend[i] = e.seal(b)
 	}
 	encRecv := e.c.Alltoallv(encSend)
 	out := make([]mpi.Buffer, len(encRecv))
 	for i, w := range encRecv {
-		plain, err := e.eng.Open(e.c.Proc(), w)
+		plain, err := e.open(w)
 		if err != nil {
 			return nil, fmt.Errorf("encmpi: alltoallv block %d: %w", i, err)
 		}

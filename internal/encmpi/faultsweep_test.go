@@ -15,9 +15,6 @@ import (
 	"testing"
 	"time"
 
-	"encmpi/internal/aead"
-	"encmpi/internal/aead/codecs"
-	"encmpi/internal/costmodel"
 	"encmpi/internal/encmpi"
 	"encmpi/internal/mpi"
 	"encmpi/internal/sched"
@@ -37,35 +34,29 @@ type sweepEngine struct {
 
 func sweepEngines(t *testing.T) []sweepEngine {
 	t.Helper()
-	mkCodec := func() aead.Codec {
-		codec, err := codecs.New("aesstd", testKey)
-		if err != nil {
-			t.Fatal(err)
+	// Every engine is built from a declarative spec; the per-rank nonce
+	// prefix is the only field rewritten per rank.
+	fromSpec := func(spec encmpi.EngineSpec) func(t *testing.T, rank int) encmpi.Engine {
+		return func(t *testing.T, rank int) encmpi.Engine {
+			s := spec
+			s.NoncePrefix = uint32(rank)
+			eng, err := encmpi.NewEngine(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return eng
 		}
-		return codec
-	}
-	profile, err := costmodel.Lookup("cryptopp", costmodel.MVAPICH, 256)
-	if err != nil {
-		t.Fatal(err)
 	}
 	return []sweepEngine{
-		{name: "null", mk: func(_ *testing.T, _ int) encmpi.Engine {
-			return encmpi.NullEngine{}
-		}},
-		{name: "model", mk: func(_ *testing.T, _ int) encmpi.Engine {
-			return encmpi.NewModelEngine(profile)
-		}},
-		{name: "real", auth: true, mk: func(_ *testing.T, rank int) encmpi.Engine {
-			return encmpi.NewRealEngine(mkCodec(), aead.NewCounterNonce(uint32(rank)))
-		}},
-		{name: "parallel", auth: true, mk: func(_ *testing.T, rank int) encmpi.Engine {
-			e := encmpi.NewParallelEngine(mkCodec(), aead.NewCounterNonce(uint32(rank)), 4)
-			e.Chunk = 1 << 10
-			return e
-		}},
-		{name: "replayguard", auth: true, guarded: true, mk: func(_ *testing.T, rank int) encmpi.Engine {
-			return encmpi.NewReplayGuard(encmpi.NewRealEngine(mkCodec(), aead.NewCounterNonce(uint32(rank))))
-		}},
+		{name: "null", mk: fromSpec(encmpi.EngineSpec{Kind: "null"})},
+		{name: "model", mk: fromSpec(encmpi.EngineSpec{
+			Kind: "model", Library: "cryptopp", Variant: "mvapich", KeyBits: 256})},
+		{name: "real", auth: true, mk: fromSpec(encmpi.EngineSpec{
+			Kind: "real", Codec: "aesstd", Key: testKey})},
+		{name: "parallel", auth: true, mk: fromSpec(encmpi.EngineSpec{
+			Kind: "parallel", Codec: "aesstd", Key: testKey, Workers: 4, Chunk: 1 << 10})},
+		{name: "replayguard", auth: true, guarded: true, mk: fromSpec(encmpi.EngineSpec{
+			Kind: "real", Codec: "aesstd", Key: testKey, ReplayGuard: true})},
 	}
 }
 
@@ -140,7 +131,7 @@ func sweepRoutines() []sweepRoutine {
 		{
 			name: "send-recv", ranks: 2, eager: 1 << 10, singleReceiver: true,
 			body: func(c *cell, e *encmpi.Comm) {
-				eagerMsg := sweepPayload(1, 512)  // below the eager threshold
+				eagerMsg := sweepPayload(1, 512) // below the eager threshold
 				rndvMsg := sweepPayload(2, 4096) // rendezvous RTS/CTS/DATA
 				switch e.Rank() {
 				case 0:

@@ -11,9 +11,11 @@ import (
 
 	"encmpi/internal/cluster"
 	"encmpi/internal/mpi"
+	"encmpi/internal/obs"
 	"encmpi/internal/sched"
 	"encmpi/internal/sim"
 	"encmpi/internal/simnet"
+	"encmpi/internal/transport/faulty"
 	"encmpi/internal/transport/shm"
 	"encmpi/internal/transport/simtr"
 	"encmpi/internal/transport/tcp"
@@ -26,23 +28,65 @@ type Body func(c *mpi.Comm)
 // its threshold from the network config.
 const DefaultEagerThreshold = 64 << 10
 
+// Options carries the cross-cutting hooks a launcher can wire into a job:
+// a metrics registry (threaded to the transport and the world), a wire-fault
+// plan (the transport is wrapped in the faulty adversary), and — for the
+// simulator — a fabric configuration hook (e.g. a trace collector).
+type Options struct {
+	// Metrics, when non-nil, receives the whole job's accounting.
+	Metrics *obs.Registry
+	// Fault, when non-nil with a non-None mode, interposes the fault
+	// injector between the world and the real transport.
+	Fault *faulty.Options
+	// ConfigureFabric runs against the simulated fabric before the job
+	// starts; ignored by the real launchers.
+	ConfigureFabric func(*simnet.Fabric)
+}
+
+// wrapFault interposes the fault injector when the options ask for one.
+func (o Options) wrapFault(tr mpi.Transport) mpi.Transport {
+	if o.Fault == nil || o.Fault.Mode == faulty.None {
+		return tr
+	}
+	ft := faulty.New(tr)
+	ft.SetMetrics(o.Metrics)
+	o.Fault.Apply(ft)
+	return ft
+}
+
 // RunShm runs an n-rank job over the in-process transport with real
 // wall-clock procs. It returns an error if any rank panicked.
 func RunShm(n int, body Body) error {
+	return RunShmOpts(n, Options{}, body)
+}
+
+// RunShmOpts is RunShm with job options.
+func RunShmOpts(n int, opts Options, body Body) error {
 	tr := shm.New()
-	w := mpi.NewWorld(n, tr, DefaultEagerThreshold)
+	tr.SetMetrics(opts.Metrics)
+	outer := opts.wrapFault(tr)
+	w := mpi.NewWorld(n, outer, DefaultEagerThreshold)
+	w.SetMetrics(opts.Metrics)
 	tr.Bind(w)
 	return runReal(w, n, body)
 }
 
 // RunTCP runs an n-rank job over real loopback TCP sockets.
 func RunTCP(n int, body Body) error {
+	return RunTCPOpts(n, Options{}, body)
+}
+
+// RunTCPOpts is RunTCP with job options.
+func RunTCPOpts(n int, opts Options, body Body) error {
 	tr, err := tcp.New(n)
 	if err != nil {
 		return err
 	}
 	defer tr.Close()
-	w := mpi.NewWorld(n, tr, DefaultEagerThreshold)
+	tr.SetMetrics(opts.Metrics)
+	outer := opts.wrapFault(tr)
+	w := mpi.NewWorld(n, outer, DefaultEagerThreshold)
+	w.SetMetrics(opts.Metrics)
 	tr.Bind(w)
 	return runReal(w, n, body)
 }
@@ -90,12 +134,17 @@ type SimResult struct {
 // RunSim runs the job on the simulated cluster and returns timing. The
 // spec's placement maps ranks to nodes; cfg selects the network technology.
 func RunSim(spec cluster.Spec, cfg simnet.Config, body Body) (SimResult, error) {
-	return RunSimConfigured(spec, cfg, nil, body)
+	return RunSimOpts(spec, cfg, Options{}, body)
 }
 
 // RunSimConfigured is RunSim with a hook to adjust the fabric before the job
 // starts (e.g. attaching a trace collector).
 func RunSimConfigured(spec cluster.Spec, cfg simnet.Config, configure func(*simnet.Fabric), body Body) (SimResult, error) {
+	return RunSimOpts(spec, cfg, Options{ConfigureFabric: configure}, body)
+}
+
+// RunSimOpts is RunSim with job options.
+func RunSimOpts(spec cluster.Spec, cfg simnet.Config, opts Options, body Body) (SimResult, error) {
 	if err := spec.Validate(); err != nil {
 		return SimResult{}, err
 	}
@@ -104,11 +153,14 @@ func RunSimConfigured(spec cluster.Spec, cfg simnet.Config, configure func(*simn
 	if err != nil {
 		return SimResult{}, err
 	}
-	if configure != nil {
-		configure(fab)
+	if opts.ConfigureFabric != nil {
+		opts.ConfigureFabric(fab)
 	}
 	tr := simtr.New(fab)
-	w := mpi.NewWorld(spec.Ranks, tr, cfg.EagerThreshold)
+	tr.SetMetrics(opts.Metrics)
+	outer := opts.wrapFault(tr)
+	w := mpi.NewWorld(spec.Ranks, outer, cfg.EagerThreshold)
+	w.SetMetrics(opts.Metrics)
 	tr.Bind(w)
 
 	res := SimResult{RankElapsed: make([]time.Duration, spec.Ranks)}

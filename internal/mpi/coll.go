@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"encmpi/internal/obs"
+)
 
 // Collective operations. Every invocation draws a fresh collective sequence
 // number; since all ranks execute collectives in the same program order, the
@@ -23,6 +27,7 @@ func (c *Comm) nextColl() int {
 // Barrier blocks until all ranks enter it (dissemination algorithm,
 // ⌈log2 p⌉ rounds).
 func (c *Comm) Barrier() {
+	c.metrics.Op(obs.OpBarrier)
 	seq := c.nextColl()
 	p := c.Size()
 	step := 0
@@ -37,6 +42,7 @@ func (c *Comm) Barrier() {
 // Bcast broadcasts root's buffer to all ranks via a binomial tree and
 // returns each rank's copy. Non-root ranks may pass the zero Buffer.
 func (c *Comm) Bcast(root int, buf Buffer) Buffer {
+	c.metrics.Op(obs.OpBcast)
 	seq := c.nextColl()
 	p := c.Size()
 	if p == 1 {
@@ -69,6 +75,7 @@ func (c *Comm) Bcast(root int, buf Buffer) Buffer {
 // Allgather collects one block from every rank; the result is indexed by
 // rank. Ring algorithm: p-1 steps of neighbor exchange.
 func (c *Comm) Allgather(myBlock Buffer) []Buffer {
+	c.metrics.Op(obs.OpAllgather)
 	seq := c.nextColl()
 	p := c.Size()
 	res := make([]Buffer, p)
@@ -95,6 +102,7 @@ const bruckThreshold = 256
 // blocks use Bruck; everything else uses pairwise exchange — the flat
 // algorithms the paper's Algorithm 1 wraps.
 func (c *Comm) Alltoall(blocks []Buffer) []Buffer {
+	c.metrics.Op(obs.OpAlltoall)
 	if len(blocks) != c.Size() {
 		panic(fmt.Sprintf("mpi: Alltoall needs %d blocks, got %d", c.Size(), len(blocks)))
 	}
@@ -203,6 +211,7 @@ func splitBlocks(got Buffer, tmp []Buffer, idx []int, blockLen int) {
 // Alltoallv is Alltoall with per-destination block sizes (the blocks may
 // have arbitrary, differing lengths, including zero).
 func (c *Comm) Alltoallv(blocks []Buffer) []Buffer {
+	c.metrics.Op(obs.OpAlltoallv)
 	// The pairwise schedule handles ragged sizes without modification; the
 	// split exists to mirror the MPI interface and to give the encrypted
 	// layer distinct entry points, as in the paper's routine list.
@@ -212,6 +221,7 @@ func (c *Comm) Alltoallv(blocks []Buffer) []Buffer {
 // Reduce combines buffers element-wise onto root via a binomial tree; only
 // root's return value is meaningful.
 func (c *Comm) Reduce(root int, buf Buffer, dt Datatype, op Op) Buffer {
+	c.metrics.Op(obs.OpReduce)
 	seq := c.nextColl()
 	p := c.Size()
 	acc := buf.Clone()
@@ -235,6 +245,7 @@ func (c *Comm) Reduce(root int, buf Buffer, dt Datatype, op Op) Buffer {
 // Allreduce combines buffers element-wise, leaving the result on every rank.
 // Power-of-two worlds use recursive doubling; otherwise Reduce+Bcast.
 func (c *Comm) Allreduce(buf Buffer, dt Datatype, op Op) Buffer {
+	c.metrics.Op(obs.OpAllreduce)
 	p := c.Size()
 	if p&(p-1) == 0 {
 		seq := c.nextColl()
@@ -255,6 +266,7 @@ func (c *Comm) Allreduce(buf Buffer, dt Datatype, op Op) Buffer {
 // Gather collects one block per rank onto root (linear algorithm); only
 // root's return value is meaningful, indexed by rank.
 func (c *Comm) Gather(root int, myBlock Buffer) []Buffer {
+	c.metrics.Op(obs.OpGather)
 	seq := c.nextColl()
 	p := c.Size()
 	if c.rank != root {
@@ -283,6 +295,7 @@ func (c *Comm) Gather(root int, myBlock Buffer) []Buffer {
 // Scatter distributes root's blocks, returning each rank's block. Non-root
 // ranks pass nil.
 func (c *Comm) Scatter(root int, blocks []Buffer) Buffer {
+	c.metrics.Op(obs.OpScatter)
 	seq := c.nextColl()
 	p := c.Size()
 	if c.rank == root {

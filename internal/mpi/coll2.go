@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"encmpi/internal/obs"
+)
 
 // Additional collectives beyond the paper's encrypted set — provided for a
 // complete MPI-style surface (NAS reference codes and downstream users rely
@@ -12,6 +16,7 @@ import "fmt"
 // blocks each peer owns, then a local reduction — the classic algorithm for
 // small-to-medium payloads.
 func (c *Comm) ReduceScatterBlock(blocks []Buffer, dt Datatype, op Op) Buffer {
+	c.metrics.Op(obs.OpReduceScatter)
 	p := c.Size()
 	if len(blocks) != p {
 		panic(fmt.Sprintf("mpi: ReduceScatterBlock needs %d blocks, got %d", p, len(blocks)))
@@ -33,6 +38,7 @@ func (c *Comm) ReduceScatterBlock(blocks []Buffer, dt Datatype, op Op) Buffer {
 // combination of contributions from ranks 0..r. Linear-chain algorithm
 // (each rank waits for its predecessor's partial result).
 func (c *Comm) Scan(buf Buffer, dt Datatype, op Op) Buffer {
+	c.metrics.Op(obs.OpScan)
 	seq := c.nextColl()
 	acc := buf.Clone()
 	if c.rank > 0 {
@@ -50,6 +56,7 @@ func (c *Comm) Scan(buf Buffer, dt Datatype, op Op) Buffer {
 // Exscan computes the exclusive prefix reduction: rank r receives the
 // combination of ranks 0..r-1; rank 0 receives the zero Buffer.
 func (c *Comm) Exscan(buf Buffer, dt Datatype, op Op) Buffer {
+	c.metrics.Op(obs.OpExscan)
 	seq := c.nextColl()
 	var prefix Buffer
 	if c.rank > 0 {
@@ -68,6 +75,7 @@ func (c *Comm) Exscan(buf Buffer, dt Datatype, op Op) Buffer {
 // Allgatherv collects variable-size blocks from every rank. Ring algorithm,
 // like Allgather; block sizes may differ per rank (including zero).
 func (c *Comm) Allgatherv(myBlock Buffer) []Buffer {
+	c.metrics.Op(obs.OpAllgatherv)
 	seq := c.nextColl()
 	p := c.Size()
 	res := make([]Buffer, p)
@@ -87,6 +95,7 @@ func (c *Comm) Allgatherv(myBlock Buffer) []Buffer {
 // Gatherv collects variable-size blocks onto root; non-root ranks receive
 // nil. Receives are posted up front, as in Gather.
 func (c *Comm) Gatherv(root int, myBlock Buffer) []Buffer {
+	c.metrics.Op(obs.OpGatherv)
 	// Variable sizes change nothing structurally: delegate to Gather's
 	// linear algorithm, which never assumed uniformity.
 	return c.Gather(root, myBlock)
@@ -94,5 +103,6 @@ func (c *Comm) Gatherv(root int, myBlock Buffer) []Buffer {
 
 // Scatterv distributes root's (possibly ragged) blocks.
 func (c *Comm) Scatterv(root int, blocks []Buffer) Buffer {
+	c.metrics.Op(obs.OpScatterv)
 	return c.Scatter(root, blocks)
 }

@@ -82,10 +82,17 @@ func (st *rankState) matchUnexpectedLocked(req *Request) *Msg {
 // stray, never panicked on.
 func (w *World) Deliver(m *Msg) {
 	if m.Dst < 0 || m.Dst >= len(w.states) || m.Src < 0 || m.Src >= len(w.states) {
+		// No valid destination rank to charge this to: it is a world-level
+		// unattributed stray in the metrics.
 		w.stray.Add(1)
+		w.metrics.UnattributedStray()
 		return
 	}
 	st := w.states[m.Dst]
+	stray := func() {
+		w.stray.Add(1)
+		w.metrics.Rank(m.Dst).Stray()
+	}
 
 	var followup *Msg
 	var wake sched.Proc
@@ -120,7 +127,7 @@ func (w *World) Deliver(m *Msg) {
 		req, ok := st.rndvSend[m.Seq]
 		if !ok {
 			st.mu.Unlock()
-			w.stray.Add(1)
+			stray()
 			return
 		}
 		delete(st.rndvSend, m.Seq)
@@ -143,7 +150,7 @@ func (w *World) Deliver(m *Msg) {
 		req, ok := st.rndvRecv[m.Seq]
 		if !ok {
 			st.mu.Unlock()
-			w.stray.Add(1)
+			stray()
 			return
 		}
 		delete(st.rndvRecv, m.Seq)
@@ -152,7 +159,7 @@ func (w *World) Deliver(m *Msg) {
 
 	default:
 		st.mu.Unlock()
-		w.stray.Add(1)
+		stray()
 		return
 	}
 	st.mu.Unlock()

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"encmpi/internal/obs"
 	"encmpi/internal/sched"
 )
 
@@ -150,7 +151,19 @@ type World struct {
 	// stray counts wire messages Deliver discarded because they fit no
 	// protocol state (duplicated, replayed, or forged traffic). See Deliver.
 	stray atomic.Uint64
+
+	// metrics, when set, receives per-rank op/wait/stray accounting. It is
+	// installed once before ranks attach and read-only afterwards.
+	metrics *obs.Registry
 }
+
+// SetMetrics installs a metrics registry. Call it before AttachRank so every
+// communicator picks up its rank scope; a nil registry leaves the world
+// unobserved (the zero-cost default).
+func (w *World) SetMetrics(g *obs.Registry) { w.metrics = g }
+
+// Metrics returns the installed registry (nil when unobserved).
+func (w *World) Metrics() *obs.Registry { return w.metrics }
 
 // StrayMessages reports how many delivered messages were discarded as
 // protocol strays. Fault-injection tests use it to confirm that hostile
@@ -195,7 +208,11 @@ func (w *World) AttachRank(rank int, proc sched.Proc) *Comm {
 		panic(fmt.Sprintf("mpi: rank %d attached twice", rank))
 	}
 	st.proc = proc
-	return &Comm{w: w, rank: rank, proc: proc, st: st, ctxUser: CtxUser, ctxColl: CtxColl}
+	return &Comm{
+		w: w, rank: rank, proc: proc, st: st,
+		ctxUser: CtxUser, ctxColl: CtxColl,
+		metrics: w.metrics.Rank(rank),
+	}
 }
 
 // Comm is a per-rank communicator handle: the world communicator returned by
@@ -219,7 +236,16 @@ type Comm struct {
 	// ctxUser and ctxColl isolate this communicator's traffic (the analogue
 	// of MPI context ids). The world communicator uses CtxUser/CtxColl.
 	ctxUser, ctxColl int
+
+	// metrics is this world rank's scope in the job registry; nil (inert)
+	// when the world is unobserved. Sub-communicators from Split share it —
+	// accounting is always per world rank.
+	metrics *obs.Rank
 }
+
+// Metrics returns this rank's metrics scope (nil when unobserved). The
+// encrypted layer uses it to attribute crypto costs without extra plumbing.
+func (c *Comm) Metrics() *obs.Rank { return c.metrics }
 
 // Rank returns this communicator's rank.
 func (c *Comm) Rank() int { return c.rank }

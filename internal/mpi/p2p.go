@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"encmpi/internal/obs"
+)
 
 // Isend starts a non-blocking send of buf to dst with the given tag and
 // returns a request that completes when the send buffer is reusable.
@@ -12,6 +16,7 @@ func (c *Comm) isend(dst, tag, ctx int, buf Buffer) *Request {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
+	c.metrics.Op(obs.OpIsend)
 	wdst := c.worldOf(dst)
 	wsrc := c.st.rank
 	req := &Request{kind: reqSend, src: wdst, tag: tag, ctx: ctx, owner: c.st, comm: c}
@@ -53,6 +58,7 @@ func (c *Comm) irecv(src, tag, ctx int) *Request {
 	if src != AnySource && (src < 0 || src >= c.Size()) {
 		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
 	}
+	c.metrics.Op(obs.OpIrecv)
 	wsrc := src
 	if src != AnySource {
 		wsrc = c.worldOf(src)
@@ -93,6 +99,12 @@ func (c *Comm) Wait(req *Request) (Buffer, Status) {
 	if req.owner != c.st {
 		panic("mpi: waiting on a request owned by another rank")
 	}
+	c.metrics.Op(obs.OpWait)
+	// Blocked time is measured from the first failed completion check to the
+	// final successful one, via the proc clock — wall time on real
+	// transports, virtual time under the simulator. A request that is already
+	// done costs no clock reads.
+	var blockedFrom int64 = -1
 	for {
 		c.st.mu.Lock()
 		done := req.done
@@ -100,7 +112,13 @@ func (c *Comm) Wait(req *Request) (Buffer, Status) {
 		if done {
 			break
 		}
+		if c.metrics != nil && blockedFrom < 0 {
+			blockedFrom = int64(c.proc.Now())
+		}
 		c.proc.Park()
+	}
+	if blockedFrom >= 0 {
+		c.metrics.Wait(int64(c.proc.Now()) - blockedFrom)
 	}
 	if req.onComplete != nil && !req.completed {
 		req.completed = true

@@ -1,10 +1,13 @@
 package mpi
 
+import "encmpi/internal/obs"
+
 // Iprobe checks, without blocking or receiving, whether a message matching
 // (src, tag) — wildcards allowed — has arrived. The returned Status
 // describes the first match in arrival order: its source, tag, and payload
 // length (for rendezvous messages, the announced length).
 func (c *Comm) Iprobe(src, tag int) (bool, Status) {
+	c.metrics.Op(obs.OpProbe)
 	wsrc := src
 	if src != AnySource {
 		wsrc = c.worldOf(src)

@@ -74,6 +74,7 @@ func (c *Comm) Split(color, key int) *Comm {
 		rank:        myRank,
 		proc:        c.proc,
 		st:          c.st,
+		metrics:     c.metrics,
 		group:       group,
 		worldToComm: worldToComm,
 		ctxUser:     ctxHash(c.ctxUser, seq, lowest, 0),

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every histogram. Buckets are
+// powers of two: bucket b holds observations v with 2^(b-1) ≤ v < 2^b
+// (bucket 0 holds v ≤ 0), so bucket b's inclusive upper edge is 2^b − 1.
+// Forty buckets cover [0, 2^39), i.e. sizes to half a terabyte and
+// latencies to ~9 minutes — everything beyond clamps into the last bucket.
+const NumBuckets = 40
+
+// Hist is a lock-free fixed-bucket histogram. The zero value is ready to
+// use. It tracks count, sum, and max alongside the buckets so snapshots can
+// report a mean and a ceiling without retaining samples.
+type Hist struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) // 2^(b-1) ≤ v < 2^b
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpperEdge returns bucket b's inclusive upper edge (2^b − 1); the
+// last bucket is unbounded and reports -1.
+func BucketUpperEdge(b int) int64 {
+	if b < 0 {
+		return 0
+	}
+	if b >= NumBuckets-1 {
+		return -1
+	}
+	return (int64(1) << uint(b)) - 1
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v int64) {
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// snapshot copies the histogram into its export form.
+func (h *Hist) snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[int]uint64, 8)
+			}
+			s.Buckets[i] = n
+		}
+	}
+	return s
+}
+
+// HistSnapshot is a histogram frozen for export. Buckets maps bucket index →
+// count and omits empty buckets (nil when nothing was observed).
+type HistSnapshot struct {
+	Count   uint64         `json:"count"`
+	Sum     int64          `json:"sum"`
+	Max     int64          `json:"max"`
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+}
+
+// Mean returns Sum/Count, or 0 with no observations.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// merge returns the combination of s and o without mutating either (the
+// bucket map is freshly allocated so input snapshots stay immutable).
+func (s HistSnapshot) merge(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+		Max:   s.Max,
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	if len(s.Buckets)+len(o.Buckets) > 0 {
+		out.Buckets = make(map[int]uint64, len(s.Buckets)+len(o.Buckets))
+		for b, n := range s.Buckets {
+			out.Buckets[b] += n
+		}
+		for b, n := range o.Buckets {
+			out.Buckets[b] += n
+		}
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+// Package obs is the per-rank runtime observability layer: a concurrency-safe
+// metrics registry threaded through the transports, the plaintext MPI layer,
+// and the encrypted engines, so a run can report exactly the decomposition the
+// paper's evaluation rests on — how long the ciphers took, how many bytes the
+// wire actually carried, and how much of a rank's life was spent waiting.
+//
+// Everything on the hot path is an atomic counter or a fixed-bucket histogram
+// increment; there are no locks, allocations, or syscalls between a message
+// and its accounting. Registries are per-job, scoped per rank inside
+// (Registry.Rank), and snapshots are mergeable across registries so
+// multi-process deployments can aggregate. Snapshots export as JSON
+// (Snapshot.JSON), Prometheus text format (Snapshot.WritePrometheus), and a
+// human digest (Snapshot.Digest).
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Op identifies one MPI routine for per-routine op counting. Send and Recv
+// are not listed separately: the runtime implements them as Isend+Wait and
+// Irecv+Wait, and the counters reflect the primitives actually executed
+// (collective algorithms' internal point-to-point traffic is counted too).
+type Op uint8
+
+// The counted routines.
+const (
+	OpIsend Op = iota
+	OpIrecv
+	OpWait
+	OpProbe
+	OpBarrier
+	OpBcast
+	OpAllgather
+	OpAllgatherv
+	OpAlltoall
+	OpAlltoallv
+	OpReduce
+	OpAllreduce
+	OpReduceScatter
+	OpScan
+	OpExscan
+	OpGather
+	OpGatherv
+	OpScatter
+	OpScatterv
+	NumOps // sentinel: number of counted routines
+)
+
+// opNames indexes Op → stable lowercase name (used by snapshots and exports).
+var opNames = [NumOps]string{
+	"isend", "irecv", "wait", "probe", "barrier",
+	"bcast", "allgather", "allgatherv", "alltoall", "alltoallv",
+	"reduce", "allreduce", "reduce_scatter", "scan", "exscan",
+	"gather", "gatherv", "scatter", "scatterv",
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o < NumOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Rank is the per-rank metrics scope. All methods are safe for concurrent
+// use; a nil *Rank is inert (every method is a no-op), so callers holding a
+// possibly-absent scope need no guard at each site.
+type Rank struct {
+	rank int
+
+	// Transport-layer accounting (bytes are payload bytes on the wire).
+	msgsSent, msgsRecv   atomic.Uint64
+	bytesSent, bytesRecv atomic.Uint64
+
+	// MPI-layer accounting.
+	ops       [NumOps]atomic.Uint64
+	waitNanos atomic.Int64
+	strays    atomic.Uint64
+
+	// Crypto accounting (engine-agnostic: recorded around Seal/Open).
+	seals, opens, authFailures                       atomic.Uint64
+	plainSealed, wireSealed, wireOpened, plainOpened atomic.Uint64
+	sealNanos, openNanos                             atomic.Int64
+
+	// Distributions.
+	sentSizes Hist // plaintext payload sizes handed to the transport
+	sealNs    Hist // per-Seal latency, nanoseconds
+	openNs    Hist // per-Open latency, nanoseconds
+	waitNs    Hist // per-Wait blocked time, nanoseconds
+}
+
+// RankID returns the world rank this scope accounts for.
+func (r *Rank) RankID() int { return r.rank }
+
+// Op counts one invocation of the routine.
+func (r *Rank) Op(op Op) {
+	if r == nil || op >= NumOps {
+		return
+	}
+	r.ops[op].Add(1)
+}
+
+// MsgSent records one transport-level message leaving this rank.
+func (r *Rank) MsgSent(payloadBytes int) {
+	if r == nil {
+		return
+	}
+	r.msgsSent.Add(1)
+	r.bytesSent.Add(uint64(payloadBytes))
+	r.sentSizes.Observe(int64(payloadBytes))
+}
+
+// MsgRecv records one transport-level message arriving at this rank.
+func (r *Rank) MsgRecv(payloadBytes int) {
+	if r == nil {
+		return
+	}
+	r.msgsRecv.Add(1)
+	r.bytesRecv.Add(uint64(payloadBytes))
+}
+
+// Wait records one completed Wait that blocked for ns nanoseconds (virtual
+// nanoseconds under the simulator, wall nanoseconds on real transports).
+func (r *Rank) Wait(ns int64) {
+	if r == nil {
+		return
+	}
+	r.waitNanos.Add(ns)
+	r.waitNs.Observe(ns)
+}
+
+// Stray records a delivered message the protocol discarded as a stray.
+func (r *Rank) Stray() {
+	if r == nil {
+		return
+	}
+	r.strays.Add(1)
+}
+
+// Seal records one engine Seal: plain bytes in, wire bytes out, ns spent.
+func (r *Rank) Seal(plainBytes, wireBytes int, ns int64) {
+	if r == nil {
+		return
+	}
+	r.seals.Add(1)
+	r.plainSealed.Add(uint64(plainBytes))
+	r.wireSealed.Add(uint64(wireBytes))
+	r.sealNanos.Add(ns)
+	r.sealNs.Observe(ns)
+}
+
+// Open records one successful engine Open: wire bytes in, plain bytes out.
+func (r *Rank) Open(wireBytes, plainBytes int, ns int64) {
+	if r == nil {
+		return
+	}
+	r.opens.Add(1)
+	r.wireOpened.Add(uint64(wireBytes))
+	r.plainOpened.Add(uint64(plainBytes))
+	r.openNanos.Add(ns)
+	r.openNs.Observe(ns)
+}
+
+// AuthFailure records a failed Open (authentication or malformed wire). The
+// time is still charged to openNanos: the cipher ran before it rejected.
+func (r *Rank) AuthFailure(ns int64) {
+	if r == nil {
+		return
+	}
+	r.authFailures.Add(1)
+	r.openNanos.Add(ns)
+	r.openNs.Observe(ns)
+}
+
+// maxRanks bounds registry growth so hostile rank ids arriving over a real
+// wire cannot balloon memory (Deliver validates first, but defense in depth).
+const maxRanks = 1 << 16
+
+// Registry is a job-wide metrics registry: one Rank scope per world rank plus
+// a handful of world-level counters that no single rank owns. It is safe for
+// concurrent use from every rank, transport reader, and engine goroutine.
+type Registry struct {
+	mu    sync.Mutex
+	ranks atomic.Pointer[[]*Rank]
+
+	frameErrors    atomic.Uint64 // transport frames rejected before parsing
+	faultsInjected atomic.Uint64 // faults the faulty transport applied
+	strayUnattrib  atomic.Uint64 // strays whose dst rank was out of range
+}
+
+// NewRegistry creates a registry pre-sized for n ranks (it grows on demand if
+// a larger rank id appears, up to an internal safety cap).
+func NewRegistry(n int) *Registry {
+	if n < 0 {
+		n = 0
+	}
+	if n > maxRanks {
+		n = maxRanks
+	}
+	g := &Registry{}
+	rs := make([]*Rank, n)
+	for i := range rs {
+		rs[i] = &Rank{rank: i}
+	}
+	g.ranks.Store(&rs)
+	return g
+}
+
+// Size returns the number of rank scopes currently allocated.
+func (g *Registry) Size() int { return len(*g.ranks.Load()) }
+
+// Rank returns the scope for world rank i, growing the registry if needed.
+// Negative or absurdly large ids return nil (inert).
+func (g *Registry) Rank(i int) *Rank {
+	if g == nil || i < 0 || i >= maxRanks {
+		return nil
+	}
+	rs := *g.ranks.Load()
+	if i < len(rs) {
+		return rs[i]
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rs = *g.ranks.Load()
+	if i < len(rs) {
+		return rs[i]
+	}
+	grown := make([]*Rank, i+1)
+	copy(grown, rs)
+	for j := len(rs); j < len(grown); j++ {
+		grown[j] = &Rank{rank: j}
+	}
+	g.ranks.Store(&grown)
+	return grown[i]
+}
+
+// FrameError records a transport frame rejected before it became a message.
+func (g *Registry) FrameError() {
+	if g == nil {
+		return
+	}
+	g.frameErrors.Add(1)
+}
+
+// FaultInjected records one applied wire fault.
+func (g *Registry) FaultInjected() {
+	if g == nil {
+		return
+	}
+	g.faultsInjected.Add(1)
+}
+
+// UnattributedStray records a stray whose destination rank was invalid.
+func (g *Registry) UnattributedStray() {
+	if g == nil {
+		return
+	}
+	g.strayUnattrib.Add(1)
+}

@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBucketEdges(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 38, NumBuckets - 1}, {1 << 62, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every bucket's upper edge must land in that bucket, and edge+1 in the next.
+	for b := 1; b < NumBuckets-1; b++ {
+		edge := BucketUpperEdge(b)
+		if got := bucketOf(edge); got != b {
+			t.Errorf("bucketOf(edge %d) = %d, want %d", edge, got, b)
+		}
+		if got := bucketOf(edge + 1); got != b+1 {
+			t.Errorf("bucketOf(edge+1 %d) = %d, want %d", edge+1, got, b+1)
+		}
+	}
+	if BucketUpperEdge(NumBuckets-1) != -1 {
+		t.Errorf("last bucket must be unbounded")
+	}
+}
+
+func TestHistObserve(t *testing.T) {
+	var h Hist
+	for _, v := range []int64{0, 1, 5, 5, 1000, 1 << 50} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Max != 1<<50 {
+		t.Fatalf("max = %d, want %d", s.Max, int64(1)<<50)
+	}
+	if want := int64(0 + 1 + 5 + 5 + 1000 + 1<<50); s.Sum != want {
+		t.Fatalf("sum = %d, want %d", s.Sum, want)
+	}
+	if s.Buckets[3] != 2 { // two fives
+		t.Fatalf("bucket 3 = %d, want 2", s.Buckets[3])
+	}
+	if s.Buckets[NumBuckets-1] != 1 { // the clamped giant
+		t.Fatalf("last bucket = %d, want 1", s.Buckets[NumBuckets-1])
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var g *Registry
+	var r *Rank
+	// None of these may panic.
+	r.Op(OpIsend)
+	r.MsgSent(10)
+	r.MsgRecv(10)
+	r.Wait(5)
+	r.Stray()
+	r.Seal(1, 29, 100)
+	r.Open(29, 1, 100)
+	r.AuthFailure(50)
+	g.FrameError()
+	g.FaultInjected()
+	g.UnattributedStray()
+	if g.Rank(0) != nil {
+		t.Fatal("nil registry must yield nil ranks")
+	}
+	s := g.Snapshot()
+	if s.Total.Rank != -1 {
+		t.Fatal("nil registry snapshot total must carry rank -1")
+	}
+}
+
+func TestRegistryGrowAndBounds(t *testing.T) {
+	g := NewRegistry(2)
+	if g.Size() != 2 {
+		t.Fatalf("size = %d, want 2", g.Size())
+	}
+	if g.Rank(-1) != nil {
+		t.Fatal("negative rank must be nil")
+	}
+	if g.Rank(maxRanks) != nil {
+		t.Fatal("out-of-cap rank must be nil")
+	}
+	r5 := g.Rank(5)
+	if r5 == nil || r5.RankID() != 5 {
+		t.Fatal("grow on demand failed")
+	}
+	if g.Size() != 6 {
+		t.Fatalf("size after grow = %d, want 6", g.Size())
+	}
+	if g.Rank(0).RankID() != 0 {
+		t.Fatal("pre-grow rank scope lost")
+	}
+}
+
+// fillRank records a deterministic pattern into rank i of g.
+func fillRank(g *Registry, i int) {
+	r := g.Rank(i)
+	r.Op(OpIsend)
+	r.Op(OpIsend)
+	r.Op(OpWait)
+	r.MsgSent(100)
+	r.MsgRecv(128)
+	r.Wait(1000)
+	r.Seal(64, 92, 500)
+	r.Open(92, 64, 400)
+	r.Stray()
+}
+
+func TestSnapshotTotalIsRankSum(t *testing.T) {
+	g := NewRegistry(4)
+	for i := 0; i < 4; i++ {
+		fillRank(g, i)
+	}
+	g.FrameError()
+	g.UnattributedStray()
+	s := g.Snapshot()
+
+	if got := s.Total.Transport.MsgsSent; got != 4 {
+		t.Fatalf("total msgs sent = %d, want 4", got)
+	}
+	if got := s.Total.Crypto.PlainSealed; got != 4*64 {
+		t.Fatalf("total plain sealed = %d, want %d", got, 4*64)
+	}
+	if got := s.Total.Ops["isend"]; got != 8 {
+		t.Fatalf("total isend = %d, want 8", got)
+	}
+	if got := s.Total.WaitNanos; got != 4000 {
+		t.Fatalf("total wait = %d, want 4000", got)
+	}
+	// World counters stay out of the rank sum.
+	if s.Total.Strays != 4 {
+		t.Fatalf("total strays = %d, want 4 (unattributed must not leak in)", s.Total.Strays)
+	}
+	if s.FrameErrors != 1 || s.UnattributedStrays != 1 {
+		t.Fatalf("world counters = %d/%d, want 1/1", s.FrameErrors, s.UnattributedStrays)
+	}
+	// The sum of the rank histograms equals the total histogram.
+	var count uint64
+	for _, r := range s.Ranks {
+		count += r.SentSizes.Count
+	}
+	if s.Total.SentSizes.Count != count {
+		t.Fatalf("total hist count = %d, want %d", s.Total.SentSizes.Count, count)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := NewRegistry(2)
+	b := NewRegistry(3)
+	fillRank(a, 0)
+	fillRank(a, 1)
+	fillRank(b, 1)
+	fillRank(b, 2)
+	b.FaultInjected()
+
+	m := Merge(a.Snapshot(), b.Snapshot())
+	if len(m.Ranks) != 3 {
+		t.Fatalf("merged ranks = %d, want 3", len(m.Ranks))
+	}
+	if m.Ranks[1].Transport.MsgsSent != 2 { // rank 1 appears in both
+		t.Fatalf("rank 1 msgs = %d, want 2", m.Ranks[1].Transport.MsgsSent)
+	}
+	if m.Total.Transport.MsgsSent != 4 {
+		t.Fatalf("merged total msgs = %d, want 4", m.Total.Transport.MsgsSent)
+	}
+	if m.FaultsInjected != 1 {
+		t.Fatalf("merged faults = %d, want 1", m.FaultsInjected)
+	}
+	// Merge must not mutate its inputs.
+	sa := a.Snapshot()
+	if sa.Ranks[1].Transport.MsgsSent != 1 {
+		t.Fatal("Merge mutated input snapshot")
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	g := NewRegistry(2)
+	const overhead = 28
+	g.Rank(0).Seal(100, 100+overhead, 10)
+	g.Rank(1).Open(100+overhead, 100, 10)
+	if err := g.Snapshot().CheckByteAccounting(overhead); err != nil {
+		t.Fatalf("accounting should hold: %v", err)
+	}
+	g.Rank(0).Seal(50, 50+overhead+1, 10) // off by one
+	if err := g.Snapshot().CheckByteAccounting(overhead); err == nil {
+		t.Fatal("accounting violation must be detected")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := NewRegistry(2)
+	fillRank(g, 0)
+	raw, err := g.Snapshot().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Total.Crypto.Seals != 1 || back.Ranks[0].Ops["isend"] != 2 {
+		t.Fatalf("round trip lost data: %+v", back.Total)
+	}
+}
+
+func TestPrometheusOutput(t *testing.T) {
+	g := NewRegistry(2)
+	fillRank(g, 0)
+	fillRank(g, 1)
+	var sb strings.Builder
+	if err := g.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`encmpi_transport_msgs_sent_total{rank="0"} 1`,
+		`encmpi_mpi_ops_total{rank="1",op="isend"} 2`,
+		`encmpi_crypto_wire_bytes_total{rank="0",dir="seal"} 92`,
+		`encmpi_sent_size_bytes_count{rank="0"} 1`,
+		`le="+Inf"`,
+		"# TYPE encmpi_sent_size_bytes histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
+func TestDigestMentionsEveryRankAndTotal(t *testing.T) {
+	g := NewRegistry(2)
+	fillRank(g, 0)
+	fillRank(g, 1)
+	d := g.Snapshot().Digest()
+	for _, want := range []string{"rank", "total", "wire_bytes", "plain_bytes", "crypto_us"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("digest missing %q:\n%s", want, d)
+		}
+	}
+}
+
+// TestConcurrentHammer drives one registry from many goroutines; run with
+// -race this is the data-race gate for the whole recording surface.
+func TestConcurrentHammer(t *testing.T) {
+	g := NewRegistry(1)
+	const workers = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r := g.Rank(w % 4) // exercises concurrent grow too
+				r.Op(OpIsend)
+				r.MsgSent(i)
+				r.MsgRecv(i)
+				r.Wait(int64(i))
+				r.Seal(i, i+28, int64(i))
+				r.Open(i+28, i, int64(i))
+				g.FrameError()
+				if i%64 == 0 {
+					_ = g.Snapshot() // snapshot while recording
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := g.Snapshot()
+	if got := s.Total.Transport.MsgsSent; got != workers*iters {
+		t.Fatalf("msgs sent = %d, want %d", got, workers*iters)
+	}
+	if got := s.FrameErrors; got != workers*iters {
+		t.Fatalf("frame errors = %d, want %d", got, workers*iters)
+	}
+	if err := s.CheckByteAccounting(28); err != nil {
+		t.Fatal(err)
+	}
+}

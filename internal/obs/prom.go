@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters labelled by rank (and op for the routine
+// counts), histograms with cumulative le buckets on the power-of-two edges.
+// Metric names carry the encmpi_ prefix.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	pw := &promWriter{w: w}
+
+	pw.header("encmpi_transport_msgs_sent_total", "counter", "Transport-level messages sent per rank.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_transport_msgs_sent_total", rankLabel(r.Rank), r.Transport.MsgsSent)
+	}
+	pw.header("encmpi_transport_msgs_recv_total", "counter", "Transport-level messages received per rank.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_transport_msgs_recv_total", rankLabel(r.Rank), r.Transport.MsgsRecv)
+	}
+	pw.header("encmpi_transport_bytes_sent_total", "counter", "Transport-level payload bytes sent per rank.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_transport_bytes_sent_total", rankLabel(r.Rank), r.Transport.BytesSent)
+	}
+	pw.header("encmpi_transport_bytes_recv_total", "counter", "Transport-level payload bytes received per rank.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_transport_bytes_recv_total", rankLabel(r.Rank), r.Transport.BytesRecv)
+	}
+
+	pw.header("encmpi_mpi_ops_total", "counter", "MPI routine invocations per rank and routine.")
+	for _, r := range s.Ranks {
+		ops := make([]string, 0, len(r.Ops))
+		for op := range r.Ops {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			pw.counter("encmpi_mpi_ops_total",
+				fmt.Sprintf(`rank="%d",op=%q`, r.Rank, op), r.Ops[op])
+		}
+	}
+	pw.header("encmpi_mpi_wait_nanos_total", "counter", "Nanoseconds blocked in Wait per rank.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_mpi_wait_nanos_total", rankLabel(r.Rank), uint64(r.WaitNanos))
+	}
+	pw.header("encmpi_mpi_strays_total", "counter", "Stray messages discarded per rank.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_mpi_strays_total", rankLabel(r.Rank), r.Strays)
+	}
+
+	pw.header("encmpi_crypto_seals_total", "counter", "Engine Seal invocations per rank.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_crypto_seals_total", rankLabel(r.Rank), r.Crypto.Seals)
+	}
+	pw.header("encmpi_crypto_opens_total", "counter", "Successful engine Open invocations per rank.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_crypto_opens_total", rankLabel(r.Rank), r.Crypto.Opens)
+	}
+	pw.header("encmpi_crypto_auth_failures_total", "counter", "Failed engine Open invocations per rank.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_crypto_auth_failures_total", rankLabel(r.Rank), r.Crypto.AuthFailures)
+	}
+	pw.header("encmpi_crypto_plain_bytes_total", "counter", "Plaintext bytes through the engines per rank and direction.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_crypto_plain_bytes_total",
+			fmt.Sprintf(`rank="%d",dir="seal"`, r.Rank), r.Crypto.PlainSealed)
+		pw.counter("encmpi_crypto_plain_bytes_total",
+			fmt.Sprintf(`rank="%d",dir="open"`, r.Rank), r.Crypto.PlainOpened)
+	}
+	pw.header("encmpi_crypto_wire_bytes_total", "counter", "Wire (ciphertext) bytes through the engines per rank and direction.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_crypto_wire_bytes_total",
+			fmt.Sprintf(`rank="%d",dir="seal"`, r.Rank), r.Crypto.WireSealed)
+		pw.counter("encmpi_crypto_wire_bytes_total",
+			fmt.Sprintf(`rank="%d",dir="open"`, r.Rank), r.Crypto.WireOpened)
+	}
+	pw.header("encmpi_crypto_nanos_total", "counter", "Nanoseconds inside the engines per rank and direction.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_crypto_nanos_total",
+			fmt.Sprintf(`rank="%d",dir="seal"`, r.Rank), uint64(r.Crypto.SealNanos))
+		pw.counter("encmpi_crypto_nanos_total",
+			fmt.Sprintf(`rank="%d",dir="open"`, r.Rank), uint64(r.Crypto.OpenNanos))
+	}
+
+	pw.histogram("encmpi_sent_size_bytes", "Transport payload sizes sent per rank.", s.Ranks,
+		func(r RankSnapshot) HistSnapshot { return r.SentSizes })
+	pw.histogram("encmpi_seal_latency_nanos", "Per-Seal latency per rank.", s.Ranks,
+		func(r RankSnapshot) HistSnapshot { return r.SealLatency })
+	pw.histogram("encmpi_open_latency_nanos", "Per-Open latency per rank.", s.Ranks,
+		func(r RankSnapshot) HistSnapshot { return r.OpenLatency })
+	pw.histogram("encmpi_wait_latency_nanos", "Per-Wait blocked time per rank.", s.Ranks,
+		func(r RankSnapshot) HistSnapshot { return r.WaitLatency })
+
+	pw.header("encmpi_frame_errors_total", "counter", "Transport frames rejected before parsing (whole job).")
+	pw.counter("encmpi_frame_errors_total", "", s.FrameErrors)
+	pw.header("encmpi_faults_injected_total", "counter", "Wire faults the faulty transport applied (whole job).")
+	pw.counter("encmpi_faults_injected_total", "", s.FaultsInjected)
+	pw.header("encmpi_unattributed_strays_total", "counter", "Strays with an invalid destination rank (whole job).")
+	pw.counter("encmpi_unattributed_strays_total", "", s.UnattributedStrays)
+
+	return pw.err
+}
+
+func rankLabel(rank int) string { return fmt.Sprintf(`rank="%d"`, rank) }
+
+// promWriter accumulates the first write error so callers check once.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) header(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) counter(name, labels string, v uint64) {
+	if labels == "" {
+		p.printf("%s %d\n", name, v)
+		return
+	}
+	p.printf("%s{%s} %d\n", name, labels, v)
+}
+
+// histogram emits one Prometheus histogram per rank with cumulative le
+// buckets on the inclusive power-of-two upper edges.
+func (p *promWriter) histogram(name, help string, ranks []RankSnapshot, get func(RankSnapshot) HistSnapshot) {
+	p.header(name, "histogram", help)
+	for _, r := range ranks {
+		h := get(r)
+		var cum uint64
+		for b := 0; b < NumBuckets; b++ {
+			n := h.Buckets[b]
+			if n == 0 && b < NumBuckets-1 {
+				continue
+			}
+			cum += n
+			edge := BucketUpperEdge(b)
+			le := "+Inf"
+			if edge >= 0 {
+				le = fmt.Sprintf("%d", edge)
+			}
+			p.printf("%s_bucket{rank=\"%d\",le=%q} %d\n", name, r.Rank, le, cum)
+		}
+		p.printf("%s_sum{rank=\"%d\"} %d\n", name, r.Rank, h.Sum)
+		p.printf("%s_count{rank=\"%d\"} %d\n", name, r.Rank, h.Count)
+	}
+}

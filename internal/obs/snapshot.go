@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TransportSnapshot is one rank's transport-level accounting.
+type TransportSnapshot struct {
+	MsgsSent  uint64 `json:"msgs_sent"`
+	MsgsRecv  uint64 `json:"msgs_recv"`
+	BytesSent uint64 `json:"bytes_sent"`
+	BytesRecv uint64 `json:"bytes_recv"`
+}
+
+// CryptoSnapshot is one rank's crypto accounting. Byte totals satisfy
+// WireSealed == PlainSealed + Seals·overhead for single-chunk engines, the
+// invariant CheckByteAccounting verifies.
+type CryptoSnapshot struct {
+	Seals        uint64 `json:"seals"`
+	Opens        uint64 `json:"opens"`
+	AuthFailures uint64 `json:"auth_failures"`
+	PlainSealed  uint64 `json:"plain_bytes_sealed"`
+	WireSealed   uint64 `json:"wire_bytes_sealed"`
+	WireOpened   uint64 `json:"wire_bytes_opened"`
+	PlainOpened  uint64 `json:"plain_bytes_opened"`
+	SealNanos    int64  `json:"seal_nanos"`
+	OpenNanos    int64  `json:"open_nanos"`
+}
+
+// RankSnapshot is one rank's metrics frozen at snapshot time. The merged
+// world total reuses this type with Rank == -1.
+type RankSnapshot struct {
+	Rank      int               `json:"rank"`
+	Transport TransportSnapshot `json:"transport"`
+	Ops       map[string]uint64 `json:"ops,omitempty"`
+	WaitNanos int64             `json:"wait_nanos"`
+	Strays    uint64            `json:"strays"`
+	Crypto    CryptoSnapshot    `json:"crypto"`
+
+	SentSizes   HistSnapshot `json:"sent_sizes"`
+	SealLatency HistSnapshot `json:"seal_latency_ns"`
+	OpenLatency HistSnapshot `json:"open_latency_ns"`
+	WaitLatency HistSnapshot `json:"wait_latency_ns"`
+}
+
+// Snapshot freezes a whole registry: per-rank scopes, the world-level
+// counters no rank owns, and a Total that is the pure sum of the ranks.
+type Snapshot struct {
+	Ranks              []RankSnapshot `json:"ranks"`
+	FrameErrors        uint64         `json:"frame_errors"`
+	FaultsInjected     uint64         `json:"faults_injected"`
+	UnattributedStrays uint64         `json:"unattributed_strays"`
+	Total              RankSnapshot   `json:"total"`
+}
+
+// snapshot freezes one rank scope.
+func (r *Rank) snapshot() RankSnapshot {
+	s := RankSnapshot{
+		Rank: r.rank,
+		Transport: TransportSnapshot{
+			MsgsSent:  r.msgsSent.Load(),
+			MsgsRecv:  r.msgsRecv.Load(),
+			BytesSent: r.bytesSent.Load(),
+			BytesRecv: r.bytesRecv.Load(),
+		},
+		WaitNanos: r.waitNanos.Load(),
+		Strays:    r.strays.Load(),
+		Crypto: CryptoSnapshot{
+			Seals:        r.seals.Load(),
+			Opens:        r.opens.Load(),
+			AuthFailures: r.authFailures.Load(),
+			PlainSealed:  r.plainSealed.Load(),
+			WireSealed:   r.wireSealed.Load(),
+			WireOpened:   r.wireOpened.Load(),
+			PlainOpened:  r.plainOpened.Load(),
+			SealNanos:    r.sealNanos.Load(),
+			OpenNanos:    r.openNanos.Load(),
+		},
+		SentSizes:   r.sentSizes.snapshot(),
+		SealLatency: r.sealNs.snapshot(),
+		OpenLatency: r.openNs.snapshot(),
+		WaitLatency: r.waitNs.snapshot(),
+	}
+	for op := Op(0); op < NumOps; op++ {
+		if n := r.ops[op].Load(); n != 0 {
+			if s.Ops == nil {
+				s.Ops = make(map[string]uint64, 8)
+			}
+			s.Ops[op.String()] = n
+		}
+	}
+	return s
+}
+
+// mergeRank returns a+b (histograms and op maps freshly allocated; inputs
+// are not mutated). The Rank id survives only when both sides agree.
+func mergeRank(a, b RankSnapshot) RankSnapshot {
+	out := RankSnapshot{
+		Rank: a.Rank,
+		Transport: TransportSnapshot{
+			MsgsSent:  a.Transport.MsgsSent + b.Transport.MsgsSent,
+			MsgsRecv:  a.Transport.MsgsRecv + b.Transport.MsgsRecv,
+			BytesSent: a.Transport.BytesSent + b.Transport.BytesSent,
+			BytesRecv: a.Transport.BytesRecv + b.Transport.BytesRecv,
+		},
+		WaitNanos: a.WaitNanos + b.WaitNanos,
+		Strays:    a.Strays + b.Strays,
+		Crypto: CryptoSnapshot{
+			Seals:        a.Crypto.Seals + b.Crypto.Seals,
+			Opens:        a.Crypto.Opens + b.Crypto.Opens,
+			AuthFailures: a.Crypto.AuthFailures + b.Crypto.AuthFailures,
+			PlainSealed:  a.Crypto.PlainSealed + b.Crypto.PlainSealed,
+			WireSealed:   a.Crypto.WireSealed + b.Crypto.WireSealed,
+			WireOpened:   a.Crypto.WireOpened + b.Crypto.WireOpened,
+			PlainOpened:  a.Crypto.PlainOpened + b.Crypto.PlainOpened,
+			SealNanos:    a.Crypto.SealNanos + b.Crypto.SealNanos,
+			OpenNanos:    a.Crypto.OpenNanos + b.Crypto.OpenNanos,
+		},
+		SentSizes:   a.SentSizes.merge(b.SentSizes),
+		SealLatency: a.SealLatency.merge(b.SealLatency),
+		OpenLatency: a.OpenLatency.merge(b.OpenLatency),
+		WaitLatency: a.WaitLatency.merge(b.WaitLatency),
+	}
+	if a.Rank != b.Rank {
+		out.Rank = -1
+	}
+	if len(a.Ops)+len(b.Ops) > 0 {
+		out.Ops = make(map[string]uint64, len(a.Ops)+len(b.Ops))
+		for k, v := range a.Ops {
+			out.Ops[k] += v
+		}
+		for k, v := range b.Ops {
+			out.Ops[k] += v
+		}
+	}
+	return out
+}
+
+// Snapshot freezes the registry. Total is exactly the sum of Ranks; the
+// world-level counters (FrameErrors, FaultsInjected, UnattributedStrays)
+// live beside it, never inside it.
+func (g *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if g == nil {
+		s.Total.Rank = -1
+		return s
+	}
+	rs := *g.ranks.Load()
+	s.Ranks = make([]RankSnapshot, len(rs))
+	s.Total.Rank = -1
+	for i, r := range rs {
+		s.Ranks[i] = r.snapshot()
+		total := mergeRank(s.Total, s.Ranks[i])
+		total.Rank = -1
+		s.Total = total
+	}
+	s.FrameErrors = g.frameErrors.Load()
+	s.FaultsInjected = g.faultsInjected.Load()
+	s.UnattributedStrays = g.strayUnattrib.Load()
+	return s
+}
+
+// Merge combines two snapshots (e.g. from two processes of one job). Ranks
+// with the same id are summed; world counters add; Total is recomputed from
+// the merged ranks.
+func Merge(a, b Snapshot) Snapshot {
+	byRank := make(map[int]RankSnapshot, len(a.Ranks)+len(b.Ranks))
+	for _, r := range a.Ranks {
+		byRank[r.Rank] = r
+	}
+	for _, r := range b.Ranks {
+		if prev, ok := byRank[r.Rank]; ok {
+			m := mergeRank(prev, r)
+			m.Rank = r.Rank
+			byRank[r.Rank] = m
+		} else {
+			byRank[r.Rank] = r
+		}
+	}
+	ids := make([]int, 0, len(byRank))
+	for id := range byRank {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	out := Snapshot{
+		Ranks:              make([]RankSnapshot, 0, len(ids)),
+		FrameErrors:        a.FrameErrors + b.FrameErrors,
+		FaultsInjected:     a.FaultsInjected + b.FaultsInjected,
+		UnattributedStrays: a.UnattributedStrays + b.UnattributedStrays,
+	}
+	out.Total.Rank = -1
+	for _, id := range ids {
+		r := byRank[id]
+		out.Ranks = append(out.Ranks, r)
+		total := mergeRank(out.Total, r)
+		total.Rank = -1
+		out.Total = total
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// CheckByteAccounting verifies the paper's wire-expansion identity on the
+// merged totals: every sealed message grew by exactly perMsgOverhead bytes
+// (nonce + tag for AES-GCM), on both the seal and the open side. It holds
+// for single-chunk engines (real, model, replay-guarded real); chunking
+// engines seal several chunks per message and still satisfy it per chunk.
+func (s Snapshot) CheckByteAccounting(perMsgOverhead int) error {
+	c := s.Total.Crypto
+	ov := uint64(perMsgOverhead)
+	if want := c.PlainSealed + c.Seals*ov; c.WireSealed != want {
+		return fmt.Errorf("obs: seal accounting: wire=%d plain=%d seals=%d overhead=%d (want wire=%d)",
+			c.WireSealed, c.PlainSealed, c.Seals, perMsgOverhead, want)
+	}
+	if want := c.PlainOpened + c.Opens*ov; c.WireOpened != want {
+		return fmt.Errorf("obs: open accounting: wire=%d plain=%d opens=%d overhead=%d (want wire=%d)",
+			c.WireOpened, c.PlainOpened, c.Opens, perMsgOverhead, want)
+	}
+	return nil
+}
+
+// Digest renders a compact human-readable report: one line per rank plus the
+// merged totals and the world counters. It is the output of the cmds'
+// -stats flag and the text scripts/check.sh greps.
+func (s Snapshot) Digest() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %10s %10s %12s %12s %10s %10s %12s %12s %10s %9s\n",
+		"rank", "msgs_out", "msgs_in", "bytes_out", "bytes_in",
+		"seals", "opens", "plain_bytes", "wire_bytes", "crypto_us", "wait_us")
+	line := func(r RankSnapshot) {
+		name := fmt.Sprintf("%d", r.Rank)
+		if r.Rank < 0 {
+			name = "total"
+		}
+		fmt.Fprintf(&b, "%-6s %10d %10d %12d %12d %10d %10d %12d %12d %10.1f %9.1f\n",
+			name,
+			r.Transport.MsgsSent, r.Transport.MsgsRecv,
+			r.Transport.BytesSent, r.Transport.BytesRecv,
+			r.Crypto.Seals, r.Crypto.Opens,
+			r.Crypto.PlainSealed+r.Crypto.PlainOpened,
+			r.Crypto.WireSealed+r.Crypto.WireOpened,
+			float64(r.Crypto.SealNanos+r.Crypto.OpenNanos)/1e3,
+			float64(r.WaitNanos)/1e3)
+	}
+	for _, r := range s.Ranks {
+		line(r)
+	}
+	line(s.Total)
+	if s.Total.Crypto.AuthFailures > 0 {
+		fmt.Fprintf(&b, "auth failures: %d\n", s.Total.Crypto.AuthFailures)
+	}
+	if s.FrameErrors > 0 || s.FaultsInjected > 0 {
+		fmt.Fprintf(&b, "frame errors: %d  faults injected: %d\n", s.FrameErrors, s.FaultsInjected)
+	}
+	if strays := s.Total.Strays + s.UnattributedStrays; strays > 0 {
+		fmt.Fprintf(&b, "stray messages: %d (%d unattributed)\n", strays, s.UnattributedStrays)
+	}
+	return b.String()
+}

@@ -18,6 +18,7 @@ import (
 	"encmpi/internal/encmpi"
 	"encmpi/internal/job"
 	"encmpi/internal/mpi"
+	"encmpi/internal/obs"
 	"encmpi/internal/simnet"
 )
 
@@ -40,9 +41,16 @@ type PingPongResult struct {
 // PingPong runs the blocking ping-pong between two ranks on different nodes
 // (paper: "All ping-pong results use two processes on different nodes").
 func PingPong(cfg simnet.Config, mk EngineFactory, size, iters int) (PingPongResult, error) {
+	return PingPongObserved(cfg, mk, size, iters, nil)
+}
+
+// PingPongObserved is PingPong with a metrics registry (nil disables
+// accounting) threaded through the transport, the MPI core, and the
+// encrypted layer.
+func PingPongObserved(cfg simnet.Config, mk EngineFactory, size, iters int, reg *obs.Registry) (PingPongResult, error) {
 	spec := cluster.PaperTestbed(2, 2)
 	var oneWay time.Duration
-	_, err := job.RunSim(spec, cfg, func(c *mpi.Comm) {
+	_, err := job.RunSimOpts(spec, cfg, job.Options{Metrics: reg}, func(c *mpi.Comm) {
 		e := encmpi.Wrap(c, mk(c.Rank()))
 		peer := 1 - c.Rank()
 		buf := mpi.Synthetic(size)
@@ -93,6 +101,12 @@ const MultiPairWindow = 64
 // MultiPair runs the Multiple-Pair bandwidth test: `pairs` senders on one
 // node stream to `pairs` receivers on another node.
 func MultiPair(cfg simnet.Config, mk EngineFactory, size, pairs, iters int) (MultiPairResult, error) {
+	return MultiPairObserved(cfg, mk, size, pairs, iters, nil)
+}
+
+// MultiPairObserved is MultiPair with a metrics registry (nil disables
+// accounting).
+func MultiPairObserved(cfg simnet.Config, mk EngineFactory, size, pairs, iters int, reg *obs.Registry) (MultiPairResult, error) {
 	spec := cluster.Spec{
 		Name:         fmt.Sprintf("mbw-%dpairs", pairs),
 		Nodes:        2,
@@ -101,7 +115,7 @@ func MultiPair(cfg simnet.Config, mk EngineFactory, size, pairs, iters int) (Mul
 		Place:        cluster.Block,
 	}
 	var elapsed time.Duration
-	_, err := job.RunSim(spec, cfg, func(c *mpi.Comm) {
+	_, err := job.RunSimOpts(spec, cfg, job.Options{Metrics: reg}, func(c *mpi.Comm) {
 		e := encmpi.Wrap(c, mk(c.Rank()))
 		isSender := c.Rank() < pairs
 		peer := (c.Rank() + pairs) % (2 * pairs)
@@ -180,9 +194,15 @@ type CollectiveResult struct {
 // cluster shape, OSU-style (each rank times the loop; the mean over ranks is
 // reported).
 func Collective(cfg simnet.Config, mk EngineFactory, op CollectiveOp, ranks, nodes, size, iters int) (CollectiveResult, error) {
+	return CollectiveObserved(cfg, mk, op, ranks, nodes, size, iters, nil)
+}
+
+// CollectiveObserved is Collective with a metrics registry (nil disables
+// accounting).
+func CollectiveObserved(cfg simnet.Config, mk EngineFactory, op CollectiveOp, ranks, nodes, size, iters int, reg *obs.Registry) (CollectiveResult, error) {
 	spec := cluster.PaperTestbed(ranks, nodes)
 	perRank := make([]time.Duration, ranks)
-	_, err := job.RunSim(spec, cfg, func(c *mpi.Comm) {
+	_, err := job.RunSimOpts(spec, cfg, job.Options{Metrics: reg}, func(c *mpi.Comm) {
 		e := encmpi.Wrap(c, mk(c.Rank()))
 		runOnce := func() {
 			switch op {

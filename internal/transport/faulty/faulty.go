@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"encmpi/internal/mpi"
+	"encmpi/internal/obs"
 	"encmpi/internal/sched"
 )
 
@@ -69,9 +70,37 @@ func (m Mode) String() string {
 // tests that must cover the whole adversary.
 var AllModes = []Mode{Corrupt, Drop, Truncate, Extend, Replay, Reorder, DuplicateDelivery}
 
+// Options is the declarative form of a fault plan, used by the public
+// facade's WithFaults option so callers configure the adversary without
+// touching the transport type directly.
+type Options struct {
+	// Mode is the fault to inject (None disables injection).
+	Mode Mode
+	// MaxInject, when positive, caps how many faults are applied.
+	MaxInject int
+	// TruncateBytes / ExtendBytes override the 1-byte defaults when positive.
+	TruncateBytes int
+	ExtendBytes   int
+}
+
+// Apply installs the plan on a transport (no victim filter: every
+// data-bearing message is eligible).
+func (o Options) Apply(t *Transport) {
+	if o.TruncateBytes > 0 {
+		t.TruncateBytes = o.TruncateBytes
+	}
+	if o.ExtendBytes > 0 {
+		t.ExtendBytes = o.ExtendBytes
+	}
+	t.SetFaultN(o.Mode, o.MaxInject, nil)
+}
+
 // Transport wraps an inner transport.
 type Transport struct {
 	inner mpi.Transport
+
+	// metrics, when set, receives one FaultInjected per applied fault.
+	metrics *obs.Registry
 
 	mu sync.Mutex
 	// mode applies to messages admitted by filter.
@@ -105,6 +134,13 @@ func New(inner mpi.Transport) *Transport {
 		TruncateBytes: 1,
 		ExtendBytes:   1,
 	}
+}
+
+// SetMetrics installs a metrics registry; applied faults are counted on it.
+func (t *Transport) SetMetrics(g *obs.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.metrics = g
 }
 
 // SetFault installs a fault mode and an optional victim filter, with no
@@ -179,6 +215,7 @@ func (t *Transport) plan(m *mpi.Msg) (forward []*mpi.Msg, ackLocal bool) {
 	count := func() {
 		t.Injected++
 		t.byMode[mode]++
+		t.metrics.FaultInjected()
 	}
 
 	if eligible {

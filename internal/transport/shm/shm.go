@@ -7,12 +7,14 @@ package shm
 
 import (
 	"encmpi/internal/mpi"
+	"encmpi/internal/obs"
 	"encmpi/internal/sched"
 )
 
 // Transport delivers messages inline.
 type Transport struct {
-	w *mpi.World
+	w       *mpi.World
+	metrics *obs.Registry
 }
 
 // New creates an unbound transport; call Bind before use.
@@ -21,11 +23,19 @@ func New() *Transport { return &Transport{} }
 // Bind attaches the world whose Deliver receives messages.
 func (t *Transport) Bind(w *mpi.World) { t.w = w }
 
+// SetMetrics installs a metrics registry; nil disables accounting.
+func (t *Transport) SetMetrics(g *obs.Registry) { t.metrics = g }
+
 // Send implements mpi.Transport. Delivery is synchronous, so local send
-// completion is immediate.
+// completion is immediate and both sides of the transfer are accounted here.
 func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) {
 	if t.w == nil {
 		panic("shm: transport not bound to a world")
+	}
+	if t.metrics != nil {
+		n := m.Buf.Len()
+		t.metrics.Rank(m.Src).MsgSent(n)
+		t.metrics.Rank(m.Dst).MsgRecv(n)
 	}
 	if m.OnInjected != nil {
 		m.OnInjected()

@@ -5,6 +5,7 @@ package simtr
 
 import (
 	"encmpi/internal/mpi"
+	"encmpi/internal/obs"
 	"encmpi/internal/sched"
 	"encmpi/internal/sim"
 	"encmpi/internal/simnet"
@@ -12,7 +13,8 @@ import (
 
 // Transport routes MPI messages over a simnet.Fabric.
 type Transport struct {
-	fab *simnet.Fabric
+	fab     *simnet.Fabric
+	metrics *obs.Registry
 }
 
 // New wraps the fabric; Bind must be called before communication starts.
@@ -20,9 +22,16 @@ func New(fab *simnet.Fabric) *Transport {
 	return &Transport{fab: fab}
 }
 
+// SetMetrics installs a metrics registry; nil disables accounting. Call it
+// before the simulation starts.
+func (t *Transport) SetMetrics(g *obs.Registry) { t.metrics = g }
+
 // Bind installs the world's Deliver as the fabric arrival callback.
 func (t *Transport) Bind(w *mpi.World) {
 	t.fab.SetDelivery(func(pkt simnet.Packet) {
+		if t.metrics != nil {
+			t.metrics.Rank(pkt.Dst).MsgRecv(pkt.Size)
+		}
 		w.Deliver(pkt.Payload.(*mpi.Msg))
 	})
 }
@@ -45,6 +54,9 @@ func (t *Transport) Send(from sched.Proc, m *mpi.Msg) {
 	var sender simnet.Sender
 	if sp, ok := from.(*sim.Proc); ok {
 		sender = sp
+	}
+	if t.metrics != nil {
+		t.metrics.Rank(m.Src).MsgSent(t.wireSize(m))
 	}
 	t.fab.Send(simnet.Packet{
 		Src: m.Src, Dst: m.Dst, Size: t.wireSize(m),

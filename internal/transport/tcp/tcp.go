@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"encmpi/internal/mpi"
+	"encmpi/internal/obs"
 	"encmpi/internal/sched"
 )
 
@@ -38,8 +39,9 @@ const maxFramePayload = 1 << 30
 
 // Transport is a full mesh of loopback connections among n in-process ranks.
 type Transport struct {
-	n int
-	w *mpi.World
+	n       int
+	w       *mpi.World
+	metrics *obs.Registry
 
 	// conns[i][j] is the connection rank i writes to reach rank j.
 	conns [][]net.Conn
@@ -100,6 +102,10 @@ func New(n int) (*Transport, error) {
 	return t, nil
 }
 
+// SetMetrics installs a metrics registry; nil disables accounting. Call it
+// before Bind so the readers never race the installation.
+func (t *Transport) SetMetrics(g *obs.Registry) { t.metrics = g }
+
 // Bind attaches the world and starts one reader per connection end.
 func (t *Transport) Bind(w *mpi.World) {
 	t.w = w
@@ -134,7 +140,9 @@ func (t *Transport) readLoop(conn net.Conn) {
 		}
 		buflen := int(int64(binary.BigEndian.Uint64(hdr[40:])))
 		if buflen < 0 || buflen > maxFramePayload {
-			return // poisoned stream: no sane frame can follow
+			// Poisoned stream: no sane frame can follow.
+			t.metrics.FrameError()
+			return
 		}
 		if buflen > 0 {
 			data := make([]byte, buflen)
@@ -142,6 +150,12 @@ func (t *Transport) readLoop(conn net.Conn) {
 				return
 			}
 			m.Buf = mpi.Bytes(data)
+		}
+		if t.metrics != nil && m.Dst >= 0 && m.Dst < t.n {
+			// Receive accounting happens only for in-range destinations; a
+			// hostile Dst must not grow the registry (Deliver will count the
+			// message as an unattributed stray).
+			t.metrics.Rank(m.Dst).MsgRecv(buflen)
 		}
 		t.w.Deliver(m)
 	}
@@ -152,6 +166,11 @@ func (t *Transport) readLoop(conn net.Conn) {
 func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) {
 	if m.Src == m.Dst {
 		// Self-sends short-circuit; TCP mesh has no loopback-to-self conn.
+		if t.metrics != nil {
+			n := m.Buf.Len()
+			t.metrics.Rank(m.Src).MsgSent(n)
+			t.metrics.Rank(m.Dst).MsgRecv(n)
+		}
 		if m.OnInjected != nil {
 			m.OnInjected()
 		}
@@ -185,6 +204,9 @@ func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) {
 	mu.Lock()
 	_, err := conn.Write(frame)
 	mu.Unlock()
+	if err == nil && t.metrics != nil {
+		t.metrics.Rank(m.Src).MsgSent(buf.Len())
+	}
 	if err == nil && m.OnInjected != nil {
 		// The kernel accepted the whole frame: local completion.
 		m.OnInjected()

@@ -1,0 +1,66 @@
+package encmpi
+
+import (
+	"fmt"
+	"io"
+
+	"encmpi/internal/obs"
+	"encmpi/internal/trace"
+)
+
+// Observability types. A Registry is created once per job (or once per rank
+// process), passed to a launcher via WithMetrics, and snapshotted after the
+// run; snapshots from different ranks or repetitions merge losslessly.
+type (
+	// Registry is a per-rank metrics registry: transport traffic, MPI op
+	// counts and wait time, and crypto accounting. All recording paths are
+	// concurrency-safe; a nil *Registry disables recording everywhere.
+	Registry = obs.Registry
+	// RankMetrics is one rank's slot in a Registry.
+	RankMetrics = obs.Rank
+
+	// MetricsSnapshot is a consistent point-in-time copy of a Registry.
+	MetricsSnapshot = obs.Snapshot
+	// RankSnapshot is one rank's portion of a MetricsSnapshot.
+	RankSnapshot = obs.RankSnapshot
+	// TransportSnapshot counts a rank's wire traffic.
+	TransportSnapshot = obs.TransportSnapshot
+	// CryptoSnapshot counts a rank's seal/open work.
+	CryptoSnapshot = obs.CryptoSnapshot
+	// HistSnapshot is a power-of-two-bucketed latency or size histogram.
+	HistSnapshot = obs.HistSnapshot
+
+	// TraceCollector accumulates simulated-fabric transfer events
+	// (attach with WithTrace on RunSim).
+	TraceCollector = trace.Collector
+)
+
+// NewRegistry creates a metrics registry sized for n ranks. The registry
+// grows on demand, so n is a hint, not a limit.
+func NewRegistry(n int) *Registry { return obs.NewRegistry(n) }
+
+// MergeSnapshots combines two snapshots rank-by-rank: counters add, and the
+// merged totals are recomputed. Use it to combine per-process registries
+// into one job-wide view.
+func MergeSnapshots(a, b MetricsSnapshot) MetricsSnapshot { return obs.Merge(a, b) }
+
+// WriteSnapshot renders a snapshot to w in the given format: "text" (the
+// human digest table), "json", or "prom" (Prometheus text exposition 0.0.4).
+func WriteSnapshot(w io.Writer, s MetricsSnapshot, format string) error {
+	switch format {
+	case "text", "":
+		_, err := io.WriteString(w, s.Digest())
+		return err
+	case "json":
+		b, err := s.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(b)
+		return err
+	case "prom", "prometheus":
+		return s.WritePrometheus(w)
+	default:
+		return fmt.Errorf("encmpi: unknown snapshot format %q (want text, json, or prom)", format)
+	}
+}

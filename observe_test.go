@@ -1,0 +1,258 @@
+package encmpi_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"encmpi"
+)
+
+// runObservedExchange runs a 2-rank encrypted workload — point-to-point both
+// ways plus an alltoall — under the given launcher with a fresh registry,
+// and returns the snapshot.
+func runObservedExchange(t *testing.T, run func(n int, body func(c *encmpi.Comm), opts ...encmpi.Option) error) encmpi.MetricsSnapshot {
+	t.Helper()
+	key := bytes.Repeat([]byte{9}, 32)
+	reg := encmpi.NewRegistry(2)
+	err := run(2, func(c *encmpi.Comm) {
+		codec, err := encmpi.NewCodec("aesstd", key)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e := encmpi.Encrypt(c, codec, uint32(c.Rank()))
+		peer := 1 - c.Rank()
+		msg := bytes.Repeat([]byte{byte(c.Rank() + 1)}, 300)
+		if c.Rank() == 0 {
+			e.Send(peer, 0, encmpi.Bytes(msg))
+			if _, _, err := e.Recv(peer, 0); err != nil {
+				t.Error(err)
+			}
+		} else {
+			if _, _, err := e.Recv(peer, 0); err != nil {
+				t.Error(err)
+			}
+			e.Send(peer, 0, encmpi.Bytes(msg))
+		}
+		blocks := make([]encmpi.Buffer, 2)
+		for d := range blocks {
+			blocks[d] = encmpi.Bytes(bytes.Repeat([]byte{byte(d)}, 64))
+		}
+		if _, err := e.Alltoall(blocks); err != nil {
+			t.Error(err)
+		}
+	}, encmpi.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg.Snapshot()
+}
+
+// checkInvariants asserts the cross-layer accounting properties every
+// observed encrypted run must satisfy.
+func checkInvariants(t *testing.T, snap encmpi.MetricsSnapshot) { checkInvariantsN(t, snap, 1) }
+
+// checkInvariantsN is checkInvariants for a snapshot covering `runs` merged
+// exchanges.
+func checkInvariantsN(t *testing.T, snap encmpi.MetricsSnapshot, runs uint64) {
+	t.Helper()
+	if len(snap.Ranks) != 2 {
+		t.Fatalf("got %d ranks, want 2", len(snap.Ranks))
+	}
+
+	// The Total row is the exact sum of the per-rank rows.
+	var msgsSent, bytesSent, seals, opens, plainSealed, wireSealed uint64
+	for _, r := range snap.Ranks {
+		msgsSent += r.Transport.MsgsSent
+		bytesSent += r.Transport.BytesSent
+		seals += r.Crypto.Seals
+		opens += r.Crypto.Opens
+		plainSealed += r.Crypto.PlainSealed
+		wireSealed += r.Crypto.WireSealed
+	}
+	if snap.Total.Transport.MsgsSent != msgsSent {
+		t.Errorf("total msgs sent %d != rank sum %d", snap.Total.Transport.MsgsSent, msgsSent)
+	}
+	if snap.Total.Transport.BytesSent != bytesSent {
+		t.Errorf("total bytes sent %d != rank sum %d", snap.Total.Transport.BytesSent, bytesSent)
+	}
+	if snap.Total.Crypto.Seals != seals || snap.Total.Crypto.Opens != opens {
+		t.Errorf("total seals/opens %d/%d != rank sums %d/%d",
+			snap.Total.Crypto.Seals, snap.Total.Crypto.Opens, seals, opens)
+	}
+
+	// In a closed 2-rank world everything sent is received, and every seal
+	// has a matching open.
+	if snap.Total.Transport.MsgsSent != snap.Total.Transport.MsgsRecv {
+		t.Errorf("msgs sent %d != msgs recv %d",
+			snap.Total.Transport.MsgsSent, snap.Total.Transport.MsgsRecv)
+	}
+	if seals == 0 {
+		t.Fatal("no seals recorded")
+	}
+	if seals != opens {
+		t.Errorf("seals %d != opens %d", seals, opens)
+	}
+
+	// AES-GCM byte accounting: wire = plain + 28 per sealed message, exactly.
+	if wireSealed != plainSealed+seals*encmpi.Overhead {
+		t.Errorf("wire %d != plain %d + %d*%d", wireSealed, plainSealed, seals, encmpi.Overhead)
+	}
+	if err := snap.CheckByteAccounting(encmpi.Overhead); err != nil {
+		t.Errorf("CheckByteAccounting: %v", err)
+	}
+
+	// Crypto time was measured.
+	if snap.Total.Crypto.SealNanos <= 0 || snap.Total.Crypto.OpenNanos <= 0 {
+		t.Errorf("crypto time not recorded: seal %d ns, open %d ns",
+			snap.Total.Crypto.SealNanos, snap.Total.Crypto.OpenNanos)
+	}
+
+	// Per-routine op counts: both ranks did 1 isend+wait pair (Send is
+	// isend+wait) and an alltoall each, and posted receives.
+	for _, r := range snap.Ranks {
+		if r.Ops["isend"] == 0 || r.Ops["irecv"] == 0 || r.Ops["wait"] == 0 {
+			t.Errorf("rank %d: missing p2p ops: %v", r.Rank, r.Ops)
+		}
+		if r.Ops["alltoall"] != runs {
+			t.Errorf("rank %d: alltoall count %d, want %d", r.Rank, r.Ops["alltoall"], runs)
+		}
+	}
+}
+
+func TestObservedRunShm(t *testing.T) {
+	checkInvariants(t, runObservedExchange(t, encmpi.RunShm))
+}
+
+func TestObservedRunTCP(t *testing.T) {
+	checkInvariants(t, runObservedExchange(t, encmpi.RunTCP))
+}
+
+// TestMergedSnapshotAcrossTransports merges the shm and tcp snapshots and
+// checks the merge is a pure rank-wise sum.
+func TestMergedSnapshotAcrossTransports(t *testing.T) {
+	a := runObservedExchange(t, encmpi.RunShm)
+	b := runObservedExchange(t, encmpi.RunTCP)
+	m := encmpi.MergeSnapshots(a, b)
+	checkInvariantsN(t, m, 2)
+	if got, want := m.Total.Crypto.Seals, a.Total.Crypto.Seals+b.Total.Crypto.Seals; got != want {
+		t.Errorf("merged seals %d, want %d", got, want)
+	}
+	if got, want := m.Total.Transport.BytesSent, a.Total.Transport.BytesSent+b.Total.Transport.BytesSent; got != want {
+		t.Errorf("merged bytes %d, want %d", got, want)
+	}
+}
+
+// TestWithFaultsAuthFailureAccounting corrupts ciphertexts in flight and
+// checks that the injected faults and the resulting authentication failures
+// both land in the registry.
+func TestWithFaultsAuthFailureAccounting(t *testing.T) {
+	key := bytes.Repeat([]byte{3}, 32)
+	reg := encmpi.NewRegistry(2)
+	err := encmpi.RunShm(2, func(c *encmpi.Comm) {
+		codec, err := encmpi.NewCodec("aesstd", key)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e := encmpi.Encrypt(c, codec, uint32(c.Rank()))
+		if c.Rank() == 0 {
+			e.Send(1, 0, encmpi.Bytes(bytes.Repeat([]byte{1}, 256)))
+		} else {
+			if _, _, err := e.Recv(0, 0); err == nil {
+				t.Error("corrupted ciphertext was accepted")
+			}
+		}
+	},
+		encmpi.WithMetrics(reg),
+		encmpi.WithFaults(encmpi.FaultConfig{Mode: encmpi.FaultCorrupt}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.FaultsInjected == 0 {
+		t.Error("no faults counted")
+	}
+	if snap.Total.Crypto.AuthFailures == 0 {
+		t.Error("no auth failures counted")
+	}
+	// The receiver (rank 1) owns the failure.
+	if snap.Ranks[1].Crypto.AuthFailures == 0 {
+		t.Error("auth failure not attributed to rank 1")
+	}
+}
+
+// TestSnapshotExports sanity-checks the three export formats through the
+// facade.
+func TestSnapshotExports(t *testing.T) {
+	snap := runObservedExchange(t, encmpi.RunShm)
+
+	var text, js, prom strings.Builder
+	if err := encmpi.WriteSnapshot(&text, snap, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "total") {
+		t.Errorf("digest missing total row:\n%s", text.String())
+	}
+	if err := encmpi.WriteSnapshot(&js, snap, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var decoded encmpi.MetricsSnapshot
+	if err := json.Unmarshal([]byte(js.String()), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if decoded.Total.Crypto.Seals != snap.Total.Crypto.Seals {
+		t.Errorf("JSON round-trip lost seals: %d != %d",
+			decoded.Total.Crypto.Seals, snap.Total.Crypto.Seals)
+	}
+	if err := encmpi.WriteSnapshot(&prom, snap, "prom"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "encmpi_crypto_seals_total") {
+		t.Errorf("prometheus output missing crypto metric:\n%s", prom.String()[:200])
+	}
+	if err := encmpi.WriteSnapshot(&text, snap, "bogus"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+// TestEngineSpecFacade exercises NewEngine and EngineFactoryFor through the
+// facade, including the error paths.
+func TestEngineSpecFacade(t *testing.T) {
+	key := bytes.Repeat([]byte{5}, 32)
+	if _, err := encmpi.NewEngine(encmpi.EngineSpec{Kind: "bogus"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := encmpi.NewEngine(encmpi.EngineSpec{Kind: "real", Codec: "nope", Key: key}); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if _, err := encmpi.EngineFactoryFor(encmpi.EngineSpec{Kind: "model", Library: "nope"}); err == nil {
+		t.Error("bad spec not rejected eagerly")
+	}
+
+	mk, err := encmpi.EngineFactoryFor(encmpi.EngineSpec{Kind: "real", Codec: "aesstd", Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-rank factories must produce working engines under a shared key:
+	// run a real encrypted exchange built from the spec.
+	err = encmpi.RunShm(2, func(c *encmpi.Comm) {
+		e := encmpi.EncryptWith(c, mk(c.Rank()))
+		if c.Rank() == 0 {
+			e.Send(1, 0, encmpi.Bytes([]byte("spec-built engine")))
+		} else {
+			buf, _, err := e.Recv(0, 0)
+			if err != nil {
+				t.Errorf("decrypt: %v", err)
+			} else if string(buf.Data) != "spec-built engine" {
+				t.Errorf("got %q", buf.Data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

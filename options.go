@@ -1,0 +1,89 @@
+package encmpi
+
+import (
+	"encmpi/internal/job"
+	"encmpi/internal/obs"
+	"encmpi/internal/simnet"
+	"encmpi/internal/trace"
+	"encmpi/internal/transport/faulty"
+)
+
+// Option configures a launcher (RunShm, RunTCP, RunSim) or an encrypted
+// communicator (Encrypt, EncryptWith). Options make the runtime's hooks —
+// metrics, tracing, fault injection — first-class API instead of internal
+// back-doors; omitting them costs nothing and keeps the zero-option
+// signatures of earlier releases working unchanged.
+type Option func(*config)
+
+// config accumulates applied options.
+type config struct {
+	metrics *obs.Registry
+	trace   *trace.Collector
+	fault   *faulty.Options
+}
+
+// apply folds a variadic option list.
+func buildConfig(opts []Option) config {
+	var cfg config
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// jobOptions translates the facade config into launcher options.
+func (c config) jobOptions() job.Options {
+	o := job.Options{Metrics: c.metrics, Fault: c.fault}
+	if c.trace != nil {
+		col := c.trace
+		o.ConfigureFabric = func(f *simnet.Fabric) { f.Trace = col.Record }
+	}
+	return o
+}
+
+// WithMetrics threads a metrics registry through the whole run: the
+// transport (messages and bytes), the MPI core (op counts, wait time,
+// strays), and — for communicators wrapped inside the job body — the crypto
+// engines (seal/open counts, plaintext vs. wire bytes, crypto nanoseconds,
+// auth failures). Snapshot the registry after the run completes.
+func WithMetrics(g *Registry) Option {
+	return func(c *config) { c.metrics = g }
+}
+
+// WithTrace attaches a transfer-event collector to the simulated fabric
+// (RunSim only; the real transports have no event timeline — use
+// WithMetrics for those). The collector is usable once the run returns.
+func WithTrace(col *TraceCollector) Option {
+	return func(c *config) { c.trace = col }
+}
+
+// WithFaults interposes the wire-fault adversary between the MPI core and
+// the transport: corruption, drops, truncation, extension, replay,
+// reordering, or duplication, per the FaultConfig. Applied faults are
+// counted in the metrics registry when one is also installed.
+func WithFaults(fc FaultConfig) Option {
+	return func(c *config) {
+		f := fc
+		c.fault = &f
+	}
+}
+
+// FaultConfig declares a wire-fault plan for WithFaults.
+type FaultConfig = faulty.Options
+
+// FaultMode selects the injected fault of a FaultConfig.
+type FaultMode = faulty.Mode
+
+// The fault modes.
+const (
+	FaultNone      FaultMode = faulty.None
+	FaultCorrupt   FaultMode = faulty.Corrupt
+	FaultDrop      FaultMode = faulty.Drop
+	FaultTruncate  FaultMode = faulty.Truncate
+	FaultExtend    FaultMode = faulty.Extend
+	FaultReplay    FaultMode = faulty.Replay
+	FaultReorder   FaultMode = faulty.Reorder
+	FaultDuplicate FaultMode = faulty.DuplicateDelivery
+)

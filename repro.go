@@ -1,0 +1,96 @@
+package encmpi
+
+import (
+	"io"
+	"time"
+
+	"encmpi/internal/costmodel"
+	"encmpi/internal/harness"
+	"encmpi/internal/nas"
+)
+
+// NAS benchmark skeletons (paper §V).
+type (
+	// NASParams holds a kernel instance's geometry.
+	NASParams = nas.Params
+	// NASResult reports one simulated kernel run.
+	NASResult = nas.Result
+)
+
+// NASKernels lists the implemented kernels (bt, cg, ft, is, lu, mg, sp).
+func NASKernels() []string { return nas.Kernels() }
+
+// NASParamsFor returns the published geometry of a kernel class.
+func NASParamsFor(kernel string, class byte) (NASParams, error) {
+	return nas.ParamsFor(kernel, class)
+}
+
+// RunNASKernel runs a kernel's communication skeleton on an existing
+// encrypted communicator (e.g. inside a RunSim body).
+func RunNASKernel(e *EncryptedComm, p NASParams, computePerIter time.Duration) {
+	nas.RunKernel(e, p, computePerIter)
+}
+
+// RunNAS launches a kernel on the simulated cluster with one engine per
+// rank.
+func RunNAS(kernel string, class byte, ranks, nodes int, cfg NetConfig,
+	mk EngineFactory, computePerIter time.Duration) (NASResult, error) {
+	return nas.Run(kernel, class, ranks, nodes, cfg, mk, computePerIter)
+}
+
+// NASCalibrate derives a kernel's per-iteration compute budget from a
+// target wall time (the paper's Ethernet baselines are the canonical
+// targets; see NASEthBaselineSeconds).
+func NASCalibrate(kernel string, class byte, ranks, nodes int, cfg NetConfig, targetSeconds float64) (time.Duration, error) {
+	return nas.Calibrate(kernel, class, ranks, nodes, cfg, targetSeconds)
+}
+
+// NASEthBaselineSeconds returns the paper's Table IV unencrypted Ethernet
+// baselines, keyed by kernel name.
+func NASEthBaselineSeconds() map[string]float64 { return nas.EthBaselineSeconds }
+
+// NASIBBaselineSeconds returns the paper's InfiniBand baselines, keyed by
+// kernel name.
+func NASIBBaselineSeconds() map[string]float64 { return nas.IBBaselineSeconds }
+
+// Reproduction harness: one runnable experiment per table/figure of the
+// paper's evaluation.
+type (
+	// ReproOptions tunes a harness run.
+	ReproOptions = harness.Options
+	// Experiment is one regenerable paper artifact.
+	Experiment = harness.Experiment
+)
+
+// Experiments lists every regenerable paper artifact.
+func Experiments() []Experiment { return harness.Experiments() }
+
+// LookupExperiment finds an experiment by ID (e.g. "table1", "fig4").
+func LookupExperiment(id string) (Experiment, error) { return harness.Lookup(id) }
+
+// RunAllExperiments regenerates every table and figure, writing the report
+// to w.
+func RunAllExperiments(o ReproOptions, w io.Writer) error { return harness.RunAll(o, w) }
+
+// Calibrated library cost models (paper Figs. 2 and 9).
+type (
+	// LibraryProfile is a calibrated per-library performance curve.
+	LibraryProfile = costmodel.Profile
+	// LibraryVariant selects the compile toolchain of a profile.
+	LibraryVariant = costmodel.Variant
+)
+
+// The two toolchain variants the paper reports.
+const (
+	GCC485  LibraryVariant = costmodel.GCC485
+	MVAPICH LibraryVariant = costmodel.MVAPICH
+)
+
+// Libraries lists the modeled cryptographic libraries.
+func Libraries() []string { return costmodel.Libraries() }
+
+// LookupLibrary returns the calibrated profile for a library, variant, and
+// key length.
+func LookupLibrary(library string, v LibraryVariant, keyBits int) (LibraryProfile, error) {
+	return costmodel.Lookup(library, v, keyBits)
+}

@@ -25,6 +25,18 @@ fuzz() {
 	go test "$pkg" -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME"
 }
 
+echo "== stats smoke (encrypted ping-pong byte accounting)"
+# A 2-rank encrypted ping-pong with -stats must report per-rank crypto
+# accounting whose merged totals satisfy wire == plain + msgs*28 exactly;
+# the command exits non-zero if the invariant fails, and we also assert
+# the confirmation line so a silently missing check cannot pass.
+out="$(go run ./cmd/pingpong -small -lib boringssl -iters 5 -stats)"
+echo "$out" | grep -q "byte accounting OK" || {
+	echo "stats smoke failed: no byte-accounting confirmation in output:"
+	echo "$out"
+	exit 1
+}
+
 fuzz ./internal/aead FuzzDecryptMessage
 fuzz ./internal/aead/gcm FuzzOpenRejectsGarbage
 fuzz ./internal/encmpi FuzzParallelOpen
