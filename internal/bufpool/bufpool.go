@@ -1,0 +1,162 @@
+// Package bufpool is the zero-copy buffer subsystem of the hot send/receive
+// path: size-classed sync.Pools handing out ref-counted leases. The paper's
+// throughput analysis shows encrypted-MPI performance is gated by per-message
+// CPU cost, and a large slice of that cost on this runtime was allocator and
+// GC churn — a fresh frame buffer per TCP send, a fresh payload buffer per
+// frame read, and a fresh wire buffer per Seal/Open. With leases those
+// buffers cycle through fixed pools instead.
+//
+// Ownership model (see DESIGN.md §9 for the system-wide invariants):
+//
+//   - Get returns a Lease with one reference, owned by the caller.
+//   - Every party that stores the buffer beyond the current call must
+//     Retain it, and must Release exactly once when done.
+//   - When the count reaches zero the buffer returns to its pool; a missing
+//     Release degrades to garbage collection (safe), a double Release is a
+//     programming error and panics (corruption would otherwise follow).
+//
+// Buffers come back from the pool dirty: callers that expose bytes they did
+// not write (synthetic-payload materialization) must clear them first.
+package bufpool
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// minClassBits/maxClassBits bound the pooled size classes: 512 B … 64 MiB in
+// powers of two. Requests above the largest class are served by plain
+// allocation (the lease still works; Release drops the buffer to the GC).
+const (
+	minClassBits = 9
+	maxClassBits = 26
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// Lease is a ref-counted loan of a pooled buffer. The zero reference count
+// marks a lease that has been returned; using it again is a bug that the
+// methods detect and panic on rather than silently corrupting the next
+// borrower.
+type Lease struct {
+	buf  []byte
+	pool *sync.Pool // nil for oversize (unpooled) leases
+	refs atomic.Int32
+}
+
+// Bytes returns the full capacity of the leased buffer (at least the length
+// passed to Get). Contents are undefined until written.
+func (l *Lease) Bytes() []byte {
+	if l == nil {
+		return nil
+	}
+	return l.buf
+}
+
+// Retain adds a reference. It must only be called while the caller already
+// holds a live reference (refs ≥ 1); retaining a freed lease panics.
+func (l *Lease) Retain() {
+	if l == nil {
+		return
+	}
+	for {
+		r := l.refs.Load()
+		if r <= 0 {
+			panic("bufpool: Retain on a released lease")
+		}
+		if l.refs.CompareAndSwap(r, r+1) {
+			return
+		}
+	}
+}
+
+// Release drops one reference; at zero the buffer returns to its pool.
+// Releasing more times than Retain+Get granted panics: an extra Release is
+// the precursor of cross-message buffer corruption and must surface loudly.
+func (l *Lease) Release() {
+	if l == nil {
+		return
+	}
+	switch r := l.refs.Add(-1); {
+	case r > 0:
+		return
+	case r < 0:
+		panic("bufpool: Release of a lease with no outstanding references")
+	}
+	stats.puts.Add(1)
+	if l.pool != nil {
+		l.pool.Put(l)
+	}
+}
+
+// Refs reports the current reference count (for tests and invariant checks).
+func (l *Lease) Refs() int {
+	if l == nil {
+		return 0
+	}
+	return int(l.refs.Load())
+}
+
+// classPools holds one sync.Pool per size class; entries are *Lease whose
+// buf capacity is exactly the class size.
+var classPools [numClasses]sync.Pool
+
+// classOf maps a requested length to a class index, or -1 for oversize.
+func classOf(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if b > maxClassBits {
+		return -1
+	}
+	return b - minClassBits
+}
+
+// Get leases a buffer with capacity ≥ n and one reference. n must be ≥ 0.
+func Get(n int) *Lease {
+	if n < 0 {
+		panic(fmt.Sprintf("bufpool: Get(%d)", n))
+	}
+	stats.gets.Add(1)
+	class := classOf(n)
+	if class < 0 {
+		stats.news.Add(1)
+		l := &Lease{buf: make([]byte, n)}
+		l.refs.Store(1)
+		return l
+	}
+	pool := &classPools[class]
+	if v := pool.Get(); v != nil {
+		l := v.(*Lease)
+		l.refs.Store(1)
+		return l
+	}
+	stats.news.Add(1)
+	l := &Lease{buf: make([]byte, 1<<(class+minClassBits)), pool: pool}
+	l.refs.Store(1)
+	return l
+}
+
+// PoolStats counts pool traffic since process start. News ≪ Gets on a warm
+// pool is the recycling working; Puts lag Gets by the leases currently live
+// (or abandoned to the GC).
+type PoolStats struct {
+	Gets uint64 // leases handed out
+	Puts uint64 // leases returned to a pool (or dropped, when oversize)
+	News uint64 // Gets that had to allocate
+}
+
+var stats struct {
+	gets, puts, news atomic.Uint64
+}
+
+// Stats returns a snapshot of the pool counters.
+func Stats() PoolStats {
+	return PoolStats{
+		Gets: stats.gets.Load(),
+		Puts: stats.puts.Load(),
+		News: stats.news.Load(),
+	}
+}

@@ -94,17 +94,26 @@ type Request struct {
 	isRecv bool
 }
 
-// Send is Encrypted_Send: seal, then send the wire message.
-func (e *Comm) Send(dst, tag int, buf mpi.Buffer) {
+// Send is Encrypted_Send: seal, then send the wire message. A non-nil error
+// matches mpi.ErrTransport and means the ciphertext never left this rank
+// cleanly. The sealed wire buffer is pooled; its lease is dropped here once
+// the blocking send has injected the bytes.
+func (e *Comm) Send(dst, tag int, buf mpi.Buffer) error {
 	wire := e.seal(buf)
-	e.c.Send(dst, tag, wire)
+	err := e.c.Send(dst, tag, wire)
+	wire.Release()
+	return err
 }
 
 // Isend is Encrypted_Isend. Encryption happens eagerly (the payload must be
 // captured before the caller reuses its buffer); injection is non-blocking.
+// The sealed wire buffer's pool lease is dropped when the send completes
+// (inside Wait), the first point the transport is guaranteed done with it.
 func (e *Comm) Isend(dst, tag int, buf mpi.Buffer) *Request {
 	wire := e.seal(buf)
-	return &Request{inner: e.c.Isend(dst, tag, wire)}
+	inner := e.c.Isend(dst, tag, wire)
+	inner.SetOnComplete(func(*mpi.Request) { wire.Release() })
+	return &Request{inner: inner}
 }
 
 // Irecv is Encrypted_Irecv: it posts the receive for the wire-format message
@@ -113,12 +122,27 @@ func (e *Comm) Isend(dst, tag int, buf mpi.Buffer) *Request {
 func (e *Comm) Irecv(src, tag int) *Request {
 	req := &Request{inner: e.c.Irecv(src, tag), isRecv: true}
 	req.inner.SetOnComplete(func(r *mpi.Request) {
-		plain, err := e.open(r.BufferOf())
+		if terr := r.Err(); terr != nil {
+			// The receive itself failed; there is no wire buffer to decrypt.
+			req.err = terr
+			return
+		}
+		wire := r.BufferOf()
+		plain, err := e.open(wire)
 		if err != nil {
 			req.err = err
+			r.SetBuffer(mpi.Buffer{})
+			wire.Release()
 			return
 		}
 		r.SetBuffer(plain)
+		if !plain.SharesStorage(wire) {
+			// The engine produced fresh plaintext storage: the request's
+			// reference on the wire ciphertext is the last one — recycle it.
+			// Engines that return the wire's own storage (NullEngine, the
+			// model engine's prefix) keep the lease alive through plain.
+			wire.Release()
+		}
 	})
 	return req
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"encmpi/internal/aead"
+	"encmpi/internal/bufpool"
 	"encmpi/internal/costmodel"
 	"encmpi/internal/mpi"
 	"encmpi/internal/sched"
@@ -59,6 +60,11 @@ func (NullEngine) Open(_ sched.Proc, wire mpi.Buffer) (mpi.Buffer, error) { retu
 type RealEngine struct {
 	codec aead.Codec
 	nonce aead.NonceSource
+
+	// NoPool disables the pooled wire/plaintext buffers, restoring the
+	// allocate-per-call behaviour. It exists for the allocation benchmarks'
+	// baseline; leave it false in production.
+	NoPool bool
 }
 
 // NewRealEngine builds a real engine.
@@ -73,29 +79,69 @@ func (e *RealEngine) Name() string { return e.codec.Name() }
 func (e *RealEngine) Overhead() int { return aead.Overhead }
 
 // Seal implements Engine. Synthetic buffers are materialized as zeros: real
-// cryptography needs real bytes, and the cost is then honestly paid.
+// cryptography needs real bytes, and the cost is then honestly paid. The wire
+// buffer (and the zeroed scratch for synthetic inputs) is drawn from the
+// buffer pool; the returned buffer carries one lease reference owned by the
+// caller, released once the transport no longer needs the bytes.
 func (e *RealEngine) Seal(_ sched.Proc, plain mpi.Buffer) mpi.Buffer {
 	data := plain.Data
-	if plain.IsSynthetic() {
-		data = make([]byte, plain.Len())
+	var scratch *bufpool.Lease
+	if plain.IsSynthetic() && plain.Len() > 0 {
+		if e.NoPool {
+			data = make([]byte, plain.Len())
+		} else {
+			scratch = bufpool.Get(plain.Len())
+			data = scratch.Bytes()[:plain.Len()]
+			clear(data) // pooled storage is dirty; the model is all-zeros
+		}
 	}
-	wire, err := aead.EncryptMessage(e.codec, e.nonce, nil, data)
+	if e.NoPool {
+		wire, err := aead.EncryptMessage(e.codec, e.nonce, nil, data)
+		if err != nil {
+			panic(fmt.Sprintf("encmpi: nonce generation failed: %v", err))
+		}
+		return mpi.Bytes(wire)
+	}
+	lease := bufpool.Get(aead.WireLen(len(data)))
+	// EncryptMessage writes into the leased storage when its capacity covers
+	// the wire length (true for tag-exact codecs; a padding codec may outgrow
+	// it and reallocate, in which case the lease recycles unused — safe).
+	wire, err := aead.EncryptMessage(e.codec, e.nonce, lease.Bytes()[:0], data)
+	scratch.Release()
 	if err != nil {
+		lease.Release()
 		panic(fmt.Sprintf("encmpi: nonce generation failed: %v", err))
 	}
-	return mpi.Bytes(wire)
+	return mpi.BytesWithLease(wire, lease)
 }
 
-// Open implements Engine.
+// Open implements Engine. The plaintext buffer is drawn from the buffer pool;
+// the returned buffer carries one lease reference owned by the caller.
 func (e *RealEngine) Open(_ sched.Proc, wire mpi.Buffer) (mpi.Buffer, error) {
 	if wire.IsSynthetic() {
 		return mpi.Buffer{}, fmt.Errorf("encmpi: cannot decrypt a synthetic buffer with a real engine")
 	}
-	plain, err := aead.DecryptMessage(e.codec, nil, wire.Data)
+	if e.NoPool {
+		plain, err := aead.DecryptMessage(e.codec, nil, wire.Data)
+		if err != nil {
+			return mpi.Buffer{}, err
+		}
+		return mpi.Bytes(plain), nil
+	}
+	n, err := aead.PlainLen(wire.Len())
 	if err != nil {
 		return mpi.Buffer{}, err
 	}
-	return mpi.Bytes(plain), nil
+	lease := bufpool.Get(n)
+	// DecryptMessage opens into the leased storage when its capacity covers
+	// the plaintext (true for tag-exact codecs; others may reallocate, in
+	// which case the lease recycles unused — safe).
+	plain, err := aead.DecryptMessage(e.codec, lease.Bytes()[:0], wire.Data)
+	if err != nil {
+		lease.Release()
+		return mpi.Buffer{}, err
+	}
+	return mpi.BytesWithLease(plain, lease), nil
 }
 
 // ModelEngine charges calibrated virtual time for encryption and decryption
@@ -176,8 +222,7 @@ func (e *ModelEngine) Open(proc sched.Proc, wire mpi.Buffer) (mpi.Buffer, error)
 	if proc != nil {
 		proc.Advance(cost)
 	}
-	if wire.IsSynthetic() {
-		return mpi.Synthetic(n), nil
-	}
-	return mpi.Bytes(wire.Data[:n]), nil
+	// Prefix keeps the wire buffer's lease identity: a caller that would
+	// recycle the wire after Open can see the plaintext still aliases it.
+	return wire.Prefix(n), nil
 }

@@ -35,7 +35,7 @@ func FuzzParallelOpen(f *testing.F) {
 		wire := e.Seal(nil, mpi.Bytes(bytes.Repeat([]byte{0xA7}, n))).Data
 		f.Add(wire)
 		if len(wire) > 0 {
-			f.Add(wire[:len(wire)-1])          // truncated
+			f.Add(wire[:len(wire)-1])                       // truncated
 			f.Add(append(wire[:len(wire):len(wire)], 0x00)) // extended
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"encmpi/internal/aead"
+	"encmpi/internal/bufpool"
 	"encmpi/internal/mpi"
 	"encmpi/internal/sched"
 )
@@ -22,6 +23,11 @@ type ParallelEngine struct {
 	Workers int
 	// Chunk is the plaintext bytes per chunk.
 	Chunk int
+
+	// NoPool disables the pooled wire/plaintext buffers, restoring the
+	// allocate-per-call behaviour. It exists for the allocation benchmarks'
+	// baseline; leave it false in production.
+	NoPool bool
 }
 
 // DefaultParallelChunk balances parallelism grain against per-chunk
@@ -67,22 +73,40 @@ func (e *ParallelEngine) chunksOf(n int) int {
 // WireLen returns the on-wire size for an n-byte plaintext.
 func (e *ParallelEngine) WireLen(n int) int { return n + e.chunksOf(n)*aead.Overhead }
 
-// Seal implements Engine.
+// Seal implements Engine. The wire buffer (and the zeroed scratch for
+// synthetic inputs) is drawn from the buffer pool; the returned buffer
+// carries one lease reference owned by the caller.
 func (e *ParallelEngine) Seal(_ sched.Proc, plain mpi.Buffer) mpi.Buffer {
 	data := plain.Data
-	if plain.IsSynthetic() {
-		data = make([]byte, plain.Len())
+	var scratch *bufpool.Lease
+	if plain.IsSynthetic() && plain.Len() > 0 {
+		if e.NoPool {
+			data = make([]byte, plain.Len())
+		} else {
+			scratch = bufpool.Get(plain.Len())
+			data = scratch.Bytes()[:plain.Len()]
+			clear(data) // pooled storage is dirty; the model is all-zeros
+		}
 	}
 	n := len(data)
 	chunk := e.chunkSize()
 	chunks := e.chunksOf(n)
-	out := make([]byte, e.WireLen(n))
+	wireLen := e.WireLen(n)
+	var lease *bufpool.Lease
+	var out []byte
+	if e.NoPool {
+		out = make([]byte, wireLen)
+	} else {
+		lease = bufpool.Get(wireLen)
+		out = lease.Bytes()[:wireLen]
+	}
 
-	// Draw all nonces up front (the source is serialized anyway).
-	nonces := make([][]byte, chunks)
-	for i := range nonces {
-		nonces[i] = make([]byte, aead.NonceSize)
-		if err := e.nonce.Next(nonces[i]); err != nil {
+	// Draw all nonces up front, serially, straight into each chunk's wire
+	// span (the source is serialized anyway — no point paying a per-chunk
+	// nonce allocation to parallelize it).
+	for i := 0; i < chunks; i++ {
+		wlo := i*chunk + i*aead.Overhead
+		if err := e.nonce.Next(out[wlo : wlo+aead.NonceSize]); err != nil {
 			panic(fmt.Sprintf("encmpi: nonce generation: %v", err))
 		}
 	}
@@ -102,13 +126,21 @@ func (e *ParallelEngine) Seal(_ sched.Proc, plain mpi.Buffer) mpi.Buffer {
 				hi = n
 			}
 			wlo := lo + i*aead.Overhead
-			dst := out[wlo:wlo:cap(out)]
-			dst = append(dst, nonces[i]...)
-			e.codec.Seal(dst, nonces[i], data[lo:hi])
+			whi := hi + (i+1)*aead.Overhead
+			// The destination's capacity is clamped to this chunk's own wire
+			// span [wlo, whi): a codec that appends more than its declared
+			// overhead reallocates and fails loudly downstream instead of
+			// silently overwriting the next chunk's nonce and ciphertext.
+			nonce := out[wlo : wlo+aead.NonceSize]
+			e.codec.Seal(out[wlo+aead.NonceSize:wlo+aead.NonceSize:whi], nonce, data[lo:hi])
 		}()
 	}
 	wg.Wait()
-	return mpi.Bytes(out)
+	scratch.Release()
+	if lease == nil {
+		return mpi.Bytes(out)
+	}
+	return mpi.PooledBytes(lease, wireLen)
 }
 
 // Open implements Engine.
@@ -141,7 +173,14 @@ func (e *ParallelEngine) Open(_ sched.Proc, wire mpi.Buffer) (mpi.Buffer, error)
 			return mpi.Buffer{}, malformedf("parallel wire chunk %d spans [%d:%d) of a %d-byte wire", i, wlo, whi, len(w))
 		}
 	}
-	out := make([]byte, n)
+	var lease *bufpool.Lease
+	var out []byte
+	if e.NoPool {
+		out = make([]byte, n)
+	} else {
+		lease = bufpool.Get(n)
+		out = lease.Bytes()[:n]
+	}
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, e.Workers)
@@ -173,10 +212,14 @@ func (e *ParallelEngine) Open(_ sched.Proc, wire mpi.Buffer) (mpi.Buffer, error)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			lease.Release()
 			return mpi.Buffer{}, err
 		}
 	}
-	return mpi.Bytes(out), nil
+	if lease == nil {
+		return mpi.Bytes(out), nil
+	}
+	return mpi.PooledBytes(lease, n), nil
 }
 
 // plainLen inverts WireLen. Any wire length that no plaintext length maps

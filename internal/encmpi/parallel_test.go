@@ -2,6 +2,7 @@ package encmpi_test
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"encmpi/internal/aead"
@@ -110,4 +111,67 @@ func TestParallelMatchesSequentialBytes(t *testing.T) {
 	if !bytes.Equal(a.Data, b.Data) {
 		t.Error("worker count changed the wire format")
 	}
+}
+
+// overAppendCodec is a buggy codec that appends more bytes than the declared
+// aead.Overhead allows, recording the capacity of every destination slice it
+// is handed. It stands in for any Seal implementation whose output outgrows
+// its contract.
+type overAppendCodec struct {
+	mu   sync.Mutex
+	caps []int
+}
+
+func (c *overAppendCodec) Seal(dst, _, plaintext []byte) []byte {
+	c.mu.Lock()
+	c.caps = append(c.caps, cap(dst))
+	c.mu.Unlock()
+	out := append(dst, plaintext...)
+	// Declared tag is Overhead-NonceSize bytes; emit 8 bytes beyond it.
+	overflow := bytes.Repeat([]byte{0xEE}, aead.Overhead-aead.NonceSize+8)
+	return append(out, overflow...)
+}
+
+func (c *overAppendCodec) Open(dst, _, _ []byte) ([]byte, error) { return dst, nil }
+func (c *overAppendCodec) KeyBits() int                          { return 128 }
+func (c *overAppendCodec) Name() string                          { return "over-append" }
+
+// TestParallelSealChunkCapClamped pins the chunk-destination invariant: every
+// chunk's Seal destination is capacity-clamped to that chunk's own wire span,
+// so a codec that over-appends reallocates harmlessly instead of silently
+// overwriting the next chunk's nonce and ciphertext. (Before the clamp, the
+// destination's capacity ran to the end of the shared output buffer and the
+// overflow corrupted the neighbouring chunk.)
+func TestParallelSealChunkCapClamped(t *testing.T) {
+	const chunk = 1024
+	const chunks = 3
+	codec := &overAppendCodec{}
+	e := encmpi.NewParallelEngine(codec, aead.NewCounterNonce(0xA1), 1) // 1 worker: chunks run in order
+	e.Chunk = chunk
+	wire := e.Seal(nil, mpi.Bytes(make([]byte, chunks*chunk)))
+
+	if len(codec.caps) != chunks {
+		t.Fatalf("codec saw %d chunks, want %d", len(codec.caps), chunks)
+	}
+	wantCap := chunk + aead.Overhead - aead.NonceSize
+	for i, c := range codec.caps {
+		if c != wantCap {
+			t.Errorf("chunk %d: Seal dst cap %d, want %d (own wire span only)", i, c, wantCap)
+		}
+	}
+
+	// Every chunk's nonce must still be the counter source's value: the
+	// neighbour's overflow must not have bled into it.
+	src := aead.NewCounterNonce(0xA1)
+	want := make([]byte, aead.NonceSize)
+	for i := 0; i < chunks; i++ {
+		if err := src.Next(want); err != nil {
+			t.Fatal(err)
+		}
+		wlo := i*chunk + i*aead.Overhead
+		if !bytes.Equal(wire.Data[wlo:wlo+aead.NonceSize], want) {
+			t.Errorf("chunk %d nonce overwritten by neighbouring chunk's overflow", i)
+		}
+	}
+	wire.Release()
 }

@@ -35,7 +35,9 @@ func (e *Comm) SendPipelined(dst, tag int, buf mpi.Buffer, chunk int) error {
 	// Announce the total length so the receiver can size its chunk loop.
 	// The header carries real bytes even for synthetic payloads: the
 	// simulator forwards message contents verbatim, only modeling time.
-	e.Send(dst, tag, mpi.Bytes(encodeLen(n)))
+	if err := e.Send(dst, tag, mpi.Bytes(encodeLen(n))); err != nil {
+		return err
+	}
 
 	var pending []*Request
 	for off := 0; off < n; off += chunk {
@@ -66,6 +68,7 @@ func (e *Comm) RecvPipelined(src, tag int, chunk int) (mpi.Buffer, error) {
 		return mpi.Buffer{}, malformedf("pipelined length header carries no bytes")
 	}
 	total, err := decodeLen(hdr.Data)
+	hdr.Release()
 	if err != nil {
 		return mpi.Buffer{}, err
 	}
@@ -90,6 +93,9 @@ func (e *Comm) RecvPipelined(src, tag int, chunk int) (mpi.Buffer, error) {
 			synthetic = true
 		} else {
 			out = append(out, buf.Data...)
+			// The chunk's pool lease (ours via the decrypt hook) is spent
+			// once its bytes are copied into the assembled message.
+			buf.Release()
 		}
 	}
 	if got != total {

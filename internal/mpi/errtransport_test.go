@@ -1,0 +1,94 @@
+package mpi_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"encmpi/internal/mpi"
+	"encmpi/internal/sched"
+	"encmpi/internal/transport/shm"
+)
+
+// failingTransport forwards to an inner transport except for the message
+// kinds it is told to fail, for which it returns a synthetic wire error —
+// the unit-level stand-in for a dead socket.
+type failingTransport struct {
+	inner mpi.Transport
+	fail  map[mpi.Kind]bool
+}
+
+func (f *failingTransport) Send(from sched.Proc, m *mpi.Msg) error {
+	if f.fail[m.Kind] {
+		return fmt.Errorf("synthetic %v wire failure", m.Kind)
+	}
+	return f.inner.Send(from, m)
+}
+
+// TestErrTransportSurfaced drives each protocol message kind through a
+// failing wire and checks the failure lands on the right request as
+// ErrTransport instead of a panic or a hang.
+func TestErrTransportSurfaced(t *testing.T) {
+	newPair := func(fail map[mpi.Kind]bool) (*mpi.Comm, *mpi.Comm) {
+		inner := shm.New()
+		ft := &failingTransport{inner: inner, fail: fail}
+		w := mpi.NewWorld(2, ft, 1<<10)
+		inner.Bind(w)
+		var g sched.Group
+		return w.AttachRank(0, g.Proc()), w.AttachRank(1, g.Proc())
+	}
+	big := make([]byte, 4<<10) // past the 1 KiB eager threshold: rendezvous
+
+	t.Run("eager send fails", func(t *testing.T) {
+		c0, _ := newPair(map[mpi.Kind]bool{mpi.KindEager: true})
+		if err := c0.Send(1, 1, mpi.Bytes([]byte("x"))); !errors.Is(err, mpi.ErrTransport) {
+			t.Fatalf("Send = %v, want ErrTransport", err)
+		}
+	})
+
+	t.Run("rts fails send request", func(t *testing.T) {
+		c0, _ := newPair(map[mpi.Kind]bool{mpi.KindRTS: true})
+		req := c0.Isend(1, 1, mpi.Bytes(big))
+		if err := c0.Waitall([]*mpi.Request{req}); !errors.Is(err, mpi.ErrTransport) {
+			t.Fatalf("Waitall = %v, want ErrTransport", err)
+		}
+	})
+
+	t.Run("cts failure fails the receive", func(t *testing.T) {
+		c0, c1 := newPair(map[mpi.Kind]bool{mpi.KindCTS: true})
+		// Post the receive first so the arriving RTS matches it and the CTS
+		// follow-up (which will fail) is attempted on the receiver's behalf.
+		rreq := c1.Irecv(0, 2)
+		c0.Isend(1, 2, mpi.Bytes(big))
+		c1.Wait(rreq)
+		if err := rreq.Err(); !errors.Is(err, mpi.ErrTransport) {
+			t.Fatalf("recv Err() = %v, want ErrTransport", err)
+		}
+	})
+
+	t.Run("data failure fails the send", func(t *testing.T) {
+		c0, c1 := newPair(map[mpi.Kind]bool{mpi.KindData: true})
+		rreq := c1.Irecv(0, 3)
+		sreq := c0.Isend(1, 3, mpi.Bytes(big))
+		c0.Wait(sreq)
+		if err := sreq.Err(); !errors.Is(err, mpi.ErrTransport) {
+			t.Fatalf("send Err() = %v, want ErrTransport", err)
+		}
+		_ = rreq // the receive legitimately never completes: its data is lost
+	})
+
+	t.Run("healthy wire stays nil", func(t *testing.T) {
+		c0, c1 := newPair(nil)
+		rreq := c1.Irecv(0, 4)
+		if err := c0.Send(1, 4, mpi.Bytes([]byte("ok"))); err != nil {
+			t.Fatalf("Send = %v", err)
+		}
+		buf, _ := c1.Wait(rreq)
+		if string(buf.Data) != "ok" {
+			t.Fatalf("payload %q", buf.Data)
+		}
+		if err := rreq.Err(); err != nil {
+			t.Fatalf("recv Err() = %v", err)
+		}
+	})
+}

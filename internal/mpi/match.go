@@ -96,6 +96,10 @@ func (w *World) Deliver(m *Msg) {
 
 	var followup *Msg
 	var wake sched.Proc
+	// failon, when non-nil, is the request to fail if sending followup
+	// errors: the rendezvous partner would otherwise park forever waiting
+	// for a handshake message that never left.
+	var failon *Request
 
 	st.mu.Lock()
 	switch m.Kind {
@@ -104,6 +108,10 @@ func (w *World) Deliver(m *Msg) {
 			req.completeRecvLocked(m)
 			wake = st.proc
 		} else {
+			// The queue stores the message beyond this call: take a
+			// reference on its payload (released when the queue hands the
+			// message to a matching receive).
+			m.Buf.Retain()
 			st.unexpected = append(st.unexpected, m)
 			// A rank polling with Probe-like loops may be parked; wake it so
 			// wildcard receives posted later can still make progress.
@@ -114,6 +122,7 @@ func (w *World) Deliver(m *Msg) {
 		if req := st.matchPostedLocked(m); req != nil {
 			req.seq = m.Seq
 			st.rndvRecv[m.Seq] = req
+			failon = req
 			followup = &Msg{
 				Src: m.Dst, Dst: m.Src, Tag: m.Tag, Ctx: m.Ctx,
 				Kind: KindCTS, Seq: m.Seq,
@@ -135,6 +144,7 @@ func (w *World) Deliver(m *Msg) {
 		// reports the data has drained from the sender (OnInjected), which
 		// is what makes a blocking rendezvous send wire-paced.
 		proc := st.proc
+		failon = req
 		followup = &Msg{
 			Src: st.rank, Dst: m.Src, Tag: req.tag, Ctx: req.ctx,
 			Kind: KindData, Seq: m.Seq, Buf: req.buf,
@@ -165,7 +175,16 @@ func (w *World) Deliver(m *Msg) {
 	st.mu.Unlock()
 
 	if followup != nil {
-		w.tr.Send(nil, followup)
+		if err := w.tr.Send(nil, followup); err != nil && failon != nil {
+			st.mu.Lock()
+			if !failon.done {
+				delete(st.rndvRecv, followup.Seq)
+				delete(st.rndvSend, followup.Seq)
+				failon.failLocked(transportErr(err))
+			}
+			st.mu.Unlock()
+			wake = st.proc
+		}
 	}
 	if wake != nil {
 		wake.Unpark()

@@ -12,10 +12,12 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"encmpi/internal/bufpool"
 	"encmpi/internal/obs"
 	"encmpi/internal/sched"
 )
@@ -63,9 +65,17 @@ func (k Kind) String() string {
 // Buffer is a message payload. In real mode Data holds the bytes; in
 // simulation mode Data is nil and only the length N is tracked, so 4 MB
 // alltoalls across 64 ranks cost no memory.
+//
+// A Buffer may additionally carry a bufpool lease when its storage came from
+// the pooled hot path (TCP frames, engine Seal/Open outputs, eager clones).
+// Copying the Buffer value shares the lease; the reference count is managed
+// explicitly via Retain/Release at the ownership points documented in
+// DESIGN.md §9. A buffer without a lease is inert under both calls.
 type Buffer struct {
 	Data []byte
 	N    int
+
+	lease *bufpool.Lease
 }
 
 // Bytes wraps a real byte slice.
@@ -74,22 +84,82 @@ func Bytes(b []byte) Buffer { return Buffer{Data: b, N: len(b)} }
 // Synthetic creates a length-only buffer for simulation workloads.
 func Synthetic(n int) Buffer { return Buffer{N: n} }
 
+// PooledBytes wraps the first n bytes of a leased buffer. The caller's
+// reference on the lease travels with the returned Buffer.
+func PooledBytes(l *bufpool.Lease, n int) Buffer {
+	if l == nil {
+		return Synthetic(n)
+	}
+	return Buffer{Data: l.Bytes()[:n], N: n, lease: l}
+}
+
+// BytesWithLease wraps a real byte slice that was (normally) written into
+// leased storage, carrying the caller's lease reference with it. data is not
+// required to alias the lease: a producer that outgrew the leased storage and
+// reallocated may still hand the lease over, and releasing the returned
+// buffer then merely recycles the unused lease — never the live data.
+func BytesWithLease(data []byte, l *bufpool.Lease) Buffer {
+	return Buffer{Data: data, N: len(data), lease: l}
+}
+
 // Len returns the payload length in bytes.
 func (b Buffer) Len() int { return b.N }
 
 // IsSynthetic reports whether the buffer carries no real bytes.
 func (b Buffer) IsSynthetic() bool { return b.Data == nil }
 
+// Retain adds a reference to the buffer's pool lease, if it has one. Callers
+// that store a buffer beyond the call that handed it to them must retain it.
+func (b Buffer) Retain() { b.lease.Retain() }
+
+// Release drops one reference on the buffer's pool lease, if it has one; at
+// zero references the storage returns to the pool. Only release a reference
+// you own (from PooledBytes, Clone of a real buffer, or your own Retain) —
+// and never touch Data, or any Slice of it, after your last reference is
+// gone. A buffer that is never released simply falls to the garbage
+// collector.
+func (b Buffer) Release() { b.lease.Release() }
+
+// SharesStorage reports whether two buffers are backed by the same pool
+// lease (both having no lease also counts as sharing: releasing either is a
+// no-op). The encrypted layer uses it to avoid recycling a wire buffer whose
+// storage an engine's Open returned as the plaintext.
+func (b Buffer) SharesStorage(o Buffer) bool { return b.lease == o.lease }
+
 // Clone copies the buffer so the sender may reuse its storage (eager-send
-// semantics). Synthetic buffers are value types already.
+// semantics). Real-byte clones draw their storage from the buffer pool; the
+// returned buffer carries one lease reference owned by the caller.
+// Synthetic buffers are value types already.
 func (b Buffer) Clone() Buffer {
 	if b.Data == nil {
 		return b
 	}
-	return Bytes(append([]byte(nil), b.Data...))
+	if b.N == 0 {
+		return Buffer{}
+	}
+	l := bufpool.Get(b.N)
+	copy(l.Bytes()[:b.N], b.Data)
+	return PooledBytes(l, b.N)
 }
 
-// Slice returns the sub-buffer [lo, hi).
+// Prefix returns the sub-buffer [0, n) sharing both the parent's storage and
+// its lease identity, so SharesStorage(parent) stays true. The returned
+// buffer carries no reference of its own — the parent's reference covers it.
+// Engines whose Open returns a prefix of the wire buffer use this so the
+// caller does not recycle the wire out from under the plaintext.
+func (b Buffer) Prefix(n int) Buffer {
+	if n < 0 || n > b.N {
+		panic(fmt.Sprintf("mpi: bad buffer prefix %d of %d", n, b.N))
+	}
+	if b.Data == nil {
+		return Synthetic(n)
+	}
+	return Buffer{Data: b.Data[:n], N: n, lease: b.lease}
+}
+
+// Slice returns the sub-buffer [lo, hi). The slice borrows the parent's
+// storage but carries no lease: it must not outlive the parent's last
+// reference.
 func (b Buffer) Slice(lo, hi int) Buffer {
 	if lo < 0 || hi > b.N || lo > hi {
 		panic(fmt.Sprintf("mpi: bad buffer slice [%d:%d) of %d", lo, hi, b.N))
@@ -121,13 +191,32 @@ type Msg struct {
 	OnInjected func()
 }
 
+// ErrTransport is the root of the transport-failure error family: any error
+// a Transport's Send returns is wrapped in it by the MPI core, completes the
+// affected request with the wrapped error, and surfaces through
+// Request.Err/Waitall — a dead connection fails the operation, never the
+// rank. Match with errors.Is(err, ErrTransport).
+var ErrTransport = errors.New("mpi: transport failure")
+
 // Transport moves messages between ranks. Send must not block on the
 // receiver; from may be nil when sending from a non-process context (e.g. a
 // protocol follow-up issued during delivery). Implementations must preserve
 // per-(src,dst) ordering and invoke the World's Deliver exactly once per
-// message.
+// message delivered.
+//
+// Send returns a non-nil error when the message could not be injected (a
+// missing or failed connection); it must never panic on wire failure. A
+// transport that queues m.Buf beyond the Send call (asynchronous delivery)
+// must Retain the buffer for the queue duration and Release it after
+// delivery, because the sender is free to release its own reference as soon
+// as Send returns.
 type Transport interface {
-	Send(from sched.Proc, m *Msg)
+	Send(from sched.Proc, m *Msg) error
+}
+
+// transportErr wraps a transport Send failure into the ErrTransport family.
+func transportErr(err error) error {
+	return fmt.Errorf("%w: %v", ErrTransport, err)
 }
 
 // Status describes a completed receive.

@@ -24,9 +24,18 @@ func (c *Comm) isend(dst, tag, ctx int, buf Buffer) *Request {
 	if buf.Len() < c.w.eager {
 		// Eager: inject immediately; the payload is cloned so the caller may
 		// reuse its buffer, which is exactly MPI's buffered-eager semantics.
-		m := &Msg{Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindEager, Buf: buf.Clone()}
-		c.w.tr.Send(c.proc, m)
+		// The clone is pooled: the protocol retains it on delivery if it is
+		// kept, so the creator reference can be dropped once Send returns.
+		clone := buf.Clone()
+		m := &Msg{Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindEager, Buf: clone}
+		err := c.w.tr.Send(c.proc, m)
+		clone.Release()
+		c.st.mu.Lock()
+		if err != nil {
+			req.err = transportErr(err)
+		}
 		req.done = true
+		c.st.mu.Unlock()
 		return req
 	}
 
@@ -39,13 +48,22 @@ func (c *Comm) isend(dst, tag, ctx int, buf Buffer) *Request {
 	c.st.rndvSend[seq] = req
 	c.st.mu.Unlock()
 	rts := &Msg{Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindRTS, Seq: seq, DataLen: buf.Len()}
-	c.w.tr.Send(c.proc, rts)
+	if err := c.w.tr.Send(c.proc, rts); err != nil {
+		c.st.mu.Lock()
+		delete(c.st.rndvSend, seq)
+		req.failLocked(transportErr(err))
+		c.st.mu.Unlock()
+	}
 	return req
 }
 
-// Send is the blocking send: it returns when the buffer is reusable.
-func (c *Comm) Send(dst, tag int, buf Buffer) {
-	c.Wait(c.Isend(dst, tag, buf))
+// Send is the blocking send: it returns when the buffer is reusable. A
+// non-nil error matches ErrTransport and means the message never left this
+// rank cleanly (the connection was missing or the write failed).
+func (c *Comm) Send(dst, tag int, buf Buffer) error {
+	req := c.Isend(dst, tag, buf)
+	c.Wait(req)
+	return req.Err()
 }
 
 // Irecv posts a non-blocking receive matching (src, tag); src may be
@@ -71,7 +89,10 @@ func (c *Comm) irecv(src, tag, ctx int) *Request {
 	if m := st.matchUnexpectedLocked(req); m != nil {
 		switch m.Kind {
 		case KindEager:
+			// completeRecvLocked retains the payload for the request; the
+			// unexpected queue's reference is dropped after the transfer.
 			req.completeRecvLocked(m)
+			m.Buf.Release()
 		case KindRTS:
 			req.seq = m.Seq
 			st.rndvRecv[m.Seq] = req
@@ -86,7 +107,14 @@ func (c *Comm) irecv(src, tag, ctx int) *Request {
 	st.mu.Unlock()
 
 	if cts != nil {
-		c.w.tr.Send(c.proc, cts)
+		if err := c.w.tr.Send(c.proc, cts); err != nil {
+			// The sender will never learn it may transmit: fail the receive
+			// instead of leaving it parked forever.
+			st.mu.Lock()
+			delete(st.rndvRecv, req.seq)
+			req.failLocked(transportErr(err))
+			st.mu.Unlock()
+		}
 	}
 	return req
 }
@@ -135,11 +163,18 @@ func (c *Comm) Wait(req *Request) (Buffer, Status) {
 }
 
 // Waitall completes all requests. Like MPI_Waitall it returns only when
-// every request has finished; onComplete hooks run in posting order.
-func (c *Comm) Waitall(reqs []*Request) {
+// every request has finished; onComplete hooks run in posting order. The
+// returned error is the first request failure encountered (matching
+// ErrTransport for transport faults); all requests are always drained.
+func (c *Comm) Waitall(reqs []*Request) error {
+	var firstErr error
 	for _, r := range reqs {
 		c.Wait(r)
+		if err := r.Err(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
+	return firstErr
 }
 
 // Recv is the blocking receive.

@@ -24,6 +24,10 @@ type Request struct {
 	// status fields of a completed receive.
 	status Status
 
+	// err records why the request failed (a transport send failure, wrapped
+	// in ErrTransport); a failed request is also done.
+	err error
+
 	done bool
 
 	// owner is the rank state whose mutex guards this request.
@@ -46,8 +50,26 @@ func (r *Request) Done() bool {
 	return r.done
 }
 
-// completeRecvLocked fills in a matched message. Caller holds owner.mu.
+// Err reports why a completed request failed: nil for success, an error
+// matching ErrTransport when the transport could not carry the operation's
+// traffic. Valid once Wait has returned (or inside an onComplete hook).
+func (r *Request) Err() error {
+	r.owner.mu.Lock()
+	defer r.owner.mu.Unlock()
+	return r.err
+}
+
+// failLocked completes the request with an error. Caller holds owner.mu.
+func (r *Request) failLocked(err error) {
+	r.err = err
+	r.done = true
+}
+
+// completeRecvLocked fills in a matched message, retaining the payload's
+// pool lease on behalf of the request (the transport or sender releases its
+// own reference after delivery). Caller holds owner.mu.
 func (r *Request) completeRecvLocked(m *Msg) {
+	m.Buf.Retain()
 	r.buf = m.Buf
 	r.status = Status{Source: m.Src, Tag: m.Tag, Len: m.Buf.Len()}
 	r.done = true

@@ -174,28 +174,36 @@ func (t *Transport) InjectedTotal() int {
 }
 
 // Flush releases a message held by Reorder, if any. Tests whose final
-// message would otherwise stay held call it after the last send.
-func (t *Transport) Flush() {
+// message would otherwise stay held call it after the last send. The error,
+// if any, is the inner transport's.
+func (t *Transport) Flush() error {
 	t.mu.Lock()
 	held := t.held
 	t.held = nil
 	t.mu.Unlock()
 	if held != nil {
-		t.inner.Send(nil, held)
+		return t.inner.Send(nil, held)
 	}
+	return nil
 }
 
 // Send implements mpi.Transport. All decisions happen under the lock; the
 // actual inner sends happen outside it, because delivery can reenter this
-// transport with protocol follow-ups (CTS, DATA).
-func (t *Transport) Send(from sched.Proc, m *mpi.Msg) {
+// transport with protocol follow-ups (CTS, DATA). Inner transport failures
+// propagate to the caller (the first one, when a plan forwards several
+// messages); a message the adversary swallowed on purpose is not a failure.
+func (t *Transport) Send(from sched.Proc, m *mpi.Msg) error {
 	forward, ackLocal := t.plan(m)
 	if ackLocal && m.OnInjected != nil {
 		m.OnInjected()
 	}
+	var firstErr error
 	for _, msg := range forward {
-		t.inner.Send(from, msg)
+		if err := t.inner.Send(from, msg); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
+	return firstErr
 }
 
 // plan decides, under the lock, what to forward for message m. It returns

@@ -6,6 +6,8 @@
 package shm
 
 import (
+	"errors"
+
 	"encmpi/internal/mpi"
 	"encmpi/internal/obs"
 	"encmpi/internal/sched"
@@ -26,21 +28,30 @@ func (t *Transport) Bind(w *mpi.World) { t.w = w }
 // SetMetrics installs a metrics registry; nil disables accounting.
 func (t *Transport) SetMetrics(g *obs.Registry) { t.metrics = g }
 
+// errUnbound reports a Send on a transport that was never bound to a world.
+var errUnbound = errors.New("shm: transport not bound to a world")
+
 // Send implements mpi.Transport. Delivery is synchronous, so local send
 // completion is immediate and both sides of the transfer are accounted here.
-func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) {
+//
+// Deliver runs before OnInjected: delivery retains any pooled payload the
+// receiver keeps, and only then may the sender's completion fire — a sender
+// woken by OnInjected is free to release its own buffer reference
+// immediately, which must not race the receiver taking its reference.
+func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) error {
 	if t.w == nil {
-		panic("shm: transport not bound to a world")
+		return errUnbound
 	}
 	if t.metrics != nil {
 		n := m.Buf.Len()
 		t.metrics.Rank(m.Src).MsgSent(n)
 		t.metrics.Rank(m.Dst).MsgRecv(n)
 	}
+	t.w.Deliver(m)
 	if m.OnInjected != nil {
 		m.OnInjected()
 	}
-	t.w.Deliver(m)
+	return nil
 }
 
 var _ mpi.Transport = (*Transport)(nil)

@@ -32,7 +32,11 @@ func (t *Transport) Bind(w *mpi.World) {
 		if t.metrics != nil {
 			t.metrics.Rank(pkt.Dst).MsgRecv(pkt.Size)
 		}
-		w.Deliver(pkt.Payload.(*mpi.Msg))
+		m := pkt.Payload.(*mpi.Msg)
+		w.Deliver(m)
+		// Drop the in-flight reference Send took: if the protocol kept the
+		// payload it retained its own reference during Deliver.
+		m.Buf.Release()
 	})
 }
 
@@ -50,7 +54,12 @@ func (t *Transport) wireSize(m *mpi.Msg) int {
 // Send implements mpi.Transport. When the caller is a simulated proc its
 // core is charged the send-side CPU cost; protocol follow-ups (from == nil)
 // turn that cost into added delay inside the fabric.
-func (t *Transport) Send(from sched.Proc, m *mpi.Msg) {
+//
+// The fabric queues the message until its virtual arrival time, beyond this
+// call and possibly beyond the sender's local completion (Drained fires at
+// NIC drain, before arrival), so a pooled payload is retained for the
+// flight and released by the delivery callback.
+func (t *Transport) Send(from sched.Proc, m *mpi.Msg) error {
 	var sender simnet.Sender
 	if sp, ok := from.(*sim.Proc); ok {
 		sender = sp
@@ -58,10 +67,12 @@ func (t *Transport) Send(from sched.Proc, m *mpi.Msg) {
 	if t.metrics != nil {
 		t.metrics.Rank(m.Src).MsgSent(t.wireSize(m))
 	}
+	m.Buf.Retain()
 	t.fab.Send(simnet.Packet{
 		Src: m.Src, Dst: m.Dst, Size: t.wireSize(m),
 		Payload: m, Drained: m.OnInjected,
 	}, sender)
+	return nil
 }
 
 var _ mpi.Transport = (*Transport)(nil)

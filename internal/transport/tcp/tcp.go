@@ -8,11 +8,13 @@ package tcp
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 
+	"encmpi/internal/bufpool"
 	"encmpi/internal/mpi"
 	"encmpi/internal/obs"
 	"encmpi/internal/sched"
@@ -37,11 +39,21 @@ const headerLen = 4 + 4 + 8 + 4 + 1 + 3 + 8 + 8 + 8
 // header bytes; past this bound the connection is abandoned as poisoned.
 const maxFramePayload = 1 << 30
 
+// errMalformedFrame reports a frame header whose length fields no honest
+// sender produces; the connection that carried it is abandoned as poisoned.
+var errMalformedFrame = errors.New("tcp: malformed frame header")
+
 // Transport is a full mesh of loopback connections among n in-process ranks.
 type Transport struct {
 	n       int
 	w       *mpi.World
 	metrics *obs.Registry
+
+	// NoPool disables the frame/payload buffer pool, restoring the
+	// allocate-per-message behaviour. It exists so the allocation benchmarks
+	// can measure the pooled path against the historical baseline; leave it
+	// false in production. Set it before Bind.
+	NoPool bool
 
 	// conns[i][j] is the connection rank i writes to reach rank j.
 	conns [][]net.Conn
@@ -121,6 +133,31 @@ func (t *Transport) Bind(w *mpi.World) {
 	}
 }
 
+// decodeHeader parses a frame header into a message (payload not yet read)
+// and the announced payload length. It rejects length fields no honest sender
+// produces — a negative or oversized buflen (the allocation bound) and a
+// negative or oversized DataLen (the synthetic-length field a hostile peer
+// could otherwise drive through the matching engine unchecked).
+func decodeHeader(hdr *[headerLen]byte) (m *mpi.Msg, buflen int, err error) {
+	m = &mpi.Msg{
+		Src:     int(int32(binary.BigEndian.Uint32(hdr[0:]))),
+		Dst:     int(int32(binary.BigEndian.Uint32(hdr[4:]))),
+		Tag:     int(int64(binary.BigEndian.Uint64(hdr[8:]))),
+		Ctx:     int(int32(binary.BigEndian.Uint32(hdr[16:]))),
+		Kind:    mpi.Kind(hdr[20]),
+		Seq:     binary.BigEndian.Uint64(hdr[24:]),
+		DataLen: int(int64(binary.BigEndian.Uint64(hdr[32:]))),
+	}
+	buflen = int(int64(binary.BigEndian.Uint64(hdr[40:])))
+	if buflen < 0 || buflen > maxFramePayload {
+		return nil, 0, fmt.Errorf("%w: buflen %d", errMalformedFrame, buflen)
+	}
+	if m.DataLen < 0 || m.DataLen > maxFramePayload {
+		return nil, 0, fmt.Errorf("%w: datalen %d", errMalformedFrame, m.DataLen)
+	}
+	return m, buflen, nil
+}
+
 // readLoop parses frames and hands them to the matching engine.
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.readers.Done()
@@ -129,27 +166,23 @@ func (t *Transport) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 			return // connection closed
 		}
-		m := &mpi.Msg{
-			Src:     int(int32(binary.BigEndian.Uint32(hdr[0:]))),
-			Dst:     int(int32(binary.BigEndian.Uint32(hdr[4:]))),
-			Tag:     int(int64(binary.BigEndian.Uint64(hdr[8:]))),
-			Ctx:     int(int32(binary.BigEndian.Uint32(hdr[16:]))),
-			Kind:    mpi.Kind(hdr[20]),
-			Seq:     binary.BigEndian.Uint64(hdr[24:]),
-			DataLen: int(int64(binary.BigEndian.Uint64(hdr[32:]))),
-		}
-		buflen := int(int64(binary.BigEndian.Uint64(hdr[40:])))
-		if buflen < 0 || buflen > maxFramePayload {
+		m, buflen, err := decodeHeader(&hdr)
+		if err != nil {
 			// Poisoned stream: no sane frame can follow.
 			t.metrics.FrameError()
 			return
 		}
 		if buflen > 0 {
-			data := make([]byte, buflen)
-			if _, err := io.ReadFull(conn, data); err != nil {
+			if t.NoPool {
+				m.Buf = mpi.Bytes(make([]byte, buflen))
+			} else {
+				lease := bufpool.Get(buflen)
+				m.Buf = mpi.PooledBytes(lease, buflen)
+			}
+			if _, err := io.ReadFull(conn, m.Buf.Data); err != nil {
+				m.Buf.Release()
 				return
 			}
-			m.Buf = mpi.Bytes(data)
 		}
 		if t.metrics != nil && m.Dst >= 0 && m.Dst < t.n {
 			// Receive accounting happens only for in-range destinations; a
@@ -158,36 +191,78 @@ func (t *Transport) readLoop(conn net.Conn) {
 			t.metrics.Rank(m.Dst).MsgRecv(buflen)
 		}
 		t.w.Deliver(m)
+		// Drop the reader's reference; if the matching engine kept the
+		// payload (unexpected queue, completed receive) it retained its own.
+		m.Buf.Release()
 	}
 }
 
+// materialize returns a buffer carrying real bytes with the same contents a
+// peer would observe on the wire: synthetic payloads become zeros (a real
+// network cannot ship a length without bytes), real payloads are copied into
+// pooled storage so the result is decoupled from the sender's buffer exactly
+// as a socket round-trip would decouple it. The caller owns the returned
+// buffer's reference.
+func (t *Transport) materialize(buf mpi.Buffer) mpi.Buffer {
+	n := buf.Len()
+	if n == 0 {
+		return mpi.Buffer{}
+	}
+	if t.NoPool {
+		out := make([]byte, n)
+		copy(out, buf.Data) // no-op for synthetic: stays zeroed
+		return mpi.Bytes(out)
+	}
+	lease := bufpool.Get(n)
+	out := mpi.PooledBytes(lease, n)
+	if buf.IsSynthetic() {
+		clear(out.Data) // pooled storage is dirty; the wire would carry zeros
+	} else {
+		copy(out.Data, buf.Data)
+	}
+	return out
+}
+
 // Send implements mpi.Transport. Synthetic buffers are materialized as
-// zeros: a real network cannot ship a length without bytes.
-func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) {
+// zeros: a real network cannot ship a length without bytes. Wire failures —
+// a missing connection, a write error on a live transport — are returned,
+// never panicked on; the mpi core surfaces them as ErrTransport.
+func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) error {
 	if m.Src == m.Dst {
-		// Self-sends short-circuit; TCP mesh has no loopback-to-self conn.
+		// Self-sends short-circuit; the TCP mesh has no loopback-to-self
+		// conn. The payload still goes through materialize so self-delivery
+		// has the same buffer semantics as a socket round-trip: the receiver
+		// gets real, decoupled bytes, never an alias of the sender's buffer
+		// and never a synthetic length.
+		n := m.Buf.Len()
+		dm := *m
+		dm.Buf = t.materialize(m.Buf)
+		dm.OnInjected = nil
 		if t.metrics != nil {
-			n := m.Buf.Len()
 			t.metrics.Rank(m.Src).MsgSent(n)
 			t.metrics.Rank(m.Dst).MsgRecv(n)
 		}
 		if m.OnInjected != nil {
 			m.OnInjected()
 		}
-		t.w.Deliver(m)
-		return
+		t.w.Deliver(&dm)
+		dm.Buf.Release()
+		return nil
 	}
 	conn := t.conns[m.Src][m.Dst]
 	if conn == nil {
-		panic(fmt.Sprintf("tcp: no connection %d→%d", m.Src, m.Dst))
+		return fmt.Errorf("tcp: no connection %d→%d", m.Src, m.Dst)
 	}
 
-	buf := m.Buf
-	if buf.IsSynthetic() && buf.Len() > 0 {
-		buf = mpi.Bytes(make([]byte, buf.Len()))
+	n := m.Buf.Len()
+	var lease *bufpool.Lease
+	var frame []byte
+	if t.NoPool {
+		frame = make([]byte, headerLen+n)
+	} else {
+		lease = bufpool.Get(headerLen + n)
+		frame = lease.Bytes()[:headerLen+n]
 	}
-
-	frame := make([]byte, headerLen+buf.Len())
 	binary.BigEndian.PutUint32(frame[0:], uint32(int32(m.Src)))
 	binary.BigEndian.PutUint32(frame[4:], uint32(int32(m.Dst)))
 	binary.BigEndian.PutUint64(frame[8:], uint64(int64(m.Tag)))
@@ -195,30 +270,36 @@ func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) {
 	frame[20] = byte(m.Kind)
 	binary.BigEndian.PutUint64(frame[24:], m.Seq)
 	binary.BigEndian.PutUint64(frame[32:], uint64(int64(m.DataLen)))
-	binary.BigEndian.PutUint64(frame[40:], uint64(int64(buf.Len())))
-	if buf.Len() > 0 {
-		copy(frame[headerLen:], buf.Data)
+	binary.BigEndian.PutUint64(frame[40:], uint64(int64(n)))
+	if n > 0 {
+		if m.Buf.IsSynthetic() {
+			clear(frame[headerLen:]) // zeros on the wire, not pool garbage
+		} else {
+			copy(frame[headerLen:], m.Buf.Data)
+		}
 	}
 
 	mu := t.wmu[m.Src][m.Dst]
 	mu.Lock()
 	_, err := conn.Write(frame)
 	mu.Unlock()
-	if err == nil && t.metrics != nil {
-		t.metrics.Rank(m.Src).MsgSent(buf.Len())
-	}
-	if err == nil && m.OnInjected != nil {
-		// The kernel accepted the whole frame: local completion.
-		m.OnInjected()
-	}
+	lease.Release()
 	if err != nil {
 		select {
 		case <-t.closed:
-			return // shutting down; drops are expected
+			return nil // shutting down; drops are expected
 		default:
-			panic(fmt.Sprintf("tcp: write %d→%d: %v", m.Src, m.Dst, err))
+			return fmt.Errorf("tcp: write %d→%d: %w", m.Src, m.Dst, err)
 		}
 	}
+	if t.metrics != nil {
+		t.metrics.Rank(m.Src).MsgSent(n)
+	}
+	if m.OnInjected != nil {
+		// The kernel accepted the whole frame: local completion.
+		m.OnInjected()
+	}
+	return nil
 }
 
 // Close tears down every connection and waits for the readers to exit.

@@ -1,0 +1,233 @@
+package tcp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"encmpi/internal/mpi"
+	"encmpi/internal/obs"
+	"encmpi/internal/sched"
+)
+
+// newWorld wires a transport of size n to a fresh world and attaches every
+// rank on a wall-clock proc.
+func newWorld(t testing.TB, n int) (*Transport, []*mpi.Comm) {
+	t.Helper()
+	tr, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	w := mpi.NewWorld(n, tr, 64<<10)
+	tr.Bind(w)
+	var g sched.Group
+	comms := make([]*mpi.Comm, n)
+	for i := range comms {
+		comms[i] = w.AttachRank(i, g.Proc())
+	}
+	return tr, comms
+}
+
+// TestSendErrorsAfterConnKilled kills the 0→1 connection mid-run and checks
+// that both eager and rendezvous sends surface ErrTransport through Waitall —
+// no panic, and Close still returns (all reader goroutines exit).
+func TestSendErrorsAfterConnKilled(t *testing.T) {
+	tr, comms := newWorld(t, 2)
+	c0 := comms[0]
+
+	tr.conns[0][1].Close()
+
+	reqs := []*mpi.Request{
+		c0.Isend(1, 1, mpi.Bytes([]byte("eager after kill"))),
+		c0.Isend(1, 2, mpi.Bytes(make([]byte, 128<<10))), // rendezvous: RTS fails
+	}
+	err := c0.Waitall(reqs)
+	if !errors.Is(err, mpi.ErrTransport) {
+		t.Fatalf("Waitall = %v, want ErrTransport", err)
+	}
+	for i, r := range reqs {
+		if !errors.Is(r.Err(), mpi.ErrTransport) {
+			t.Errorf("request %d: Err() = %v, want ErrTransport", i, r.Err())
+		}
+	}
+	// A hang here (leaked reader goroutine) fails the test by timeout.
+	tr.Close()
+}
+
+// TestSendToMissingConn covers the no-connection error path without a live
+// wire at all.
+func TestSendToMissingConn(t *testing.T) {
+	tr, comms := newWorld(t, 2)
+	tr.conns[0][1].Close()
+	tr.conns[0][1] = nil
+
+	if err := comms[0].Send(1, 0, mpi.Bytes([]byte("nowhere"))); !errors.Is(err, mpi.ErrTransport) {
+		t.Fatalf("Send = %v, want ErrTransport", err)
+	}
+}
+
+// TestSelfSendMatchesWireSemantics: a self-send must look exactly like a
+// socket round-trip — synthetic lengths become real zero bytes, and the
+// delivered payload is decoupled from the sender's storage.
+func TestSelfSendMatchesWireSemantics(t *testing.T) {
+	_, comms := newWorld(t, 1)
+	c := comms[0]
+
+	// Synthetic self-sends arrive as real zeros, like cross-rank sends.
+	if err := c.Send(0, 1, mpi.Synthetic(100)); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := c.Recv(0, 1)
+	if buf.IsSynthetic() || buf.Len() != 100 {
+		t.Fatalf("synthetic self-send: len=%d synthetic=%v", buf.Len(), buf.IsSynthetic())
+	}
+	for _, bb := range buf.Data {
+		if bb != 0 {
+			t.Fatal("synthetic self-send payload not zeroed")
+		}
+	}
+	buf.Release()
+
+	// A rendezvous self-send hands the transport the caller's own buffer
+	// (no eager clone); once the send completes MPI says the buffer is
+	// reusable, so mutating it must not reach the not-yet-waited receive.
+	big := bytes.Repeat([]byte{0x42}, 128<<10)
+	rreq := c.Irecv(0, 2)
+	sreq := c.Isend(0, 2, mpi.Bytes(big))
+	c.Wait(sreq)
+	for i := range big {
+		big[i] = 0x99
+	}
+	got, _ := c.Wait(rreq)
+	if got.Len() != len(big) {
+		t.Fatalf("self-send len = %d, want %d", got.Len(), len(big))
+	}
+	for i, bb := range got.Data {
+		if bb != 0x42 {
+			t.Fatalf("self-send aliased sender storage: byte %d = %#x", i, bb)
+		}
+	}
+	got.Release()
+}
+
+// TestHostileDataLenCountsFrameError writes a raw frame announcing a negative
+// DataLen straight into a connection: the reader must reject it as a frame
+// error and abandon the stream without delivering a message.
+func TestHostileDataLenCountsFrameError(t *testing.T) {
+	tr, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	reg := obs.NewRegistry(2)
+	tr.SetMetrics(reg)
+	w := mpi.NewWorld(2, tr, 64<<10)
+	tr.Bind(w)
+	var g sched.Group
+	for i := 0; i < 2; i++ {
+		w.AttachRank(i, g.Proc())
+	}
+
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[0:], 0)           // src
+	binary.BigEndian.PutUint32(hdr[4:], 1)           // dst
+	binary.BigEndian.PutUint64(hdr[24:], 7)          // seq
+	binary.BigEndian.PutUint64(hdr[32:], ^uint64(0)) // datalen = -1
+	binary.BigEndian.PutUint64(hdr[40:], 0)          // buflen
+	if _, err := tr.conns[0][1].Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Snapshot().FrameErrors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hostile DataLen never counted as a frame error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// FuzzFrameHeader drives decodeHeader with arbitrary header bytes: it must
+// never hand back out-of-bounds lengths, and every rejection must be the
+// malformed-frame error.
+func FuzzFrameHeader(f *testing.F) {
+	mk := func(datalen, buflen int64) []byte {
+		var h [headerLen]byte
+		binary.BigEndian.PutUint32(h[0:], 0)
+		binary.BigEndian.PutUint32(h[4:], 1)
+		binary.BigEndian.PutUint64(h[32:], uint64(datalen))
+		binary.BigEndian.PutUint64(h[40:], uint64(buflen))
+		return h[:]
+	}
+	f.Add(mk(-1, 16))    // negative DataLen (hostile RTS)
+	f.Add(mk(1<<40, 16)) // absurd DataLen
+	f.Add(mk(16, -1))    // negative buflen
+	f.Add(mk(16, 1<<40)) // absurd buflen
+	f.Add(mk(64, 64))    // honest frame
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var hdr [headerLen]byte
+		copy(hdr[:], raw)
+		m, buflen, err := decodeHeader(&hdr)
+		if err != nil {
+			if !errors.Is(err, errMalformedFrame) {
+				t.Fatalf("decodeHeader error %v is not errMalformedFrame", err)
+			}
+			return
+		}
+		if buflen < 0 || buflen > maxFramePayload {
+			t.Fatalf("accepted buflen %d", buflen)
+		}
+		if m.DataLen < 0 || m.DataLen > maxFramePayload {
+			t.Fatalf("accepted DataLen %d", m.DataLen)
+		}
+	})
+}
+
+// benchRoundtrip ping-pongs a 256 KiB rendezvous payload between two ranks,
+// with the receive side releasing its pooled buffers. Compare the Alloc pair
+// to see the pool removing the per-message frame and payload allocations.
+func benchRoundtrip(b *testing.B, noPool bool) {
+	tr, err := New(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+	tr.NoPool = noPool
+	w := mpi.NewWorld(2, tr, 64<<10)
+	tr.Bind(w)
+	var g sched.Group
+	c0 := w.AttachRank(0, g.Proc())
+	c1 := w.AttachRank(1, g.Proc())
+
+	payload := bytes.Repeat([]byte{0xAB}, 256<<10)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			buf, _ := c1.Recv(0, 1)
+			buf.Release()
+			if err := c1.Send(0, 2, mpi.Bytes(payload)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	b.SetBytes(2 * 256 << 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c0.Send(1, 1, mpi.Bytes(payload)); err != nil {
+			b.Fatal(err)
+		}
+		buf, _ := c0.Recv(1, 2)
+		buf.Release()
+	}
+	b.StopTimer()
+	<-done
+}
+
+func BenchmarkTCPRoundtripAlloc(b *testing.B)         { benchRoundtrip(b, false) }
+func BenchmarkTCPRoundtripAllocUnpooled(b *testing.B) { benchRoundtrip(b, true) }

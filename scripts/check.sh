@@ -37,10 +37,18 @@ echo "$out" | grep -q "byte accounting OK" || {
 	exit 1
 }
 
+echo "== alloc-regression smoke (pooled hot path must beat unpooled baseline)"
+# The AllocsPerRun tests pin the bufpool win (pooled Seal/Open at ≤ half the
+# unpooled allocations); the single-shot benchmarks exercise the NoPool A/B
+# paths end to end, including the TCP rendezvous round trip.
+go test ./internal/encmpi -run 'AllocRegression' -count=1
+go test ./internal/encmpi ./internal/transport/tcp -run '^$' -bench 'Alloc' -benchtime 1x
+
 fuzz ./internal/aead FuzzDecryptMessage
 fuzz ./internal/aead/gcm FuzzOpenRejectsGarbage
 fuzz ./internal/encmpi FuzzParallelOpen
 fuzz ./internal/encmpi FuzzPlainLen
 fuzz ./internal/encmpi FuzzPipelineHeader
+fuzz ./internal/transport/tcp FuzzFrameHeader
 
 echo "== all checks passed"
