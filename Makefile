@@ -6,7 +6,10 @@ build:
 test:
 	go test ./...
 
+# `bench` regenerates the committed BENCH_PR4.json snapshot (QUICK=1
+# ./scripts/bench.sh for a bounded smoke run), then the testing.B suite.
 bench:
+	./scripts/bench.sh
 	go test -bench=. -benchmem ./...
 
 # Extended tier-1 gate: vet + race-detector tests + fuzz smokes of every

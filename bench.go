@@ -25,6 +25,9 @@ const (
 	OpBcast     CollectiveOp = osu.OpBcast
 	OpAlltoall  CollectiveOp = osu.OpAlltoall
 	OpAllgather CollectiveOp = osu.OpAllgather
+	// OpBcastPipelined is the segmented broadcast that overlaps each
+	// chunk's crypto with the previous chunk's tree descent.
+	OpBcastPipelined CollectiveOp = osu.OpBcastPipelined
 )
 
 // MultiPairWindow is the OSU window size the paper cites (64 non-blocking

@@ -480,6 +480,35 @@ func BenchmarkAblationPipelined(b *testing.B) {
 	b.ReportMetric(pipe.Seconds()*1e6, "pipelined-µs")
 }
 
+// BenchmarkAblationBcastPipelined quantifies the segmented pipelined
+// broadcast against the monolithic encrypted Bcast at 1 MiB on the
+// simulated cluster: sealing chunk k+1 and relaying chunk k overlap down
+// the binomial tree, so slow crypto no longer serializes with every hop.
+func BenchmarkAblationBcastPipelined(b *testing.B) {
+	p, err := costmodel.Lookup("cryptopp", costmodel.MVAPICH, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const size = 1 << 20
+	mk := func(int) Engine { return enc.NewModelEngine(p) }
+	var plain, piped time.Duration
+	for i := 0; i < b.N; i++ {
+		for _, op := range []osu.CollectiveOp{osu.OpBcast, osu.OpBcastPipelined} {
+			res, err := osu.Collective(simnet.IB40G(), mk, op, 8, 2, size, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if op == osu.OpBcast {
+				plain = res.MeanLat
+			} else {
+				piped = res.MeanLat
+			}
+		}
+	}
+	b.ReportMetric(plain.Seconds()*1e6, "bcast-µs")
+	b.ReportMetric(piped.Seconds()*1e6, "bcastpipe-µs")
+}
+
 // BenchmarkRealParallelSeal measures actual multi-core AES-GCM sealing via
 // the ParallelEngine — the paper's §V-C proposal with real cryptography
 // rather than a model.

@@ -1,0 +1,349 @@
+// Command benchjson emits the repository's machine-readable performance
+// snapshot (committed as BENCH_PR4.json): seal/open ns/op, MB/s, and
+// allocs/op for the sequential and chunked-parallel engines across message
+// sizes, aggregate throughput of 16 concurrent 4 KiB messages through the
+// shared crypto worker pool versus the per-call goroutine baseline, an
+// in-process encrypted ping-pong, and simulated collective latencies
+// including the segmented pipelined broadcast against plain Bcast.
+//
+// It uses its own fixed-duration timing loops rather than testing.B so the
+// -quick mode can bound the total runtime for CI smoke use:
+//
+//	benchjson [-quick] [-o BENCH_PR4.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"encmpi"
+)
+
+type sealOpenEntry struct {
+	Engine     string  `json:"engine"`
+	Size       int     `json:"size"`
+	SealNsOp   float64 `json:"seal_ns_op"`
+	SealMBps   float64 `json:"seal_mb_s"`
+	SealAllocs float64 `json:"seal_allocs_op"`
+	OpenNsOp   float64 `json:"open_ns_op"`
+	OpenMBps   float64 `json:"open_mb_s"`
+	OpenAllocs float64 `json:"open_allocs_op"`
+}
+
+type concurrentEntry struct {
+	Size       int     `json:"size"`
+	Goroutines int     `json:"goroutines"`
+	PooledMBps float64 `json:"pooled_mb_s"`
+	SpawnMBps  float64 `json:"percall_mb_s"`
+	GainPct    float64 `json:"gain_pct"`
+}
+
+type pingPongEntry struct {
+	Transport string  `json:"transport"`
+	Size      int     `json:"size"`
+	OneWayUs  float64 `json:"one_way_us"`
+	MBps      float64 `json:"mb_s"`
+}
+
+type collectiveEntry struct {
+	Op      string  `json:"op"`
+	Ranks   int     `json:"ranks"`
+	Nodes   int     `json:"nodes"`
+	Size    int     `json:"size"`
+	MeanUs  float64 `json:"mean_us"`
+	Library string  `json:"library"`
+}
+
+type bcastPipeEntry struct {
+	Ranks          int     `json:"ranks"`
+	Nodes          int     `json:"nodes"`
+	Size           int     `json:"size"`
+	BcastUs        float64 `json:"bcast_us"`
+	BcastPipeUs    float64 `json:"bcastpipe_us"`
+	ImprovementPct float64 `json:"improvement_pct"`
+	Library        string  `json:"library"`
+}
+
+type report struct {
+	Schema        string            `json:"schema"`
+	GeneratedBy   string            `json:"generated_by"`
+	Quick         bool              `json:"quick"`
+	GoMaxProcs    int               `json:"gomaxprocs"`
+	SealOpen      []sealOpenEntry   `json:"seal_open"`
+	Concurrent    concurrentEntry   `json:"concurrent_small"`
+	PingPong      pingPongEntry     `json:"pingpong_shm"`
+	Collectives   []collectiveEntry `json:"collectives_sim"`
+	BcastPipeline bcastPipeEntry    `json:"bcast_pipelined_sim"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "short measurement loops for CI smoke use")
+	out := flag.String("o", "BENCH_PR4.json", "output path ('-' for stdout)")
+	flag.Parse()
+
+	rep := report{
+		Schema:      "encmpi-bench/1",
+		GeneratedBy: "cmd/benchjson",
+		Quick:       *quick,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	budget := 20 * time.Millisecond
+	if *quick {
+		budget = 2 * time.Millisecond
+	}
+
+	key := bytes.Repeat([]byte{0x42}, 32)
+	mkEngine := func(kind string, spawn bool) encmpi.Engine {
+		e, err := encmpi.NewEngine(encmpi.EngineSpec{
+			Kind: kind, Codec: "aesstd", Key: key, SpawnPerCall: spawn,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return e
+	}
+
+	sizes := []int{1 << 10, 4 << 10, 64 << 10, 256 << 10, 1 << 20}
+	if *quick {
+		sizes = []int{4 << 10, 256 << 10}
+	}
+	engines := []struct {
+		name  string
+		kind  string
+		spawn bool
+	}{
+		{"real-aesstd", "real", false},
+		{"parallel-pooled", "parallel", false},
+		{"parallel-percall", "parallel", true},
+	}
+	for _, eng := range engines {
+		for _, size := range sizes {
+			e := mkEngine(eng.kind, eng.spawn)
+			rep.SealOpen = append(rep.SealOpen, measureSealOpen(eng.name, e, size, budget))
+		}
+	}
+
+	rep.Concurrent = measureConcurrent(mkEngine, budget)
+	rep.PingPong = measurePingPong(key, *quick)
+	rep.Collectives, rep.BcastPipeline = measureCollectives(*quick)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(blob))
+}
+
+// timeOp runs fn in a calibrated loop for roughly `budget` and returns
+// ns/op.
+func timeOp(budget time.Duration, fn func()) float64 {
+	start := time.Now()
+	fn()
+	per := time.Since(start)
+	iters := 1
+	if per > 0 && per < budget {
+		iters = int(budget/per) + 1
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+func measureSealOpen(name string, e encmpi.Engine, size int, budget time.Duration) sealOpenEntry {
+	payload := encmpi.Bytes(bytes.Repeat([]byte{0xAB}, size))
+	entry := sealOpenEntry{Engine: name, Size: size}
+
+	entry.SealNsOp = timeOp(budget, func() {
+		w := e.Seal(nil, payload)
+		w.Release()
+	})
+	entry.SealMBps = float64(size) / entry.SealNsOp * 1e3
+	entry.SealAllocs = testing.AllocsPerRun(10, func() {
+		w := e.Seal(nil, payload)
+		w.Release()
+	})
+
+	wire := e.Seal(nil, payload)
+	entry.OpenNsOp = timeOp(budget, func() {
+		p, err := e.Open(nil, wire)
+		if err != nil {
+			log.Fatalf("%s @%d: %v", name, size, err)
+		}
+		p.Release()
+	})
+	entry.OpenMBps = float64(size) / entry.OpenNsOp * 1e3
+	entry.OpenAllocs = testing.AllocsPerRun(10, func() {
+		p, err := e.Open(nil, wire)
+		if err != nil {
+			log.Fatalf("%s @%d: %v", name, size, err)
+		}
+		p.Release()
+	})
+	wire.Release()
+	return entry
+}
+
+// measureConcurrent reports aggregate seal+open throughput of 16 goroutines
+// each working independent 4 KiB messages — the concurrent-small-message
+// regime the shared pool exists for — under both dispatch strategies.
+func measureConcurrent(mk func(kind string, spawn bool) encmpi.Engine, budget time.Duration) concurrentEntry {
+	const size = 4 << 10
+	const conc = 16
+	payload := bytes.Repeat([]byte{0xAB}, size)
+	aggregate := func(e encmpi.Engine) float64 {
+		nsPerRound := timeOp(budget*4, func() {
+			var wg sync.WaitGroup
+			for g := 0; g < conc; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 8; i++ {
+						w := e.Seal(nil, encmpi.Bytes(payload))
+						p, err := e.Open(nil, w)
+						if err != nil {
+							log.Fatal(err)
+						}
+						p.Release()
+						w.Release()
+					}
+				}()
+			}
+			wg.Wait()
+		})
+		return float64(size) * 8 * conc / nsPerRound * 1e3 // MB/s
+	}
+	pooled := aggregate(mk("parallel", false))
+	spawn := aggregate(mk("parallel", true))
+	entry := concurrentEntry{Size: size, Goroutines: conc, PooledMBps: pooled, SpawnMBps: spawn}
+	if spawn > 0 {
+		entry.GainPct = (pooled/spawn - 1) * 100
+	}
+	return entry
+}
+
+// measurePingPong times a blocking encrypted ping-pong over the in-process
+// transport (real crypto, real clock).
+func measurePingPong(key []byte, quick bool) pingPongEntry {
+	const size = 64 << 10
+	iters := 200
+	if quick {
+		iters = 20
+	}
+	payload := bytes.Repeat([]byte{0xCD}, size)
+	var oneWay time.Duration
+	err := encmpi.RunShm(2, func(c *encmpi.Comm) {
+		codec, err := encmpi.NewCodec("aesstd", key)
+		if err != nil {
+			panic(err)
+		}
+		e := encmpi.Encrypt(c, codec, uint32(c.Rank()))
+		peer := 1 - c.Rank()
+		buf := encmpi.Bytes(payload)
+		roundTrip := func() {
+			if c.Rank() == 0 {
+				e.Send(peer, 0, buf)
+				if _, _, err := e.Recv(peer, 0); err != nil {
+					panic(err)
+				}
+			} else {
+				if _, _, err := e.Recv(peer, 0); err != nil {
+					panic(err)
+				}
+				e.Send(peer, 0, buf)
+			}
+		}
+		roundTrip() // warm-up
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			roundTrip()
+		}
+		if c.Rank() == 0 {
+			oneWay = time.Since(start) / time.Duration(2*iters)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	entry := pingPongEntry{Transport: "shm", Size: size, OneWayUs: oneWay.Seconds() * 1e6}
+	if oneWay > 0 {
+		entry.MBps = float64(size) / oneWay.Seconds() / 1e6
+	}
+	return entry
+}
+
+// measureCollectives runs the simulated collective latencies (virtual time;
+// the numbers are deterministic modulo the calibration curves) and the
+// BcastPipelined-vs-Bcast comparison.
+func measureCollectives(quick bool) ([]collectiveEntry, bcastPipeEntry) {
+	ranks, nodes, iters := 64, 8, 10
+	if quick {
+		ranks, nodes, iters = 16, 4, 2
+	}
+	model, err := encmpi.LibraryModel("boringssl", "gcc485", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mk := func(int) encmpi.Engine { return model }
+
+	var colls []collectiveEntry
+	for _, op := range []encmpi.CollectiveOp{encmpi.OpBcast, encmpi.OpAlltoall} {
+		res, err := encmpi.Collective(encmpi.Eth10G(), mk, op, ranks, nodes, 16<<10, iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		colls = append(colls, collectiveEntry{
+			Op: string(op), Ranks: ranks, Nodes: nodes, Size: 16 << 10,
+			MeanUs: res.MeanLat.Seconds() * 1e6, Library: "boringssl/gcc485",
+		})
+	}
+
+	// The pipelined-broadcast ablation: slow crypto (CryptoPP class) on the
+	// fast fabric is where crypto/wire overlap pays.
+	slow, err := encmpi.LibraryModel("cryptopp", "mvapich", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mkSlow := func(int) encmpi.Engine { return slow }
+	const pipeSize = 1 << 20
+	pipeRanks, pipeNodes := 8, 2
+	pipeIters := 5
+	if quick {
+		pipeIters = 2
+	}
+	var lat [2]time.Duration
+	for i, op := range []encmpi.CollectiveOp{encmpi.OpBcast, encmpi.OpBcastPipelined} {
+		res, err := encmpi.Collective(encmpi.IB40G(), mkSlow, op, pipeRanks, pipeNodes, pipeSize, pipeIters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lat[i] = res.MeanLat
+	}
+	pipe := bcastPipeEntry{
+		Ranks: pipeRanks, Nodes: pipeNodes, Size: pipeSize,
+		BcastUs:     lat[0].Seconds() * 1e6,
+		BcastPipeUs: lat[1].Seconds() * 1e6,
+		Library:     "cryptopp/mvapich",
+	}
+	if lat[0] > 0 {
+		pipe.ImprovementPct = (1 - lat[1].Seconds()/lat[0].Seconds()) * 100
+	}
+	return colls, pipe
+}

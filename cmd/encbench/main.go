@@ -4,7 +4,13 @@
 // the host CPU using the paper's methodology (repeated enc+dec of each
 // buffer size until the standard deviation is within 5% of the mean).
 //
+// With -par it benchmarks the chunked parallel engine instead: the shared
+// persistent crypto worker pool against the legacy per-call goroutine
+// fan-out, for one large message (chunk parallelism) and for many
+// concurrent small messages (cross-message parallelism).
+//
 //	encbench [-net eth|ib] [-real] [-key 128|256]
+//	         [-par] [-workers N]
 //	         [-stats] [-statsfmt text|json|prom]
 package main
 
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync"
 	"time"
 
 	"encmpi"
@@ -25,10 +32,18 @@ func main() {
 	net := flag.String("net", "eth", "network side of the paper: eth (gcc 4.8.5) or ib (MVAPICH toolchain)")
 	real := flag.Bool("real", false, "measure the real Go AEAD backends instead of printing model curves")
 	keyBits := flag.Int("key", 256, "AES key length (128 or 256)")
+	par := flag.Bool("par", false, "benchmark the parallel engine: shared worker pool vs per-call goroutine fan-out")
+	workers := flag.Int("workers", 0, "with -par: worker count (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "with -real: print crypto accounting (counts, bytes, latency) after the sweep")
 	statsFmt := flag.String("statsfmt", "text", "metrics format: text, json, or prom")
 	flag.Parse()
 
+	if *par {
+		if err := measureParallel(*keyBits, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *real {
 		if err := measureReal(*keyBits, *stats, *statsFmt); err != nil {
 			log.Fatal(err)
@@ -145,6 +160,95 @@ func measureReal(keyBits int, stats bool, statsFmt string) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// measureParallel compares the parallel engine's two dispatch strategies:
+// the persistent shared worker pool (production) against the legacy
+// per-call goroutine fan-out (SpawnPerCall baseline). The single-message
+// rows show chunk-level parallelism on one large buffer; the final row
+// shows aggregate throughput of 16 goroutines each sealing and opening
+// independent 4 KiB messages — the concurrent-small-message regime the
+// shared pool exists for.
+func measureParallel(keyBits, workers int) error {
+	key := bytes.Repeat([]byte{0x42}, keyBits/8)
+	mk := func(spawnPerCall bool) (encmpi.Engine, error) {
+		return encmpi.NewEngine(encmpi.EngineSpec{
+			Kind: "parallel", Codec: "aesstd", Key: key,
+			Workers: workers, SpawnPerCall: spawnPerCall,
+		})
+	}
+	tb := encmpi.NewTable(
+		fmt.Sprintf("Parallel AES-GCM-%d engine: seal+open throughput (MB/s), worker pool vs per-call goroutines", keyBits),
+		"Workload", "Pooled", "PerCall", "Gain")
+
+	throughput := func(eng encmpi.Engine, size, conc int) (float64, error) {
+		var payload []byte
+		if size > 0 {
+			payload = bytes.Repeat([]byte{0xAB}, size)
+		}
+		sample, err := encmpi.AdaptiveRun(encmpi.EncDefaults(), func() float64 {
+			const itersPer = 8
+			start := time.Now()
+			var wg sync.WaitGroup
+			for g := 0; g < conc; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < itersPer; i++ {
+						wire := eng.Seal(nil, encmpi.Bytes(payload))
+						plain, err := eng.Open(nil, wire)
+						if err != nil {
+							panic(err)
+						}
+						plain.Release()
+						wire.Release()
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start).Seconds()
+			return float64(size) * itersPer * float64(conc) / elapsed / 1e6
+		})
+		return sample.Mean, err
+	}
+
+	type workload struct {
+		label string
+		size  int
+		conc  int
+	}
+	cases := []workload{
+		{"256KB x1", 256 << 10, 1},
+		{"1MB x1", 1 << 20, 1},
+		{"4MB x1", 4 << 20, 1},
+		{"4KB x16 concurrent", 4 << 10, 16},
+	}
+	for _, w := range cases {
+		pooledEng, err := mk(false)
+		if err != nil {
+			return err
+		}
+		spawnEng, err := mk(true)
+		if err != nil {
+			return err
+		}
+		pooled, err := throughput(pooledEng, w.size, w.conc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: %s pooled: %v\n", w.label, err)
+		}
+		spawn, err := throughput(spawnEng, w.size, w.conc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: %s percall: %v\n", w.label, err)
+		}
+		gain := "n/a"
+		if spawn > 0 {
+			gain = encmpi.Pct(pooled/spawn - 1)
+		}
+		tb.Add(w.label, encmpi.MBps(pooled), encmpi.MBps(spawn), gain)
+	}
+	tb.Note("pooled = persistent shared cryptopool; percall = legacy goroutine-per-chunk fan-out")
+	fmt.Print(tb)
 	return nil
 }
 

@@ -1,0 +1,200 @@
+// Package cryptopool is the persistent crypto worker pool behind the
+// parallel AEAD engine. The paper's §V-C finding is that single-thread
+// AES-GCM cannot keep up with fast links; the follow-up encrypted-MPI
+// systems fix it with multi-threaded encryption pipelined against the wire.
+// The first version of this runtime parallelized each message by spawning
+// fresh goroutines and a fresh semaphore channel per Seal/Open call — cheap
+// for one large message, but pure overhead for the small-message regime and
+// wasted work repeated on every call.
+//
+// This package replaces the per-call fan-out with one process-wide pool:
+//
+//   - Workers are long-lived goroutines, started once, fed from a bounded
+//     task queue. A process encrypts on the same warm goroutines for its
+//     whole life; no spawn or semaphore allocation per message.
+//   - Because the pool is shared across messages and ranks, many concurrent
+//     small messages are sealed in parallel too — parallelism is no longer
+//     reserved for the chunks of one large message.
+//   - Backpressure is "caller helps": when the queue is full (or the pool is
+//     closed), the submitting goroutine runs the task inline. Submission
+//     therefore never blocks and can never deadlock, and queue memory stays
+//     bounded no matter how many ranks pile on.
+//   - Completion is per-task (Handle) or per-batch (Batch); Batch lives on
+//     the caller's stack and adds no allocation beyond the task closures.
+//   - Close drains the queue and stops the workers; submissions after Close
+//     degrade to inline execution, so shutdown is safe to race with use.
+package cryptopool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"encmpi/internal/sched"
+)
+
+// Pool is a fixed set of long-lived worker goroutines fed by a bounded task
+// queue.
+type Pool struct {
+	tasks   chan func()
+	workers int
+
+	// mu guards the closed flag against racing Submit/Close: submissions
+	// take the read side (cheap, shared), Close the write side, so a task
+	// can never be enqueued after the workers have drained and exited.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts a pool of `workers` goroutines (≤ 0 means GOMAXPROCS) with a
+// task queue of `queue` slots (≤ 0 picks 4× workers, enough to keep every
+// worker busy while submitters are still chunking).
+func New(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 4 * workers
+	}
+	p := &Pool{tasks: make(chan func(), queue), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// worker drains the task queue until Close closes it.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for fn := range p.tasks {
+		fn()
+	}
+}
+
+// Workers reports the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// trySubmit enqueues fn unless the queue is full or the pool is closed.
+func (p *Pool) trySubmit(fn func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Handle is a per-task completion handle. Wait blocks until the task has
+// run; the parking primitive is the sched Notify contract, so spurious
+// wakeups are absorbed by the done re-check.
+type Handle struct {
+	done atomic.Bool
+	note *sched.Notify
+}
+
+// Wait blocks until the task completes.
+func (h *Handle) Wait() {
+	for !h.done.Load() {
+		h.note.Park()
+	}
+}
+
+// Done reports (without blocking) whether the task has run.
+func (h *Handle) Done() bool { return h.done.Load() }
+
+// Submit schedules fn on the pool and returns its completion handle. If the
+// queue is full or the pool is closed, fn runs inline on the caller before
+// Submit returns (the returned handle is already done).
+func (p *Pool) Submit(fn func()) *Handle {
+	h := &Handle{note: sched.NewNotify()}
+	run := func() {
+		fn()
+		h.done.Store(true)
+		h.note.Unpark()
+	}
+	if !p.trySubmit(run) {
+		run()
+	}
+	return h
+}
+
+// Batch tracks a group of tasks submitted together — the engines' per-call
+// completion point. The zero value is ready to use and lives on the caller's
+// stack; Wait returns once every task submitted through Go has run.
+type Batch struct {
+	wg sync.WaitGroup
+}
+
+// Go schedules fn on the pool as part of the batch. Queue-full backpressure
+// is the same as Submit's: the caller runs fn inline rather than blocking.
+func (b *Batch) Go(p *Pool, fn func()) {
+	b.wg.Add(1)
+	run := func() {
+		defer b.wg.Done()
+		fn()
+	}
+	if p == nil || !p.trySubmit(run) {
+		run()
+	}
+}
+
+// Wait blocks until every task the batch submitted has completed.
+func (b *Batch) Wait() { b.wg.Wait() }
+
+// Close stops the pool: the queue is closed, the workers drain what was
+// already enqueued and exit, and Close returns once they have. Tasks
+// submitted concurrently with (or after) Close run inline on their
+// submitters, so no completion handle is ever stranded.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Default pool: one process-wide pool shared by every engine that does not
+// carry its own. It starts lazily on first use with GOMAXPROCS workers;
+// Configure resizes it (the facade's WithCryptoWorkers ends here).
+var (
+	defMu sync.Mutex
+	def   *Pool
+)
+
+// Default returns the process-wide pool, starting it on first use.
+func Default() *Pool {
+	defMu.Lock()
+	defer defMu.Unlock()
+	if def == nil {
+		def = New(0, 0)
+	}
+	return def
+}
+
+// Configure replaces the process-wide pool with one of `workers` workers
+// (≤ 0 means GOMAXPROCS) and returns it. The previous default, if any, is
+// closed — in-flight batches finish (Close drains), and engines holding the
+// old pointer fall back to inline execution, so resizing mid-run is safe if
+// wasteful. Call it once at startup, before the hot path.
+func Configure(workers int) *Pool {
+	defMu.Lock()
+	old := def
+	def = New(workers, 0)
+	p := def
+	defMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return p
+}

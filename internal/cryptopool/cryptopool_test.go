@@ -1,0 +1,123 @@
+package cryptopool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBatchRunsEveryTask: all tasks run exactly once, regardless of whether
+// they rode the queue or ran inline under backpressure.
+func TestBatchRunsEveryTask(t *testing.T) {
+	p := New(2, 1) // tiny queue: most tasks take the inline path
+	defer p.Close()
+	const n = 1000
+	var count atomic.Int64
+	var b Batch
+	for i := 0; i < n; i++ {
+		b.Go(p, func() { count.Add(1) })
+	}
+	b.Wait()
+	if got := count.Load(); got != n {
+		t.Fatalf("ran %d tasks, want %d", got, n)
+	}
+}
+
+// TestHandleWait: per-task handles complete, including under queue-full
+// inline execution.
+func TestHandleWait(t *testing.T) {
+	p := New(1, 1)
+	defer p.Close()
+	var ran atomic.Bool
+	h := p.Submit(func() { ran.Store(true) })
+	h.Wait()
+	if !ran.Load() {
+		t.Fatal("task did not run before Wait returned")
+	}
+	if !h.Done() {
+		t.Fatal("Done false after Wait")
+	}
+}
+
+// TestNilAndClosedPoolRunInline: a nil pool and a closed pool both degrade
+// to inline execution — no hang, no loss.
+func TestNilAndClosedPoolRunInline(t *testing.T) {
+	var b Batch
+	ran := 0
+	b.Go(nil, func() { ran++ })
+	b.Wait()
+	if ran != 1 {
+		t.Fatal("nil pool did not run inline")
+	}
+
+	p := New(1, 1)
+	p.Close()
+	h := p.Submit(func() { ran++ })
+	h.Wait()
+	if ran != 2 {
+		t.Fatal("closed pool did not run inline")
+	}
+}
+
+// TestCloseIsIdempotentAndDrains: Close waits for queued work and may be
+// called twice.
+func TestCloseIsIdempotentAndDrains(t *testing.T) {
+	p := New(1, 8)
+	var count atomic.Int64
+	var b Batch
+	for i := 0; i < 8; i++ {
+		b.Go(p, func() { count.Add(1) })
+	}
+	p.Close()
+	p.Close()
+	b.Wait()
+	if got := count.Load(); got != 8 {
+		t.Fatalf("drained %d of 8 queued tasks", got)
+	}
+}
+
+// TestConcurrentSubmitAndClose races many submitters against Close; every
+// batch must still complete (inline fallback) and nothing may panic. Run
+// under -race this also proves the closed-flag synchronization.
+func TestConcurrentSubmitAndClose(t *testing.T) {
+	p := New(2, 2)
+	var wg sync.WaitGroup
+	var count atomic.Int64
+	const goroutines, per = 8, 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var b Batch
+			for i := 0; i < per; i++ {
+				b.Go(p, func() { count.Add(1) })
+			}
+			b.Wait()
+		}()
+	}
+	p.Close()
+	wg.Wait()
+	if got := count.Load(); got != goroutines*per {
+		t.Fatalf("ran %d tasks, want %d", got, goroutines*per)
+	}
+}
+
+// TestConfigureReplacesDefault: Configure installs a new default of the
+// requested width and closes the old one.
+func TestConfigureReplacesDefault(t *testing.T) {
+	first := Default()
+	p := Configure(3)
+	if p == first {
+		t.Fatal("Configure did not replace the default pool")
+	}
+	if p.Workers() != 3 {
+		t.Fatalf("Workers = %d, want 3", p.Workers())
+	}
+	if Default() != p {
+		t.Fatal("Default does not return the configured pool")
+	}
+	// The old default is closed: submissions degrade to inline, still run.
+	h := first.Submit(func() {})
+	h.Wait()
+	Configure(0) // restore a GOMAXPROCS-wide default for other tests
+}

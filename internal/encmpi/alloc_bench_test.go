@@ -127,3 +127,39 @@ func TestParallelSealAllocRegression(t *testing.T) {
 		t.Errorf("pooled parallel Seal: %.1f allocs/op, want fewer than unpooled %.1f", pooled, unpooled)
 	}
 }
+
+// TestParallelDispatchAllocRegression pins the dispatch cost of runChunks on
+// a warm engine, per mode:
+//
+//   - The pooled single-chunk path is the inline fast path: no goroutine, no
+//     completion handle — nothing beyond the wire lease itself.
+//   - The legacy SpawnPerCall path's semaphore is hoisted to engine lifetime
+//     (semOnce); the pre-fix code allocated make(chan struct{}, Workers) on
+//     every call, which would push the multi-chunk count to 7+ and fail the
+//     strict <7 bound here.
+//   - The pooled multi-chunk path pays only the per-chunk Batch.Go closures.
+func TestParallelDispatchAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector inflates allocation counts")
+	}
+	seal := func(spawn bool, size int) float64 {
+		e := newParallel(t, 4, 64<<10)
+		e.SpawnPerCall = spawn
+		plain := mpi.Bytes(make([]byte, size))
+		w := e.Seal(nil, plain) // warm: pool filled, semOnce fired
+		w.Release()
+		return testing.AllocsPerRun(30, func() {
+			wire := e.Seal(nil, plain)
+			wire.Release()
+		})
+	}
+	if got := seal(false, 4<<10); got > 1.5 {
+		t.Errorf("pooled single-chunk Seal: %.1f allocs/op, want ≤ 1.5 (inline fast path)", got)
+	}
+	if got := seal(true, allocSize); got >= 7 {
+		t.Errorf("spawn-per-call 4-chunk Seal: %.1f allocs/op, want < 7 (semaphore must be hoisted, not per-call)", got)
+	}
+	if got := seal(false, allocSize); got >= 12 {
+		t.Errorf("pooled 4-chunk Seal: %.1f allocs/op, want < 12 (Batch dispatch only)", got)
+	}
+}

@@ -1,0 +1,192 @@
+package encmpi
+
+import (
+	"encmpi/internal/mpi"
+)
+
+// BcastPipelined is the segmented broadcast: the overlap design of
+// SendPipelined lifted onto the binomial tree. A plain encrypted Bcast
+// seals the whole message, then every tree hop serializes crypto and wire
+// time; here the root seals the message chunk by chunk (each chunk an
+// independent AEAD message, as in SendPipelined) and streams the sealed
+// chunks down the tree, so chunk k+1's encryption and injection overlap
+// chunk k's descent. Interior ranks forward each ciphertext chunk to their
+// children *before* decrypting it, so a chunk's decryption overlaps the
+// next chunk's wire time and the paper's one-seal, p−1-opens accounting is
+// preserved — ciphertext travels the tree unmodified, exactly like Bcast.
+//
+// The chunk tag space is SendPipelined's: the 8-byte plaintext-length
+// header travels at tag, chunk k at tag+pipelineTagStride·(k+1). All ranks
+// must pass the same root, tag, and chunk. Non-root ranks may pass the zero
+// Buffer; the root's return value is its own buf.
+//
+// Error handling follows the hostile-bytes contract: a chunk that fails
+// authentication is still forwarded (it was forwarded before it was
+// opened), the remaining chunks keep flowing so descendants never block on
+// this rank, and the error is returned once the stream has drained. A
+// header that fails to open poisons this rank's subtree — like an aborted
+// SendPipelined exchange, later chunks then land in the unexpected queue.
+func (e *Comm) BcastPipelined(root, tag int, buf mpi.Buffer, chunk int) (mpi.Buffer, error) {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	p := e.Size()
+	if p == 1 {
+		return buf, nil
+	}
+	relrank := (e.Rank() - root + p) % p
+	parentRel, childrenRel := bcastTree(relrank, p)
+	children := make([]int, len(childrenRel))
+	for i, c := range childrenRel {
+		children[i] = (c + root) % p
+	}
+	if relrank == 0 {
+		return buf, e.bcastPipeRoot(tag, buf, chunk, children)
+	}
+	return e.bcastPipeRelay(tag, chunk, (parentRel+root)%p, children)
+}
+
+// bcastTree computes a rank's parent and children in the binomial broadcast
+// tree, in root-relative numbering (the same tree Bcast walks). The root's
+// parent is -1.
+func bcastTree(relrank, p int) (parent int, children []int) {
+	parent = -1
+	mask := 1
+	for mask < p {
+		if relrank&mask != 0 {
+			parent = relrank - mask
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if relrank+mask < p {
+			children = append(children, relrank+mask)
+		}
+	}
+	return parent, children
+}
+
+// bcastPipeRoot seals and streams: header first, then one sealed chunk at a
+// time fanned out to every child with nonblocking sends, so sealing chunk
+// k+1 overlaps the injection and descent of chunk k.
+func (e *Comm) bcastPipeRoot(tag int, buf mpi.Buffer, chunk int, children []int) error {
+	n := buf.Len()
+	var pending []*mpi.Request
+	// wires holds our lease references until every send that reads from
+	// them has completed.
+	var wires []mpi.Buffer
+	hdr := e.seal(mpi.Bytes(encodeLen(n)))
+	wires = append(wires, hdr)
+	for _, c := range children {
+		pending = append(pending, e.c.Isend(c, tag, hdr))
+	}
+	for off, k := 0, 0; off < n; off, k = off+chunk, k+1 {
+		end := off + chunk
+		if end > n {
+			end = n
+		}
+		w := e.seal(buf.Slice(off, end))
+		wires = append(wires, w)
+		for _, c := range children {
+			pending = append(pending, e.c.Isend(c, tag+pipelineTagStride*(k+1), w))
+		}
+	}
+	err := e.c.Waitall(pending)
+	for _, w := range wires {
+		w.Release()
+	}
+	return err
+}
+
+// bcastPipeRelay receives the ciphertext stream from the parent, forwards
+// each chunk to the children before opening it, and assembles the plaintext
+// into a buffer preallocated from the announced total.
+func (e *Comm) bcastPipeRelay(tag, chunk, parent int, children []int) (mpi.Buffer, error) {
+	hw, _ := e.c.Recv(parent, tag)
+	var pending []*mpi.Request
+	wires := []mpi.Buffer{hw}
+	release := func() {
+		for _, w := range wires {
+			w.Release()
+		}
+	}
+	for _, c := range children {
+		pending = append(pending, e.c.Isend(c, tag, hw))
+	}
+	hdr, err := e.open(hw)
+	if err != nil {
+		e.c.Waitall(pending)
+		release()
+		return mpi.Buffer{}, err
+	}
+	if hdr.IsSynthetic() {
+		e.c.Waitall(pending)
+		release()
+		return mpi.Buffer{}, malformedf("pipelined length header carries no bytes")
+	}
+	total, err := decodeLen(hdr.Data)
+	if !hdr.SharesStorage(hw) {
+		hdr.Release()
+	}
+	if err != nil {
+		e.c.Waitall(pending)
+		release()
+		return mpi.Buffer{}, err
+	}
+
+	chunks := (total + chunk - 1) / chunk
+	// Post every chunk receive up front: arrivals never wait on this rank's
+	// decryption backlog.
+	reqs := make([]*mpi.Request, chunks)
+	for k := 0; k < chunks; k++ {
+		reqs[k] = e.c.Irecv(parent, tag+pipelineTagStride*(k+1))
+	}
+	out := make([]byte, total)
+	synthetic := false
+	got := 0
+	var firstErr error
+	for k, r := range reqs {
+		w, _ := e.c.Wait(r)
+		wires = append(wires, w)
+		// Forward first: the children's copy of chunk k is on the wire
+		// while this rank decrypts it.
+		for _, c := range children {
+			pending = append(pending, e.c.Isend(c, tag+pipelineTagStride*(k+1), w))
+		}
+		plain, err := e.open(w)
+		if err != nil {
+			// Keep relaying so descendants drain cleanly; record the
+			// failure and discard this chunk's plaintext contribution.
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if plain.IsSynthetic() {
+			synthetic = true
+		} else {
+			if got < total {
+				copy(out[got:], plain.Data)
+			}
+			if !plain.SharesStorage(w) {
+				plain.Release()
+			}
+		}
+		got += plain.Len()
+	}
+	if err := e.c.Waitall(pending); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	release()
+	if firstErr != nil {
+		return mpi.Buffer{}, firstErr
+	}
+	if got != total {
+		return mpi.Buffer{}, malformedf("pipelined bcast got %d of %d announced bytes", got, total)
+	}
+	if synthetic {
+		return mpi.Synthetic(total), nil
+	}
+	return mpi.Bytes(out), nil
+}

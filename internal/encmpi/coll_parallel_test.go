@@ -1,0 +1,166 @@
+package encmpi_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/aead/codecs"
+	"encmpi/internal/cryptopool"
+	"encmpi/internal/encmpi"
+	"encmpi/internal/job"
+	"encmpi/internal/mpi"
+)
+
+// parallelRank builds a per-rank chunked parallel engine (small chunks so
+// modest payloads still exercise multi-chunk dispatch).
+func parallelRank(t testing.TB, rank, workers, chunk int) *encmpi.ParallelEngine {
+	t.Helper()
+	codec, err := codecs.New("aesstd", testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := encmpi.NewParallelEngine(codec, aead.NewCounterNonce(uint32(rank)), workers)
+	e.Chunk = chunk
+	return e
+}
+
+// blockPattern builds the Alltoall block src sends to dst.
+func blockPattern(src, dst, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(src*37 + dst*101 + i)
+	}
+	return b
+}
+
+// TestCollectivesParallelEngineNonPow2 drives Bcast and Alltoall through
+// the chunked parallel engine at non-power-of-two world sizes, where the
+// binomial tree is ragged and the pairwise exchange wraps unevenly, for
+// both zero-length and multi-chunk payloads.
+func TestCollectivesParallelEngineNonPow2(t *testing.T) {
+	for _, p := range []int{3, 5, 7} {
+		for _, n := range []int{0, 5000} {
+			p, n := p, n
+			t.Run(fmt.Sprintf("p%d/n%d", p, n), func(t *testing.T) {
+				payload := bcastPayload(n)
+				err := job.RunShm(p, func(c *mpi.Comm) {
+					e := encmpi.Wrap(c, parallelRank(t, c.Rank(), 4, 1024))
+
+					// Bcast: every rank must see the root's bytes.
+					var buf mpi.Buffer
+					if c.Rank() == 0 {
+						buf = mpi.Bytes(payload)
+					}
+					got, err := e.Bcast(0, buf)
+					if err != nil {
+						t.Errorf("rank %d: bcast: %v", c.Rank(), err)
+						return
+					}
+					if got.Len() != n || (n > 0 && !bytes.Equal(got.Data, payload)) {
+						t.Errorf("rank %d: bcast payload mismatch", c.Rank())
+					}
+
+					// Alltoall: rank r's block for d carries pattern(r, d).
+					blocks := make([]mpi.Buffer, p)
+					for d := range blocks {
+						blocks[d] = mpi.Bytes(blockPattern(c.Rank(), d, n))
+					}
+					res, err := e.Alltoall(blocks)
+					if err != nil {
+						t.Errorf("rank %d: alltoall: %v", c.Rank(), err)
+						return
+					}
+					for src, b := range res {
+						want := blockPattern(src, c.Rank(), n)
+						if b.Len() != n || (n > 0 && !bytes.Equal(b.Data, want)) {
+							t.Errorf("rank %d: alltoall block from %d mismatched", c.Rank(), src)
+						}
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestSharedPoolAcrossRanks runs a ring exchange where every rank's
+// parallel engine shares ONE cryptopool, so concurrent Seal/Open calls from
+// different ranks interleave inside the same worker goroutines. Run under
+// -race (scripts/check.sh does) this is the data-race gate for the shared
+// pool; the byte checks make it a correctness gate too.
+func TestSharedPoolAcrossRanks(t *testing.T) {
+	pool := cryptopool.New(4, 8)
+	defer pool.Close()
+
+	const p = 6
+	const n = 16 << 10
+	const rounds = 10
+	err := job.RunShm(p, func(c *mpi.Comm) {
+		eng := parallelRank(t, c.Rank(), 4, 2048)
+		eng.WorkPool = pool
+		e := encmpi.Wrap(c, eng)
+		next, prev := (c.Rank()+1)%p, (c.Rank()+p-1)%p
+		for round := 0; round < rounds; round++ {
+			out := blockPattern(c.Rank(), round, n)
+			sreq := e.Isend(next, round, mpi.Bytes(out))
+			rreq := e.Irecv(prev, round)
+			got, _, err := e.Wait(rreq)
+			if err != nil {
+				t.Errorf("rank %d round %d: %v", c.Rank(), round, err)
+				return
+			}
+			if !bytes.Equal(got.Data, blockPattern(prev, round, n)) {
+				t.Errorf("rank %d round %d: payload mismatch", c.Rank(), round)
+			}
+			if _, _, err := e.Wait(sreq); err != nil {
+				t.Errorf("rank %d round %d: send: %v", c.Rank(), round, err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedPoolConcurrentEngines hammers one pool from many engines with
+// no MPI layer in between: pure concurrent Seal/Open pressure, including
+// queue overflow into the caller-helps inline path (the queue is tiny).
+func TestSharedPoolConcurrentEngines(t *testing.T) {
+	pool := cryptopool.New(2, 1)
+	defer pool.Close()
+
+	const engines = 8
+	done := make(chan error, engines)
+	for g := 0; g < engines; g++ {
+		g := g
+		go func() {
+			eng := parallelRank(t, 100+g, 4, 1024)
+			eng.WorkPool = pool
+			payload := blockPattern(g, g, 12<<10)
+			for i := 0; i < 40; i++ {
+				wire := eng.Seal(nil, mpi.Bytes(payload))
+				back, err := eng.Open(nil, wire)
+				if err != nil {
+					done <- fmt.Errorf("engine %d iter %d: %v", g, i, err)
+					return
+				}
+				if !bytes.Equal(back.Data, payload) {
+					done <- fmt.Errorf("engine %d iter %d: corrupted round trip", g, i)
+					return
+				}
+				back.Release()
+				wire.Release()
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < engines; g++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -2,24 +2,38 @@ package encmpi
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"encmpi/internal/aead"
 	"encmpi/internal/bufpool"
+	"encmpi/internal/cryptopool"
 	"encmpi/internal/mpi"
 	"encmpi/internal/sched"
 )
 
 // ParallelEngine is the real-crypto realization of the paper's §V-C
-// proposal: it splits each message into chunks and seals/opens them on
-// Workers goroutines concurrently, so multi-core machines can feed networks
-// faster than one core's AES throughput. Each chunk is an independent
-// AES-GCM message with its own nonce, so the wire format is
-// [chunk0: nonce‖ct‖tag][chunk1: ...] with a fixed chunk length known to
-// both sides; total expansion is 28 bytes per chunk.
+// proposal: it splits each message into chunks and seals/opens them
+// concurrently, so multi-core machines can feed networks faster than one
+// core's AES throughput. Each chunk is an independent AES-GCM message with
+// its own nonce, so the wire format is [chunk0: nonce‖ct‖tag][chunk1: ...]
+// with a fixed chunk length known to both sides; total expansion is 28 bytes
+// per chunk.
+//
+// Chunk work runs on the persistent process-wide cryptopool (long-lived
+// goroutines, shared across messages and ranks) rather than per-call
+// goroutine fan-out: one large message parallelizes across its chunks, and
+// many concurrent small messages parallelize across their callers without
+// any spawn cost. Single-chunk messages are sealed inline — zero dispatch —
+// which is what makes the concurrent-small-message regime fast. The legacy
+// per-call fan-out survives behind SpawnPerCall as the ablation baseline.
 type ParallelEngine struct {
-	codec   aead.Codec
-	nonce   aead.NonceSource
+	codec aead.Codec
+	nonce aead.NonceSource
+	// Workers is the parallelism grain: 1 forces fully inline sequential
+	// chunk processing; > 1 enables concurrent chunks (bounded by the shared
+	// pool's width on the pooled path, or by Workers itself on the legacy
+	// SpawnPerCall path, where it sizes the hoisted semaphore).
 	Workers int
 	// Chunk is the plaintext bytes per chunk.
 	Chunk int
@@ -28,17 +42,34 @@ type ParallelEngine struct {
 	// allocate-per-call behaviour. It exists for the allocation benchmarks'
 	// baseline; leave it false in production.
 	NoPool bool
+
+	// SpawnPerCall disables the shared cryptopool and restores the original
+	// per-call goroutine fan-out (one spawned goroutine per chunk, bounded
+	// by a Workers-slot semaphore). It exists as the A/B baseline for the
+	// worker-pool benchmarks; leave it false in production.
+	SpawnPerCall bool
+
+	// WorkPool overrides the crypto worker pool; nil means the process-wide
+	// cryptopool.Default(). Tests use private pools for isolation.
+	WorkPool *cryptopool.Pool
+
+	// semOnce/sem lazily build the legacy path's chunk-concurrency
+	// semaphore once per engine instead of once per call (the per-call
+	// make(chan) was pure allocator churn on the hot path).
+	semOnce sync.Once
+	sem     chan struct{}
 }
 
 // DefaultParallelChunk balances parallelism grain against per-chunk
 // overhead.
 const DefaultParallelChunk = 128 << 10
 
-// NewParallelEngine builds a parallel engine; workers ≤ 1 degrades to
-// sequential behaviour (but keeps the chunked wire format).
+// NewParallelEngine builds a parallel engine; workers ≤ 0 means GOMAXPROCS
+// (the shared pool's width) and workers == 1 degrades to sequential
+// behaviour (but keeps the chunked wire format).
 func NewParallelEngine(codec aead.Codec, nonce aead.NonceSource, workers int) *ParallelEngine {
-	if workers < 1 {
-		workers = 1
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	return &ParallelEngine{codec: codec, nonce: nonce, Workers: workers, Chunk: DefaultParallelChunk}
 }
@@ -72,6 +103,58 @@ func (e *ParallelEngine) chunksOf(n int) int {
 
 // WireLen returns the on-wire size for an n-byte plaintext.
 func (e *ParallelEngine) WireLen(n int) int { return n + e.chunksOf(n)*aead.Overhead }
+
+// semaphore returns the legacy path's engine-lifetime chunk semaphore.
+func (e *ParallelEngine) semaphore() chan struct{} {
+	e.semOnce.Do(func() { e.sem = make(chan struct{}, e.Workers) })
+	return e.sem
+}
+
+// runChunks executes fn(0) … fn(chunks-1) under the engine's parallelism
+// policy. Single-chunk calls (and Workers == 1) run inline with no dispatch
+// at all; the legacy SpawnPerCall path spawns a goroutine per chunk bounded
+// by the hoisted semaphore; the default path hands chunks 1…n-1 to the
+// shared worker pool and runs chunk 0 on the caller — the caller is a
+// worker too, so a saturated pool degrades to caller-paced progress rather
+// than idle waiting.
+func (e *ParallelEngine) runChunks(chunks int, fn func(i int)) {
+	if e.SpawnPerCall {
+		// Legacy baseline: one spawned goroutine per chunk — even for a
+		// single chunk, as the pre-pool implementation did — bounded by the
+		// engine-lifetime semaphore.
+		sem := e.semaphore()
+		var wg sync.WaitGroup
+		for i := 0; i < chunks; i++ {
+			i := i
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				fn(i)
+			}()
+		}
+		wg.Wait()
+		return
+	}
+	if chunks == 1 || e.Workers == 1 {
+		for i := 0; i < chunks; i++ {
+			fn(i)
+		}
+		return
+	}
+	pool := e.WorkPool
+	if pool == nil {
+		pool = cryptopool.Default()
+	}
+	var b cryptopool.Batch
+	for i := 1; i < chunks; i++ {
+		i := i
+		b.Go(pool, func() { fn(i) })
+	}
+	fn(0)
+	b.Wait()
+}
 
 // Seal implements Engine. The wire buffer (and the zeroed scratch for
 // synthetic inputs) is drawn from the buffer pool; the returned buffer
@@ -111,31 +194,21 @@ func (e *ParallelEngine) Seal(_ sched.Proc, plain mpi.Buffer) mpi.Buffer {
 		}
 	}
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.Workers)
-	for i := 0; i < chunks; i++ {
-		i := i
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			lo := i * chunk
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			wlo := lo + i*aead.Overhead
-			whi := hi + (i+1)*aead.Overhead
-			// The destination's capacity is clamped to this chunk's own wire
-			// span [wlo, whi): a codec that appends more than its declared
-			// overhead reallocates and fails loudly downstream instead of
-			// silently overwriting the next chunk's nonce and ciphertext.
-			nonce := out[wlo : wlo+aead.NonceSize]
-			e.codec.Seal(out[wlo+aead.NonceSize:wlo+aead.NonceSize:whi], nonce, data[lo:hi])
-		}()
-	}
-	wg.Wait()
+	e.runChunks(chunks, func(i int) {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wlo := lo + i*aead.Overhead
+		whi := hi + (i+1)*aead.Overhead
+		// The destination's capacity is clamped to this chunk's own wire
+		// span [wlo, whi): a codec that appends more than its declared
+		// overhead reallocates and fails loudly downstream instead of
+		// silently overwriting the next chunk's nonce and ciphertext.
+		nonce := out[wlo : wlo+aead.NonceSize]
+		e.codec.Seal(out[wlo+aead.NonceSize:wlo+aead.NonceSize:whi], nonce, data[lo:hi])
+	})
 	scratch.Release()
 	if lease == nil {
 		return mpi.Bytes(out)
@@ -157,7 +230,7 @@ func (e *ParallelEngine) Open(_ sched.Proc, wire mpi.Buffer) (mpi.Buffer, error)
 	chunk := e.chunkSize()
 	chunks := e.chunksOf(n)
 
-	// Validate every chunk's wire span against len(w) before spawning any
+	// Validate every chunk's wire span against len(w) before dispatching any
 	// worker: a wire whose total length passes the plainLen arithmetic but
 	// is internally inconsistent must surface as an error on the caller's
 	// goroutine, never as an out-of-bounds panic inside a worker.
@@ -182,34 +255,22 @@ func (e *ParallelEngine) Open(_ sched.Proc, wire mpi.Buffer) (mpi.Buffer, error)
 		out = lease.Bytes()[:n]
 	}
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, e.Workers)
 	errs := make([]error, chunks)
-	for i := 0; i < chunks; i++ {
-		i := i
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			lo := i * chunk
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			wlo := lo + i*aead.Overhead
-			whi := hi + (i+1)*aead.Overhead
-			span := w[wlo:whi]
-			nonce, ct := span[:aead.NonceSize], span[aead.NonceSize:]
-			plain, err := e.codec.Open(out[lo:lo:lo+(hi-lo)], nonce, ct)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			_ = plain // decrypted in place into out[lo:hi]
-		}()
-	}
-	wg.Wait()
+	e.runChunks(chunks, func(i int) {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wlo := lo + i*aead.Overhead
+		whi := hi + (i+1)*aead.Overhead
+		span := w[wlo:whi]
+		nonce, ct := span[:aead.NonceSize], span[aead.NonceSize:]
+		if _, err := e.codec.Open(out[lo:lo:lo+(hi-lo)], nonce, ct); err != nil {
+			errs[i] = err
+		}
+		// On success the chunk decrypted in place into out[lo:hi].
+	})
 	for _, err := range errs {
 		if err != nil {
 			lease.Release()

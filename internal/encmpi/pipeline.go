@@ -80,23 +80,32 @@ func (e *Comm) RecvPipelined(src, tag int, chunk int) (mpi.Buffer, error) {
 	for k := 0; k < chunks; k++ {
 		reqs[k] = e.Irecv(src, tag+pipelineTagStride*(k+1))
 	}
-	var out []byte
+	// The announced total sizes the assembly buffer exactly: chunks are
+	// copied into place instead of append-growing a slice through
+	// reallocation after reallocation.
+	out := make([]byte, total)
 	synthetic := false
 	got := 0
-	for _, r := range reqs {
+	for i, r := range reqs {
 		buf, _, err := e.Wait(r)
 		if err != nil {
+			// Drain the chunk requests already posted after this one so no
+			// request stays pending and no decrypted chunk's pool lease
+			// leaks; their payloads are discarded unread.
+			e.drainPipelined(reqs[i+1:])
 			return mpi.Buffer{}, err
 		}
-		got += buf.Len()
 		if buf.IsSynthetic() {
 			synthetic = true
 		} else {
-			out = append(out, buf.Data...)
+			if got < total {
+				copy(out[got:], buf.Data)
+			}
 			// The chunk's pool lease (ours via the decrypt hook) is spent
 			// once its bytes are copied into the assembled message.
 			buf.Release()
 		}
+		got += buf.Len()
 	}
 	if got != total {
 		return mpi.Buffer{}, malformedf("pipelined recv got %d of %d announced bytes", got, total)
@@ -105,6 +114,19 @@ func (e *Comm) RecvPipelined(src, tag int, chunk int) (mpi.Buffer, error) {
 		return mpi.Synthetic(total), nil
 	}
 	return mpi.Bytes(out), nil
+}
+
+// drainPipelined completes the given chunk requests, releasing whatever they
+// carried. It is the error-path cleanup of the pipelined receives: once a
+// chunk has failed, the remaining posted requests must still be waited (a
+// pending request would otherwise match a later message on the same tags)
+// and their pool leases returned.
+func (e *Comm) drainPipelined(reqs []*Request) {
+	for _, r := range reqs {
+		if buf, _, err := e.Wait(r); err == nil {
+			buf.Release()
+		}
+	}
 }
 
 // pipelineHeaderLen is the fixed size of the little-endian length header.

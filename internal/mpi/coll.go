@@ -60,15 +60,20 @@ func (c *Comm) Bcast(root int, buf Buffer) Buffer {
 		}
 		mask <<= 1
 	}
-	// Forward to children.
+	// Forward to all children via nonblocking sends: the subtrees descend
+	// concurrently instead of each child waiting for the previous child's
+	// blocking send to complete (under the encrypted layer that serialized
+	// every hop behind the neighbouring subtree's crypto+wire time).
 	mask >>= 1
+	var reqs []*Request
 	for mask > 0 {
 		if relrank+mask < p {
 			dst := ((relrank+mask)%p + root) % p
-			c.sendColl(dst, collTag(seq, 0), buf)
+			reqs = append(reqs, c.isend(dst, collTag(seq, 0), c.ctxColl, buf))
 		}
 		mask >>= 1
 	}
+	c.Waitall(reqs)
 	return buf
 }
 
@@ -122,12 +127,27 @@ func (c *Comm) Alltoall(blocks []Buffer) []Buffer {
 	seq := c.nextColl()
 	res := make([]Buffer, p)
 	res[c.rank] = blocks[c.rank]
+	// Post every receive up front, then every send: all p-1 pairwise
+	// exchanges progress concurrently, so an early-arriving block never
+	// waits behind a step barrier (and under the encrypted layer every
+	// block's decryption overlaps the remaining transfers inside Wait).
+	rreqs := make([]*Request, 0, p-1)
+	srcs := make([]int, 0, p-1)
+	for i := 1; i < p; i++ {
+		src := (c.rank - i + p) % p
+		rreqs = append(rreqs, c.irecv(src, collTag(seq, i), c.ctxColl))
+		srcs = append(srcs, src)
+	}
+	sreqs := make([]*Request, 0, p-1)
 	for i := 1; i < p; i++ {
 		dst := (c.rank + i) % p
-		src := (c.rank - i + p) % p
-		got, _ := c.sendrecvCtx(dst, collTag(seq, i), blocks[dst], src, collTag(seq, i), c.ctxColl)
-		res[src] = got
+		sreqs = append(sreqs, c.isend(dst, collTag(seq, i), c.ctxColl, blocks[dst]))
 	}
+	for i, r := range rreqs {
+		got, _ := c.Wait(r)
+		res[srcs[i]] = got
+	}
+	c.Waitall(sreqs)
 	return res
 }
 

@@ -174,12 +174,18 @@ func MultiPairObserved(cfg simnet.Config, mk EngineFactory, size, pairs, iters i
 type CollectiveOp string
 
 // The two collectives the paper times at 64 ranks / 8 nodes, plus
-// Allgather, which §IV encrypts but does not table.
+// Allgather, which §IV encrypts but does not table, plus the segmented
+// pipelined broadcast (the crypto/wire-overlap extension).
 const (
-	OpBcast     CollectiveOp = "bcast"
-	OpAlltoall  CollectiveOp = "alltoall"
-	OpAllgather CollectiveOp = "allgather"
+	OpBcast          CollectiveOp = "bcast"
+	OpAlltoall       CollectiveOp = "alltoall"
+	OpAllgather      CollectiveOp = "allgather"
+	OpBcastPipelined CollectiveOp = "bcastpipe"
 )
+
+// bcastPipeTag is the user-context tag base the pipelined-broadcast
+// benchmark runs on (chunk tags stride upward from it, as in SendPipelined).
+const bcastPipeTag = 11
 
 // CollectiveResult reports the mean per-invocation latency.
 type CollectiveResult struct {
@@ -212,6 +218,14 @@ func CollectiveObserved(cfg simnet.Config, mk EngineFactory, op CollectiveOp, ra
 					buf = mpi.Synthetic(size)
 				}
 				if _, err := e.Bcast(0, buf); err != nil {
+					panic(err)
+				}
+			case OpBcastPipelined:
+				var buf mpi.Buffer
+				if c.Rank() == 0 {
+					buf = mpi.Synthetic(size)
+				}
+				if _, err := e.BcastPipelined(0, bcastPipeTag, buf, 0); err != nil {
 					panic(err)
 				}
 			case OpAlltoall:

@@ -27,16 +27,39 @@ type Proc interface {
 	Unpark()
 }
 
+// Notify is the parking primitive underneath RealProc, factored out so
+// non-proc waiters (the crypto worker pool's completion handles) can use the
+// same contract: Park blocks until a permit arrives, Unpark deposits at most
+// one coalesced permit, and wakeups may be spurious — every waiter re-checks
+// its condition in a loop. The zero value is not usable; call NewNotify.
+type Notify struct {
+	permit chan struct{}
+}
+
+// NewNotify creates a ready-to-use notifier.
+func NewNotify() *Notify { return &Notify{permit: make(chan struct{}, 1)} }
+
+// Park blocks until a permit arrives.
+func (n *Notify) Park() { <-n.permit }
+
+// Unpark releases a current or future Park; extra permits are coalesced.
+func (n *Notify) Unpark() {
+	select {
+	case n.permit <- struct{}{}:
+	default:
+	}
+}
+
 // RealProc is the wall-clock implementation of Proc used by the in-process
 // and TCP transports.
 type RealProc struct {
-	epoch  time.Time
-	permit chan struct{}
+	epoch time.Time
+	note  *Notify
 }
 
 // NewRealProc creates a wall-clock proc whose Now counts from epoch.
 func NewRealProc(epoch time.Time) *RealProc {
-	return &RealProc{epoch: epoch, permit: make(chan struct{}, 1)}
+	return &RealProc{epoch: epoch, note: NewNotify()}
 }
 
 // Now implements Proc.
@@ -50,15 +73,10 @@ func (p *RealProc) Advance(d time.Duration) {
 }
 
 // Park implements Proc.
-func (p *RealProc) Park() { <-p.permit }
+func (p *RealProc) Park() { p.note.Park() }
 
 // Unpark implements Proc; extra permits are coalesced.
-func (p *RealProc) Unpark() {
-	select {
-	case p.permit <- struct{}{}:
-	default:
-	}
-}
+func (p *RealProc) Unpark() { p.note.Unpark() }
 
 // Group tracks a set of real procs sharing one epoch, so a job's ranks agree
 // on time zero.

@@ -1,6 +1,7 @@
 package encmpi
 
 import (
+	"encmpi/internal/cryptopool"
 	"encmpi/internal/job"
 	"encmpi/internal/obs"
 	"encmpi/internal/simnet"
@@ -17,18 +18,24 @@ type Option func(*config)
 
 // config accumulates applied options.
 type config struct {
-	metrics *obs.Registry
-	trace   *trace.Collector
-	fault   *faulty.Options
+	metrics       *obs.Registry
+	trace         *trace.Collector
+	fault         *faulty.Options
+	cryptoWorkers int
 }
 
-// apply folds a variadic option list.
+// apply folds a variadic option list. Options with process-wide effect
+// (WithCryptoWorkers) take effect here, so every facade entry point honours
+// them uniformly.
 func buildConfig(opts []Option) config {
 	var cfg config
 	for _, o := range opts {
 		if o != nil {
 			o(&cfg)
 		}
+	}
+	if cfg.cryptoWorkers > 0 {
+		cryptopool.Configure(cfg.cryptoWorkers)
 	}
 	return cfg
 }
@@ -50,6 +57,15 @@ func (c config) jobOptions() job.Options {
 // auth failures). Snapshot the registry after the run completes.
 func WithMetrics(g *Registry) Option {
 	return func(c *config) { c.metrics = g }
+}
+
+// WithCryptoWorkers sizes the process-wide crypto worker pool that the
+// parallel engine dispatches chunk work to (see DESIGN.md §10). The pool is
+// shared across messages, ranks, and communicators; n ≤ 0 leaves the
+// GOMAXPROCS default. Resizing replaces the pool, so pass it once, at the
+// first Run*/Encrypt* call, rather than per invocation.
+func WithCryptoWorkers(n int) Option {
+	return func(c *config) { c.cryptoWorkers = n }
 }
 
 // WithTrace attaches a transfer-event collector to the simulated fabric

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Machine-readable performance snapshot: runs cmd/benchjson and writes the
+# committed BENCH_PR4.json (seal/open ns/op, MB/s, allocs/op per engine and
+# size; 16x4KiB concurrent aggregate through the shared crypto pool vs the
+# per-call baseline; shm ping-pong; simulated collective latencies incl.
+# BcastPipelined vs Bcast).
+#
+# QUICK=1 bounds the measurement loops for CI smoke use; OUT overrides the
+# output path. `make bench` is the entry point.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_PR4.json}"
+FLAGS=""
+[ "${QUICK:-0}" = "1" ] && FLAGS="-quick"
+
+go run ./cmd/benchjson $FLAGS -o "$OUT"
+grep -q '"schema": "encmpi-bench/1"' "$OUT" || {
+	echo "bench.sh: $OUT is missing the snapshot schema marker" >&2
+	exit 1
+}
