@@ -17,9 +17,11 @@ import (
 
 	"encmpi/internal/encmpi"
 	"encmpi/internal/mpi"
+	"encmpi/internal/obs"
 	"encmpi/internal/sched"
 	"encmpi/internal/transport/faulty"
 	"encmpi/internal/transport/shm"
+	"encmpi/internal/transport/tcp"
 )
 
 // sweepEngine describes one engine under test.
@@ -273,18 +275,65 @@ func TestFaultSweep(t *testing.T) {
 				}
 				t.Run(fmt.Sprintf("%s/%s/%s", eng.name, mode, rt.name), func(t *testing.T) {
 					t.Parallel()
-					runSweepCell(t, eng, mode, rt)
+					runSweepCell(t, eng, mode, rt, false)
 				})
 			}
 		}
 	}
 }
 
-func runSweepCell(t *testing.T, eng sweepEngine, mode faulty.Mode, rt sweepRoutine) {
-	inner := shm.New()
+// TestFaultSweepTCPBatched reruns the sweep's authenticated cells with the
+// real TCP transport — and its asynchronous batched wire engine — underneath
+// the adversary. It pins two properties the shm sweep cannot: per-pair FIFO
+// survives flush coalescing (the collectives' correctness IS the FIFO
+// check — a reordered pair of coalesced frames mismatches their payloads),
+// and auth-failure attribution in the metrics stays exact even though the
+// frames that fail authentication were written batches-at-a-time.
+func TestFaultSweepTCPBatched(t *testing.T) {
+	for _, eng := range sweepEngines(t) {
+		if !eng.auth {
+			// The unauthenticated engines' contract (panic-freedom) is
+			// already pinned over shm; over TCP only the authenticated
+			// correct-or-error cells add coverage per added second.
+			continue
+		}
+		for _, mode := range faulty.AllModes {
+			for _, rt := range sweepRoutines() {
+				eng, mode, rt := eng, mode, rt
+				if reason := skipCell(eng, rt, mode); reason != "" {
+					continue
+				}
+				t.Run(fmt.Sprintf("%s/%s/%s", eng.name, mode, rt.name), func(t *testing.T) {
+					t.Parallel()
+					runSweepCell(t, eng, mode, rt, true)
+				})
+			}
+		}
+	}
+}
+
+func runSweepCell(t *testing.T, eng sweepEngine, mode faulty.Mode, rt sweepRoutine, overTCP bool) {
+	var inner mpi.Transport
+	reg := obs.NewRegistry(rt.ranks)
+	var bind func(*mpi.World)
+	if overTCP {
+		ttr, err := tcp.New(rt.ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ttr.Close)
+		ttr.SetMetrics(reg)
+		inner, bind = ttr, ttr.Bind
+	} else {
+		str := shm.New()
+		str.SetMetrics(reg)
+		inner, bind = str, str.Bind
+	}
 	ft := faulty.New(inner)
+	ft.SetMetrics(reg)
 	w := mpi.NewWorld(rt.ranks, ft, rt.eager)
-	inner.Bind(w)
+	w.SetMetrics(reg)
+	bind(w)
 	if mode == faulty.Reorder {
 		// One held message, released by the traffic behind it. An unlimited
 		// reorder budget could hold the final message of the cell forever,
@@ -339,5 +388,22 @@ func runSweepCell(t *testing.T, eng sweepEngine, mode faulty.Mode, rt sweepRouti
 		if o.err == nil && !bytes.Equal(o.got, o.want) {
 			t.Errorf("%s: silently wrong bytes (got %d, want %d) under %v", o.desc, len(o.got), len(o.want), mode)
 		}
+	}
+
+	// Attribution must stay exact no matter how frames were batched on the
+	// wire: an auth failure is charged to the rank whose Open rejected the
+	// bytes. In the point-to-point routine only rank 1 ever opens anything,
+	// so any failure on another scope is misattribution; in every routine
+	// the world total must be exactly the per-rank sum.
+	snap := reg.Snapshot()
+	var perRank uint64
+	for i, r := range snap.Ranks {
+		perRank += r.Crypto.AuthFailures
+		if rt.name == "send-recv" && i != 1 && r.Crypto.AuthFailures != 0 {
+			t.Errorf("rank %d charged %d auth failures; only rank 1 receives", i, r.Crypto.AuthFailures)
+		}
+	}
+	if perRank != snap.Total.Crypto.AuthFailures {
+		t.Errorf("auth-failure total %d != per-rank sum %d", snap.Total.Crypto.AuthFailures, perRank)
 	}
 }

@@ -41,6 +41,22 @@ type Options struct {
 	// ConfigureFabric runs against the simulated fabric before the job
 	// starts; ignored by the real launchers.
 	ConfigureFabric func(*simnet.Fabric)
+	// EagerThreshold, when positive, overrides DefaultEagerThreshold for the
+	// real transports (the simulator takes its threshold from the network
+	// config): messages shorter than the threshold travel eagerly, the rest
+	// by rendezvous.
+	EagerThreshold int
+	// TCPSyncWrites disables the TCP transport's asynchronous wire engine,
+	// restoring the write-under-mutex baseline (the batching A/B toggle).
+	TCPSyncWrites bool
+}
+
+// eager returns the effective eager threshold for a real launcher.
+func (o Options) eager() int {
+	if o.EagerThreshold > 0 {
+		return o.EagerThreshold
+	}
+	return DefaultEagerThreshold
 }
 
 // wrapFault interposes the fault injector when the options ask for one.
@@ -65,7 +81,7 @@ func RunShmOpts(n int, opts Options, body Body) error {
 	tr := shm.New()
 	tr.SetMetrics(opts.Metrics)
 	outer := opts.wrapFault(tr)
-	w := mpi.NewWorld(n, outer, DefaultEagerThreshold)
+	w := mpi.NewWorld(n, outer, opts.eager())
 	w.SetMetrics(opts.Metrics)
 	tr.Bind(w)
 	return runReal(w, n, body)
@@ -83,9 +99,10 @@ func RunTCPOpts(n int, opts Options, body Body) error {
 		return err
 	}
 	defer tr.Close()
+	tr.SyncWrites = opts.TCPSyncWrites
 	tr.SetMetrics(opts.Metrics)
 	outer := opts.wrapFault(tr)
-	w := mpi.NewWorld(n, outer, DefaultEagerThreshold)
+	w := mpi.NewWorld(n, outer, opts.eager())
 	w.SetMetrics(opts.Metrics)
 	tr.Bind(w)
 	return runReal(w, n, body)

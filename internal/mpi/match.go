@@ -126,6 +126,9 @@ func (w *World) Deliver(m *Msg) {
 			followup = &Msg{
 				Src: m.Dst, Dst: m.Src, Tag: m.Tag, Ctx: m.Ctx,
 				Kind: KindCTS, Seq: m.Seq,
+				// A queued CTS that later dies on the wire leaves the sender
+				// silent forever: fail the receive asynchronously.
+				Done: (*ctsDone)(req),
 			}
 		} else {
 			st.unexpected = append(st.unexpected, m)
@@ -141,19 +144,15 @@ func (w *World) Deliver(m *Msg) {
 		}
 		delete(st.rndvSend, m.Seq)
 		// Inject the payload. The send request completes when the transport
-		// reports the data has drained from the sender (OnInjected), which
-		// is what makes a blocking rendezvous send wire-paced.
-		proc := st.proc
+		// reports the data has drained from the sender (Done.Injected), which
+		// is what makes a blocking rendezvous send wire-paced; a queued DATA
+		// frame that dies on the wire fails the send the same way a
+		// synchronous write failure would.
 		failon = req
 		followup = &Msg{
 			Src: st.rank, Dst: m.Src, Tag: req.tag, Ctx: req.ctx,
 			Kind: KindData, Seq: m.Seq, Buf: req.buf,
-			OnInjected: func() {
-				st.mu.Lock()
-				req.done = true
-				st.mu.Unlock()
-				proc.Unpark()
-			},
+			Done: (*sendDone)(req),
 		}
 
 	case KindData:
@@ -176,6 +175,8 @@ func (w *World) Deliver(m *Msg) {
 
 	if followup != nil {
 		if err := w.tr.Send(nil, followup); err != nil && failon != nil {
+			// Synchronous-failure path; a transport that accepted the
+			// followup and failed later reports through OnError instead.
 			st.mu.Lock()
 			if !failon.done {
 				delete(st.rndvRecv, followup.Seq)

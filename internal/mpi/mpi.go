@@ -182,13 +182,32 @@ type Msg struct {
 	DataLen int
 	Buf     Buffer
 
-	// OnInjected, when set, is invoked by the transport once the message
-	// has locally completed on the sender side — synchronously for the
-	// in-process and socket transports, and at the NIC drain time in the
-	// simulator. The rendezvous protocol uses it for MPI's send-completion
-	// semantics: a large blocking send returns when the data has actually
-	// left through the adapter, not when it was queued.
-	OnInjected func()
+	// Done, when set, receives the message's local-completion signal from
+	// the transport (see Completion). It is an interface rather than a pair
+	// of func fields so the protocol can hand the transport a pointer it
+	// already holds — converting *Request to a completion view allocates
+	// nothing, where a closure per message would.
+	Done Completion
+}
+
+// Completion is a message's local-completion listener. The transport invokes
+// Injected once the message has locally completed on the sender side —
+// synchronously for the in-process transport, after the wire engine flushed
+// the frame for the socket transport, and at the NIC drain time in the
+// simulator. The point-to-point protocol uses it for MPI's send-completion
+// semantics: a blocking send returns when the data has actually left through
+// the adapter, not when it was queued.
+//
+// Failed is the failure counterpart: a transport that accepted the message
+// (Send returned nil) but later failed to put it on the wire — an
+// asynchronous wire engine whose flush errored, a connection that died with
+// the frame still queued — reports the failure here instead of silently
+// dropping the frame. When Send returns nil, exactly one of Injected and
+// Failed fires (for messages that set Done); when Send returns an error,
+// neither does — the caller already has the failure in hand.
+type Completion interface {
+	Injected()
+	Failed(error)
 }
 
 // ErrTransport is the root of the transport-failure error family: any error
@@ -209,7 +228,9 @@ var ErrTransport = errors.New("mpi: transport failure")
 // transport that queues m.Buf beyond the Send call (asynchronous delivery)
 // must Retain the buffer for the queue duration and Release it after
 // delivery, because the sender is free to release its own reference as soon
-// as Send returns.
+// as Send returns. A transport that accepts a message (returns nil) and
+// later discovers it cannot reach the wire must invoke m.Done.Failed exactly
+// once with the failure, so the error lands on the request that sent it.
 type Transport interface {
 	Send(from sched.Proc, m *Msg) error
 }

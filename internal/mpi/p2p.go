@@ -26,16 +26,27 @@ func (c *Comm) isend(dst, tag, ctx int, buf Buffer) *Request {
 		// reuse its buffer, which is exactly MPI's buffered-eager semantics.
 		// The clone is pooled: the protocol retains it on delivery if it is
 		// kept, so the creator reference can be dropped once Send returns.
+		//
+		// The request completes when the transport signals local completion —
+		// synchronously inside Send for the in-process transport, after the
+		// flush for the asynchronous TCP wire engine — so a queued frame that
+		// later dies on a broken connection fails exactly this request
+		// (OnError) instead of vanishing after an optimistic completion.
+		st := c.st
 		clone := buf.Clone()
-		m := &Msg{Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindEager, Buf: clone}
+		m := &Msg{
+			Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindEager, Buf: clone,
+			Done: (*sendDone)(req),
+		}
 		err := c.w.tr.Send(c.proc, m)
 		clone.Release()
-		c.st.mu.Lock()
 		if err != nil {
-			req.err = transportErr(err)
+			st.mu.Lock()
+			if !req.done {
+				req.failLocked(transportErr(err))
+			}
+			st.mu.Unlock()
 		}
-		req.done = true
-		c.st.mu.Unlock()
 		return req
 	}
 
@@ -44,15 +55,23 @@ func (c *Comm) isend(dst, tag, ctx int, buf Buffer) *Request {
 	seq := c.w.nextSeq()
 	req.seq = seq
 	req.buf = buf
-	c.st.mu.Lock()
-	c.st.rndvSend[seq] = req
-	c.st.mu.Unlock()
-	rts := &Msg{Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindRTS, Seq: seq, DataLen: buf.Len()}
+	st := c.st
+	st.mu.Lock()
+	st.rndvSend[seq] = req
+	st.mu.Unlock()
+	rts := &Msg{
+		Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindRTS, Seq: seq, DataLen: buf.Len(),
+		// A queued RTS that dies on the wire means the receiver will never
+		// answer with a CTS: fail the send instead of parking it forever.
+		Done: (*rtsDone)(req),
+	}
 	if err := c.w.tr.Send(c.proc, rts); err != nil {
-		c.st.mu.Lock()
-		delete(c.st.rndvSend, seq)
-		req.failLocked(transportErr(err))
-		c.st.mu.Unlock()
+		st.mu.Lock()
+		if !req.done {
+			delete(st.rndvSend, seq)
+			req.failLocked(transportErr(err))
+		}
+		st.mu.Unlock()
 	}
 	return req
 }
@@ -96,7 +115,12 @@ func (c *Comm) irecv(src, tag, ctx int) *Request {
 		case KindRTS:
 			req.seq = m.Seq
 			st.rndvRecv[m.Seq] = req
-			cts = &Msg{Src: c.st.rank, Dst: m.Src, Tag: m.Tag, Ctx: m.Ctx, Kind: KindCTS, Seq: m.Seq}
+			cts = &Msg{
+				Src: c.st.rank, Dst: m.Src, Tag: m.Tag, Ctx: m.Ctx, Kind: KindCTS, Seq: m.Seq,
+				// A queued CTS that dies on the wire means the sender will
+				// never transmit: fail the receive instead of parking forever.
+				Done: (*ctsDone)(req),
+			}
 		default:
 			st.mu.Unlock()
 			panic(fmt.Sprintf("mpi: %v message in unexpected queue", m.Kind))
@@ -111,8 +135,10 @@ func (c *Comm) irecv(src, tag, ctx int) *Request {
 			// The sender will never learn it may transmit: fail the receive
 			// instead of leaving it parked forever.
 			st.mu.Lock()
-			delete(st.rndvRecv, req.seq)
-			req.failLocked(transportErr(err))
+			if !req.done {
+				delete(st.rndvRecv, req.seq)
+				req.failLocked(transportErr(err))
+			}
 			st.mu.Unlock()
 		}
 	}

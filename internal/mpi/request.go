@@ -59,6 +59,82 @@ func (r *Request) Err() error {
 	return r.err
 }
 
+// The completion views below are what the protocol hands transports as
+// Msg.Done: each is a defined pointer type over Request, so building one is a
+// conversion of a pointer the protocol already holds — no per-message closure
+// allocations on the send hot path. Every method re-derives its state from
+// the request (owner holds the guarding mutex and the rank's proc, seq the
+// rendezvous exchange), which is exactly the state the former closures
+// captured.
+
+// sendDone completes a send request whose payload frame drained (an eager
+// clone or a rendezvous DATA), or fails it if the frame died on the wire.
+type sendDone Request
+
+// Injected marks the send complete and wakes the sender.
+func (d *sendDone) Injected() {
+	r := (*Request)(d)
+	st := r.owner
+	st.mu.Lock()
+	r.done = true
+	st.mu.Unlock()
+	st.proc.Unpark()
+}
+
+// Failed fails the send, unless a synchronous failure already did.
+func (d *sendDone) Failed(err error) {
+	r := (*Request)(d)
+	st := r.owner
+	st.mu.Lock()
+	if !r.done {
+		r.failLocked(transportErr(err))
+	}
+	st.mu.Unlock()
+	st.proc.Unpark()
+}
+
+// rtsDone watches a rendezvous RTS announcement: the frame draining means
+// nothing locally (the send completes when DATA drains), but an RTS that
+// dies on the wire means the receiver will never answer with a CTS — fail
+// the send instead of parking it forever.
+type rtsDone Request
+
+// Injected is a no-op: an RTS on the wire does not complete the send.
+func (d *rtsDone) Injected() {}
+
+// Failed removes the send from the rendezvous table and fails it.
+func (d *rtsDone) Failed(err error) {
+	r := (*Request)(d)
+	st := r.owner
+	st.mu.Lock()
+	if q, ok := st.rndvSend[r.seq]; ok && q == r && !r.done {
+		delete(st.rndvSend, r.seq)
+		r.failLocked(transportErr(err))
+	}
+	st.mu.Unlock()
+	st.proc.Unpark()
+}
+
+// ctsDone watches a rendezvous CTS reply: a queued CTS that dies on the wire
+// leaves the sender silent forever, so the receive fails instead of parking.
+type ctsDone Request
+
+// Injected is a no-op: a CTS on the wire does not complete the receive.
+func (d *ctsDone) Injected() {}
+
+// Failed removes the receive from the rendezvous table and fails it.
+func (d *ctsDone) Failed(err error) {
+	r := (*Request)(d)
+	st := r.owner
+	st.mu.Lock()
+	if q, ok := st.rndvRecv[r.seq]; ok && q == r && !r.done {
+		delete(st.rndvRecv, r.seq)
+		r.failLocked(transportErr(err))
+	}
+	st.mu.Unlock()
+	st.proc.Unpark()
+}
+
 // failLocked completes the request with an error. Caller holds owner.mu.
 func (r *Request) failLocked(err error) {
 	r.err = err

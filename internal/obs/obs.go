@@ -189,6 +189,16 @@ type Registry struct {
 	frameErrors    atomic.Uint64 // transport frames rejected before parsing
 	faultsInjected atomic.Uint64 // faults the faulty transport applied
 	strayUnattrib  atomic.Uint64 // strays whose dst rank was out of range
+
+	// Wire-engine accounting (the asynchronous batched TCP writer). These
+	// are world-level: a flush belongs to a connection, not a rank.
+	wireFlushes     atomic.Uint64 // batches written to the wire
+	wireInline      atomic.Uint64 // flushes run by a backpressured sender
+	wireFrames      atomic.Uint64 // frames carried by those batches
+	wireWriteErrors atomic.Uint64 // flushes that died on a broken connection
+	wireQueuedBytes atomic.Int64  // gauge: bytes currently queued, all conns
+	wireBatchFrames Hist          // frames per flush (coalescing factor)
+	wireBatchBytes  Hist          // bytes per flush
 }
 
 // NewRegistry creates a registry pre-sized for n ranks (it grows on demand if
@@ -259,4 +269,39 @@ func (g *Registry) UnattributedStray() {
 		return
 	}
 	g.strayUnattrib.Add(1)
+}
+
+// WireEnqueued records bytes entering a wire-engine send queue (raises the
+// queue-depth gauge; WireFlush lowers it when the batch is extracted).
+func (g *Registry) WireEnqueued(bytes int) {
+	if g == nil {
+		return
+	}
+	g.wireQueuedBytes.Add(int64(bytes))
+}
+
+// WireFlush records one extracted batch: its frame count and byte size feed
+// the coalescing histograms, and the queue-depth gauge drops by the batch.
+// inline marks a caller-helps flush (a sender past the watermark draining
+// the queue itself instead of parking on the writer goroutine).
+func (g *Registry) WireFlush(frames, bytes int, inline bool) {
+	if g == nil {
+		return
+	}
+	g.wireFlushes.Add(1)
+	if inline {
+		g.wireInline.Add(1)
+	}
+	g.wireFrames.Add(uint64(frames))
+	g.wireQueuedBytes.Add(-int64(bytes))
+	g.wireBatchFrames.Observe(int64(frames))
+	g.wireBatchBytes.Observe(int64(bytes))
+}
+
+// WireWriteError records a flush that failed on a broken connection.
+func (g *Registry) WireWriteError() {
+	if g == nil {
+		return
+	}
+	g.wireWriteErrors.Add(1)
 }

@@ -101,6 +101,19 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	pw.header("encmpi_unattributed_strays_total", "counter", "Strays with an invalid destination rank (whole job).")
 	pw.counter("encmpi_unattributed_strays_total", "", s.UnattributedStrays)
 
+	pw.header("encmpi_wire_flushes_total", "counter", "Wire-engine batches written (whole job).")
+	pw.counter("encmpi_wire_flushes_total", "", s.Wire.Flushes)
+	pw.header("encmpi_wire_inline_flushes_total", "counter", "Wire-engine flushes run inline by a backpressured sender (whole job).")
+	pw.counter("encmpi_wire_inline_flushes_total", "", s.Wire.InlineFlushes)
+	pw.header("encmpi_wire_frames_total", "counter", "Frames carried by wire-engine batches (whole job).")
+	pw.counter("encmpi_wire_frames_total", "", s.Wire.Frames)
+	pw.header("encmpi_wire_write_errors_total", "counter", "Wire-engine flushes that failed on a broken connection (whole job).")
+	pw.counter("encmpi_wire_write_errors_total", "", s.Wire.WriteErrors)
+	pw.header("encmpi_wire_queued_bytes", "gauge", "Bytes currently queued in wire-engine send queues (whole job).")
+	pw.printf("encmpi_wire_queued_bytes %d\n", s.Wire.QueuedBytes)
+	pw.wholeJobHistogram("encmpi_wire_batch_frames", "Frames per wire-engine flush.", s.Wire.BatchFrames)
+	pw.wholeJobHistogram("encmpi_wire_batch_bytes", "Bytes per wire-engine flush.", s.Wire.BatchBytes)
+
 	return pw.err
 }
 
@@ -154,4 +167,26 @@ func (p *promWriter) histogram(name, help string, ranks []RankSnapshot, get func
 		p.printf("%s_sum{rank=\"%d\"} %d\n", name, r.Rank, h.Sum)
 		p.printf("%s_count{rank=\"%d\"} %d\n", name, r.Rank, h.Count)
 	}
+}
+
+// wholeJobHistogram emits one unlabelled Prometheus histogram for a
+// world-level distribution that belongs to no rank.
+func (p *promWriter) wholeJobHistogram(name, help string, h HistSnapshot) {
+	p.header(name, "histogram", help)
+	var cum uint64
+	for b := 0; b < NumBuckets; b++ {
+		n := h.Buckets[b]
+		if n == 0 && b < NumBuckets-1 {
+			continue
+		}
+		cum += n
+		edge := BucketUpperEdge(b)
+		le := "+Inf"
+		if edge >= 0 {
+			le = fmt.Sprintf("%d", edge)
+		}
+		p.printf("%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	p.printf("%s_sum %d\n", name, h.Sum)
+	p.printf("%s_count %d\n", name, h.Count)
 }

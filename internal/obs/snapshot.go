@@ -46,6 +46,34 @@ type RankSnapshot struct {
 	WaitLatency HistSnapshot `json:"wait_latency_ns"`
 }
 
+// WireSnapshot is the asynchronous wire engine's accounting, frozen at
+// snapshot time. Flushes/Frames quantify syscall coalescing (Frames/Flushes
+// is the mean batch size; the histograms carry the distribution), and
+// QueuedBytes is the queue-depth gauge at the moment of the snapshot.
+type WireSnapshot struct {
+	Flushes       uint64       `json:"flushes"`
+	InlineFlushes uint64       `json:"inline_flushes"`
+	Frames        uint64       `json:"frames"`
+	WriteErrors   uint64       `json:"write_errors"`
+	QueuedBytes   int64        `json:"queued_bytes"`
+	BatchFrames   HistSnapshot `json:"batch_frames"`
+	BatchBytes    HistSnapshot `json:"batch_bytes"`
+}
+
+// merge returns a+b (gauges add; a live queue split across registries is the
+// sum of its parts).
+func (w WireSnapshot) merge(o WireSnapshot) WireSnapshot {
+	return WireSnapshot{
+		Flushes:       w.Flushes + o.Flushes,
+		InlineFlushes: w.InlineFlushes + o.InlineFlushes,
+		Frames:        w.Frames + o.Frames,
+		WriteErrors:   w.WriteErrors + o.WriteErrors,
+		QueuedBytes:   w.QueuedBytes + o.QueuedBytes,
+		BatchFrames:   w.BatchFrames.merge(o.BatchFrames),
+		BatchBytes:    w.BatchBytes.merge(o.BatchBytes),
+	}
+}
+
 // Snapshot freezes a whole registry: per-rank scopes, the world-level
 // counters no rank owns, and a Total that is the pure sum of the ranks.
 type Snapshot struct {
@@ -53,6 +81,7 @@ type Snapshot struct {
 	FrameErrors        uint64         `json:"frame_errors"`
 	FaultsInjected     uint64         `json:"faults_injected"`
 	UnattributedStrays uint64         `json:"unattributed_strays"`
+	Wire               WireSnapshot   `json:"wire"`
 	Total              RankSnapshot   `json:"total"`
 }
 
@@ -160,6 +189,15 @@ func (g *Registry) Snapshot() Snapshot {
 	s.FrameErrors = g.frameErrors.Load()
 	s.FaultsInjected = g.faultsInjected.Load()
 	s.UnattributedStrays = g.strayUnattrib.Load()
+	s.Wire = WireSnapshot{
+		Flushes:       g.wireFlushes.Load(),
+		InlineFlushes: g.wireInline.Load(),
+		Frames:        g.wireFrames.Load(),
+		WriteErrors:   g.wireWriteErrors.Load(),
+		QueuedBytes:   g.wireQueuedBytes.Load(),
+		BatchFrames:   g.wireBatchFrames.snapshot(),
+		BatchBytes:    g.wireBatchBytes.snapshot(),
+	}
 	return s
 }
 
@@ -191,6 +229,7 @@ func Merge(a, b Snapshot) Snapshot {
 		FrameErrors:        a.FrameErrors + b.FrameErrors,
 		FaultsInjected:     a.FaultsInjected + b.FaultsInjected,
 		UnattributedStrays: a.UnattributedStrays + b.UnattributedStrays,
+		Wire:               a.Wire.merge(b.Wire),
 	}
 	out.Total.Rank = -1
 	for _, id := range ids {
@@ -262,6 +301,11 @@ func (s Snapshot) Digest() string {
 	}
 	if strays := s.Total.Strays + s.UnattributedStrays; strays > 0 {
 		fmt.Fprintf(&b, "stray messages: %d (%d unattributed)\n", strays, s.UnattributedStrays)
+	}
+	if w := s.Wire; w.Flushes > 0 {
+		fmt.Fprintf(&b, "wire flushes: %d (%d inline)  frames: %d (%.2f/flush)  write errors: %d\n",
+			w.Flushes, w.InlineFlushes, w.Frames,
+			float64(w.Frames)/float64(w.Flushes), w.WriteErrors)
 	}
 	return b.String()
 }

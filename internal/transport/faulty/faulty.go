@@ -194,8 +194,8 @@ func (t *Transport) Flush() error {
 // messages); a message the adversary swallowed on purpose is not a failure.
 func (t *Transport) Send(from sched.Proc, m *mpi.Msg) error {
 	forward, ackLocal := t.plan(m)
-	if ackLocal && m.OnInjected != nil {
-		m.OnInjected()
+	if ackLocal && m.Done != nil {
+		m.Done.Injected()
 	}
 	var firstErr error
 	for _, msg := range forward {
@@ -209,7 +209,7 @@ func (t *Transport) Send(from sched.Proc, m *mpi.Msg) error {
 // plan decides, under the lock, what to forward for message m. It returns
 // the messages to send (in order) and whether the sender's local completion
 // must be signalled here because the original message is not forwarded with
-// its OnInjected intact (Drop, Reorder).
+// its Done listener intact (Drop, Reorder).
 func (t *Transport) plan(m *mpi.Msg) (forward []*mpi.Msg, ackLocal bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -287,12 +287,12 @@ func (t *Transport) plan(m *mpi.Msg) (forward []*mpi.Msg, ackLocal bool) {
 }
 
 // detached clones a message for out-of-band delivery: the payload is copied
-// so later mutations don't alias, and OnInjected is stripped so the
-// sender's completion doesn't fire twice (or late).
+// so later mutations don't alias, and the completion listener is stripped
+// so the sender's completion (or failure) doesn't fire twice (or late).
 func detached(m *mpi.Msg) *mpi.Msg {
 	mm := *m
 	mm.Buf = m.Buf.Clone()
-	mm.OnInjected = nil
+	mm.Done = nil
 	return &mm
 }
 

@@ -34,9 +34,9 @@ var errUnbound = errors.New("shm: transport not bound to a world")
 // Send implements mpi.Transport. Delivery is synchronous, so local send
 // completion is immediate and both sides of the transfer are accounted here.
 //
-// Deliver runs before OnInjected: delivery retains any pooled payload the
+// Deliver runs before Done.Injected: delivery retains any pooled payload the
 // receiver keeps, and only then may the sender's completion fire — a sender
-// woken by OnInjected is free to release its own buffer reference
+// woken by Injected is free to release its own buffer reference
 // immediately, which must not race the receiver taking its reference.
 func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) error {
 	if t.w == nil {
@@ -48,8 +48,8 @@ func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) error {
 		t.metrics.Rank(m.Dst).MsgRecv(n)
 	}
 	t.w.Deliver(m)
-	if m.OnInjected != nil {
-		m.OnInjected()
+	if m.Done != nil {
+		m.Done.Injected()
 	}
 	return nil
 }

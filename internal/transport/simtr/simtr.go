@@ -68,10 +68,16 @@ func (t *Transport) Send(from sched.Proc, m *mpi.Msg) error {
 		t.metrics.Rank(m.Src).MsgSent(t.wireSize(m))
 	}
 	m.Buf.Retain()
-	t.fab.Send(simnet.Packet{
+	pkt := simnet.Packet{
 		Src: m.Src, Dst: m.Dst, Size: t.wireSize(m),
-		Payload: m, Drained: m.OnInjected,
-	}, sender)
+		Payload: m,
+	}
+	if m.Done != nil {
+		// A bound method value allocates, but the simulator models time, not
+		// memory — the zero-alloc discipline belongs to the real transports.
+		pkt.Drained = m.Done.Injected
+	}
+	t.fab.Send(pkt, sender)
 	return nil
 }
 

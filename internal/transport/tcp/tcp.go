@@ -7,6 +7,7 @@
 package tcp
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -55,17 +56,38 @@ type Transport struct {
 	// false in production. Set it before Bind.
 	NoPool bool
 
+	// SyncWrites disables the asynchronous wire engine and restores the
+	// historical write path: frame assembled in one buffer, written under a
+	// per-connection mutex, completion fired before Send returns. It is the
+	// A/B baseline the batching benchmarks compare against; leave it false
+	// in production. Set it before Bind.
+	SyncWrites bool
+
 	// conns[i][j] is the connection rank i writes to reach rank j.
 	conns [][]net.Conn
-	// wmu[i][j] serializes writers on that connection.
+	// wmu[i][j] serializes writers on that connection (SyncWrites path).
 	wmu [][]*sync.Mutex
+	// queues[i][j] is the wire engine for that connection (batched path).
+	queues [][]*wireQueue
 
 	closed  chan struct{}
 	readers sync.WaitGroup
+	writers sync.WaitGroup
 }
 
-// New builds the mesh for n ranks over 127.0.0.1 and starts the reader
-// goroutines. Call Bind before communicating and Close when done.
+// setupConcurrency caps how many pair setups are in flight at once. Each
+// in-flight pair holds a listener and two sockets, so an unbounded fan-out
+// over a large mesh could exhaust the fd table; 128 keeps setup parallel
+// without risking it.
+const setupConcurrency = 128
+
+// New builds the mesh for n ranks over 127.0.0.1. The n·(n−1)/2 pair setups
+// are independent (each has its own ephemeral listener), so they run
+// concurrently under a small semaphore instead of serially — mesh setup is
+// O(n²) dials and was the dominant startup cost for larger worlds. Every
+// conn gets TCP_NODELAY set explicitly: the transport does its own
+// batching (the wire engine) and must not stack Nagle delays on top of it.
+// Call Bind before communicating and Close when done.
 func New(n int) (*Transport, error) {
 	t := &Transport{n: n, closed: make(chan struct{})}
 	t.conns = make([][]net.Conn, n)
@@ -78,49 +100,104 @@ func New(n int) (*Transport, error) {
 		}
 	}
 
-	// One bidirectional connection per unordered pair {i, j}.
+	// One bidirectional connection per unordered pair {i, j}. Pairs write
+	// disjoint cells of t.conns, so no lock is needed on the matrix itself.
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, setupConcurrency)
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			ln, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
-				t.Close()
-				return nil, fmt.Errorf("tcp: listen: %w", err)
-			}
-			type accepted struct {
-				c   net.Conn
-				err error
-			}
-			ch := make(chan accepted, 1)
-			go func() {
-				c, err := ln.Accept()
-				ch <- accepted{c, err}
-			}()
-			dialed, err := net.Dial("tcp", ln.Addr().String())
-			if err != nil {
-				ln.Close()
-				t.Close()
-				return nil, fmt.Errorf("tcp: dial: %w", err)
-			}
-			acc := <-ch
-			ln.Close()
-			if acc.err != nil {
-				t.Close()
-				return nil, fmt.Errorf("tcp: accept: %w", acc.err)
-			}
-			t.conns[i][j] = dialed
-			t.conns[j][i] = acc.c
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i, j int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				dialed, accepted, err := dialPair()
+				if err != nil {
+					fail(err)
+					return
+				}
+				t.conns[i][j] = dialed
+				t.conns[j][i] = accepted
+			}(i, j)
 		}
 	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Close()
+		return nil, firstErr
+	}
 	return t, nil
+}
+
+// dialPair sets up one loopback connection: listen on an ephemeral port,
+// dial it, accept, close the listener, set TCP_NODELAY on both ends.
+func dialPair() (dialed, accepted net.Conn, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("tcp: listen: %w", err)
+	}
+	type acceptResult struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan acceptResult, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- acceptResult{c, err}
+	}()
+	dialed, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		if acc := <-ch; acc.c != nil {
+			acc.c.Close()
+		}
+		return nil, nil, fmt.Errorf("tcp: dial: %w", err)
+	}
+	acc := <-ch
+	ln.Close()
+	if acc.err != nil {
+		dialed.Close()
+		return nil, nil, fmt.Errorf("tcp: accept: %w", acc.err)
+	}
+	setNoDelay(dialed)
+	setNoDelay(acc.c)
+	return dialed, acc.c, nil
+}
+
+// setNoDelay disables Nagle explicitly. Go's default is already no-delay,
+// but the transport's latency contract (the wire engine batches; the kernel
+// must not add its own delay on top) is too important to leave implicit.
+func setNoDelay(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
 }
 
 // SetMetrics installs a metrics registry; nil disables accounting. Call it
 // before Bind so the readers never race the installation.
 func (t *Transport) SetMetrics(g *obs.Registry) { t.metrics = g }
 
-// Bind attaches the world and starts one reader per connection end.
+// Bind attaches the world, starts one reader per connection end, and —
+// unless SyncWrites — one wire-engine writer per connection.
 func (t *Transport) Bind(w *mpi.World) {
 	t.w = w
+	if !t.SyncWrites {
+		t.queues = make([][]*wireQueue, t.n)
+		for i := range t.queues {
+			t.queues[i] = make([]*wireQueue, t.n)
+		}
+	}
 	for i := 0; i < t.n; i++ {
 		for j := 0; j < t.n; j++ {
 			if i == j || t.conns[i][j] == nil {
@@ -129,6 +206,12 @@ func (t *Transport) Bind(w *mpi.World) {
 			conn := t.conns[i][j]
 			t.readers.Add(1)
 			go t.readLoop(conn)
+			if !t.SyncWrites {
+				q := newWireQueue(t, conn, i, j)
+				t.queues[i][j] = q
+				t.writers.Add(1)
+				go q.writerLoop()
+			}
 		}
 	}
 }
@@ -158,12 +241,22 @@ func decodeHeader(hdr *[headerLen]byte) (m *mpi.Msg, buflen int, err error) {
 	return m, buflen, nil
 }
 
+// readBufBytes sizes the per-connection read buffer. The async wire engine
+// delivers wireSegmentBytes-sized bursts; a read buffer of the same scale
+// drains a whole burst from the socket in one syscall instead of a
+// header-payload nibble per message, which both cuts receive-side syscalls
+// and frees the sender's TCP window fast enough that its vectored writes keep
+// streaming. bufio reads larger than the buffer bypass it entirely, so big
+// payloads still land directly in their pooled lease with no extra copy.
+const readBufBytes = 64 << 10
+
 // readLoop parses frames and hands them to the matching engine.
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.readers.Done()
+	r := bufio.NewReaderSize(conn, readBufBytes)
 	var hdr [headerLen]byte
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return // connection closed
 		}
 		m, buflen, err := decodeHeader(&hdr)
@@ -179,7 +272,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 				lease := bufpool.Get(buflen)
 				m.Buf = mpi.PooledBytes(lease, buflen)
 			}
-			if _, err := io.ReadFull(conn, m.Buf.Data); err != nil {
+			if _, err := io.ReadFull(r, m.Buf.Data); err != nil {
 				m.Buf.Release()
 				return
 			}
@@ -223,10 +316,17 @@ func (t *Transport) materialize(buf mpi.Buffer) mpi.Buffer {
 	return out
 }
 
-// Send implements mpi.Transport. Synthetic buffers are materialized as
-// zeros: a real network cannot ship a length without bytes. Wire failures —
-// a missing connection, a write error on a live transport — are returned,
-// never panicked on; the mpi core surfaces them as ErrTransport.
+// Send implements mpi.Transport. Synthetic buffers travel as zeros: a real
+// network cannot ship a length without bytes. Wire failures — a missing
+// connection, a broken or closed queue, a write error on a live transport —
+// are returned or routed through m.Done.Failed, never panicked on; the mpi
+// core surfaces them as ErrTransport.
+//
+// On the default (batched) path, a nil return means the wire engine accepted
+// the message, not that it reached the kernel: the frame header is encoded
+// into a pooled slab, the payload is retained without copying, and the
+// message is queued for the connection's writer. Exactly one of Done.Injected
+// and Done.Failed fires when the flush that carries it resolves.
 func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) error {
 	if m.Src == m.Dst {
 		// Self-sends short-circuit; the TCP mesh has no loopback-to-self
@@ -237,13 +337,13 @@ func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) error {
 		n := m.Buf.Len()
 		dm := *m
 		dm.Buf = t.materialize(m.Buf)
-		dm.OnInjected = nil
+		dm.Done = nil
 		if t.metrics != nil {
 			t.metrics.Rank(m.Src).MsgSent(n)
 			t.metrics.Rank(m.Dst).MsgRecv(n)
 		}
-		if m.OnInjected != nil {
-			m.OnInjected()
+		if m.Done != nil {
+			m.Done.Injected()
 		}
 		t.w.Deliver(&dm)
 		dm.Buf.Release()
@@ -252,6 +352,12 @@ func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) error {
 	conn := t.conns[m.Src][m.Dst]
 	if conn == nil {
 		return fmt.Errorf("tcp: no connection %d→%d", m.Src, m.Dst)
+	}
+	if !t.SyncWrites {
+		if t.queues == nil || t.queues[m.Src][m.Dst] == nil {
+			return fmt.Errorf("tcp: send %d→%d before Bind", m.Src, m.Dst)
+		}
+		return t.queues[m.Src][m.Dst].enqueue(m)
 	}
 
 	n := m.Buf.Len()
@@ -295,14 +401,18 @@ func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) error {
 	if t.metrics != nil {
 		t.metrics.Rank(m.Src).MsgSent(n)
 	}
-	if m.OnInjected != nil {
+	if m.Done != nil {
 		// The kernel accepted the whole frame: local completion.
-		m.OnInjected()
+		m.Done.Injected()
 	}
 	return nil
 }
 
-// Close tears down every connection and waits for the readers to exit.
+// Close flushes and tears down the transport. Order matters: first every
+// wire queue is closed (new sends fail synchronously) and its writer drains
+// whatever is pending — so a message the engine accepted is either written
+// or failed through Done.Failed, never silently dropped — and only then are the
+// sockets closed and the readers reaped.
 func (t *Transport) Close() {
 	select {
 	case <-t.closed:
@@ -310,6 +420,14 @@ func (t *Transport) Close() {
 	default:
 		close(t.closed)
 	}
+	for i := range t.queues {
+		for _, q := range t.queues[i] {
+			if q != nil {
+				q.shutdown()
+			}
+		}
+	}
+	t.writers.Wait()
 	for i := range t.conns {
 		for j := range t.conns[i] {
 			if t.conns[i][j] != nil {

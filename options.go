@@ -18,10 +18,12 @@ type Option func(*config)
 
 // config accumulates applied options.
 type config struct {
-	metrics       *obs.Registry
-	trace         *trace.Collector
-	fault         *faulty.Options
-	cryptoWorkers int
+	metrics        *obs.Registry
+	trace          *trace.Collector
+	fault          *faulty.Options
+	cryptoWorkers  int
+	eagerThreshold int
+	syncWrites     bool
 }
 
 // apply folds a variadic option list. Options with process-wide effect
@@ -42,7 +44,12 @@ func buildConfig(opts []Option) config {
 
 // jobOptions translates the facade config into launcher options.
 func (c config) jobOptions() job.Options {
-	o := job.Options{Metrics: c.metrics, Fault: c.fault}
+	o := job.Options{
+		Metrics:        c.metrics,
+		Fault:          c.fault,
+		EagerThreshold: c.eagerThreshold,
+		TCPSyncWrites:  c.syncWrites,
+	}
 	if c.trace != nil {
 		col := c.trace
 		o.ConfigureFabric = func(f *simnet.Fabric) { f.Trace = col.Record }
@@ -66,6 +73,28 @@ func WithMetrics(g *Registry) Option {
 // first Run*/Encrypt* call, rather than per invocation.
 func WithCryptoWorkers(n int) Option {
 	return func(c *config) { c.cryptoWorkers = n }
+}
+
+// WithEagerThreshold sets the eager/rendezvous protocol cutover for the real
+// transports (RunShm, RunTCP): messages shorter than n bytes travel eagerly
+// (cloned and buffered, sender completes without the receiver), messages of n
+// bytes or more go through the RTS/CTS rendezvous handshake. n ≤ 0 keeps the
+// 64 KiB default. The simulator takes its threshold from the network config
+// (SimConfig), not from this option.
+func WithEagerThreshold(n int) Option {
+	return func(c *config) { c.eagerThreshold = n }
+}
+
+// WithWireBatching toggles the TCP transport's asynchronous wire engine
+// (RunTCP only). Enabled — the default — sends enqueue on a per-connection
+// queue and a writer goroutine coalesces everything pending into one
+// vectored write, so a burst of small messages costs one syscall instead of
+// one each; Send completion then means "accepted by the wire engine", with
+// late write failures routed to the affected request as ErrTransport.
+// Disabled restores the synchronous write-under-mutex baseline; it exists
+// for A/B measurement, not for production.
+func WithWireBatching(enabled bool) Option {
+	return func(c *config) { c.syncWrites = !enabled }
 }
 
 // WithTrace attaches a transfer-event collector to the simulated fabric
