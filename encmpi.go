@@ -137,10 +137,16 @@ func Encrypt(c *Comm, codec Codec, noncePrefix uint32, opts ...Option) *Encrypte
 // Options are as for Encrypt.
 func EncryptWith(c *Comm, e Engine, opts ...Option) *EncryptedComm {
 	cfg := buildConfig(opts)
+	var wopts []enc.WrapOption
 	if cfg.metrics != nil {
-		return enc.Wrap(c, e, enc.ObserveWith(cfg.metrics.Rank(c.Rank())))
+		wopts = append(wopts, enc.ObserveWith(cfg.metrics.Rank(c.Rank())))
 	}
-	return enc.Wrap(c, e)
+	if cfg.pipeThreshold != 0 {
+		// A negative threshold disables chunking inside WithPipeline; zero
+		// (unset here) leaves the wrapped communicator's default.
+		wopts = append(wopts, enc.WithPipeline(cfg.pipeThreshold, 0))
+	}
+	return enc.Wrap(c, e, wopts...)
 }
 
 // Unencrypted returns the pass-through baseline engine.

@@ -15,10 +15,12 @@ import (
 // next chunk's wire time and the paper's one-seal, p−1-opens accounting is
 // preserved — ciphertext travels the tree unmodified, exactly like Bcast.
 //
-// The chunk tag space is SendPipelined's: the 8-byte plaintext-length
-// header travels at tag, chunk k at tag+pipelineTagStride·(k+1). All ranks
-// must pass the same root, tag, and chunk. Non-root ranks may pass the zero
-// Buffer; the root's return value is its own buf.
+// The chunk tag space is SendPipelined's: the 16-byte announcement header
+// travels at tag, chunk k at tag+pipelineTagStride·(k+1). All ranks must
+// pass the same root and tag; the chunk size is the root's — it rides the
+// header, and every relay cuts the stream where the root did, so a rank
+// passing a different chunk cannot corrupt the broadcast. Non-root ranks
+// may pass the zero Buffer; the root's return value is its own buf.
 //
 // Error handling follows the hostile-bytes contract: a chunk that fails
 // authentication is still forwarded (it was forwarded before it was
@@ -76,7 +78,7 @@ func (e *Comm) bcastPipeRoot(tag int, buf mpi.Buffer, chunk int, children []int)
 	// wires holds our lease references until every send that reads from
 	// them has completed.
 	var wires []mpi.Buffer
-	hdr := e.seal(mpi.Bytes(encodeLen(n)))
+	hdr := e.seal(mpi.Bytes(encodePipeHeader(n, chunk)))
 	wires = append(wires, hdr)
 	for _, c := range children {
 		pending = append(pending, e.c.Isend(c, tag, hdr))
@@ -125,7 +127,9 @@ func (e *Comm) bcastPipeRelay(tag, chunk, parent int, children []int) (mpi.Buffe
 		release()
 		return mpi.Buffer{}, malformedf("pipelined length header carries no bytes")
 	}
-	total, err := decodeLen(hdr.Data)
+	// The root's announced chunk size overrides this rank's argument: every
+	// relay reassembles on the boundaries the root actually sealed.
+	total, chunk, err := decodePipeHeader(hdr.Data)
 	if !hdr.SharesStorage(hw) {
 		hdr.Release()
 	}

@@ -1,0 +1,205 @@
+package encmpi
+
+import (
+	"encmpi/internal/bufpool"
+	"encmpi/internal/mpi"
+	"encmpi/internal/sched"
+)
+
+// Transparent crypto–comm overlap (DESIGN.md §12): above a size threshold,
+// Send and Isend hand the payload to the chunked rendezvous protocol —
+// after the CTS the sender seals chunk k+1 while the wire engine is still
+// flushing chunk k, and the receiver opens chunks inside Wait as the frames
+// arrive instead of after the whole ciphertext has landed. Each chunk is an
+// independent AEAD message under its own nonce, so authentication fails per
+// chunk and reassembly never trusts unauthenticated bytes. Below the
+// threshold nothing changes: the classic seal-whole-message single-frame
+// path runs exactly as before.
+
+// DefaultPipelineThreshold is the payload size at which Send/Isend switch
+// to the chunked overlap path. A message this size spends long enough on
+// the wire for per-chunk sealing to hide behind it.
+const DefaultPipelineThreshold = 256 << 10
+
+// DefaultPipelineChunk is the chunk size of the transparent path. Half the
+// default threshold, so the smallest chunked message already has two chunks
+// to overlap.
+const DefaultPipelineChunk = 128 << 10
+
+// WithPipeline configures the transparent chunked-rendezvous path.
+// threshold 0 keeps the default, a negative threshold disables chunking
+// entirely (every message travels as one frame), and chunk ≤ 0 keeps the
+// default chunk size.
+func WithPipeline(threshold, chunk int) WrapOption {
+	return func(e *Comm) {
+		switch {
+		case threshold < 0:
+			e.pipeThreshold = 0
+		case threshold == 0:
+			e.pipeThreshold = DefaultPipelineThreshold
+		default:
+			e.pipeThreshold = threshold
+		}
+		if chunk > 0 {
+			e.pipeChunk = chunk
+		}
+	}
+}
+
+// chunkPlan decides whether an n-byte payload takes the chunked path, and
+// with what geometry. A payload that would produce fewer than two chunks
+// has nothing to overlap and stays on the single-frame path.
+func (e *Comm) chunkPlan(n int) (chunkLen, count int, ok bool) {
+	if e.pipeThreshold <= 0 || n < e.pipeThreshold {
+		return 0, 0, false
+	}
+	chunkLen = e.pipeChunk
+	if chunkLen <= 0 {
+		chunkLen = DefaultPipelineChunk
+	}
+	count = (n + chunkLen - 1) / chunkLen
+	if count < 2 {
+		return 0, 0, false
+	}
+	return chunkLen, count, true
+}
+
+// wireLenner is implemented by engines whose wire expansion is not a flat
+// Overhead() per message (ParallelEngine chunks internally, so its
+// expansion depends on the plaintext length).
+type wireLenner interface{ WireLen(n int) int }
+
+// wireLenOf predicts the sealed size of an n-byte plaintext.
+func (e *Comm) wireLenOf(n int) int {
+	if wl, ok := e.eng.(wireLenner); ok {
+		return wl.WireLen(n)
+	}
+	return n + e.eng.Overhead()
+}
+
+// isendChunked starts the chunked overlap send: the RTS announces the exact
+// wire total and chunk count, and each chunk is sealed lazily — on the
+// waiting goroutine, while earlier chunks drain — by the src callback the
+// rendezvous progress engine drives. Unlike the eager-sealing Isend, the
+// caller's buffer must stay untouched until the request completes (the
+// standard MPI_Isend contract).
+func (e *Comm) isendChunked(dst, tag int, buf mpi.Buffer, chunkLen, count int) *Request {
+	n := buf.Len()
+	wireTotal := 0
+	for k := 0; k < count; k++ {
+		lo, hi := k*chunkLen, (k+1)*chunkLen
+		if hi > n {
+			hi = n
+		}
+		wireTotal += e.wireLenOf(hi - lo)
+	}
+	// Hold the payload's pool lease (if any) until the last chunk is sealed.
+	buf.Retain()
+	inner := e.c.IsendChunks(dst, tag, wireTotal, count, func(k int) (mpi.Buffer, error) {
+		lo, hi := k*chunkLen, (k+1)*chunkLen
+		if hi > n {
+			hi = n
+		}
+		return e.seal(buf.Slice(lo, hi)), nil
+	})
+	inner.SetOnComplete(func(*mpi.Request) { buf.Release() })
+	return &Request{inner: inner}
+}
+
+// openerInto is implemented by engines that can decrypt straight into
+// caller-owned storage (RealEngine); the chunked sink uses it to land each
+// chunk's plaintext in the assembly with no intermediate buffer — the
+// receive then does exactly the byte work of the single-frame path, plus
+// per-frame protocol cost.
+type openerInto interface {
+	OpenInto(proc sched.Proc, dst []byte, wire mpi.Buffer) (int, error)
+}
+
+// chunkOpenSink builds the per-chunk consumer a receive installs before it
+// is posted: each arriving wire chunk is opened inside Wait — overlapping
+// the wire time of the chunks still inbound — and its plaintext landed in
+// one pooled assembly buffer (directly, when the engine supports OpenInto;
+// via a scratch open and copy otherwise). The rendezvous protocol guarantees
+// in-order, exactly-once calls and has already bounded the wire bytes by the
+// RTS announcement, so the sink's own bounds checks are defense in depth.
+// Any authentication failure fails the receive at that chunk; the sink
+// releases its partial assembly before reporting it.
+func (e *Comm) chunkOpenSink() mpi.ChunkSink {
+	var asm *bufpool.Lease
+	var off int
+	synthetic := false
+	oi, direct := e.eng.(openerInto)
+	return func(k, count, wireTotal int, chunk mpi.Buffer) (mpi.Buffer, error) {
+		fail := func(err error) (mpi.Buffer, error) {
+			asm.Release()
+			asm = nil
+			return mpi.Buffer{}, err
+		}
+		if direct && !chunk.IsSynthetic() {
+			if synthetic {
+				return fail(malformedf("real chunk %d of %d after synthetic chunks", k, count))
+			}
+			if asm == nil {
+				// wireTotal bounds the plaintext total: Open never expands,
+				// and the [off:wireTotal] window below enforces it per chunk.
+				asm = bufpool.Get(wireTotal)
+			}
+			n, err := e.openInto(oi, asm.Bytes()[off:wireTotal], chunk)
+			if err != nil {
+				return fail(err)
+			}
+			off += n
+			if k == count-1 {
+				out := mpi.BytesWithLease(asm.Bytes()[:off], asm)
+				asm = nil
+				return out, nil
+			}
+			return mpi.Buffer{}, nil
+		}
+		plain, err := e.open(chunk)
+		if err != nil {
+			return fail(err)
+		}
+		if plain.IsSynthetic() {
+			// Modeled runs: sizes and time move, bytes do not. A stream that
+			// switches representation mid-message is malformed.
+			if asm != nil {
+				return fail(malformedf("synthetic chunk %d of %d after real chunks", k, count))
+			}
+			synthetic = true
+			off += plain.Len()
+			if k == count-1 {
+				n := off
+				off = 0
+				return mpi.Synthetic(n), nil
+			}
+			return mpi.Buffer{}, nil
+		}
+		release := func() {
+			if !plain.SharesStorage(chunk) {
+				plain.Release()
+			}
+		}
+		if synthetic {
+			release()
+			return fail(malformedf("real chunk %d of %d after synthetic chunks", k, count))
+		}
+		if asm == nil {
+			// wireTotal bounds the plaintext total: Open never expands.
+			asm = bufpool.Get(wireTotal)
+		}
+		if off+plain.Len() > wireTotal {
+			release()
+			return fail(malformedf("chunk %d of %d overruns the %d-byte announcement", k, count, wireTotal))
+		}
+		copy(asm.Bytes()[off:], plain.Data)
+		release()
+		off += plain.Len()
+		if k == count-1 {
+			out := mpi.BytesWithLease(asm.Bytes()[:off], asm)
+			asm = nil
+			return out, nil
+		}
+		return mpi.Buffer{}, nil
+	}
+}

@@ -16,6 +16,14 @@ type Comm struct {
 	eng Engine
 	// metrics receives crypto accounting; nil (inert) when unobserved.
 	metrics *obs.Rank
+
+	// pipeThreshold and pipeChunk steer the transparent chunked-rendezvous
+	// overlap path (chunked.go, DESIGN.md §12): payloads of pipeThreshold
+	// bytes or more travel as pipeChunk-byte chunks sealed and opened inside
+	// Wait, overlapping crypto with the wire. pipeThreshold ≤ 0 disables
+	// the path (WithPipeline).
+	pipeThreshold int
+	pipeChunk     int
 }
 
 // WrapOption configures Wrap.
@@ -33,7 +41,11 @@ func ObserveWith(rk *obs.Rank) WrapOption {
 // registry, every Seal/Open on this communicator is accounted to this rank
 // automatically.
 func Wrap(c *mpi.Comm, eng Engine, opts ...WrapOption) *Comm {
-	e := &Comm{c: c, eng: eng, metrics: c.Metrics()}
+	e := &Comm{
+		c: c, eng: eng, metrics: c.Metrics(),
+		pipeThreshold: DefaultPipelineThreshold,
+		pipeChunk:     DefaultPipelineChunk,
+	}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -72,6 +84,24 @@ func (e *Comm) open(wire mpi.Buffer) (mpi.Buffer, error) {
 	return plain, nil
 }
 
+// openInto is open's copy-free variant for engines that support decrypting
+// into caller-owned storage; accounting matches open.
+func (e *Comm) openInto(oi openerInto, dst []byte, wire mpi.Buffer) (int, error) {
+	proc := e.c.Proc()
+	if e.metrics == nil {
+		return oi.OpenInto(proc, dst, wire)
+	}
+	start := int64(proc.Now())
+	n, err := oi.OpenInto(proc, dst, wire)
+	ns := int64(proc.Now()) - start
+	if err != nil {
+		e.metrics.AuthFailure(ns)
+		return n, err
+	}
+	e.metrics.Open(wire.Len(), n, ns)
+	return n, nil
+}
+
 // Rank returns this rank.
 func (e *Comm) Rank() int { return e.c.Rank() }
 
@@ -97,19 +127,33 @@ type Request struct {
 // Send is Encrypted_Send: seal, then send the wire message. A non-nil error
 // matches mpi.ErrTransport and means the ciphertext never left this rank
 // cleanly. The sealed wire buffer is pooled; its lease is dropped here once
-// the blocking send has injected the bytes.
+// the blocking send has injected the bytes. Payloads at or above the
+// pipeline threshold travel chunked (chunked.go), sealing each chunk while
+// the previous one is on the wire.
 func (e *Comm) Send(dst, tag int, buf mpi.Buffer) error {
+	if chunkLen, count, ok := e.chunkPlan(buf.Len()); ok {
+		req := e.isendChunked(dst, tag, buf, chunkLen, count)
+		_, _, err := e.Wait(req)
+		return err
+	}
 	wire := e.seal(buf)
 	err := e.c.Send(dst, tag, wire)
 	wire.Release()
 	return err
 }
 
-// Isend is Encrypted_Isend. Encryption happens eagerly (the payload must be
-// captured before the caller reuses its buffer); injection is non-blocking.
-// The sealed wire buffer's pool lease is dropped when the send completes
-// (inside Wait), the first point the transport is guaranteed done with it.
+// Isend is Encrypted_Isend. Below the pipeline threshold, encryption
+// happens eagerly (the payload is captured before the caller reuses its
+// buffer) and injection is non-blocking; the sealed wire buffer's pool
+// lease is dropped when the send completes (inside Wait), the first point
+// the transport is guaranteed done with it. At or above the threshold the
+// chunked overlap path seals lazily instead — chunk by chunk, inside Wait —
+// and the caller must leave the buffer untouched until the request
+// completes, which is the standard MPI_Isend contract.
 func (e *Comm) Isend(dst, tag int, buf mpi.Buffer) *Request {
+	if chunkLen, count, ok := e.chunkPlan(buf.Len()); ok {
+		return e.isendChunked(dst, tag, buf, chunkLen, count)
+	}
 	wire := e.seal(buf)
 	inner := e.c.Isend(dst, tag, wire)
 	inner.SetOnComplete(func(*mpi.Request) { wire.Release() })
@@ -118,9 +162,12 @@ func (e *Comm) Isend(dst, tag int, buf mpi.Buffer) *Request {
 
 // Irecv is Encrypted_Irecv: it posts the receive for the wire-format message
 // and defers decryption to Wait, preserving the non-blocking property
-// exactly as the paper's implementation does (§IV).
+// exactly as the paper's implementation does (§IV). A chunked sender's
+// frames are opened one by one as they arrive (the chunk sink below); a
+// classic sender's ciphertext arrives whole and is opened by the completion
+// hook. Both run inside Wait.
 func (e *Comm) Irecv(src, tag int) *Request {
-	req := &Request{inner: e.c.Irecv(src, tag), isRecv: true}
+	req := &Request{inner: e.c.IrecvSink(src, tag, e.chunkOpenSink()), isRecv: true}
 	req.inner.SetOnComplete(func(r *mpi.Request) {
 		if terr := r.Err(); terr != nil {
 			// The receive itself failed; there is no wire buffer to decrypt.
@@ -149,11 +196,15 @@ func (e *Comm) Irecv(src, tag int) *Request {
 
 // Wait completes a request. For receives it returns the decrypted payload;
 // a non-nil error means authentication failed and the data must be
-// discarded.
+// discarded. Send failures (the transport could not carry a frame, or a
+// chunk failed to seal) surface here too, matching mpi.ErrTransport.
 func (e *Comm) Wait(req *Request) (mpi.Buffer, mpi.Status, error) {
 	buf, st := e.c.Wait(req.inner)
 	if req.err != nil {
 		return mpi.Buffer{}, st, req.err
+	}
+	if err := req.inner.Err(); err != nil {
+		return mpi.Buffer{}, st, err
 	}
 	return buf, st, nil
 }

@@ -274,7 +274,9 @@ func TestModelEngineChargesTime(t *testing.T) {
 			if enc {
 				eng = encmpi.NewModelEngine(profile)
 			}
-			e := encmpi.Wrap(c, eng)
+			// Disable the transparent chunked path: this test quantifies the
+			// full serial crypto cost, which overlap would (by design) hide.
+			e := encmpi.Wrap(c, eng, encmpi.WithPipeline(-1, 0))
 			size := 1 << 20
 			switch c.Rank() {
 			case 0:

@@ -144,6 +144,34 @@ func (e *RealEngine) Open(_ sched.Proc, wire mpi.Buffer) (mpi.Buffer, error) {
 	return mpi.BytesWithLease(plain, lease), nil
 }
 
+// OpenInto decrypts a wire buffer directly into dst, sparing Open's pooled
+// intermediate buffer. It is the chunked receive path's fast path: each
+// chunk's plaintext lands straight in the message assembly instead of being
+// decrypted into scratch and copied over. dst must be sized for the
+// plaintext (PlainLen of the wire); the plaintext length is returned.
+func (e *RealEngine) OpenInto(_ sched.Proc, dst []byte, wire mpi.Buffer) (int, error) {
+	if wire.IsSynthetic() {
+		return 0, fmt.Errorf("encmpi: cannot decrypt a synthetic buffer with a real engine")
+	}
+	n, err := aead.PlainLen(wire.Len())
+	if err != nil {
+		return 0, err
+	}
+	if n > len(dst) {
+		return 0, fmt.Errorf("encmpi: OpenInto destination holds %d bytes, plaintext is %d", len(dst), n)
+	}
+	plain, err := aead.DecryptMessage(e.codec, dst[:0], wire.Data)
+	if err != nil {
+		return 0, err
+	}
+	if len(plain) > 0 && &plain[0] != &dst[0] {
+		// The codec outgrew the destination prediction and reallocated (a
+		// padding codec can): land the bytes where the caller asked.
+		copy(dst, plain)
+	}
+	return len(plain), nil
+}
+
 // ModelEngine charges calibrated virtual time for encryption and decryption
 // using a cost-model profile of one of the paper's libraries. Buffers stay
 // synthetic; only sizes and time move.

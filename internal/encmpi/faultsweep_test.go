@@ -125,7 +125,10 @@ type sweepRoutine struct {
 	// dropOnly marks the probe-based routine used for the Drop mode, where
 	// a blocking receive would otherwise wait forever for the lost bytes.
 	dropOnly bool
-	body     func(c *cell, e *encmpi.Comm)
+	// wrap configures the encrypted communicator (e.g. a lowered pipeline
+	// threshold so the chunked-rendezvous path engages at sweep sizes).
+	wrap []encmpi.WrapOption
+	body func(c *cell, e *encmpi.Comm)
 }
 
 func sweepRoutines() []sweepRoutine {
@@ -159,6 +162,27 @@ func sweepRoutines() []sweepRoutine {
 				case 1:
 					got, err := e.RecvPipelined(0, 3, chunk)
 					c.report("pipelined-recv", got, payload, err)
+				}
+			},
+		},
+		{
+			// The transparent chunked-rendezvous path (DESIGN.md §12): one
+			// 32 KiB message travels as 16 independently sealed DataSeg
+			// frames, opened inside Wait as they arrive. Truncated,
+			// reordered, duplicated, corrupted, extended, or replayed chunk
+			// frames must fail the receive — never panic, never hang, never
+			// mis-assemble.
+			name: "chunked-rendezvous", ranks: 2, eager: 1 << 10, singleReceiver: true,
+			wrap: []encmpi.WrapOption{encmpi.WithPipeline(8<<10, 2<<10)},
+			body: func(c *cell, e *encmpi.Comm) {
+				payload := sweepPayload(6, 32<<10)
+				switch e.Rank() {
+				case 0:
+					err := e.Send(1, 5, mpi.Bytes(payload))
+					c.report("chunked-send", mpi.Buffer{}, nil, err)
+				case 1:
+					got, _, err := e.Recv(0, 5)
+					c.report("chunked-recv", got, payload, err)
 				}
 			},
 		},
@@ -356,7 +380,7 @@ func runSweepCell(t *testing.T, eng sweepEngine, mode faulty.Mode, rt sweepRouti
 					c.reportPanic(fmt.Sprintf("rank%d", comm.Rank()), r)
 				}
 			}()
-			rt.body(c, encmpi.Wrap(comm, eng.mk(t, comm.Rank())))
+			rt.body(c, encmpi.Wrap(comm, eng.mk(t, comm.Rank()), rt.wrap...))
 		}(comm)
 	}
 

@@ -90,34 +90,44 @@ func FuzzPlainLen(f *testing.F) {
 	})
 }
 
-// FuzzPipelineHeader checks the pipelined length header decoder: reject
-// anything that is not exactly 8 bytes or announces an absurd length, and
-// round-trip everything accepted.
+// FuzzPipelineHeader checks the pipelined announcement header decoder:
+// reject anything that is not exactly 16 bytes, announces an absurd length,
+// or carries an unusable chunk size, and round-trip everything accepted.
+// (Old 8-byte corpus entries remain valuable: they are now-malformed inputs
+// the decoder must still reject cleanly.)
 func FuzzPipelineHeader(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(encodeLen(0))
-	f.Add(encodeLen(1))
-	f.Add(encodeLen(maxPipelineTotal))
+	f.Add(encodePipeHeader(0, 1))
+	f.Add(encodePipeHeader(1, DefaultChunk))
+	f.Add(encodePipeHeader(maxPipelineTotal, maxPipelineTotal))
+	f.Add(encodePipeHeader(maxPipelineTotal, 1)) // absurd chunk count
+	f.Add(encodePipeHeader(1, 0))                // zero chunk
 	f.Add(bytes.Repeat([]byte{0xFF}, pipelineHeaderLen))
-	f.Add(bytes.Repeat([]byte{0xFF}, pipelineHeaderLen-1))
+	f.Add(bytes.Repeat([]byte{0xFF}, pipelineHeaderLen-8)) // old 8-byte header
 	f.Add(bytes.Repeat([]byte{0xFF}, pipelineHeaderLen+1))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
-		total, err := decodeLen(b)
+		total, chunk, err := decodePipeHeader(b)
 		if err != nil {
 			if !errors.Is(err, ErrMalformedWire) {
-				t.Fatalf("decodeLen error is not ErrMalformedWire: %v", err)
+				t.Fatalf("decodePipeHeader error is not ErrMalformedWire: %v", err)
 			}
 			return
 		}
 		if len(b) != pipelineHeaderLen {
-			t.Fatalf("decodeLen accepted a %d-byte header", len(b))
+			t.Fatalf("decodePipeHeader accepted a %d-byte header", len(b))
 		}
 		if total < 0 || total > maxPipelineTotal {
-			t.Fatalf("decodeLen accepted out-of-range total %d", total)
+			t.Fatalf("decodePipeHeader accepted out-of-range total %d", total)
 		}
-		if !bytes.Equal(encodeLen(total), b) {
-			t.Fatalf("encodeLen(%d) does not round-trip %x", total, b)
+		if chunk <= 0 || chunk > maxPipelineTotal {
+			t.Fatalf("decodePipeHeader accepted out-of-range chunk %d", chunk)
+		}
+		if (total+chunk-1)/chunk > maxPipelineChunks {
+			t.Fatalf("decodePipeHeader accepted a %d-chunk demand", (total+chunk-1)/chunk)
+		}
+		if !bytes.Equal(encodePipeHeader(total, chunk), b) {
+			t.Fatalf("encodePipeHeader(%d, %d) does not round-trip %x", total, chunk, b)
 		}
 	})
 }

@@ -12,6 +12,13 @@ import (
 // wire transfer of chunk k (and symmetrically on the receive side). These
 // routines implement that pipeline on top of the ordinary encrypted
 // primitives; BenchmarkAblationPipelined quantifies the win.
+//
+// The transparent chunked-rendezvous path (chunked.go, DESIGN.md §12) has
+// subsumed these explicit routines for point-to-point traffic: Send/Isend
+// above the pipeline threshold now chunk inside the rendezvous protocol
+// itself, with no tag-space games and deeper overlap. SendPipelined and
+// RecvPipelined remain as the explicit, tag-visible form (and the building
+// block of BcastPipelined).
 
 // DefaultChunk is the pipeline chunk size. 256 KB balances per-chunk
 // overhead (28 bytes + a nonce generation each) against overlap depth.
@@ -24,18 +31,21 @@ const pipelineTagStride = 1 << 20
 // chunks. The wire cost is one 28-byte expansion per chunk; the benefit is
 // that crypto and wire time overlap. Chunks use tags
 // tag+pipelineTagStride·k, so the plain tag space below pipelineTagStride
-// remains available to the caller. A non-nil error means a chunk send
-// failed to complete cleanly; like every error in this layer, it is
-// returned, never panicked.
+// remains available to the caller. The header announces both the total and
+// the chunk size, so the two sides need not agree on chunk out of band: the
+// receiver always cuts the stream where the sender did. A non-nil error
+// means a chunk send failed to complete cleanly; like every error in this
+// layer, it is returned, never panicked.
 func (e *Comm) SendPipelined(dst, tag int, buf mpi.Buffer, chunk int) error {
 	if chunk <= 0 {
 		chunk = DefaultChunk
 	}
 	n := buf.Len()
-	// Announce the total length so the receiver can size its chunk loop.
-	// The header carries real bytes even for synthetic payloads: the
-	// simulator forwards message contents verbatim, only modeling time.
-	if err := e.Send(dst, tag, mpi.Bytes(encodeLen(n))); err != nil {
+	// Announce the total length and the chunk size so the receiver can size
+	// its chunk loop. The header carries real bytes even for synthetic
+	// payloads: the simulator forwards message contents verbatim, only
+	// modeling time.
+	if err := e.Send(dst, tag, mpi.Bytes(encodePipeHeader(n, chunk))); err != nil {
 		return err
 	}
 
@@ -55,11 +65,12 @@ func (e *Comm) SendPipelined(dst, tag int, buf mpi.Buffer, chunk int) error {
 
 // RecvPipelined receives a message sent with SendPipelined. It posts the
 // receive for chunk k+1 before decrypting chunk k, overlapping decryption
-// with the remaining transfers.
+// with the remaining transfers. The chunk size is the sender's, taken from
+// the announcing header — the chunk argument is accepted for call-site
+// symmetry with SendPipelined but no longer steers reassembly, so the two
+// sides cannot corrupt a transfer by disagreeing on it.
 func (e *Comm) RecvPipelined(src, tag int, chunk int) (mpi.Buffer, error) {
-	if chunk <= 0 {
-		chunk = DefaultChunk
-	}
+	_ = chunk
 	hdr, _, err := e.Recv(src, tag)
 	if err != nil {
 		return mpi.Buffer{}, err
@@ -67,7 +78,7 @@ func (e *Comm) RecvPipelined(src, tag int, chunk int) (mpi.Buffer, error) {
 	if hdr.IsSynthetic() {
 		return mpi.Buffer{}, malformedf("pipelined length header carries no bytes")
 	}
-	total, err := decodeLen(hdr.Data)
+	total, chunk, err := decodePipeHeader(hdr.Data)
 	hdr.Release()
 	if err != nil {
 		return mpi.Buffer{}, err
@@ -95,12 +106,20 @@ func (e *Comm) RecvPipelined(src, tag int, chunk int) (mpi.Buffer, error) {
 			e.drainPipelined(reqs[i+1:])
 			return mpi.Buffer{}, err
 		}
+		if got+buf.Len() > total {
+			// A sender pushing more bytes than its header announced is
+			// malformed wire: fail the moment the overrun is known, before
+			// any of the excess is assembled, releasing this chunk's lease
+			// and draining the rest unread.
+			over := buf.Len()
+			buf.Release()
+			e.drainPipelined(reqs[i+1:])
+			return mpi.Buffer{}, malformedf("pipelined chunk %d overruns the announced total: %d+%d > %d bytes", i, got, over, total)
+		}
 		if buf.IsSynthetic() {
 			synthetic = true
 		} else {
-			if got < total {
-				copy(out[got:], buf.Data)
-			}
+			copy(out[got:], buf.Data)
 			// The chunk's pool lease (ours via the decrypt hook) is spent
 			// once its bytes are copied into the assembled message.
 			buf.Release()
@@ -129,8 +148,9 @@ func (e *Comm) drainPipelined(reqs []*Request) {
 	}
 }
 
-// pipelineHeaderLen is the fixed size of the little-endian length header.
-const pipelineHeaderLen = 8
+// pipelineHeaderLen is the fixed size of the little-endian announcement
+// header: total(8) ‖ chunk(8).
+const pipelineHeaderLen = 16
 
 // maxPipelineTotal caps the length a header may announce (1 TiB). Without a
 // cap, eight hostile header bytes could demand a petabyte-sized receive
@@ -138,26 +158,41 @@ const pipelineHeaderLen = 8
 // allocation happens.
 const maxPipelineTotal = 1 << 40
 
-func encodeLen(n int) []byte {
+// maxPipelineChunks caps how many chunk receives a header may demand: an
+// in-cap total split by a tiny chunk size would otherwise post a billion
+// requests before a single payload byte arrives.
+const maxPipelineChunks = 1 << 20
+
+func encodePipeHeader(total, chunk int) []byte {
 	out := make([]byte, pipelineHeaderLen)
-	for i := 0; i < pipelineHeaderLen; i++ {
-		out[i] = byte(uint64(n) >> (8 * i))
+	for i := 0; i < 8; i++ {
+		out[i] = byte(uint64(total) >> (8 * i))
+		out[8+i] = byte(uint64(chunk) >> (8 * i))
 	}
 	return out
 }
 
-// decodeLen validates and decodes a pipeline length header. Short, long,
-// negative, and absurdly large headers are malformed — never indexed blindly.
-func decodeLen(b []byte) (int, error) {
+// decodePipeHeader validates and decodes a pipeline announcement header.
+// Short, long, negative, and absurdly large totals are malformed, as is any
+// chunk size that is zero, negative, or demands an absurd number of chunks
+// — never indexed blindly, never trusted into an allocation.
+func decodePipeHeader(b []byte) (total, chunk int, err error) {
 	if len(b) != pipelineHeaderLen {
-		return 0, malformedf("pipelined length header is %d bytes, want %d", len(b), pipelineHeaderLen)
+		return 0, 0, malformedf("pipelined length header is %d bytes, want %d", len(b), pipelineHeaderLen)
 	}
-	var u uint64
-	for i := 0; i < pipelineHeaderLen; i++ {
-		u |= uint64(b[i]) << (8 * i)
+	var ut, uc uint64
+	for i := 0; i < 8; i++ {
+		ut |= uint64(b[i]) << (8 * i)
+		uc |= uint64(b[8+i]) << (8 * i)
 	}
-	if u > maxPipelineTotal {
-		return 0, malformedf("pipelined length %d exceeds the %d-byte cap", u, uint64(maxPipelineTotal))
+	if ut > maxPipelineTotal {
+		return 0, 0, malformedf("pipelined length %d exceeds the %d-byte cap", ut, uint64(maxPipelineTotal))
 	}
-	return int(u), nil
+	if uc == 0 || uc > maxPipelineTotal {
+		return 0, 0, malformedf("pipelined chunk size %d is not a usable chunk", uc)
+	}
+	if (ut+uc-1)/uc > maxPipelineChunks {
+		return 0, 0, malformedf("pipelined header demands %d chunks, cap is %d", (ut+uc-1)/uc, maxPipelineChunks)
+	}
+	return int(ut), int(uc), nil
 }

@@ -84,7 +84,10 @@ func TestPipelinedOverlapBeatsMonolithic(t *testing.T) {
 		spec := cluster.PaperTestbed(2, 2)
 		var elapsed time.Duration
 		_, err := job.RunSim(spec, simnet.IB40G(), func(c *mpi.Comm) {
-			e := encmpi.Wrap(c, encmpi.NewModelEngine(p))
+			// Transparent chunking off: the ablation compares the explicit
+			// SendPipelined overlap against a genuinely monolithic transfer
+			// (with it on, plain Send overlaps too and the contrast vanishes).
+			e := encmpi.Wrap(c, encmpi.NewModelEngine(p), encmpi.WithPipeline(-1, 0))
 			switch c.Rank() {
 			case 0:
 				start := c.Proc().Now()

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"fmt"
 	"sync"
 
 	"encmpi/internal/sched"
@@ -23,6 +24,13 @@ type rankState struct {
 	rndvRecv map[uint64]*Request
 	// rndvSend maps a sequence to the local send request awaiting CTS.
 	rndvSend map[uint64]*Request
+
+	// chunkWork lists requests of this rank with pending chunked-rendezvous
+	// work (a chunk to seal and send, or an arrived chunk to open). Any Wait
+	// on the rank drains it — the progress engine of DESIGN.md §12 — so a
+	// Sendrecv's chunked send keeps flowing while the rank waits on its
+	// receive.
+	chunkWork []*Request
 }
 
 func newRankState(rank int) *rankState {
@@ -121,6 +129,7 @@ func (w *World) Deliver(m *Msg) {
 	case KindRTS:
 		if req := st.matchPostedLocked(m); req != nil {
 			req.seq = m.Seq
+			req.armChunksLocked(m)
 			st.rndvRecv[m.Seq] = req
 			failon = req
 			followup = &Msg{
@@ -143,6 +152,18 @@ func (w *World) Deliver(m *Msg) {
 			return
 		}
 		delete(st.rndvSend, m.Seq)
+		if cs := req.chunks; cs != nil {
+			// Chunked exchange: production happens on the sender's own
+			// goroutine (inside Wait), where the crypto cost lands on the
+			// right proc clock — mark the send runnable and wake the rank.
+			cs.ready = true
+			if !cs.listed {
+				cs.listed = true
+				st.chunkWork = append(st.chunkWork, req)
+			}
+			wake = st.proc
+			break
+		}
 		// Inject the payload. The send request completes when the transport
 		// reports the data has drained from the sender (Done.Injected), which
 		// is what makes a blocking rendezvous send wire-paced; a queued DATA
@@ -163,8 +184,84 @@ func (w *World) Deliver(m *Msg) {
 			return
 		}
 		delete(st.rndvRecv, m.Seq)
+		if req.chunks != nil {
+			// The RTS announced a chunked exchange; a whole-message DATA
+			// frame for it is a protocol violation, not a payload.
+			if !req.done {
+				req.failLocked(transportErr(fmt.Errorf("whole DATA frame on chunked exchange %d", m.Seq)))
+			}
+			wake = st.proc
+			break
+		}
 		req.completeRecvLocked(m)
 		wake = st.proc
+
+	case KindDataSeg:
+		req, ok := st.rndvRecv[m.Seq]
+		cs := (*chunkState)(nil)
+		if ok {
+			cs = req.chunks
+		}
+		if cs == nil {
+			// Unknown exchange, or a DataSeg for a classic one: a duplicate,
+			// a replay, or a forgery. Discard, never panic.
+			st.mu.Unlock()
+			stray()
+			return
+		}
+		if req.done {
+			// The exchange already failed locally (a sink error, a malformed
+			// earlier frame): the stragglers still inbound are strays — do
+			// not queue references nobody will ever consume.
+			delete(st.rndvRecv, m.Seq)
+			st.mu.Unlock()
+			stray()
+			return
+		}
+		wake = st.proc
+		switch k := m.DataLen; {
+		case m.Chunks != cs.count || k != cs.arrived:
+			// A reordered, duplicated, or forged chunk makes the stream
+			// unrecoverable: chunks are independent AEAD messages whose
+			// placement the frame order defines, so mis-assembly is the
+			// only alternative to failing — fail.
+			delete(st.rndvRecv, m.Seq)
+			if !req.done {
+				req.failLocked(transportErr(fmt.Errorf(
+					"chunked rendezvous: frame %d/%d arrived, expected %d/%d", k, m.Chunks, cs.arrived, cs.count)))
+			}
+		case cs.got+m.Buf.Len() > cs.wireTotal:
+			// Overshoot: more bytes than the RTS announced. Fail the moment
+			// the excess shows up instead of truncating silently.
+			delete(st.rndvRecv, m.Seq)
+			if !req.done {
+				req.failLocked(transportErr(fmt.Errorf(
+					"chunked rendezvous: %d bytes exceed the announced %d", cs.got+m.Buf.Len(), cs.wireTotal)))
+			}
+		case k == cs.count-1 && cs.got+m.Buf.Len() != cs.wireTotal:
+			// Final chunk but the byte total comes up short (a truncated
+			// frame upstream): the message can never complete.
+			delete(st.rndvRecv, m.Seq)
+			if !req.done {
+				req.failLocked(transportErr(fmt.Errorf(
+					"chunked rendezvous: %d of %d announced bytes", cs.got+m.Buf.Len(), cs.wireTotal)))
+			}
+		default:
+			// The queue keeps the chunk beyond this call: take a reference,
+			// dropped when the waiter consumes (or the failure path clears)
+			// the entry.
+			m.Buf.Retain()
+			cs.queue = append(cs.queue, m.Buf)
+			cs.got += m.Buf.Len()
+			cs.arrived++
+			if cs.arrived == cs.count {
+				delete(st.rndvRecv, m.Seq)
+			}
+			if !cs.listed {
+				cs.listed = true
+				st.chunkWork = append(st.chunkWork, req)
+			}
+		}
 
 	default:
 		st.mu.Unlock()

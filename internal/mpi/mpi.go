@@ -40,10 +40,11 @@ type Kind uint8
 
 // Protocol message kinds.
 const (
-	KindEager Kind = iota // payload inline, buffered if unexpected
-	KindRTS               // rendezvous request-to-send (carries payload size)
-	KindCTS               // rendezvous clear-to-send
-	KindData              // rendezvous payload
+	KindEager   Kind = iota // payload inline, buffered if unexpected
+	KindRTS                 // rendezvous request-to-send (carries payload size)
+	KindCTS                 // rendezvous clear-to-send
+	KindData                // rendezvous payload (whole message)
+	KindDataSeg             // one chunk of a chunked rendezvous payload
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +58,8 @@ func (k Kind) String() string {
 		return "CTS"
 	case KindData:
 		return "DATA"
+	case KindDataSeg:
+		return "DATASEG"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -178,9 +181,15 @@ type Msg struct {
 	Kind     Kind
 	// Seq identifies a rendezvous exchange (world-unique).
 	Seq uint64
-	// DataLen is the payload size announced by an RTS.
+	// DataLen is the payload size announced by an RTS; for a KindDataSeg
+	// frame it carries the chunk index instead (the frames of one exchange
+	// are self-describing, so a receiver can detect reordering).
 	DataLen int
-	Buf     Buffer
+	// Chunks, when non-zero on an RTS or DataSeg, is the chunk count of a
+	// chunked rendezvous exchange (DESIGN.md §12). Zero means the classic
+	// single-DATA protocol.
+	Chunks int
+	Buf    Buffer
 
 	// Done, when set, receives the message's local-completion signal from
 	// the transport (see Completion). It is an interface rather than a pair

@@ -88,10 +88,22 @@ func (c *Comm) Send(dst, tag int, buf Buffer) error {
 // Irecv posts a non-blocking receive matching (src, tag); src may be
 // AnySource and tag may be AnyTag.
 func (c *Comm) Irecv(src, tag int) *Request {
-	return c.irecv(src, tag, c.ctxUser)
+	return c.irecvSink(src, tag, c.ctxUser, nil)
+}
+
+// IrecvSink is Irecv with a chunk sink installed atomically with the post:
+// if the matching sender used IsendChunks, the sink consumes each chunk
+// inside Wait as it arrives (SetChunkSink's race-free form — another waiter
+// on this rank cannot observe the receive without its sink).
+func (c *Comm) IrecvSink(src, tag int, sink ChunkSink) *Request {
+	return c.irecvSink(src, tag, c.ctxUser, sink)
 }
 
 func (c *Comm) irecv(src, tag, ctx int) *Request {
+	return c.irecvSink(src, tag, ctx, nil)
+}
+
+func (c *Comm) irecvSink(src, tag, ctx int, sink ChunkSink) *Request {
 	if src != AnySource && (src < 0 || src >= c.Size()) {
 		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
 	}
@@ -100,7 +112,7 @@ func (c *Comm) irecv(src, tag, ctx int) *Request {
 	if src != AnySource {
 		wsrc = c.worldOf(src)
 	}
-	req := &Request{kind: reqRecv, src: wsrc, tag: tag, ctx: ctx, owner: c.st, comm: c}
+	req := &Request{kind: reqRecv, src: wsrc, tag: tag, ctx: ctx, owner: c.st, comm: c, sink: sink}
 
 	st := c.st
 	var cts *Msg
@@ -114,6 +126,7 @@ func (c *Comm) irecv(src, tag, ctx int) *Request {
 			m.Buf.Release()
 		case KindRTS:
 			req.seq = m.Seq
+			req.armChunksLocked(m)
 			st.rndvRecv[m.Seq] = req
 			cts = &Msg{
 				Src: c.st.rank, Dst: m.Src, Tag: m.Tag, Ctx: m.Ctx, Kind: KindCTS, Seq: m.Seq,
@@ -148,24 +161,50 @@ func (c *Comm) irecv(src, tag, ctx int) *Request {
 // Wait blocks until the request completes. For receives it returns the
 // payload and status. If the request carries an onComplete hook (the
 // encrypted layer's deferred decryption), it runs here, in the waiter's
-// context, exactly once.
+// context, exactly once — the hook is claimed under the rank lock, so
+// concurrent waiters on one request neither run it twice nor return before
+// its effects are visible.
+//
+// Wait is also the rank's chunk progress engine: while the request is
+// pending, any chunked rendezvous work of this rank (sealing the next
+// outbound chunk, opening an arrived one) runs here, on the waiting
+// goroutine, instead of parking — which is what overlaps crypto with the
+// wire (DESIGN.md §12) and keeps a Sendrecv's chunked send flowing while
+// the rank waits on its receive.
 func (c *Comm) Wait(req *Request) (Buffer, Status) {
 	if req.owner != c.st {
 		panic("mpi: waiting on a request owned by another rank")
 	}
 	c.metrics.Op(obs.OpWait)
+	st := c.st
 	// Blocked time is measured from the first failed completion check to the
 	// final successful one, via the proc clock — wall time on real
 	// transports, virtual time under the simulator. A request that is already
-	// done costs no clock reads.
+	// done costs no clock reads. Time spent progressing chunk work is not
+	// blocked time: the rank is computing, not parked.
 	var blockedFrom int64 = -1
+	var hook func(*Request)
 	for {
-		c.st.mu.Lock()
-		done := req.done
-		c.st.mu.Unlock()
-		if done {
-			break
+		st.mu.Lock()
+		if req.done {
+			if req.onComplete != nil && !req.completed {
+				req.completed = true
+				hook = req.onComplete
+				st.mu.Unlock()
+				break
+			}
+			if req.onComplete == nil || req.hookDone {
+				st.mu.Unlock()
+				break
+			}
+			// Another waiter claimed the hook and is still running it:
+			// park until it finishes (its exit baton wakes us).
+		} else if u, ok := st.claimChunkLocked(); ok {
+			st.mu.Unlock()
+			c.runChunkUnit(u)
+			continue
 		}
+		st.mu.Unlock()
 		if c.metrics != nil && blockedFrom < 0 {
 			blockedFrom = int64(c.proc.Now())
 		}
@@ -174,18 +213,26 @@ func (c *Comm) Wait(req *Request) (Buffer, Status) {
 	if blockedFrom >= 0 {
 		c.metrics.Wait(int64(c.proc.Now()) - blockedFrom)
 	}
-	if req.onComplete != nil && !req.completed {
-		req.completed = true
-		req.onComplete(req)
+	if hook != nil {
+		hook(req)
+		st.mu.Lock()
+		req.hookDone = true
+		st.mu.Unlock()
 	}
-	status := req.status
-	if req.kind == reqRecv && req.comm != nil && status.Len >= 0 && req.done {
+	st.mu.Lock()
+	buf, status := req.buf, req.status
+	st.mu.Unlock()
+	// Wake baton: a single Unpark wakes at most one parked goroutine, so
+	// every waiter leaving Wait passes the wake along in case another waiter
+	// on this rank is still parked (spurious wakeups are allowed).
+	st.proc.Unpark()
+	if req.kind == reqRecv && req.comm != nil && status.Len >= 0 {
 		// Report the source in this communicator's numbering.
 		if status.Source >= 0 {
 			status.Source = req.comm.commOf(status.Source)
 		}
 	}
-	return req.buf, status
+	return buf, status
 }
 
 // Waitall completes all requests. Like MPI_Waitall it returns only when

@@ -39,8 +39,81 @@ type Request struct {
 	// onComplete, when non-nil, runs in the waiter's context the first time
 	// Wait observes completion (used by the encrypted layer to decrypt
 	// inside Wait, preserving the non-blocking property — paper §IV).
+	// completed marks the hook as claimed (set under owner.mu, exactly
+	// once); hookDone marks it finished, so concurrent waiters neither run
+	// it twice nor return before its effects (SetBuffer) are visible.
 	onComplete func(*Request)
 	completed  bool
+	hookDone   bool
+
+	// chunks holds the progress state of a chunked rendezvous exchange
+	// (IsendChunks on the send side, an RTS with Chunks > 0 on the receive
+	// side); nil for every other request. Guarded by owner.mu.
+	chunks *chunkState
+	// sink, when non-nil on a receive, consumes chunks as they arrive
+	// (SetChunkSink); guarded by owner.mu.
+	sink ChunkSink
+}
+
+// ChunkSink consumes the chunks of a chunked rendezvous receive, in order,
+// inside Wait. k is the chunk index, count the announced chunk count, and
+// wireTotal the announced byte total across all chunks. The sink owns chunk
+// only for the duration of the call. On the final chunk (k == count-1) the
+// sink returns the assembled message buffer — carrying one reference owned
+// by the request — which becomes the receive's payload; earlier calls
+// return the zero Buffer. A sink error fails the receive with that error.
+type ChunkSink func(k, count, wireTotal int, chunk Buffer) (Buffer, error)
+
+// chunkState tracks one chunked rendezvous exchange on its request. All
+// fields are guarded by the owner rankState's mutex except where noted; the
+// busy flag serializes out-of-lock work (sealing the next chunk, opening an
+// arrived one) so chunks are produced and consumed strictly in order even
+// with several goroutines waiting on the rank.
+type chunkState struct {
+	count int
+	busy  bool
+
+	// Send side: src produces chunk k's wire buffer (one reference handed
+	// to the protocol). ready is set when the CTS arrives; produced counts
+	// chunks handed to the transport, injected chunks the transport has
+	// drained. The send completes at produced == injected == count.
+	src      func(k int) (Buffer, error)
+	ready    bool
+	produced int
+	injected int
+
+	// Recv side: frames are validated and queued by Deliver; the waiter
+	// opens them via sink (or assembles them raw when sink is nil).
+	wireTotal int // announced total wire bytes across all chunks
+	got       int // wire bytes accepted so far
+	arrived   int // frames accepted (also the next expected index)
+	opened    int // frames consumed by the sink
+	queue     []Buffer
+	listed    bool // request is on the rank's chunkWork list
+	from, tag int  // status coordinates captured from the RTS
+
+	// Default-sink assembly (no ChunkSink installed): chunks are copied
+	// into one pooled buffer of wireTotal bytes.
+	asm    Buffer
+	asmOff int
+}
+
+// releaseQueuedLocked drops the queue's references on any chunks that
+// arrived but were never consumed (the failure path). A chunk claimed by an
+// in-flight worker has been zeroed out of its slot, and the worker both
+// releases it and cleans up the assembly buffer itself when it relocks and
+// observes the failure — so a busy exchange's asm is left alone here.
+// Caller holds owner.mu.
+func (cs *chunkState) releaseQueuedLocked() {
+	for i := cs.opened; i < len(cs.queue); i++ {
+		cs.queue[i].Release()
+		cs.queue[i] = Buffer{}
+	}
+	cs.opened = len(cs.queue)
+	if !cs.busy {
+		cs.asm.Release() // no-op unless the default sink had started assembling
+		cs.asm = Buffer{}
+	}
 }
 
 // Done reports (racily, for tests and polling) whether the request finished.
@@ -135,10 +208,46 @@ func (d *ctsDone) Failed(err error) {
 	st.proc.Unpark()
 }
 
-// failLocked completes the request with an error. Caller holds owner.mu.
+// chunkDone completes one DataSeg frame of a chunked rendezvous send: the
+// send request finishes when every chunk has both been produced and drained
+// from the wire, and a chunk that dies on the wire fails the whole exchange.
+type chunkDone Request
+
+// Injected counts one drained chunk and completes the send when it was the
+// last one.
+func (d *chunkDone) Injected() {
+	r := (*Request)(d)
+	st := r.owner
+	st.mu.Lock()
+	cs := r.chunks
+	cs.injected++
+	if !r.done && cs.injected == cs.count && cs.produced == cs.count {
+		r.done = true
+	}
+	st.mu.Unlock()
+	st.proc.Unpark()
+}
+
+// Failed fails the send, unless it already completed or failed.
+func (d *chunkDone) Failed(err error) {
+	r := (*Request)(d)
+	st := r.owner
+	st.mu.Lock()
+	if !r.done {
+		r.failLocked(transportErr(err))
+	}
+	st.mu.Unlock()
+	st.proc.Unpark()
+}
+
+// failLocked completes the request with an error, dropping any chunk-queue
+// references the exchange still held. Caller holds owner.mu.
 func (r *Request) failLocked(err error) {
 	r.err = err
 	r.done = true
+	if r.chunks != nil {
+		r.chunks.releaseQueuedLocked()
+	}
 }
 
 // completeRecvLocked fills in a matched message, retaining the payload's

@@ -194,7 +194,10 @@ func Run(kernel string, class byte, ranks, nodes int, cfg simnet.Config,
 		if c.Rank() == 0 {
 			engineName = eng.Name()
 		}
-		RunKernel(encmpi.Wrap(c, eng), p, computePerIter)
+		// Overlap off: the NAS reproduction models the paper's
+		// seal-whole-message implementation (its Fig. 10 overheads assume
+		// serial crypto), not the chunked extension.
+		RunKernel(encmpi.Wrap(c, eng, encmpi.WithPipeline(-1, 0)), p, computePerIter)
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("nas: %s class %c: %w", kernel, class, err)

@@ -85,6 +85,14 @@ type Rank struct {
 	plainSealed, wireSealed, wireOpened, plainOpened atomic.Uint64
 	sealNanos, openNanos                             atomic.Int64
 
+	// Chunked-rendezvous pipeline accounting (DESIGN.md §12): chunk frames
+	// produced and consumed, the high-water mark of chunks in flight on the
+	// wire, and the nanoseconds of seal/open work that ran while the wire
+	// was still busy with the same exchange — the time the pipeline hides.
+	pipeChunksSent, pipeChunksOpened atomic.Uint64
+	pipeMaxInFlight                  atomic.Int64
+	pipeSealOverlap, pipeOpenOverlap atomic.Int64
+
 	// Distributions.
 	sentSizes Hist // plaintext payload sizes handed to the transport
 	sealNs    Hist // per-Seal latency, nanoseconds
@@ -162,6 +170,49 @@ func (r *Rank) Open(wireBytes, plainBytes int, ns int64) {
 	r.plainOpened.Add(uint64(plainBytes))
 	r.openNanos.Add(ns)
 	r.openNs.Observe(ns)
+}
+
+// PipeChunkSent records one chunked-rendezvous chunk handed to the
+// transport, with the number of this exchange's chunks then in flight
+// (produced but not yet drained from the adapter).
+func (r *Rank) PipeChunkSent(inFlight int) {
+	if r == nil {
+		return
+	}
+	r.pipeChunksSent.Add(1)
+	for {
+		cur := r.pipeMaxInFlight.Load()
+		if int64(inFlight) <= cur || r.pipeMaxInFlight.CompareAndSwap(cur, int64(inFlight)) {
+			return
+		}
+	}
+}
+
+// PipeChunkOpened records one chunked-rendezvous chunk consumed by the
+// receive sink.
+func (r *Rank) PipeChunkOpened() {
+	if r == nil {
+		return
+	}
+	r.pipeChunksOpened.Add(1)
+}
+
+// PipeSealOverlap records ns nanoseconds of chunk production (sealing) that
+// ran while earlier chunks of the same exchange were still on the wire.
+func (r *Rank) PipeSealOverlap(ns int64) {
+	if r == nil {
+		return
+	}
+	r.pipeSealOverlap.Add(ns)
+}
+
+// PipeOpenOverlap records ns nanoseconds of chunk consumption (opening)
+// that ran while later chunks of the same exchange were still inbound.
+func (r *Rank) PipeOpenOverlap(ns int64) {
+	if r == nil {
+		return
+	}
+	r.pipeOpenOverlap.Add(ns)
 }
 
 // AuthFailure records a failed Open (authentication or malformed wire). The

@@ -85,6 +85,25 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			fmt.Sprintf(`rank="%d",dir="open"`, r.Rank), uint64(r.Crypto.OpenNanos))
 	}
 
+	pw.header("encmpi_pipeline_chunks_total", "counter", "Chunked-rendezvous chunks per rank and direction.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_pipeline_chunks_total",
+			fmt.Sprintf(`rank="%d",dir="sent"`, r.Rank), r.Pipeline.ChunksSent)
+		pw.counter("encmpi_pipeline_chunks_total",
+			fmt.Sprintf(`rank="%d",dir="opened"`, r.Rank), r.Pipeline.ChunksOpened)
+	}
+	pw.header("encmpi_pipeline_max_in_flight", "gauge", "High-water mark of chunks in flight per rank.")
+	for _, r := range s.Ranks {
+		pw.printf("encmpi_pipeline_max_in_flight{%s} %d\n", rankLabel(r.Rank), r.Pipeline.MaxInFlight)
+	}
+	pw.header("encmpi_pipeline_overlap_nanos_total", "counter", "Crypto nanoseconds overlapped with the wire per rank and direction.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_pipeline_overlap_nanos_total",
+			fmt.Sprintf(`rank="%d",dir="seal"`, r.Rank), uint64(r.Pipeline.SealOverlapNanos))
+		pw.counter("encmpi_pipeline_overlap_nanos_total",
+			fmt.Sprintf(`rank="%d",dir="open"`, r.Rank), uint64(r.Pipeline.OpenOverlapNanos))
+	}
+
 	pw.histogram("encmpi_sent_size_bytes", "Transport payload sizes sent per rank.", s.Ranks,
 		func(r RankSnapshot) HistSnapshot { return r.SentSizes })
 	pw.histogram("encmpi_seal_latency_nanos", "Per-Seal latency per rank.", s.Ranks,

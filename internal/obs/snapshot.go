@@ -30,6 +30,34 @@ type CryptoSnapshot struct {
 	OpenNanos    int64  `json:"open_nanos"`
 }
 
+// PipelineSnapshot is one rank's chunked-rendezvous pipeline accounting
+// (DESIGN.md §12). The overlap nanoseconds are the crypto time the pipeline
+// hid behind the wire: seal time spent while earlier chunks of the same
+// exchange were still draining, open time while later chunks were still
+// inbound.
+type PipelineSnapshot struct {
+	ChunksSent       uint64 `json:"chunks_sent"`
+	ChunksOpened     uint64 `json:"chunks_opened"`
+	MaxInFlight      int64  `json:"max_in_flight"`
+	SealOverlapNanos int64  `json:"seal_overlap_nanos"`
+	OpenOverlapNanos int64  `json:"open_overlap_nanos"`
+}
+
+// merge returns a+b (the in-flight high-water mark takes the max).
+func (p PipelineSnapshot) merge(o PipelineSnapshot) PipelineSnapshot {
+	out := PipelineSnapshot{
+		ChunksSent:       p.ChunksSent + o.ChunksSent,
+		ChunksOpened:     p.ChunksOpened + o.ChunksOpened,
+		MaxInFlight:      p.MaxInFlight,
+		SealOverlapNanos: p.SealOverlapNanos + o.SealOverlapNanos,
+		OpenOverlapNanos: p.OpenOverlapNanos + o.OpenOverlapNanos,
+	}
+	if o.MaxInFlight > out.MaxInFlight {
+		out.MaxInFlight = o.MaxInFlight
+	}
+	return out
+}
+
 // RankSnapshot is one rank's metrics frozen at snapshot time. The merged
 // world total reuses this type with Rank == -1.
 type RankSnapshot struct {
@@ -39,6 +67,7 @@ type RankSnapshot struct {
 	WaitNanos int64             `json:"wait_nanos"`
 	Strays    uint64            `json:"strays"`
 	Crypto    CryptoSnapshot    `json:"crypto"`
+	Pipeline  PipelineSnapshot  `json:"pipeline"`
 
 	SentSizes   HistSnapshot `json:"sent_sizes"`
 	SealLatency HistSnapshot `json:"seal_latency_ns"`
@@ -108,6 +137,13 @@ func (r *Rank) snapshot() RankSnapshot {
 			SealNanos:    r.sealNanos.Load(),
 			OpenNanos:    r.openNanos.Load(),
 		},
+		Pipeline: PipelineSnapshot{
+			ChunksSent:       r.pipeChunksSent.Load(),
+			ChunksOpened:     r.pipeChunksOpened.Load(),
+			MaxInFlight:      r.pipeMaxInFlight.Load(),
+			SealOverlapNanos: r.pipeSealOverlap.Load(),
+			OpenOverlapNanos: r.pipeOpenOverlap.Load(),
+		},
 		SentSizes:   r.sentSizes.snapshot(),
 		SealLatency: r.sealNs.snapshot(),
 		OpenLatency: r.openNs.snapshot(),
@@ -148,6 +184,7 @@ func mergeRank(a, b RankSnapshot) RankSnapshot {
 			SealNanos:    a.Crypto.SealNanos + b.Crypto.SealNanos,
 			OpenNanos:    a.Crypto.OpenNanos + b.Crypto.OpenNanos,
 		},
+		Pipeline:    a.Pipeline.merge(b.Pipeline),
 		SentSizes:   a.SentSizes.merge(b.SentSizes),
 		SealLatency: a.SealLatency.merge(b.SealLatency),
 		OpenLatency: a.OpenLatency.merge(b.OpenLatency),
@@ -301,6 +338,11 @@ func (s Snapshot) Digest() string {
 	}
 	if strays := s.Total.Strays + s.UnattributedStrays; strays > 0 {
 		fmt.Fprintf(&b, "stray messages: %d (%d unattributed)\n", strays, s.UnattributedStrays)
+	}
+	if p := s.Total.Pipeline; p.ChunksSent+p.ChunksOpened > 0 {
+		fmt.Fprintf(&b, "pipeline chunks: %d sent / %d opened (max %d in flight)  overlap: seal %.1fus open %.1fus\n",
+			p.ChunksSent, p.ChunksOpened, p.MaxInFlight,
+			float64(p.SealOverlapNanos)/1e3, float64(p.OpenOverlapNanos)/1e3)
 	}
 	if w := s.Wire; w.Flushes > 0 {
 		fmt.Fprintf(&b, "wire flushes: %d (%d inline)  frames: %d (%.2f/flush)  write errors: %d\n",

@@ -216,7 +216,7 @@ func (t *Transport) plan(m *mpi.Msg) (forward []*mpi.Msg, ackLocal bool) {
 
 	mode := t.mode
 	eligible := mode != None &&
-		(m.Kind == mpi.KindEager || m.Kind == mpi.KindData) &&
+		(m.Kind == mpi.KindEager || m.Kind == mpi.KindData || m.Kind == mpi.KindDataSeg) &&
 		(t.filter == nil || t.filter(m)) &&
 		(t.maxInject <= 0 || t.Injected < t.maxInject)
 

@@ -41,11 +41,14 @@ func (t *Transport) Bind(w *mpi.World) {
 }
 
 // wireSize returns the bytes a message occupies on the wire: payload bytes
-// for eager/data messages, the configured control size for RTS/CTS.
+// for eager/data messages (including chunked-rendezvous DataSeg frames), the
+// configured control size for RTS/CTS.
 func (t *Transport) wireSize(m *mpi.Msg) int {
 	switch m.Kind {
 	case mpi.KindRTS, mpi.KindCTS:
 		return t.fab.Config().CtlMsgSize
+	case mpi.KindDataSeg:
+		return m.Buf.Len()
 	default:
 		return m.Buf.Len()
 	}

@@ -31,8 +31,9 @@ import (
 //	_pad    [3]byte
 //	seq     uint64
 //	datalen int64
+//	chunks  int64
 //	buflen  int64
-const headerLen = 4 + 4 + 8 + 4 + 1 + 3 + 8 + 8 + 8
+const headerLen = 4 + 4 + 8 + 4 + 1 + 3 + 8 + 8 + 8 + 8
 
 // maxFramePayload bounds the payload length a frame header may announce
 // (1 GiB). A hostile or corrupted stream must not be able to drive a
@@ -230,13 +231,17 @@ func decodeHeader(hdr *[headerLen]byte) (m *mpi.Msg, buflen int, err error) {
 		Kind:    mpi.Kind(hdr[20]),
 		Seq:     binary.BigEndian.Uint64(hdr[24:]),
 		DataLen: int(int64(binary.BigEndian.Uint64(hdr[32:]))),
+		Chunks:  int(int64(binary.BigEndian.Uint64(hdr[40:]))),
 	}
-	buflen = int(int64(binary.BigEndian.Uint64(hdr[40:])))
+	buflen = int(int64(binary.BigEndian.Uint64(hdr[48:])))
 	if buflen < 0 || buflen > maxFramePayload {
 		return nil, 0, fmt.Errorf("%w: buflen %d", errMalformedFrame, buflen)
 	}
 	if m.DataLen < 0 || m.DataLen > maxFramePayload {
 		return nil, 0, fmt.Errorf("%w: datalen %d", errMalformedFrame, m.DataLen)
+	}
+	if m.Chunks < 0 || m.Chunks > maxFramePayload {
+		return nil, 0, fmt.Errorf("%w: chunks %d", errMalformedFrame, m.Chunks)
 	}
 	return m, buflen, nil
 }
@@ -376,7 +381,8 @@ func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) error {
 	frame[20] = byte(m.Kind)
 	binary.BigEndian.PutUint64(frame[24:], m.Seq)
 	binary.BigEndian.PutUint64(frame[32:], uint64(int64(m.DataLen)))
-	binary.BigEndian.PutUint64(frame[40:], uint64(int64(n)))
+	binary.BigEndian.PutUint64(frame[40:], uint64(int64(m.Chunks)))
+	binary.BigEndian.PutUint64(frame[48:], uint64(int64(n)))
 	if n > 0 {
 		if m.Buf.IsSynthetic() {
 			clear(frame[headerLen:]) // zeros on the wire, not pool garbage

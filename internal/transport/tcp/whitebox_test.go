@@ -136,7 +136,8 @@ func TestHostileDataLenCountsFrameError(t *testing.T) {
 	binary.BigEndian.PutUint32(hdr[4:], 1)           // dst
 	binary.BigEndian.PutUint64(hdr[24:], 7)          // seq
 	binary.BigEndian.PutUint64(hdr[32:], ^uint64(0)) // datalen = -1
-	binary.BigEndian.PutUint64(hdr[40:], 0)          // buflen
+	binary.BigEndian.PutUint64(hdr[40:], 0)          // chunks
+	binary.BigEndian.PutUint64(hdr[48:], 0)          // buflen
 	if _, err := tr.conns[0][1].Write(hdr[:]); err != nil {
 		t.Fatal(err)
 	}
@@ -154,19 +155,22 @@ func TestHostileDataLenCountsFrameError(t *testing.T) {
 // never hand back out-of-bounds lengths, and every rejection must be the
 // malformed-frame error.
 func FuzzFrameHeader(f *testing.F) {
-	mk := func(datalen, buflen int64) []byte {
+	mk := func(datalen, chunks, buflen int64) []byte {
 		var h [headerLen]byte
 		binary.BigEndian.PutUint32(h[0:], 0)
 		binary.BigEndian.PutUint32(h[4:], 1)
 		binary.BigEndian.PutUint64(h[32:], uint64(datalen))
-		binary.BigEndian.PutUint64(h[40:], uint64(buflen))
+		binary.BigEndian.PutUint64(h[40:], uint64(chunks))
+		binary.BigEndian.PutUint64(h[48:], uint64(buflen))
 		return h[:]
 	}
-	f.Add(mk(-1, 16))    // negative DataLen (hostile RTS)
-	f.Add(mk(1<<40, 16)) // absurd DataLen
-	f.Add(mk(16, -1))    // negative buflen
-	f.Add(mk(16, 1<<40)) // absurd buflen
-	f.Add(mk(64, 64))    // honest frame
+	f.Add(mk(-1, 0, 16))    // negative DataLen (hostile RTS)
+	f.Add(mk(1<<40, 0, 16)) // absurd DataLen
+	f.Add(mk(16, 0, -1))    // negative buflen
+	f.Add(mk(16, 0, 1<<40)) // absurd buflen
+	f.Add(mk(16, -1, 16))   // negative chunk count
+	f.Add(mk(16, 1<<40, 0)) // absurd chunk count
+	f.Add(mk(64, 8, 64))    // honest chunked frame
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		var hdr [headerLen]byte
 		copy(hdr[:], raw)
@@ -182,6 +186,9 @@ func FuzzFrameHeader(f *testing.F) {
 		}
 		if m.DataLen < 0 || m.DataLen > maxFramePayload {
 			t.Fatalf("accepted DataLen %d", m.DataLen)
+		}
+		if m.Chunks < 0 || m.Chunks > maxFramePayload {
+			t.Fatalf("accepted Chunks %d", m.Chunks)
 		}
 	})
 }

@@ -26,7 +26,7 @@ const zeroSlabLen = 64 << 10
 // written by no one; every flush may slice it concurrently.
 var zeroSlab [zeroSlabLen]byte
 
-// headerPool recycles frame-header slabs. Headers are 48 bytes — below the
+// headerPool recycles frame-header slabs. Headers are 56 bytes — below the
 // smallest bufpool class — so they get their own pool rather than burning
 // 512-byte leases on them.
 var headerPool = sync.Pool{New: func() any { return new([headerLen]byte) }}
@@ -120,7 +120,8 @@ func encodeHeader(hdr *[headerLen]byte, m *mpi.Msg, buflen int) {
 	hdr[21], hdr[22], hdr[23] = 0, 0, 0
 	binary.BigEndian.PutUint64(hdr[24:], m.Seq)
 	binary.BigEndian.PutUint64(hdr[32:], uint64(int64(m.DataLen)))
-	binary.BigEndian.PutUint64(hdr[40:], uint64(int64(buflen)))
+	binary.BigEndian.PutUint64(hdr[40:], uint64(int64(m.Chunks)))
+	binary.BigEndian.PutUint64(hdr[48:], uint64(int64(buflen)))
 }
 
 // enqueue appends m to the send queue and returns. The payload is not

@@ -2,6 +2,7 @@ package encmpi
 
 import (
 	"encmpi/internal/cryptopool"
+	enc "encmpi/internal/encmpi"
 	"encmpi/internal/job"
 	"encmpi/internal/obs"
 	"encmpi/internal/simnet"
@@ -23,6 +24,7 @@ type config struct {
 	fault          *faulty.Options
 	cryptoWorkers  int
 	eagerThreshold int
+	pipeThreshold  int
 	syncWrites     bool
 }
 
@@ -83,6 +85,22 @@ func WithCryptoWorkers(n int) Option {
 // (SimConfig), not from this option.
 func WithEagerThreshold(n int) Option {
 	return func(c *config) { c.eagerThreshold = n }
+}
+
+// WithPipelineThreshold sets the payload size at which encrypted sends
+// switch to the chunked crypto–comm overlap path (Encrypt, EncryptWith):
+// from n bytes up, a message travels as independently sealed rendezvous
+// chunks, with chunk k+1 sealed while chunk k is on the wire and chunks
+// opened inside Wait as frames arrive (see DESIGN.md §12). n == 0 keeps
+// the 256 KiB default; n < 0 disables chunking so every message travels as
+// one frame — the paper's original seal-whole-message behaviour.
+func WithPipelineThreshold(n int) Option {
+	return func(c *config) {
+		if n == 0 {
+			n = enc.DefaultPipelineThreshold
+		}
+		c.pipeThreshold = n
+	}
 }
 
 // WithWireBatching toggles the TCP transport's asynchronous wire engine
