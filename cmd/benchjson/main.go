@@ -1,5 +1,5 @@
 // Command benchjson emits the repository's machine-readable performance
-// snapshot (committed as BENCH_PR6.json): seal/open ns/op, MB/s, and
+// snapshot (committed as BENCH_PR7.json): seal/open ns/op, MB/s, and
 // allocs/op for the sequential and chunked-parallel engines across message
 // sizes, aggregate throughput of 16 concurrent 4 KiB messages through the
 // shared crypto worker pool versus the per-call goroutine baseline, an
@@ -9,12 +9,14 @@
 // against the synchronous write-under-mutex baseline (WithWireBatching),
 // and the chunked-rendezvous p2p suite comparing unencrypted, serialized
 // encrypted, and overlap-chunked encrypted 1 MiB transfers over real TCP
-// and the simulated 40 G InfiniBand fabric (DESIGN.md §12).
+// and the simulated 40 G InfiniBand fabric (DESIGN.md §12), plus the
+// session_overhead suite pricing the context-AAD binding of sessions
+// (DESIGN.md §13) against the legacy nonce-only engine.
 //
 // It uses its own fixed-duration timing loops rather than testing.B so the
 // -quick mode can bound the total runtime for CI smoke use:
 //
-//	benchjson [-quick] [-o BENCH_PR6.json]
+//	benchjson [-quick] [-o BENCH_PR7.json]
 package main
 
 import (
@@ -107,23 +109,35 @@ type chunkedP2PEntry struct {
 	GainVsSerialPct    float64 `json:"chunked_gain_vs_serial_pct"`
 }
 
+type sessionOverheadEntry struct {
+	Size int `json:"size"`
+	// LegacyNsOp seals+opens one message with the PR 1 RealEngine (no AAD);
+	// SessionNsOp does the same through a session engine, which additionally
+	// derives the 45-byte context AAD and runs the replay-window admit. The
+	// acceptance target for the binding is ≤2% at 256 KiB.
+	LegacyNsOp  float64 `json:"legacy_sealopen_ns_op"`
+	SessionNsOp float64 `json:"session_sealopen_ns_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 type report struct {
-	Schema        string            `json:"schema"`
-	GeneratedBy   string            `json:"generated_by"`
-	Quick         bool              `json:"quick"`
-	GoMaxProcs    int               `json:"gomaxprocs"`
-	SealOpen      []sealOpenEntry   `json:"seal_open"`
-	Concurrent    concurrentEntry   `json:"concurrent_small"`
-	PingPong      pingPongEntry     `json:"pingpong_shm"`
-	Collectives   []collectiveEntry `json:"collectives_sim"`
-	BcastPipeline bcastPipeEntry    `json:"bcast_pipelined_sim"`
-	MultiPairTCP  []multiPairEntry  `json:"multipair_tcp"`
-	ChunkedP2P    []chunkedP2PEntry `json:"chunked_p2p"`
+	Schema        string                 `json:"schema"`
+	GeneratedBy   string                 `json:"generated_by"`
+	Quick         bool                   `json:"quick"`
+	GoMaxProcs    int                    `json:"gomaxprocs"`
+	SealOpen      []sealOpenEntry        `json:"seal_open"`
+	Concurrent    concurrentEntry        `json:"concurrent_small"`
+	PingPong      pingPongEntry          `json:"pingpong_shm"`
+	Collectives   []collectiveEntry      `json:"collectives_sim"`
+	BcastPipeline bcastPipeEntry         `json:"bcast_pipelined_sim"`
+	MultiPairTCP  []multiPairEntry       `json:"multipair_tcp"`
+	ChunkedP2P    []chunkedP2PEntry      `json:"chunked_p2p"`
+	SessionCost   []sessionOverheadEntry `json:"session_overhead"`
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "short measurement loops for CI smoke use")
-	out := flag.String("o", "BENCH_PR6.json", "output path ('-' for stdout)")
+	out := flag.String("o", "BENCH_PR7.json", "output path ('-' for stdout)")
 	flag.Parse()
 
 	rep := report{
@@ -173,6 +187,7 @@ func main() {
 	rep.Collectives, rep.BcastPipeline = measureCollectives(*quick)
 	rep.MultiPairTCP = measureMultiPair(*quick)
 	rep.ChunkedP2P = measureChunkedP2P(key, *quick)
+	rep.SessionCost = measureSessionOverhead(key, *quick)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -289,11 +304,14 @@ func measurePingPong(key []byte, quick bool) pingPongEntry {
 	payload := bytes.Repeat([]byte{0xCD}, size)
 	var oneWay time.Duration
 	err := encmpi.RunShm(2, func(c *encmpi.Comm) {
-		codec, err := encmpi.NewCodec("aesstd", key)
+		sess, err := encmpi.NewSession(key)
 		if err != nil {
 			panic(err)
 		}
-		e := encmpi.Encrypt(c, codec, uint32(c.Rank()))
+		e, err := sess.Attach(c)
+		if err != nil {
+			panic(err)
+		}
 		peer := 1 - c.Rank()
 		buf := encmpi.Bytes(payload)
 		roundTrip := func() {
@@ -496,17 +514,23 @@ func runChunkedTCP(key []byte, size, msgs int, mode string) float64 {
 		case "plain":
 			e = encmpi.EncryptWith(c, encmpi.Unencrypted(), encmpi.WithPipelineThreshold(-1))
 		case "serial":
-			codec, err := encmpi.NewCodec("aesstd", key)
+			sess, err := encmpi.NewSession(key)
 			if err != nil {
 				log.Fatal(err)
 			}
-			e = encmpi.Encrypt(c, codec, uint32(c.Rank()), encmpi.WithPipelineThreshold(-1))
+			e, err = sess.Attach(c, encmpi.WithPipelineThreshold(-1))
+			if err != nil {
+				log.Fatal(err)
+			}
 		case "chunked":
-			codec, err := encmpi.NewCodec("aesstd", key)
+			sess, err := encmpi.NewSession(key)
 			if err != nil {
 				log.Fatal(err)
 			}
-			e = encmpi.Encrypt(c, codec, uint32(c.Rank()))
+			e, err = sess.Attach(c)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 		c.Barrier()
 		start := time.Now()
@@ -640,6 +664,66 @@ func measureChunkedP2P(key []byte, quick bool) []chunkedP2PEntry {
 		if e.SerialMBps > 0 {
 			e.GainVsSerialPct = (e.ChunkedMBps/e.SerialMBps - 1) * 100
 		}
+	}
+	return out
+}
+
+// measureSessionOverhead compares a full seal+open round trip through the
+// legacy RealEngine (nonce-only, no additional data) against the session
+// engine, which also derives the 45-byte context AAD, authenticates it, and
+// admits the sequence into the replay window. Fresh wire is sealed for every
+// open because the session engine — correctly — rejects a re-opened record
+// as a replay. Best-of-N rounds on both sides squeeze out scheduler noise;
+// the overhead target at 256 KiB is ≤2%.
+func measureSessionOverhead(key []byte, quick bool) []sessionOverheadEntry {
+	sizes := []int{4 << 10, 256 << 10}
+	if quick {
+		sizes = []int{256 << 10}
+	}
+	budget := 40 * time.Millisecond
+	rounds := 5
+	if quick {
+		budget = 4 * time.Millisecond
+		rounds = 2
+	}
+
+	legacy, err := encmpi.NewEngine(encmpi.EngineSpec{Kind: "real", Codec: "aesstd", Key: key})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := encmpi.NewSession(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sessEng := sess.Engine()
+
+	var out []sessionOverheadEntry
+	for _, size := range sizes {
+		payload := encmpi.Bytes(bytes.Repeat([]byte{0xAB}, size))
+		roundTrip := func(e encmpi.Engine) func() {
+			return func() {
+				w := e.Seal(nil, payload)
+				p, err := e.Open(nil, w)
+				if err != nil {
+					log.Fatalf("session_overhead @%d: %v", size, err)
+				}
+				p.Release()
+				w.Release()
+			}
+		}
+		entry := sessionOverheadEntry{Size: size}
+		for i := 0; i < rounds; i++ {
+			if v := timeOp(budget, roundTrip(legacy)); entry.LegacyNsOp == 0 || v < entry.LegacyNsOp {
+				entry.LegacyNsOp = v
+			}
+			if v := timeOp(budget, roundTrip(sessEng)); entry.SessionNsOp == 0 || v < entry.SessionNsOp {
+				entry.SessionNsOp = v
+			}
+		}
+		if entry.LegacyNsOp > 0 {
+			entry.OverheadPct = (entry.SessionNsOp/entry.LegacyNsOp - 1) * 100
+		}
+		out = append(out, entry)
 	}
 	return out
 }

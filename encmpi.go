@@ -14,8 +14,8 @@
 // Quick start (see examples/quickstart for the complete program):
 //
 //	err := encmpi.RunShm(2, func(c *encmpi.Comm) {
-//	    codec, _ := encmpi.NewCodec("aesstd", key)
-//	    e := encmpi.Encrypt(c, codec, uint32(c.Rank()))
+//	    sess, _ := encmpi.NewSession(key)
+//	    e, _ := sess.Attach(c)
 //	    if c.Rank() == 0 {
 //	        e.Send(1, 0, encmpi.Bytes([]byte("secret")))
 //	    } else {
@@ -23,6 +23,11 @@
 //	        ...
 //	    }
 //	})
+//
+// A Session binds every record to its communication context (session id,
+// epoch, endpoints, routine, tag, sequence) via AEAD additional data and
+// supports zero-downtime rekeying; the lower-level Encrypt/EncryptWith
+// remain for the paper-faithful baseline and the cost-model engines.
 package encmpi
 
 import (
@@ -128,13 +133,25 @@ func GCMCodecNames() []string { return codecs.GCMNames() }
 // codec. noncePrefix must be unique per rank sharing a key (use the rank).
 // Options may attach observability: WithMetrics(g) charges this rank's
 // seal/open work to g's corresponding per-rank slot.
+//
+// Deprecated: use NewSession and Session.Attach. A session seals the same
+// wire format at the same cost but additionally authenticates each record's
+// communication context (session, epoch, endpoints, routine, tag, sequence,
+// chunk) as AEAD additional data and supports zero-downtime rekeying;
+// Encrypt-wrapped communicators detect replays only via the heuristic
+// sequence window of ReplayGuard and cannot rekey. Encrypt remains for the
+// paper-faithful baseline and for the CCM ablation codecs, which cannot
+// carry AAD.
 func Encrypt(c *Comm, codec Codec, noncePrefix uint32, opts ...Option) *EncryptedComm {
 	return EncryptWith(c, enc.NewRealEngine(codec, aead.NewCounterNonce(noncePrefix)), opts...)
 }
 
 // EncryptWith wraps a communicator with an explicit engine (e.g. a cost
 // model of one of the paper's libraries, or NullEngine for a baseline).
-// Options are as for Encrypt.
+// Options are as for Encrypt. For real AEAD encryption prefer NewSession and
+// Session.Attach, which bind records to their communication context;
+// EncryptWith remains the way to wire cost-model and baseline engines (and a
+// Session.Engine, explicitly).
 func EncryptWith(c *Comm, e Engine, opts ...Option) *EncryptedComm {
 	cfg := buildConfig(opts)
 	var wopts []enc.WrapOption

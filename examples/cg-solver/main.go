@@ -35,11 +35,14 @@ func main() {
 	iterations := make([]int, *ranks)
 
 	err := encmpi.RunShm(*ranks, func(c *encmpi.Comm) {
-		codec, err := encmpi.NewCodec(*codecName, key)
+		sess, err := encmpi.NewSession(key, encmpi.WithSessionCodec(*codecName))
 		if err != nil {
 			log.Fatal(err)
 		}
-		e := encmpi.Encrypt(c, codec, uint32(c.Rank()))
+		e, err := sess.Attach(c)
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, iters := solveCG(e, *n, local)
 		finalResidual[c.Rank()] = res
 		iterations[c.Rank()] = iters

@@ -25,13 +25,18 @@ func main() {
 	reg := encmpi.NewRegistry(2)
 
 	err := encmpi.RunShm(2, func(c *encmpi.Comm) {
-		// Each rank builds its own codec; the per-rank nonce prefix keeps
-		// counter nonces from ever colliding under one key.
-		codec, err := encmpi.NewCodec("aesstd", key)
+		// Each rank opens its own session endpoint from the shared key; the
+		// deterministic key schedule keeps the two in agreement, and every
+		// record authenticates its full communication context as AEAD
+		// additional data (DESIGN.md §13).
+		sess, err := encmpi.NewSession(key)
 		if err != nil {
 			log.Fatal(err)
 		}
-		e := encmpi.Encrypt(c, codec, uint32(c.Rank()))
+		e, err := sess.Attach(c)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		switch c.Rank() {
 		case 0:

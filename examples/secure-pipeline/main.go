@@ -27,11 +27,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("rank %d: key exchange: %v", c.Rank(), err)
 		}
-		codec, err := encmpi.NewCodec("aesstd", key)
+		sess, err := encmpi.NewSession(key)
 		if err != nil {
 			log.Fatal(err)
 		}
-		e := encmpi.Encrypt(c, codec, uint32(c.Rank()))
+		e, err := sess.Attach(c)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		// Phase 2: bucket shuffle. Each rank generates records and routes
 		// each to the rank that owns its bucket, encrypted in flight.

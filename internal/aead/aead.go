@@ -46,6 +46,34 @@ type Codec interface {
 	Name() string
 }
 
+// AADCodec is implemented by codecs that can bind additional authenticated
+// data (AAD) to a ciphertext: the AAD is authenticated by the tag but not
+// transmitted, so both sides must derive it independently — which is exactly
+// what lets the session layer bind a record to its communication context
+// (session id, epoch, src, dst, op, seq) without growing the wire format.
+// The GCM-based codecs implement it; CCM ones do not (the session layer
+// rejects them at construction).
+type AADCodec interface {
+	Codec
+
+	// SealAAD is Seal with additional authenticated data mixed into the tag.
+	SealAAD(dst, nonce, plaintext, aad []byte) []byte
+
+	// OpenAAD is Open against a ciphertext sealed with the same AAD; any
+	// difference in the AAD fails authentication exactly like a flipped
+	// ciphertext byte.
+	OpenAAD(dst, nonce, ciphertext, aad []byte) ([]byte, error)
+}
+
+// AsAAD returns the AAD-capable view of c, or nil when the codec cannot
+// authenticate additional data.
+func AsAAD(c Codec) AADCodec {
+	if a, ok := c.(AADCodec); ok {
+		return a
+	}
+	return nil
+}
+
 // ErrAuth is returned by Open when authentication fails. Callers must treat
 // the output buffer as garbage in that case.
 var ErrAuth = errors.New("aead: message authentication failed")

@@ -51,10 +51,24 @@ func (c *Codec) Open(dst, nonce, ciphertext []byte) ([]byte, error) {
 	return out, nil
 }
 
+// SealAAD implements aead.AADCodec.
+func (c *Codec) SealAAD(dst, nonce, plaintext, aad []byte) []byte {
+	return c.aead.Seal(dst, nonce, plaintext, aad)
+}
+
+// OpenAAD implements aead.AADCodec.
+func (c *Codec) OpenAAD(dst, nonce, ciphertext, aad []byte) ([]byte, error) {
+	out, err := c.aead.Open(dst, nonce, ciphertext, aad)
+	if err != nil {
+		return nil, aead.ErrAuth
+	}
+	return out, nil
+}
+
 // KeyBits implements aead.Codec.
 func (c *Codec) KeyBits() int { return c.bits }
 
 // Name implements aead.Codec.
 func (c *Codec) Name() string { return c.name }
 
-var _ aead.Codec = (*Codec)(nil)
+var _ aead.AADCodec = (*Codec)(nil)

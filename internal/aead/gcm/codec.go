@@ -28,10 +28,20 @@ func (c *Codec) Open(dst, nonce, ciphertext []byte) ([]byte, error) {
 	return c.g.Open(dst, nonce, ciphertext, nil)
 }
 
+// SealAAD implements aead.AADCodec.
+func (c *Codec) SealAAD(dst, nonce, plaintext, aad []byte) []byte {
+	return c.g.Seal(dst, nonce, plaintext, aad)
+}
+
+// OpenAAD implements aead.AADCodec.
+func (c *Codec) OpenAAD(dst, nonce, ciphertext, aad []byte) ([]byte, error) {
+	return c.g.Open(dst, nonce, ciphertext, aad)
+}
+
 // KeyBits implements aead.Codec.
 func (c *Codec) KeyBits() int { return c.bits }
 
 // Name implements aead.Codec.
 func (c *Codec) Name() string { return c.name }
 
-var _ aead.Codec = (*Codec)(nil)
+var _ aead.AADCodec = (*Codec)(nil)

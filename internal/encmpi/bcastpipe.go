@@ -2,6 +2,7 @@ package encmpi
 
 import (
 	"encmpi/internal/mpi"
+	"encmpi/internal/session"
 )
 
 // BcastPipelined is the segmented broadcast: the overlap design of
@@ -45,7 +46,23 @@ func (e *Comm) BcastPipelined(root, tag int, buf mpi.Buffer, chunk int) (mpi.Buf
 	if relrank == 0 {
 		return buf, e.bcastPipeRoot(tag, buf, chunk, children)
 	}
-	return e.bcastPipeRelay(tag, chunk, (parentRel+root)%p, children)
+	return e.bcastPipeRelay(root, tag, chunk, (parentRel+root)%p, children)
+}
+
+// bcastPipeCtx derives the record context of the pipelined broadcast's
+// stream: every record is sealed by the root for the whole tree (relays
+// forward ciphertext unmodified), so the binding is root → Wildcard at the
+// caller's tag. The 16-byte announcement header is chunk 0 of 0 — a position
+// no payload chunk can occupy, since payload streams always announce at
+// least one chunk — and payload chunk k is position k of the stream's total.
+func (e *Comm) bcastPipeCtx(root, tag, k, chunks int) *session.RecordCtx {
+	if e.ceng == nil {
+		return nil
+	}
+	return &session.RecordCtx{
+		Op: session.OpBcast, Src: root, Dst: session.Wildcard,
+		Tag: tag, Chunk: k, Chunks: chunks,
+	}
 }
 
 // bcastTree computes a rank's parent and children in the binomial broadcast
@@ -74,11 +91,12 @@ func bcastTree(relrank, p int) (parent int, children []int) {
 // k+1 overlaps the injection and descent of chunk k.
 func (e *Comm) bcastPipeRoot(tag int, buf mpi.Buffer, chunk int, children []int) error {
 	n := buf.Len()
+	chunks := (n + chunk - 1) / chunk
 	var pending []*mpi.Request
 	// wires holds our lease references until every send that reads from
 	// them has completed.
 	var wires []mpi.Buffer
-	hdr := e.seal(mpi.Bytes(encodePipeHeader(n, chunk)))
+	hdr := e.seal(mpi.Bytes(encodePipeHeader(n, chunk)), e.bcastPipeCtx(e.Rank(), tag, 0, 0))
 	wires = append(wires, hdr)
 	for _, c := range children {
 		pending = append(pending, e.c.Isend(c, tag, hdr))
@@ -88,7 +106,7 @@ func (e *Comm) bcastPipeRoot(tag int, buf mpi.Buffer, chunk int, children []int)
 		if end > n {
 			end = n
 		}
-		w := e.seal(buf.Slice(off, end))
+		w := e.seal(buf.Slice(off, end), e.bcastPipeCtx(e.Rank(), tag, k, chunks))
 		wires = append(wires, w)
 		for _, c := range children {
 			pending = append(pending, e.c.Isend(c, tag+pipelineTagStride*(k+1), w))
@@ -104,7 +122,7 @@ func (e *Comm) bcastPipeRoot(tag int, buf mpi.Buffer, chunk int, children []int)
 // bcastPipeRelay receives the ciphertext stream from the parent, forwards
 // each chunk to the children before opening it, and assembles the plaintext
 // into a buffer preallocated from the announced total.
-func (e *Comm) bcastPipeRelay(tag, chunk, parent int, children []int) (mpi.Buffer, error) {
+func (e *Comm) bcastPipeRelay(root, tag, chunk, parent int, children []int) (mpi.Buffer, error) {
 	hw, _ := e.c.Recv(parent, tag)
 	var pending []*mpi.Request
 	wires := []mpi.Buffer{hw}
@@ -116,7 +134,9 @@ func (e *Comm) bcastPipeRelay(tag, chunk, parent int, children []int) (mpi.Buffe
 	for _, c := range children {
 		pending = append(pending, e.c.Isend(c, tag, hw))
 	}
-	hdr, err := e.open(hw)
+	// Every record in the stream was sealed by the root, wherever in the
+	// tree this rank received it from.
+	hdr, err := e.open(hw, e.bcastPipeCtx(root, tag, 0, 0))
 	if err != nil {
 		e.c.Waitall(pending)
 		release()
@@ -158,7 +178,7 @@ func (e *Comm) bcastPipeRelay(tag, chunk, parent int, children []int) (mpi.Buffe
 		for _, c := range children {
 			pending = append(pending, e.c.Isend(c, tag+pipelineTagStride*(k+1), w))
 		}
-		plain, err := e.open(w)
+		plain, err := e.open(w, e.bcastPipeCtx(root, tag, k, chunks))
 		if err != nil {
 			// Keep relaying so descendants drain cleanly; record the
 			// failure and discard this chunk's plaintext contribution.

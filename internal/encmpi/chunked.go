@@ -100,7 +100,14 @@ func (e *Comm) isendChunked(dst, tag int, buf mpi.Buffer, chunkLen, count int) *
 		if hi > n {
 			hi = n
 		}
-		return e.seal(buf.Slice(lo, hi)), nil
+		// Each segment's record binds its position in the stream on top of
+		// the point-to-point coordinates, so segments cannot be reordered or
+		// transplanted between transfers of the same shape.
+		ctx := e.p2pSendCtx(dst, tag)
+		if ctx != nil {
+			ctx.Chunk, ctx.Chunks = k, count
+		}
+		return e.seal(buf.Slice(lo, hi), ctx), nil
 	})
 	inner.SetOnComplete(func(*mpi.Request) { buf.Release() })
 	return &Request{inner: inner}
@@ -129,7 +136,14 @@ func (e *Comm) chunkOpenSink() mpi.ChunkSink {
 	var off int
 	synthetic := false
 	oi, direct := e.eng.(openerInto)
-	return func(k, count, wireTotal int, chunk mpi.Buffer) (mpi.Buffer, error) {
+	return func(k, count, wireTotal, src, tag int, chunk mpi.Buffer) (mpi.Buffer, error) {
+		// Derive the context this segment must have been sealed under: the
+		// exchange coordinates from the RTS (src arrives in world numbering)
+		// plus the segment's position in the stream.
+		ctx := e.p2pRecvCtx(src, tag)
+		if ctx != nil {
+			ctx.Chunk, ctx.Chunks = k, count
+		}
 		fail := func(err error) (mpi.Buffer, error) {
 			asm.Release()
 			asm = nil
@@ -144,7 +158,7 @@ func (e *Comm) chunkOpenSink() mpi.ChunkSink {
 				// and the [off:wireTotal] window below enforces it per chunk.
 				asm = bufpool.Get(wireTotal)
 			}
-			n, err := e.openInto(oi, asm.Bytes()[off:wireTotal], chunk)
+			n, err := e.openInto(oi, asm.Bytes()[off:wireTotal], chunk, ctx)
 			if err != nil {
 				return fail(err)
 			}
@@ -156,7 +170,7 @@ func (e *Comm) chunkOpenSink() mpi.ChunkSink {
 			}
 			return mpi.Buffer{}, nil
 		}
-		plain, err := e.open(chunk)
+		plain, err := e.open(chunk, ctx)
 		if err != nil {
 			return fail(err)
 		}

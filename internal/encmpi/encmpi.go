@@ -5,6 +5,7 @@ import (
 
 	"encmpi/internal/mpi"
 	"encmpi/internal/obs"
+	"encmpi/internal/session"
 )
 
 // Comm wraps an mpi.Comm with encrypted variants of the routines the paper
@@ -14,6 +15,11 @@ import (
 type Comm struct {
 	c   *mpi.Comm
 	eng Engine
+	// ceng is eng's context-binding view when the engine authenticates
+	// communication context as AAD (the session engine); nil for classic
+	// engines, in which case every RecordCtx below stays nil and the old
+	// call shapes run unchanged.
+	ceng ContextEngine
 	// metrics receives crypto accounting; nil (inert) when unobserved.
 	metrics *obs.Rank
 
@@ -46,6 +52,7 @@ func Wrap(c *mpi.Comm, eng Engine, opts ...WrapOption) *Comm {
 		pipeThreshold: DefaultPipelineThreshold,
 		pipeChunk:     DefaultPipelineChunk,
 	}
+	e.ceng, _ = eng.(ContextEngine)
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -54,27 +61,41 @@ func Wrap(c *mpi.Comm, eng Engine, opts ...WrapOption) *Comm {
 
 // seal runs the engine's Seal with timing and byte accounting. The clock is
 // the proc clock, so under the model engine the recorded nanoseconds are the
-// virtual cipher cost and under real engines they are wall time.
-func (e *Comm) seal(buf mpi.Buffer) mpi.Buffer {
+// virtual cipher cost and under real engines they are wall time. ctx is the
+// record's communication binding, authenticated as AAD by context engines
+// and ignored (always nil, in fact) for classic ones.
+func (e *Comm) seal(buf mpi.Buffer, ctx *session.RecordCtx) mpi.Buffer {
 	proc := e.c.Proc()
-	if e.metrics == nil {
+	run := func() mpi.Buffer {
+		if e.ceng != nil {
+			return e.ceng.SealCtx(proc, buf, ctx)
+		}
 		return e.eng.Seal(proc, buf)
 	}
+	if e.metrics == nil {
+		return run()
+	}
 	start := int64(proc.Now())
-	wire := e.eng.Seal(proc, buf)
+	wire := run()
 	e.metrics.Seal(buf.Len(), wire.Len(), int64(proc.Now())-start)
 	return wire
 }
 
 // open runs the engine's Open with timing and byte accounting; failed opens
 // are recorded as auth failures (the cipher still ran before rejecting).
-func (e *Comm) open(wire mpi.Buffer) (mpi.Buffer, error) {
+func (e *Comm) open(wire mpi.Buffer, ctx *session.RecordCtx) (mpi.Buffer, error) {
 	proc := e.c.Proc()
-	if e.metrics == nil {
+	run := func() (mpi.Buffer, error) {
+		if e.ceng != nil {
+			return e.ceng.OpenCtx(proc, wire, ctx)
+		}
 		return e.eng.Open(proc, wire)
 	}
+	if e.metrics == nil {
+		return run()
+	}
 	start := int64(proc.Now())
-	plain, err := e.eng.Open(proc, wire)
+	plain, err := run()
 	ns := int64(proc.Now()) - start
 	if err != nil {
 		e.metrics.AuthFailure(ns)
@@ -85,14 +106,21 @@ func (e *Comm) open(wire mpi.Buffer) (mpi.Buffer, error) {
 }
 
 // openInto is open's copy-free variant for engines that support decrypting
-// into caller-owned storage; accounting matches open.
-func (e *Comm) openInto(oi openerInto, dst []byte, wire mpi.Buffer) (int, error) {
+// into caller-owned storage; accounting matches open. oi may be nil when a
+// context engine handles the call.
+func (e *Comm) openInto(oi openerInto, dst []byte, wire mpi.Buffer, ctx *session.RecordCtx) (int, error) {
 	proc := e.c.Proc()
-	if e.metrics == nil {
+	run := func() (int, error) {
+		if e.ceng != nil {
+			return e.ceng.OpenIntoCtx(proc, dst, wire, ctx)
+		}
 		return oi.OpenInto(proc, dst, wire)
 	}
+	if e.metrics == nil {
+		return run()
+	}
 	start := int64(proc.Now())
-	n, err := oi.OpenInto(proc, dst, wire)
+	n, err := run()
 	ns := int64(proc.Now()) - start
 	if err != nil {
 		e.metrics.AuthFailure(ns)
@@ -100,6 +128,41 @@ func (e *Comm) openInto(oi openerInto, dst []byte, wire mpi.Buffer) (int, error)
 	}
 	e.metrics.Open(wire.Len(), n, ns)
 	return n, nil
+}
+
+// p2pSendCtx derives the record context of an outgoing point-to-point
+// message; nil (context-free) under classic engines.
+func (e *Comm) p2pSendCtx(dst, tag int) *session.RecordCtx {
+	if e.ceng == nil {
+		return nil
+	}
+	return &session.RecordCtx{Op: session.OpP2P, Src: e.Rank(), Dst: dst, Tag: tag}
+}
+
+// p2pRecvCtx derives the context a received point-to-point record must have
+// been sealed under. worldSrc is the matched source in world numbering (what
+// the protocol reports before Wait translates it); a source outside this
+// communicator maps to an impossible rank so the record cannot authenticate
+// — no honest member sealed it for us.
+func (e *Comm) p2pRecvCtx(worldSrc, tag int) *session.RecordCtx {
+	if e.ceng == nil {
+		return nil
+	}
+	src, ok := e.c.CommRank(worldSrc)
+	if !ok {
+		src = -2
+	}
+	return &session.RecordCtx{Op: session.OpP2P, Src: src, Dst: e.Rank(), Tag: tag}
+}
+
+// collCtx derives a collective record context. Fan-out records (Bcast,
+// Allgather) are sealed once for every receiver and carry Dst =
+// session.Wildcard; pairwise ones (Alltoall, Alltoallv) bind both ends.
+func (e *Comm) collCtx(op session.Op, src, dst int) *session.RecordCtx {
+	if e.ceng == nil {
+		return nil
+	}
+	return &session.RecordCtx{Op: op, Src: src, Dst: dst}
 }
 
 // Rank returns this rank.
@@ -136,7 +199,7 @@ func (e *Comm) Send(dst, tag int, buf mpi.Buffer) error {
 		_, _, err := e.Wait(req)
 		return err
 	}
-	wire := e.seal(buf)
+	wire := e.seal(buf, e.p2pSendCtx(dst, tag))
 	err := e.c.Send(dst, tag, wire)
 	wire.Release()
 	return err
@@ -154,7 +217,7 @@ func (e *Comm) Isend(dst, tag int, buf mpi.Buffer) *Request {
 	if chunkLen, count, ok := e.chunkPlan(buf.Len()); ok {
 		return e.isendChunked(dst, tag, buf, chunkLen, count)
 	}
-	wire := e.seal(buf)
+	wire := e.seal(buf, e.p2pSendCtx(dst, tag))
 	inner := e.c.Isend(dst, tag, wire)
 	inner.SetOnComplete(func(*mpi.Request) { wire.Release() })
 	return &Request{inner: inner}
@@ -175,7 +238,10 @@ func (e *Comm) Irecv(src, tag int) *Request {
 			return
 		}
 		wire := r.BufferOf()
-		plain, err := e.open(wire)
+		// The hook runs before Wait translates the status into comm
+		// numbering, so the matched source is still a world rank here.
+		st := r.StatusOf()
+		plain, err := e.open(wire, e.p2pRecvCtx(st.Source, st.Tag))
 		if err != nil {
 			req.err = err
 			r.SetBuffer(mpi.Buffer{})
@@ -244,26 +310,29 @@ func (e *Comm) Barrier() { e.c.Barrier() }
 // broadcast tree unmodified, and every non-root rank decrypts — one
 // encryption or decryption per rank, as in the paper's analysis (§V-A).
 func (e *Comm) Bcast(root int, buf mpi.Buffer) (mpi.Buffer, error) {
+	// One ciphertext reaches every rank: the record binds the root as its
+	// sealer and leaves the receiver unbound (Wildcard).
+	ctx := e.collCtx(session.OpBcast, root, session.Wildcard)
 	var wire mpi.Buffer
 	if e.Rank() == root {
-		wire = e.seal(buf)
+		wire = e.seal(buf, ctx)
 	}
 	wire = e.c.Bcast(root, wire)
 	if e.Rank() == root {
 		return buf, nil
 	}
-	return e.open(wire)
+	return e.open(wire, ctx)
 }
 
 // Allgather is Encrypted_Allgather: seal the local block, allgather the
 // ciphertexts, decrypt all of them (including our own, which made the round
 // trip as ciphertext).
 func (e *Comm) Allgather(myBlock mpi.Buffer) ([]mpi.Buffer, error) {
-	wire := e.seal(myBlock)
+	wire := e.seal(myBlock, e.collCtx(session.OpAllgather, e.Rank(), session.Wildcard))
 	gathered := e.c.Allgather(wire)
 	out := make([]mpi.Buffer, len(gathered))
 	for i, w := range gathered {
-		plain, err := e.open(w)
+		plain, err := e.open(w, e.collCtx(session.OpAllgather, i, session.Wildcard))
 		if err != nil {
 			return nil, fmt.Errorf("encmpi: allgather block %d: %w", i, err)
 		}
@@ -279,12 +348,12 @@ func (e *Comm) Allgather(myBlock mpi.Buffer) ([]mpi.Buffer, error) {
 func (e *Comm) Alltoall(blocks []mpi.Buffer) ([]mpi.Buffer, error) {
 	encSend := make([]mpi.Buffer, len(blocks))
 	for i, b := range blocks {
-		encSend[i] = e.seal(b)
+		encSend[i] = e.seal(b, e.collCtx(session.OpAlltoall, e.Rank(), i))
 	}
 	encRecv := e.c.Alltoall(encSend)
 	out := make([]mpi.Buffer, len(encRecv))
 	for i, w := range encRecv {
-		plain, err := e.open(w)
+		plain, err := e.open(w, e.collCtx(session.OpAlltoall, i, e.Rank()))
 		if err != nil {
 			return nil, fmt.Errorf("encmpi: alltoall block %d: %w", i, err)
 		}
@@ -298,12 +367,12 @@ func (e *Comm) Alltoall(blocks []mpi.Buffer) ([]mpi.Buffer, error) {
 func (e *Comm) Alltoallv(blocks []mpi.Buffer) ([]mpi.Buffer, error) {
 	encSend := make([]mpi.Buffer, len(blocks))
 	for i, b := range blocks {
-		encSend[i] = e.seal(b)
+		encSend[i] = e.seal(b, e.collCtx(session.OpAlltoallv, e.Rank(), i))
 	}
 	encRecv := e.c.Alltoallv(encSend)
 	out := make([]mpi.Buffer, len(encRecv))
 	for i, w := range encRecv {
-		plain, err := e.open(w)
+		plain, err := e.open(w, e.collCtx(session.OpAlltoallv, i, e.Rank()))
 		if err != nil {
 			return nil, fmt.Errorf("encmpi: alltoallv block %d: %w", i, err)
 		}

@@ -21,6 +21,7 @@ import (
 	"encmpi/internal/costmodel"
 	"encmpi/internal/mpi"
 	"encmpi/internal/sched"
+	"encmpi/internal/session"
 )
 
 // Engine performs (or models) authenticated encryption of message buffers.
@@ -36,6 +37,26 @@ type Engine interface {
 	// authentication error.
 	Open(proc sched.Proc, wire mpi.Buffer) (mpi.Buffer, error)
 }
+
+// ContextEngine is implemented by engines that authenticate each record's
+// communication context — (session, epoch, src, dst, op, tag, seq, chunk) —
+// as AEAD additional data (the session engine, DESIGN.md §13). When the
+// wrapped engine implements it, the communicator derives a RecordCtx at every
+// seal and open site and a replayed, cross-session-spliced, reflected, or
+// transplanted ciphertext fails authentication itself, instead of relying on
+// downstream heuristics. A nil ctx is the context-free (OpRaw) form.
+type ContextEngine interface {
+	Engine
+	// SealCtx seals plain with ctx authenticated into the record's AAD.
+	SealCtx(proc sched.Proc, plain mpi.Buffer, ctx *session.RecordCtx) mpi.Buffer
+	// OpenCtx opens a record against the context the receiver derived for it.
+	OpenCtx(proc sched.Proc, wire mpi.Buffer, ctx *session.RecordCtx) (mpi.Buffer, error)
+	// OpenIntoCtx is OpenCtx decrypting straight into dst.
+	OpenIntoCtx(proc sched.Proc, dst []byte, wire mpi.Buffer, ctx *session.RecordCtx) (int, error)
+}
+
+// The session engine is the canonical ContextEngine.
+var _ ContextEngine = (*session.Engine)(nil)
 
 // NullEngine is the unencrypted baseline: buffers pass through untouched.
 // Running the benchmark harness with NullEngine gives the "Unencrypted" rows

@@ -38,7 +38,7 @@ func (c *Comm) IsendChunks(dst, tag int, wireTotal, count int, src func(k int) (
 	c.metrics.Op(obs.OpIsend)
 	wdst := c.worldOf(dst)
 	wsrc := c.st.rank
-	req := &Request{kind: reqSend, src: wdst, tag: tag, ctx: c.ctxUser, owner: c.st, comm: c}
+	req := &Request{kind: reqSend, src: wdst, tag: tag, ctx: c.ctxUser, lane: c.lane, owner: c.st, comm: c}
 	req.chunks = &chunkState{count: count, wireTotal: wireTotal, src: src}
 	seq := c.w.nextSeq()
 	req.seq = seq
@@ -48,7 +48,7 @@ func (c *Comm) IsendChunks(dst, tag int, wireTotal, count int, src func(k int) (
 	st.mu.Unlock()
 	rts := &Msg{
 		Src: wsrc, Dst: wdst, Tag: tag, Ctx: c.ctxUser,
-		Kind: KindRTS, Seq: seq, DataLen: wireTotal, Chunks: count,
+		Kind: KindRTS, Seq: seq, Lane: c.lane, DataLen: wireTotal, Chunks: count,
 		Done: (*rtsDone)(req),
 	}
 	if err := c.w.tr.Send(c.proc, rts); err != nil {
@@ -165,7 +165,7 @@ func (c *Comm) runChunkSend(u chunkUnit) {
 	if srcErr == nil {
 		m := &Msg{
 			Src: st.rank, Dst: req.src, Tag: req.tag, Ctx: req.ctx,
-			Kind: KindDataSeg, Seq: req.seq, DataLen: u.k, Chunks: cs.count,
+			Kind: KindDataSeg, Seq: req.seq, Lane: req.lane, DataLen: u.k, Chunks: cs.count,
 			Buf: buf, Done: (*chunkDone)(req),
 		}
 		sendErr = c.w.tr.Send(c.proc, m)
@@ -208,7 +208,7 @@ func (c *Comm) runChunkOpen(u chunkUnit) {
 	var out Buffer
 	var err error
 	if u.sink != nil {
-		out, err = u.sink(u.k, cs.count, cs.wireTotal, u.chunk)
+		out, err = u.sink(u.k, cs.count, cs.wireTotal, cs.from, cs.tag, u.chunk)
 	} else {
 		out, err = cs.assemble(u.k, u.chunk)
 	}

@@ -77,10 +77,13 @@ func TestChunkedSinkConsumesInOrder(t *testing.T) {
 		case 1:
 			var ks []int
 			var asm []byte
-			req := c.IrecvSink(0, 3, func(k, n, wireTotal int, chunk mpi.Buffer) (mpi.Buffer, error) {
+			req := c.IrecvSink(0, 3, func(k, n, wireTotal, src, tag int, chunk mpi.Buffer) (mpi.Buffer, error) {
 				ks = append(ks, k)
 				if n != count || wireTotal != count*size {
 					t.Errorf("sink called with count %d total %d", n, wireTotal)
+				}
+				if src != 0 || tag != 3 {
+					t.Errorf("sink called with src %d tag %d", src, tag)
 				}
 				asm = append(asm, chunk.Data...)
 				if k == n-1 {
@@ -124,7 +127,7 @@ func TestChunkedSinkErrorFailsReceive(t *testing.T) {
 				t.Errorf("sender failed: %v", err)
 			}
 		case 1:
-			req := c.IrecvSink(0, 1, func(k, n, wireTotal int, chunk mpi.Buffer) (mpi.Buffer, error) {
+			req := c.IrecvSink(0, 1, func(k, n, wireTotal, src, tag int, chunk mpi.Buffer) (mpi.Buffer, error) {
 				if k == 2 {
 					return mpi.Buffer{}, bad
 				}

@@ -43,6 +43,9 @@ func newRankState(rank int) *rankState {
 
 // matches reports whether message m satisfies the posted pattern req.
 func matches(req *Request, m *Msg) bool {
+	if req.lane != m.Lane {
+		return false
+	}
 	if req.ctx != m.Ctx {
 		return false
 	}
@@ -134,7 +137,7 @@ func (w *World) Deliver(m *Msg) {
 			failon = req
 			followup = &Msg{
 				Src: m.Dst, Dst: m.Src, Tag: m.Tag, Ctx: m.Ctx,
-				Kind: KindCTS, Seq: m.Seq,
+				Kind: KindCTS, Seq: m.Seq, Lane: m.Lane,
 				// A queued CTS that later dies on the wire leaves the sender
 				// silent forever: fail the receive asynchronously.
 				Done: (*ctsDone)(req),
@@ -172,7 +175,7 @@ func (w *World) Deliver(m *Msg) {
 		failon = req
 		followup = &Msg{
 			Src: st.rank, Dst: m.Src, Tag: req.tag, Ctx: req.ctx,
-			Kind: KindData, Seq: m.Seq, Buf: req.buf,
+			Kind: KindData, Seq: m.Seq, Lane: req.lane, Buf: req.buf,
 			Done: (*sendDone)(req),
 		}
 

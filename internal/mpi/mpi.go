@@ -189,7 +189,13 @@ type Msg struct {
 	// chunked rendezvous exchange (DESIGN.md §12). Zero means the classic
 	// single-DATA protocol.
 	Chunks int
-	Buf    Buffer
+	// Lane isolates independent traffic streams multiplexed over one
+	// transport: messages only match receives posted on the same lane, and
+	// the TCP wire engine interleaves its send batches across lanes so no
+	// lane monopolizes a shared connection. Lane 0 is the default
+	// (pre-session) stream; each encrypted session claims its own lane.
+	Lane uint16
+	Buf  Buffer
 
 	// Done, when set, receives the message's local-completion signal from
 	// the transport (see Completion). It is an interface rather than a pair
@@ -356,6 +362,10 @@ type Comm struct {
 	// of MPI context ids). The world communicator uses CtxUser/CtxColl.
 	ctxUser, ctxColl int
 
+	// lane stamps every message this communicator sends and restricts its
+	// matching to messages on the same lane (see Msg.Lane).
+	lane uint16
+
 	// metrics is this world rank's scope in the job registry; nil (inert)
 	// when the world is unobserved. Sub-communicators from Split share it —
 	// accounting is always per world rank.
@@ -365,6 +375,10 @@ type Comm struct {
 // Metrics returns this rank's metrics scope (nil when unobserved). The
 // encrypted layer uses it to attribute crypto costs without extra plumbing.
 func (c *Comm) Metrics() *obs.Rank { return c.metrics }
+
+// Registry returns the world's metrics registry (nil when unobserved); the
+// encrypted session layer uses it to open per-session counter scopes.
+func (c *Comm) Registry() *obs.Registry { return c.w.metrics }
 
 // Rank returns this communicator's rank.
 func (c *Comm) Rank() int { return c.rank }
@@ -398,4 +412,38 @@ func (c *Comm) commOf(world int) int {
 		panic(fmt.Sprintf("mpi: world rank %d is not a member of this communicator", world))
 	}
 	return r
+}
+
+// CommRank translates a world rank into this communicator's numbering
+// without panicking: ok is false when the world rank is not a member. The
+// encrypted session layer uses it to derive the AAD source for a completed
+// receive (whose Status carries world numbering at hook time).
+func (c *Comm) CommRank(world int) (int, bool) {
+	if c.worldToComm == nil {
+		if world < 0 || world >= c.w.size {
+			return -1, false
+		}
+		return world, true
+	}
+	r, ok := c.worldToComm[world]
+	return r, ok
+}
+
+// Lane returns the lane this communicator's traffic travels on.
+func (c *Comm) Lane() uint16 { return c.lane }
+
+// WithLane returns a view of this communicator whose traffic is isolated on
+// the given lane: its sends are stamped with the lane and its receives only
+// match messages stamped the same. The view shares the underlying matching
+// state and collective sequence space is per-view, so all members of a lane
+// must use their lane views for all operations on that lane. Lane 0 is the
+// default stream the plain communicator uses.
+func (c *Comm) WithLane(lane uint16) *Comm {
+	if lane == c.lane {
+		return c
+	}
+	v := *c
+	v.lane = lane
+	v.collSeq = 0
+	return &v
 }

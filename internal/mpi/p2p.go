@@ -19,7 +19,7 @@ func (c *Comm) isend(dst, tag, ctx int, buf Buffer) *Request {
 	c.metrics.Op(obs.OpIsend)
 	wdst := c.worldOf(dst)
 	wsrc := c.st.rank
-	req := &Request{kind: reqSend, src: wdst, tag: tag, ctx: ctx, owner: c.st, comm: c}
+	req := &Request{kind: reqSend, src: wdst, tag: tag, ctx: ctx, lane: c.lane, owner: c.st, comm: c}
 
 	if buf.Len() < c.w.eager {
 		// Eager: inject immediately; the payload is cloned so the caller may
@@ -35,7 +35,7 @@ func (c *Comm) isend(dst, tag, ctx int, buf Buffer) *Request {
 		st := c.st
 		clone := buf.Clone()
 		m := &Msg{
-			Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindEager, Buf: clone,
+			Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindEager, Lane: c.lane, Buf: clone,
 			Done: (*sendDone)(req),
 		}
 		err := c.w.tr.Send(c.proc, m)
@@ -60,7 +60,7 @@ func (c *Comm) isend(dst, tag, ctx int, buf Buffer) *Request {
 	st.rndvSend[seq] = req
 	st.mu.Unlock()
 	rts := &Msg{
-		Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindRTS, Seq: seq, DataLen: buf.Len(),
+		Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindRTS, Seq: seq, Lane: c.lane, DataLen: buf.Len(),
 		// A queued RTS that dies on the wire means the receiver will never
 		// answer with a CTS: fail the send instead of parking it forever.
 		Done: (*rtsDone)(req),
@@ -112,7 +112,7 @@ func (c *Comm) irecvSink(src, tag, ctx int, sink ChunkSink) *Request {
 	if src != AnySource {
 		wsrc = c.worldOf(src)
 	}
-	req := &Request{kind: reqRecv, src: wsrc, tag: tag, ctx: ctx, owner: c.st, comm: c, sink: sink}
+	req := &Request{kind: reqRecv, src: wsrc, tag: tag, ctx: ctx, lane: c.lane, owner: c.st, comm: c, sink: sink}
 
 	st := c.st
 	var cts *Msg
@@ -129,7 +129,7 @@ func (c *Comm) irecvSink(src, tag, ctx int, sink ChunkSink) *Request {
 			req.armChunksLocked(m)
 			st.rndvRecv[m.Seq] = req
 			cts = &Msg{
-				Src: c.st.rank, Dst: m.Src, Tag: m.Tag, Ctx: m.Ctx, Kind: KindCTS, Seq: m.Seq,
+				Src: c.st.rank, Dst: m.Src, Tag: m.Tag, Ctx: m.Ctx, Kind: KindCTS, Seq: m.Seq, Lane: m.Lane,
 				// A queued CTS that dies on the wire means the sender will
 				// never transmit: fail the receive instead of parking forever.
 				Done: (*ctsDone)(req),

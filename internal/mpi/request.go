@@ -14,6 +14,9 @@ type Request struct {
 	// Matching pattern for receives (may hold wildcards); concrete
 	// destination coordinates for sends.
 	src, tag, ctx int
+	// lane is the traffic stream the request belongs to (see Msg.Lane): its
+	// messages are stamped with it and its matching requires equality.
+	lane uint16
 
 	// seq is set for rendezvous exchanges.
 	seq uint64
@@ -56,13 +59,16 @@ type Request struct {
 }
 
 // ChunkSink consumes the chunks of a chunked rendezvous receive, in order,
-// inside Wait. k is the chunk index, count the announced chunk count, and
-// wireTotal the announced byte total across all chunks. The sink owns chunk
-// only for the duration of the call. On the final chunk (k == count-1) the
-// sink returns the assembled message buffer — carrying one reference owned
-// by the request — which becomes the receive's payload; earlier calls
-// return the zero Buffer. A sink error fails the receive with that error.
-type ChunkSink func(k, count, wireTotal int, chunk Buffer) (Buffer, error)
+// inside Wait. k is the chunk index, count the announced chunk count,
+// wireTotal the announced byte total across all chunks, and src/tag the
+// exchange's coordinates as announced by the RTS (src in world numbering) —
+// the encrypted session layer derives each chunk's AAD from them. The sink
+// owns chunk only for the duration of the call. On the final chunk
+// (k == count-1) the sink returns the assembled message buffer — carrying
+// one reference owned by the request — which becomes the receive's payload;
+// earlier calls return the zero Buffer. A sink error fails the receive with
+// that error.
+type ChunkSink func(k, count, wireTotal, src, tag int, chunk Buffer) (Buffer, error)
 
 // chunkState tracks one chunked rendezvous exchange on its request. All
 // fields are guarded by the owner rankState's mutex except where noted; the

@@ -248,8 +248,112 @@ type Registry struct {
 	wireFrames      atomic.Uint64 // frames carried by those batches
 	wireWriteErrors atomic.Uint64 // flushes that died on a broken connection
 	wireQueuedBytes atomic.Int64  // gauge: bytes currently queued, all conns
+	wireInterleaves atomic.Uint64 // batches re-ordered for cross-lane fairness
 	wireBatchFrames Hist          // frames per flush (coalescing factor)
 	wireBatchBytes  Hist          // bytes per flush
+
+	// Per-session crypto accounting (one scope per attached session id).
+	sessMu   sync.Mutex
+	sessions map[string]*SessionScope
+}
+
+// SessionScope is the per-session metrics scope: how many records a session
+// sealed and opened, how many rejections its AAD binding produced (split out
+// by cause where the session layer knows one), and how many epochs it has
+// rolled through. A nil *SessionScope is inert, like a nil *Rank.
+type SessionScope struct {
+	id string
+
+	sealed, opened atomic.Uint64
+	authFailures   atomic.Uint64
+	replayRejected atomic.Uint64
+	staleEpoch     atomic.Uint64
+	rekeys         atomic.Uint64
+	epoch          atomic.Uint32 // gauge: current seal epoch
+}
+
+// SessionID returns the session id this scope accounts for.
+func (s *SessionScope) SessionID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// Sealed records one record sealed under the session.
+func (s *SessionScope) Sealed() {
+	if s == nil {
+		return
+	}
+	s.sealed.Add(1)
+}
+
+// Opened records one record authenticated and decrypted.
+func (s *SessionScope) Opened() {
+	if s == nil {
+		return
+	}
+	s.opened.Add(1)
+}
+
+// AuthFailure records one record the session layer rejected (any cause that
+// surfaces as an authentication error, replay and stale epochs included).
+func (s *SessionScope) AuthFailure() {
+	if s == nil {
+		return
+	}
+	s.authFailures.Add(1)
+}
+
+// ReplayRejected records a genuine-but-already-seen record.
+func (s *SessionScope) ReplayRejected() {
+	if s == nil {
+		return
+	}
+	s.replayRejected.Add(1)
+}
+
+// StaleEpoch records a record from an epoch retired past the grace window.
+func (s *SessionScope) StaleEpoch() {
+	if s == nil {
+		return
+	}
+	s.staleEpoch.Add(1)
+}
+
+// Rekey records an epoch roll and moves the epoch gauge.
+func (s *SessionScope) Rekey(epoch uint32) {
+	if s == nil {
+		return
+	}
+	s.rekeys.Add(1)
+	s.epoch.Store(epoch)
+}
+
+// SetEpoch moves the epoch gauge without counting a rekey (used at attach).
+func (s *SessionScope) SetEpoch(epoch uint32) {
+	if s == nil {
+		return
+	}
+	s.epoch.Store(epoch)
+}
+
+// Session returns the scope for a session id, creating it on first use.
+func (g *Registry) Session(id string) *SessionScope {
+	if g == nil {
+		return nil
+	}
+	g.sessMu.Lock()
+	defer g.sessMu.Unlock()
+	if g.sessions == nil {
+		g.sessions = make(map[string]*SessionScope)
+	}
+	sc := g.sessions[id]
+	if sc == nil {
+		sc = &SessionScope{id: id}
+		g.sessions[id] = sc
+	}
+	return sc
 }
 
 // NewRegistry creates a registry pre-sized for n ranks (it grows on demand if
@@ -355,4 +459,13 @@ func (g *Registry) WireWriteError() {
 		return
 	}
 	g.wireWriteErrors.Add(1)
+}
+
+// WireLaneInterleave records one flush batch re-ordered round-robin across
+// wire lanes so no session monopolizes a shared connection's writes.
+func (g *Registry) WireLaneInterleave() {
+	if g == nil {
+		return
+	}
+	g.wireInterleaves.Add(1)
 }

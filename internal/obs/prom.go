@@ -130,8 +130,41 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	pw.counter("encmpi_wire_write_errors_total", "", s.Wire.WriteErrors)
 	pw.header("encmpi_wire_queued_bytes", "gauge", "Bytes currently queued in wire-engine send queues (whole job).")
 	pw.printf("encmpi_wire_queued_bytes %d\n", s.Wire.QueuedBytes)
+	pw.header("encmpi_wire_lane_interleaves_total", "counter", "Wire-engine batches re-ordered for cross-lane fairness (whole job).")
+	pw.counter("encmpi_wire_lane_interleaves_total", "", s.Wire.LaneInterleave)
 	pw.wholeJobHistogram("encmpi_wire_batch_frames", "Frames per wire-engine flush.", s.Wire.BatchFrames)
 	pw.wholeJobHistogram("encmpi_wire_batch_bytes", "Bytes per wire-engine flush.", s.Wire.BatchBytes)
+
+	if len(s.Sessions) > 0 {
+		sessLabel := func(id string) string { return fmt.Sprintf(`session=%q`, id) }
+		pw.header("encmpi_session_records_total", "counter", "Records sealed/opened per session and direction.")
+		for _, ss := range s.Sessions {
+			pw.counter("encmpi_session_records_total",
+				fmt.Sprintf(`session=%q,dir="seal"`, ss.ID), ss.Sealed)
+			pw.counter("encmpi_session_records_total",
+				fmt.Sprintf(`session=%q,dir="open"`, ss.ID), ss.Opened)
+		}
+		pw.header("encmpi_session_auth_failures_total", "counter", "Records rejected by the session AAD layer, per session.")
+		for _, ss := range s.Sessions {
+			pw.counter("encmpi_session_auth_failures_total", sessLabel(ss.ID), ss.AuthFailures)
+		}
+		pw.header("encmpi_session_replay_rejected_total", "counter", "Genuine-but-replayed records rejected per session.")
+		for _, ss := range s.Sessions {
+			pw.counter("encmpi_session_replay_rejected_total", sessLabel(ss.ID), ss.ReplayRejected)
+		}
+		pw.header("encmpi_session_stale_epoch_total", "counter", "Records from expired epochs rejected per session.")
+		for _, ss := range s.Sessions {
+			pw.counter("encmpi_session_stale_epoch_total", sessLabel(ss.ID), ss.StaleEpoch)
+		}
+		pw.header("encmpi_session_rekeys_total", "counter", "Epoch rolls per session.")
+		for _, ss := range s.Sessions {
+			pw.counter("encmpi_session_rekeys_total", sessLabel(ss.ID), ss.Rekeys)
+		}
+		pw.header("encmpi_session_epoch", "gauge", "Current seal epoch per session.")
+		for _, ss := range s.Sessions {
+			pw.printf("encmpi_session_epoch{%s} %d\n", sessLabel(ss.ID), ss.Epoch)
+		}
+	}
 
 	return pw.err
 }

@@ -80,38 +80,75 @@ type RankSnapshot struct {
 // is the mean batch size; the histograms carry the distribution), and
 // QueuedBytes is the queue-depth gauge at the moment of the snapshot.
 type WireSnapshot struct {
-	Flushes       uint64       `json:"flushes"`
-	InlineFlushes uint64       `json:"inline_flushes"`
-	Frames        uint64       `json:"frames"`
-	WriteErrors   uint64       `json:"write_errors"`
-	QueuedBytes   int64        `json:"queued_bytes"`
-	BatchFrames   HistSnapshot `json:"batch_frames"`
-	BatchBytes    HistSnapshot `json:"batch_bytes"`
+	Flushes        uint64       `json:"flushes"`
+	InlineFlushes  uint64       `json:"inline_flushes"`
+	Frames         uint64       `json:"frames"`
+	WriteErrors    uint64       `json:"write_errors"`
+	QueuedBytes    int64        `json:"queued_bytes"`
+	LaneInterleave uint64       `json:"lane_interleaves"`
+	BatchFrames    HistSnapshot `json:"batch_frames"`
+	BatchBytes     HistSnapshot `json:"batch_bytes"`
 }
 
 // merge returns a+b (gauges add; a live queue split across registries is the
 // sum of its parts).
 func (w WireSnapshot) merge(o WireSnapshot) WireSnapshot {
 	return WireSnapshot{
-		Flushes:       w.Flushes + o.Flushes,
-		InlineFlushes: w.InlineFlushes + o.InlineFlushes,
-		Frames:        w.Frames + o.Frames,
-		WriteErrors:   w.WriteErrors + o.WriteErrors,
-		QueuedBytes:   w.QueuedBytes + o.QueuedBytes,
-		BatchFrames:   w.BatchFrames.merge(o.BatchFrames),
-		BatchBytes:    w.BatchBytes.merge(o.BatchBytes),
+		Flushes:        w.Flushes + o.Flushes,
+		InlineFlushes:  w.InlineFlushes + o.InlineFlushes,
+		Frames:         w.Frames + o.Frames,
+		WriteErrors:    w.WriteErrors + o.WriteErrors,
+		QueuedBytes:    w.QueuedBytes + o.QueuedBytes,
+		LaneInterleave: w.LaneInterleave + o.LaneInterleave,
+		BatchFrames:    w.BatchFrames.merge(o.BatchFrames),
+		BatchBytes:     w.BatchBytes.merge(o.BatchBytes),
 	}
+}
+
+// SessionSnapshot is one session's crypto accounting frozen at snapshot
+// time. AuthFailures counts every AAD-layer rejection; ReplayRejected and
+// StaleEpoch break out the causes the session layer can name (both are also
+// included in AuthFailures). Epoch is the seal-epoch gauge.
+type SessionSnapshot struct {
+	ID             string `json:"id"`
+	Sealed         uint64 `json:"sealed"`
+	Opened         uint64 `json:"opened"`
+	AuthFailures   uint64 `json:"auth_failures"`
+	ReplayRejected uint64 `json:"replay_rejected"`
+	StaleEpoch     uint64 `json:"stale_epoch"`
+	Rekeys         uint64 `json:"rekeys"`
+	Epoch          uint32 `json:"epoch"`
+}
+
+// merge returns a+b for one session id seen from two registries (counters
+// add; the epoch gauge takes the max — the furthest-advanced endpoint).
+func (s SessionSnapshot) merge(o SessionSnapshot) SessionSnapshot {
+	out := SessionSnapshot{
+		ID:             s.ID,
+		Sealed:         s.Sealed + o.Sealed,
+		Opened:         s.Opened + o.Opened,
+		AuthFailures:   s.AuthFailures + o.AuthFailures,
+		ReplayRejected: s.ReplayRejected + o.ReplayRejected,
+		StaleEpoch:     s.StaleEpoch + o.StaleEpoch,
+		Rekeys:         s.Rekeys + o.Rekeys,
+		Epoch:          s.Epoch,
+	}
+	if o.Epoch > out.Epoch {
+		out.Epoch = o.Epoch
+	}
+	return out
 }
 
 // Snapshot freezes a whole registry: per-rank scopes, the world-level
 // counters no rank owns, and a Total that is the pure sum of the ranks.
 type Snapshot struct {
-	Ranks              []RankSnapshot `json:"ranks"`
-	FrameErrors        uint64         `json:"frame_errors"`
-	FaultsInjected     uint64         `json:"faults_injected"`
-	UnattributedStrays uint64         `json:"unattributed_strays"`
-	Wire               WireSnapshot   `json:"wire"`
-	Total              RankSnapshot   `json:"total"`
+	Ranks              []RankSnapshot    `json:"ranks"`
+	Sessions           []SessionSnapshot `json:"sessions,omitempty"`
+	FrameErrors        uint64            `json:"frame_errors"`
+	FaultsInjected     uint64            `json:"faults_injected"`
+	UnattributedStrays uint64            `json:"unattributed_strays"`
+	Wire               WireSnapshot      `json:"wire"`
+	Total              RankSnapshot      `json:"total"`
 }
 
 // snapshot freezes one rank scope.
@@ -227,14 +264,30 @@ func (g *Registry) Snapshot() Snapshot {
 	s.FaultsInjected = g.faultsInjected.Load()
 	s.UnattributedStrays = g.strayUnattrib.Load()
 	s.Wire = WireSnapshot{
-		Flushes:       g.wireFlushes.Load(),
-		InlineFlushes: g.wireInline.Load(),
-		Frames:        g.wireFrames.Load(),
-		WriteErrors:   g.wireWriteErrors.Load(),
-		QueuedBytes:   g.wireQueuedBytes.Load(),
-		BatchFrames:   g.wireBatchFrames.snapshot(),
-		BatchBytes:    g.wireBatchBytes.snapshot(),
+		Flushes:        g.wireFlushes.Load(),
+		InlineFlushes:  g.wireInline.Load(),
+		Frames:         g.wireFrames.Load(),
+		WriteErrors:    g.wireWriteErrors.Load(),
+		QueuedBytes:    g.wireQueuedBytes.Load(),
+		LaneInterleave: g.wireInterleaves.Load(),
+		BatchFrames:    g.wireBatchFrames.snapshot(),
+		BatchBytes:     g.wireBatchBytes.snapshot(),
 	}
+	g.sessMu.Lock()
+	for id, sc := range g.sessions {
+		s.Sessions = append(s.Sessions, SessionSnapshot{
+			ID:             id,
+			Sealed:         sc.sealed.Load(),
+			Opened:         sc.opened.Load(),
+			AuthFailures:   sc.authFailures.Load(),
+			ReplayRejected: sc.replayRejected.Load(),
+			StaleEpoch:     sc.staleEpoch.Load(),
+			Rekeys:         sc.rekeys.Load(),
+			Epoch:          sc.epoch.Load(),
+		})
+	}
+	g.sessMu.Unlock()
+	sort.Slice(s.Sessions, func(i, j int) bool { return s.Sessions[i].ID < s.Sessions[j].ID })
 	return s
 }
 
@@ -276,6 +329,22 @@ func Merge(a, b Snapshot) Snapshot {
 		total.Rank = -1
 		out.Total = total
 	}
+
+	bySess := make(map[string]SessionSnapshot, len(a.Sessions)+len(b.Sessions))
+	for _, ss := range a.Sessions {
+		bySess[ss.ID] = ss
+	}
+	for _, ss := range b.Sessions {
+		if prev, ok := bySess[ss.ID]; ok {
+			bySess[ss.ID] = prev.merge(ss)
+		} else {
+			bySess[ss.ID] = ss
+		}
+	}
+	for _, ss := range bySess {
+		out.Sessions = append(out.Sessions, ss)
+	}
+	sort.Slice(out.Sessions, func(i, j int) bool { return out.Sessions[i].ID < out.Sessions[j].ID })
 	return out
 }
 
@@ -348,6 +417,14 @@ func (s Snapshot) Digest() string {
 		fmt.Fprintf(&b, "wire flushes: %d (%d inline)  frames: %d (%.2f/flush)  write errors: %d\n",
 			w.Flushes, w.InlineFlushes, w.Frames,
 			float64(w.Frames)/float64(w.Flushes), w.WriteErrors)
+		if w.LaneInterleave > 0 {
+			fmt.Fprintf(&b, "wire lane interleaves: %d\n", w.LaneInterleave)
+		}
+	}
+	for _, ss := range s.Sessions {
+		fmt.Fprintf(&b, "session %s: epoch %d  sealed %d  opened %d  rekeys %d  rejected %d (%d replay, %d stale epoch)\n",
+			ss.ID, ss.Epoch, ss.Sealed, ss.Opened, ss.Rekeys,
+			ss.AuthFailures, ss.ReplayRejected, ss.StaleEpoch)
 	}
 	return b.String()
 }

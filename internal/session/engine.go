@@ -1,0 +1,204 @@
+// engine.go adapts a Session to the encrypted MPI layer's engine shape:
+// Name/Overhead/Seal/Open/OpenInto mirror encmpi.Engine structurally (this
+// package cannot import encmpi — encmpi imports it for RecordCtx), plus the
+// context-taking variants the communicator uses to bind records.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"encmpi/internal/aead"
+	"encmpi/internal/bufpool"
+	"encmpi/internal/mpi"
+	"encmpi/internal/sched"
+)
+
+// Engine seals and opens records under the session's current epoch. The
+// wire format is unchanged — nonce(12) ‖ ciphertext ‖ tag(16) — only the
+// nonce layout and the (never transmitted) AAD differ from RealEngine.
+// Concurrency safety follows the underlying codec: the aesstd tier is safe
+// for concurrent Seal/Open, the from-scratch gcm tiers are not (same caveat
+// as RealEngine).
+type Engine struct {
+	s *Session
+}
+
+// Engine returns the session's crypto engine.
+func (s *Session) Engine() *Engine { return &Engine{s: s} }
+
+// Session returns the session this engine seals for.
+func (e *Engine) Session() *Session { return e.s }
+
+// Name implements the engine Name contract.
+func (e *Engine) Name() string { return "session(" + e.s.name + ")" }
+
+// Overhead implements the engine Overhead contract.
+func (e *Engine) Overhead() int { return aead.Overhead }
+
+// Seal seals without communicator context (OpRaw): the record is still bound
+// to (session id, epoch, sealer rank, seq), just not to a routing decision.
+func (e *Engine) Seal(proc sched.Proc, plain mpi.Buffer) mpi.Buffer {
+	return e.SealCtx(proc, plain, nil)
+}
+
+// Open opens a context-free record. The sealer's rank is read from the
+// nonce; everything else the AAD binds is reconstructed as OpRaw.
+func (e *Engine) Open(proc sched.Proc, wire mpi.Buffer) (mpi.Buffer, error) {
+	return e.OpenCtx(proc, wire, nil)
+}
+
+// OpenInto opens a context-free record directly into dst.
+func (e *Engine) OpenInto(proc sched.Proc, dst []byte, wire mpi.Buffer) (int, error) {
+	return e.OpenIntoCtx(proc, dst, wire, nil)
+}
+
+// SealCtx seals plain with its communication context authenticated into the
+// AAD. ctx.Src must be the sealing endpoint's communicator rank (it becomes
+// the nonce's source field, which is what keeps the shared per-epoch key
+// nonce-safe across ranks). Synthetic buffers are materialized as zeros,
+// exactly like RealEngine: real cryptography needs real bytes.
+func (e *Engine) SealCtx(_ sched.Proc, plain mpi.Buffer, ctx *RecordCtx) mpi.Buffer {
+	s := e.s
+	ep, src := s.sealState()
+	var raw RecordCtx
+	if ctx == nil {
+		raw = RecordCtx{Op: OpRaw, Src: src, Dst: Wildcard}
+		ctx = &raw
+	}
+	data := plain.Data
+	var scratch *bufpool.Lease
+	if plain.IsSynthetic() && plain.Len() > 0 {
+		scratch = bufpool.Get(plain.Len())
+		data = scratch.Bytes()[:plain.Len()]
+		clear(data) // pooled storage is dirty; the model is all-zeros
+	}
+	seq := ep.seq.Add(1)
+	var ab [aadLen]byte
+	aadB := appendAAD(ab[:0], s.id, ep.n, seq, ctx)
+	lease := bufpool.Get(aead.WireLen(len(data)))
+	wire := lease.Bytes()[:aead.NonceSize]
+	putNonce(wire, ctx.Src, ep.n, seq)
+	// SealAAD appends ciphertext ‖ tag in place: the lease's capacity covers
+	// the full wire length, so no reallocation happens for tag-exact codecs.
+	wire = ep.codec.SealAAD(wire, wire[:aead.NonceSize], data, aadB)
+	scratch.Release()
+	s.scope.Sealed()
+	return mpi.BytesWithLease(wire, lease)
+}
+
+// OpenCtx authenticates and decrypts a record against the context the
+// receiver derived for it. Any mismatch — wrong session, wrong epoch key,
+// swapped src/dst, spliced chunk index, replayed seq — fails exactly like a
+// forged tag.
+func (e *Engine) OpenCtx(_ sched.Proc, wire mpi.Buffer, ctx *RecordCtx) (mpi.Buffer, error) {
+	var ab [aadLen]byte
+	ep, aadB, src, seq, n, err := e.openPrep(wire, ctx, &ab)
+	if err != nil {
+		return mpi.Buffer{}, e.reject(err)
+	}
+	lease := bufpool.Get(n)
+	plain, err := ep.codec.OpenAAD(lease.Bytes()[:0], wire.Data[:aead.NonceSize], wire.Data[aead.NonceSize:], aadB)
+	if err != nil {
+		lease.Release()
+		return mpi.Buffer{}, e.reject(err)
+	}
+	if !ep.admit(src, seq) {
+		lease.Release()
+		return mpi.Buffer{}, e.reject(ErrReplay)
+	}
+	e.s.scope.Opened()
+	return mpi.BytesWithLease(plain, lease), nil
+}
+
+// OpenIntoCtx is OpenCtx decrypting straight into dst (the chunked receive
+// fast path). dst must be sized for the plaintext.
+func (e *Engine) OpenIntoCtx(_ sched.Proc, dst []byte, wire mpi.Buffer, ctx *RecordCtx) (int, error) {
+	var ab [aadLen]byte
+	ep, aadB, src, seq, n, err := e.openPrep(wire, ctx, &ab)
+	if err != nil {
+		return 0, e.reject(err)
+	}
+	if n > len(dst) {
+		return 0, fmt.Errorf("session: OpenInto destination holds %d bytes, plaintext is %d", len(dst), n)
+	}
+	plain, err := ep.codec.OpenAAD(dst[:0], wire.Data[:aead.NonceSize], wire.Data[aead.NonceSize:], aadB)
+	if err != nil {
+		return 0, e.reject(err)
+	}
+	if !ep.admit(src, seq) {
+		return 0, e.reject(ErrReplay)
+	}
+	if len(plain) > 0 && &plain[0] != &dst[0] {
+		copy(dst, plain)
+	}
+	e.s.scope.Opened()
+	return len(plain), nil
+}
+
+// openPrep runs the shared open prologue: structural validation, nonce
+// parsing, the cheap pre-cipher source check, epoch resolution, and AAD
+// reconstruction.
+func (e *Engine) openPrep(wire mpi.Buffer, ctx *RecordCtx, ab *[aadLen]byte) (*epoch, []byte, int, uint64, int, error) {
+	s := e.s
+	if wire.IsSynthetic() {
+		return nil, nil, 0, 0, 0, errors.New("session: cannot decrypt a synthetic buffer")
+	}
+	n, err := aead.PlainLen(wire.Len())
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	src, epn, seq := parseNonce(wire.Data)
+	var raw RecordCtx
+	if ctx == nil {
+		raw = RecordCtx{Op: OpRaw, Src: src, Dst: Wildcard}
+		ctx = &raw
+	} else if ctx.Src != src {
+		// Reflected or re-addressed records announce themselves here: the
+		// nonce says who sealed, the receiver knows who it matched from.
+		// The AAD would reject them anyway; failing early skips the cipher.
+		return nil, nil, 0, 0, 0, fmt.Errorf("session: record sealed by rank %d, matched from rank %d: %w", src, ctx.Src, aead.ErrAuth)
+	}
+	ep, err := s.epochForOpen(epn)
+	if err != nil {
+		return nil, nil, 0, 0, 0, err
+	}
+	return ep, appendAAD(ab[:0], s.id, ep.n, seq, ctx), src, seq, n, nil
+}
+
+// reject classifies an open failure into the session counters. Replay and
+// stale-epoch rejections both wrap aead.ErrAuth, so the communicator's
+// rank-level attribution (auth failure, never a survived stray) holds
+// without any special-casing there.
+func (e *Engine) reject(err error) error {
+	sc := e.s.scope
+	switch {
+	case errors.Is(err, ErrReplay):
+		sc.ReplayRejected()
+	case errors.Is(err, ErrStaleEpoch):
+		sc.StaleEpoch()
+	}
+	if errors.Is(err, aead.ErrAuth) {
+		sc.AuthFailure()
+	}
+	return err
+}
+
+// sealState returns the epoch and source rank a new record seals under,
+// both read under the session lock (Attach may race an early seal in
+// misuse; the lock keeps the race detector quiet and the answer coherent).
+func (s *Session) sealState() (*epoch, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rekeyEvery > 0 && s.cur.n < MaxEpoch && time.Since(s.cur.started) >= s.rekeyEvery {
+		// Best-effort: a codec failure falls back to the current epoch
+		// rather than dropping traffic.
+		_ = s.rekeyLocked()
+	}
+	src := s.rank
+	if src < 0 {
+		src = 0
+	}
+	return s.cur, src
+}

@@ -40,6 +40,18 @@ const (
 	Reorder
 	// DuplicateDelivery delivers every matching message twice.
 	DuplicateDelivery
+	// SpliceSession records the first matching payload of each wire lane and
+	// substitutes a *different* lane's recording for later matching payloads
+	// — the cross-session splice: a ciphertext sealed under one session
+	// delivered where another session's record was expected. Only AAD-bound
+	// sessions (DESIGN.md §13) reject it as an authentication failure; it
+	// needs at least two lanes of traffic to find a donor.
+	SpliceSession
+	// Reflect delivers every matching message normally and bounces a copy
+	// back at its sender with src/dst swapped — the reflection adversary. A
+	// session engine rejects the bounce before running the cipher: the nonce
+	// names the sealer, and the victim matched the record from the other end.
+	Reflect
 )
 
 // String implements fmt.Stringer.
@@ -61,14 +73,25 @@ func (m Mode) String() string {
 		return "reorder"
 	case DuplicateDelivery:
 		return "duplicate"
+	case SpliceSession:
+		return "splice-session"
+	case Reflect:
+		return "reflect"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
 }
 
 // AllModes lists every active fault mode, in a stable order, for sweep
-// tests that must cover the whole adversary.
+// tests that must cover the whole adversary. The session-specific modes are
+// deliberately not in it: AllModes sweeps run against context-free engines,
+// whose contract does not claim to detect cross-session splices or
+// reflections — SessionModes covers those against the session engine.
 var AllModes = []Mode{Corrupt, Drop, Truncate, Extend, Replay, Reorder, DuplicateDelivery}
+
+// SessionModes lists the adversaries only AAD-bound sessions defeat: replay
+// of a genuine ciphertext, cross-session splicing, and reflection.
+var SessionModes = []Mode{Replay, SpliceSession, Reflect}
 
 // Options is the declarative form of a fault plan, used by the public
 // facade's WithFaults option so callers configure the adversary without
@@ -124,6 +147,9 @@ type Transport struct {
 	captured *mpi.Msg
 	// held is Reorder's delayed message, released by the next send.
 	held *mpi.Msg
+	// spliceStash is SpliceSession's per-lane recording of the first
+	// matching payload, the donor material for cross-lane substitution.
+	spliceStash map[uint16]mpi.Buffer
 }
 
 // New wraps inner with no active fault.
@@ -258,6 +284,34 @@ func (t *Transport) plan(m *mpi.Msg) (forward []*mpi.Msg, ackLocal bool) {
 				mm.Buf = t.captured.Buf.Clone()
 				m = &mm
 			}
+		case SpliceSession:
+			if donor, ok := t.spliceDonorLocked(m.Lane); ok {
+				// A ciphertext from another lane (another session) replaces
+				// this record's payload; the frame header — and so the
+				// matching — is untouched, exactly like a wire adversary
+				// swapping ciphertexts between two streams it cannot read.
+				count()
+				mm := *m
+				mm.Buf = donor.Clone()
+				m = &mm
+			} else if !m.Buf.IsSynthetic() && m.Buf.Len() > 0 {
+				// First matching payload on this lane: record it as donor
+				// material and deliver it untouched. Recording is not yet an
+				// injection.
+				if t.spliceStash == nil {
+					t.spliceStash = make(map[uint16]mpi.Buffer)
+				}
+				if _, seen := t.spliceStash[m.Lane]; !seen {
+					t.spliceStash[m.Lane] = m.Buf.Clone()
+				}
+			}
+		case Reflect:
+			// The original is forwarded untouched below; a copy bounces back
+			// at the sender with the endpoints swapped.
+			count()
+			bounce := detached(m)
+			bounce.Src, bounce.Dst = m.Dst, m.Src
+			forward = append(forward, bounce)
 		case Reorder:
 			if t.held == nil {
 				// Hold this message; whatever is sent next overtakes it.
@@ -284,6 +338,17 @@ func (t *Transport) plan(m *mpi.Msg) (forward []*mpi.Msg, ackLocal bool) {
 		t.held = nil
 	}
 	return forward, ackLocal
+}
+
+// spliceDonorLocked returns recorded donor material from any lane other than
+// the victim's. Caller holds t.mu.
+func (t *Transport) spliceDonorLocked(victim uint16) (mpi.Buffer, bool) {
+	for lane, buf := range t.spliceStash {
+		if lane != victim {
+			return buf, true
+		}
+	}
+	return mpi.Buffer{}, false
 }
 
 // detached clones a message for out-of-band delivery: the payload is copied

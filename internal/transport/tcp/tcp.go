@@ -28,12 +28,13 @@ import (
 //	tag     int64
 //	ctx     int32
 //	kind    uint8
-//	_pad    [3]byte
+//	lane    uint16
+//	_pad    [1]byte
 //	seq     uint64
 //	datalen int64
 //	chunks  int64
 //	buflen  int64
-const headerLen = 4 + 4 + 8 + 4 + 1 + 3 + 8 + 8 + 8 + 8
+const headerLen = 4 + 4 + 8 + 4 + 1 + 2 + 1 + 8 + 8 + 8 + 8
 
 // maxFramePayload bounds the payload length a frame header may announce
 // (1 GiB). A hostile or corrupted stream must not be able to drive a
@@ -229,6 +230,7 @@ func decodeHeader(hdr *[headerLen]byte) (m *mpi.Msg, buflen int, err error) {
 		Tag:     int(int64(binary.BigEndian.Uint64(hdr[8:]))),
 		Ctx:     int(int32(binary.BigEndian.Uint32(hdr[16:]))),
 		Kind:    mpi.Kind(hdr[20]),
+		Lane:    binary.BigEndian.Uint16(hdr[21:]),
 		Seq:     binary.BigEndian.Uint64(hdr[24:]),
 		DataLen: int(int64(binary.BigEndian.Uint64(hdr[32:]))),
 		Chunks:  int(int64(binary.BigEndian.Uint64(hdr[40:]))),
@@ -379,6 +381,8 @@ func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) error {
 	binary.BigEndian.PutUint64(frame[8:], uint64(int64(m.Tag)))
 	binary.BigEndian.PutUint32(frame[16:], uint32(int32(m.Ctx)))
 	frame[20] = byte(m.Kind)
+	binary.BigEndian.PutUint16(frame[21:], m.Lane)
+	frame[23] = 0 // pooled storage is dirty; the reserved byte must not leak it
 	binary.BigEndian.PutUint64(frame[24:], m.Seq)
 	binary.BigEndian.PutUint64(frame[32:], uint64(int64(m.DataLen)))
 	binary.BigEndian.PutUint64(frame[40:], uint64(int64(m.Chunks)))

@@ -238,3 +238,85 @@ func benchRoundtrip(b *testing.B, noPool bool) {
 
 func BenchmarkTCPRoundtripAlloc(b *testing.B)         { benchRoundtrip(b, false) }
 func BenchmarkTCPRoundtripAllocUnpooled(b *testing.B) { benchRoundtrip(b, true) }
+
+// TestInterleaveLanes checks the flush-time fairness pass directly: a
+// uniform batch is untouched (fast path), a mixed batch is dealt round-robin
+// across lanes in first-seen order with per-lane FIFO preserved.
+func TestInterleaveLanes(t *testing.T) {
+	mk := func(lanes ...uint16) []*wireFrame {
+		batch := make([]*wireFrame, len(lanes))
+		for i, l := range lanes {
+			batch[i] = &wireFrame{lane: l, size: i} // size doubles as identity
+		}
+		return batch
+	}
+	lanesOf := func(batch []*wireFrame) []uint16 {
+		out := make([]uint16, len(batch))
+		for i, f := range batch {
+			out[i] = f.lane
+		}
+		return out
+	}
+
+	reg := obs.NewRegistry(1)
+	q := &wireQueue{t: &Transport{metrics: reg}}
+
+	uniform := mk(3, 3, 3, 3)
+	orig := append([]*wireFrame(nil), uniform...)
+	q.interleaveLanes(uniform)
+	for i := range uniform {
+		if uniform[i] != orig[i] {
+			t.Fatalf("fast path reordered a single-lane batch at %d", i)
+		}
+	}
+	if got := reg.Snapshot().Wire.LaneInterleave; got != 0 {
+		t.Fatalf("fast path counted an interleave: %d", got)
+	}
+
+	mixed := mk(1, 1, 1, 2, 2, 7)
+	q.interleaveLanes(mixed)
+	want := []uint16{1, 2, 7, 1, 2, 1}
+	got := lanesOf(mixed)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-robin order %v, want %v", got, want)
+		}
+	}
+	// Per-lane FIFO: lane 1's frames keep their original relative order.
+	var lane1 []int
+	for _, f := range mixed {
+		if f.lane == 1 {
+			lane1 = append(lane1, f.size)
+		}
+	}
+	if len(lane1) != 3 || lane1[0] > lane1[1] || lane1[1] > lane1[2] {
+		t.Fatalf("lane 1 FIFO broken: %v", lane1)
+	}
+	if got := reg.Snapshot().Wire.LaneInterleave; got != 1 {
+		t.Fatalf("interleave count %d, want 1", got)
+	}
+}
+
+// TestLaneHeaderRoundtrip pins the header byte positions of the lane field
+// on both write paths (batched encodeHeader and the synchronous fallback are
+// covered by decodeHeader symmetry at the transport level elsewhere; this
+// guards the layout itself).
+func TestLaneHeaderRoundtrip(t *testing.T) {
+	m := &mpi.Msg{Kind: mpi.KindEager, Src: 1, Dst: 0, Tag: 5, Lane: 0xBEEF,
+		Buf: mpi.Bytes([]byte("payload"))}
+	var hdr [headerLen]byte
+	encodeHeader(&hdr, m, m.Buf.Len())
+	got, buflen, err := decodeHeader(&hdr)
+	if err != nil {
+		t.Fatalf("decodeHeader rejected an encoded header: %v", err)
+	}
+	if buflen != m.Buf.Len() {
+		t.Fatalf("buflen %d, want %d", buflen, m.Buf.Len())
+	}
+	if got.Lane != 0xBEEF {
+		t.Fatalf("lane %#x, want 0xBEEF", got.Lane)
+	}
+	if got.Src != 1 || got.Dst != 0 || got.Tag != 5 {
+		t.Fatalf("header fields corrupted: %+v", got)
+	}
+}

@@ -44,6 +44,7 @@ type wireFrame struct {
 	buf        mpi.Buffer // retained payload; zero value for synthetic/empty
 	synthetic  bool       // payload is zeros vectored from zeroSlab
 	src, dst   int
+	lane       uint16 // traffic stream (session), for flush-time fairness
 	size       int
 	payloadLen int
 	done       mpi.Completion
@@ -117,7 +118,8 @@ func encodeHeader(hdr *[headerLen]byte, m *mpi.Msg, buflen int) {
 	binary.BigEndian.PutUint64(hdr[8:], uint64(int64(m.Tag)))
 	binary.BigEndian.PutUint32(hdr[16:], uint32(int32(m.Ctx)))
 	hdr[20] = byte(m.Kind)
-	hdr[21], hdr[22], hdr[23] = 0, 0, 0
+	binary.BigEndian.PutUint16(hdr[21:], m.Lane)
+	hdr[23] = 0
 	binary.BigEndian.PutUint64(hdr[24:], m.Seq)
 	binary.BigEndian.PutUint64(hdr[32:], uint64(int64(m.DataLen)))
 	binary.BigEndian.PutUint64(hdr[40:], uint64(int64(m.Chunks)))
@@ -140,6 +142,7 @@ func (q *wireQueue) enqueue(m *mpi.Msg) error {
 	f.hdr = headerPool.Get().(*[headerLen]byte)
 	encodeHeader(f.hdr, m, n)
 	f.src, f.dst = m.Src, m.Dst
+	f.lane = m.Lane
 	f.size = size
 	f.payloadLen = n
 	f.done = m.Done
@@ -231,6 +234,7 @@ func (q *wireQueue) flush(inline bool) {
 				q.fail(f, broken)
 			}
 		} else {
+			q.interleaveLanes(batch)
 			q.writeBatch(batch, bytes, inline)
 		}
 		q.recycle(batch)
@@ -249,6 +253,53 @@ func (q *wireQueue) flush(inline bool) {
 			return
 		}
 	}
+}
+
+// interleaveLanes reorders an extracted batch round-robin across the traffic
+// lanes present in it, so one session's bulk stream cannot monopolize a
+// shared connection's writes while another session's frames age behind it.
+// Frames of one lane keep their relative order — per-pair FIFO is a per-lane
+// property (matching requires lane equality; different lanes never feed the
+// same request), so reordering *across* lanes is invisible to the protocol.
+// Called with flushMu held, before the batch is written.
+func (q *wireQueue) interleaveLanes(batch []*wireFrame) {
+	// Fast path: a single lane in the batch (the overwhelmingly common case,
+	// and always true without multiplexed sessions) — one scan, no work.
+	mixed := false
+	for _, f := range batch[1:] {
+		if f.lane != batch[0].lane {
+			mixed = true
+			break
+		}
+	}
+	if !mixed {
+		return
+	}
+	// Slow path: bucket per lane in first-seen order, then deal one frame
+	// from each non-empty bucket in turn back into the batch slots.
+	buckets := make(map[uint16][]*wireFrame)
+	var order []uint16
+	for _, f := range batch {
+		if _, ok := buckets[f.lane]; !ok {
+			order = append(order, f.lane)
+		}
+		buckets[f.lane] = append(buckets[f.lane], f)
+	}
+	i := 0
+	for len(order) > 0 {
+		live := order[:0]
+		for _, lane := range order {
+			b := buckets[lane]
+			batch[i] = b[0]
+			i++
+			if len(b) > 1 {
+				buckets[lane] = b[1:]
+				live = append(live, lane)
+			}
+		}
+		order = live
+	}
+	q.t.metrics.WireLaneInterleave()
 }
 
 // recycle hands a processed batch's backing array back to the queue as the

@@ -29,6 +29,9 @@ type (
 	CryptoSnapshot = obs.CryptoSnapshot
 	// HistSnapshot is a power-of-two-bucketed latency or size histogram.
 	HistSnapshot = obs.HistSnapshot
+	// SessionSnapshot is one session's crypto accounting within a
+	// MetricsSnapshot (see NewSession).
+	SessionSnapshot = obs.SessionSnapshot
 
 	// TraceCollector accumulates simulated-fabric transfer events
 	// (attach with WithTrace on RunSim).

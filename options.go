@@ -149,4 +149,12 @@ const (
 	FaultReplay    FaultMode = faulty.Replay
 	FaultReorder   FaultMode = faulty.Reorder
 	FaultDuplicate FaultMode = faulty.DuplicateDelivery
+	// FaultSpliceSession substitutes a ciphertext recorded on one wire lane
+	// (one session) for a record of another — the cross-session splice only
+	// AAD-bound sessions (NewSession) reject.
+	FaultSpliceSession FaultMode = faulty.SpliceSession
+	// FaultReflect bounces a copy of every matching message back at its
+	// sender with the endpoints swapped; session records reject the bounce
+	// because the nonce names the sealer the receiver did not match from.
+	FaultReflect FaultMode = faulty.Reflect
 )
