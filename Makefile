@@ -6,7 +6,7 @@ build:
 test:
 	go test ./...
 
-# `bench` regenerates the committed BENCH_PR7.json snapshot (QUICK=1
+# `bench` regenerates the committed BENCH_PR8.json snapshot (QUICK=1
 # ./scripts/bench.sh for a bounded smoke run), then the testing.B suite.
 bench:
 	./scripts/bench.sh

@@ -1,5 +1,5 @@
 // Command benchjson emits the repository's machine-readable performance
-// snapshot (committed as BENCH_PR7.json): seal/open ns/op, MB/s, and
+// snapshot (committed as BENCH_PR8.json): seal/open ns/op, MB/s, and
 // allocs/op for the sequential and chunked-parallel engines across message
 // sizes, aggregate throughput of 16 concurrent 4 KiB messages through the
 // shared crypto worker pool versus the per-call goroutine baseline, an
@@ -11,12 +11,14 @@
 // encrypted, and overlap-chunked encrypted 1 MiB transfers over real TCP
 // and the simulated 40 G InfiniBand fabric (DESIGN.md §12), plus the
 // session_overhead suite pricing the context-AAD binding of sessions
-// (DESIGN.md §13) against the legacy nonce-only engine.
+// (DESIGN.md §13) against the legacy nonce-only engine, and the shm_ring
+// suite comparing the zero-copy slot-ring shm path against the seed's
+// inline-copy delivery across eager message sizes (DESIGN.md §14).
 //
 // It uses its own fixed-duration timing loops rather than testing.B so the
 // -quick mode can bound the total runtime for CI smoke use:
 //
-//	benchjson [-quick] [-o BENCH_PR7.json]
+//	benchjson [-quick] [-o BENCH_PR8.json]
 package main
 
 import (
@@ -120,6 +122,23 @@ type sessionOverheadEntry struct {
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
+type shmRingEntry struct {
+	Size  int `json:"size"`
+	Iters int `json:"iters"`
+	// RingMBps is one-way ping-pong bandwidth with the slot ring enabled
+	// (engines seal into and open out of the shared slab in place);
+	// InlineMBps is the same exchange with WithShmRing(-1, 0) — the seed's
+	// pool-copy delivery.
+	RingMBps   float64 `json:"ring_mb_s"`
+	InlineMBps float64 `json:"inline_mb_s"`
+	GainPct    float64 `json:"gain_pct"`
+	// Counters from one instrumented ring run: every message must seal and
+	// open in place, with zero spills to the pool fallback.
+	SealsInPlace uint64 `json:"ring_seals_in_place"`
+	OpensInPlace uint64 `json:"ring_opens_in_place"`
+	Fallbacks    uint64 `json:"ring_fallbacks"`
+}
+
 type report struct {
 	Schema        string                 `json:"schema"`
 	GeneratedBy   string                 `json:"generated_by"`
@@ -133,11 +152,12 @@ type report struct {
 	MultiPairTCP  []multiPairEntry       `json:"multipair_tcp"`
 	ChunkedP2P    []chunkedP2PEntry      `json:"chunked_p2p"`
 	SessionCost   []sessionOverheadEntry `json:"session_overhead"`
+	ShmRing       []shmRingEntry         `json:"shm_ring"`
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "short measurement loops for CI smoke use")
-	out := flag.String("o", "BENCH_PR7.json", "output path ('-' for stdout)")
+	out := flag.String("o", "BENCH_PR8.json", "output path ('-' for stdout)")
 	flag.Parse()
 
 	rep := report{
@@ -188,6 +208,7 @@ func main() {
 	rep.MultiPairTCP = measureMultiPair(*quick)
 	rep.ChunkedP2P = measureChunkedP2P(key, *quick)
 	rep.SessionCost = measureSessionOverhead(key, *quick)
+	rep.ShmRing = measureShmRing(key, *quick)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -664,6 +685,122 @@ func measureChunkedP2P(key []byte, quick bool) []chunkedP2PEntry {
 		if e.SerialMBps > 0 {
 			e.GainVsSerialPct = (e.ChunkedMBps/e.SerialMBps - 1) * 100
 		}
+	}
+	return out
+}
+
+// runShmRing times an encrypted session ping-pong over the shm transport at
+// one size and ring configuration, returning one-way payload MB/s. The
+// thresholds keep every size on the eager path (2 MiB eager window, chunked
+// pipeline off) so the comparison isolates delivery — zero-copy slot ring
+// versus the seed's pool-copy inline path — rather than protocol choice.
+// Ping-pong keeps at most one slot in flight, so the ring run must never
+// spill to the fallback.
+func runShmRing(key []byte, size, iters int, ring bool, reg *encmpi.Registry) float64 {
+	payload := bytes.Repeat([]byte{0xDA}, size)
+	opts := []encmpi.Option{encmpi.WithEagerThreshold(2 << 20)}
+	if ring {
+		// Slots sized to the message (2x headroom for the AEAD frame, 64 KiB
+		// floor) keep the slab working set proportional to the traffic; a
+		// ping-pong holds one slot, so 4 slots is already generous.
+		slot := 2 * size
+		if slot < 64<<10 {
+			slot = 64 << 10
+		}
+		opts = append(opts, encmpi.WithShmRing(4, slot))
+	} else {
+		opts = append(opts, encmpi.WithShmRing(-1, 0))
+	}
+	if reg != nil {
+		opts = append(opts, encmpi.WithMetrics(reg))
+	}
+	var oneWay time.Duration
+	err := encmpi.RunShm(2, func(c *encmpi.Comm) {
+		sess, err := encmpi.NewSession(key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Pipelined chunking off: it would route >=256 KiB messages through
+		// the rendezvous path and bypass the eager delivery under test.
+		e, err := sess.Attach(c, encmpi.WithPipelineThreshold(-1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		peer := 1 - c.Rank()
+		buf := encmpi.Bytes(payload)
+		roundTrip := func() {
+			if c.Rank() == 0 {
+				e.Send(peer, 0, buf)
+				if _, _, err := e.Recv(peer, 0); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				if _, _, err := e.Recv(peer, 0); err != nil {
+					log.Fatal(err)
+				}
+				e.Send(peer, 0, buf)
+			}
+		}
+		roundTrip() // warm-up: builds the rank-pair ring lazily
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			roundTrip()
+		}
+		if c.Rank() == 0 {
+			oneWay = time.Since(start) / time.Duration(2*iters)
+		}
+	}, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return float64(size) / oneWay.Seconds() / 1e6
+}
+
+// measureShmRing is the acceptance suite of the zero-copy shm slot ring
+// (DESIGN.md §14): encrypted eager ping-pong bandwidth with the ring must
+// meet or beat the seed's inline pool-copy delivery across message sizes —
+// the ring saves one full payload copy per message, so the gap should widen
+// with size. Interleaved best-of sampling as in the other wall-clock suites;
+// the timed runs carry no metrics registry, and the in-place/fallback
+// evidence comes from one separate instrumented ring run.
+func measureShmRing(key []byte, quick bool) []shmRingEntry {
+	sizes := []int{4 << 10, 64 << 10, 256 << 10, 1 << 20}
+	rounds := 3
+	if quick {
+		sizes = []int{4 << 10, 256 << 10}
+		rounds = 1
+	}
+	var out []shmRingEntry
+	for _, size := range sizes {
+		iters := 256
+		if size > 64<<10 {
+			iters = 64
+		}
+		if quick {
+			iters /= 8
+		}
+		e := shmRingEntry{Size: size, Iters: iters}
+		keep := func(dst *float64, ring bool) {
+			if v := runShmRing(key, size, iters, ring, nil); v > *dst {
+				*dst = v
+			}
+		}
+		for i := 0; i < rounds; i++ {
+			keep(&e.RingMBps, true)
+			keep(&e.InlineMBps, false)
+			keep(&e.InlineMBps, false)
+			keep(&e.RingMBps, true)
+		}
+		if e.InlineMBps > 0 {
+			e.GainPct = (e.RingMBps/e.InlineMBps - 1) * 100
+		}
+		reg := encmpi.NewRegistry(2)
+		runShmRing(key, size, iters, true, reg)
+		snap := reg.Snapshot()
+		e.SealsInPlace = snap.Total.Crypto.SealsInPlace
+		e.OpensInPlace = snap.Total.Crypto.OpensInPlace
+		e.Fallbacks = snap.Ring.Fallbacks
+		out = append(out, e)
 	}
 	return out
 }

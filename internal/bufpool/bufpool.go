@@ -42,8 +42,23 @@ const (
 type Lease struct {
 	buf  []byte
 	pool *sync.Pool // nil for oversize (unpooled) leases
+
+	// ring, when non-nil, marks a slab-ring slot (see Ring): the lease is
+	// preallocated, its storage is a fixed slice of the ring's slab, and the
+	// zero reference count retires the slot back into circulation instead of
+	// returning anything to a sync.Pool. gate is the slot's Vyukov-style
+	// sequence gate (gate == claim sequence ⇔ slot free for that sequence);
+	// claim records the sequence the current tenancy was claimed at.
+	ring  *Ring
+	gate  atomic.Uint32
+	claim uint32
+
 	refs atomic.Int32
 }
+
+// RingBacked reports whether the lease is a slab-ring slot (transport-owned
+// storage) rather than a pooled or GC'd buffer.
+func (l *Lease) RingBacked() bool { return l != nil && l.ring != nil }
 
 // Bytes returns the full capacity of the leased buffer (at least the length
 // passed to Get). Contents are undefined until written.
@@ -83,6 +98,13 @@ func (l *Lease) Release() {
 		return
 	case r < 0:
 		panic("bufpool: Release of a lease with no outstanding references")
+	}
+	if l.ring != nil {
+		// Ring slots retire into their slab ring; they never entered the
+		// pools and stay out of the pool counters (the ring has its own
+		// gauges in obs).
+		l.ring.retire(l)
+		return
 	}
 	stats.puts.Add(1)
 	if l.pool != nil {

@@ -1,0 +1,137 @@
+// Ring: a fixed slab of payload slots handed out as ordinary leases.
+//
+// This is the libhear mpool shape adapted to the lease discipline: one
+// contiguous slab carved into a power-of-two number of equal slots, each slot
+// a preallocated Lease whose storage never moves and never touches the heap
+// after construction. Transports own one ring per rank pair; engines seal
+// eager payloads straight into a claimed slot and receivers open them in
+// place, so the eager path performs zero intermediate copies and zero
+// allocations.
+//
+// Concurrency follows the Vyukov bounded-queue idea, reduced to a free-slot
+// allocator: head is a monotonically increasing claim sequence, and every
+// slot carries a sequence gate. A slot at index i is claimable for sequence h
+// (h&mask == i) exactly when gate == h; retiring a tenancy claimed at
+// sequence c republishes the gate as c+cap, making the slot claimable the
+// next time head wraps onto it. This keeps acquire lock-free (one CAS) while
+// closing the window where a slot could be handed out twice: a slot is never
+// reconsidered until its current tenant has demonstrably retired.
+//
+// Slots therefore recycle in claim order: a long-held payload caps the ring
+// at its wrap-around until it is released. The ring never blocks on that —
+// TryGet returns nil and the caller falls back to the ordinary heap pool
+// (caller-helps backpressure: the sender that finds the ring full does the
+// fallback work itself instead of waiting on the receiver).
+package bufpool
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// atomicU32pad pads head and tail onto separate cache lines so acquirers and
+// retirers (typically different cores) do not false-share.
+type atomicU32pad struct {
+	atomic.Uint32
+	_ [60]byte
+}
+
+// Ring is a fixed slab of equally sized payload slots leased out with the
+// same reference-count discipline as pooled buffers: double release panics,
+// retain-after-free panics, and the last Release retires the slot back into
+// circulation instead of returning it to a sync.Pool.
+type Ring struct {
+	slotBytes int
+	mask      uint32
+	slab      []byte
+	slots     []Lease
+
+	head atomicU32pad // claim sequence: total slots ever handed out
+	tail atomicU32pad // retire count: total slots returned; Depth = head-tail
+
+	// OnRetire, when set before first use, runs after every slot retire (the
+	// observability depth gauge hooks in here; bufpool cannot import obs).
+	// It must not acquire from this ring.
+	OnRetire func()
+}
+
+// NewRing builds a ring of at least `slots` slots (rounded up to a power of
+// two) of slotBytes each, backed by one contiguous slab.
+func NewRing(slots, slotBytes int) *Ring {
+	if slots <= 0 || slotBytes <= 0 {
+		panic(fmt.Sprintf("bufpool: NewRing(%d, %d)", slots, slotBytes))
+	}
+	n := 1
+	for n < slots {
+		n <<= 1
+	}
+	r := &Ring{
+		slotBytes: slotBytes,
+		mask:      uint32(n - 1),
+		slab:      make([]byte, n*slotBytes),
+		slots:     make([]Lease, n),
+	}
+	for i := range r.slots {
+		s := &r.slots[i]
+		s.buf = r.slab[i*slotBytes : (i+1)*slotBytes : (i+1)*slotBytes]
+		s.ring = r
+		s.gate.Store(uint32(i))
+	}
+	return r
+}
+
+// Cap returns the slot count (a power of two).
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// SlotBytes returns the fixed capacity of each slot.
+func (r *Ring) SlotBytes() int { return r.slotBytes }
+
+// SlabBytes returns the total bytes reserved by the ring's slab.
+func (r *Ring) SlabBytes() int { return len(r.slab) }
+
+// Depth reports the number of slots currently live (claimed, not yet
+// retired). It is a gauge: exact only when sampled quiescently.
+func (r *Ring) Depth() int {
+	return int(int32(r.head.Load() - r.tail.Load()))
+}
+
+// TryGet claims a free slot for an n-byte payload and returns it as a lease
+// holding one reference, or nil when n exceeds the slot size or the next
+// slot in claim order is still live (ring full at its wrap-around). The ring
+// never blocks: a nil return is the caller's cue to fall back to Get.
+func (r *Ring) TryGet(n int) *Lease {
+	if r == nil || len(r.slots) == 0 || n < 0 || n > r.slotBytes {
+		return nil
+	}
+	for {
+		h := r.head.Load()
+		s := &r.slots[h&r.mask]
+		g := s.gate.Load()
+		switch {
+		case g == h:
+			if r.head.CompareAndSwap(h, h+1) {
+				s.claim = h
+				s.refs.Store(1)
+				return s
+			}
+			// Lost the claim race; reload head and retry.
+		case int32(g-h) < 0:
+			// The slot's previous tenancy has not retired yet: head has
+			// lapped the ring back onto a live slot. Full.
+			return nil
+		default:
+			// gate > h: another claimant advanced head past our stale read.
+		}
+	}
+}
+
+// retire returns a slot to circulation; called by Lease.Release at refcount
+// zero. Publishing gate = claim+cap makes the slot claimable exactly once,
+// the next time the head sequence wraps onto it.
+func (r *Ring) retire(l *Lease) {
+	l.gate.Store(l.claim + uint32(len(r.slots)))
+	r.tail.Add(1)
+	if r.OnRetire != nil {
+		r.OnRetire()
+	}
+}

@@ -1,0 +1,151 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingGeometry(t *testing.T) {
+	r := NewRing(5, 1024) // rounds up to 8
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", r.Cap())
+	}
+	if r.SlotBytes() != 1024 {
+		t.Fatalf("SlotBytes = %d, want 1024", r.SlotBytes())
+	}
+	if r.SlabBytes() != 8*1024 {
+		t.Fatalf("SlabBytes = %d, want %d", r.SlabBytes(), 8*1024)
+	}
+	if l := r.TryGet(1025); l != nil {
+		t.Fatal("TryGet above slot size must return nil")
+	}
+	if l := r.TryGet(-1); l != nil {
+		t.Fatal("TryGet(-1) must return nil")
+	}
+}
+
+func TestRingSlotsAreSlabSlices(t *testing.T) {
+	r := NewRing(4, 64)
+	seen := map[*byte]bool{}
+	var leases []*Lease
+	for i := 0; i < 4; i++ {
+		l := r.TryGet(64)
+		if l == nil {
+			t.Fatalf("TryGet %d = nil with free slots", i)
+		}
+		if !l.RingBacked() {
+			t.Fatal("ring lease must report RingBacked")
+		}
+		b := l.Bytes()
+		if len(b) != 64 {
+			t.Fatalf("slot len = %d, want 64", len(b))
+		}
+		if seen[&b[0]] {
+			t.Fatal("same slot handed out twice while live")
+		}
+		seen[&b[0]] = true
+		leases = append(leases, l)
+	}
+	for _, l := range leases {
+		l.Release()
+	}
+}
+
+func TestRingFullThenRecycle(t *testing.T) {
+	r := NewRing(2, 32)
+	a := r.TryGet(32)
+	b := r.TryGet(32)
+	if a == nil || b == nil {
+		t.Fatal("expected two live slots")
+	}
+	if r.TryGet(1) != nil {
+		t.Fatal("full ring must return nil (caller-helps fallback)")
+	}
+	if d := r.Depth(); d != 2 {
+		t.Fatalf("Depth = %d, want 2", d)
+	}
+	// Slots recycle in claim order: releasing b alone does not free the
+	// wrap-around slot the head is parked on.
+	b.Release()
+	if r.TryGet(1) != nil {
+		t.Fatal("head is lapped onto a's slot; ring must still report full")
+	}
+	a.Release()
+	if d := r.Depth(); d != 0 {
+		t.Fatalf("Depth after drain = %d, want 0", d)
+	}
+	c := r.TryGet(32)
+	d := r.TryGet(32)
+	if c == nil || d == nil {
+		t.Fatal("drained ring must hand out its full capacity again")
+	}
+	c.Release()
+	d.Release()
+}
+
+func TestRingLeaseDiscipline(t *testing.T) {
+	r := NewRing(2, 32)
+	l := r.TryGet(16)
+	l.Retain()
+	l.Release()
+	l.Release()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double release of a ring slot must panic")
+			}
+		}()
+		l.Release()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("retain after free of a ring slot must panic")
+			}
+		}()
+		l.Retain()
+	}()
+}
+
+func TestRingRetireHookAndDepth(t *testing.T) {
+	r := NewRing(4, 16)
+	var mu sync.Mutex
+	retired := 0
+	r.OnRetire = func() { mu.Lock(); retired++; mu.Unlock() }
+	for i := 0; i < 3; i++ {
+		r.TryGet(8).Release()
+	}
+	mu.Lock()
+	got := retired
+	mu.Unlock()
+	if got != 3 {
+		t.Fatalf("OnRetire fired %d times, want 3", got)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(8, 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				l := r.TryGet(128)
+				if l == nil {
+					continue // full: fallback territory
+				}
+				b := l.Bytes()
+				b[0], b[127] = id, id
+				if b[0] != id || b[127] != id {
+					t.Errorf("slot storage raced: got %d,%d want %d", b[0], b[127], id)
+				}
+				l.Release()
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+	if d := r.Depth(); d != 0 {
+		t.Fatalf("Depth after quiesce = %d, want 0", d)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"encmpi/internal/mpi"
 	"encmpi/internal/obs"
+	"encmpi/internal/sched"
 	"encmpi/internal/session"
 )
 
@@ -102,6 +103,11 @@ func (e *Comm) open(wire mpi.Buffer, ctx *session.RecordCtx) (mpi.Buffer, error)
 		return plain, err
 	}
 	e.metrics.Open(wire.Len(), plain.Len(), ns)
+	if wire.TransportOwned() {
+		// The ciphertext never left the shm ring slot the sender sealed it
+		// into: this open read it in place.
+		e.metrics.OpenInPlace()
+	}
 	return plain, nil
 }
 
@@ -127,7 +133,72 @@ func (e *Comm) openInto(oi openerInto, dst []byte, wire mpi.Buffer, ctx *session
 		return n, err
 	}
 	e.metrics.Open(wire.Len(), n, ns)
+	if wire.TransportOwned() {
+		e.metrics.OpenInPlace()
+	}
 	return n, nil
+}
+
+// slotSealer is implemented by engines that can seal directly into
+// caller-provided storage (RealEngine): the shm ring's zero-copy leg, where
+// ciphertext lands straight in the transport slot the receiver will open
+// from (DESIGN.md §14).
+type slotSealer interface {
+	SealInto(proc sched.Proc, dst []byte, plain mpi.Buffer) (int, bool)
+}
+
+// slotSealerCtx is the context-binding variant (the session engine).
+type slotSealerCtx interface {
+	SealIntoCtx(proc sched.Proc, dst []byte, plain mpi.Buffer, ctx *session.RecordCtx) (int, bool)
+}
+
+// sealToSlot tries to seal buf directly into a transport-owned ring slot
+// addressed to dst, returning the slot-backed wire buffer and true on
+// success. The returned buffer owns one lease reference exactly like seal's
+// result, but its storage is shared with the receiver, so it must travel via
+// IsendOwned/SendOwned (no eager clone) and must not be mutated after
+// injection. Any miss — no slot-capable engine, no ring, ring full, payload
+// out of the eager window, or the engine declining — falls back to the
+// ordinary seal path with nothing accounted.
+func (e *Comm) sealToSlot(dst int, buf mpi.Buffer, ctx *session.RecordCtx) (mpi.Buffer, bool) {
+	if buf.IsSynthetic() || buf.Len() == 0 {
+		return mpi.Buffer{}, false
+	}
+	var (
+		ss  slotSealer
+		ssc slotSealerCtx
+	)
+	if e.ceng != nil {
+		if ssc, _ = e.ceng.(slotSealerCtx); ssc == nil {
+			return mpi.Buffer{}, false
+		}
+	} else if ss, _ = e.eng.(slotSealer); ss == nil {
+		return mpi.Buffer{}, false
+	}
+	slot, ok := e.c.AcquireSlot(dst, buf.Len()+e.eng.Overhead())
+	if !ok {
+		return mpi.Buffer{}, false
+	}
+	proc := e.c.Proc()
+	var start int64
+	if e.metrics != nil {
+		start = int64(proc.Now())
+	}
+	var n int
+	if ssc != nil {
+		n, ok = ssc.SealIntoCtx(proc, slot.Data, buf, ctx)
+	} else {
+		n, ok = ss.SealInto(proc, slot.Data, buf)
+	}
+	if !ok {
+		slot.Release()
+		return mpi.Buffer{}, false
+	}
+	if e.metrics != nil {
+		e.metrics.Seal(buf.Len(), n, int64(proc.Now())-start)
+		e.metrics.SealInPlace()
+	}
+	return slot.Prefix(n), true
 }
 
 // p2pSendCtx derives the record context of an outgoing point-to-point
@@ -199,7 +270,15 @@ func (e *Comm) Send(dst, tag int, buf mpi.Buffer) error {
 		_, _, err := e.Wait(req)
 		return err
 	}
-	wire := e.seal(buf, e.p2pSendCtx(dst, tag))
+	ctx := e.p2pSendCtx(dst, tag)
+	// Slot fast path: seal straight into a shm ring slot and inject it as-is
+	// (the receiver opens from the same storage — zero intermediate copies).
+	if wire, ok := e.sealToSlot(dst, buf, ctx); ok {
+		err := e.c.SendOwned(dst, tag, wire)
+		wire.Release()
+		return err
+	}
+	wire := e.seal(buf, ctx)
 	err := e.c.Send(dst, tag, wire)
 	wire.Release()
 	return err
@@ -217,8 +296,19 @@ func (e *Comm) Isend(dst, tag int, buf mpi.Buffer) *Request {
 	if chunkLen, count, ok := e.chunkPlan(buf.Len()); ok {
 		return e.isendChunked(dst, tag, buf, chunkLen, count)
 	}
-	wire := e.seal(buf, e.p2pSendCtx(dst, tag))
-	inner := e.c.Isend(dst, tag, wire)
+	ctx := e.p2pSendCtx(dst, tag)
+	var (
+		wire  mpi.Buffer
+		inner *mpi.Request
+	)
+	if w, ok := e.sealToSlot(dst, buf, ctx); ok {
+		// Slot fast path: the ciphertext already sits in a shm ring slot the
+		// receiver will open from — inject it without the eager clone.
+		wire, inner = w, e.c.IsendOwned(dst, tag, w)
+	} else {
+		wire = e.seal(buf, ctx)
+		inner = e.c.Isend(dst, tag, wire)
+	}
 	inner.SetOnComplete(func(*mpi.Request) { wire.Release() })
 	return &Request{inner: inner}
 }

@@ -136,6 +136,30 @@ func (e *RealEngine) Seal(_ sched.Proc, plain mpi.Buffer) mpi.Buffer {
 	return mpi.BytesWithLease(wire, lease)
 }
 
+// SealInto seals plain directly into dst — the transport-slot fast path of
+// the shm ring (DESIGN.md §14). dst must be sized for the wire form
+// (aead.WireLen of the plaintext); the wire length is returned. ok=false
+// means the seal could not land in place — synthetic plaintext, a too-small
+// dst, or a padding codec that outgrew dst and reallocated — and the caller
+// must fall back to Seal (dst's contents are then undefined and nothing was
+// accounted). A nonce may have been consumed on the realloc path; nonce
+// sources tolerate gaps.
+func (e *RealEngine) SealInto(_ sched.Proc, dst []byte, plain mpi.Buffer) (int, bool) {
+	if e.NoPool || plain.IsSynthetic() || aead.WireLen(plain.Len()) > len(dst) {
+		// NoPool is the allocate-per-call baseline: it must not dodge the
+		// allocation it exists to measure.
+		return 0, false
+	}
+	wire, err := aead.EncryptMessage(e.codec, e.nonce, dst[:0], plain.Data)
+	if err != nil {
+		panic(fmt.Sprintf("encmpi: nonce generation failed: %v", err))
+	}
+	if len(wire) > len(dst) || (len(wire) > 0 && &wire[0] != &dst[0]) {
+		return 0, false
+	}
+	return len(wire), true
+}
+
 // Open implements Engine. The plaintext buffer is drawn from the buffer pool;
 // the returned buffer carries one lease reference owned by the caller.
 func (e *RealEngine) Open(_ sched.Proc, wire mpi.Buffer) (mpi.Buffer, error) {

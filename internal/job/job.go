@@ -49,6 +49,12 @@ type Options struct {
 	// TCPSyncWrites disables the TCP transport's asynchronous wire engine,
 	// restoring the write-under-mutex baseline (the batching A/B toggle).
 	TCPSyncWrites bool
+	// ShmRingSlots and ShmRingSlotBytes configure the shm transport's
+	// zero-copy slot rings (DESIGN.md §14): 0 keeps the transport defaults,
+	// ShmRingSlots < 0 disables the rings (the seed's inline-copy baseline).
+	// Ignored by the other launchers.
+	ShmRingSlots     int
+	ShmRingSlotBytes int
 }
 
 // eager returns the effective eager threshold for a real launcher.
@@ -80,6 +86,9 @@ func RunShm(n int, body Body) error {
 func RunShmOpts(n int, opts Options, body Body) error {
 	tr := shm.New()
 	tr.SetMetrics(opts.Metrics)
+	if opts.ShmRingSlots != 0 || opts.ShmRingSlotBytes != 0 {
+		tr.SetRing(opts.ShmRingSlots, opts.ShmRingSlotBytes)
+	}
 	outer := opts.wrapFault(tr)
 	w := mpi.NewWorld(n, outer, opts.eager())
 	w.SetMetrics(opts.Metrics)

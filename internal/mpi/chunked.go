@@ -46,12 +46,15 @@ func (c *Comm) IsendChunks(dst, tag int, wireTotal, count int, src func(k int) (
 	st.mu.Lock()
 	st.rndvSend[seq] = req
 	st.mu.Unlock()
-	rts := &Msg{
+	rts := getMsg()
+	*rts = Msg{
 		Src: wsrc, Dst: wdst, Tag: tag, Ctx: c.ctxUser,
 		Kind: KindRTS, Seq: seq, Lane: c.lane, DataLen: wireTotal, Chunks: count,
 		Done: (*rtsDone)(req),
 	}
-	if err := c.w.tr.Send(c.proc, rts); err != nil {
+	err := c.w.tr.Send(c.proc, rts)
+	putMsg(rts)
+	if err != nil {
 		st.mu.Lock()
 		if !req.done {
 			delete(st.rndvSend, seq)
@@ -163,12 +166,14 @@ func (c *Comm) runChunkSend(u chunkUnit) {
 	}
 	var sendErr error
 	if srcErr == nil {
-		m := &Msg{
+		m := getMsg()
+		*m = Msg{
 			Src: st.rank, Dst: req.src, Tag: req.tag, Ctx: req.ctx,
 			Kind: KindDataSeg, Seq: req.seq, Lane: req.lane, DataLen: u.k, Chunks: cs.count,
 			Buf: buf, Done: (*chunkDone)(req),
 		}
 		sendErr = c.w.tr.Send(c.proc, m)
+		putMsg(m)
 		buf.Release()
 	}
 	st.mu.Lock()

@@ -83,21 +83,29 @@ func (st *rankState) matchUnexpectedLocked(req *Request) *Msg {
 }
 
 // Deliver is the transport's arrival callback. It runs the protocol state
-// machine for one incoming message. It never blocks; protocol follow-ups
-// (CTS, DATA) are sent after the state lock is released.
+// machine for one incoming message and reports whether the matcher accepted
+// it: false for strays, so transports can attribute receiver-side accounting
+// only to traffic that actually reached a protocol exchange. It never
+// blocks; protocol follow-ups (CTS, DATA) are sent after the state lock is
+// released.
+//
+// Deliver does not keep m: the caller owns the struct and may reuse it the
+// moment Deliver returns (the Transport contract). Messages that must
+// outlive the call — the unexpected queue — are stored as private pooled
+// copies holding their own payload reference.
 //
 // Deliver is a trust boundary: over a real transport its input is whatever
 // arrived on the wire, so a message that does not fit the protocol state —
 // out-of-range ranks, a CTS or DATA for an unknown exchange (duplicated,
 // replayed, or forged), an unknown kind — is discarded and counted as
 // stray, never panicked on.
-func (w *World) Deliver(m *Msg) {
+func (w *World) Deliver(m *Msg) bool {
 	if m.Dst < 0 || m.Dst >= len(w.states) || m.Src < 0 || m.Src >= len(w.states) {
 		// No valid destination rank to charge this to: it is a world-level
 		// unattributed stray in the metrics.
 		w.stray.Add(1)
 		w.metrics.UnattributedStray()
-		return
+		return false
 	}
 	st := w.states[m.Dst]
 	stray := func() {
@@ -119,11 +127,15 @@ func (w *World) Deliver(m *Msg) {
 			req.completeRecvLocked(m)
 			wake = st.proc
 		} else {
-			// The queue stores the message beyond this call: take a
-			// reference on its payload (released when the queue hands the
-			// message to a matching receive).
-			m.Buf.Retain()
-			st.unexpected = append(st.unexpected, m)
+			// The queue stores the message beyond this call, but the caller
+			// owns m: queue a pooled private copy with its own payload
+			// reference (both released when the queue hands the message to a
+			// matching receive, which then recycles the copy).
+			qm := getMsg()
+			*qm = *m
+			qm.Done = nil
+			qm.Buf.Retain()
+			st.unexpected = append(st.unexpected, qm)
 			// A rank polling with Probe-like loops may be parked; wake it so
 			// wildcard receives posted later can still make progress.
 			wake = st.proc
@@ -135,7 +147,8 @@ func (w *World) Deliver(m *Msg) {
 			req.armChunksLocked(m)
 			st.rndvRecv[m.Seq] = req
 			failon = req
-			followup = &Msg{
+			followup = getMsg()
+			*followup = Msg{
 				Src: m.Dst, Dst: m.Src, Tag: m.Tag, Ctx: m.Ctx,
 				Kind: KindCTS, Seq: m.Seq, Lane: m.Lane,
 				// A queued CTS that later dies on the wire leaves the sender
@@ -143,7 +156,12 @@ func (w *World) Deliver(m *Msg) {
 				Done: (*ctsDone)(req),
 			}
 		} else {
-			st.unexpected = append(st.unexpected, m)
+			// Same copy-on-queue rule as the eager branch (an RTS carries no
+			// payload, so there is no reference to take).
+			qm := getMsg()
+			*qm = *m
+			qm.Done = nil
+			st.unexpected = append(st.unexpected, qm)
 			wake = st.proc
 		}
 
@@ -152,7 +170,7 @@ func (w *World) Deliver(m *Msg) {
 		if !ok {
 			st.mu.Unlock()
 			stray()
-			return
+			return false
 		}
 		delete(st.rndvSend, m.Seq)
 		if cs := req.chunks; cs != nil {
@@ -173,7 +191,8 @@ func (w *World) Deliver(m *Msg) {
 		// frame that dies on the wire fails the send the same way a
 		// synchronous write failure would.
 		failon = req
-		followup = &Msg{
+		followup = getMsg()
+		*followup = Msg{
 			Src: st.rank, Dst: m.Src, Tag: req.tag, Ctx: req.ctx,
 			Kind: KindData, Seq: m.Seq, Lane: req.lane, Buf: req.buf,
 			Done: (*sendDone)(req),
@@ -184,7 +203,7 @@ func (w *World) Deliver(m *Msg) {
 		if !ok {
 			st.mu.Unlock()
 			stray()
-			return
+			return false
 		}
 		delete(st.rndvRecv, m.Seq)
 		if req.chunks != nil {
@@ -210,7 +229,7 @@ func (w *World) Deliver(m *Msg) {
 			// a replay, or a forgery. Discard, never panic.
 			st.mu.Unlock()
 			stray()
-			return
+			return false
 		}
 		if req.done {
 			// The exchange already failed locally (a sink error, a malformed
@@ -219,7 +238,7 @@ func (w *World) Deliver(m *Msg) {
 			delete(st.rndvRecv, m.Seq)
 			st.mu.Unlock()
 			stray()
-			return
+			return false
 		}
 		wake = st.proc
 		switch k := m.DataLen; {
@@ -269,7 +288,7 @@ func (w *World) Deliver(m *Msg) {
 	default:
 		st.mu.Unlock()
 		stray()
-		return
+		return false
 	}
 	st.mu.Unlock()
 
@@ -286,8 +305,10 @@ func (w *World) Deliver(m *Msg) {
 			st.mu.Unlock()
 			wake = st.proc
 		}
+		putMsg(followup)
 	}
 	if wake != nil {
 		wake.Unpark()
 	}
+	return true
 }

@@ -123,6 +123,12 @@ func (b Buffer) Retain() { b.lease.Retain() }
 // collector.
 func (b Buffer) Release() { b.lease.Release() }
 
+// TransportOwned reports whether the buffer's storage is a transport slab
+// slot (an shm ring) rather than pooled or GC'd memory — i.e. the receive
+// path handed over the sender's bytes in place, with zero intermediate
+// copies. The encrypted layer uses it to count in-place opens.
+func (b Buffer) TransportOwned() bool { return b.lease.RingBacked() }
+
 // SharesStorage reports whether two buffers are backed by the same pool
 // lease (both having no lease also counts as sharing: releasing either is a
 // no-op). The encrypted layer uses it to avoid recycling a wire buffer whose
@@ -246,8 +252,29 @@ var ErrTransport = errors.New("mpi: transport failure")
 // as Send returns. A transport that accepts a message (returns nil) and
 // later discovers it cannot reach the wire must invoke m.Done.Failed exactly
 // once with the failure, so the error lands on the request that sent it.
+//
+// The *Msg itself is owned by the caller for the duration of the call only:
+// neither Send nor the Deliver it triggers may keep the pointer after
+// returning (Deliver queues private copies; an asynchronous transport copies
+// the fields it needs into its own frames). This is what lets the protocol
+// recycle Msg structs through a pool on the hot path.
 type Transport interface {
 	Send(from sched.Proc, m *Msg) error
+}
+
+// SlotWriter is implemented by transports that own eager payload storage — an
+// shm slab ring — and can lease a slot for the sender to write (or seal) the
+// payload directly into, eliminating the intermediate eager clone.
+type SlotWriter interface {
+	// AcquireSlot leases transport-owned storage for an n-byte payload from
+	// world rank src to dst. The returned buffer carries one lease reference
+	// owned by the caller, exactly like Buffer.Clone: the caller fills it,
+	// sends it with eager-injected semantics, and releases its reference; the
+	// matcher's retain/release discipline recycles the slot. ok is false when
+	// the transport has nothing to offer for this pair or size (no ring,
+	// oversize payload, ring full) and the caller must fall back to pooled
+	// storage — AcquireSlot never blocks.
+	AcquireSlot(src, dst, n int) (Buffer, bool)
 }
 
 // transportErr wraps a transport Send failure into the ErrTransport family.
@@ -267,6 +294,9 @@ type World struct {
 	size  int
 	eager int
 	tr    Transport
+	// slot is the transport's slot-leasing face, when it has one (discovered
+	// once at construction; a fault-injecting wrapper forwards it).
+	slot SlotWriter
 
 	states []*rankState
 
@@ -302,6 +332,9 @@ func NewWorld(size int, tr Transport, eagerThreshold int) *World {
 		panic("mpi: world size must be positive")
 	}
 	w := &World{size: size, eager: eagerThreshold, tr: tr}
+	if sw, ok := tr.(SlotWriter); ok {
+		w.slot = sw
+	}
 	w.states = make([]*rankState, size)
 	for i := range w.states {
 		w.states[i] = newRankState(i)
@@ -431,6 +464,18 @@ func (c *Comm) CommRank(world int) (int, bool) {
 
 // Lane returns the lane this communicator's traffic travels on.
 func (c *Comm) Lane() uint16 { return c.lane }
+
+// AcquireSlot leases transport-owned eager storage for an n-byte payload to
+// dst (comm numbering), when the transport offers slots and n is inside the
+// eager protocol regime. The encrypted layer seals ciphertext directly into
+// the slot and sends it with IsendOwned — the zero-copy eager path. ok false
+// means "use pooled storage"; it never blocks.
+func (c *Comm) AcquireSlot(dst, n int) (Buffer, bool) {
+	if c.w.slot == nil || n <= 0 || n >= c.w.eager {
+		return Buffer{}, false
+	}
+	return c.w.slot.AcquireSlot(c.st.rank, c.worldOf(dst), n)
+}
 
 // WithLane returns a view of this communicator whose traffic is isolated on
 // the given lane: its sends are stamped with the lane and its receives only

@@ -12,20 +12,40 @@ func (c *Comm) Isend(dst, tag int, buf Buffer) *Request {
 	return c.isend(dst, tag, c.ctxUser, buf)
 }
 
+// IsendOwned is Isend for a payload the caller guarantees stays immutable
+// and private until the send completes — sealed ciphertext in a pooled or
+// transport-slot buffer. The eager path injects the buffer itself instead of
+// cloning it (the matcher retains it on behalf of the receiver; the caller
+// releases its own reference after completion, exactly as with rendezvous),
+// which is the zero-copy leg of the shm ring path. Rendezvous behaves like
+// Isend. The buffer should carry a pool lease: a leaseless owned buffer
+// would leave the receiver's payload aliasing the caller's storage
+// indefinitely.
+func (c *Comm) IsendOwned(dst, tag int, buf Buffer) *Request {
+	return c.isendMode(dst, tag, c.ctxUser, buf, true)
+}
+
 func (c *Comm) isend(dst, tag, ctx int, buf Buffer) *Request {
+	return c.isendMode(dst, tag, ctx, buf, false)
+}
+
+func (c *Comm) isendMode(dst, tag, ctx int, buf Buffer, owned bool) *Request {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
 	c.metrics.Op(obs.OpIsend)
 	wdst := c.worldOf(dst)
 	wsrc := c.st.rank
-	req := &Request{kind: reqSend, src: wdst, tag: tag, ctx: ctx, lane: c.lane, owner: c.st, comm: c}
+	req := getRequest()
+	*req = Request{kind: reqSend, src: wdst, tag: tag, ctx: ctx, lane: c.lane, owner: c.st, comm: c}
 
 	if buf.Len() < c.w.eager {
-		// Eager: inject immediately; the payload is cloned so the caller may
-		// reuse its buffer, which is exactly MPI's buffered-eager semantics.
-		// The clone is pooled: the protocol retains it on delivery if it is
-		// kept, so the creator reference can be dropped once Send returns.
+		// Eager: inject immediately; the payload is captured (a transport
+		// slot or a pooled clone) so the caller may reuse its buffer, which
+		// is exactly MPI's buffered-eager semantics — unless the caller
+		// declared the buffer owned, in which case it travels as-is. The
+		// protocol retains the capture on delivery if it is kept, so the
+		// creator reference can be dropped once Send returns.
 		//
 		// The request completes when the transport signals local completion —
 		// synchronously inside Send for the in-process transport, after the
@@ -33,13 +53,20 @@ func (c *Comm) isend(dst, tag, ctx int, buf Buffer) *Request {
 		// later dies on a broken connection fails exactly this request
 		// (OnError) instead of vanishing after an optimistic completion.
 		st := c.st
-		clone := buf.Clone()
-		m := &Msg{
-			Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindEager, Lane: c.lane, Buf: clone,
+		inj := buf
+		if !owned {
+			inj = c.eagerCapture(wsrc, wdst, buf)
+		}
+		m := getMsg()
+		*m = Msg{
+			Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindEager, Lane: c.lane, Buf: inj,
 			Done: (*sendDone)(req),
 		}
 		err := c.w.tr.Send(c.proc, m)
-		clone.Release()
+		putMsg(m)
+		if !owned {
+			inj.Release()
+		}
 		if err != nil {
 			st.mu.Lock()
 			if !req.done {
@@ -59,13 +86,16 @@ func (c *Comm) isend(dst, tag, ctx int, buf Buffer) *Request {
 	st.mu.Lock()
 	st.rndvSend[seq] = req
 	st.mu.Unlock()
-	rts := &Msg{
+	rts := getMsg()
+	*rts = Msg{
 		Src: wsrc, Dst: wdst, Tag: tag, Ctx: ctx, Kind: KindRTS, Seq: seq, Lane: c.lane, DataLen: buf.Len(),
 		// A queued RTS that dies on the wire means the receiver will never
 		// answer with a CTS: fail the send instead of parking it forever.
 		Done: (*rtsDone)(req),
 	}
-	if err := c.w.tr.Send(c.proc, rts); err != nil {
+	err := c.w.tr.Send(c.proc, rts)
+	putMsg(rts)
+	if err != nil {
 		st.mu.Lock()
 		if !req.done {
 			delete(st.rndvSend, seq)
@@ -76,13 +106,39 @@ func (c *Comm) isend(dst, tag, ctx int, buf Buffer) *Request {
 	return req
 }
 
+// eagerCapture copies an eager payload into storage the protocol may keep:
+// a transport-owned slot when the transport offers one (a single copy
+// straight into the shm ring slab), else a pooled clone. The returned buffer
+// carries one reference owned by the caller either way.
+func (c *Comm) eagerCapture(wsrc, wdst int, buf Buffer) Buffer {
+	if c.w.slot != nil && !buf.IsSynthetic() && buf.N > 0 {
+		if s, ok := c.w.slot.AcquireSlot(wsrc, wdst, buf.N); ok {
+			copy(s.Data, buf.Data)
+			return s
+		}
+	}
+	return buf.Clone()
+}
+
 // Send is the blocking send: it returns when the buffer is reusable. A
 // non-nil error matches ErrTransport and means the message never left this
 // rank cleanly (the connection was missing or the write failed).
 func (c *Comm) Send(dst, tag int, buf Buffer) error {
 	req := c.Isend(dst, tag, buf)
 	c.Wait(req)
-	return req.Err()
+	err := req.Err()
+	putRequest(req)
+	return err
+}
+
+// SendOwned is the blocking form of IsendOwned: it returns once the owned
+// buffer's send has completed (the caller may then release its reference).
+func (c *Comm) SendOwned(dst, tag int, buf Buffer) error {
+	req := c.IsendOwned(dst, tag, buf)
+	c.Wait(req)
+	err := req.Err()
+	putRequest(req)
+	return err
 }
 
 // Irecv posts a non-blocking receive matching (src, tag); src may be
@@ -112,7 +168,8 @@ func (c *Comm) irecvSink(src, tag, ctx int, sink ChunkSink) *Request {
 	if src != AnySource {
 		wsrc = c.worldOf(src)
 	}
-	req := &Request{kind: reqRecv, src: wsrc, tag: tag, ctx: ctx, lane: c.lane, owner: c.st, comm: c, sink: sink}
+	req := getRequest()
+	*req = Request{kind: reqRecv, src: wsrc, tag: tag, ctx: ctx, lane: c.lane, owner: c.st, comm: c, sink: sink}
 
 	st := c.st
 	var cts *Msg
@@ -121,19 +178,23 @@ func (c *Comm) irecvSink(src, tag, ctx int, sink ChunkSink) *Request {
 		switch m.Kind {
 		case KindEager:
 			// completeRecvLocked retains the payload for the request; the
-			// unexpected queue's reference is dropped after the transfer.
+			// unexpected queue's reference is dropped after the transfer and
+			// the queue's pooled Msg copy recycles.
 			req.completeRecvLocked(m)
 			m.Buf.Release()
+			putMsg(m)
 		case KindRTS:
 			req.seq = m.Seq
 			req.armChunksLocked(m)
 			st.rndvRecv[m.Seq] = req
-			cts = &Msg{
+			cts = getMsg()
+			*cts = Msg{
 				Src: c.st.rank, Dst: m.Src, Tag: m.Tag, Ctx: m.Ctx, Kind: KindCTS, Seq: m.Seq, Lane: m.Lane,
 				// A queued CTS that dies on the wire means the sender will
 				// never transmit: fail the receive instead of parking forever.
 				Done: (*ctsDone)(req),
 			}
+			putMsg(m)
 		default:
 			st.mu.Unlock()
 			panic(fmt.Sprintf("mpi: %v message in unexpected queue", m.Kind))
@@ -144,7 +205,9 @@ func (c *Comm) irecvSink(src, tag, ctx int, sink ChunkSink) *Request {
 	st.mu.Unlock()
 
 	if cts != nil {
-		if err := c.w.tr.Send(c.proc, cts); err != nil {
+		err := c.w.tr.Send(c.proc, cts)
+		putMsg(cts)
+		if err != nil {
 			// The sender will never learn it may transmit: fail the receive
 			// instead of leaving it parked forever.
 			st.mu.Lock()
@@ -252,7 +315,10 @@ func (c *Comm) Waitall(reqs []*Request) error {
 
 // Recv is the blocking receive.
 func (c *Comm) Recv(src, tag int) (Buffer, Status) {
-	return c.Wait(c.Irecv(src, tag))
+	req := c.Irecv(src, tag)
+	buf, status := c.Wait(req)
+	putRequest(req)
+	return buf, status
 }
 
 // Sendrecv performs the classic exchange: a send and a receive that progress
@@ -262,6 +328,8 @@ func (c *Comm) Sendrecv(dst, sendTag int, sendBuf Buffer, src, recvTag int) (Buf
 	sreq := c.Isend(dst, sendTag, sendBuf)
 	buf, status := c.Wait(rreq)
 	c.Wait(sreq)
+	putRequest(rreq)
+	putRequest(sreq)
 	return buf, status
 }
 
@@ -271,6 +339,8 @@ func (c *Comm) sendrecvCtx(dst, sendTag int, sendBuf Buffer, src, recvTag, ctx i
 	sreq := c.isend(dst, sendTag, ctx, sendBuf)
 	buf, status := c.Wait(rreq)
 	c.Wait(sreq)
+	putRequest(rreq)
+	putRequest(sreq)
 	return buf, status
 }
 

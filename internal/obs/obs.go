@@ -84,6 +84,9 @@ type Rank struct {
 	seals, opens, authFailures                       atomic.Uint64
 	plainSealed, wireSealed, wireOpened, plainOpened atomic.Uint64
 	sealNanos, openNanos                             atomic.Int64
+	// Zero-copy accounting: seals that wrote ciphertext directly into a
+	// transport slot and opens that read it in place (DESIGN.md §14).
+	sealsInPlace, opensInPlace atomic.Uint64
 
 	// Chunked-rendezvous pipeline accounting (DESIGN.md §12): chunk frames
 	// produced and consumed, the high-water mark of chunks in flight on the
@@ -215,6 +218,24 @@ func (r *Rank) PipeOpenOverlap(ns int64) {
 	r.pipeOpenOverlap.Add(ns)
 }
 
+// SealInPlace marks the most recent Seal as having written its ciphertext
+// directly into transport-owned slot storage (no intermediate wire buffer).
+func (r *Rank) SealInPlace() {
+	if r == nil {
+		return
+	}
+	r.sealsInPlace.Add(1)
+}
+
+// OpenInPlace marks the most recent Open as having read its ciphertext from
+// transport-owned slot storage — the sender's bytes, opened where they lie.
+func (r *Rank) OpenInPlace() {
+	if r == nil {
+		return
+	}
+	r.opensInPlace.Add(1)
+}
+
 // AuthFailure records a failed Open (authentication or malformed wire). The
 // time is still charged to openNanos: the cipher ran before it rejected.
 func (r *Rank) AuthFailure(ns int64) {
@@ -251,6 +272,15 @@ type Registry struct {
 	wireInterleaves atomic.Uint64 // batches re-ordered for cross-lane fairness
 	wireBatchFrames Hist          // frames per flush (coalescing factor)
 	wireBatchBytes  Hist          // bytes per flush
+
+	// Shm ring accounting (the per-pair slab rings, DESIGN.md §14). World
+	// level: a ring belongs to a rank pair, not a rank. Acquired minus
+	// retired is the live-slot depth gauge.
+	ringCount     atomic.Uint64 // rings created (pairs that touched one)
+	ringSlabBytes atomic.Uint64 // total slab bytes reserved by those rings
+	ringAcquired  atomic.Uint64 // slots claimed
+	ringRetired   atomic.Uint64 // slots returned to circulation
+	ringFallbacks atomic.Uint64 // acquisitions refused (full ring / no budget)
 
 	// Per-session crypto accounting (one scope per attached session id).
 	sessMu   sync.Mutex
@@ -468,4 +498,41 @@ func (g *Registry) WireLaneInterleave() {
 		return
 	}
 	g.wireInterleaves.Add(1)
+}
+
+// RingCreated records one slab ring lazily built for a rank pair and the
+// slab bytes it reserved.
+func (g *Registry) RingCreated(slabBytes int) {
+	if g == nil {
+		return
+	}
+	g.ringCount.Add(1)
+	g.ringSlabBytes.Add(uint64(slabBytes))
+}
+
+// RingAcquired records one ring slot claimed by a sender (raises the
+// depth gauge; RingRetired lowers it).
+func (g *Registry) RingAcquired() {
+	if g == nil {
+		return
+	}
+	g.ringAcquired.Add(1)
+}
+
+// RingRetired records one ring slot returning to circulation (the last
+// lease reference dropped).
+func (g *Registry) RingRetired() {
+	if g == nil {
+		return
+	}
+	g.ringRetired.Add(1)
+}
+
+// RingFallback records an acquisition the ring refused (full, or the pair
+// priced out of the slab budget): the sender fell back to pooled storage.
+func (g *Registry) RingFallback() {
+	if g == nil {
+		return
+	}
+	g.ringFallbacks.Add(1)
 }

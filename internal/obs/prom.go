@@ -85,6 +85,14 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			fmt.Sprintf(`rank="%d",dir="open"`, r.Rank), uint64(r.Crypto.OpenNanos))
 	}
 
+	pw.header("encmpi_crypto_in_place_total", "counter", "Seals/opens done directly in transport-owned slots per rank and direction.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_crypto_in_place_total",
+			fmt.Sprintf(`rank="%d",dir="seal"`, r.Rank), r.Crypto.SealsInPlace)
+		pw.counter("encmpi_crypto_in_place_total",
+			fmt.Sprintf(`rank="%d",dir="open"`, r.Rank), r.Crypto.OpensInPlace)
+	}
+
 	pw.header("encmpi_pipeline_chunks_total", "counter", "Chunked-rendezvous chunks per rank and direction.")
 	for _, r := range s.Ranks {
 		pw.counter("encmpi_pipeline_chunks_total",
@@ -134,6 +142,18 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	pw.counter("encmpi_wire_lane_interleaves_total", "", s.Wire.LaneInterleave)
 	pw.wholeJobHistogram("encmpi_wire_batch_frames", "Frames per wire-engine flush.", s.Wire.BatchFrames)
 	pw.wholeJobHistogram("encmpi_wire_batch_bytes", "Bytes per wire-engine flush.", s.Wire.BatchBytes)
+
+	pw.header("encmpi_shm_rings_total", "counter", "Shared-memory slot rings created (whole job).")
+	pw.counter("encmpi_shm_rings_total", "", s.Ring.Rings)
+	pw.header("encmpi_shm_ring_slab_bytes", "gauge", "Bytes committed to ring slabs (whole job).")
+	pw.printf("encmpi_shm_ring_slab_bytes %d\n", s.Ring.SlabBytes)
+	pw.header("encmpi_shm_ring_slots_total", "counter", "Ring slot leases per direction (whole job).")
+	pw.counter("encmpi_shm_ring_slots_total", `dir="acquired"`, s.Ring.Acquired)
+	pw.counter("encmpi_shm_ring_slots_total", `dir="retired"`, s.Ring.Retired)
+	pw.header("encmpi_shm_ring_fallbacks_total", "counter", "Slot requests that fell back to the heap pool (whole job).")
+	pw.counter("encmpi_shm_ring_fallbacks_total", "", s.Ring.Fallbacks)
+	pw.header("encmpi_shm_ring_depth", "gauge", "Ring slots acquired but not yet retired (whole job).")
+	pw.printf("encmpi_shm_ring_depth %d\n", s.Ring.Depth)
 
 	if len(s.Sessions) > 0 {
 		sessLabel := func(id string) string { return fmt.Sprintf(`session=%q`, id) }

@@ -28,6 +28,10 @@ type CryptoSnapshot struct {
 	PlainOpened  uint64 `json:"plain_bytes_opened"`
 	SealNanos    int64  `json:"seal_nanos"`
 	OpenNanos    int64  `json:"open_nanos"`
+	// Zero-copy split: seals written directly into transport slots, opens
+	// read from them in place (subsets of Seals and Opens).
+	SealsInPlace uint64 `json:"seals_in_place,omitempty"`
+	OpensInPlace uint64 `json:"opens_in_place,omitempty"`
 }
 
 // PipelineSnapshot is one rank's chunked-rendezvous pipeline accounting
@@ -105,6 +109,33 @@ func (w WireSnapshot) merge(o WireSnapshot) WireSnapshot {
 	}
 }
 
+// RingSnapshot is the shared-memory slot-ring accounting, frozen at snapshot
+// time. Acquired/Retired count slot leases over the registry's lifetime;
+// Depth = Acquired - Retired is the in-flight gauge (slots sealed but not yet
+// retired by the receiver). Fallbacks counts sends that wanted a slot but hit
+// a full ring (or a budget-priced-out pair) and fell back to the heap pool.
+type RingSnapshot struct {
+	Rings     uint64 `json:"rings"`
+	SlabBytes uint64 `json:"slab_bytes"`
+	Acquired  uint64 `json:"acquired"`
+	Retired   uint64 `json:"retired"`
+	Fallbacks uint64 `json:"fallbacks"`
+	Depth     int64  `json:"depth"`
+}
+
+// merge returns a+b (the depth gauge adds; two registries sharing one job
+// each see their own in-flight slots).
+func (r RingSnapshot) merge(o RingSnapshot) RingSnapshot {
+	return RingSnapshot{
+		Rings:     r.Rings + o.Rings,
+		SlabBytes: r.SlabBytes + o.SlabBytes,
+		Acquired:  r.Acquired + o.Acquired,
+		Retired:   r.Retired + o.Retired,
+		Fallbacks: r.Fallbacks + o.Fallbacks,
+		Depth:     r.Depth + o.Depth,
+	}
+}
+
 // SessionSnapshot is one session's crypto accounting frozen at snapshot
 // time. AuthFailures counts every AAD-layer rejection; ReplayRejected and
 // StaleEpoch break out the causes the session layer can name (both are also
@@ -148,6 +179,7 @@ type Snapshot struct {
 	FaultsInjected     uint64            `json:"faults_injected"`
 	UnattributedStrays uint64            `json:"unattributed_strays"`
 	Wire               WireSnapshot      `json:"wire"`
+	Ring               RingSnapshot      `json:"ring"`
 	Total              RankSnapshot      `json:"total"`
 }
 
@@ -173,6 +205,8 @@ func (r *Rank) snapshot() RankSnapshot {
 			PlainOpened:  r.plainOpened.Load(),
 			SealNanos:    r.sealNanos.Load(),
 			OpenNanos:    r.openNanos.Load(),
+			SealsInPlace: r.sealsInPlace.Load(),
+			OpensInPlace: r.opensInPlace.Load(),
 		},
 		Pipeline: PipelineSnapshot{
 			ChunksSent:       r.pipeChunksSent.Load(),
@@ -220,6 +254,8 @@ func mergeRank(a, b RankSnapshot) RankSnapshot {
 			PlainOpened:  a.Crypto.PlainOpened + b.Crypto.PlainOpened,
 			SealNanos:    a.Crypto.SealNanos + b.Crypto.SealNanos,
 			OpenNanos:    a.Crypto.OpenNanos + b.Crypto.OpenNanos,
+			SealsInPlace: a.Crypto.SealsInPlace + b.Crypto.SealsInPlace,
+			OpensInPlace: a.Crypto.OpensInPlace + b.Crypto.OpensInPlace,
 		},
 		Pipeline:    a.Pipeline.merge(b.Pipeline),
 		SentSizes:   a.SentSizes.merge(b.SentSizes),
@@ -273,6 +309,15 @@ func (g *Registry) Snapshot() Snapshot {
 		BatchFrames:    g.wireBatchFrames.snapshot(),
 		BatchBytes:     g.wireBatchBytes.snapshot(),
 	}
+	acq, ret := g.ringAcquired.Load(), g.ringRetired.Load()
+	s.Ring = RingSnapshot{
+		Rings:     g.ringCount.Load(),
+		SlabBytes: g.ringSlabBytes.Load(),
+		Acquired:  acq,
+		Retired:   ret,
+		Fallbacks: g.ringFallbacks.Load(),
+		Depth:     int64(acq) - int64(ret),
+	}
 	g.sessMu.Lock()
 	for id, sc := range g.sessions {
 		s.Sessions = append(s.Sessions, SessionSnapshot{
@@ -320,6 +365,7 @@ func Merge(a, b Snapshot) Snapshot {
 		FaultsInjected:     a.FaultsInjected + b.FaultsInjected,
 		UnattributedStrays: a.UnattributedStrays + b.UnattributedStrays,
 		Wire:               a.Wire.merge(b.Wire),
+		Ring:               a.Ring.merge(b.Ring),
 	}
 	out.Total.Rank = -1
 	for _, id := range ids {
@@ -420,6 +466,14 @@ func (s Snapshot) Digest() string {
 		if w.LaneInterleave > 0 {
 			fmt.Fprintf(&b, "wire lane interleaves: %d\n", w.LaneInterleave)
 		}
+	}
+	if rg := s.Ring; rg.Rings > 0 || rg.Acquired > 0 {
+		fmt.Fprintf(&b, "shm rings: %d (%d slab bytes)  slots: %d acquired / %d retired (depth %d)  fallbacks: %d\n",
+			rg.Rings, rg.SlabBytes, rg.Acquired, rg.Retired, rg.Depth, rg.Fallbacks)
+	}
+	if c := s.Total.Crypto; c.SealsInPlace+c.OpensInPlace > 0 {
+		fmt.Fprintf(&b, "zero-copy crypto: %d seals in place / %d opens in place\n",
+			c.SealsInPlace, c.OpensInPlace)
 	}
 	for _, ss := range s.Sessions {
 		fmt.Fprintf(&b, "session %s: epoch %d  sealed %d  opened %d  rekeys %d  rejected %d (%d replay, %d stale epoch)\n",

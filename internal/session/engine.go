@@ -88,6 +88,37 @@ func (e *Engine) SealCtx(_ sched.Proc, plain mpi.Buffer, ctx *RecordCtx) mpi.Buf
 	return mpi.BytesWithLease(wire, lease)
 }
 
+// SealIntoCtx is SealCtx sealing directly into dst — the transport-slot fast
+// path of the shm ring. dst must be sized for the wire form; the wire length
+// is returned. ok=false means the record could not land in place (synthetic
+// plaintext, a too-small dst, or a codec that outgrew dst) and the caller
+// must fall back to SealCtx; dst's contents are then undefined, nothing was
+// accounted, and the sequence number consumed on the overgrowth path simply
+// leaves a gap the replay window tolerates.
+func (e *Engine) SealIntoCtx(_ sched.Proc, dst []byte, plain mpi.Buffer, ctx *RecordCtx) (int, bool) {
+	if plain.IsSynthetic() || aead.WireLen(plain.Len()) > len(dst) {
+		return 0, false
+	}
+	s := e.s
+	ep, src := s.sealState()
+	var raw RecordCtx
+	if ctx == nil {
+		raw = RecordCtx{Op: OpRaw, Src: src, Dst: Wildcard}
+		ctx = &raw
+	}
+	seq := ep.seq.Add(1)
+	var ab [aadLen]byte
+	aadB := appendAAD(ab[:0], s.id, ep.n, seq, ctx)
+	nb := dst[:aead.NonceSize]
+	putNonce(nb, ctx.Src, ep.n, seq)
+	wire := ep.codec.SealAAD(nb, nb, plain.Data, aadB)
+	if len(wire) > len(dst) || (len(wire) > 0 && &wire[0] != &dst[0]) {
+		return 0, false
+	}
+	s.scope.Sealed()
+	return len(wire), true
+}
+
 // OpenCtx authenticates and decrypts a record against the context the
 // receiver derived for it. Any mismatch — wrong session, wrong epoch key,
 // swapped src/dst, spliced chunk index, replayed seq — fails exactly like a

@@ -213,6 +213,17 @@ func (t *Transport) Flush() error {
 	return nil
 }
 
+// AcquireSlot forwards slot leasing to the inner transport when it offers
+// it, so fault sweeps layered over the shm ring transport still exercise
+// the zero-copy slot path — the adversary attacks frames in flight, not the
+// sender's storage (its tampering modes always mutate detached copies).
+func (t *Transport) AcquireSlot(src, dst, n int) (mpi.Buffer, bool) {
+	if sw, ok := t.inner.(mpi.SlotWriter); ok {
+		return sw.AcquireSlot(src, dst, n)
+	}
+	return mpi.Buffer{}, false
+}
+
 // Send implements mpi.Transport. All decisions happen under the lock; the
 // actual inner sends happen outside it, because delivery can reenter this
 // transport with protocol follow-ups (CTS, DATA). Inner transport failures
@@ -414,4 +425,7 @@ func extended(m *mpi.Msg, k int) *mpi.Msg {
 	return &mm
 }
 
-var _ mpi.Transport = (*Transport)(nil)
+var (
+	_ mpi.Transport  = (*Transport)(nil)
+	_ mpi.SlotWriter = (*Transport)(nil)
+)

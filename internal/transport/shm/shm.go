@@ -1,29 +1,106 @@
-// Package shm is the in-process transport: messages are handed to the
-// destination rank's matching engine synchronously on the sender's
-// goroutine. It is the fastest and simplest transport, used by unit tests
-// and by real-crypto experiments where the network should cost nothing.
-// Per-pair FIFO ordering holds trivially because delivery is inline.
+// Package shm is the in-process shared-memory transport. Delivery is still
+// synchronous on the sender's goroutine — per-(src,dst) FIFO holds trivially,
+// and therefore per-lane FIFO too, since every lane of a pair shares the one
+// delivery path — but payload *placement* is not the seed's pooled-clone
+// scheme anymore: each rank pair lazily owns a fixed slab ring
+// (bufpool.Ring, the libhear mpool shape) that the sender's engine seals
+// eager payloads directly into and the receiver opens in place, so an
+// encrypted eager message crosses ranks with zero intermediate copies
+// (DESIGN.md §14). Payloads above the slot size, and eager traffic that
+// finds its ring full, fall back to the ordinary pooled path; rendezvous
+// chunking above the eager threshold is untouched.
 package shm
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 
+	"encmpi/internal/bufpool"
 	"encmpi/internal/mpi"
 	"encmpi/internal/obs"
 	"encmpi/internal/sched"
 )
 
-// Transport delivers messages inline.
+// Default ring geometry: enough slots that a ping-pong pair never stalls,
+// slot size matching the default eager threshold so the whole eager regime
+// is slot-eligible, and a total slab budget that keeps large worlds (an
+// n²-pair alltoall) from reserving gigabytes — pairs beyond the budget
+// simply use the pooled fallback.
+const (
+	DefaultRingSlots     = 16
+	DefaultRingSlotBytes = 64 << 10
+	DefaultRingBudget    = 64 << 20
+)
+
+// Transport delivers messages inline and leases ring slots to senders.
 type Transport struct {
 	w       *mpi.World
 	metrics *obs.Registry
+
+	// Ring geometry, fixed before Bind. slots == 0 disables rings entirely
+	// (the seed-style pooled transport, kept reachable for A/B benchmarks).
+	slots     int
+	slotBytes int
+	budget    int64
+
+	n     int                         // world size, set at Bind
+	rings []atomic.Pointer[ringEntry] // n*n lazily created per-pair rings
+
+	mu        sync.Mutex // guards ring creation and the budget
+	slabBytes int64
 }
 
-// New creates an unbound transport; call Bind before use.
-func New() *Transport { return &Transport{} }
+// ringEntry wraps a pair's ring; a created entry with a nil ring records
+// that the slab budget was exhausted when the pair first asked, so the pair
+// settles on the pooled fallback without retrying the budget every send.
+type ringEntry struct {
+	ring *bufpool.Ring
+}
+
+// New creates an unbound transport with the default ring geometry; call
+// Bind before use.
+func New() *Transport {
+	return &Transport{
+		slots:     DefaultRingSlots,
+		slotBytes: DefaultRingSlotBytes,
+		budget:    DefaultRingBudget,
+	}
+}
+
+// SetRing overrides the ring geometry before Bind: slots < 0 disables rings
+// (every payload takes the pooled path, the seed behavior); slots == 0
+// keeps the defaults; otherwise slots is rounded up to a power of two and
+// slotBytes, when positive, replaces the default slot size.
+func (t *Transport) SetRing(slots, slotBytes int) {
+	switch {
+	case slots < 0:
+		t.slots = 0
+	case slots > 0:
+		t.slots = slots
+	}
+	if slotBytes > 0 {
+		t.slotBytes = slotBytes
+	}
+}
+
+// SetBudget overrides the total slab budget (bytes across all pair rings)
+// before Bind; n <= 0 keeps the default. Pairs that first ask for a ring
+// after the budget is exhausted settle permanently on the pooled fallback.
+func (t *Transport) SetBudget(n int64) {
+	if n > 0 {
+		t.budget = n
+	}
+}
 
 // Bind attaches the world whose Deliver receives messages.
-func (t *Transport) Bind(w *mpi.World) { t.w = w }
+func (t *Transport) Bind(w *mpi.World) {
+	t.w = w
+	t.n = w.Size()
+	if t.slots > 0 {
+		t.rings = make([]atomic.Pointer[ringEntry], t.n*t.n)
+	}
+}
 
 // SetMetrics installs a metrics registry; nil disables accounting.
 func (t *Transport) SetMetrics(g *obs.Registry) { t.metrics = g }
@@ -31,27 +108,103 @@ func (t *Transport) SetMetrics(g *obs.Registry) { t.metrics = g }
 // errUnbound reports a Send on a transport that was never bound to a world.
 var errUnbound = errors.New("shm: transport not bound to a world")
 
+// AcquireSlot implements mpi.SlotWriter: it leases one slot of the
+// (src,dst) pair's ring for an n-byte payload. A nil return inside —
+// oversize payload, ring full (the previous tenant of the next slot in
+// claim order is still live), or the pair priced out of the slab budget —
+// reports ok=false, and the caller falls back to pooled storage: the ring
+// never blocks, because the receiver that would free a slot may itself be
+// parked behind the sender (caller-helps backpressure, like the wire
+// queue's watermark flush).
+func (t *Transport) AcquireSlot(src, dst, n int) (mpi.Buffer, bool) {
+	r := t.ringFor(src, dst)
+	if r == nil {
+		return mpi.Buffer{}, false
+	}
+	l := r.TryGet(n)
+	if l == nil {
+		t.metrics.RingFallback()
+		return mpi.Buffer{}, false
+	}
+	t.metrics.RingAcquired()
+	return mpi.PooledBytes(l, n), true
+}
+
+// ringFor returns the pair's ring, creating it on first use (within the
+// slab budget), or nil when rings are disabled or unavailable.
+func (t *Transport) ringFor(src, dst int) *bufpool.Ring {
+	if t.rings == nil || src < 0 || dst < 0 || src >= t.n || dst >= t.n {
+		return nil
+	}
+	idx := src*t.n + dst
+	if e := t.rings[idx].Load(); e != nil {
+		return e.ring
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.rings[idx].Load(); e != nil {
+		return e.ring
+	}
+	e := &ringEntry{}
+	// Slot count rounds up to a power of two inside NewRing; budget against
+	// the rounded size.
+	slots := 1
+	for slots < t.slots {
+		slots <<= 1
+	}
+	slab := int64(slots) * int64(t.slotBytes)
+	if t.slabBytes+slab <= t.budget {
+		t.slabBytes += slab
+		e.ring = bufpool.NewRing(t.slots, t.slotBytes)
+		e.ring.OnRetire = t.noteRetire
+		t.metrics.RingCreated(int(slab))
+	}
+	t.rings[idx].Store(e)
+	return e.ring
+}
+
+// noteRetire feeds slot retires to the metrics depth gauge.
+func (t *Transport) noteRetire() { t.metrics.RingRetired() }
+
 // Send implements mpi.Transport. Delivery is synchronous, so local send
-// completion is immediate and both sides of the transfer are accounted here.
+// completion is immediate and both sides of the transfer are accounted
+// here. Msg.Lane travels intact through Deliver, where matching enforces
+// lane equality — inline delivery preserves the pair's global FIFO, which
+// subsumes the per-lane FIFO the lane contract requires.
 //
-// Deliver runs before Done.Injected: delivery retains any pooled payload the
-// receiver keeps, and only then may the sender's completion fire — a sender
-// woken by Injected is free to release its own buffer reference
-// immediately, which must not race the receiver taking its reference.
+// The payload length is snapshotted once, before delivery: Deliver hands
+// the buffer to the receiver, whose references — a ring slot especially —
+// may be released from another goroutine the moment delivery returns, so
+// the buffer must not be touched afterwards. Deliver also runs before
+// Done.Injected: delivery retains any payload the receiver keeps, and only
+// then may the sender's completion fire — a sender woken by Injected is
+// free to release its own reference immediately (retiring the ring slot if
+// the matcher dropped the message), which must not race the receiver taking
+// its reference.
+//
+// Receiver bytes are charged only for messages the matcher accepts;
+// stray/forged/duplicate traffic (the fault sweep's staple) counts against
+// the sender alone, mirroring tcp's stray attribution.
 func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) error {
 	if t.w == nil {
 		return errUnbound
 	}
+	n := m.Buf.Len()
+	src, dst := m.Src, m.Dst
+	accepted := t.w.Deliver(m)
 	if t.metrics != nil {
-		n := m.Buf.Len()
-		t.metrics.Rank(m.Src).MsgSent(n)
-		t.metrics.Rank(m.Dst).MsgRecv(n)
+		t.metrics.Rank(src).MsgSent(n)
+		if accepted {
+			t.metrics.Rank(dst).MsgRecv(n)
+		}
 	}
-	t.w.Deliver(m)
 	if m.Done != nil {
 		m.Done.Injected()
 	}
 	return nil
 }
 
-var _ mpi.Transport = (*Transport)(nil)
+var (
+	_ mpi.Transport  = (*Transport)(nil)
+	_ mpi.SlotWriter = (*Transport)(nil)
+)

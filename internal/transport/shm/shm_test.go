@@ -1,0 +1,279 @@
+package shm_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"encmpi/internal/mpi"
+	"encmpi/internal/obs"
+	"encmpi/internal/sched"
+	"encmpi/internal/transport/shm"
+)
+
+// newWorld wires an shm transport of size n to a fresh world and attaches
+// every rank on a wall-clock proc. configure runs between New and Bind (ring
+// geometry must be fixed before Bind).
+func newWorld(t testing.TB, n, eager int, reg *obs.Registry, configure func(*shm.Transport)) (*shm.Transport, []*mpi.Comm) {
+	t.Helper()
+	tr := shm.New()
+	tr.SetMetrics(reg)
+	if configure != nil {
+		configure(tr)
+	}
+	w := mpi.NewWorld(n, tr, eager)
+	w.SetMetrics(reg)
+	tr.Bind(w)
+	var g sched.Group
+	comms := make([]*mpi.Comm, n)
+	for i := range comms {
+		comms[i] = w.AttachRank(i, g.Proc())
+	}
+	return tr, comms
+}
+
+// TestRingEagerDelivery drives eager traffic through the slot rings and pins
+// the full slot lifecycle: payloads arrive intact, every acquired slot is
+// retired once the receiver releases it, and the depth gauge returns to zero.
+func TestRingEagerDelivery(t *testing.T) {
+	reg := obs.NewRegistry(2)
+	_, comms := newWorld(t, 2, 64<<10, reg, nil)
+	c0, c1 := comms[0], comms[1]
+
+	const rounds = 40
+	for i := 0; i < rounds; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, 512+i*13)
+		if err := c0.Send(1, i, mpi.Bytes(payload)); err != nil {
+			t.Fatal(err)
+		}
+		got, st := c1.Recv(0, i)
+		if st.Source != 0 || !bytes.Equal(got.Data, payload) {
+			t.Fatalf("round %d: source %d, %d bytes (want %d)", i, st.Source, got.Len(), len(payload))
+		}
+		got.Release()
+	}
+
+	ring := reg.Snapshot().Ring
+	if ring.Rings == 0 || ring.SlabBytes == 0 {
+		t.Fatalf("no ring was ever created: %+v", ring)
+	}
+	if ring.Acquired == 0 {
+		t.Fatalf("eager traffic never used a ring slot: %+v", ring)
+	}
+	if ring.Retired != ring.Acquired || ring.Depth != 0 {
+		t.Fatalf("slot leak: acquired %d, retired %d, depth %d", ring.Acquired, ring.Retired, ring.Depth)
+	}
+}
+
+// TestRingDisabled pins the opt-out: SetRing(-1, 0) restores the seed's
+// pooled-clone transport — traffic flows, and no ring is ever created.
+func TestRingDisabled(t *testing.T) {
+	reg := obs.NewRegistry(2)
+	_, comms := newWorld(t, 2, 64<<10, reg, func(tr *shm.Transport) { tr.SetRing(-1, 0) })
+
+	payload := []byte("no rings here")
+	if err := comms[0].Send(1, 0, mpi.Bytes(payload)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := comms[1].Recv(0, 0)
+	if !bytes.Equal(got.Data, payload) {
+		t.Fatalf("payload corrupted: %q", got.Data)
+	}
+	got.Release()
+
+	ring := reg.Snapshot().Ring
+	if ring.Rings != 0 || ring.Acquired != 0 || ring.SlabBytes != 0 {
+		t.Fatalf("disabled transport still built rings: %+v", ring)
+	}
+}
+
+// TestRingFullFallsBack fills a one-slot ring (the receiver holds the first
+// payload's reference, keeping its slot live) and checks that further eager
+// sends fall back to pooled clones instead of blocking or failing — the
+// caller-helps backpressure contract — and that the held slot retires once
+// the receiver finally releases everything.
+func TestRingFullFallsBack(t *testing.T) {
+	reg := obs.NewRegistry(2)
+	_, comms := newWorld(t, 2, 64<<10, reg, func(tr *shm.Transport) { tr.SetRing(1, 4<<10) })
+	c0, c1 := comms[0], comms[1]
+
+	const msgs = 4
+	for i := 0; i < msgs; i++ {
+		if err := c0.Send(1, i, mpi.Bytes(bytes.Repeat([]byte{byte(i)}, 1024))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All msgs sit in rank 1's unexpected queue; the first holds the only
+	// slot, so the rest must have been pooled fallbacks.
+	ring := reg.Snapshot().Ring
+	if ring.Acquired != 1 {
+		t.Fatalf("acquired %d slots from a full ring, want 1", ring.Acquired)
+	}
+	if ring.Fallbacks < msgs-1 {
+		t.Fatalf("fallbacks %d, want at least %d", ring.Fallbacks, msgs-1)
+	}
+	if ring.Depth != 1 {
+		t.Fatalf("depth %d with one live slot", ring.Depth)
+	}
+
+	for i := 0; i < msgs; i++ {
+		got, _ := c1.Recv(0, i)
+		for _, b := range got.Data {
+			if b != byte(i) {
+				t.Fatalf("message %d corrupted", i)
+			}
+		}
+		got.Release()
+	}
+	ring = reg.Snapshot().Ring
+	if ring.Retired != ring.Acquired || ring.Depth != 0 {
+		t.Fatalf("slot leak after drain: %+v", ring)
+	}
+}
+
+// TestRingBudgetPricesOut sets a slab budget no ring fits under: every pair
+// settles on the pooled fallback, traffic still flows, and the transport
+// never retries (no rings, no slab bytes).
+func TestRingBudgetPricesOut(t *testing.T) {
+	reg := obs.NewRegistry(2)
+	_, comms := newWorld(t, 2, 64<<10, reg, func(tr *shm.Transport) {
+		tr.SetRing(16, 64<<10)
+		tr.SetBudget(1) // one byte: no slab fits
+	})
+
+	for i := 0; i < 3; i++ {
+		if err := comms[0].Send(1, i, mpi.Bytes([]byte("priced out"))); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := comms[1].Recv(0, i)
+		got.Release()
+	}
+	ring := reg.Snapshot().Ring
+	if ring.Rings != 0 || ring.SlabBytes != 0 || ring.Acquired != 0 {
+		t.Fatalf("budget-priced-out pair still built a ring: %+v", ring)
+	}
+}
+
+// TestStrayNotChargedToReceiver pins the accounting bugfix: a message the
+// matcher rejects (here a CTS for a rendezvous nobody started) must count
+// against the sender alone — the receiver's byte and message counters stay
+// untouched, mirroring tcp's stray attribution.
+func TestStrayNotChargedToReceiver(t *testing.T) {
+	reg := obs.NewRegistry(2)
+	tr, comms := newWorld(t, 2, 64<<10, reg, nil)
+
+	stray := &mpi.Msg{Src: 0, Dst: 1, Tag: 9, Kind: mpi.KindCTS, Seq: 424242}
+	if err := tr.Send(nil, stray); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Ranks[0].Transport.MsgsSent != 1 {
+		t.Fatalf("sender not charged: %+v", snap.Ranks[0].Transport)
+	}
+	if rx := snap.Ranks[1].Transport; rx.MsgsRecv != 0 || rx.BytesRecv != 0 {
+		t.Fatalf("stray charged to the receiver: %+v", rx)
+	}
+	if snap.Ranks[1].Strays == 0 {
+		t.Fatal("stray not counted on the receiving rank")
+	}
+
+	// An accepted message is charged to both ends.
+	if err := comms[0].Send(1, 0, mpi.Bytes([]byte("genuine"))); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := comms[1].Recv(0, 0)
+	got.Release()
+	snap = reg.Snapshot()
+	if rx := snap.Ranks[1].Transport; rx.MsgsRecv != 1 || rx.BytesRecv == 0 {
+		t.Fatalf("accepted message not charged to the receiver: %+v", rx)
+	}
+}
+
+// TestLaneDemultiplex pins Msg.Lane threading through shm delivery: two lane
+// views share one tag space with interleaved traffic, and each receive must
+// match only its own lane's messages — in per-lane FIFO order — exactly as
+// over TCP. (The seed transport dropped the lane, collapsing both streams.)
+func TestLaneDemultiplex(t *testing.T) {
+	reg := obs.NewRegistry(2)
+	_, comms := newWorld(t, 2, 64<<10, reg, nil)
+	a0, b0 := comms[0].WithLane(7), comms[0].WithLane(9)
+	a1, b1 := comms[1].WithLane(7), comms[1].WithLane(9)
+
+	const rounds = 8
+	// Interleave both lanes on the same tags, lane B always injected first so
+	// a lane-blind matcher would hand B's payloads to A's receives.
+	for i := 0; i < rounds; i++ {
+		if err := b0.Send(1, i, mpi.Bytes([]byte(fmt.Sprintf("lane-b %d", i)))); err != nil {
+			t.Fatal(err)
+		}
+		if err := a0.Send(1, i, mpi.Bytes([]byte(fmt.Sprintf("lane-a %d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		got, _ := a1.Recv(0, i)
+		if want := fmt.Sprintf("lane-a %d", i); string(got.Data) != want {
+			t.Fatalf("lane A receive %d got %q, want %q", i, got.Data, want)
+		}
+		got.Release()
+		got, _ = b1.Recv(0, i)
+		if want := fmt.Sprintf("lane-b %d", i); string(got.Data) != want {
+			t.Fatalf("lane B receive %d got %q, want %q", i, got.Data, want)
+		}
+		got.Release()
+	}
+}
+
+// benchEagerRoundtrip ping-pongs an eager payload through the slot rings on
+// one goroutine (shm delivery is synchronous, so Send completes before Recv
+// is posted and the message is consumed from the unexpected queue).
+func benchEagerRoundtrip(b *testing.B, size int) {
+	_, comms := newWorld(b, 2, 64<<10, nil, nil)
+	c0, c1 := comms[0], comms[1]
+	payload := bytes.Repeat([]byte{0xAB}, size)
+
+	b.SetBytes(2 * int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c0.Send(1, 1, mpi.Bytes(payload)); err != nil {
+			b.Fatal(err)
+		}
+		buf, _ := c1.Recv(0, 1)
+		buf.Release()
+		if err := c1.Send(0, 2, mpi.Bytes(payload)); err != nil {
+			b.Fatal(err)
+		}
+		buf, _ = c0.Recv(1, 2)
+		buf.Release()
+	}
+}
+
+func BenchmarkShmEagerRoundtripAlloc(b *testing.B) { benchEagerRoundtrip(b, 4<<10) }
+
+// TestEagerAllocRegression pins the zero-copy eager hot path at zero
+// allocations per round trip once the request/message pools and the pair's
+// ring are warm: the payload copy lands in a ring slot, protocol messages
+// and requests recycle, and the receive opens the slot in place.
+func TestEagerAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomizes sync.Pool reuse; allocation counts are meaningless")
+	}
+	_, comms := newWorld(t, 2, 64<<10, nil, nil)
+	c0, c1 := comms[0], comms[1]
+	payload := bytes.Repeat([]byte{0xCD}, 4<<10)
+
+	roundtrip := func() {
+		if err := c0.Send(1, 1, mpi.Bytes(payload)); err != nil {
+			t.Fatal(err)
+		}
+		buf, _ := c1.Recv(0, 1)
+		buf.Release()
+	}
+	for i := 0; i < 4; i++ {
+		roundtrip() // warm the ring, the msg/request pools
+	}
+	if got := testing.AllocsPerRun(50, roundtrip); got != 0 {
+		t.Errorf("shm eager round trip: %.1f allocs/op, want 0 (slot-size payload must be zero-alloc)", got)
+	}
+}

@@ -60,8 +60,9 @@ func (t *Transport) wireSize(m *mpi.Msg) int {
 //
 // The fabric queues the message until its virtual arrival time, beyond this
 // call and possibly beyond the sender's local completion (Drained fires at
-// NIC drain, before arrival), so a pooled payload is retained for the
-// flight and released by the delivery callback.
+// NIC drain, before arrival), so the flight carries a private copy of the
+// Msg (the caller owns and may recycle its struct the moment Send returns)
+// holding a retained payload reference that the delivery callback drops.
 func (t *Transport) Send(from sched.Proc, m *mpi.Msg) error {
 	var sender simnet.Sender
 	if sp, ok := from.(*sim.Proc); ok {
@@ -70,15 +71,17 @@ func (t *Transport) Send(from sched.Proc, m *mpi.Msg) error {
 	if t.metrics != nil {
 		t.metrics.Rank(m.Src).MsgSent(t.wireSize(m))
 	}
-	m.Buf.Retain()
+	fm := new(mpi.Msg)
+	*fm = *m
+	fm.Buf.Retain()
 	pkt := simnet.Packet{
 		Src: m.Src, Dst: m.Dst, Size: t.wireSize(m),
-		Payload: m,
+		Payload: fm,
 	}
-	if m.Done != nil {
+	if fm.Done != nil {
 		// A bound method value allocates, but the simulator models time, not
 		// memory — the zero-alloc discipline belongs to the real transports.
-		pkt.Drained = m.Done.Injected
+		pkt.Drained = fm.Done.Injected
 	}
 	t.fab.Send(pkt, sender)
 	return nil

@@ -218,13 +218,16 @@ func (t *Transport) Bind(w *mpi.World) {
 	}
 }
 
-// decodeHeader parses a frame header into a message (payload not yet read)
-// and the announced payload length. It rejects length fields no honest sender
-// produces — a negative or oversized buflen (the allocation bound) and a
-// negative or oversized DataLen (the synthetic-length field a hostile peer
-// could otherwise drive through the matching engine unchecked).
-func decodeHeader(hdr *[headerLen]byte) (m *mpi.Msg, buflen int, err error) {
-	m = &mpi.Msg{
+// decodeHeader parses a frame header into the caller's message struct
+// (payload not yet read; Buf and Done are reset) and returns the announced
+// payload length. Decoding into a caller-owned struct instead of allocating
+// lets the read loop reuse one Msg for its whole connection lifetime — legal
+// because Deliver never retains the pointer. It rejects length fields no
+// honest sender produces — a negative or oversized buflen (the allocation
+// bound) and a negative or oversized DataLen (the synthetic-length field a
+// hostile peer could otherwise drive through the matching engine unchecked).
+func decodeHeader(hdr *[headerLen]byte, m *mpi.Msg) (buflen int, err error) {
+	*m = mpi.Msg{
 		Src:     int(int32(binary.BigEndian.Uint32(hdr[0:]))),
 		Dst:     int(int32(binary.BigEndian.Uint32(hdr[4:]))),
 		Tag:     int(int64(binary.BigEndian.Uint64(hdr[8:]))),
@@ -237,15 +240,15 @@ func decodeHeader(hdr *[headerLen]byte) (m *mpi.Msg, buflen int, err error) {
 	}
 	buflen = int(int64(binary.BigEndian.Uint64(hdr[48:])))
 	if buflen < 0 || buflen > maxFramePayload {
-		return nil, 0, fmt.Errorf("%w: buflen %d", errMalformedFrame, buflen)
+		return 0, fmt.Errorf("%w: buflen %d", errMalformedFrame, buflen)
 	}
 	if m.DataLen < 0 || m.DataLen > maxFramePayload {
-		return nil, 0, fmt.Errorf("%w: datalen %d", errMalformedFrame, m.DataLen)
+		return 0, fmt.Errorf("%w: datalen %d", errMalformedFrame, m.DataLen)
 	}
 	if m.Chunks < 0 || m.Chunks > maxFramePayload {
-		return nil, 0, fmt.Errorf("%w: chunks %d", errMalformedFrame, m.Chunks)
+		return 0, fmt.Errorf("%w: chunks %d", errMalformedFrame, m.Chunks)
 	}
-	return m, buflen, nil
+	return buflen, nil
 }
 
 // readBufBytes sizes the per-connection read buffer. The async wire engine
@@ -262,11 +265,16 @@ func (t *Transport) readLoop(conn net.Conn) {
 	defer t.readers.Done()
 	r := bufio.NewReaderSize(conn, readBufBytes)
 	var hdr [headerLen]byte
+	// One Msg serves every frame on this connection: decodeHeader overwrites
+	// the whole struct, and Deliver's contract forbids retaining the pointer
+	// (the unexpected queue takes copies), so reuse is safe — and removes the
+	// former per-frame Msg allocation on the receive path.
+	m := new(mpi.Msg)
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return // connection closed
 		}
-		m, buflen, err := decodeHeader(&hdr)
+		buflen, err := decodeHeader(&hdr, m)
 		if err != nil {
 			// Poisoned stream: no sane frame can follow.
 			t.metrics.FrameError()
@@ -288,6 +296,9 @@ func (t *Transport) readLoop(conn net.Conn) {
 			// Receive accounting happens only for in-range destinations; a
 			// hostile Dst must not grow the registry (Deliver will count the
 			// message as an unattributed stray).
+			// Unlike shm (which charges only matcher-accepted messages), the
+			// bytes genuinely crossed the wire here, so they count regardless
+			// of how Deliver classifies the frame.
 			t.metrics.Rank(m.Dst).MsgRecv(buflen)
 		}
 		t.w.Deliver(m)

@@ -174,7 +174,8 @@ func FuzzFrameHeader(f *testing.F) {
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		var hdr [headerLen]byte
 		copy(hdr[:], raw)
-		m, buflen, err := decodeHeader(&hdr)
+		m := new(mpi.Msg)
+		buflen, err := decodeHeader(&hdr, m)
 		if err != nil {
 			if !errors.Is(err, errMalformedFrame) {
 				t.Fatalf("decodeHeader error %v is not errMalformedFrame", err)
@@ -238,6 +239,71 @@ func benchRoundtrip(b *testing.B, noPool bool) {
 
 func BenchmarkTCPRoundtripAlloc(b *testing.B)         { benchRoundtrip(b, false) }
 func BenchmarkTCPRoundtripAllocUnpooled(b *testing.B) { benchRoundtrip(b, true) }
+
+// TestRoundtripAllocRegression pins the sequential 256 KiB rendezvous round
+// trip at zero steady-state allocations per operation: requests and protocol
+// messages (RTS/CTS/DATA and their decoded forms) recycle through the mpi
+// pools, payloads and header slabs through bufpool, and the readLoop reuses
+// one Msg per connection. The seed shipped at 16 allocs/op (4 requests + 6
+// protocol Msgs + 6 decode Msgs); a small tolerance absorbs sporadic
+// sync.Pool refills under GC pressure.
+func TestRoundtripAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector randomizes sync.Pool reuse; allocation counts are meaningless")
+	}
+	tr, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	w := mpi.NewWorld(2, tr, 64<<10)
+	tr.Bind(w)
+	var g sched.Group
+	c0 := w.AttachRank(0, g.Proc())
+	c1 := w.AttachRank(1, g.Proc())
+
+	payload := bytes.Repeat([]byte{0xAB}, 256<<10)
+	const doneTag = 99
+	echoDone := make(chan struct{})
+	echoed := make(chan struct{}, 1)
+	go func() {
+		defer close(echoDone)
+		for {
+			buf, st := c1.Recv(0, mpi.AnyTag)
+			buf.Release()
+			if st.Tag == doneTag {
+				return
+			}
+			if err := c1.Send(0, 2, mpi.Bytes(payload)); err != nil {
+				t.Error(err)
+				return
+			}
+			echoed <- struct{}{}
+		}
+	}()
+	roundtrip := func() {
+		if err := c0.Send(1, 1, mpi.Bytes(payload)); err != nil {
+			t.Fatal(err)
+		}
+		buf, _ := c0.Recv(1, 2)
+		buf.Release()
+		<-echoed
+	}
+	for i := 0; i < 6; i++ {
+		roundtrip() // warm every pool on both ranks
+	}
+	got := testing.AllocsPerRun(40, roundtrip)
+	if err := c0.Send(1, doneTag, mpi.Bytes([]byte{0})); err != nil {
+		t.Fatal(err)
+	}
+	<-echoDone
+	if got >= 16 {
+		t.Fatalf("256 KiB rendezvous round trip: %.1f allocs/op — the seed's 16 is back", got)
+	}
+	if got > 2 {
+		t.Errorf("256 KiB rendezvous round trip: %.1f allocs/op, want ≤ 2 (steady state is 0)", got)
+	}
+}
 
 // TestInterleaveLanes checks the flush-time fairness pass directly: a
 // uniform batch is untouched (fast path), a mixed batch is dealt round-robin
@@ -306,7 +372,8 @@ func TestLaneHeaderRoundtrip(t *testing.T) {
 		Buf: mpi.Bytes([]byte("payload"))}
 	var hdr [headerLen]byte
 	encodeHeader(&hdr, m, m.Buf.Len())
-	got, buflen, err := decodeHeader(&hdr)
+	got := new(mpi.Msg)
+	buflen, err := decodeHeader(&hdr, got)
 	if err != nil {
 		t.Fatalf("decodeHeader rejected an encoded header: %v", err)
 	}

@@ -26,6 +26,8 @@ type config struct {
 	eagerThreshold int
 	pipeThreshold  int
 	syncWrites     bool
+	ringSlots      int
+	ringSlotBytes  int
 }
 
 // apply folds a variadic option list. Options with process-wide effect
@@ -47,10 +49,12 @@ func buildConfig(opts []Option) config {
 // jobOptions translates the facade config into launcher options.
 func (c config) jobOptions() job.Options {
 	o := job.Options{
-		Metrics:        c.metrics,
-		Fault:          c.fault,
-		EagerThreshold: c.eagerThreshold,
-		TCPSyncWrites:  c.syncWrites,
+		Metrics:          c.metrics,
+		Fault:            c.fault,
+		EagerThreshold:   c.eagerThreshold,
+		TCPSyncWrites:    c.syncWrites,
+		ShmRingSlots:     c.ringSlots,
+		ShmRingSlotBytes: c.ringSlotBytes,
 	}
 	if c.trace != nil {
 		col := c.trace
@@ -100,6 +104,22 @@ func WithPipelineThreshold(n int) Option {
 			n = enc.DefaultPipelineThreshold
 		}
 		c.pipeThreshold = n
+	}
+}
+
+// WithShmRing configures the in-process transport's zero-copy slot rings
+// (RunShm only; see DESIGN.md §14). Each communicating rank pair gets a
+// fixed shared-memory ring of slots; eager payloads are sealed directly into
+// a slot by the encrypted layer and opened in place by the receiver, with no
+// intermediate copies. slots is the per-pair slot count (rounded up to a
+// power of two; 0 keeps the 16-slot default, < 0 disables the rings — the
+// inline-copy baseline), slotBytes the slot payload capacity (0 keeps the
+// 64 KiB default). Messages larger than a slot, full rings, and budget-
+// priced-out pairs all fall back to the pooled-copy path transparently.
+func WithShmRing(slots, slotBytes int) Option {
+	return func(c *config) {
+		c.ringSlots = slots
+		c.ringSlotBytes = slotBytes
 	}
 }
 

@@ -24,16 +24,22 @@ func findSession(t *testing.T, snap encmpi.MetricsSnapshot, id string) encmpi.Se
 	return encmpi.SessionSnapshot{}
 }
 
-// TestSessionSmokeTCP multiplexes two independent sessions over one TCP
-// job's shared connections: both exchange traffic concurrently under the
-// same tags, which only works if each session's frames stay on their own
-// wire lane. Referenced by scripts/check.sh.
-func TestSessionSmokeTCP(t *testing.T) {
+// TestSessionSmoke multiplexes two independent sessions over one job's
+// shared transport: both exchange traffic concurrently under the same tags,
+// which only works if each session's frames stay on their own wire lane. It
+// runs over both the shm ring transport and TCP — lane demultiplexing is a
+// transport contract, not a TCP feature. Referenced by scripts/check.sh.
+func TestSessionSmoke(t *testing.T) {
+	t.Run("shm", func(t *testing.T) { sessionSmoke(t, encmpi.RunShm) })
+	t.Run("tcp", func(t *testing.T) { sessionSmoke(t, encmpi.RunTCP) })
+}
+
+func sessionSmoke(t *testing.T, run func(int, func(*encmpi.Comm), ...encmpi.Option) error) {
 	keyA, keyB := sessionKey(0xA1), sessionKey(0xB2)
 	const msgs = 32
 	reg := encmpi.NewRegistry(2)
 	var scopeA, scopeB string
-	err := encmpi.RunTCP(2, func(c *encmpi.Comm) {
+	err := run(2, func(c *encmpi.Comm) {
 		sessA, err := encmpi.NewSession(keyA)
 		if err != nil {
 			t.Error(err)

@@ -1,0 +1,203 @@
+package encmpi_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"encmpi"
+)
+
+// TestShmRingZeroCopySession drives session-sealed eager traffic through the
+// shm slot rings and pins the zero-copy contract end to end: the sender
+// seals straight into a ring slot (SealsInPlace), the receiver opens the
+// same slot in place (OpensInPlace), payloads verify, and every acquired
+// slot is retired by job end. The exchange is a ping-pong so at most one
+// slot is in flight at a time: every message must take the ring, none may
+// spill to the pool fallback.
+func TestShmRingZeroCopySession(t *testing.T) {
+	key := sessionKey(0x3C)
+	const msgs = 24
+	reg := encmpi.NewRegistry(2)
+	err := encmpi.RunShm(2, func(c *encmpi.Comm) {
+		sess, err := encmpi.NewSession(key)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e, err := sess.Attach(c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		peer := 1 - c.Rank()
+		for i := 0; i < msgs; i++ {
+			want := []byte(fmt.Sprintf("ring record %d", i))
+			if c.Rank() == 0 {
+				if err := e.Send(peer, i, encmpi.Bytes(want)); err != nil {
+					t.Errorf("send %d: %v", i, err)
+				}
+			}
+			got, _, err := e.Recv(peer, i)
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			if !bytes.Equal(got.Data, want) {
+				t.Errorf("message %d: got %q", i, got.Data)
+			}
+			if c.Rank() == 1 {
+				if err := e.Send(peer, i, encmpi.Bytes(want)); err != nil {
+					t.Errorf("echo %d: %v", i, err)
+				}
+			}
+		}
+	}, encmpi.WithMetrics(reg), encmpi.WithShmRing(8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	for rank := 0; rank < 2; rank++ {
+		if got := snap.Ranks[rank].Crypto.SealsInPlace; got != msgs {
+			t.Errorf("rank %d sealed %d records in place, want %d", rank, got, msgs)
+		}
+		if got := snap.Ranks[rank].Crypto.OpensInPlace; got != msgs {
+			t.Errorf("rank %d opened %d records in place, want %d", rank, got, msgs)
+		}
+	}
+	if snap.Ring.Acquired != 2*msgs {
+		t.Errorf("ring slots acquired %d, want %d", snap.Ring.Acquired, 2*msgs)
+	}
+	if snap.Ring.Fallbacks != 0 {
+		t.Errorf("ping-pong spilled to pool fallback %d times", snap.Ring.Fallbacks)
+	}
+	if snap.Ring.Retired != snap.Ring.Acquired || snap.Ring.Depth != 0 {
+		t.Errorf("slot leak: %+v", snap.Ring)
+	}
+	if snap.Total.Crypto.AuthFailures != 0 {
+		t.Errorf("auth failures on honest ring traffic: %d", snap.Total.Crypto.AuthFailures)
+	}
+}
+
+// TestShmRingZeroCopyLegacyEngine is the same pin for the paper-faithful
+// Encrypt path (RealEngine, no AAD): SealInto/OpenInPlace must engage for it
+// too.
+func TestShmRingZeroCopyLegacyEngine(t *testing.T) {
+	codec, err := encmpi.NewCodec("aesstd", bytes.Repeat([]byte{7}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 16
+	reg := encmpi.NewRegistry(2)
+	err = encmpi.RunShm(2, func(c *encmpi.Comm) {
+		e := encmpi.Encrypt(c, codec, uint32(c.Rank()), encmpi.WithMetrics(reg))
+		for i := 0; i < msgs; i++ {
+			want := []byte(fmt.Sprintf("legacy record %d", i))
+			if c.Rank() == 0 {
+				if err := e.Send(1, i, encmpi.Bytes(want)); err != nil {
+					t.Errorf("send %d: %v", i, err)
+				}
+			} else {
+				got, _, err := e.Recv(0, i)
+				if err != nil {
+					t.Errorf("recv %d: %v", i, err)
+					return
+				}
+				if !bytes.Equal(got.Data, want) {
+					t.Errorf("message %d: got %q", i, got.Data)
+				}
+			}
+		}
+	}, encmpi.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Ranks[0].Crypto.SealsInPlace; got != msgs {
+		t.Errorf("rank 0 sealed %d records in place, want %d", got, msgs)
+	}
+	if got := snap.Ranks[1].Crypto.OpensInPlace; got != msgs {
+		t.Errorf("rank 1 opened %d records in place, want %d", got, msgs)
+	}
+}
+
+// TestShmRingDisabledOption pins WithShmRing(-1, 0): the rings are off, no
+// seal lands in place, and traffic is byte-identical to the ring path.
+func TestShmRingDisabledOption(t *testing.T) {
+	key := sessionKey(0x4D)
+	reg := encmpi.NewRegistry(2)
+	err := encmpi.RunShm(2, func(c *encmpi.Comm) {
+		sess, err := encmpi.NewSession(key)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e, err := sess.Attach(c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			if err := e.Send(1, 0, encmpi.Bytes([]byte("pooled"))); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		} else {
+			got, _, err := e.Recv(0, 0)
+			if err != nil || !bytes.Equal(got.Data, []byte("pooled")) {
+				t.Errorf("recv: %v %q", err, got.Data)
+			}
+		}
+	}, encmpi.WithMetrics(reg), encmpi.WithShmRing(-1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Ring.Rings != 0 || snap.Ring.Acquired != 0 {
+		t.Errorf("disabled rings still engaged: %+v", snap.Ring)
+	}
+	if snap.Total.Crypto.SealsInPlace != 0 || snap.Total.Crypto.OpensInPlace != 0 {
+		t.Errorf("in-place crypto without rings: %+v", snap.Total.Crypto)
+	}
+}
+
+// TestShmRingRendezvousFallback sends a payload far above the slot size: it
+// must travel by the existing chunked rendezvous, untouched by the ring, and
+// still verify.
+func TestShmRingRendezvousFallback(t *testing.T) {
+	key := sessionKey(0x5E)
+	big := bytes.Repeat([]byte{0x6F}, 384<<10)
+	reg := encmpi.NewRegistry(2)
+	err := encmpi.RunShm(2, func(c *encmpi.Comm) {
+		sess, err := encmpi.NewSession(key)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e, err := sess.Attach(c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			if err := e.Send(1, 0, encmpi.Bytes(big)); err != nil {
+				t.Errorf("send: %v", err)
+			}
+		} else {
+			got, _, err := e.Recv(0, 0)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+			} else if !bytes.Equal(got.Data, big) {
+				t.Errorf("rendezvous payload corrupted (%d bytes)", got.Len())
+			}
+		}
+	}, encmpi.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := reg.Snapshot(); snap.Total.Crypto.AuthFailures != 0 {
+		t.Errorf("auth failures on rendezvous traffic: %d", snap.Total.Crypto.AuthFailures)
+	}
+}
