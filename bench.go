@@ -28,6 +28,17 @@ const (
 	// OpBcastPipelined is the segmented broadcast that overlaps each
 	// chunk's crypto with the previous chunk's tree descent.
 	OpBcastPipelined CollectiveOp = osu.OpBcastPipelined
+	// OpAllreduce is the flat allreduce baseline. Reductions combine
+	// plaintext at every hop (the paper's routine list excludes them), so
+	// this rides the unencrypted path.
+	OpAllreduce CollectiveOp = osu.OpAllreduce
+	// The topology-aware two-level collectives (DESIGN.md §15): intra-node
+	// aggregation over shared memory first, one sealed flow per node leader
+	// across the network.
+	OpHierBcast     CollectiveOp = osu.OpHierBcast
+	OpHierAllgather CollectiveOp = osu.OpHierAllgather
+	OpHierAllreduce CollectiveOp = osu.OpHierAllreduce
+	OpHierAlltoall  CollectiveOp = osu.OpHierAlltoall
 )
 
 // MultiPairWindow is the OSU window size the paper cites (64 non-blocking

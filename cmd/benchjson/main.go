@@ -1,5 +1,5 @@
 // Command benchjson emits the repository's machine-readable performance
-// snapshot (committed as BENCH_PR8.json): seal/open ns/op, MB/s, and
+// snapshot (committed as BENCH_PR9.json): seal/open ns/op, MB/s, and
 // allocs/op for the sequential and chunked-parallel engines across message
 // sizes, aggregate throughput of 16 concurrent 4 KiB messages through the
 // shared crypto worker pool versus the per-call goroutine baseline, an
@@ -13,12 +13,16 @@
 // session_overhead suite pricing the context-AAD binding of sessions
 // (DESIGN.md §13) against the legacy nonce-only engine, and the shm_ring
 // suite comparing the zero-copy slot-ring shm path against the seed's
-// inline-copy delivery across eager message sizes (DESIGN.md §14).
+// inline-copy delivery across eager message sizes (DESIGN.md §14), and the
+// hier_coll suite comparing flat against topology-aware two-level
+// collectives at p ∈ {64, 256, 1024} across the Ethernet, contended
+// Ethernet, and InfiniBand presets with per-fabric crossover points
+// (DESIGN.md §15).
 //
 // It uses its own fixed-duration timing loops rather than testing.B so the
 // -quick mode can bound the total runtime for CI smoke use:
 //
-//	benchjson [-quick] [-o BENCH_PR8.json]
+//	benchjson [-quick] [-o BENCH_PR9.json]
 package main
 
 import (
@@ -69,6 +73,27 @@ type collectiveEntry struct {
 	Size    int     `json:"size"`
 	MeanUs  float64 `json:"mean_us"`
 	Library string  `json:"library"`
+}
+
+type hierCollEntry struct {
+	Net      string  `json:"net"`
+	Op       string  `json:"op"`
+	Ranks    int     `json:"ranks"`
+	Nodes    int     `json:"nodes"`
+	Size     int     `json:"size"`
+	FlatUs   float64 `json:"flat_us"`
+	HierUs   float64 `json:"hier_us"`
+	SpeedupX float64 `json:"speedup_x"`
+	Library  string  `json:"library"`
+}
+
+type hierCrossoverEntry struct {
+	Net string `json:"net"`
+	Op  string `json:"op"`
+	// CrossoverRanks is the smallest measured rank count at which the
+	// hierarchical algorithm beats the flat one on this fabric; 0 means it
+	// never did within the sweep.
+	CrossoverRanks int `json:"crossover_ranks"`
 }
 
 type bcastPipeEntry struct {
@@ -148,6 +173,8 @@ type report struct {
 	Concurrent    concurrentEntry        `json:"concurrent_small"`
 	PingPong      pingPongEntry          `json:"pingpong_shm"`
 	Collectives   []collectiveEntry      `json:"collectives_sim"`
+	HierColl      []hierCollEntry        `json:"hier_coll"`
+	HierCrossover []hierCrossoverEntry   `json:"hier_coll_crossover"`
 	BcastPipeline bcastPipeEntry         `json:"bcast_pipelined_sim"`
 	MultiPairTCP  []multiPairEntry       `json:"multipair_tcp"`
 	ChunkedP2P    []chunkedP2PEntry      `json:"chunked_p2p"`
@@ -157,7 +184,7 @@ type report struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "short measurement loops for CI smoke use")
-	out := flag.String("o", "BENCH_PR8.json", "output path ('-' for stdout)")
+	out := flag.String("o", "BENCH_PR9.json", "output path ('-' for stdout)")
 	flag.Parse()
 
 	rep := report{
@@ -205,6 +232,7 @@ func main() {
 	rep.Concurrent = measureConcurrent(mkEngine, budget)
 	rep.PingPong = measurePingPong(key, *quick)
 	rep.Collectives, rep.BcastPipeline = measureCollectives(*quick)
+	rep.HierColl, rep.HierCrossover = measureHierColl(*quick)
 	rep.MultiPairTCP = measureMultiPair(*quick)
 	rep.ChunkedP2P = measureChunkedP2P(key, *quick)
 	rep.SessionCost = measureSessionOverhead(key, *quick)
@@ -424,6 +452,94 @@ func measureCollectives(quick bool) ([]collectiveEntry, bcastPipeEntry) {
 		pipe.ImprovementPct = (1 - lat[1].Seconds()/lat[0].Seconds()) * 100
 	}
 	return colls, pipe
+}
+
+// measureHierColl is the hier_coll suite (DESIGN.md §15): flat versus
+// topology-aware two-level collectives at p ∈ {64, 256, 1024} on the
+// paper testbed shape (8 ranks per node), across the calibrated Ethernet
+// fabric, its contention-knee variant, and InfiniBand, all under the
+// BoringSSL cost model. Alltoall stops at 256 ranks — the flat exchange is
+// p×(p−1) messages and exists below the crossover to make the crossover
+// itself visible. The crossover table reports, per (fabric, op), the
+// smallest rank count where the hierarchical algorithm wins.
+func measureHierColl(quick bool) ([]hierCollEntry, []hierCrossoverEntry) {
+	model, err := encmpi.LibraryModel("boringssl", "gcc485", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mk := func(int) encmpi.Engine { return model }
+
+	nets := []struct {
+		name string
+		cfg  encmpi.NetConfig
+	}{
+		{"eth10g", encmpi.Eth10G()},
+		{"eth10g-contended", encmpi.Eth10GContended()},
+		{"ib40g", encmpi.IB40G()},
+	}
+	type shape struct{ ranks, nodes int }
+	shapes := []shape{{64, 8}, {256, 32}, {1024, 128}}
+	if quick {
+		shapes = shapes[:1]
+	}
+	pairs := []struct {
+		name      string
+		flat, hct encmpi.CollectiveOp
+		// size maps rank count to message size: bandwidth-bound payloads
+		// for bcast/allreduce, small blocks for the p²-volume exchanges.
+		size     func(ranks int) int
+		maxRanks int
+	}{
+		{"bcast", encmpi.OpBcast, encmpi.OpHierBcast, func(int) int { return 256 << 10 }, 1024},
+		{"allreduce", encmpi.OpAllreduce, encmpi.OpHierAllreduce, func(int) int { return 64 << 10 }, 1024},
+		{"allgather", encmpi.OpAllgather, encmpi.OpHierAllgather, func(ranks int) int {
+			if ranks >= 1024 {
+				return 256
+			}
+			return 1 << 10
+		}, 1024},
+		{"alltoall", encmpi.OpAlltoall, encmpi.OpHierAlltoall, func(int) int { return 512 }, 256},
+	}
+
+	var entries []hierCollEntry
+	var crossovers []hierCrossoverEntry
+	for _, net := range nets {
+		for _, pr := range pairs {
+			crossover := 0
+			for _, sh := range shapes {
+				if sh.ranks > pr.maxRanks {
+					continue
+				}
+				iters := 4
+				if quick || sh.ranks >= 1024 {
+					iters = 2
+				}
+				size := pr.size(sh.ranks)
+				var lat [2]time.Duration
+				for i, op := range []encmpi.CollectiveOp{pr.flat, pr.hct} {
+					res, err := encmpi.Collective(net.cfg, mk, op, sh.ranks, sh.nodes, size, iters)
+					if err != nil {
+						log.Fatal(err)
+					}
+					lat[i] = res.MeanLat
+				}
+				e := hierCollEntry{
+					Net: net.name, Op: pr.name, Ranks: sh.ranks, Nodes: sh.nodes, Size: size,
+					FlatUs: lat[0].Seconds() * 1e6, HierUs: lat[1].Seconds() * 1e6,
+					Library: "boringssl/gcc485",
+				}
+				if lat[1] > 0 {
+					e.SpeedupX = lat[0].Seconds() / lat[1].Seconds()
+				}
+				if e.SpeedupX > 1 && crossover == 0 {
+					crossover = sh.ranks
+				}
+				entries = append(entries, e)
+			}
+			crossovers = append(crossovers, hierCrossoverEntry{Net: net.name, Op: pr.name, CrossoverRanks: crossover})
+		}
+	}
+	return entries, crossovers
 }
 
 // runMultiPair times one multi-pair run: `pairs` disjoint sender→receiver

@@ -1,10 +1,14 @@
 // Command collective times Encrypted_Bcast and Encrypted_Alltoall on the
 // simulated cluster (paper Tables II/III/VI/VII and Figs. 7/8/14/15).
 // -op bcastpipe times the segmented pipelined broadcast (crypto/wire
-// overlap down the binomial tree) for comparison with plain bcast.
+// overlap down the binomial tree) for comparison with plain bcast. The
+// hier_* ops time the topology-aware two-level collectives (DESIGN.md §15)
+// against their flat siblings at the same shape.
 //
-//	collective [-op bcast|alltoall|allgather|bcastpipe] [-net eth|ib]
-//	           [-ranks 64] [-nodes 8] [-sizes 1,16384,4194304] [-iters 20]
+//	collective [-op bcast|alltoall|allgather|allreduce|bcastpipe|
+//	            hier_bcast|hier_allgather|hier_allreduce|hier_alltoall]
+//	           [-net eth|ib] [-ranks 64] [-nodes 8]
+//	           [-sizes 1,16384,4194304] [-iters 20]
 package main
 
 import (
@@ -19,7 +23,7 @@ import (
 )
 
 func main() {
-	op := flag.String("op", "alltoall", "collective: bcast, alltoall, allgather, or bcastpipe (segmented pipelined bcast)")
+	op := flag.String("op", "alltoall", "collective: bcast, alltoall, allgather, allreduce, bcastpipe (segmented pipelined bcast), or hier_{bcast,allgather,allreduce,alltoall} (two-level topology-aware)")
 	net := flag.String("net", "eth", "network: eth or ib")
 	ranks := flag.Int("ranks", 64, "number of ranks")
 	nodes := flag.Int("nodes", 8, "number of nodes")

@@ -209,5 +209,11 @@ func PaperTestbed(ranks, nodes int) ClusterSpec { return cluster.PaperTestbed(ra
 // Eth10G returns the calibrated 10 Gbps Ethernet fabric preset.
 func Eth10G() NetConfig { return simnet.Eth10G() }
 
+// Eth10GContended is Eth10G with the small-message NIC contention knee
+// enabled: with many ranks per node sharing one NIC, flat collectives pay a
+// per-message gap inflation that the leader-based hierarchical collectives
+// avoid (DESIGN.md §15).
+func Eth10GContended() NetConfig { return simnet.Eth10GContended() }
+
 // IB40G returns the calibrated 40 Gbps InfiniBand fabric preset.
 func IB40G() NetConfig { return simnet.IB40G() }

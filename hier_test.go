@@ -1,0 +1,433 @@
+package encmpi_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"encmpi"
+)
+
+// hierKey is the shared master key of the hierarchical-collective tests.
+var hierKey = bytes.Repeat([]byte{0x5a}, 32)
+
+// hierTestPayload is a deterministic per-seed byte pattern.
+func hierTestPayload(seed, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(seed*37 + i*11 + 5)
+	}
+	return b
+}
+
+// runHierSession runs body over shm with a rank→node map and a per-rank
+// session attached to the world.
+func runHierSession(t *testing.T, p int, nodeOf func(rank int) int,
+	body func(e *encmpi.EncryptedComm, s *encmpi.Session), opts ...encmpi.Option) {
+	t.Helper()
+	opts = append(opts, encmpi.WithTopology(nodeOf))
+	err := encmpi.RunShm(p, func(c *encmpi.Comm) {
+		s, err := encmpi.NewSession(hierKey)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e, err := s.Attach(c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		body(e, s)
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkHierOps runs all four hierarchical collectives under the session
+// engine and checks results against locally computed expectations.
+func checkHierOps(t *testing.T, e *encmpi.EncryptedComm) {
+	p := e.Size()
+	r := e.Rank()
+	root := p / 2
+
+	var in encmpi.Buffer
+	if r == root {
+		in = encmpi.Bytes(hierTestPayload(root, 513))
+	}
+	got, err := e.HierBcast(root, in)
+	if err != nil {
+		t.Errorf("rank %d: HierBcast: %v", r, err)
+	} else if !bytes.Equal(got.Data, hierTestPayload(root, 513)) {
+		t.Errorf("rank %d: HierBcast payload differs", r)
+	}
+
+	blocks, err := e.HierAllgather(encmpi.Bytes(hierTestPayload(r, 100+r)))
+	if err != nil {
+		t.Errorf("rank %d: HierAllgather: %v", r, err)
+	} else {
+		for i, b := range blocks {
+			if !bytes.Equal(b.Data, hierTestPayload(i, 100+i)) {
+				t.Errorf("rank %d: HierAllgather block %d differs", r, i)
+			}
+		}
+	}
+
+	vals := make([]float64, 32)
+	for i := range vals {
+		vals[i] = float64(r + i)
+	}
+	red, err := e.HierAllreduce(encmpi.Float64Buffer(vals), encmpi.Float64, encmpi.OpSum)
+	if err != nil {
+		t.Errorf("rank %d: HierAllreduce: %v", r, err)
+	} else {
+		gotVals := encmpi.Float64s(red)
+		for i, v := range gotVals {
+			want := float64(p*i) + float64(p*(p-1))/2
+			if v != want {
+				t.Errorf("rank %d: HierAllreduce[%d] = %v, want %v", r, i, v, want)
+			}
+		}
+	}
+
+	out := make([]encmpi.Buffer, p)
+	for d := range out {
+		out[d] = encmpi.Bytes(hierTestPayload(r*1000+d, 24+(r+d)%17))
+	}
+	back, err := e.HierAlltoall(out)
+	if err != nil {
+		t.Errorf("rank %d: HierAlltoall: %v", r, err)
+	} else {
+		for s, b := range back {
+			if !bytes.Equal(b.Data, hierTestPayload(s*1000+r, 24+(s+r)%17)) {
+				t.Errorf("rank %d: HierAlltoall block from %d differs", r, s)
+			}
+		}
+	}
+}
+
+// TestHierSessionEngine runs the full hierarchical suite under the session
+// engine at the issue's -race world sizes, over uniform and non-uniform
+// rank→node maps (including a 1-rank node and the every-rank-its-own-node
+// degenerate map).
+func TestHierSessionEngine(t *testing.T) {
+	cases := []struct {
+		p      int
+		name   string
+		nodeOf func(r int) int
+	}{
+		{9, "three-nodes", func(r int) int { return r / 3 }},
+		{9, "lone-rank-node", func(r int) int {
+			if r == 8 {
+				return 2
+			}
+			return r / 4
+		}},
+		{16, "four-nodes", func(r int) int { return r / 4 }},
+		{16, "leaders-only", func(r int) int { return r }},
+		{33, "non-uniform", func(r int) int {
+			// 1 + 16 + 16: rank 0 alone, then two fat nodes.
+			if r == 0 {
+				return 0
+			}
+			return 1 + (r-1)/16
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("p%d/%s", tc.p, tc.name), func(t *testing.T) {
+			if testing.Short() && tc.p > 16 {
+				t.Skip("short mode")
+			}
+			t.Parallel()
+			runHierSession(t, tc.p, tc.nodeOf, func(e *encmpi.EncryptedComm, s *encmpi.Session) {
+				checkHierOps(t, e)
+			})
+		})
+	}
+}
+
+// TestHierBcastLarge exercises the large-record inter-node broadcast through
+// both the one-shot HierBcast and a persistent plan, and pins its seal
+// budget: still exactly one inter-node seal per broadcast, because the
+// fragments are ciphertext slices of a single sealed record. The 4-node
+// geometry takes the scatter-allgather path (power-of-two leader count); the
+// 3-node one takes the whole-record binomial fallback.
+func TestHierBcastLarge(t *testing.T) {
+	t.Run("scatter-allgather", func(t *testing.T) { testHierBcastLarge(t, 8, 2) })
+	t.Run("binomial-fallback", func(t *testing.T) { testHierBcastLarge(t, 9, 3) })
+}
+
+func testHierBcastLarge(t *testing.T, p, perNode int) {
+	const (
+		size = 40 << 10 // well above the 16 KiB scatter-allgather threshold
+		root = 4
+	)
+	reg := encmpi.NewRegistry(p)
+	runHierSession(t, p, func(r int) int { return r / perNode }, func(e *encmpi.EncryptedComm, s *encmpi.Session) {
+		var in encmpi.Buffer
+		if e.Rank() == root {
+			in = encmpi.Bytes(hierTestPayload(root, size))
+		}
+		got, err := e.HierBcast(root, in)
+		if err != nil {
+			t.Errorf("rank %d: HierBcast: %v", e.Rank(), err)
+		} else if !bytes.Equal(got.Data, hierTestPayload(root, size)) {
+			t.Errorf("rank %d: HierBcast payload differs", e.Rank())
+		}
+
+		plan := e.BcastInit(root)
+		for iter := 0; iter < 2; iter++ {
+			var buf encmpi.Buffer
+			if e.Rank() == root {
+				buf = encmpi.Bytes(hierTestPayload(iter, size))
+			}
+			got, err := plan.Start(buf).Wait()
+			if err != nil {
+				t.Errorf("rank %d iter %d: plan: %v", e.Rank(), iter, err)
+			} else if !bytes.Equal(got.Data, hierTestPayload(iter, size)) {
+				t.Errorf("rank %d iter %d: plan payload differs", e.Rank(), iter)
+			}
+		}
+	}, encmpi.WithMetrics(reg))
+	c := reg.Snapshot().Total.Crypto
+	if c.SealsInterNode != 3 || c.SealsIntraNode != 0 {
+		t.Errorf("seals inter=%d intra=%d, want 3 inter (one per broadcast), 0 intra",
+			c.SealsInterNode, c.SealsIntraNode)
+	}
+	if c.AuthFailures != 0 {
+		t.Errorf("auth failures: %d", c.AuthFailures)
+	}
+}
+
+// TestHierMidRunRekey interleaves Rekey with hierarchical collectives: every
+// rank rolls its epoch between operations (and at staggered points relative
+// to its peers), and every operation must still authenticate — the grace
+// window and ahead-of-time epoch derivation absorb the skew.
+func TestHierMidRunRekey(t *testing.T) {
+	runHierSession(t, 9, func(r int) int { return r / 3 }, func(e *encmpi.EncryptedComm, s *encmpi.Session) {
+		for iter := 0; iter < 3; iter++ {
+			// Stagger: a third of the ranks rekey before the round, the
+			// rest after the bcast — peers straddle epochs mid-operation.
+			if e.Rank()%3 == iter%3 {
+				if err := s.Rekey(); err != nil {
+					t.Errorf("rank %d: rekey: %v", e.Rank(), err)
+				}
+			}
+			checkHierOps(t, e)
+		}
+		if s.Epoch() == 0 {
+			t.Errorf("rank %d: no epoch advanced", e.Rank())
+		}
+	})
+}
+
+// TestHierSealLocality pins the inter-node seal budget of each hierarchical
+// collective: HierBcast seals exactly once, HierAllgather and HierAllreduce
+// exactly `nodes` times, HierAlltoall nodes×(nodes−1) — all of it inter-node
+// (intra-node legs travel plaintext), so the counters prove both the crypto
+// placement and the O(nodes) claim.
+func TestHierSealLocality(t *testing.T) {
+	for _, nodes := range []int{2, 4} {
+		nodes := nodes
+		t.Run(fmt.Sprintf("nodes%d", nodes), func(t *testing.T) {
+			p := 8
+			reg := encmpi.NewRegistry(p)
+			runHierSession(t, p, func(r int) int { return r * nodes / p }, func(e *encmpi.EncryptedComm, s *encmpi.Session) {
+				checkHierOps(t, e)
+			}, encmpi.WithMetrics(reg))
+			snap := reg.Snapshot()
+			c := snap.Total.Crypto
+			if c.SealsIntraNode+c.SealsInterNode != c.Seals {
+				t.Errorf("locality split %d+%d != seals %d", c.SealsIntraNode, c.SealsInterNode, c.Seals)
+			}
+			// checkHierOps: 1 (bcast) + nodes (allgather) + nodes (allreduce)
+			// + nodes(nodes−1) (alltoall) inter-node seals, nothing else.
+			want := uint64(1 + nodes + nodes + nodes*(nodes-1))
+			if c.SealsInterNode != want {
+				t.Errorf("inter-node seals = %d, want %d (nodes=%d)", c.SealsInterNode, want, nodes)
+			}
+			if c.SealsIntraNode != 0 {
+				t.Errorf("intra-node seals = %d, want 0 (intra legs are plaintext)", c.SealsIntraNode)
+			}
+			if c.AuthFailures != 0 {
+				t.Errorf("auth failures: %d", c.AuthFailures)
+			}
+		})
+	}
+}
+
+// TestPersistentSteadyState drives persistent Bcast and Allreduce plans for
+// several cycles and pins the init-once/start-many contract: after the first
+// cycle, no epoch-key derivation runs (Session.Derivations is flat) and the
+// topology cache is never rebuilt.
+func TestPersistentSteadyState(t *testing.T) {
+	const p = 8
+	runHierSession(t, p, func(r int) int { return r / 2 }, func(e *encmpi.EncryptedComm, s *encmpi.Session) {
+		bc := e.BcastInit(3)
+		ar := e.AllreduceInit(encmpi.Float64, encmpi.OpSum)
+		h := e.Unwrap().Hier()
+		if h == nil {
+			t.Fatal("plan init did not build the topology decomposition")
+		}
+
+		runCycle := func(iter int) {
+			var in encmpi.Buffer
+			if e.Rank() == 3 {
+				in = encmpi.Bytes(hierTestPayload(iter, 256))
+			}
+			got, err := bc.Start(in).Wait()
+			if err != nil {
+				t.Errorf("rank %d iter %d: bcast plan: %v", e.Rank(), iter, err)
+			} else if !bytes.Equal(got.Data, hierTestPayload(iter, 256)) {
+				t.Errorf("rank %d iter %d: bcast payload differs", e.Rank(), iter)
+			}
+			red, err := ar.Start(encmpi.Float64Buffer([]float64{float64(e.Rank() + iter)})).Wait()
+			if err != nil {
+				t.Errorf("rank %d iter %d: allreduce plan: %v", e.Rank(), iter, err)
+			} else if v := encmpi.Float64s(red)[0]; v != float64(p*(p-1)/2+p*iter) {
+				t.Errorf("rank %d iter %d: allreduce = %v, want %v", e.Rank(), iter, v, float64(p*(p-1)/2+p*iter))
+			}
+		}
+
+		// Warm-up cycle, then pin the derivation counter and hier cache
+		// across the steady-state cycles.
+		runCycle(0)
+		e.Barrier()
+		derivations := s.Derivations()
+		for iter := 1; iter <= 5; iter++ {
+			runCycle(iter)
+		}
+		e.Barrier()
+		if got := s.Derivations(); got != derivations {
+			t.Errorf("rank %d: %d key derivations during steady state", e.Rank(), got-derivations)
+		}
+		if e.Unwrap().Hier() != h {
+			t.Errorf("rank %d: topology decomposition rebuilt in steady state", e.Rank())
+		}
+	})
+}
+
+// TestPersistentPlanAllocs gates the plan machinery's own steady-state
+// allocations: at p=1 (no wire traffic, null engine) a Start/Wait cycle
+// reuses the pinned schedule and record context, so per-cycle allocations
+// stay at zero.
+func TestPersistentPlanAllocs(t *testing.T) {
+	if err := encmpi.RunShm(1, func(c *encmpi.Comm) {
+		e := encmpi.EncryptWith(c, encmpi.Unencrypted())
+		plan := e.BcastInit(0)
+		buf := encmpi.Bytes([]byte("steady"))
+		plan.Start(buf).Wait() // warm-up
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := plan.Start(buf).Wait(); err != nil {
+				t.Error(err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("persistent bcast cycle allocates %.1f objects/run, want 0", allocs)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHierFlatEquivalenceSim is the check.sh hierarchical smoke: a 64-rank
+// simulated job on the paper testbed (8 nodes × 8 ranks, topology inferred
+// from the cluster spec, session engine) runs every collective both
+// hierarchically and flat and requires bit-for-bit identical results.
+func TestHierFlatEquivalenceSim(t *testing.T) {
+	const (
+		p    = 64
+		root = 13
+	)
+	spec := encmpi.PaperTestbed(p, 8)
+	_, err := encmpi.RunSim(spec, encmpi.Eth10G(), func(c *encmpi.Comm) {
+		s, err := encmpi.NewSession(hierKey)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e, err := s.Attach(c)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r := c.Rank()
+		if c.Hier() == nil || c.Hier().Nodes() != 8 {
+			t.Errorf("rank %d: no 8-node topology from the cluster spec", r)
+			return
+		}
+
+		var in encmpi.Buffer
+		if r == root {
+			in = encmpi.Bytes(hierTestPayload(root, 2000))
+		}
+		hb, err := e.HierBcast(root, in)
+		if err != nil {
+			t.Errorf("rank %d: HierBcast: %v", r, err)
+			return
+		}
+		fb, err := e.Bcast(root, in)
+		if err != nil {
+			t.Errorf("rank %d: Bcast: %v", r, err)
+			return
+		}
+		if !bytes.Equal(hb.Data, fb.Data) {
+			t.Errorf("rank %d: hier and flat Bcast differ", r)
+		}
+
+		block := encmpi.Bytes(hierTestPayload(r, 64+r))
+		hg, err := e.HierAllgather(block)
+		if err != nil {
+			t.Errorf("rank %d: HierAllgather: %v", r, err)
+			return
+		}
+		fg, err := e.Allgather(block)
+		if err != nil {
+			t.Errorf("rank %d: Allgather: %v", r, err)
+			return
+		}
+		for i := range fg {
+			if !bytes.Equal(hg[i].Data, fg[i].Data) {
+				t.Errorf("rank %d: hier and flat Allgather block %d differ", r, i)
+			}
+		}
+
+		vals := make([]float64, 16)
+		for i := range vals {
+			vals[i] = float64(r*31 + i)
+		}
+		hr, err := e.HierAllreduce(encmpi.Float64Buffer(vals), encmpi.Float64, encmpi.OpSum)
+		if err != nil {
+			t.Errorf("rank %d: HierAllreduce: %v", r, err)
+			return
+		}
+		fr := e.Allreduce(encmpi.Float64Buffer(vals), encmpi.Float64, encmpi.OpSum)
+		if !bytes.Equal(hr.Data, fr.Data) {
+			t.Errorf("rank %d: hier and flat Allreduce differ", r)
+		}
+
+		out := make([]encmpi.Buffer, p)
+		for d := range out {
+			out[d] = encmpi.Bytes(hierTestPayload(r*1000+d, 16+(r+d)%9))
+		}
+		ha, err := e.HierAlltoall(out)
+		if err != nil {
+			t.Errorf("rank %d: HierAlltoall: %v", r, err)
+			return
+		}
+		fa, err := e.Alltoall(out)
+		if err != nil {
+			t.Errorf("rank %d: Alltoall: %v", r, err)
+			return
+		}
+		for i := range fa {
+			if !bytes.Equal(ha[i].Data, fa[i].Data) {
+				t.Errorf("rank %d: hier and flat Alltoall block %d differ", r, i)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

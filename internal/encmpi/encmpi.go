@@ -79,7 +79,33 @@ func (e *Comm) seal(buf mpi.Buffer, ctx *session.RecordCtx) mpi.Buffer {
 	start := int64(proc.Now())
 	wire := run()
 	e.metrics.Seal(buf.Len(), wire.Len(), int64(proc.Now())-start)
+	e.classifySealLocality(ctx)
 	return wire
+}
+
+// classifySealLocality charges the seal just recorded to exactly one of the
+// intra-/inter-node counters (DESIGN.md §15): by destination node when the
+// record binds a concrete destination, by whether the communicator spans
+// nodes for fan-out (Wildcard) and context-free records. The split is what
+// makes the hierarchical collectives' O(nodes) inter-node claim checkable
+// from metrics.
+func (e *Comm) classifySealLocality(ctx *session.RecordCtx) {
+	if e.sealCrossesNode(ctx) {
+		e.metrics.SealInterNode()
+	} else {
+		e.metrics.SealIntraNode()
+	}
+}
+
+func (e *Comm) sealCrossesNode(ctx *session.RecordCtx) bool {
+	c := e.c
+	if !c.HasTopology() {
+		return false
+	}
+	if ctx != nil && ctx.Dst >= 0 && ctx.Dst < c.Size() {
+		return c.NodeOf(ctx.Dst) != c.NodeOf(c.Rank())
+	}
+	return c.SpansNodes()
 }
 
 // open runs the engine's Open with timing and byte accounting; failed opens
@@ -197,6 +223,7 @@ func (e *Comm) sealToSlot(dst int, buf mpi.Buffer, ctx *session.RecordCtx) (mpi.
 	if e.metrics != nil {
 		e.metrics.Seal(buf.Len(), n, int64(proc.Now())-start)
 		e.metrics.SealInPlace()
+		e.classifySealLocality(ctx)
 	}
 	return slot.Prefix(n), true
 }
@@ -425,6 +452,22 @@ func (e *Comm) Allgather(myBlock mpi.Buffer) ([]mpi.Buffer, error) {
 		plain, err := e.open(w, e.collCtx(session.OpAllgather, i, session.Wildcard))
 		if err != nil {
 			return nil, fmt.Errorf("encmpi: allgather block %d: %w", i, err)
+		}
+		out[i] = plain
+	}
+	return out, nil
+}
+
+// Allgatherv is Encrypted_Allgatherv: Allgather with ragged block sizes.
+// Seal the local block, allgatherv the ciphertexts, decrypt all of them.
+func (e *Comm) Allgatherv(myBlock mpi.Buffer) ([]mpi.Buffer, error) {
+	wire := e.seal(myBlock, e.collCtx(session.OpAllgatherv, e.Rank(), session.Wildcard))
+	gathered := e.c.Allgatherv(wire)
+	out := make([]mpi.Buffer, len(gathered))
+	for i, w := range gathered {
+		plain, err := e.open(w, e.collCtx(session.OpAllgatherv, i, session.Wildcard))
+		if err != nil {
+			return nil, fmt.Errorf("encmpi: allgatherv block %d: %w", i, err)
 		}
 		out[i] = plain
 	}

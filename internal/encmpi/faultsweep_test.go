@@ -235,6 +235,24 @@ func sweepRoutines() []sweepRoutine {
 			},
 		},
 		{
+			// Ragged per-rank blocks, including a zero-length one: the
+			// overlapped direct-exchange Allgatherv posts every receive up
+			// front, so the sweep checks no fault can cross-match blocks
+			// between the concurrent transfers.
+			name: "allgatherv", ranks: 4, eager: 1 << 10,
+			body: func(c *cell, e *encmpi.Comm) {
+				block := func(r int) []byte { return sweepPayload(30+r, 300*r) }
+				out, err := e.Allgatherv(mpi.Bytes(block(e.Rank())))
+				if err != nil {
+					c.report("allgatherv", mpi.Buffer{}, nil, err)
+					return
+				}
+				for i, b := range out {
+					c.report(fmt.Sprintf("allgatherv[%d]", i), b, block(i), nil)
+				}
+			},
+		},
+		{
 			name: "alltoallv", ranks: 4, eager: 1 << 10,
 			body: func(c *cell, e *encmpi.Comm) {
 				block := func(i, j int) []byte { return sweepPayload(40+4*i+j, 100+53*i+31*j) }

@@ -55,6 +55,10 @@ type Options struct {
 	// Ignored by the other launchers.
 	ShmRingSlots     int
 	ShmRingSlotBytes int
+	// Topology maps a world rank to its node id, enabling the hierarchical
+	// collectives (DESIGN.md §15). The simulator installs its cluster spec's
+	// placement automatically; a non-nil Topology overrides even that.
+	Topology func(rank int) int
 }
 
 // eager returns the effective eager threshold for a real launcher.
@@ -92,6 +96,7 @@ func RunShmOpts(n int, opts Options, body Body) error {
 	outer := opts.wrapFault(tr)
 	w := mpi.NewWorld(n, outer, opts.eager())
 	w.SetMetrics(opts.Metrics)
+	w.SetTopology(opts.Topology)
 	tr.Bind(w)
 	return runReal(w, n, body)
 }
@@ -113,6 +118,7 @@ func RunTCPOpts(n int, opts Options, body Body) error {
 	outer := opts.wrapFault(tr)
 	w := mpi.NewWorld(n, outer, opts.eager())
 	w.SetMetrics(opts.Metrics)
+	w.SetTopology(opts.Topology)
 	tr.Bind(w)
 	return runReal(w, n, body)
 }
@@ -187,6 +193,13 @@ func RunSimOpts(spec cluster.Spec, cfg simnet.Config, opts Options, body Body) (
 	outer := opts.wrapFault(tr)
 	w := mpi.NewWorld(spec.Ranks, outer, cfg.EagerThreshold)
 	w.SetMetrics(opts.Metrics)
+	// The simulator always knows the placement: the spec's rank→node map is
+	// the topology, so hierarchical collectives work with no extra option.
+	if opts.Topology != nil {
+		w.SetTopology(opts.Topology)
+	} else {
+		w.SetTopology(spec.NodeOf)
+	}
 	tr.Bind(w)
 
 	res := SimResult{RankElapsed: make([]time.Duration, spec.Ranks)}

@@ -124,13 +124,19 @@ func (c *Comm) Alltoall(blocks []Buffer) []Buffer {
 			return c.alltoallBruck(blocks)
 		}
 	}
+	return c.alltoallPairwise(blocks)
+}
+
+// alltoallPairwise is the overlapped pairwise exchange shared by Alltoall and
+// Alltoallv. Every receive is posted up front, then every send: all p-1
+// pairwise exchanges progress concurrently, so an early-arriving block never
+// waits behind a step barrier (and under the encrypted layer every block's
+// decryption overlaps the remaining transfers inside Wait).
+func (c *Comm) alltoallPairwise(blocks []Buffer) []Buffer {
 	seq := c.nextColl()
+	p := c.Size()
 	res := make([]Buffer, p)
 	res[c.rank] = blocks[c.rank]
-	// Post every receive up front, then every send: all p-1 pairwise
-	// exchanges progress concurrently, so an early-arriving block never
-	// waits behind a step barrier (and under the encrypted layer every
-	// block's decryption overlaps the remaining transfers inside Wait).
 	rreqs := make([]*Request, 0, p-1)
 	srcs := make([]int, 0, p-1)
 	for i := 1; i < p; i++ {
@@ -229,13 +235,16 @@ func splitBlocks(got Buffer, tmp []Buffer, idx []int, blockLen int) {
 }
 
 // Alltoallv is Alltoall with per-destination block sizes (the blocks may
-// have arbitrary, differing lengths, including zero).
+// have arbitrary, differing lengths, including zero). It goes straight to
+// the overlapped pairwise schedule — ragged sizes are the norm here, so the
+// Bruck small-uniform detour never applies, and all receives are posted up
+// front exactly as in Alltoall.
 func (c *Comm) Alltoallv(blocks []Buffer) []Buffer {
 	c.metrics.Op(obs.OpAlltoallv)
-	// The pairwise schedule handles ragged sizes without modification; the
-	// split exists to mirror the MPI interface and to give the encrypted
-	// layer distinct entry points, as in the paper's routine list.
-	return c.Alltoall(blocks)
+	if len(blocks) != c.Size() {
+		panic(fmt.Sprintf("mpi: Alltoallv needs %d blocks, got %d", c.Size(), len(blocks)))
+	}
+	return c.alltoallPairwise(blocks)
 }
 
 // Reduce combines buffers element-wise onto root via a binomial tree; only

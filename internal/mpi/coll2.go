@@ -72,23 +72,35 @@ func (c *Comm) Exscan(buf Buffer, dt Datatype, op Op) Buffer {
 	return prefix
 }
 
-// Allgatherv collects variable-size blocks from every rank. Ring algorithm,
-// like Allgather; block sizes may differ per rank (including zero).
+// Allgatherv collects variable-size blocks from every rank; block sizes may
+// differ per rank (including zero). Direct exchange with every receive
+// posted up front, then every send — unlike the ring (whose p-1 steps are
+// strictly dependent, each forwarding what the previous step delivered),
+// all transfers progress concurrently, and under the encrypted layer each
+// block's decryption overlaps the remaining transfers inside Wait.
 func (c *Comm) Allgatherv(myBlock Buffer) []Buffer {
 	c.metrics.Op(obs.OpAllgatherv)
 	seq := c.nextColl()
 	p := c.Size()
 	res := make([]Buffer, p)
 	res[c.rank] = myBlock
-	right := (c.rank + 1) % p
-	left := (c.rank - 1 + p) % p
-	cur := myBlock
-	for step := 1; step < p; step++ {
-		got, _ := c.sendrecvCtx(right, collTag(seq, step), cur, left, collTag(seq, step), c.ctxColl)
-		owner := (c.rank - step + p) % p
-		res[owner] = got
-		cur = got
+	rreqs := make([]*Request, 0, p-1)
+	srcs := make([]int, 0, p-1)
+	for i := 1; i < p; i++ {
+		src := (c.rank - i + p) % p
+		rreqs = append(rreqs, c.irecv(src, collTag(seq, i), c.ctxColl))
+		srcs = append(srcs, src)
 	}
+	sreqs := make([]*Request, 0, p-1)
+	for i := 1; i < p; i++ {
+		dst := (c.rank + i) % p
+		sreqs = append(sreqs, c.isend(dst, collTag(seq, i), c.ctxColl, myBlock))
+	}
+	for i, r := range rreqs {
+		got, _ := c.Wait(r)
+		res[srcs[i]] = got
+	}
+	c.Waitall(sreqs)
 	return res
 }
 

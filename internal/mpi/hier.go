@@ -1,0 +1,299 @@
+// hier.go is the topology-aware layer of the collectives: a cached
+// decomposition of a communicator into per-node and leader
+// sub-communicators (the MPI_Comm_split_type shape), plus the two-level
+// "hierarchical" collectives built on it. The locality argument is the MPI
+// Advance one: aggregate where bandwidth is cheap (intra-node, over the shm
+// rings), and let only one rank per node touch the NIC, so the inter-node
+// exchange is O(nodes), not O(ranks). See DESIGN.md §15.
+package mpi
+
+import (
+	"encoding/binary"
+
+	"encmpi/internal/obs"
+)
+
+// Hier is a communicator's node/leader decomposition. It is built
+// collectively (two Splits) by Comm.Hier and cached, so steady-state
+// hierarchical collectives never negotiate topology again.
+//
+// Node indices are dense and ordered by each node's lowest member comm rank,
+// which makes them equal to the leader's rank in the Leaders communicator —
+// both sides of every exchange can translate without communication.
+type Hier struct {
+	// Node groups the ranks sharing this rank's node, ordered by comm rank;
+	// its rank 0 is the node leader. Always non-nil, possibly size 1.
+	Node *Comm
+	// Leaders groups the node leaders (one per node), ordered by comm rank.
+	// nil on non-leader ranks.
+	Leaders *Comm
+	// IsLeader marks this rank as its node's leader (lowest comm rank).
+	IsLeader bool
+	// NodeIdx maps each comm rank to its dense node index.
+	NodeIdx []int
+	// LeaderOf maps each comm rank to the comm rank of its node's leader.
+	LeaderOf []int
+	// Members lists the comm ranks of each node (by dense index), ascending.
+	Members [][]int
+}
+
+// Nodes returns the number of distinct nodes the communicator spans.
+func (h *Hier) Nodes() int { return len(h.Members) }
+
+// Hier returns the cached node/leader decomposition, building it on first
+// call — which is collective (every member must reach it in the same
+// position of its collective sequence). It returns nil when the launcher
+// installed no topology; callers fall back to flat algorithms.
+func (c *Comm) Hier() *Hier {
+	if c.hier != nil {
+		return c.hier
+	}
+	if !c.HasTopology() {
+		return nil
+	}
+	p := c.Size()
+	h := &Hier{
+		NodeIdx:  make([]int, p),
+		LeaderOf: make([]int, p),
+	}
+	// Dense node indices in first-appearance (= lowest comm rank) order:
+	// computable locally because every rank sees the same rank→node map.
+	idxOf := make(map[int]int)
+	for r := 0; r < p; r++ {
+		n := c.NodeOf(r)
+		i, ok := idxOf[n]
+		if !ok {
+			i = len(h.Members)
+			idxOf[n] = i
+			h.Members = append(h.Members, nil)
+		}
+		h.NodeIdx[r] = i
+		h.Members[i] = append(h.Members[i], r)
+	}
+	for r := 0; r < p; r++ {
+		h.LeaderOf[r] = h.Members[h.NodeIdx[r]][0]
+	}
+	h.IsLeader = h.LeaderOf[c.rank] == c.rank
+
+	// Two collective Splits build the actual communicators. Keys are comm
+	// ranks, so ordering inside each group matches Members, and node index i's
+	// leader lands at rank i of Leaders (both orders are ascending comm rank).
+	h.Node = c.Split(h.NodeIdx[c.rank], c.rank)
+	leaderColor := Undefined
+	if h.IsLeader {
+		leaderColor = 0
+	}
+	h.Leaders = c.Split(leaderColor, c.rank)
+
+	c.hier = h
+	return h
+}
+
+// HierBcast is the two-level broadcast: the root's node leader seals nothing
+// here (plaintext layer) but the shape is the one the encrypted layer
+// mirrors — root hands the payload to its node leader, the leaders exchange
+// it inter-node, and each node distributes intra-node. Falls back to the
+// flat binomial tree when the topology is unknown.
+func (c *Comm) HierBcast(root int, buf Buffer) Buffer {
+	h := c.Hier()
+	if h == nil || h.Nodes() == 1 {
+		return c.Bcast(root, buf)
+	}
+	c.metrics.Op(obs.OpHierBcast)
+	rootNode := h.NodeIdx[root]
+	// Intra-node hop on the root's node: everyone there (the leader
+	// included) gets the payload at shm speed.
+	if h.NodeIdx[c.rank] == rootNode && h.Node.Size() > 1 {
+		buf = h.Node.Bcast(rootIn(h.Node, c, root), buf)
+	}
+	// Inter-node hop among leaders only: the binomial tree is over nodes.
+	if h.IsLeader {
+		buf = h.Leaders.Bcast(rootNode, buf)
+	}
+	// Intra-node distribution on every other node.
+	if h.NodeIdx[c.rank] != rootNode && h.Node.Size() > 1 {
+		buf = h.Node.Bcast(0, buf)
+	}
+	return buf
+}
+
+// rootIn translates rank r of parent comm c into sub's numbering.
+func rootIn(sub, c *Comm, r int) int {
+	return sub.commOf(c.worldOf(r))
+}
+
+// HierAllreduce reduces intra-node first (over shm), runs the allreduce among
+// leaders only, and broadcasts the result back intra-node. One NIC-crossing
+// flow per node per round instead of CoresPerNode of them.
+func (c *Comm) HierAllreduce(buf Buffer, dt Datatype, op Op) Buffer {
+	h := c.Hier()
+	if h == nil || h.Nodes() == 1 {
+		return c.Allreduce(buf, dt, op)
+	}
+	c.metrics.Op(obs.OpHierAllreduce)
+	partial := buf
+	if h.Node.Size() > 1 {
+		partial = h.Node.Reduce(0, buf, dt, op)
+	}
+	if h.IsLeader {
+		partial = h.Leaders.Allreduce(partial, dt, op)
+	}
+	if h.Node.Size() > 1 {
+		partial = h.Node.Bcast(0, partial)
+	}
+	return partial
+}
+
+// HierAllgather gathers blocks intra-node, allgathers one aggregate per node
+// among leaders, and broadcasts the assembled result intra-node. The result
+// is indexed by comm rank, bit-for-bit what the flat Allgather returns.
+func (c *Comm) HierAllgather(myBlock Buffer) []Buffer {
+	h := c.Hier()
+	if h == nil || h.Nodes() == 1 {
+		return c.Allgather(myBlock)
+	}
+	c.metrics.Op(obs.OpHierAllgather)
+	p := c.Size()
+	nodeBlocks := h.Node.Gather(0, myBlock)
+	var packedAll Buffer
+	if h.IsLeader {
+		agg := PackBlocks(nodeBlocks)
+		gathered := h.Leaders.Allgatherv(agg)
+		res := make([]Buffer, p)
+		for i, w := range gathered {
+			blocks := UnpackBlocks(w)
+			for j, b := range blocks {
+				if j < len(h.Members[i]) {
+					res[h.Members[i][j]] = b
+				}
+			}
+		}
+		packedAll = PackBlocks(res)
+	}
+	if h.Node.Size() > 1 {
+		packedAll = h.Node.Bcast(0, packedAll)
+	}
+	return UnpackBlocks(packedAll)
+}
+
+// HierAlltoall routes the personalized exchange through node leaders: ranks
+// hand their outgoing blocks to the leader, leaders exchange one aggregate
+// per destination node, and each leader redistributes what its node
+// received. nodes×(nodes−1) NIC crossings instead of p×(p−1).
+func (c *Comm) HierAlltoall(blocks []Buffer) []Buffer {
+	h := c.Hier()
+	if h == nil || h.Nodes() == 1 {
+		return c.Alltoall(blocks)
+	}
+	c.metrics.Op(obs.OpHierAlltoall)
+	if len(blocks) != c.Size() {
+		panic("mpi: HierAlltoall needs one block per rank")
+	}
+	myNode := h.NodeIdx[c.rank]
+	// Step 1: every rank ships its whole outgoing block set to the leader.
+	gathered := h.Node.Gather(0, PackBlocks(blocks))
+	var myPacked Buffer
+	if h.IsLeader {
+		// perSrc[j] = the p outgoing blocks of the j-th member of my node.
+		perSrc := make([][]Buffer, len(gathered))
+		for j, g := range gathered {
+			perSrc[j] = UnpackBlocks(g)
+		}
+		// Step 2: one aggregate per destination node, blocks in (src member,
+		// dst member) order — deterministic on both ends, so only length
+		// framing is needed.
+		aggs := make([]Buffer, h.Nodes())
+		scratch := make([]Buffer, 0, len(perSrc)*8)
+		for d := 0; d < h.Nodes(); d++ {
+			scratch = scratch[:0]
+			for _, srcBlocks := range perSrc {
+				for _, dst := range h.Members[d] {
+					scratch = append(scratch, srcBlocks[dst])
+				}
+			}
+			aggs[d] = PackBlocks(scratch)
+		}
+		// Step 3: leader exchange (dense node index == Leaders rank).
+		got := h.Leaders.Alltoallv(aggs)
+		// Step 4: unpack into res[member][src] and repack per member.
+		res := make([][]Buffer, len(h.Members[myNode]))
+		for m := range res {
+			res[m] = make([]Buffer, c.Size())
+		}
+		for srcNode, g := range got {
+			parts := UnpackBlocks(g)
+			k := 0
+			for _, src := range h.Members[srcNode] {
+				for m := range h.Members[myNode] {
+					if k < len(parts) {
+						res[m][src] = parts[k]
+					}
+					k++
+				}
+			}
+		}
+		perMember := make([]Buffer, len(res))
+		for m := range res {
+			perMember[m] = PackBlocks(res[m])
+		}
+		myPacked = h.Node.Scatterv(0, perMember)
+	} else {
+		myPacked = h.Node.Scatterv(0, nil)
+	}
+	return UnpackBlocks(myPacked)
+}
+
+// PackBlocks concatenates blocks with u32 length framing so a ragged set
+// survives a single transfer. Synthetic blocks contribute zero bytes of the
+// declared length (benchmark payloads carry no data to preserve). Exported
+// for the encrypted hierarchical layer, which frames node aggregates the
+// same way before sealing them.
+func PackBlocks(blocks []Buffer) Buffer {
+	total := 4 + 4*len(blocks)
+	for _, b := range blocks {
+		total += b.Len()
+	}
+	data := make([]byte, 4, total)
+	binary.LittleEndian.PutUint32(data, uint32(len(blocks)))
+	for _, b := range blocks {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(b.Len()))
+		data = append(data, hdr[:]...)
+		if b.IsSynthetic() {
+			data = append(data, make([]byte, b.Len())...)
+		} else {
+			data = append(data, b.Data...)
+		}
+	}
+	return Bytes(data)
+}
+
+// UnpackBlocks reverses PackBlocks. Hostile or truncated framing yields
+// short or empty blocks, never a panic — the damage surfaces as a content
+// mismatch in the layer above.
+func UnpackBlocks(packed Buffer) []Buffer {
+	data := packed.Data
+	if len(data) < 4 {
+		return nil
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	if n < 0 || n > len(data) {
+		return nil
+	}
+	data = data[4:]
+	blocks := make([]Buffer, 0, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 4 {
+			blocks = append(blocks, Buffer{})
+			continue
+		}
+		l := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if l < 0 || l > len(data) {
+			l = len(data)
+		}
+		blocks = append(blocks, Bytes(data[:l:l]))
+		data = data[l:]
+	}
+	return blocks
+}

@@ -1,0 +1,220 @@
+package mpi_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"encmpi/internal/cluster"
+	"encmpi/internal/job"
+	"encmpi/internal/mpi"
+	"encmpi/internal/simnet"
+)
+
+// hierTopologies is the satellite sweep of rank→node maps: uniform splits,
+// a lone 1-rank node among fat ones, and the leaders-only degenerate map
+// where every rank is its own node (all intra-node comms have size 1).
+func hierTopologies(p int) map[string]func(rank int) int {
+	tops := map[string]func(rank int) int{
+		"two-nodes":    func(r int) int { return r * 2 / p },
+		"leaders-only": func(r int) int { return r },
+	}
+	if p >= 4 {
+		// Non-uniform: rank p−1 alone on its node, the rest split in two.
+		tops["lone-rank-node"] = func(r int) int {
+			if r == p-1 {
+				return 2
+			}
+			return r * 2 / (p - 1)
+		}
+	}
+	if p >= 8 {
+		tops["four-nodes"] = func(r int) int { return r * 4 / p }
+	}
+	return tops
+}
+
+// hierPayload is a deterministic per-rank byte pattern.
+func hierPayload(rank, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rank*131 + i*7 + 3)
+	}
+	return b
+}
+
+// runHierTopo runs body over shm with an explicit rank→node map installed.
+func runHierTopo(t *testing.T, p int, nodeOf func(rank int) int, body job.Body) {
+	t.Helper()
+	if err := job.RunShmOpts(p, job.Options{Topology: nodeOf}, body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHierMatchesFlat checks each hierarchical collective bit-for-bit
+// against its flat counterpart, across world sizes (the -race sweep sizes of
+// the issue) and non-uniform topologies.
+func TestHierMatchesFlat(t *testing.T) {
+	for _, p := range []int{9, 16, 33} {
+		if testing.Short() && p > 16 {
+			continue
+		}
+		for name, nodeOf := range hierTopologies(p) {
+			p, nodeOf := p, nodeOf
+			t.Run(fmt.Sprintf("p%d/%s", p, name), func(t *testing.T) {
+				t.Parallel()
+				runHierTopo(t, p, nodeOf, func(c *mpi.Comm) {
+					r := c.Rank()
+					// Bcast from a non-zero, non-leader-ish root.
+					root := c.Size() / 2
+					msg := mpi.Bytes(hierPayload(root, 777))
+					var in mpi.Buffer
+					if r == root {
+						in = msg
+					}
+					got := c.HierBcast(root, in)
+					want := c.Bcast(root, in)
+					if !bytes.Equal(got.Data, want.Data) {
+						t.Errorf("rank %d: HierBcast differs from Bcast", r)
+					}
+
+					// Allgather with identical block sizes.
+					mine := mpi.Bytes(hierPayload(r, 64+8*r%32))
+					hg := c.HierAllgather(mine)
+					fg := c.Allgather(mine)
+					if len(hg) != len(fg) {
+						t.Fatalf("rank %d: HierAllgather %d blocks, flat %d", r, len(hg), len(fg))
+					}
+					for i := range hg {
+						if !bytes.Equal(hg[i].Data, fg[i].Data) {
+							t.Errorf("rank %d: HierAllgather block %d differs", r, i)
+						}
+					}
+
+					// Allreduce over int64 sums.
+					vals := make([]byte, 8*16)
+					for i := range vals {
+						vals[i] = byte(r + i)
+					}
+					hr := c.HierAllreduce(mpi.Bytes(vals), mpi.Int64, mpi.OpSum)
+					fr := c.Allreduce(mpi.Bytes(vals), mpi.Int64, mpi.OpSum)
+					if !bytes.Equal(hr.Data, fr.Data) {
+						t.Errorf("rank %d: HierAllreduce differs from Allreduce", r)
+					}
+
+					// Alltoall with ragged per-destination blocks (exercises the
+					// leader aggregate framing, not just uniform strides).
+					out := make([]mpi.Buffer, c.Size())
+					for d := range out {
+						out[d] = mpi.Bytes(hierPayload(r*100+d, 16+(r+d)%23))
+					}
+					ha := c.HierAlltoall(out)
+					fa := c.Alltoallv(out)
+					for i := range ha {
+						if !bytes.Equal(ha[i].Data, fa[i].Data) {
+							t.Errorf("rank %d: HierAlltoall block %d differs", r, i)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestHierDecomposition pins the decomposition invariants the encrypted
+// layer relies on: dense node indices in lowest-rank order, leader = lowest
+// member, Leaders rank == node index.
+func TestHierDecomposition(t *testing.T) {
+	p := 9
+	nodeOf := func(r int) int { return []int{7, 7, 3, 3, 3, 9, 9, 9, 1}[r] }
+	runHierTopo(t, p, nodeOf, func(c *mpi.Comm) {
+		h := c.Hier()
+		if h == nil {
+			t.Fatal("topology installed but Hier() == nil")
+		}
+		if h.Nodes() != 4 {
+			t.Fatalf("nodes = %d, want 4", h.Nodes())
+		}
+		// First-appearance order: node 7 → 0, node 3 → 1, node 9 → 2, node 1 → 3.
+		wantIdx := []int{0, 0, 1, 1, 1, 2, 2, 2, 3}
+		for r, w := range wantIdx {
+			if h.NodeIdx[r] != w {
+				t.Errorf("NodeIdx[%d] = %d, want %d", r, h.NodeIdx[r], w)
+			}
+		}
+		wantLeader := []int{0, 0, 2, 2, 2, 5, 5, 5, 8}
+		for r, w := range wantLeader {
+			if h.LeaderOf[r] != w {
+				t.Errorf("LeaderOf[%d] = %d, want %d", r, h.LeaderOf[r], w)
+			}
+		}
+		if h.IsLeader != (c.Rank() == h.LeaderOf[c.Rank()]) {
+			t.Errorf("rank %d: IsLeader = %v", c.Rank(), h.IsLeader)
+		}
+		if h.Node.Size() != len(h.Members[h.NodeIdx[c.Rank()]]) {
+			t.Errorf("rank %d: Node size %d, members %d", c.Rank(), h.Node.Size(), len(h.Members[h.NodeIdx[c.Rank()]]))
+		}
+		if h.IsLeader {
+			if h.Leaders == nil {
+				t.Fatalf("rank %d: leader without Leaders comm", c.Rank())
+			}
+			if h.Leaders.Rank() != h.NodeIdx[c.Rank()] {
+				t.Errorf("rank %d: Leaders rank %d != node index %d", c.Rank(), h.Leaders.Rank(), h.NodeIdx[c.Rank()])
+			}
+		} else if h.Leaders != nil {
+			t.Errorf("rank %d: non-leader got a Leaders comm", c.Rank())
+		}
+		// The cache must hand back the same decomposition (no re-split).
+		if c.Hier() != h {
+			t.Error("second Hier() call rebuilt the decomposition")
+		}
+	})
+}
+
+// TestHierSimAutoTopology checks that RunSim installs the cluster spec's
+// placement automatically: the decomposition must match the spec without any
+// WithTopology-style option.
+func TestHierSimAutoTopology(t *testing.T) {
+	spec := cluster.Spec{Name: "auto", Nodes: 4, CoresPerNode: 4, Ranks: 16, Place: cluster.Block}
+	_, err := job.RunSim(spec, simnet.Eth10G(), func(c *mpi.Comm) {
+		h := c.Hier()
+		if h == nil {
+			t.Fatal("RunSim did not install the spec topology")
+		}
+		if h.Nodes() != 4 {
+			t.Fatalf("nodes = %d, want 4", h.Nodes())
+		}
+		root := 5
+		var in mpi.Buffer
+		if c.Rank() == root {
+			in = mpi.Bytes(hierPayload(root, 4096))
+		}
+		got := c.HierBcast(root, in)
+		if !bytes.Equal(got.Data, hierPayload(root, 4096)) {
+			t.Errorf("rank %d: wrong hier bcast payload", c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHierNoTopologyFallsBack checks the no-topology path: Hier() is nil and
+// the Hier* entry points silently run the flat algorithms.
+func TestHierNoTopologyFallsBack(t *testing.T) {
+	if err := job.RunShm(4, func(c *mpi.Comm) {
+		if c.Hier() != nil {
+			t.Error("Hier() non-nil without topology")
+		}
+		var in mpi.Buffer
+		if c.Rank() == 0 {
+			in = mpi.Bytes([]byte("fallback"))
+		}
+		got := c.HierBcast(0, in)
+		if string(got.Data) != "fallback" {
+			t.Errorf("rank %d: got %q", c.Rank(), got.Data)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

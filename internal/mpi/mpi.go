@@ -310,7 +310,21 @@ type World struct {
 	// metrics, when set, receives per-rank op/wait/stray accounting. It is
 	// installed once before ranks attach and read-only afterwards.
 	metrics *obs.Registry
+
+	// nodeOf maps a world rank to its node id, when the launcher knows the
+	// placement (WithTopology, or the simulator's cluster spec). nil means
+	// the topology is unknown and hierarchical collectives fall back to
+	// their flat algorithms. Installed once before ranks attach and
+	// read-only afterwards.
+	nodeOf func(rank int) int
 }
+
+// SetTopology installs the rank→node map. Call it before AttachRank, like
+// SetMetrics; a nil map leaves the topology unknown.
+func (w *World) SetTopology(nodeOf func(rank int) int) { w.nodeOf = nodeOf }
+
+// Topology returns the installed rank→node map (nil when unknown).
+func (w *World) Topology() func(rank int) int { return w.nodeOf }
 
 // SetMetrics installs a metrics registry. Call it before AttachRank so every
 // communicator picks up its rank scope; a nil registry leaves the world
@@ -403,6 +417,46 @@ type Comm struct {
 	// when the world is unobserved. Sub-communicators from Split share it —
 	// accounting is always per world rank.
 	metrics *obs.Rank
+
+	// hier caches this communicator's node/leader decomposition (hier.go).
+	// Built collectively on first use; nil until then. Owned by this rank's
+	// goroutine like the rest of the handle.
+	hier *Hier
+	// spansMemo caches SpansNodes (0 unknown, 1 single-node, 2 spanning) —
+	// the encrypted layer asks per seal, and the scan is O(p).
+	spansMemo int8
+}
+
+// HasTopology reports whether the launcher installed a rank→node map.
+func (c *Comm) HasTopology() bool { return c.w.nodeOf != nil }
+
+// NodeOf returns the node id of a rank in this communicator's numbering, or
+// -1 when the topology is unknown.
+func (c *Comm) NodeOf(r int) int {
+	if c.w.nodeOf == nil {
+		return -1
+	}
+	return c.w.nodeOf(c.worldOf(r))
+}
+
+// SpansNodes reports whether this communicator's members live on more than
+// one node. An unknown topology counts as a single node (nothing provably
+// crosses a NIC).
+func (c *Comm) SpansNodes() bool {
+	if c.w.nodeOf == nil {
+		return false
+	}
+	if c.spansMemo == 0 {
+		c.spansMemo = 1
+		first := c.NodeOf(0)
+		for r := 1; r < c.Size(); r++ {
+			if c.NodeOf(r) != first {
+				c.spansMemo = 2
+				break
+			}
+		}
+	}
+	return c.spansMemo == 2
 }
 
 // Metrics returns this rank's metrics scope (nil when unobserved). The
@@ -490,5 +544,8 @@ func (c *Comm) WithLane(lane uint16) *Comm {
 	v := *c
 	v.lane = lane
 	v.collSeq = 0
+	// The cached decomposition's sub-communicators ride the original lane;
+	// the view must rebuild its own on first use.
+	v.hier = nil
 	return &v
 }

@@ -38,6 +38,15 @@ const (
 	OpMin
 )
 
+// ReduceBuffers accumulates src into dst element-wise (dst = dst (op) src),
+// mutating and returning dst. Callers that must not clobber their input clone
+// it first, exactly as the collectives here do. Exported for the encrypted
+// hierarchical layer, whose leader-phase reduction combines decrypted
+// partials outside this package.
+func ReduceBuffers(dst, src Buffer, dt Datatype, op Op) Buffer {
+	return reduceInto(dst, src, dt, op)
+}
+
 // reduceInto accumulates src into dst element-wise: dst = dst (op) src.
 // Synthetic buffers pass through untouched (the simulator only tracks sizes).
 func reduceInto(dst, src Buffer, dt Datatype, op Op) Buffer {

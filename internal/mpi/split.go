@@ -79,6 +79,10 @@ func (c *Comm) Split(color, key int) *Comm {
 		worldToComm: worldToComm,
 		ctxUser:     ctxHash(c.ctxUser, seq, lowest, 0),
 		ctxColl:     ctxHash(c.ctxUser, seq, lowest, 1),
+		// A sub-communicator of a lane view stays on that lane: session
+		// traffic (which rides a dedicated lane) keeps matching after a
+		// Split, so the hierarchical decomposition works under sessions.
+		lane: c.lane,
 	}
 }
 

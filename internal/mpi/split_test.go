@@ -3,6 +3,7 @@ package mpi_test
 import (
 	"testing"
 
+	"encmpi/internal/job"
 	"encmpi/internal/mpi"
 )
 
@@ -161,6 +162,40 @@ func pickBuf(cond bool, a, b mpi.Buffer) mpi.Buffer {
 		return a
 	}
 	return b
+}
+
+// TestSplitOverTCP is the regression test for the 64-bit wire context field.
+// Split derives 63-bit context ids (ctxHash), and the TCP frame header used
+// to truncate them to 32 bits — the receiver compares the full-width id, so
+// sub-communicator traffic never matched over sockets (this body deadlocked),
+// and truncation could alias two distinct sub-comms onto one wire context.
+// runBoth only covers shm and sim, so the TCP path needs its own run.
+func TestSplitOverTCP(t *testing.T) {
+	if err := job.RunTCP(8, func(c *mpi.Comm) {
+		half := c.Split(c.Rank()/4, c.Rank())   // two groups of 4
+		quarter := half.Split(half.Rank()/2, 0) // four groups of 2: nested ids spread the hash
+		sum := quarter.Allreduce(mpi.Float64Buffer([]float64{1}), mpi.Float64, mpi.OpSum)
+		if v := mpi.Float64s(sum)[0]; v != 2 {
+			t.Errorf("rank %d: nested allreduce over tcp = %v, want 2", c.Rank(), v)
+		}
+		// Same tag live on parent and nested child at once: the full-width
+		// context must keep the two apart on the wire.
+		const tag = 5
+		switch quarter.Rank() {
+		case 0:
+			c.Send((c.Rank()+1)%8, tag, mpi.Bytes([]byte("parent")))
+			quarter.Send(1, tag, mpi.Bytes([]byte("child")))
+		case 1:
+			childBuf, _ := quarter.Recv(0, tag)
+			parentBuf, _ := c.Recv((c.Rank()+7)%8, tag)
+			if string(childBuf.Data) != "child" || string(parentBuf.Data) != "parent" {
+				t.Errorf("rank %d cross-matched: %q / %q", c.Rank(), childBuf.Data, parentBuf.Data)
+			}
+		}
+		c.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestSplitRowColumns is the NAS usage pattern: an 8-rank world split into

@@ -46,6 +46,10 @@ const (
 	OpGatherv
 	OpScatter
 	OpScatterv
+	OpHierBcast
+	OpHierAllgather
+	OpHierAllreduce
+	OpHierAlltoall
 	NumOps // sentinel: number of counted routines
 )
 
@@ -55,6 +59,7 @@ var opNames = [NumOps]string{
 	"bcast", "allgather", "allgatherv", "alltoall", "alltoallv",
 	"reduce", "allreduce", "reduce_scatter", "scan", "exscan",
 	"gather", "gatherv", "scatter", "scatterv",
+	"hier_bcast", "hier_allgather", "hier_allreduce", "hier_alltoall",
 }
 
 // String implements fmt.Stringer.
@@ -87,6 +92,12 @@ type Rank struct {
 	// Zero-copy accounting: seals that wrote ciphertext directly into a
 	// transport slot and opens that read it in place (DESIGN.md §14).
 	sealsInPlace, opensInPlace atomic.Uint64
+	// Locality split (DESIGN.md §15): every seal is charged to exactly one
+	// of these by destination — intra-node (never crosses a NIC; unknown
+	// topology counts as one node) or inter-node. The hierarchical
+	// collectives' O(nodes)-not-O(ranks) claim is checkable from the
+	// inter-node counter alone.
+	sealsIntraNode, sealsInterNode atomic.Uint64
 
 	// Chunked-rendezvous pipeline accounting (DESIGN.md §12): chunk frames
 	// produced and consumed, the high-water mark of chunks in flight on the
@@ -225,6 +236,25 @@ func (r *Rank) SealInPlace() {
 		return
 	}
 	r.sealsInPlace.Add(1)
+}
+
+// SealIntraNode charges the most recent Seal to the intra-node counter: the
+// record's destination shares the sealer's node (or the topology is
+// unknown, which counts as a single node).
+func (r *Rank) SealIntraNode() {
+	if r == nil {
+		return
+	}
+	r.sealsIntraNode.Add(1)
+}
+
+// SealInterNode charges the most recent Seal to the inter-node counter: the
+// record crosses a NIC (or fans out to a communicator spanning nodes).
+func (r *Rank) SealInterNode() {
+	if r == nil {
+		return
+	}
+	r.sealsInterNode.Add(1)
 }
 
 // OpenInPlace marks the most recent Open as having read its ciphertext from

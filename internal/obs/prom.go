@@ -93,6 +93,18 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			fmt.Sprintf(`rank="%d",dir="open"`, r.Rank), r.Crypto.OpensInPlace)
 	}
 
+	pw.header("encmpi_crypto_intranode_seals_total", "counter", "Seals whose record never crosses a NIC, per rank.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_crypto_intranode_seals_total",
+			fmt.Sprintf(`rank="%d"`, r.Rank), r.Crypto.SealsIntraNode)
+	}
+
+	pw.header("encmpi_crypto_internode_seals_total", "counter", "Seals whose record crosses a NIC (inter-node destination or node-spanning fan-out), per rank.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_crypto_internode_seals_total",
+			fmt.Sprintf(`rank="%d"`, r.Rank), r.Crypto.SealsInterNode)
+	}
+
 	pw.header("encmpi_pipeline_chunks_total", "counter", "Chunked-rendezvous chunks per rank and direction.")
 	for _, r := range s.Ranks {
 		pw.counter("encmpi_pipeline_chunks_total",

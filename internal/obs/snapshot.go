@@ -32,6 +32,11 @@ type CryptoSnapshot struct {
 	// read from them in place (subsets of Seals and Opens).
 	SealsInPlace uint64 `json:"seals_in_place,omitempty"`
 	OpensInPlace uint64 `json:"opens_in_place,omitempty"`
+	// Locality split (DESIGN.md §15): every seal lands in exactly one of
+	// these, by whether the record's destination crosses a NIC. Unknown
+	// topology counts as a single node, so the two always sum to Seals.
+	SealsIntraNode uint64 `json:"seals_intra_node,omitempty"`
+	SealsInterNode uint64 `json:"seals_inter_node,omitempty"`
 }
 
 // PipelineSnapshot is one rank's chunked-rendezvous pipeline accounting
@@ -196,17 +201,19 @@ func (r *Rank) snapshot() RankSnapshot {
 		WaitNanos: r.waitNanos.Load(),
 		Strays:    r.strays.Load(),
 		Crypto: CryptoSnapshot{
-			Seals:        r.seals.Load(),
-			Opens:        r.opens.Load(),
-			AuthFailures: r.authFailures.Load(),
-			PlainSealed:  r.plainSealed.Load(),
-			WireSealed:   r.wireSealed.Load(),
-			WireOpened:   r.wireOpened.Load(),
-			PlainOpened:  r.plainOpened.Load(),
-			SealNanos:    r.sealNanos.Load(),
-			OpenNanos:    r.openNanos.Load(),
-			SealsInPlace: r.sealsInPlace.Load(),
-			OpensInPlace: r.opensInPlace.Load(),
+			Seals:          r.seals.Load(),
+			Opens:          r.opens.Load(),
+			AuthFailures:   r.authFailures.Load(),
+			PlainSealed:    r.plainSealed.Load(),
+			WireSealed:     r.wireSealed.Load(),
+			WireOpened:     r.wireOpened.Load(),
+			PlainOpened:    r.plainOpened.Load(),
+			SealNanos:      r.sealNanos.Load(),
+			OpenNanos:      r.openNanos.Load(),
+			SealsInPlace:   r.sealsInPlace.Load(),
+			OpensInPlace:   r.opensInPlace.Load(),
+			SealsIntraNode: r.sealsIntraNode.Load(),
+			SealsInterNode: r.sealsInterNode.Load(),
 		},
 		Pipeline: PipelineSnapshot{
 			ChunksSent:       r.pipeChunksSent.Load(),
@@ -245,17 +252,19 @@ func mergeRank(a, b RankSnapshot) RankSnapshot {
 		WaitNanos: a.WaitNanos + b.WaitNanos,
 		Strays:    a.Strays + b.Strays,
 		Crypto: CryptoSnapshot{
-			Seals:        a.Crypto.Seals + b.Crypto.Seals,
-			Opens:        a.Crypto.Opens + b.Crypto.Opens,
-			AuthFailures: a.Crypto.AuthFailures + b.Crypto.AuthFailures,
-			PlainSealed:  a.Crypto.PlainSealed + b.Crypto.PlainSealed,
-			WireSealed:   a.Crypto.WireSealed + b.Crypto.WireSealed,
-			WireOpened:   a.Crypto.WireOpened + b.Crypto.WireOpened,
-			PlainOpened:  a.Crypto.PlainOpened + b.Crypto.PlainOpened,
-			SealNanos:    a.Crypto.SealNanos + b.Crypto.SealNanos,
-			OpenNanos:    a.Crypto.OpenNanos + b.Crypto.OpenNanos,
-			SealsInPlace: a.Crypto.SealsInPlace + b.Crypto.SealsInPlace,
-			OpensInPlace: a.Crypto.OpensInPlace + b.Crypto.OpensInPlace,
+			Seals:          a.Crypto.Seals + b.Crypto.Seals,
+			Opens:          a.Crypto.Opens + b.Crypto.Opens,
+			AuthFailures:   a.Crypto.AuthFailures + b.Crypto.AuthFailures,
+			PlainSealed:    a.Crypto.PlainSealed + b.Crypto.PlainSealed,
+			WireSealed:     a.Crypto.WireSealed + b.Crypto.WireSealed,
+			WireOpened:     a.Crypto.WireOpened + b.Crypto.WireOpened,
+			PlainOpened:    a.Crypto.PlainOpened + b.Crypto.PlainOpened,
+			SealNanos:      a.Crypto.SealNanos + b.Crypto.SealNanos,
+			OpenNanos:      a.Crypto.OpenNanos + b.Crypto.OpenNanos,
+			SealsInPlace:   a.Crypto.SealsInPlace + b.Crypto.SealsInPlace,
+			OpensInPlace:   a.Crypto.OpensInPlace + b.Crypto.OpensInPlace,
+			SealsIntraNode: a.Crypto.SealsIntraNode + b.Crypto.SealsIntraNode,
+			SealsInterNode: a.Crypto.SealsInterNode + b.Crypto.SealsInterNode,
 		},
 		Pipeline:    a.Pipeline.merge(b.Pipeline),
 		SentSizes:   a.SentSizes.merge(b.SentSizes),
@@ -474,6 +483,10 @@ func (s Snapshot) Digest() string {
 	if c := s.Total.Crypto; c.SealsInPlace+c.OpensInPlace > 0 {
 		fmt.Fprintf(&b, "zero-copy crypto: %d seals in place / %d opens in place\n",
 			c.SealsInPlace, c.OpensInPlace)
+	}
+	if c := s.Total.Crypto; c.SealsInterNode > 0 {
+		fmt.Fprintf(&b, "seal locality: %d intra-node / %d inter-node\n",
+			c.SealsIntraNode, c.SealsInterNode)
 	}
 	for _, ss := range s.Sessions {
 		fmt.Fprintf(&b, "session %s: epoch %d  sealed %d  opened %d  rekeys %d  rejected %d (%d replay, %d stale epoch)\n",

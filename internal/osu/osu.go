@@ -179,12 +179,19 @@ type CollectiveOp string
 
 // The two collectives the paper times at 64 ranks / 8 nodes, plus
 // Allgather, which §IV encrypts but does not table, plus the segmented
-// pipelined broadcast (the crypto/wire-overlap extension).
+// pipelined broadcast (the crypto/wire-overlap extension), the flat
+// allreduce baseline (plaintext-combining, per the paper's routine list),
+// and the topology-aware two-level collectives (DESIGN.md §15).
 const (
 	OpBcast          CollectiveOp = "bcast"
 	OpAlltoall       CollectiveOp = "alltoall"
 	OpAllgather      CollectiveOp = "allgather"
 	OpBcastPipelined CollectiveOp = "bcastpipe"
+	OpAllreduce      CollectiveOp = "allreduce"
+	OpHierBcast      CollectiveOp = "hier_bcast"
+	OpHierAllgather  CollectiveOp = "hier_allgather"
+	OpHierAllreduce  CollectiveOp = "hier_allreduce"
+	OpHierAlltoall   CollectiveOp = "hier_alltoall"
 )
 
 // bcastPipeTag is the user-context tag base the pipelined-broadcast
@@ -243,6 +250,32 @@ func CollectiveObserved(cfg simnet.Config, mk EngineFactory, op CollectiveOp, ra
 				}
 			case OpAllgather:
 				if _, err := e.Allgather(mpi.Synthetic(size)); err != nil {
+					panic(err)
+				}
+			case OpAllreduce:
+				e.Allreduce(mpi.Synthetic(size), mpi.Byte, mpi.OpSum)
+			case OpHierBcast:
+				var buf mpi.Buffer
+				if c.Rank() == 0 {
+					buf = mpi.Synthetic(size)
+				}
+				if _, err := e.HierBcast(0, buf); err != nil {
+					panic(err)
+				}
+			case OpHierAllgather:
+				if _, err := e.HierAllgather(mpi.Synthetic(size)); err != nil {
+					panic(err)
+				}
+			case OpHierAllreduce:
+				if _, err := e.HierAllreduce(mpi.Synthetic(size), mpi.Byte, mpi.OpSum); err != nil {
+					panic(err)
+				}
+			case OpHierAlltoall:
+				blocks := make([]mpi.Buffer, c.Size())
+				for i := range blocks {
+					blocks[i] = mpi.Synthetic(size)
+				}
+				if _, err := e.HierAlltoall(blocks); err != nil {
 					panic(err)
 				}
 			default:

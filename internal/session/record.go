@@ -25,6 +25,15 @@ const (
 	OpAllgather
 	OpAlltoall
 	OpAlltoallv
+	OpAllgatherv
+	// The hierarchical classes bind a record to its role in the two-level
+	// algorithms (DESIGN.md §15): a sealed inter-node leader exchange must not
+	// be transplantable into the flat routine of the same name (the framing
+	// differs — leader records carry aggregated multi-rank payloads).
+	OpHierBcast
+	OpHierAllgather
+	OpHierAllreduce
+	OpHierAlltoall
 )
 
 // Wildcard marks a direction the record deliberately does not bind: fan-out

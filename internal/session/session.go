@@ -78,6 +78,12 @@ type Session struct {
 
 	scope *obs.SessionScope // nil-safe
 
+	// derivations counts every HKDF epoch-key derivation this session ever
+	// ran (creation, rekeys, ahead-of-time opens). Persistent-plan tests pin
+	// it across steady-state iterations: a flat counter proves the hot path
+	// reuses pre-derived key material instead of re-deriving per operation.
+	derivations atomic.Uint64
+
 	mu       sync.Mutex
 	cur      *epoch
 	old      map[uint32]*epoch // retired epochs still inside grace
@@ -183,6 +189,7 @@ func deriveEpochKey(master []byte, id uint64, n uint32) []byte {
 
 // newEpoch derives epoch n's key and codec.
 func (s *Session) newEpoch(n uint32) (*epoch, error) {
+	s.derivations.Add(1)
 	c, err := s.build(deriveEpochKey(s.master, s.id, n))
 	if err != nil {
 		return nil, fmt.Errorf("session: building epoch %d codec: %w", n, err)
@@ -207,6 +214,12 @@ func (s *Session) Lane() uint16 { return s.lane }
 
 // Name describes the session's codec tier for engine reports.
 func (s *Session) Name() string { return s.name }
+
+// Derivations returns how many epoch-key derivations the session has run in
+// its lifetime. Steady-state traffic — persistent collectives included —
+// performs none: the counter only moves on creation, Rekey, and the first
+// record received from an epoch a peer entered ahead of us.
+func (s *Session) Derivations() uint64 { return s.derivations.Load() }
 
 // Epoch returns the current seal epoch.
 func (s *Session) Epoch() uint32 {

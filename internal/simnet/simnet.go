@@ -81,6 +81,21 @@ func Eth10G() Config {
 	}
 }
 
+// Eth10GContended is Eth10G with the small-message NIC contention knee
+// enabled: beyond 4 distinct recent senders sharing a NIC the per-message
+// gap inflates by (flows/4)^2.5. The knee is what makes the hierarchical
+// collectives' crossover visible on Ethernet — with 8 ranks per node all
+// hitting the NIC, flat algorithms pay the inflation on every inter-node
+// round, while leader-based ones keep a single flow per NIC (DESIGN.md §15).
+func Eth10GContended() Config {
+	cfg := Eth10G()
+	cfg.Name = "eth10g-contended"
+	cfg.ContentionKnee = 4
+	cfg.ContentionAlpha = 2.5
+	cfg.ContentionWindow = 80 * time.Microsecond
+	return cfg
+}
+
 // IB40G returns the 40 Gbps InfiniBand QDR preset (Mellanox ConnectX +
 // MVAPICH2-2.3). Anchors: Table V baselines (1 B → 1.75 µs one-way, 256 B →
 // 3.11, 1 KB → 3.75) and the 2 MB baseline of 3023 MB/s; the contention knee

@@ -26,15 +26,20 @@ import (
 //	src     int32
 //	dst     int32
 //	tag     int64
-//	ctx     int32
-//	kind    uint8
-//	lane    uint16
-//	_pad    [1]byte
+//	ctx     int64
 //	seq     uint64
 //	datalen int64
 //	chunks  int64
 //	buflen  int64
-const headerLen = 4 + 4 + 8 + 4 + 1 + 2 + 1 + 8 + 8 + 8 + 8
+//	kind    uint8
+//	lane    uint16
+//	_pad    [1]byte
+//
+// ctx is a full 64-bit field: Split derives 63-bit context ids (FNV-based
+// ctxHash), and truncating them to 32 bits both broke sub-communicator
+// matching over TCP outright (the receiver compares the full-width id) and
+// could alias two distinct sub-comms onto one wire context.
+const headerLen = 4 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 1 + 2 + 1
 
 // maxFramePayload bounds the payload length a frame header may announce
 // (1 GiB). A hostile or corrupted stream must not be able to drive a
@@ -231,12 +236,12 @@ func decodeHeader(hdr *[headerLen]byte, m *mpi.Msg) (buflen int, err error) {
 		Src:     int(int32(binary.BigEndian.Uint32(hdr[0:]))),
 		Dst:     int(int32(binary.BigEndian.Uint32(hdr[4:]))),
 		Tag:     int(int64(binary.BigEndian.Uint64(hdr[8:]))),
-		Ctx:     int(int32(binary.BigEndian.Uint32(hdr[16:]))),
-		Kind:    mpi.Kind(hdr[20]),
-		Lane:    binary.BigEndian.Uint16(hdr[21:]),
+		Ctx:     int(int64(binary.BigEndian.Uint64(hdr[16:]))),
 		Seq:     binary.BigEndian.Uint64(hdr[24:]),
 		DataLen: int(int64(binary.BigEndian.Uint64(hdr[32:]))),
 		Chunks:  int(int64(binary.BigEndian.Uint64(hdr[40:]))),
+		Kind:    mpi.Kind(hdr[56]),
+		Lane:    binary.BigEndian.Uint16(hdr[57:]),
 	}
 	buflen = int(int64(binary.BigEndian.Uint64(hdr[48:])))
 	if buflen < 0 || buflen > maxFramePayload {
@@ -390,14 +395,14 @@ func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) error {
 	binary.BigEndian.PutUint32(frame[0:], uint32(int32(m.Src)))
 	binary.BigEndian.PutUint32(frame[4:], uint32(int32(m.Dst)))
 	binary.BigEndian.PutUint64(frame[8:], uint64(int64(m.Tag)))
-	binary.BigEndian.PutUint32(frame[16:], uint32(int32(m.Ctx)))
-	frame[20] = byte(m.Kind)
-	binary.BigEndian.PutUint16(frame[21:], m.Lane)
-	frame[23] = 0 // pooled storage is dirty; the reserved byte must not leak it
+	binary.BigEndian.PutUint64(frame[16:], uint64(int64(m.Ctx)))
 	binary.BigEndian.PutUint64(frame[24:], m.Seq)
 	binary.BigEndian.PutUint64(frame[32:], uint64(int64(m.DataLen)))
 	binary.BigEndian.PutUint64(frame[40:], uint64(int64(m.Chunks)))
 	binary.BigEndian.PutUint64(frame[48:], uint64(int64(n)))
+	frame[56] = byte(m.Kind)
+	binary.BigEndian.PutUint16(frame[57:], m.Lane)
+	frame[59] = 0 // pooled storage is dirty; the reserved byte must not leak it
 	if n > 0 {
 		if m.Buf.IsSynthetic() {
 			clear(frame[headerLen:]) // zeros on the wire, not pool garbage

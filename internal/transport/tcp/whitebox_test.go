@@ -368,8 +368,12 @@ func TestInterleaveLanes(t *testing.T) {
 // covered by decodeHeader symmetry at the transport level elsewhere; this
 // guards the layout itself).
 func TestLaneHeaderRoundtrip(t *testing.T) {
-	m := &mpi.Msg{Kind: mpi.KindEager, Src: 1, Dst: 0, Tag: 5, Lane: 0xBEEF,
-		Buf: mpi.Bytes([]byte("payload"))}
+	// Ctx deliberately exceeds 32 bits: Split's ctxHash yields 63-bit context
+	// ids, and the header must carry them without truncation (the receiver
+	// compares the full-width id, so a 32-bit wire field loses the match).
+	const wideCtx = 0x7eadbeefcafe0123
+	m := &mpi.Msg{Kind: mpi.KindEager, Src: 1, Dst: 0, Tag: 5, Ctx: wideCtx,
+		Lane: 0xBEEF, Buf: mpi.Bytes([]byte("payload"))}
 	var hdr [headerLen]byte
 	encodeHeader(&hdr, m, m.Buf.Len())
 	got := new(mpi.Msg)
@@ -383,7 +387,10 @@ func TestLaneHeaderRoundtrip(t *testing.T) {
 	if got.Lane != 0xBEEF {
 		t.Fatalf("lane %#x, want 0xBEEF", got.Lane)
 	}
-	if got.Src != 1 || got.Dst != 0 || got.Tag != 5 {
+	if got.Ctx != wideCtx {
+		t.Fatalf("ctx %#x, want %#x (64-bit context truncated on the wire)", got.Ctx, wideCtx)
+	}
+	if got.Src != 1 || got.Dst != 0 || got.Tag != 5 || got.Kind != mpi.KindEager {
 		t.Fatalf("header fields corrupted: %+v", got)
 	}
 }

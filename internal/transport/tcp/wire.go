@@ -116,14 +116,14 @@ func encodeHeader(hdr *[headerLen]byte, m *mpi.Msg, buflen int) {
 	binary.BigEndian.PutUint32(hdr[0:], uint32(int32(m.Src)))
 	binary.BigEndian.PutUint32(hdr[4:], uint32(int32(m.Dst)))
 	binary.BigEndian.PutUint64(hdr[8:], uint64(int64(m.Tag)))
-	binary.BigEndian.PutUint32(hdr[16:], uint32(int32(m.Ctx)))
-	hdr[20] = byte(m.Kind)
-	binary.BigEndian.PutUint16(hdr[21:], m.Lane)
-	hdr[23] = 0
+	binary.BigEndian.PutUint64(hdr[16:], uint64(int64(m.Ctx)))
 	binary.BigEndian.PutUint64(hdr[24:], m.Seq)
 	binary.BigEndian.PutUint64(hdr[32:], uint64(int64(m.DataLen)))
 	binary.BigEndian.PutUint64(hdr[40:], uint64(int64(m.Chunks)))
 	binary.BigEndian.PutUint64(hdr[48:], uint64(int64(buflen)))
+	hdr[56] = byte(m.Kind)
+	binary.BigEndian.PutUint16(hdr[57:], m.Lane)
+	hdr[59] = 0
 }
 
 // enqueue appends m to the send queue and returns. The payload is not

@@ -96,6 +96,28 @@ func checkInvariantsN(t *testing.T, snap encmpi.MetricsSnapshot, runs uint64) {
 		t.Errorf("seals %d != opens %d", seals, opens)
 	}
 
+	// Locality accounting: every seal is charged to exactly one of the
+	// intra-/inter-node counters, per rank and in total — and with no
+	// topology installed here, every seal counts as intra-node.
+	var intra, inter uint64
+	for _, r := range snap.Ranks {
+		intra += r.Crypto.SealsIntraNode
+		inter += r.Crypto.SealsInterNode
+		if got := r.Crypto.SealsIntraNode + r.Crypto.SealsInterNode; got != r.Crypto.Seals {
+			t.Errorf("rank %d: locality split %d != seals %d", r.Rank, got, r.Crypto.Seals)
+		}
+	}
+	if intra+inter != seals {
+		t.Errorf("total locality split %d+%d != seals %d", intra, inter, seals)
+	}
+	if inter != 0 {
+		t.Errorf("inter-node seals %d on a topology-less run", inter)
+	}
+	if snap.Total.Crypto.SealsIntraNode != intra || snap.Total.Crypto.SealsInterNode != inter {
+		t.Errorf("total locality %d/%d != rank sums %d/%d",
+			snap.Total.Crypto.SealsIntraNode, snap.Total.Crypto.SealsInterNode, intra, inter)
+	}
+
 	// AES-GCM byte accounting: wire = plain + 28 per sealed message, exactly.
 	if wireSealed != plainSealed+seals*encmpi.Overhead {
 		t.Errorf("wire %d != plain %d + %d*%d", wireSealed, plainSealed, seals, encmpi.Overhead)

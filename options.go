@@ -28,6 +28,7 @@ type config struct {
 	syncWrites     bool
 	ringSlots      int
 	ringSlotBytes  int
+	topology       func(rank int) int
 }
 
 // apply folds a variadic option list. Options with process-wide effect
@@ -55,6 +56,7 @@ func (c config) jobOptions() job.Options {
 		TCPSyncWrites:    c.syncWrites,
 		ShmRingSlots:     c.ringSlots,
 		ShmRingSlotBytes: c.ringSlotBytes,
+		Topology:         c.topology,
 	}
 	if c.trace != nil {
 		col := c.trace
@@ -133,6 +135,17 @@ func WithShmRing(slots, slotBytes int) Option {
 // for A/B measurement, not for production.
 func WithWireBatching(enabled bool) Option {
 	return func(c *config) { c.syncWrites = !enabled }
+}
+
+// WithTopology installs a rank→node map, enabling the hierarchical
+// (two-level, locality-aware) collectives: HierBcast, HierAllgather,
+// HierAllreduce, and HierAlltoall aggregate intra-node first and let only
+// node leaders cross the network (DESIGN.md §15). RunSim installs its
+// cluster spec's placement automatically — pass this only to override it or
+// to teach the real launchers (RunShm, RunTCP) a placement they cannot
+// detect. nodeOf must be a pure function every rank evaluates identically.
+func WithTopology(nodeOf func(rank int) int) Option {
+	return func(c *config) { c.topology = nodeOf }
 }
 
 // WithTrace attaches a transfer-event collector to the simulated fabric

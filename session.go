@@ -132,6 +132,12 @@ func (s *Session) Rekey() error { return s.s.Rekey() }
 // Epoch returns the current seal epoch (0 until the first rekey).
 func (s *Session) Epoch() uint32 { return s.s.Epoch() }
 
+// Derivations returns the lifetime count of HKDF epoch-key derivations the
+// session has run. It moves on NewSession, Rekey, and ahead-of-time epoch
+// opens — never on steady-state traffic, which is what the persistent
+// collectives' init-once/start-many contract pins in tests.
+func (s *Session) Derivations() uint64 { return s.s.Derivations() }
+
 // ID returns the session identifier authenticated into every record.
 func (s *Session) ID() uint64 { return s.s.ID() }
 
