@@ -39,6 +39,18 @@ const (
 	OpHierAllgather CollectiveOp = osu.OpHierAllgather
 	OpHierAllreduce CollectiveOp = osu.OpHierAllreduce
 	OpHierAlltoall  CollectiveOp = osu.OpHierAlltoall
+	// OpHearAllreduce is the additive-noise allreduce (DESIGN.md §16):
+	// ranks mask their contribution once and reduce ciphertext directly, so
+	// no per-hop seal/open appears on the critical path.
+	OpHearAllreduce CollectiveOp = osu.OpHearAllreduce
+	// OpAllreduceSealed is the reduce-then-seal AEAD comparator: plaintext
+	// arithmetic with every hop's payload sealed and opened, the way an
+	// AEAD-protected reduction must move data.
+	OpAllreduceSealed CollectiveOp = osu.OpAllreduceSealed
+	// OpHearPlanAllreduce is the additive-noise engine's production path:
+	// a persistent AllreduceInit plan, hierarchical on multi-node shapes,
+	// with the key ceremony paid once at init.
+	OpHearPlanAllreduce CollectiveOp = osu.OpHearPlanAllreduce
 )
 
 // MultiPairWindow is the OSU window size the paper cites (64 non-blocking

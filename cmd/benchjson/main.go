@@ -1,5 +1,5 @@
 // Command benchjson emits the repository's machine-readable performance
-// snapshot (committed as BENCH_PR9.json): seal/open ns/op, MB/s, and
+// snapshot (committed as BENCH_PR10.json): seal/open ns/op, MB/s, and
 // allocs/op for the sequential and chunked-parallel engines across message
 // sizes, aggregate throughput of 16 concurrent 4 KiB messages through the
 // shared crypto worker pool versus the per-call goroutine baseline, an
@@ -17,12 +17,15 @@
 // hier_coll suite comparing flat against topology-aware two-level
 // collectives at p ∈ {64, 256, 1024} across the Ethernet, contended
 // Ethernet, and InfiniBand presets with per-fabric crossover points
-// (DESIGN.md §15).
+// (DESIGN.md §15), and the hear_allreduce suite comparing the
+// additive-noise allreduce against the AEAD reduce-then-seal and
+// hierarchical-AEAD comparators at 4 KiB–4 MiB and p ∈ {64, 256, 1024}
+// (DESIGN.md §16).
 //
 // It uses its own fixed-duration timing loops rather than testing.B so the
 // -quick mode can bound the total runtime for CI smoke use:
 //
-//	benchjson [-quick] [-o BENCH_PR9.json]
+//	benchjson [-quick] [-o BENCH_PR10.json]
 package main
 
 import (
@@ -164,6 +167,33 @@ type shmRingEntry struct {
 	Fallbacks    uint64 `json:"ring_fallbacks"`
 }
 
+type hearAllreduceEntry struct {
+	Net   string `json:"net"`
+	Ranks int    `json:"ranks"`
+	Nodes int    `json:"nodes"`
+	Size  int    `json:"size"`
+	// HearUs is the additive-noise engine's production path: a persistent
+	// AllreduceInit plan (key ceremony paid once at init), hierarchical on
+	// these multi-node shapes — each rank masks once, the masked partials
+	// reduce through shared memory and cross the network once per node with
+	// no per-hop crypto, and every rank unmasks once (DESIGN.md §16).
+	// HearFlatUs is the same algebra on the flat recursive-doubling
+	// schedule, included so the topology factor is visible separately from
+	// the sealing factor. SealedUs is the AEAD reduce-then-seal comparator
+	// (every hop seals its payload and opens its partner's before combining
+	// plaintext); HierAeadUs is the topology-aware AEAD allreduce
+	// (intra-node plaintext aggregation, one sealed flow per node leader) —
+	// the strongest AEAD baseline, so SpeedupVsHierAeadX isolates what
+	// removing per-hop seal/open buys at equal topology awareness.
+	HearUs             float64 `json:"hear_us"`
+	HearFlatUs         float64 `json:"hear_flat_us"`
+	SealedUs           float64 `json:"sealed_us"`
+	HierAeadUs         float64 `json:"hier_aead_us"`
+	SpeedupVsSealedX   float64 `json:"speedup_vs_sealed_x"`
+	SpeedupVsHierAeadX float64 `json:"speedup_vs_hier_aead_x"`
+	Library            string  `json:"library"`
+}
+
 type report struct {
 	Schema        string                 `json:"schema"`
 	GeneratedBy   string                 `json:"generated_by"`
@@ -180,11 +210,12 @@ type report struct {
 	ChunkedP2P    []chunkedP2PEntry      `json:"chunked_p2p"`
 	SessionCost   []sessionOverheadEntry `json:"session_overhead"`
 	ShmRing       []shmRingEntry         `json:"shm_ring"`
+	HearAllreduce []hearAllreduceEntry   `json:"hear_allreduce"`
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "short measurement loops for CI smoke use")
-	out := flag.String("o", "BENCH_PR9.json", "output path ('-' for stdout)")
+	out := flag.String("o", "BENCH_PR10.json", "output path ('-' for stdout)")
 	flag.Parse()
 
 	rep := report{
@@ -237,6 +268,7 @@ func main() {
 	rep.ChunkedP2P = measureChunkedP2P(key, *quick)
 	rep.SessionCost = measureSessionOverhead(key, *quick)
 	rep.ShmRing = measureShmRing(key, *quick)
+	rep.HearAllreduce = measureHearAllreduce(key, *quick)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -917,6 +949,72 @@ func measureShmRing(key []byte, quick bool) []shmRingEntry {
 		e.OpensInPlace = snap.Total.Crypto.OpensInPlace
 		e.Fallbacks = snap.Ring.Fallbacks
 		out = append(out, e)
+	}
+	return out
+}
+
+// measureHearAllreduce is the acceptance suite of the additive-noise
+// allreduce (DESIGN.md §16), run on the simulated Ethernet fabric in
+// virtual time. The same int32-sum allreduce races four ways: the hear
+// engine on its production path (a persistent plan, hierarchical on these
+// shapes — mask once, combine ciphertext at every hop, unmask once, zero
+// per-hop crypto), the same algebra on the flat recursive-doubling
+// schedule, the AEAD reduce-then-seal comparator (per-hop seal/open around
+// plaintext arithmetic, BoringSSL-256 parallelized across the testbed's 8
+// cores), and the hierarchical AEAD allreduce (plaintext intra-node, sealed
+// leader exchanges). The acceptance target: hear beats reduce-then-seal at
+// every size ≥64 KiB at p=256.
+func measureHearAllreduce(key []byte, quick bool) []hearAllreduceEntry {
+	aeadEng, err := encmpi.NewEngine(encmpi.EngineSpec{
+		Kind: "model", Library: "boringssl", Variant: "gcc485", KeyBits: 256, Threads: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hearEng, err := encmpi.NewEngine(encmpi.EngineSpec{
+		Kind: "hear", Library: "boringssl", Variant: "gcc485", KeyBits: 256, Workers: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mkAEAD := func(int) encmpi.Engine { return aeadEng }
+	mkHear := func(int) encmpi.Engine { return hearEng }
+
+	type shape struct{ ranks, nodes int }
+	shapes := []shape{{64, 8}, {256, 32}, {1024, 128}}
+	sizes := []int{4 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	if quick {
+		shapes = shapes[:1]
+		sizes = []int{4 << 10, 256 << 10}
+	}
+	var out []hearAllreduceEntry
+	for _, sh := range shapes {
+		for _, size := range sizes {
+			iters := 3
+			if quick || sh.ranks >= 1024 {
+				iters = 2
+			}
+			run := func(mk encmpi.EngineFactory, op encmpi.CollectiveOp) float64 {
+				res, err := encmpi.Collective(encmpi.Eth10G(), mk, op, sh.ranks, sh.nodes, size, iters)
+				if err != nil {
+					log.Fatalf("hear_allreduce %s p=%d size=%d: %v", op, sh.ranks, size, err)
+				}
+				return res.MeanLat.Seconds() * 1e6
+			}
+			e := hearAllreduceEntry{
+				Net: "eth10g", Ranks: sh.ranks, Nodes: sh.nodes, Size: size,
+				HearUs:     run(mkHear, encmpi.OpHearPlanAllreduce),
+				HearFlatUs: run(mkHear, encmpi.OpHearAllreduce),
+				SealedUs:   run(mkAEAD, encmpi.OpAllreduceSealed),
+				HierAeadUs: run(mkAEAD, encmpi.OpHierAllreduce),
+				Library:    "boringssl/gcc485",
+			}
+			if e.HearUs > 0 {
+				e.SpeedupVsSealedX = e.SealedUs / e.HearUs
+				e.SpeedupVsHierAeadX = e.HierAeadUs / e.HearUs
+			}
+			out = append(out, e)
+		}
 	}
 	return out
 }

@@ -82,10 +82,14 @@ type (
 const (
 	Float64 Datatype = mpi.Float64
 	Int64   Datatype = mpi.Int64
+	Int32   Datatype = mpi.Int32
+	Uint32  Datatype = mpi.Uint32
+	Float32 Datatype = mpi.Float32
 
-	OpSum ReduceOp = mpi.OpSum
-	OpMax ReduceOp = mpi.OpMax
-	OpMin ReduceOp = mpi.OpMin
+	OpSum  ReduceOp = mpi.OpSum
+	OpMax  ReduceOp = mpi.OpMax
+	OpMin  ReduceOp = mpi.OpMin
+	OpProd ReduceOp = mpi.OpProd
 )
 
 // Wildcards and wire-format constants.
@@ -101,6 +105,11 @@ const (
 	NonceSize = aead.NonceSize
 )
 
+// ErrUnsupportedReduce matches (via errors.Is) reduction validation
+// failures: an unknown (datatype, op) pair, including the additive-noise
+// engine's narrower kernel coverage.
+var ErrUnsupportedReduce = mpi.ErrUnsupportedReduce
+
 // Bytes wraps a real byte slice as a message payload.
 func Bytes(b []byte) Buffer { return mpi.Bytes(b) }
 
@@ -112,6 +121,24 @@ func Float64Buffer(v []float64) Buffer { return mpi.Float64Buffer(v) }
 
 // Float64s reinterprets a reduction payload as float64 elements.
 func Float64s(b Buffer) []float64 { return mpi.Float64s(b) }
+
+// Float32Buffer wraps a float32 slice as a reduction payload.
+func Float32Buffer(v []float32) Buffer { return mpi.Float32Buffer(v) }
+
+// Float32s reinterprets a reduction payload as float32 elements.
+func Float32s(b Buffer) []float32 { return mpi.Float32s(b) }
+
+// Int32Buffer wraps an int32 slice as a reduction payload.
+func Int32Buffer(v []int32) Buffer { return mpi.Int32Buffer(v) }
+
+// Int32s reinterprets a reduction payload as int32 elements.
+func Int32s(b Buffer) []int32 { return mpi.Int32s(b) }
+
+// Uint32Buffer wraps a uint32 slice as a reduction payload.
+func Uint32Buffer(v []uint32) Buffer { return mpi.Uint32Buffer(v) }
+
+// Uint32s reinterprets a reduction payload as uint32 elements.
+func Uint32s(b Buffer) []uint32 { return mpi.Uint32s(b) }
 
 // WireLen returns the on-wire length of an encrypted message whose
 // plaintext is n bytes long.

@@ -7,8 +7,8 @@ import (
 )
 
 // EngineSpec declares a crypto engine: kind ("null", "real", "parallel",
-// "model") plus its parameters. It replaces the hand-rolled engine wiring
-// that used to be duplicated across commands and tests.
+// "model", "hear") plus its parameters. It replaces the hand-rolled engine
+// wiring that used to be duplicated across commands and tests.
 type EngineSpec = enc.EngineSpec
 
 // NewEngine builds the engine an EngineSpec describes.
@@ -32,6 +32,12 @@ func EngineFactoryFor(spec EngineSpec) (EngineFactory, error) {
 	return func(rank int) Engine {
 		s := spec
 		if s.Kind == "real" || s.Kind == "parallel" {
+			s.NoncePrefix = uint32(rank)
+		}
+		if s.Kind == "hear" && s.Codec != "" {
+			// The hear kind's inner AEAD engine is a real engine when a
+			// codec is configured; its nonce stream needs the same per-rank
+			// split.
 			s.NoncePrefix = uint32(rank)
 		}
 		e, err := enc.NewEngine(s)

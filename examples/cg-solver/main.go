@@ -134,7 +134,10 @@ func solveCG(e *encmpi.EncryptedComm, n, local int) (float64, int) {
 		for i := range a {
 			s += a[i] * b[i]
 		}
-		out := e.Allreduce(encmpi.Float64Buffer([]float64{s}), encmpi.Float64, encmpi.OpSum)
+		out, err := e.Allreduce(encmpi.Float64Buffer([]float64{s}), encmpi.Float64, encmpi.OpSum)
+		if err != nil {
+			log.Fatalf("rank %d: allreduce: %v", rank, err)
+		}
 		return encmpi.Float64s(out)[0]
 	}
 
@@ -165,7 +168,10 @@ func solveCG(e *encmpi.EncryptedComm, n, local int) (float64, int) {
 			worst = diff
 		}
 	}
-	out := e.Allreduce(encmpi.Float64Buffer([]float64{worst}), encmpi.Float64, encmpi.OpMax)
+	out, err := e.Allreduce(encmpi.Float64Buffer([]float64{worst}), encmpi.Float64, encmpi.OpMax)
+	if err != nil {
+		log.Fatalf("rank %d: allreduce: %v", rank, err)
+	}
 	maxErr := encmpi.Float64s(out)[0]
 	if maxErr > 1e-6 {
 		log.Fatalf("rank %d: solution error %.3e exceeds tolerance", rank, maxErr)

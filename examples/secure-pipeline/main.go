@@ -66,7 +66,10 @@ func main() {
 		}
 		sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
 
-		total := e.Allreduce(encmpi.Float64Buffer([]float64{float64(len(mine))}), encmpi.Float64, encmpi.OpSum)
+		total, err := e.Allreduce(encmpi.Float64Buffer([]float64{float64(len(mine))}), encmpi.Float64, encmpi.OpSum)
+		if err != nil {
+			log.Fatalf("rank %d: allreduce: %v", c.Rank(), err)
+		}
 		if c.Rank() == 0 {
 			want := float64(*records * p)
 			gotTotal := encmpi.Float64s(total)[0]

@@ -1,0 +1,449 @@
+package encmpi_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"encmpi"
+)
+
+// hearTestKey is the shared AEAD key protecting the hear key ceremony.
+var hearTestKey = bytes.Repeat([]byte{0x7c}, 32)
+
+// hearSpec declares the additive-noise engine over a real AES-GCM inner
+// engine (the ceremony and all non-reduction routines stay authenticated).
+func hearSpec() encmpi.EngineSpec {
+	return encmpi.EngineSpec{Kind: "hear", Codec: "aesstd", Key: hearTestKey}
+}
+
+// runHear executes body on every rank of a p-rank shm world wrapped with the
+// hear engine.
+func runHear(t *testing.T, p int, spec encmpi.EngineSpec,
+	body func(e *encmpi.EncryptedComm), opts ...encmpi.Option) {
+	t.Helper()
+	mk, err := encmpi.EngineFactoryFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := encmpi.RunShm(p, func(c *encmpi.Comm) {
+		body(encmpi.EncryptWith(c, mk(c.Rank())))
+	}, opts...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// hearPair is one (datatype, op) combination under test.
+type hearPair struct {
+	name string
+	dt   encmpi.Datatype
+	op   encmpi.ReduceOp
+}
+
+var hearPairs = []hearPair{
+	{"int32_sum", encmpi.Int32, encmpi.OpSum},
+	{"uint32_sum", encmpi.Uint32, encmpi.OpSum},
+	{"float32_sum", encmpi.Float32, encmpi.OpSum},
+	{"float64_sum", encmpi.Float64, encmpi.OpSum},
+	{"int32_prod", encmpi.Int32, encmpi.OpProd},
+	{"uint32_prod", encmpi.Uint32, encmpi.OpProd},
+}
+
+// hearInput builds rank r's deterministic contribution for a pair. Products
+// use small values so the wrapped expected product is easy to compute.
+func hearInput(pr hearPair, r, n int) encmpi.Buffer {
+	switch pr.dt {
+	case encmpi.Int32:
+		v := make([]int32, n)
+		for k := range v {
+			if pr.op == encmpi.OpProd {
+				v[k] = int32(1 + (r+k)%3)
+			} else {
+				v[k] = int32(r*7 + k - 3)
+			}
+		}
+		return encmpi.Int32Buffer(v)
+	case encmpi.Uint32:
+		v := make([]uint32, n)
+		for k := range v {
+			if pr.op == encmpi.OpProd {
+				v[k] = uint32(1 + (r+k)%3)
+			} else {
+				v[k] = uint32(r*11 + k)
+			}
+		}
+		return encmpi.Uint32Buffer(v)
+	case encmpi.Float32:
+		v := make([]float32, n)
+		for k := range v {
+			v[k] = float32(r)*0.5 + float32(k)*0.25
+		}
+		return encmpi.Float32Buffer(v)
+	default: // Float64
+		v := make([]float64, n)
+		for k := range v {
+			v[k] = float64(r)*1.5 + float64(k)*0.125
+		}
+		return encmpi.Float64Buffer(v)
+	}
+}
+
+// checkHearResult verifies an aggregate over the rank range [0, ranks) (or a
+// scan prefix, by passing the prefix width). Integer results must be
+// bit-exact; floats carry the bounded mask-rounding tolerance.
+func checkHearResult(t *testing.T, pr hearPair, got encmpi.Buffer, ranks, n int, where string) {
+	t.Helper()
+	switch pr.dt {
+	case encmpi.Int32:
+		g := encmpi.Int32s(got)
+		for k := 0; k < n; k++ {
+			var want int32
+			if pr.op == encmpi.OpProd {
+				want = 1
+				for r := 0; r < ranks; r++ {
+					want *= int32(1 + (r+k)%3)
+				}
+			} else {
+				for r := 0; r < ranks; r++ {
+					want += int32(r*7 + k - 3)
+				}
+			}
+			if g[k] != want {
+				t.Errorf("%s: %s[%d] = %d, want %d", where, pr.name, k, g[k], want)
+				return
+			}
+		}
+	case encmpi.Uint32:
+		g := encmpi.Uint32s(got)
+		for k := 0; k < n; k++ {
+			var want uint32
+			if pr.op == encmpi.OpProd {
+				want = 1
+				for r := 0; r < ranks; r++ {
+					want *= uint32(1 + (r+k)%3)
+				}
+			} else {
+				for r := 0; r < ranks; r++ {
+					want += uint32(r*11 + k)
+				}
+			}
+			if g[k] != want {
+				t.Errorf("%s: %s[%d] = %d, want %d", where, pr.name, k, g[k], want)
+				return
+			}
+		}
+	case encmpi.Float32:
+		g := encmpi.Float32s(got)
+		tol := 0.05 * float64(ranks)
+		for k := 0; k < n; k++ {
+			var want float64
+			for r := 0; r < ranks; r++ {
+				want += float64(r)*0.5 + float64(k)*0.25
+			}
+			if math.Abs(float64(g[k])-want) > tol {
+				t.Errorf("%s: %s[%d] = %v, want %v (±%v)", where, pr.name, k, g[k], want, tol)
+				return
+			}
+		}
+	default:
+		g := encmpi.Float64s(got)
+		tol := 1e-6 * float64(ranks)
+		for k := 0; k < n; k++ {
+			var want float64
+			for r := 0; r < ranks; r++ {
+				want += float64(r)*1.5 + float64(k)*0.125
+			}
+			if math.Abs(g[k]-want) > tol {
+				t.Errorf("%s: %s[%d] = %v, want %v (±%v)", where, pr.name, k, g[k], want, tol)
+				return
+			}
+		}
+	}
+}
+
+// TestHearAllreduceRoundTrips covers every supported (datatype, op) pair at
+// several world sizes (including non-powers-of-two, which take the
+// reduce+bcast schedule) and non-uniform element counts.
+func TestHearAllreduceRoundTrips(t *testing.T) {
+	for _, p := range []int{2, 3, 8, 33} {
+		p := p
+		t.Run(string(rune('0'+p/10))+string(rune('0'+p%10))+"ranks", func(t *testing.T) {
+			runHear(t, p, hearSpec(), func(e *encmpi.EncryptedComm) {
+				r := e.Rank()
+				for _, pr := range hearPairs {
+					for _, n := range []int{1, 7, 257} {
+						got, err := e.Allreduce(hearInput(pr, r, n), pr.dt, pr.op)
+						if err != nil {
+							t.Errorf("rank %d: %s n=%d: %v", r, pr.name, n, err)
+							return
+						}
+						checkHearResult(t, pr, got, p, n, "allreduce")
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestHearReduceAndScan exercises the rooted reduce (only the root unmasks)
+// and the prefix scan (rank r unmasks the [0, r+1) noise span).
+func TestHearReduceAndScan(t *testing.T) {
+	const p, n, root = 8, 65, 3
+	runHear(t, p, hearSpec(), func(e *encmpi.EncryptedComm) {
+		r := e.Rank()
+		pr := hearPair{"int32_sum", encmpi.Int32, encmpi.OpSum}
+		got, err := e.Reduce(root, hearInput(pr, r, n), pr.dt, pr.op)
+		if err != nil {
+			t.Errorf("rank %d: reduce: %v", r, err)
+			return
+		}
+		if r == root {
+			checkHearResult(t, pr, got, p, n, "reduce(root)")
+		}
+
+		for _, pr := range []hearPair{
+			{"int32_sum", encmpi.Int32, encmpi.OpSum},
+			{"float64_sum", encmpi.Float64, encmpi.OpSum},
+		} {
+			got, err := e.Scan(hearInput(pr, r, n), pr.dt, pr.op)
+			if err != nil {
+				t.Errorf("rank %d: scan %s: %v", r, pr.name, err)
+				return
+			}
+			checkHearResult(t, pr, got, r+1, n, "scan")
+		}
+	})
+}
+
+// TestHearHierMatchesFlat checks that the hierarchical hear schedule (mask →
+// intra-node ciphertext reduce → raw leader exchange → intra-node bcast →
+// unmask) produces the same results as the flat path — bit-exact for
+// integers — and that the persistent AllreducePlan rides the same schedule.
+func TestHearHierMatchesFlat(t *testing.T) {
+	const p, n = 8, 64
+	runHear(t, p, hearSpec(), func(e *encmpi.EncryptedComm) {
+		r := e.Rank()
+		pr := hearPair{"int32_sum", encmpi.Int32, encmpi.OpSum}
+
+		flat, err := e.Allreduce(hearInput(pr, r, n), pr.dt, pr.op)
+		if err != nil {
+			t.Errorf("rank %d: flat: %v", r, err)
+			return
+		}
+		hier, err := e.HierAllreduce(hearInput(pr, r, n), pr.dt, pr.op)
+		if err != nil {
+			t.Errorf("rank %d: hier: %v", r, err)
+			return
+		}
+		if !bytes.Equal(flat.Data, hier.Data) {
+			t.Errorf("rank %d: hier and flat hear allreduce differ", r)
+		}
+		checkHearResult(t, pr, hier, p, n, "hier")
+
+		fpr := hearPair{"float64_sum", encmpi.Float64, encmpi.OpSum}
+		fh, err := e.HierAllreduce(hearInput(fpr, r, n), fpr.dt, fpr.op)
+		if err != nil {
+			t.Errorf("rank %d: hier float64: %v", r, err)
+			return
+		}
+		checkHearResult(t, fpr, fh, p, n, "hier")
+
+		plan := e.AllreduceInit(pr.dt, pr.op)
+		for cycle := 0; cycle < 3; cycle++ {
+			got, err := plan.Start(hearInput(pr, r, n)).Wait()
+			if err != nil {
+				t.Errorf("rank %d: plan cycle %d: %v", r, cycle, err)
+				return
+			}
+			checkHearResult(t, pr, got, p, n, "plan")
+		}
+	}, encmpi.WithTopology(func(rank int) int { return rank / 4 }))
+}
+
+// TestHearNonceStepLockstep drives many back-to-back operations over buffers
+// large enough for the worker-pool fan-out, so the per-operation nonce-key
+// step and the pooled keystream kernels run concurrently under -race and the
+// shared keystream must stay in lockstep across ranks for every iteration.
+func TestHearNonceStepLockstep(t *testing.T) {
+	const p, n, iters = 4, 48 << 10, 12 // 192 KiB of int32 → multiple chunks
+	runHear(t, p, hearSpec(), func(e *encmpi.EncryptedComm) {
+		r := e.Rank()
+		pr := hearPair{"int32_sum", encmpi.Int32, encmpi.OpSum}
+		in := hearInput(pr, r, n)
+		for i := 0; i < iters; i++ {
+			got, err := e.Allreduce(in, pr.dt, pr.op)
+			if err != nil {
+				t.Errorf("rank %d: iter %d: %v", r, i, err)
+				return
+			}
+			checkHearResult(t, pr, got, p, n, "lockstep")
+			got.Release()
+		}
+	})
+}
+
+// TestHearUnsupportedPair: the hear engine's kernels cover a strict subset
+// of the plaintext reduction pairs; everything else must fail loudly with a
+// wrapped mpi.ErrUnsupportedReduce instead of silently falling back to the
+// plaintext path.
+func TestHearUnsupportedPair(t *testing.T) {
+	runHear(t, 2, hearSpec(), func(e *encmpi.EncryptedComm) {
+		buf := encmpi.Float64Buffer([]float64{1, 2})
+		if _, err := e.Allreduce(buf, encmpi.Float64, encmpi.OpMax); !errors.Is(err, encmpi.ErrUnsupportedReduce) {
+			t.Errorf("float64 max allreduce: err = %v, want ErrUnsupportedReduce", err)
+		}
+		if _, err := e.Reduce(0, buf, encmpi.Float64, encmpi.OpMax); !errors.Is(err, encmpi.ErrUnsupportedReduce) {
+			t.Errorf("float64 max reduce: err = %v, want ErrUnsupportedReduce", err)
+		}
+		if _, err := e.Scan(buf, encmpi.Float64, encmpi.OpProd); !errors.Is(err, encmpi.ErrUnsupportedReduce) {
+			t.Errorf("float64 prod scan: err = %v, want ErrUnsupportedReduce", err)
+		}
+		plan := e.AllreduceInit(encmpi.Int64, encmpi.OpSum)
+		if _, err := plan.Start(buf).Wait(); !errors.Is(err, encmpi.ErrUnsupportedReduce) {
+			t.Errorf("int64 sum plan: err = %v, want ErrUnsupportedReduce", err)
+		}
+	})
+
+	// The classic engines keep the full plaintext pair coverage.
+	if err := encmpi.RunShm(2, func(c *encmpi.Comm) {
+		e := encmpi.EncryptWith(c, encmpi.Unencrypted())
+		got, err := e.Allreduce(encmpi.Float64Buffer([]float64{float64(c.Rank())}), encmpi.Float64, encmpi.OpMax)
+		if err != nil {
+			t.Errorf("plaintext max: %v", err)
+			return
+		}
+		if encmpi.Float64s(got)[0] != 1 {
+			t.Errorf("plaintext max = %v, want 1", encmpi.Float64s(got)[0])
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHearHostileBytesNoPanic is the comm-layer fault sweep: the hear path
+// has NO integrity protection, so a hostile contribution injected into the
+// reduction must decode to garbage without a panic and WITHOUT an error —
+// the documented no-failure-signal property (DESIGN.md §16). Rank 1 plays
+// the adversary by feeding raw hostile bytes into the plaintext collective
+// underneath while rank 0 runs the honest hear path.
+func TestHearHostileBytesNoPanic(t *testing.T) {
+	for _, pr := range []hearPair{
+		{"int32_sum", encmpi.Int32, encmpi.OpSum},
+		{"float64_sum", encmpi.Float64, encmpi.OpSum},
+		{"int32_prod", encmpi.Int32, encmpi.OpProd},
+	} {
+		pr := pr
+		t.Run(pr.name, func(t *testing.T) {
+			const n = 33
+			runHear(t, 2, hearSpec(), func(e *encmpi.EncryptedComm) {
+				r := e.Rank()
+				// Honest warm-up: completes the key ceremony and proves the
+				// channel works before the attack.
+				got, err := e.Allreduce(hearInput(pr, r, n), pr.dt, pr.op)
+				if err != nil {
+					t.Errorf("rank %d: warm-up: %v", r, err)
+					return
+				}
+				checkHearResult(t, pr, got, 2, n, "warm-up")
+
+				if r == 0 {
+					res, err := e.Allreduce(hearInput(pr, 0, n), pr.dt, pr.op)
+					if err != nil {
+						t.Errorf("honest rank: hostile round returned error %v; hear has no auth and must decode garbage silently", err)
+					}
+					_ = res // garbage by construction; no failure signal exists
+					return
+				}
+				// Adversary: raw hostile bytes straight into the plaintext
+				// collective the hear path rides (no mask, no key).
+				hostile := make([]byte, n*pr.dt.Size())
+				for i := range hostile {
+					hostile[i] = byte(i*181 + 97)
+				}
+				e.Unwrap().Allreduce(encmpi.Bytes(hostile), pr.dt, pr.op)
+			})
+		})
+	}
+}
+
+// TestHearKeystreamCounters pins the obs accounting: hear operations charge
+// the dedicated hear counters (keystream elements in, seal/open untouched),
+// so the wire-byte invariant of the AEAD engines stays exact.
+func TestHearKeystreamCounters(t *testing.T) {
+	const p, n, iters = 2, 64, 5
+	reg := encmpi.NewRegistry(p)
+	runHear(t, p, hearSpec(), func(e *encmpi.EncryptedComm) {
+		r := e.Rank()
+		pr := hearPair{"int32_sum", encmpi.Int32, encmpi.OpSum}
+		for i := 0; i < iters; i++ {
+			got, err := e.Allreduce(hearInput(pr, r, n), pr.dt, pr.op)
+			if err != nil {
+				t.Errorf("rank %d: iter %d: %v", r, i, err)
+				return
+			}
+			checkHearResult(t, pr, got, p, n, "counter")
+		}
+	}, encmpi.WithMetrics(reg))
+
+	c := reg.Snapshot().Total.Crypto
+	if want := uint64(p * iters); c.HearEncrypts != want {
+		t.Errorf("HearEncrypts = %d, want %d", c.HearEncrypts, want)
+	}
+	if want := uint64(p * iters); c.HearDecrypts != want {
+		t.Errorf("HearDecrypts = %d, want %d", c.HearDecrypts, want)
+	}
+	// Each operation derives keystream for n elements on encrypt and n on
+	// decrypt, per rank; the ceremony contributes none.
+	if want := uint64(p * iters * 2 * n); c.HearKeystreamElems != want {
+		t.Errorf("HearKeystreamElems = %d, want %d", c.HearKeystreamElems, want)
+	}
+	// The ceremony's sealed records are the only AEAD work: p allgather
+	// records sealed once each plus the root's nonce-key bcast record.
+	if want := uint64(p + 1); c.Seals != want {
+		t.Errorf("Seals = %d, want %d (ceremony only)", c.Seals, want)
+	}
+}
+
+// TestHearPlanZeroAllocs is the steady-state allocation gate ridden by
+// scripts/check.sh: once the persistent plan's first cycle has warmed the
+// buffer pool and the pre-bound keystream tasks, an Allreduce cycle under
+// the hear engine must not allocate — including the worker-pool fan-out
+// (testing.AllocsPerRun counts all goroutines).
+func TestHearPlanZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation randomizes pool reuse; alloc counts are meaningless")
+	}
+	const n = 64 << 10 // 256 KiB of int32: multiple chunks through the pool
+	if err := encmpi.RunShm(1, func(c *encmpi.Comm) {
+		eng, err := encmpi.NewEngine(encmpi.EngineSpec{Kind: "hear"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		e := encmpi.EncryptWith(c, eng)
+		plan := e.AllreduceInit(encmpi.Int32, encmpi.OpSum)
+		buf := encmpi.Int32Buffer(make([]int32, n))
+		for i := 0; i < 3; i++ { // warm pool, tasks, and ceremony
+			res, err := plan.Start(buf).Wait()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res.Release()
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			res, err := plan.Start(buf).Wait()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res.Release()
+		})
+		if allocs > 0 {
+			t.Errorf("steady-state hear allreduce cycle allocates %.1f objects/run, want 0", allocs)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

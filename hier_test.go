@@ -257,6 +257,30 @@ func TestHierSealLocality(t *testing.T) {
 	}
 }
 
+// TestHierIntraNodeSlotRings pins the intra-node transport of the
+// hierarchical collectives: the plaintext node legs are eager-sized sends
+// over shm, and with the PR 8 slot rings enabled (the default) their
+// payloads must be captured straight into ring slots — SlotDirectEager
+// counts them — rather than pooled clones. WithShmRing(-1, 0) is the
+// explicit opt-out and must drop the count back to zero.
+func TestHierIntraNodeSlotRings(t *testing.T) {
+	count := func(opts ...encmpi.Option) uint64 {
+		p := 8
+		reg := encmpi.NewRegistry(p)
+		opts = append(opts, encmpi.WithMetrics(reg))
+		runHierSession(t, p, func(r int) int { return r / 4 }, func(e *encmpi.EncryptedComm, s *encmpi.Session) {
+			checkHierOps(t, e)
+		}, opts...)
+		return reg.Snapshot().Total.Transport.SlotDirectEager
+	}
+	if got := count(); got == 0 {
+		t.Error("hier collectives with rings enabled: SlotDirectEager = 0, want > 0 (intra-node legs should ride the slot rings)")
+	}
+	if got := count(encmpi.WithShmRing(-1, 0)); got != 0 {
+		t.Errorf("hier collectives with rings disabled: SlotDirectEager = %d, want 0", got)
+	}
+}
+
 // TestPersistentSteadyState drives persistent Bcast and Allreduce plans for
 // several cycles and pins the init-once/start-many contract: after the first
 // cycle, no epoch-key derivation runs (Session.Derivations is flat) and the
@@ -402,7 +426,11 @@ func TestHierFlatEquivalenceSim(t *testing.T) {
 			t.Errorf("rank %d: HierAllreduce: %v", r, err)
 			return
 		}
-		fr := e.Allreduce(encmpi.Float64Buffer(vals), encmpi.Float64, encmpi.OpSum)
+		fr, err := e.Allreduce(encmpi.Float64Buffer(vals), encmpi.Float64, encmpi.OpSum)
+		if err != nil {
+			t.Errorf("rank %d: Allreduce: %v", r, err)
+			return
+		}
 		if !bytes.Equal(hr.Data, fr.Data) {
 			t.Errorf("rank %d: hier and flat Allreduce differ", r)
 		}

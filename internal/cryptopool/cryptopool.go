@@ -125,6 +125,21 @@ func (p *Pool) Submit(fn func()) *Handle {
 	return h
 }
 
+// TryGo enqueues fn as-is — no wrapping closure, no completion handle — and
+// reports whether the pool accepted it. This is the zero-allocation
+// submission path: callers that pre-bind their task closures once (the hear
+// engine's chunk tasks) and track completion with their own WaitGroup can
+// run a steady-state fan-out without a single allocation per operation. A
+// false return (queue full or pool closed/nil) means the caller must run fn
+// itself — TryGo never runs it inline, because the whole point is that fn
+// already carries the caller's completion bookkeeping.
+func (p *Pool) TryGo(fn func()) bool {
+	if p == nil {
+		return false
+	}
+	return p.trySubmit(fn)
+}
+
 // Batch tracks a group of tasks submitted together — the engines' per-call
 // completion point. The zero value is ready to use and lives on the caller's
 // stack; Wait returns once every task submitted through Go has run.

@@ -3,6 +3,7 @@ package encmpi
 import (
 	"fmt"
 
+	"encmpi/internal/hear"
 	"encmpi/internal/mpi"
 	"encmpi/internal/obs"
 	"encmpi/internal/sched"
@@ -31,6 +32,14 @@ type Comm struct {
 	// the path (WithPipeline).
 	pipeThreshold int
 	pipeChunk     int
+
+	// hearParams is non-nil when the engine spec selected the additive-noise
+	// ("hear") reduction path; hearSt is built lazily by the first
+	// reduction's key ceremony (hear_engine.go). sealedSeq spaces
+	// AllreduceSealed's tag bands across calls.
+	hearParams *hear.Params
+	hearSt     *hear.State
+	sealedSeq  int
 }
 
 // WrapOption configures Wrap.
@@ -53,7 +62,15 @@ func Wrap(c *mpi.Comm, eng Engine, opts ...WrapOption) *Comm {
 		pipeThreshold: DefaultPipelineThreshold,
 		pipeChunk:     DefaultPipelineChunk,
 	}
-	e.ceng, _ = eng.(ContextEngine)
+	if he, ok := eng.(*HearEngine); ok {
+		// The hear wrapper only carries parameters: the communicator runs
+		// every AEAD path on the inner engine and adds noise at the
+		// reduction call sites instead of sealing them.
+		p := he.Params
+		e.hearParams = &p
+		e.eng = he.Inner
+	}
+	e.ceng, _ = e.eng.(ContextEngine)
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -512,13 +529,4 @@ func (e *Comm) Alltoallv(blocks []mpi.Buffer) ([]mpi.Buffer, error) {
 		out[i] = plain
 	}
 	return out, nil
-}
-
-// Allreduce delegates to the plaintext library. Reductions must combine
-// plaintext at every hop, and the paper's encrypted routine list (§IV)
-// deliberately excludes them — in the NAS runs, reduction traffic (small
-// scalars) rides the unmodified MPI path while the listed routines carry the
-// encrypted bulk data.
-func (e *Comm) Allreduce(buf mpi.Buffer, dt mpi.Datatype, op mpi.Op) mpi.Buffer {
-	return e.c.Allreduce(buf, dt, op)
 }

@@ -316,7 +316,10 @@ func hierBcastRun(e *Comm, h *mpi.Hier, root, rootNode, nodeRoot int, ctx *sessi
 func (e *Comm) HierAllreduce(buf mpi.Buffer, dt mpi.Datatype, op mpi.Op) (mpi.Buffer, error) {
 	h := e.c.Hier()
 	if h == nil || h.Nodes() == 1 {
-		return e.Allreduce(buf, dt, op), nil
+		return e.Allreduce(buf, dt, op)
+	}
+	if e.hearParams != nil {
+		return e.hierHearAllreduce(h, buf, dt, op)
 	}
 	e.metrics.Op(obs.OpHierAllreduce)
 	partial := buf
@@ -371,7 +374,10 @@ func (e *Comm) leaderReduceBcast(h *mpi.Hier, partial mpi.Buffer, dt mpi.Datatyp
 					firstErr = fmt.Errorf("encmpi: hier allreduce hop from node %d: %w", peer, err)
 				}
 			} else if got.Len() == acc.Len() {
-				acc = mpi.ReduceBuffers(acc, got, dt, op)
+				var rerr error
+				if acc, rerr = mpi.ReduceBuffers(acc, got, dt, op); rerr != nil && firstErr == nil {
+					firstErr = fmt.Errorf("encmpi: hier allreduce hop from node %d: %w", peer, rerr)
+				}
 			} else if firstErr == nil {
 				firstErr = fmt.Errorf("encmpi: hier allreduce hop from node %d: partial length %d, want %d", peer, got.Len(), acc.Len())
 			}

@@ -13,6 +13,9 @@
 package encmpi
 
 import (
+	"fmt"
+
+	"encmpi/internal/hear"
 	"encmpi/internal/mpi"
 	"encmpi/internal/obs"
 	"encmpi/internal/session"
@@ -118,6 +121,10 @@ type AllreducePlan struct {
 	recvs    []arHop
 	finalCtx *session.RecordCtx
 
+	// initErr pins a failure detected at init time (an unsupported hear
+	// (datatype, op) pair or a failed key ceremony); every cycle returns it.
+	initErr error
+
 	active bool
 	res    mpi.Buffer
 	err    error
@@ -127,6 +134,16 @@ type AllreducePlan struct {
 // first plan construction on a topology-aware communicator is collective.
 func (e *Comm) AllreduceInit(dt mpi.Datatype, op mpi.Op) *AllreducePlan {
 	p := &AllreducePlan{e: e, dt: dt, op: op}
+	if e.hearParams != nil {
+		// Pay the hear setup here, the init-once point: validate the pair
+		// and run the key ceremony so Start/Wait cycles touch no key
+		// material beyond the lockstep nonce step.
+		if err := hear.Supported(dt, op); err != nil {
+			p.initErr = fmt.Errorf("encmpi: hear allreduce plan: %w", err)
+		} else if _, err := e.hearState(); err != nil {
+			p.initErr = err
+		}
+	}
 	h := e.c.Hier()
 	if h == nil || h.Nodes() == 1 {
 		return p
@@ -186,8 +203,17 @@ func (p *AllreducePlan) Wait() (mpi.Buffer, error) {
 
 func (p *AllreducePlan) run(buf mpi.Buffer) (mpi.Buffer, error) {
 	e := p.e
+	if p.initErr != nil {
+		return mpi.Buffer{}, p.initErr
+	}
 	if p.h == nil {
-		return e.Allreduce(buf, p.dt, p.op), nil
+		return e.Allreduce(buf, p.dt, p.op)
+	}
+	if e.hearParams != nil {
+		// The hear schedule has no per-call setup to pin — no record
+		// contexts, no hop list — so the plan and the direct call share it;
+		// init already ran the key ceremony.
+		return e.hierHearAllreduce(p.h, buf, p.dt, p.op)
 	}
 	h := p.h
 	e.metrics.Op(obs.OpHierAllreduce)
@@ -216,7 +242,10 @@ func (p *AllreducePlan) leaderPhase(partial mpi.Buffer) (mpi.Buffer, error) {
 				firstErr = err
 			}
 		} else if got.Len() == acc.Len() {
-			acc = mpi.ReduceBuffers(acc, got, p.dt, p.op)
+			var rerr error
+			if acc, rerr = mpi.ReduceBuffers(acc, got, p.dt, p.op); rerr != nil && firstErr == nil {
+				firstErr = rerr
+			}
 		}
 	}
 	if p.send != nil {

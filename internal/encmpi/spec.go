@@ -6,6 +6,7 @@ import (
 	"encmpi/internal/aead"
 	"encmpi/internal/aead/codecs"
 	"encmpi/internal/costmodel"
+	"encmpi/internal/hear"
 )
 
 // EngineSpec is the declarative description of a crypto engine. It replaces
@@ -14,8 +15,10 @@ import (
 // NewEngine turns it into a ready engine.
 type EngineSpec struct {
 	// Kind selects the engine family: "null" (pass-through baseline),
-	// "real" (byte-level AEAD), "parallel" (chunked multi-worker AEAD), or
-	// "model" (virtual-time cost model of one of the paper's C libraries).
+	// "real" (byte-level AEAD), "parallel" (chunked multi-worker AEAD),
+	// "model" (virtual-time cost model of one of the paper's C libraries),
+	// or "hear" (additive-noise reductions over an inner AEAD engine for
+	// everything else — integrity-free; see DESIGN.md §16).
 	Kind string
 
 	// Codec and Key configure the real and parallel kinds. Codec is a
@@ -46,6 +49,13 @@ type EngineSpec struct {
 
 	// ReplayGuard wraps the engine with per-peer replay detection.
 	ReplayGuard bool
+
+	// HearSeedSpace bounds the per-rank seed keys of the hear kind
+	// (0 means hear.DefaultSeedSpace). The hear kind also reads Workers and
+	// Chunk for its keystream fan-out, and picks its inner AEAD engine from
+	// the other fields: Library set selects the model engine, else Codec set
+	// selects the real engine, else the null engine.
+	HearSeedSpace int
 }
 
 // NewEngine builds the engine an EngineSpec describes.
@@ -81,8 +91,33 @@ func NewEngine(spec EngineSpec) (Engine, error) {
 			me.Threads = spec.Threads
 		}
 		eng = me
+	case "hear":
+		// The inner engine protects the ceremony and all non-reduction
+		// routines; any ReplayGuard wraps it (the hear wrapper itself must
+		// stay the outermost type for Wrap to detect).
+		inner := spec
+		switch {
+		case spec.Library != "":
+			inner.Kind = "model"
+		case spec.Codec != "":
+			inner.Kind = "real"
+		default:
+			inner.Kind = "null"
+		}
+		ie, err := NewEngine(inner)
+		if err != nil {
+			return nil, fmt.Errorf("encmpi: hear inner engine: %w", err)
+		}
+		return &HearEngine{
+			Inner: ie,
+			Params: hear.Params{
+				SeedSpace: uint64(spec.HearSeedSpace),
+				Workers:   spec.Workers,
+				Chunk:     spec.Chunk,
+			},
+		}, nil
 	default:
-		return nil, fmt.Errorf("encmpi: unknown engine kind %q (want null, real, parallel, or model)", spec.Kind)
+		return nil, fmt.Errorf("encmpi: unknown engine kind %q (want null, real, parallel, model, or hear)", spec.Kind)
 	}
 	if spec.ReplayGuard {
 		eng = NewReplayGuard(eng)

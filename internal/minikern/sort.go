@@ -57,8 +57,14 @@ func BucketSort(e *encmpi.Comm, keys []uint32, keyMax uint32) ([]uint32, error) 
 	}
 
 	// Verify 2: global count conservation.
-	count := e.Allreduce(mpi.Float64Buffer([]float64{float64(len(mine))}), mpi.Float64, mpi.OpSum)
-	sent := e.Allreduce(mpi.Float64Buffer([]float64{float64(len(keys))}), mpi.Float64, mpi.OpSum)
+	count, err := e.Allreduce(mpi.Float64Buffer([]float64{float64(len(mine))}), mpi.Float64, mpi.OpSum)
+	if err != nil {
+		return nil, fmt.Errorf("minikern: count allreduce: %w", err)
+	}
+	sent, err := e.Allreduce(mpi.Float64Buffer([]float64{float64(len(keys))}), mpi.Float64, mpi.OpSum)
+	if err != nil {
+		return nil, fmt.Errorf("minikern: sent allreduce: %w", err)
+	}
 	if mpi.Float64s(count)[0] != mpi.Float64s(sent)[0] {
 		return nil, fmt.Errorf("minikern: key count not conserved: %v received vs %v sent",
 			mpi.Float64s(count)[0], mpi.Float64s(sent)[0])

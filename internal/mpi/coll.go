@@ -266,6 +266,10 @@ func (c *Comm) Reduce(root int, buf Buffer, dt Datatype, op Op) Buffer {
 			src := (srcRel + root) % p
 			got, _ := c.recvColl(src, collTag(seq, 0))
 			acc = reduceInto(acc, got, dt, op)
+			// The partial was consumed by reduceInto; releasing it here lets a
+			// transport-owned slot retire instead of pinning the ring until the
+			// fallback path takes over permanently.
+			got.Release()
 		}
 	}
 	return acc
@@ -284,6 +288,7 @@ func (c *Comm) Allreduce(buf Buffer, dt Datatype, op Op) Buffer {
 			partner := c.rank ^ mask
 			got, _ := c.sendrecvCtx(partner, collTag(seq, step), acc, partner, collTag(seq, step), c.ctxColl)
 			acc = reduceInto(acc, got, dt, op)
+			got.Release()
 			step++
 		}
 		return acc

@@ -30,6 +30,7 @@ func (c *Comm) ReduceScatterBlock(blocks []Buffer, dt Datatype, op Op) Buffer {
 		// from src.
 		got, _ := c.sendrecvCtx(dst, collTag(seq, i), blocks[dst], src, collTag(seq, i), c.ctxColl)
 		acc = reduceInto(acc, got, dt, op)
+		got.Release()
 	}
 	return acc
 }
@@ -46,6 +47,7 @@ func (c *Comm) Scan(buf Buffer, dt Datatype, op Op) Buffer {
 		// Combine predecessor's prefix into ours; order matters only for
 		// non-commutative ops, which this runtime does not define.
 		acc = reduceInto(acc, got, dt, op)
+		got.Release()
 	}
 	if c.rank < c.Size()-1 {
 		c.sendColl(c.rank+1, collTag(seq, 0), acc)

@@ -119,6 +119,10 @@ func (w *World) Deliver(m *Msg) bool {
 	// errors: the rendezvous partner would otherwise park forever waiting
 	// for a handshake message that never left.
 	var failon *Request
+	// dropPayload marks a followup carrying a clone made for inline
+	// delivery: the reference created here is released once the transport
+	// has handed it over (the receiver retains its own on delivery).
+	var dropPayload bool
 
 	st.mu.Lock()
 	switch m.Kind {
@@ -190,11 +194,21 @@ func (w *World) Deliver(m *Msg) bool {
 		// is what makes a blocking rendezvous send wire-paced; a queued DATA
 		// frame that dies on the wire fails the send the same way a
 		// synchronous write failure would.
+		payload := req.buf
+		if w.inline && !req.owned && payload.Data != nil {
+			// Inline delivery would hand the receiver this very storage, but
+			// a borrowed send lets the caller overwrite it the moment the
+			// send completes (a Sendrecv inside recursive doubling does
+			// exactly that) — give the receiver a private copy. Owned sends
+			// stay zero-copy: ownership transfer is their whole point.
+			payload = payload.Clone()
+			dropPayload = true
+		}
 		failon = req
 		followup = getMsg()
 		*followup = Msg{
 			Src: st.rank, Dst: m.Src, Tag: req.tag, Ctx: req.ctx,
-			Kind: KindData, Seq: m.Seq, Lane: req.lane, Buf: req.buf,
+			Kind: KindData, Seq: m.Seq, Lane: req.lane, Buf: payload,
 			Done: (*sendDone)(req),
 		}
 
@@ -304,6 +318,9 @@ func (w *World) Deliver(m *Msg) bool {
 			}
 			st.mu.Unlock()
 			wake = st.proc
+		}
+		if dropPayload {
+			followup.Buf.Release()
 		}
 		putMsg(followup)
 	}

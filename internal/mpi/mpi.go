@@ -262,6 +262,20 @@ type Transport interface {
 	Send(from sched.Proc, m *Msg) error
 }
 
+// InlineDelivery is implemented by transports whose Send hands Deliver the
+// caller's own Buffer — in-process delivery with no serialization step. For
+// such transports the protocol must clone a borrowed rendezvous payload
+// before injecting the DATA frame: MPI semantics let the sender reuse its
+// buffer the moment the send completes, and with inline delivery the
+// receiver would otherwise be reading storage the sender is already
+// overwriting. A wire transport that serializes the payload (TCP) omits the
+// interface — the serialization is the copy.
+type InlineDelivery interface {
+	// DeliversInline reports whether delivered messages alias the sender's
+	// payload storage.
+	DeliversInline() bool
+}
+
 // SlotWriter is implemented by transports that own eager payload storage — an
 // shm slab ring — and can lease a slot for the sender to write (or seal) the
 // payload directly into, eliminating the intermediate eager clone.
@@ -297,6 +311,9 @@ type World struct {
 	// slot is the transport's slot-leasing face, when it has one (discovered
 	// once at construction; a fault-injecting wrapper forwards it).
 	slot SlotWriter
+	// inline records whether tr delivers messages aliasing the sender's
+	// storage (see InlineDelivery); discovered once at construction.
+	inline bool
 
 	states []*rankState
 
@@ -348,6 +365,9 @@ func NewWorld(size int, tr Transport, eagerThreshold int) *World {
 	w := &World{size: size, eager: eagerThreshold, tr: tr}
 	if sw, ok := tr.(SlotWriter); ok {
 		w.slot = sw
+	}
+	if id, ok := tr.(InlineDelivery); ok {
+		w.inline = id.DeliversInline()
 	}
 	w.states = make([]*rankState, size)
 	for i := range w.states {

@@ -48,6 +48,63 @@ func TestSendRecvEager(t *testing.T) {
 	})
 }
 
+// TestRendezvousSenderReuse pins the MPI reuse guarantee on the in-process
+// transports: once a blocking send returns, the caller may overwrite its
+// buffer without corrupting what the receiver sees. The rendezvous DATA
+// frame travels zero-copy over shm, so the protocol must hand the receiver
+// a private copy of a borrowed payload — recursive-doubling collectives,
+// which mutate their accumulator right after each Sendrecv, broke without
+// it (large plaintext Allreduce returned other ranks' partial sums).
+func TestRendezvousSenderReuse(t *testing.T) {
+	const n = 128 << 10 // past every eager threshold
+	runBoth(t, 2, func(c *mpi.Comm) {
+		switch c.Rank() {
+		case 0:
+			mine := bytes.Repeat([]byte{0x5A}, n)
+			if err := c.Send(1, 3, mpi.Bytes(mine)); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+			// MPI says the buffer is ours again; scribble over it.
+			for i := range mine {
+				mine[i] = 0xFF
+			}
+		case 1:
+			buf, _ := c.Recv(0, 3)
+			for i, b := range buf.Data {
+				if b != 0x5A {
+					t.Errorf("byte %d = %#x, want 0x5a (receiver aliases sender storage)", i, b)
+					return
+				}
+			}
+			buf.Release()
+		}
+	})
+}
+
+// TestAllreduceLargePlain is the collective face of the same guarantee: a
+// plaintext Allreduce big enough that every exchange takes the rendezvous
+// path must still produce exact sums on all ranks.
+func TestAllreduceLargePlain(t *testing.T) {
+	const p, n = 4, 48 << 10
+	runBoth(t, p, func(c *mpi.Comm) {
+		vals := make([]int32, n)
+		for i := range vals {
+			vals[i] = int32(c.Rank() + i%5)
+		}
+		res := c.Allreduce(mpi.Int32Buffer(vals), mpi.Int32, mpi.OpSum)
+		got := mpi.Int32s(res)
+		for i := range got {
+			want := int32(p*(p-1)/2 + p*(i%5))
+			if got[i] != want {
+				t.Errorf("rank %d: [%d] = %d, want %d", c.Rank(), i, got[i], want)
+				return
+			}
+		}
+		res.Release()
+	})
+}
+
 func TestSendRecvRendezvous(t *testing.T) {
 	// Larger than both transports' eager thresholds.
 	payload := bytes.Repeat([]byte{0xAB}, 128<<10)

@@ -37,7 +37,7 @@ func (c *Comm) isendMode(dst, tag, ctx int, buf Buffer, owned bool) *Request {
 	wdst := c.worldOf(dst)
 	wsrc := c.st.rank
 	req := getRequest()
-	*req = Request{kind: reqSend, src: wdst, tag: tag, ctx: ctx, lane: c.lane, owner: c.st, comm: c}
+	*req = Request{kind: reqSend, src: wdst, tag: tag, ctx: ctx, lane: c.lane, owner: c.st, comm: c, owned: owned}
 
 	if buf.Len() < c.w.eager {
 		// Eager: inject immediately; the payload is captured (a transport
@@ -114,6 +114,7 @@ func (c *Comm) eagerCapture(wsrc, wdst int, buf Buffer) Buffer {
 	if c.w.slot != nil && !buf.IsSynthetic() && buf.N > 0 {
 		if s, ok := c.w.slot.AcquireSlot(wsrc, wdst, buf.N); ok {
 			copy(s.Data, buf.Data)
+			c.metrics.SlotDirectEager()
 			return s
 		}
 	}

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -14,6 +15,9 @@ const (
 	Float64 Datatype = iota
 	Int64
 	Byte
+	Int32
+	Uint32
+	Float32
 )
 
 // Size returns the element size in bytes.
@@ -21,10 +25,32 @@ func (d Datatype) Size() int {
 	switch d {
 	case Float64, Int64:
 		return 8
+	case Int32, Uint32, Float32:
+		return 4
 	case Byte:
 		return 1
 	default:
 		panic(fmt.Sprintf("mpi: unknown datatype %d", int(d)))
+	}
+}
+
+// String implements fmt.Stringer.
+func (d Datatype) String() string {
+	switch d {
+	case Float64:
+		return "float64"
+	case Int64:
+		return "int64"
+	case Byte:
+		return "byte"
+	case Int32:
+		return "int32"
+	case Uint32:
+		return "uint32"
+	case Float32:
+		return "float32"
+	default:
+		return fmt.Sprintf("Datatype(%d)", int(d))
 	}
 }
 
@@ -36,19 +62,78 @@ const (
 	OpSum Op = iota
 	OpMax
 	OpMin
+	OpProd
 )
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	case OpProd:
+		return "prod"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// ErrUnsupportedReduce is the root of the reduction-validation error family:
+// an unknown datatype, an unknown operator, or a (datatype, op) pair a
+// particular engine cannot realize all wrap it. Match with
+// errors.Is(err, ErrUnsupportedReduce).
+var ErrUnsupportedReduce = errors.New("mpi: unsupported reduction")
+
+// ValidateReduce reports whether the (datatype, op) pair names a reduction
+// the element kernels implement. The error wraps ErrUnsupportedReduce, so
+// callers can distinguish "bad request" from transport or crypto failures.
+func ValidateReduce(dt Datatype, op Op) error {
+	switch dt {
+	case Float64, Int64, Byte, Int32, Uint32, Float32:
+	default:
+		return fmt.Errorf("%w: unknown datatype %s", ErrUnsupportedReduce, dt)
+	}
+	switch op {
+	case OpSum, OpMax, OpMin, OpProd:
+	default:
+		return fmt.Errorf("%w: unknown op %s", ErrUnsupportedReduce, op)
+	}
+	return nil
+}
 
 // ReduceBuffers accumulates src into dst element-wise (dst = dst (op) src),
 // mutating and returning dst. Callers that must not clobber their input clone
 // it first, exactly as the collectives here do. Exported for the encrypted
 // hierarchical layer, whose leader-phase reduction combines decrypted
 // partials outside this package.
-func ReduceBuffers(dst, src Buffer, dt Datatype, op Op) Buffer {
-	return reduceInto(dst, src, dt, op)
+//
+// Unlike the internal kernels (which trust the collectives' arguments), the
+// exported entry point validates the (datatype, op) pair and the buffer
+// geometry, returning an ErrUnsupportedReduce-wrapped error instead of
+// panicking: engine layers route user-chosen pairs here, and an unsupported
+// pair must surface as a typed failure, never as a silent fallback.
+func ReduceBuffers(dst, src Buffer, dt Datatype, op Op) (Buffer, error) {
+	if err := ValidateReduce(dt, op); err != nil {
+		return dst, err
+	}
+	if dst.Len() != src.Len() {
+		return dst, fmt.Errorf("%w: length mismatch %d vs %d", ErrUnsupportedReduce, dst.Len(), src.Len())
+	}
+	if dst.Len()%dt.Size() != 0 {
+		return dst, fmt.Errorf("%w: buffer length %d not a multiple of %s element size %d",
+			ErrUnsupportedReduce, dst.Len(), dt, dt.Size())
+	}
+	return reduceInto(dst, src, dt, op), nil
 }
 
 // reduceInto accumulates src into dst element-wise: dst = dst (op) src.
 // Synthetic buffers pass through untouched (the simulator only tracks sizes).
+// Integer sums and products wrap modulo the element width — Go defines
+// signed overflow as two's-complement wrapping — which is what lets additive
+// and multiplicative ciphertexts ride these kernels exactly.
 func reduceInto(dst, src Buffer, dt Datatype, op Op) Buffer {
 	if dst.Len() != src.Len() {
 		panic(fmt.Sprintf("mpi: reduce length mismatch %d vs %d", dst.Len(), src.Len()))
@@ -60,17 +145,39 @@ func reduceInto(dst, src Buffer, dt Datatype, op Op) Buffer {
 	if dst.Len()%es != 0 {
 		panic(fmt.Sprintf("mpi: buffer length %d not a multiple of element size %d", dst.Len(), es))
 	}
-	for off := 0; off < dst.Len(); off += es {
-		switch dt {
-		case Float64:
+	switch dt {
+	case Float64:
+		for off := 0; off < dst.Len(); off += 8 {
 			a := math.Float64frombits(binary.LittleEndian.Uint64(dst.Data[off:]))
 			b := math.Float64frombits(binary.LittleEndian.Uint64(src.Data[off:]))
 			binary.LittleEndian.PutUint64(dst.Data[off:], math.Float64bits(applyF(a, b, op)))
-		case Int64:
+		}
+	case Float32:
+		for off := 0; off < dst.Len(); off += 4 {
+			a := math.Float32frombits(binary.LittleEndian.Uint32(dst.Data[off:]))
+			b := math.Float32frombits(binary.LittleEndian.Uint32(src.Data[off:]))
+			binary.LittleEndian.PutUint32(dst.Data[off:], math.Float32bits(applyF32(a, b, op)))
+		}
+	case Int64:
+		for off := 0; off < dst.Len(); off += 8 {
 			a := int64(binary.LittleEndian.Uint64(dst.Data[off:]))
 			b := int64(binary.LittleEndian.Uint64(src.Data[off:]))
 			binary.LittleEndian.PutUint64(dst.Data[off:], uint64(applyI(a, b, op)))
-		case Byte:
+		}
+	case Int32:
+		for off := 0; off < dst.Len(); off += 4 {
+			a := int32(binary.LittleEndian.Uint32(dst.Data[off:]))
+			b := int32(binary.LittleEndian.Uint32(src.Data[off:]))
+			binary.LittleEndian.PutUint32(dst.Data[off:], uint32(applyI32(a, b, op)))
+		}
+	case Uint32:
+		for off := 0; off < dst.Len(); off += 4 {
+			a := binary.LittleEndian.Uint32(dst.Data[off:])
+			b := binary.LittleEndian.Uint32(src.Data[off:])
+			binary.LittleEndian.PutUint32(dst.Data[off:], applyU32(a, b, op))
+		}
+	case Byte:
+		for off := 0; off < dst.Len(); off++ {
 			dst.Data[off] = byte(applyI(int64(dst.Data[off]), int64(src.Data[off]), op))
 		}
 	}
@@ -85,6 +192,29 @@ func applyF(a, b float64, op Op) float64 {
 		return math.Max(a, b)
 	case OpMin:
 		return math.Min(a, b)
+	case OpProd:
+		return a * b
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
+	}
+}
+
+func applyF32(a, b float32, op Op) float32 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b || a != a { // NaN propagates, matching math.Max
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b || a != a {
+			return a
+		}
+		return b
+	case OpProd:
+		return a * b
 	default:
 		panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
 	}
@@ -104,6 +234,50 @@ func applyI(a, b int64, op Op) int64 {
 			return a
 		}
 		return b
+	case OpProd:
+		return a * b
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
+	}
+}
+
+func applyI32(a, b int32, op Op) int32 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpProd:
+		return a * b
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
+	}
+}
+
+func applyU32(a, b uint32, op Op) uint32 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpProd:
+		return a * b
 	default:
 		panic(fmt.Sprintf("mpi: unknown op %d", int(op)))
 	}
@@ -126,6 +300,69 @@ func Float64s(b Buffer) []float64 {
 	out := make([]float64, len(b.Data)/8)
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b.Data[8*i:]))
+	}
+	return out
+}
+
+// Float32Buffer packs a float32 slice into a Buffer (little endian).
+func Float32Buffer(v []float32) Buffer {
+	b := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(x))
+	}
+	return Bytes(b)
+}
+
+// Float32s unpacks a Buffer into float32s.
+func Float32s(b Buffer) []float32 {
+	if b.IsSynthetic() {
+		return make([]float32, b.Len()/4)
+	}
+	out := make([]float32, len(b.Data)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b.Data[4*i:]))
+	}
+	return out
+}
+
+// Int32Buffer packs an int32 slice into a Buffer (little endian).
+func Int32Buffer(v []int32) Buffer {
+	b := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(x))
+	}
+	return Bytes(b)
+}
+
+// Int32s unpacks a Buffer into int32s.
+func Int32s(b Buffer) []int32 {
+	if b.IsSynthetic() {
+		return make([]int32, b.Len()/4)
+	}
+	out := make([]int32, len(b.Data)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b.Data[4*i:]))
+	}
+	return out
+}
+
+// Uint32Buffer packs a uint32 slice into a Buffer (little endian).
+func Uint32Buffer(v []uint32) Buffer {
+	b := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(b[4*i:], x)
+	}
+	return Bytes(b)
+}
+
+// Uint32s unpacks a Buffer into uint32s.
+func Uint32s(b Buffer) []uint32 {
+	if b.IsSynthetic() {
+		return make([]uint32, b.Len()/4)
+	}
+	out := make([]uint32, len(b.Data)/4)
+	for i := range out {
+		out[i] = uint32(binary.LittleEndian.Uint32(b.Data[4*i:]))
 	}
 	return out
 }

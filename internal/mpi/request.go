@@ -21,6 +21,12 @@ type Request struct {
 	// seq is set for rendezvous exchanges.
 	seq uint64
 
+	// owned marks a send whose caller transferred buffer ownership
+	// (IsendOwned): the payload may travel zero-copy even over an
+	// inline-delivery transport, because the caller promised not to touch
+	// the storage again. Borrowed sends get a private copy there instead.
+	owned bool
+
 	// buf: for sends, the payload; for completed receives, the data.
 	buf Buffer
 

@@ -92,6 +92,20 @@ type Rank struct {
 	// Zero-copy accounting: seals that wrote ciphertext directly into a
 	// transport slot and opens that read it in place (DESIGN.md §14).
 	sealsInPlace, opensInPlace atomic.Uint64
+	// Additive-noise (hear) engine accounting (DESIGN.md §16): the
+	// seal/open-equivalent counters of an engine whose crypto is element-
+	// shaped, not byte-shaped. Encrypts/decrypts count whole-buffer mask
+	// applications; keystreamElems counts noise elements derived. Kept
+	// strictly apart from seals/opens so the AEAD byte-accounting
+	// invariant (wire == plain + msgs·28) stays exact.
+	hearEncrypts, hearDecrypts atomic.Uint64
+	hearKeystreamElems         atomic.Uint64
+	hearNanos                  atomic.Int64
+	// slotDirectEager counts plaintext eager sends captured straight into a
+	// shm ring slot (the zero-copy ride the hierarchical intra-node legs
+	// take; DESIGN.md §14): the in-place analogue of sealsInPlace for legs
+	// that carry no ciphertext.
+	slotDirectEager atomic.Uint64
 	// Locality split (DESIGN.md §15): every seal is charged to exactly one
 	// of these by destination — intra-node (never crosses a NIC; unknown
 	// topology counts as one node) or inter-node. The hierarchical
@@ -264,6 +278,37 @@ func (r *Rank) OpenInPlace() {
 		return
 	}
 	r.opensInPlace.Add(1)
+}
+
+// HearEncrypt records one additive-noise encryption: elems noise elements
+// derived and added, ns spent doing it.
+func (r *Rank) HearEncrypt(elems int, ns int64) {
+	if r == nil {
+		return
+	}
+	r.hearEncrypts.Add(1)
+	r.hearKeystreamElems.Add(uint64(elems))
+	r.hearNanos.Add(ns)
+}
+
+// HearDecrypt records one additive-noise decryption (aggregate-noise
+// subtraction): elems noise elements derived and removed, ns spent.
+func (r *Rank) HearDecrypt(elems int, ns int64) {
+	if r == nil {
+		return
+	}
+	r.hearDecrypts.Add(1)
+	r.hearKeystreamElems.Add(uint64(elems))
+	r.hearNanos.Add(ns)
+}
+
+// SlotDirectEager records one plaintext eager send whose payload was captured
+// directly into a shm ring slot (no pooled clone).
+func (r *Rank) SlotDirectEager() {
+	if r == nil {
+		return
+	}
+	r.slotDirectEager.Add(1)
 }
 
 // AuthFailure records a failed Open (authentication or malformed wire). The

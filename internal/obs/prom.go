@@ -93,6 +93,22 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			fmt.Sprintf(`rank="%d",dir="open"`, r.Rank), r.Crypto.OpensInPlace)
 	}
 
+	pw.header("encmpi_crypto_hear_ops_total", "counter", "Additive-noise (hear) engine operations per rank and direction.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_crypto_hear_ops_total",
+			fmt.Sprintf(`rank="%d",dir="encrypt"`, r.Rank), r.Crypto.HearEncrypts)
+		pw.counter("encmpi_crypto_hear_ops_total",
+			fmt.Sprintf(`rank="%d",dir="decrypt"`, r.Rank), r.Crypto.HearDecrypts)
+	}
+	pw.header("encmpi_crypto_hear_keystream_elems_total", "counter", "Additive-noise keystream elements derived per rank.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_crypto_hear_keystream_elems_total", rankLabel(r.Rank), r.Crypto.HearKeystreamElems)
+	}
+	pw.header("encmpi_transport_slot_direct_eager_total", "counter", "Plaintext eager sends captured directly into shm ring slots, per rank.")
+	for _, r := range s.Ranks {
+		pw.counter("encmpi_transport_slot_direct_eager_total", rankLabel(r.Rank), r.Transport.SlotDirectEager)
+	}
+
 	pw.header("encmpi_crypto_intranode_seals_total", "counter", "Seals whose record never crosses a NIC, per rank.")
 	for _, r := range s.Ranks {
 		pw.counter("encmpi_crypto_intranode_seals_total",

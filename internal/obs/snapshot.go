@@ -13,6 +13,9 @@ type TransportSnapshot struct {
 	MsgsRecv  uint64 `json:"msgs_recv"`
 	BytesSent uint64 `json:"bytes_sent"`
 	BytesRecv uint64 `json:"bytes_recv"`
+	// SlotDirectEager counts plaintext eager sends whose payload landed
+	// straight in a shm ring slot instead of a pooled clone (DESIGN.md §14).
+	SlotDirectEager uint64 `json:"slot_direct_eager,omitempty"`
 }
 
 // CryptoSnapshot is one rank's crypto accounting. Byte totals satisfy
@@ -37,6 +40,14 @@ type CryptoSnapshot struct {
 	// topology counts as a single node, so the two always sum to Seals.
 	SealsIntraNode uint64 `json:"seals_intra_node,omitempty"`
 	SealsInterNode uint64 `json:"seals_inter_node,omitempty"`
+	// Additive-noise (hear) engine accounting (DESIGN.md §16). These are the
+	// seal/open-equivalents of an engine whose ciphertext is the same length
+	// as its plaintext and never carries an AEAD record, so they live beside
+	// — never inside — Seals/Opens and the byte-accounting identity.
+	HearEncrypts       uint64 `json:"hear_encrypts,omitempty"`
+	HearDecrypts       uint64 `json:"hear_decrypts,omitempty"`
+	HearKeystreamElems uint64 `json:"hear_keystream_elems,omitempty"`
+	HearNanos          int64  `json:"hear_nanos,omitempty"`
 }
 
 // PipelineSnapshot is one rank's chunked-rendezvous pipeline accounting
@@ -193,27 +204,32 @@ func (r *Rank) snapshot() RankSnapshot {
 	s := RankSnapshot{
 		Rank: r.rank,
 		Transport: TransportSnapshot{
-			MsgsSent:  r.msgsSent.Load(),
-			MsgsRecv:  r.msgsRecv.Load(),
-			BytesSent: r.bytesSent.Load(),
-			BytesRecv: r.bytesRecv.Load(),
+			MsgsSent:        r.msgsSent.Load(),
+			MsgsRecv:        r.msgsRecv.Load(),
+			BytesSent:       r.bytesSent.Load(),
+			BytesRecv:       r.bytesRecv.Load(),
+			SlotDirectEager: r.slotDirectEager.Load(),
 		},
 		WaitNanos: r.waitNanos.Load(),
 		Strays:    r.strays.Load(),
 		Crypto: CryptoSnapshot{
-			Seals:          r.seals.Load(),
-			Opens:          r.opens.Load(),
-			AuthFailures:   r.authFailures.Load(),
-			PlainSealed:    r.plainSealed.Load(),
-			WireSealed:     r.wireSealed.Load(),
-			WireOpened:     r.wireOpened.Load(),
-			PlainOpened:    r.plainOpened.Load(),
-			SealNanos:      r.sealNanos.Load(),
-			OpenNanos:      r.openNanos.Load(),
-			SealsInPlace:   r.sealsInPlace.Load(),
-			OpensInPlace:   r.opensInPlace.Load(),
-			SealsIntraNode: r.sealsIntraNode.Load(),
-			SealsInterNode: r.sealsInterNode.Load(),
+			Seals:              r.seals.Load(),
+			Opens:              r.opens.Load(),
+			AuthFailures:       r.authFailures.Load(),
+			PlainSealed:        r.plainSealed.Load(),
+			WireSealed:         r.wireSealed.Load(),
+			WireOpened:         r.wireOpened.Load(),
+			PlainOpened:        r.plainOpened.Load(),
+			SealNanos:          r.sealNanos.Load(),
+			OpenNanos:          r.openNanos.Load(),
+			SealsInPlace:       r.sealsInPlace.Load(),
+			OpensInPlace:       r.opensInPlace.Load(),
+			SealsIntraNode:     r.sealsIntraNode.Load(),
+			SealsInterNode:     r.sealsInterNode.Load(),
+			HearEncrypts:       r.hearEncrypts.Load(),
+			HearDecrypts:       r.hearDecrypts.Load(),
+			HearKeystreamElems: r.hearKeystreamElems.Load(),
+			HearNanos:          r.hearNanos.Load(),
 		},
 		Pipeline: PipelineSnapshot{
 			ChunksSent:       r.pipeChunksSent.Load(),
@@ -244,27 +260,32 @@ func mergeRank(a, b RankSnapshot) RankSnapshot {
 	out := RankSnapshot{
 		Rank: a.Rank,
 		Transport: TransportSnapshot{
-			MsgsSent:  a.Transport.MsgsSent + b.Transport.MsgsSent,
-			MsgsRecv:  a.Transport.MsgsRecv + b.Transport.MsgsRecv,
-			BytesSent: a.Transport.BytesSent + b.Transport.BytesSent,
-			BytesRecv: a.Transport.BytesRecv + b.Transport.BytesRecv,
+			MsgsSent:        a.Transport.MsgsSent + b.Transport.MsgsSent,
+			MsgsRecv:        a.Transport.MsgsRecv + b.Transport.MsgsRecv,
+			BytesSent:       a.Transport.BytesSent + b.Transport.BytesSent,
+			BytesRecv:       a.Transport.BytesRecv + b.Transport.BytesRecv,
+			SlotDirectEager: a.Transport.SlotDirectEager + b.Transport.SlotDirectEager,
 		},
 		WaitNanos: a.WaitNanos + b.WaitNanos,
 		Strays:    a.Strays + b.Strays,
 		Crypto: CryptoSnapshot{
-			Seals:          a.Crypto.Seals + b.Crypto.Seals,
-			Opens:          a.Crypto.Opens + b.Crypto.Opens,
-			AuthFailures:   a.Crypto.AuthFailures + b.Crypto.AuthFailures,
-			PlainSealed:    a.Crypto.PlainSealed + b.Crypto.PlainSealed,
-			WireSealed:     a.Crypto.WireSealed + b.Crypto.WireSealed,
-			WireOpened:     a.Crypto.WireOpened + b.Crypto.WireOpened,
-			PlainOpened:    a.Crypto.PlainOpened + b.Crypto.PlainOpened,
-			SealNanos:      a.Crypto.SealNanos + b.Crypto.SealNanos,
-			OpenNanos:      a.Crypto.OpenNanos + b.Crypto.OpenNanos,
-			SealsInPlace:   a.Crypto.SealsInPlace + b.Crypto.SealsInPlace,
-			OpensInPlace:   a.Crypto.OpensInPlace + b.Crypto.OpensInPlace,
-			SealsIntraNode: a.Crypto.SealsIntraNode + b.Crypto.SealsIntraNode,
-			SealsInterNode: a.Crypto.SealsInterNode + b.Crypto.SealsInterNode,
+			Seals:              a.Crypto.Seals + b.Crypto.Seals,
+			Opens:              a.Crypto.Opens + b.Crypto.Opens,
+			AuthFailures:       a.Crypto.AuthFailures + b.Crypto.AuthFailures,
+			PlainSealed:        a.Crypto.PlainSealed + b.Crypto.PlainSealed,
+			WireSealed:         a.Crypto.WireSealed + b.Crypto.WireSealed,
+			WireOpened:         a.Crypto.WireOpened + b.Crypto.WireOpened,
+			PlainOpened:        a.Crypto.PlainOpened + b.Crypto.PlainOpened,
+			SealNanos:          a.Crypto.SealNanos + b.Crypto.SealNanos,
+			OpenNanos:          a.Crypto.OpenNanos + b.Crypto.OpenNanos,
+			SealsInPlace:       a.Crypto.SealsInPlace + b.Crypto.SealsInPlace,
+			OpensInPlace:       a.Crypto.OpensInPlace + b.Crypto.OpensInPlace,
+			SealsIntraNode:     a.Crypto.SealsIntraNode + b.Crypto.SealsIntraNode,
+			SealsInterNode:     a.Crypto.SealsInterNode + b.Crypto.SealsInterNode,
+			HearEncrypts:       a.Crypto.HearEncrypts + b.Crypto.HearEncrypts,
+			HearDecrypts:       a.Crypto.HearDecrypts + b.Crypto.HearDecrypts,
+			HearKeystreamElems: a.Crypto.HearKeystreamElems + b.Crypto.HearKeystreamElems,
+			HearNanos:          a.Crypto.HearNanos + b.Crypto.HearNanos,
 		},
 		Pipeline:    a.Pipeline.merge(b.Pipeline),
 		SentSizes:   a.SentSizes.merge(b.SentSizes),
@@ -483,6 +504,13 @@ func (s Snapshot) Digest() string {
 	if c := s.Total.Crypto; c.SealsInPlace+c.OpensInPlace > 0 {
 		fmt.Fprintf(&b, "zero-copy crypto: %d seals in place / %d opens in place\n",
 			c.SealsInPlace, c.OpensInPlace)
+	}
+	if c := s.Total.Crypto; c.HearEncrypts+c.HearDecrypts > 0 {
+		fmt.Fprintf(&b, "additive-noise crypto: %d encrypts / %d decrypts  keystream elems: %d  time: %.1fus\n",
+			c.HearEncrypts, c.HearDecrypts, c.HearKeystreamElems, float64(c.HearNanos)/1e3)
+	}
+	if t := s.Total.Transport; t.SlotDirectEager > 0 {
+		fmt.Fprintf(&b, "slot-direct eager sends: %d\n", t.SlotDirectEager)
 	}
 	if c := s.Total.Crypto; c.SealsInterNode > 0 {
 		fmt.Fprintf(&b, "seal locality: %d intra-node / %d inter-node\n",

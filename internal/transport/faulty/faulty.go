@@ -224,6 +224,17 @@ func (t *Transport) AcquireSlot(src, dst, n int) (mpi.Buffer, bool) {
 	return mpi.Buffer{}, false
 }
 
+// DeliversInline forwards the inline-delivery property of the inner
+// transport: the wrapper passes Msgs through unchanged (its tampering modes
+// mutate detached copies), so delivery aliases sender storage exactly when
+// the inner transport's does.
+func (t *Transport) DeliversInline() bool {
+	if id, ok := t.inner.(mpi.InlineDelivery); ok {
+		return id.DeliversInline()
+	}
+	return false
+}
+
 // Send implements mpi.Transport. All decisions happen under the lock; the
 // actual inner sends happen outside it, because delivery can reenter this
 // transport with protocol follow-ups (CTS, DATA). Inner transport failures

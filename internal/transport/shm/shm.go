@@ -204,7 +204,13 @@ func (t *Transport) Send(_ sched.Proc, m *mpi.Msg) error {
 	return nil
 }
 
+// DeliversInline implements mpi.InlineDelivery: Send hands Deliver the
+// caller's Msg unchanged, so delivered payloads alias the sender's storage
+// and borrowed rendezvous data must be cloned by the protocol.
+func (t *Transport) DeliversInline() bool { return true }
+
 var (
-	_ mpi.Transport  = (*Transport)(nil)
-	_ mpi.SlotWriter = (*Transport)(nil)
+	_ mpi.Transport      = (*Transport)(nil)
+	_ mpi.SlotWriter     = (*Transport)(nil)
+	_ mpi.InlineDelivery = (*Transport)(nil)
 )

@@ -87,4 +87,12 @@ func (t *Transport) Send(from sched.Proc, m *mpi.Msg) error {
 	return nil
 }
 
-var _ mpi.Transport = (*Transport)(nil)
+// DeliversInline implements mpi.InlineDelivery: the flight copies the Msg
+// struct but retains the same payload Buffer, so delivery aliases the
+// sender's storage exactly like the shm transport.
+func (t *Transport) DeliversInline() bool { return true }
+
+var (
+	_ mpi.Transport      = (*Transport)(nil)
+	_ mpi.InlineDelivery = (*Transport)(nil)
+)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package encmpi_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which deliberately randomizes sync.Pool reuse and so defeats
+// allocation-count assertions about pooled paths.
+const raceEnabled = false

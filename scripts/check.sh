@@ -84,6 +84,20 @@ echo "== persistent-collective gate (steady-state Start/Wait does zero setup)"
 # no Split, no negotiation, no key/nonce derivation after the first cycle.
 go test . -run 'TestPersistentPlanAllocs|TestPersistentSteadyState' -count=1
 
+echo "== hear smoke (additive-noise engine: allocs, counters, integrity caveat)"
+# TestHearPlanZeroAllocs pins the persistent-plan hear Allreduce at 0
+# allocs/op steady-state (pooled keystream tasks + buffer pool);
+# TestHearKeystreamCounters asserts the keystream-derivation accounting —
+# hear ops charge HearEncrypts/HearDecrypts/HearKeystreamElems exactly
+# (2·elems per op) while the AEAD seal/open counters stay untouched;
+# TestHearHostileBytesNoPanic pins the documented failure mode — hostile
+# bytes decode to garbage, never a panic or a false accept signal
+# (DESIGN.md §16).
+go test . -run 'TestHearPlanZeroAllocs|TestHearKeystreamCounters|TestHearHostileBytesNoPanic' -count=1
+
+echo "== hier slot-ring smoke (intra-node legs ride the PR 8 rings)"
+go test . -run 'TestHierIntraNodeSlotRings' -count=1
+
 echo "== bench smoke (machine-readable snapshot, quick mode)"
 # The full snapshot is regenerated by `make bench`; here we only prove the
 # harness runs end to end and emits a parseable report.
